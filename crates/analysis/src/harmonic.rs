@@ -1,0 +1,51 @@
+//! Harmonic numbers, exact and asymptotic.
+
+/// Euler–Mascheroni constant γ.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// The n-th harmonic number `H_n = Σ_{r=1..n} 1/r`, computed exactly.
+///
+/// Summed smallest-terms-first for floating-point accuracy.
+pub fn harmonic(n: u64) -> f64 {
+    (1..=n).rev().map(|r| 1.0 / r as f64).sum()
+}
+
+/// Asymptotic approximation `H_n ≈ ln n + γ + 1/(2n) - 1/(12n²)`.
+pub fn harmonic_asymptotic(n: u64) -> f64 {
+    let nf = n as f64;
+    nf.ln() + EULER_GAMMA + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotic_matches_exact_for_large_n() {
+        for n in [10u64, 100, 1_000, 100_000] {
+            let exact = harmonic(n);
+            let approx = harmonic_asymptotic(n);
+            assert!(
+                (exact - approx).abs() < 1e-6,
+                "H_{n}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotonic_increasing() {
+        let mut prev = 0.0;
+        for n in 1..100 {
+            let h = harmonic(n);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Probabilistic analysis of JISC (§5 of the paper).
+//!
+//! After a pairwise join exchange at positions `I < J` of a left-deep plan
+//! with `n` operators, `J − I` states are incomplete and `C_n = n − (J − I)`
+//! are complete. Under the paper's triangular swap distribution
+//! (positions swapped are near each other with high probability), §5.2
+//! proves a sharp concentration law: `C_n / n → 1` — after a transition,
+//! almost all states are complete and JISC has almost nothing to do.
+//!
+//! * [`mod@harmonic`] — exact and asymptotic harmonic numbers,
+//! * [`triangular`] — the swap distribution (Eq. 1–2) and its sampler,
+//! * [`propositions`] — closed-form `E[C_n]`, `Var[C_n]`, asymptotics, and
+//!   the Chebyshev concentration bound (Propositions 1–3),
+//! * [`montecarlo`] — empirical validation used by the repro harness.
+
+pub mod harmonic;
+pub mod montecarlo;
+pub mod propositions;
+pub mod triangular;
+
+pub use harmonic::{harmonic, harmonic_asymptotic, EULER_GAMMA};
+pub use montecarlo::{run as monte_carlo, MonteCarloResult};
+pub use propositions::{
+    concentration_bound, expected_asymptotic, expected_complete_states, moments_by_enumeration,
+    variance_asymptotic, variance_complete_states,
+};
+pub use triangular::{alpha, distance_probability, pair_probability, SwapSampler};

@@ -1,0 +1,97 @@
+//! Monte-Carlo validation of Propositions 1–3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::propositions::{expected_complete_states, variance_complete_states};
+use crate::triangular::SwapSampler;
+
+/// Result of one Monte-Carlo run for a given plan size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonteCarloResult {
+    /// Plan size (number of operators).
+    pub n: u64,
+    /// Number of sampled transitions.
+    pub samples: u64,
+    /// Empirical mean of `C_n`.
+    pub mean: f64,
+    /// Empirical variance of `C_n`.
+    pub variance: f64,
+    /// Closed-form `E[C_n]` (Proposition 1).
+    pub mean_closed: f64,
+    /// Closed-form `Var[C_n]` (Proposition 1).
+    pub variance_closed: f64,
+    /// Fraction of samples with `|C_n/n − 1| > ε` for ε = 0.2
+    /// (Proposition 3's concentration, empirically).
+    pub tail_fraction: f64,
+}
+
+impl MonteCarloResult {
+    /// Relative error of the empirical mean against the closed form.
+    pub fn mean_rel_error(&self) -> f64 {
+        (self.mean - self.mean_closed).abs() / self.mean_closed
+    }
+
+    /// Relative error of the empirical variance against the closed form.
+    pub fn variance_rel_error(&self) -> f64 {
+        (self.variance - self.variance_closed).abs() / self.variance_closed.max(1e-12)
+    }
+}
+
+/// Sample `samples` plan transitions for a plan of `n` operators and
+/// compare the empirical moments of `C_n` with Proposition 1.
+pub fn run(n: u64, samples: u64, seed: u64) -> MonteCarloResult {
+    let mut sampler = SwapSampler::new(n, seed);
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut tail = 0u64;
+    for _ in 0..samples {
+        let c = sampler.sample_complete_states() as f64;
+        sum += c;
+        sum_sq += c * c;
+        if (c / n as f64 - 1.0).abs() > 0.2 {
+            tail += 1;
+        }
+    }
+    let mean = sum / samples as f64;
+    let variance = sum_sq / samples as f64 - mean * mean;
+    MonteCarloResult {
+        n,
+        samples,
+        mean,
+        variance,
+        mean_closed: expected_complete_states(n),
+        variance_closed: variance_complete_states(n),
+        tail_fraction: tail as f64 / samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_moments_match_closed_forms() {
+        for n in [10u64, 100, 1000] {
+            let r = run(n, 200_000, 42);
+            assert!(
+                r.mean_rel_error() < 0.01,
+                "n={n}: mean {} vs {}",
+                r.mean,
+                r.mean_closed
+            );
+            assert!(
+                r.variance_rel_error() < 0.05,
+                "n={n}: var {} vs {}",
+                r.variance,
+                r.variance_closed
+            );
+        }
+    }
+
+    #[test]
+    fn tail_mass_decreases_with_n() {
+        let small = run(10, 100_000, 7).tail_fraction;
+        let large = run(10_000, 100_000, 7).tail_fraction;
+        assert!(large < small, "concentration should improve: {small} -> {large}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Propositions 1–3 of §5.2: moments and concentration of `C_n`.
+
+use crate::harmonic::harmonic;
+
+/// Proposition 1 (exact mean):
+/// `E[C_n] = (2n·H_n − 3n + 1) / (2·H_n − 2)`.
+pub fn expected_complete_states(n: u64) -> f64 {
+    assert!(n >= 2);
+    let h = harmonic(n);
+    let nf = n as f64;
+    (2.0 * nf * h - 3.0 * nf + 1.0) / (2.0 * h - 2.0)
+}
+
+/// Proposition 1 (exact variance):
+/// `Var[C_n] = (2n²·H_n − 5n² + 6n − 2H_n − 1) / (12·(H_n − 1)²)`.
+pub fn variance_complete_states(n: u64) -> f64 {
+    assert!(n >= 2);
+    let h = harmonic(n);
+    let nf = n as f64;
+    (2.0 * nf * nf * h - 5.0 * nf * nf + 6.0 * nf - 2.0 * h - 1.0)
+        / (12.0 * (h - 1.0) * (h - 1.0))
+}
+
+/// Proposition 2 (asymptotic mean): `E[C_n] ≈ n − n / (2 ln n)`.
+pub fn expected_asymptotic(n: u64) -> f64 {
+    let nf = n as f64;
+    nf - nf / (2.0 * nf.ln())
+}
+
+/// Proposition 2 (asymptotic variance): `Var[C_n] ≈ n² / (6 ln n)`.
+pub fn variance_asymptotic(n: u64) -> f64 {
+    let nf = n as f64;
+    nf * nf / (6.0 * nf.ln())
+}
+
+/// Proposition 3's Chebyshev bound:
+/// `Prob(|C_n/E[C_n] − 1| > ε) ≤ Var[C_n] / (ε² E[C_n]²)`,
+/// which is `O(1/ln n)` and drives `C_n / n → 1` in probability.
+pub fn concentration_bound(n: u64, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0);
+    let e = expected_complete_states(n);
+    let v = variance_complete_states(n);
+    (v / (epsilon * epsilon * e * e)).min(1.0)
+}
+
+/// Brute-force moments of `C_n` directly from the distribution — an
+/// independent check of the closed forms (O(n) per call).
+pub fn moments_by_enumeration(n: u64) -> (f64, f64) {
+    let alpha = crate::triangular::alpha(n);
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    for d in 1..n {
+        let p = alpha * (n - d) as f64 / d as f64;
+        let c = (n - d) as f64;
+        mean += p * c;
+        second += p * c * c;
+    }
+    (mean, second - mean * mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_match_enumeration() {
+        for n in [2u64, 3, 5, 10, 50, 200, 1000] {
+            let (me, ve) = moments_by_enumeration(n);
+            let mc = expected_complete_states(n);
+            let vc = variance_complete_states(n);
+            assert!((me - mc).abs() / mc.max(1.0) < 1e-9, "mean n={n}: {me} vs {mc}");
+            assert!((ve - vc).abs() / vc.max(1.0) < 1e-6, "var n={n}: {ve} vs {vc}");
+        }
+    }
+
+    #[test]
+    fn asymptotics_converge() {
+        // Relative error of the asymptotic forms shrinks as n grows.
+        let rel = |n: u64| {
+            (expected_complete_states(n) - expected_asymptotic(n)).abs()
+                / expected_complete_states(n)
+        };
+        assert!(rel(1_000_000) < rel(1_000));
+        assert!(rel(1_000_000) < 0.05);
+        let relv = |n: u64| {
+            (variance_complete_states(n) - variance_asymptotic(n)).abs()
+                / variance_complete_states(n)
+        };
+        assert!(relv(1_000_000) < relv(1_000));
+    }
+
+    #[test]
+    fn most_states_are_complete() {
+        // The paper's headline: E[C_n]/n stays near 1 and grows toward it.
+        let ratio = |n: u64| expected_complete_states(n) / n as f64;
+        assert!(ratio(10) > 0.7);
+        assert!(ratio(1_000) > 0.9);
+        assert!(ratio(1_000_000) > 0.96);
+        assert!(ratio(1_000_000) > ratio(1_000));
+    }
+
+    #[test]
+    fn concentration_bound_shrinks_with_n() {
+        let b10 = concentration_bound(10, 0.2);
+        let b1k = concentration_bound(1_000, 0.2);
+        let b1m = concentration_bound(1_000_000, 0.2);
+        assert!(b1k < b10);
+        assert!(b1m < b1k);
+        // O(1/ln n) decays slowly; at n = 10^6 the bound is ~1/(ε²·6·ln n).
+        assert!(b1m < 0.4, "bound should be O(1/ln n), got {b1m}");
+    }
+
+    #[test]
+    fn small_n_sanity() {
+        // n = 2: only pair (1,2), distance 1, so C_2 = 1 deterministically.
+        assert!((expected_complete_states(2) - 1.0).abs() < 1e-12);
+        assert!(variance_complete_states(2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! The swap-distance distribution of §5.2 (Equations 1–2).
+//!
+//! A plan transition exchanges the positions `I < J` of two streams in a
+//! left-deep QEP with `n` operators. The paper models the pair as drawn
+//! with probability inversely proportional to the distance:
+//!
+//! ```text
+//! Prob(I = i, J = j) = α_n / (j − i),   1 ≤ i < j ≤ n,
+//! α_n = 1 / (n·(H_n − 1)).
+//! ```
+//!
+//! The number of incomplete states after the transition is `J − I`, so the
+//! number of complete states is `C_n = n − (J − I)` (Equation 3).
+
+use jisc_common::SplitMix64;
+
+use crate::harmonic::harmonic;
+
+/// The normalizing factor `α_n = 1 / (n (H_n − 1))` (Equation 2).
+pub fn alpha(n: u64) -> f64 {
+    assert!(n >= 2, "need at least two positions");
+    1.0 / (n as f64 * (harmonic(n) - 1.0))
+}
+
+/// Exact probability `Prob(I = i, J = j)` (Equation 1).
+pub fn pair_probability(n: u64, i: u64, j: u64) -> f64 {
+    assert!(1 <= i && i < j && j <= n, "need 1 <= i < j <= n");
+    alpha(n) / (j - i) as f64
+}
+
+/// Probability that the swap distance `J − I` equals `d`.
+///
+/// There are `n − d` pairs at distance `d`, each with mass `α_n / d`.
+pub fn distance_probability(n: u64, d: u64) -> f64 {
+    assert!(1 <= d && d < n);
+    alpha(n) * (n - d) as f64 / d as f64
+}
+
+/// Samples swap pairs from the triangular distribution.
+#[derive(Debug)]
+pub struct SwapSampler {
+    n: u64,
+    /// Cumulative distribution over distances `1..n`.
+    cdf: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl SwapSampler {
+    /// Sampler for a plan with `n` operators.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n >= 2);
+        let mut cdf = Vec::with_capacity((n - 1) as usize);
+        let mut acc = 0.0;
+        for d in 1..n {
+            acc += distance_probability(n, d);
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        SwapSampler { n, cdf, rng: SplitMix64::new(seed) }
+    }
+
+    /// Draw a swap pair `(i, j)` with `1 ≤ i < j ≤ n`.
+    pub fn sample_pair(&mut self) -> (u64, u64) {
+        let u = self.rng.next_f64();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        let d = idx as u64 + 1;
+        // Given the distance, the lower position is uniform.
+        let i = 1 + self.rng.next_below(self.n - d);
+        (i, i + d)
+    }
+
+    /// Draw the resulting number of complete states `C_n = n − (J − I)`.
+    pub fn sample_complete_states(&mut self) -> u64 {
+        let (i, j) = self.sample_pair();
+        self.n - (j - i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for n in [2u64, 5, 20, 100] {
+            let total: f64 =
+                (1..n).map(|d| distance_probability(n, d)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}: total {total}");
+            // pairwise form agrees
+            let pair_total: f64 = (1..=n)
+                .flat_map(|i| ((i + 1)..=n).map(move |j| (i, j)))
+                .map(|(i, j)| pair_probability(n, i, j))
+                .sum();
+            assert!((pair_total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nearby_swaps_are_likelier() {
+        let n = 50;
+        assert!(distance_probability(n, 1) > distance_probability(n, 2));
+        assert!(distance_probability(n, 2) > distance_probability(n, 10));
+        assert!(distance_probability(n, 10) > distance_probability(n, 49));
+    }
+
+    #[test]
+    fn sampler_respects_bounds() {
+        let mut s = SwapSampler::new(20, 7);
+        for _ in 0..10_000 {
+            let (i, j) = s.sample_pair();
+            assert!((1..j).contains(&i));
+            assert!(j <= 20);
+        }
+    }
+
+    #[test]
+    fn sampler_distance_frequencies_match_distribution() {
+        let n = 10;
+        let mut s = SwapSampler::new(n, 99);
+        let trials = 200_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let (i, j) = s.sample_pair();
+            counts[(j - i) as usize] += 1;
+        }
+        for d in 1..n {
+            let expected = distance_probability(n, d);
+            let observed = counts[d as usize] as f64 / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "d={d}: observed {observed:.4} expected {expected:.4}"
+            );
+        }
+    }
+}

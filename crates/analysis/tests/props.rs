@@ -1,0 +1,47 @@
+//! Property tests for the §5.2 analysis.
+
+use jisc_analysis::{
+    alpha, concentration_bound, distance_probability, expected_complete_states, harmonic,
+    moments_by_enumeration, variance_complete_states, SwapSampler,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The triangular distribution is a distribution for every n, and the
+    /// closed forms match brute-force enumeration.
+    #[test]
+    fn distribution_and_moments(n in 2u64..2_000) {
+        let total: f64 = (1..n).map(|d| distance_probability(n, d)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "n={n}: total {total}");
+        prop_assert!(alpha(n) > 0.0);
+        let (me, ve) = moments_by_enumeration(n);
+        prop_assert!((me - expected_complete_states(n)).abs() / me.max(1.0) < 1e-8);
+        prop_assert!((ve - variance_complete_states(n)).abs() / ve.max(1.0) < 1e-5);
+        // moments are sane: 1 <= E[C_n] < n
+        prop_assert!(expected_complete_states(n) >= 1.0);
+        prop_assert!(expected_complete_states(n) < n as f64);
+        prop_assert!(variance_complete_states(n) >= -1e-9);
+    }
+
+    /// Sampled values are always legal: 1 <= C_n <= n-1.
+    #[test]
+    fn sampler_range(n in 2u64..500, seed in any::<u64>()) {
+        let mut s = SwapSampler::new(n, seed);
+        for _ in 0..50 {
+            let c = s.sample_complete_states();
+            prop_assert!((1..n).contains(&c), "C_{n} = {c} out of range");
+        }
+    }
+
+    /// Harmonic numbers are monotone and the Chebyshev bound is a
+    /// probability that shrinks in n.
+    #[test]
+    fn harmonic_and_bound_monotonicity(n in 3u64..10_000) {
+        prop_assert!(harmonic(n) > harmonic(n - 1));
+        let b = concentration_bound(n, 0.25);
+        prop_assert!((0.0..=1.0).contains(&b));
+        if n > 100 {
+            prop_assert!(b <= concentration_bound(n / 2, 0.25) + 1e-9);
+        }
+    }
+}

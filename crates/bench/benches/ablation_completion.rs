@@ -1,0 +1,51 @@
+//! Criterion bench for the completion-procedure ablation (Proc. 3 vs 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jisc_bench::harness::arrivals_for;
+use jisc_common::StreamId;
+use jisc_core::{CompletionMode, JiscExec};
+use jisc_engine::{Catalog, JoinStyle};
+use jisc_workload::worst_case;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_completion");
+    g.sample_size(10);
+    let joins = 10;
+    let window = 200usize;
+    let scenario = worst_case(joins, JoinStyle::Hash);
+    let names = scenario.initial.leaves().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let streams = refs.len();
+    let warmup = arrivals_for(&scenario, streams * window * 2, window as u64, 1);
+    let stage = arrivals_for(&scenario, streams * window, window as u64, 2);
+
+    for (label, mode) in [
+        ("iterative_proc3", CompletionMode::Auto),
+        ("recursive_proc2", CompletionMode::ForceRecursive),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let catalog = Catalog::uniform(&refs, window).unwrap();
+                    let mut e = JiscExec::new(catalog, &scenario.initial).unwrap();
+                    e.set_completion_mode(mode);
+                    for a in &warmup {
+                        e.push(StreamId(a.stream), a.key, a.payload).unwrap();
+                    }
+                    e.transition_to(&scenario.target).unwrap();
+                    e
+                },
+                |mut e| {
+                    for a in &stage {
+                        e.push(StreamId(a.stream), a.key, a.payload).unwrap();
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

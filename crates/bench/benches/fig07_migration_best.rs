@@ -1,0 +1,64 @@
+//! Criterion bench for Figure 7: migration-stage cost, best-case transition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jisc_bench::harness::{arrivals_for, cacq_for, engine_for, push_all, push_all_cacq};
+use jisc_core::Strategy;
+use jisc_engine::JoinStyle;
+use jisc_workload::best_case;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_migration_best");
+    g.sample_size(10);
+    for joins in [4usize, 8] {
+        let window = 200;
+        let scenario = best_case(joins, JoinStyle::Hash);
+        let streams = scenario.initial.leaves().len();
+        let warmup = arrivals_for(&scenario, streams * window * 2, window as u64, 1);
+        let stage = arrivals_for(&scenario, streams * window, window as u64, 2);
+
+        g.bench_with_input(BenchmarkId::new("jisc", joins), &joins, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut e = engine_for(&scenario, window, Strategy::Jisc);
+                    push_all(&mut e, &warmup);
+                    e.transition_to(&scenario.target).unwrap();
+                    e
+                },
+                |mut e| push_all(&mut e, &stage),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("parallel_track", joins), &joins, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut e = engine_for(
+                        &scenario,
+                        window,
+                        Strategy::ParallelTrack { check_period: (window / 2) as u64 },
+                    );
+                    push_all(&mut e, &warmup);
+                    e.transition_to(&scenario.target).unwrap();
+                    e
+                },
+                |mut e| push_all(&mut e, &stage),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("cacq", joins), &joins, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut e = cacq_for(&scenario, window);
+                    push_all_cacq(&mut e, &warmup);
+                    e.set_routing_order_named(&scenario.target.leaves()).unwrap();
+                    e
+                },
+                |mut e| push_all_cacq(&mut e, &stage),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

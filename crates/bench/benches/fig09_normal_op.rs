@@ -1,0 +1,57 @@
+//! Criterion bench for Figure 9: normal-operation throughput, 20 joins.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jisc_bench::harness::{arrivals_for, cacq_for, engine_for, push_all, push_all_cacq};
+use jisc_core::Strategy;
+use jisc_engine::JoinStyle;
+use jisc_workload::best_case;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_normal_op");
+    g.sample_size(10);
+    let joins = 20;
+    let window = 200;
+    let n = 5_000usize;
+    let scenario = best_case(joins, JoinStyle::Hash);
+    let warmup = arrivals_for(&scenario, (joins + 1) * window, window as u64, 1);
+    let work = arrivals_for(&scenario, n, window as u64, 2);
+    g.throughput(Throughput::Elements(n as u64));
+
+    g.bench_function("shj_pipeline", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine_for(&scenario, window, Strategy::MovingState);
+                push_all(&mut e, &warmup);
+                e
+            },
+            |mut e| push_all(&mut e, &work),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("jisc", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine_for(&scenario, window, Strategy::Jisc);
+                push_all(&mut e, &warmup);
+                e
+            },
+            |mut e| push_all(&mut e, &work),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cacq", |b| {
+        b.iter_batched(
+            || {
+                let mut e = cacq_for(&scenario, window);
+                push_all_cacq(&mut e, &warmup);
+                e
+            },
+            |mut e| push_all_cacq(&mut e, &work),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

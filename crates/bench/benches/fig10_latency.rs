@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 10: transition-to-first-output latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jisc_bench::harness::{arrivals_for, engine_for, latency_to_first_output, push_all};
+use jisc_core::Strategy;
+use jisc_engine::{JoinStyle, Predicate};
+use jisc_workload::worst_case;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_latency");
+    g.sample_size(10);
+    for (name, style, joins, window) in [
+        ("hash", JoinStyle::Hash, 4usize, 500usize),
+        ("nlj", JoinStyle::Nlj(Predicate::KeyEq), 2, 250),
+    ] {
+        let scenario = worst_case(joins, style);
+        let streams = scenario.initial.leaves().len();
+        let warmup = arrivals_for(&scenario, streams * window * 2, window as u64, 1);
+        let after = arrivals_for(&scenario, streams * window, window as u64, 2);
+        for strategy in [Strategy::Jisc, Strategy::MovingState] {
+            let label = format!("{name}/{strategy:?}");
+            g.bench_with_input(BenchmarkId::new(label, window), &window, |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut e = engine_for(&scenario, window, strategy);
+                        push_all(&mut e, &warmup);
+                        e
+                    },
+                    |mut e| latency_to_first_output(&mut e, &scenario.target, &after),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

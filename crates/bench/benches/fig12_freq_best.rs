@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 12: execution under frequent best-case
+//! transitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jisc_bench::harness::{
+    arrivals_for, cacq_for, drive_cacq_with_schedule, drive_with_schedule, engine_for,
+};
+use jisc_core::Strategy;
+use jisc_engine::JoinStyle;
+use jisc_workload::{best_case, Schedule};
+
+fn scenario_fn(joins: usize) -> jisc_workload::Scenario {
+    best_case(joins, JoinStyle::Hash)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group(env!("CARGO_CRATE_NAME"));
+    g.sample_size(10);
+    let joins = 10;
+    let window = 150;
+    let total = 8_000usize;
+    let period = 2_000usize;
+    let scenario = scenario_fn(joins);
+    let arrivals = arrivals_for(&scenario, total, window as u64, 3);
+    let schedule = Schedule::periodic(&scenario, period, total);
+
+    for strategy in [
+        Strategy::Jisc,
+        Strategy::ParallelTrack { check_period: (window / 2) as u64 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("{strategy:?}"), period),
+            &period,
+            |b, _| {
+                b.iter_batched(
+                    || engine_for(&scenario, window, strategy),
+                    |mut e| drive_with_schedule(&mut e, &arrivals, &schedule),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.bench_with_input(BenchmarkId::new("Cacq", period), &period, |b, _| {
+        b.iter_batched(
+            || cacq_for(&scenario, window),
+            |mut e| drive_cacq_with_schedule(&mut e, &arrivals, &schedule),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the §4.6 STAIRs comparison: reroute plus migration
+//! stage, eager vs JISC-lazy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jisc_common::StreamId;
+use jisc_eddy::{StairsExec, StairsMode};
+use jisc_engine::Catalog;
+use jisc_workload::{stream_names, Generator};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_stairs");
+    g.sample_size(10);
+    let joins = 6;
+    let window = 200usize;
+    let names = stream_names(joins);
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut rerouted = refs.clone();
+    rerouted.swap(0, joins);
+    let streams = refs.len();
+    let warmup = Generator::uniform(streams as u16, window as u64, 1).take_vec(streams * window * 2);
+    let stage = Generator::uniform(streams as u16, window as u64, 2).take_vec(streams * window);
+
+    for mode in [StairsMode::Eager, StairsMode::JiscLazy] {
+        g.bench_with_input(BenchmarkId::new(format!("{mode:?}"), joins), &joins, |b, _| {
+            b.iter_batched(
+                || {
+                    let catalog = Catalog::uniform(&refs, window).unwrap();
+                    let mut e = StairsExec::new(catalog, &refs, mode).unwrap();
+                    for a in &warmup {
+                        e.push(StreamId(a.stream), a.key, a.payload).unwrap();
+                    }
+                    e
+                },
+                |mut e| {
+                    e.reroute(&rerouted).unwrap();
+                    for a in &stage {
+                        e.push(StreamId(a.stream), a.key, a.payload).unwrap();
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

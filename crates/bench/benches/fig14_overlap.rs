@@ -1,0 +1,38 @@
+//! Criterion bench for §4.5/§5.1.2: overlapped-transition thrashing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jisc_bench::harness::{arrivals_for, drive_with_schedule, engine_for};
+use jisc_core::Strategy;
+use jisc_engine::JoinStyle;
+use jisc_workload::{worst_case, Schedule};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_overlap");
+    g.sample_size(10);
+    let joins = 8;
+    let window = 300usize;
+    let scenario = worst_case(joins, JoinStyle::Hash);
+    let streams = scenario.initial.leaves().len();
+    let warm_n = streams * window;
+    let total = warm_n + 2_000;
+    let arrivals = arrivals_for(&scenario, total, window as u64, 9);
+    let schedule = Schedule::burst(&scenario, warm_n, 50, 10);
+
+    for strategy in [
+        Strategy::Jisc,
+        Strategy::MovingState,
+        Strategy::ParallelTrack { check_period: (window / 2) as u64 },
+    ] {
+        g.bench_function(format!("{strategy:?}"), |b| {
+            b.iter_batched(
+                || engine_for(&scenario, window, strategy),
+                |mut e| drive_with_schedule(&mut e, &arrivals, &schedule),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

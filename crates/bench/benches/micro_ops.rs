@@ -1,0 +1,70 @@
+//! Micro-benchmarks: the primitive operations every strategy is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jisc_common::{BaseTuple, Metrics, StreamId, Tuple};
+use jisc_engine::{State, StoreKind};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_ops");
+
+    g.bench_function("hash_state_insert", |b| {
+        b.iter_batched(
+            || (State::new(StoreKind::Hash), Metrics::new()),
+            |(mut s, mut m)| {
+                for i in 0..1_000u64 {
+                    s.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)), &mut m);
+                }
+                (s, m)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut filled = State::new(StoreKind::Hash);
+    let mut m = Metrics::new();
+    for i in 0..10_000u64 {
+        filled.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 997, 0)), &mut m);
+    }
+    g.bench_function("hash_state_probe", |b| {
+        let mut m = Metrics::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 997;
+            std::hint::black_box(filled.lookup(k, &mut m))
+        })
+    });
+
+    let mut list = State::new(StoreKind::List);
+    for i in 0..1_000u64 {
+        list.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)), &mut m);
+    }
+    g.bench_function("list_state_probe_1000", |b| {
+        let mut m = Metrics::new();
+        b.iter(|| std::hint::black_box(list.lookup(13, &mut m)))
+    });
+
+    g.bench_function("remove_containing", |b| {
+        b.iter_batched(
+            || {
+                let mut s = State::new(StoreKind::Hash);
+                let mut m = Metrics::new();
+                for i in 0..1_000u64 {
+                    s.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)), &mut m);
+                }
+                (s, m)
+            },
+            |(mut s, mut m)| {
+                for i in 0..100u64 {
+                    s.remove_containing(StreamId(0), i, i % 97, &mut m);
+                }
+                (s, m)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Ablations for the design choices DESIGN.md calls out.
+//!
+//! 1. **Selectivity** — the paper's workload ties the key domain to the
+//!    window size; sweeping domain/window exercises how join fan-out
+//!    affects the migration-stage gap.
+//! 2. **Completion procedure** — Procedure 3 (iterative, left-deep) vs
+//!    forcing Procedure 2 (recursive) on the same plans.
+//! 3. **Parallel Track discard period** — the paper calls the periodic
+//!    purge check a real overhead; sweeping it shows the cost/latency
+//!    trade-off.
+
+use jisc_core::{CompletionMode, JiscExec, Strategy};
+use jisc_engine::Catalog;
+use jisc_common::StreamId;
+use jisc_workload::{best_case, worst_case};
+
+use crate::harness::{arrivals_for, engine_for, push_all, timed, Scale};
+use crate::table::{ms, speedup, Table};
+
+/// Ablation 1: key-domain (selectivity) sweep on the fig7 setup.
+pub fn ablation_selectivity(scale: Scale) -> Table {
+    let window = scale.apply(500);
+    let joins = 8;
+    let scenario = best_case(joins, crate::harness::hash_style());
+    let streams = scenario.initial.leaves().len();
+    let mut table = Table::new(
+        "ablation-selectivity",
+        "Ablation: key-domain size (join fan-out) vs migration-stage time",
+        "Smaller domains mean denser matches and larger states: both strategies \
+         slow down, but JISC keeps its relative advantage across selectivities",
+        &["domain/window", "JISC (ms)", "ParallelTrack (ms)", "speedup"],
+    );
+    for factor in [1.0, 2.0, 4.0, 8.0] {
+        let domain = ((window as f64) * factor).max(1.0) as u64;
+        let warmup = arrivals_for(&scenario, streams * window * 2, domain, 31);
+        let stage = arrivals_for(&scenario, streams * window, domain, 32);
+
+        let mut jisc = engine_for(&scenario, window, Strategy::Jisc);
+        push_all(&mut jisc, &warmup);
+        jisc.transition_to(&scenario.target).expect("transition");
+        let (t_jisc, _) = timed(|| push_all(&mut jisc, &stage));
+
+        let mut pt = engine_for(
+            &scenario,
+            window,
+            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+        );
+        push_all(&mut pt, &warmup);
+        pt.transition_to(&scenario.target).expect("transition");
+        let (t_pt, _) = timed(|| push_all(&mut pt, &stage));
+
+        table.row(vec![
+            format!("{factor:.2}"),
+            ms(t_jisc),
+            ms(t_pt),
+            speedup(t_pt, t_jisc),
+        ]);
+    }
+    table
+}
+
+/// Ablation 2: Procedure 3 (iterative, left-deep) vs forced Procedure 2
+/// (recursive) on worst-case left-deep migrations.
+pub fn ablation_completion(scale: Scale) -> Table {
+    let window = scale.apply(500);
+    let mut table = Table::new(
+        "ablation-completion",
+        "Ablation: completion procedure — iterative (Proc. 3) vs recursive (Proc. 2)",
+        "Identical outputs; the iterative left-deep procedure avoids recursion \
+         overhead but both are within the same order (the paper's point is that \
+         Proc. 3 is a simplification, not an asymptotic win)",
+        &["joins", "iterative (ms)", "recursive (ms)", "ratio", "completions iter", "completions rec"],
+    );
+    for joins in [4usize, 8, 12, 16] {
+        let scenario = worst_case(joins, crate::harness::hash_style());
+        let names = scenario.initial.leaves().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let streams = refs.len();
+        let domain = window as u64;
+        let warmup = arrivals_for(&scenario, streams * window * 2, domain, 41);
+        let stage = arrivals_for(&scenario, streams * window, domain, 42);
+
+        let run = |mode: CompletionMode| {
+            let catalog = Catalog::uniform(&refs, window).expect("catalog");
+            let mut e = JiscExec::new(catalog, &scenario.initial).expect("engine");
+            e.set_completion_mode(mode);
+            for a in &warmup {
+                e.push(StreamId(a.stream), a.key, a.payload).expect("push");
+            }
+            e.transition_to(&scenario.target).expect("transition");
+            let (t, _) = timed(|| {
+                for a in &stage {
+                    e.push(StreamId(a.stream), a.key, a.payload).expect("push");
+                }
+            });
+            (t, e.pipeline().metrics.completions, e.pipeline().output.count())
+        };
+        let (t_iter, c_iter, out_iter) = run(CompletionMode::Auto);
+        let (t_rec, c_rec, out_rec) = run(CompletionMode::ForceRecursive);
+        assert_eq!(out_iter, out_rec, "completion procedures must agree");
+        table.row(vec![
+            joins.to_string(),
+            ms(t_iter),
+            ms(t_rec),
+            format!("{:.2}", t_rec.as_secs_f64() / t_iter.as_secs_f64().max(1e-9)),
+            c_iter.to_string(),
+            c_rec.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Ablation 3: Parallel Track discard-check period.
+pub fn ablation_pt_check(scale: Scale) -> Table {
+    let window = scale.apply(500);
+    let joins = 8;
+    let scenario = best_case(joins, crate::harness::hash_style());
+    let streams = scenario.initial.leaves().len();
+    let domain = window as u64;
+    let warmup = arrivals_for(&scenario, streams * window * 2, domain, 51);
+    let stage = arrivals_for(&scenario, streams * window * 2, domain, 52);
+    let mut table = Table::new(
+        "ablation-pt-check",
+        "Ablation: Parallel Track discard-check period",
+        "Frequent checks discard the old plan promptly but sweep states often \
+         (discard_checks grows); rare checks keep two plans (2x work) longer",
+        &["check period", "stage (ms)", "discard checks", "dedup checks"],
+    );
+    for factor in [0.1, 0.5, 1.0, 5.0] {
+        let period = ((window as f64) * factor).max(1.0) as u64;
+        let mut pt = engine_for(&scenario, window, Strategy::ParallelTrack { check_period: period });
+        push_all(&mut pt, &warmup);
+        pt.transition_to(&scenario.target).expect("transition");
+        let (t, _) = timed(|| push_all(&mut pt, &stage));
+        let m = pt.metrics();
+        table.row(vec![
+            period.to_string(),
+            ms(t),
+            m.discard_checks.to_string(),
+            m.dedup_checks.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Ablation 4: key skew (Zipf) vs the paper's uniform workload.
+///
+/// Hot keys concentrate both state entries and completion work; this sweep
+/// shows whether JISC's migration-stage advantage over Parallel Track
+/// survives skew.
+pub fn ablation_skew(scale: Scale) -> Table {
+    use jisc_common::StreamId;
+    use jisc_workload::{Generator, Interleave, KeyDistribution};
+
+    // Skew multiplies per-key state sizes across join levels ((p·w)^joins
+    // for the hottest key), so the sweep uses a shallow plan and a small
+    // window to stay bounded while still showing the effect.
+    let window = scale.apply(100);
+    let joins = 2;
+    let scenario = best_case(joins, crate::harness::hash_style());
+    let streams = scenario.initial.leaves().len();
+    let domain = (window * 4) as u64;
+    let mut table = Table::new(
+        "ablation-skew",
+        "Ablation: key distribution (uniform vs Zipf) vs migration-stage time",
+        "Skew inflates hot-key buckets for every strategy; JISC's relative \
+         advantage over Parallel Track persists because completion touches \
+         only probed keys while PT processes everything twice",
+        &["distribution", "JISC (ms)", "ParallelTrack (ms)", "speedup", "outputs JISC"],
+    );
+    for (label, dist) in [
+        ("uniform", KeyDistribution::Uniform),
+        ("zipf(0.6)", KeyDistribution::Zipf(0.6)),
+        ("zipf(1.0)", KeyDistribution::Zipf(1.0)),
+    ] {
+        let mut gen_w = Generator::new(streams as u16, domain, dist, Interleave::Random, 71);
+        let warmup: Vec<_> = gen_w.take_vec(streams * window * 2);
+        let stage: Vec<_> = gen_w.take_vec(streams * window);
+        let push_seq = |e: &mut jisc_core::AdaptiveEngine, xs: &Vec<jisc_workload::Arrival>| {
+            for a in xs {
+                e.push(StreamId(a.stream), a.key, a.payload).expect("push");
+            }
+        };
+
+        let mut jisc = engine_for(&scenario, window, Strategy::Jisc);
+        push_seq(&mut jisc, &warmup);
+        jisc.transition_to(&scenario.target).expect("transition");
+        let (t_jisc, _) = timed(|| push_seq(&mut jisc, &stage));
+
+        let mut pt = engine_for(
+            &scenario,
+            window,
+            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+        );
+        push_seq(&mut pt, &warmup);
+        pt.transition_to(&scenario.target).expect("transition");
+        let (t_pt, _) = timed(|| push_seq(&mut pt, &stage));
+
+        table.row(vec![
+            label.to_string(),
+            ms(t_jisc),
+            ms(t_pt),
+            speedup(t_pt, t_jisc),
+            jisc.output().count().to_string(),
+        ]);
+    }
+    table
+}

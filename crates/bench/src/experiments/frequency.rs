@@ -1,0 +1,102 @@
+//! Figures 11 and 12: total execution time vs transition frequency.
+//!
+//! §6.4: a 20-join plan processes a fixed workload while transitions are
+//! forced every `f` tuples (the paper forces one every 1..10M tuples of a
+//! 20M run). Figure 11 uses worst-case transitions, Figure 12 best-case.
+//! JISC should win at every frequency; CACQ's cost is frequency-invariant;
+//! Parallel Track degrades as transitions overlap.
+
+use jisc_core::Strategy;
+use jisc_workload::{best_case, worst_case, Scenario, Schedule};
+
+use crate::harness::{
+    arrivals_for, cacq_for, drive_cacq_with_schedule, drive_with_schedule, engine_for, Scale,
+};
+use crate::table::{ms, speedup, Table};
+
+/// Joins in the measured plan (paper: 20).
+pub const JOINS: usize = 20;
+
+/// Base window before scaling.
+pub const BASE_WINDOW: usize = 300;
+
+/// Base total tuples before scaling (paper: 20M).
+pub const BASE_TUPLES: usize = 60_000;
+
+/// Transition periods as fractions of the run (paper: 1/20 .. 10/20).
+pub const PERIOD_FRACTIONS: &[f64] = &[0.05, 0.1, 0.2, 0.3, 0.5];
+
+fn frequency_table(id: &str, title: &str, scenario: &Scenario, scale: Scale, seed: u64) -> Table {
+    let window = scale.apply(BASE_WINDOW);
+    let total = scale.apply(BASE_TUPLES);
+    let domain = window as u64;
+    let arrivals = arrivals_for(scenario, total, domain, seed);
+    let mut table = Table::new(
+        id,
+        title,
+        "JISC beats both CACQ and Parallel Track at every frequency; CACQ is \
+         roughly flat in frequency (transitions are free, normal operation is \
+         expensive); Parallel Track degrades at high frequency as plans overlap",
+        &[
+            "period (tuples)",
+            "transitions",
+            "JISC (ms)",
+            "ParallelTrack (ms)",
+            "CACQ (ms)",
+            "speedup vs PT",
+            "speedup vs CACQ",
+        ],
+    );
+    for &frac in PERIOD_FRACTIONS {
+        let period = ((total as f64) * frac) as usize;
+        let schedule = Schedule::periodic(scenario, period.max(1), total);
+
+        let mut jisc = engine_for(scenario, window, Strategy::Jisc);
+        let t_jisc = drive_with_schedule(&mut jisc, &arrivals, &schedule);
+
+        let mut pt = engine_for(
+            scenario,
+            window,
+            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+        );
+        let t_pt = drive_with_schedule(&mut pt, &arrivals, &schedule);
+
+        let mut cacq = cacq_for(scenario, window);
+        let t_cacq = drive_cacq_with_schedule(&mut cacq, &arrivals, &schedule);
+
+        table.row(vec![
+            period.to_string(),
+            schedule.len().to_string(),
+            ms(t_jisc),
+            ms(t_pt),
+            ms(t_cacq),
+            speedup(t_pt, t_jisc),
+            speedup(t_cacq, t_jisc),
+        ]);
+    }
+    table
+}
+
+/// Figure 11: worst-case transitions at varying frequency.
+pub fn fig11(scale: Scale) -> Table {
+    let scenario = worst_case(JOINS, crate::harness::hash_style());
+    frequency_table(
+        "fig11",
+        "Figure 11: execution time vs transition frequency (worst-case transitions)",
+        &scenario,
+        scale,
+        1_100,
+    )
+}
+
+/// Figure 12: best-case transitions at varying frequency.
+pub fn fig12(scale: Scale) -> Table {
+    let scenario = best_case(JOINS, crate::harness::hash_style());
+    frequency_table(
+        "fig12",
+        "Figure 12: execution time vs transition frequency (best-case transitions)",
+        &scenario,
+        scale,
+        1_200,
+    )
+}

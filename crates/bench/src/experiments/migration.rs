@@ -1,0 +1,123 @@
+//! Figures 7 and 8: performance during the plan-migration stage.
+//!
+//! Methodology (§6.1): warm the query up, force one plan transition, then
+//! process tuples until the Parallel Track strategy's old plan would be
+//! discarded (one full window of new arrivals per stream) and time how
+//! long each strategy takes on exactly those tuples. Figure 7 uses the
+//! best-case transition (one incomplete state, Figure 5); Figure 8 the
+//! worst case (every intermediate state incomplete).
+
+use jisc_core::Strategy;
+use jisc_workload::{best_case, worst_case, Scenario};
+
+use crate::harness::{
+    arrivals_for, cacq_for, engine_for, push_all, push_all_cacq, timed, Scale,
+};
+use crate::table::{ms, speedup, Table};
+
+/// Default join counts swept (the paper sweeps up to ~20 joins).
+pub const JOIN_COUNTS: &[usize] = &[4, 8, 12, 16, 20];
+
+/// Base window size before scaling (paper: 10_000).
+pub const BASE_WINDOW: usize = 500;
+
+fn run_for(scenario: &Scenario, window: usize, seed: u64) -> [std::time::Duration; 3] {
+    let streams = scenario.initial.leaves().len();
+    let warmup_n = streams * window * 2;
+    let stage_n = streams * window; // until PT's old plan is dischargeable
+    let domain = window as u64; // fan-out ~1: matches flow, states stay bounded
+
+    // Three workload repetitions with distinct seeds: hot-key alignment
+    // bursts dominate run-to-run variance, so every strategy runs on the
+    // same three workloads and per-strategy medians are reported.
+    let mut ts: [Vec<std::time::Duration>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for rep in 0..3u64 {
+        let warmup = arrivals_for(scenario, warmup_n, domain, seed + rep * 1_000);
+        let stage = arrivals_for(scenario, stage_n, domain, seed + rep * 1_000 + 1);
+
+        let mut jisc = engine_for(scenario, window, Strategy::Jisc);
+        push_all(&mut jisc, &warmup);
+        jisc.transition_to(&scenario.target).expect("transition");
+        ts[0].push(timed(|| push_all(&mut jisc, &stage)).0);
+
+        let mut pt = engine_for(
+            scenario,
+            window,
+            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+        );
+        push_all(&mut pt, &warmup);
+        pt.transition_to(&scenario.target).expect("transition");
+        ts[1].push(timed(|| push_all(&mut pt, &stage)).0);
+
+        let mut cacq = cacq_for(scenario, window);
+        push_all_cacq(&mut cacq, &warmup);
+        cacq.set_routing_order_named(&scenario.target.leaves()).expect("reroute");
+        ts[2].push(timed(|| push_all_cacq(&mut cacq, &stage)).0);
+    }
+    ts.iter_mut().for_each(|v| v.sort());
+    [ts[0][1], ts[1][1], ts[2][1]]
+}
+
+fn migration_table(id: &str, title: &str, best: bool, scale: Scale, seed: u64) -> Table {
+    let window = scale.apply(BASE_WINDOW);
+    let mut table = Table::new(
+        id,
+        title,
+        if best {
+            "JISC fastest at every join count; speedup over Parallel Track grows \
+             with the number of joins (up to ~an order of magnitude at 20 joins); \
+             CACQ slowest or comparable to Parallel Track"
+        } else {
+            "JISC still fastest, but with smaller speedups than the best case \
+             (state-completion overhead); CACQ and Parallel Track match their \
+             Figure 7 numbers (they ignore state completeness)"
+        },
+        &[
+            "joins",
+            "JISC (ms)",
+            "ParallelTrack (ms)",
+            "CACQ (ms)",
+            "speedup vs PT",
+            "speedup vs CACQ",
+        ],
+    );
+    for &joins in JOIN_COUNTS {
+        let scenario = if best {
+            best_case(joins, crate::harness::hash_style())
+        } else {
+            worst_case(joins, crate::harness::hash_style())
+        };
+        let [t_jisc, t_pt, t_cacq] = run_for(&scenario, window, seed + joins as u64);
+        table.row(vec![
+            joins.to_string(),
+            ms(t_jisc),
+            ms(t_pt),
+            ms(t_cacq),
+            speedup(t_pt, t_jisc),
+            speedup(t_cacq, t_jisc),
+        ]);
+    }
+    table
+}
+
+/// Figure 7: best case — one incomplete state.
+pub fn fig7(scale: Scale) -> Table {
+    migration_table(
+        "fig7",
+        "Figure 7: migration-stage running time & speedup (best case: one incomplete state)",
+        true,
+        scale,
+        100,
+    )
+}
+
+/// Figure 8: worst case — all intermediate states incomplete.
+pub fn fig8(scale: Scale) -> Table {
+    migration_table(
+        "fig8",
+        "Figure 8: migration-stage running time & speedup (worst case: all states incomplete)",
+        false,
+        scale,
+        200,
+    )
+}

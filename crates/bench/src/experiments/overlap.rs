@@ -1,0 +1,91 @@
+//! §4.5 / §5.1.2: overlapped transitions and thrashing avoidance.
+//!
+//! Transitions fire much faster than state completion (or old-plan
+//! purging) can settle. Moving State recomputes every missing state at
+//! each firing with no payoff; Parallel Track stacks plans; JISC carries
+//! incomplete states across transitions and completes only what is probed.
+
+use jisc_common::StreamId;
+use jisc_core::Strategy;
+use jisc_workload::{worst_case, Schedule};
+
+use crate::harness::{arrivals_for, engine_for, Scale};
+use crate::table::{ms, speedup, Table};
+
+/// Joins in the measured plan.
+pub const JOINS: usize = 8;
+
+/// Base window before scaling.
+pub const BASE_WINDOW: usize = 1_000;
+
+/// Gap between transitions (a small fraction of the window: transitions
+/// overlap heavily).
+pub const BASE_GAP: usize = 100;
+
+/// Transitions per burst run.
+pub const TRANSITIONS: usize = 20;
+
+/// Thrashing under overlapped transitions.
+pub fn overlap(scale: Scale) -> Table {
+    let window = scale.apply(BASE_WINDOW);
+    let gap = scale.apply(BASE_GAP);
+    let scenario = worst_case(JOINS, crate::harness::hash_style());
+    let streams = scenario.initial.leaves().len();
+    let warmup_n = streams * window * 2;
+    let total = warmup_n + TRANSITIONS * gap + streams * window;
+    let domain = window as u64;
+    let arrivals = arrivals_for(&scenario, total, domain, 500);
+    let schedule = Schedule::burst(&scenario, warmup_n, gap, TRANSITIONS);
+
+    let mut table = Table::new(
+        "overlap",
+        "§4.5/§5.1.2: overlapped transitions (burst of 20, gap far below a window)",
+        "JISC degrades gracefully (lazy completion carries across transitions); \
+         Moving State thrashes (full eager rebuild per firing, no payoff); \
+         Parallel Track stacks many simultaneous plans and multiplies its \
+         duplicate-elimination cost",
+        &[
+            "strategy",
+            "total (ms)",
+            "slowdown vs JISC",
+            "eager entries built",
+            "completions",
+            "max active plans",
+            "dedup checks",
+        ],
+    );
+
+    let mut jisc_time = None;
+    for strategy in [
+        Strategy::Jisc,
+        Strategy::MovingState,
+        Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+    ] {
+        let mut e = engine_for(&scenario, window, strategy);
+        let mut max_plans = 1usize;
+        let t0 = std::time::Instant::now();
+        let mut next = 0;
+        let transitions = schedule.transitions();
+        for (i, a) in arrivals.iter().enumerate() {
+            while next < transitions.len() && transitions[next].0 == i {
+                e.transition_to(&transitions[next].1).expect("transition");
+                next += 1;
+            }
+            e.push(StreamId(a.stream), a.key, a.payload).expect("push");
+            max_plans = max_plans.max(e.active_plans());
+        }
+        let t = t0.elapsed();
+        let base = *jisc_time.get_or_insert(t);
+        let m = e.metrics();
+        table.row(vec![
+            format!("{strategy:?}"),
+            ms(t),
+            speedup(t, base),
+            m.eager_entries_built.to_string(),
+            m.completions.to_string(),
+            max_plans.to_string(),
+            m.dedup_checks.to_string(),
+        ]);
+    }
+    table
+}

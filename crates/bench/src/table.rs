@@ -1,0 +1,123 @@
+//! Result tables: what the repro harness prints for each figure.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result: one table per paper figure (or sub-plot).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `"fig7"`.
+    pub id: String,
+    /// Human title, e.g. `"Figure 7(a): migration-stage running time"`.
+    pub title: String,
+    /// What the paper claims the shape should be.
+    pub expected_shape: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        expected_shape: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            expected_shape: expected_shape.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "*Expected shape (paper):* {}", self.expected_shape);
+        let _ = writeln!(out);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:>w$} |", w = w);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        out
+    }
+}
+
+/// Format a `Duration` in milliseconds with two decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Format a speedup ratio.
+pub fn speedup(base: std::time::Duration, other: std::time::Duration) -> String {
+    if other.as_nanos() == 0 {
+        return "inf".into();
+    }
+    format!("{:.2}x", base.as_secs_f64() / other.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("figX", "demo", "a beats b", &["n", "a (ms)", "b (ms)"]);
+        t.row(vec!["4".into(), "1.00".into(), "2.00".into()]);
+        t.row(vec!["8".into(), "1.50".into(), "4.00".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### figX — demo"));
+        assert!(md.contains("| 4 |"));
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "y", "z", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(
+            speedup(Duration::from_millis(100), Duration::from_millis(50)),
+            "2.00x"
+        );
+        assert_eq!(speedup(Duration::from_millis(1), Duration::ZERO), "inf");
+    }
+}

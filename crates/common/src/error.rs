@@ -1,0 +1,59 @@
+//! Error type shared by the JISC crate family.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, JiscError>;
+
+/// Errors surfaced by the engine and migration layers.
+///
+/// The engine is largely infallible once a plan is validated, so most
+/// variants concern plan construction and transition requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JiscError {
+    /// A plan specification is structurally invalid (e.g. fewer than two
+    /// streams, duplicate stream names, unknown stream referenced).
+    InvalidPlan(String),
+    /// A transition was requested to a plan that is not equivalent to the
+    /// running one (different stream set or join semantics).
+    NotEquivalent(String),
+    /// A tuple referenced a stream that the running plan does not contain.
+    UnknownStream(String),
+    /// A configuration value is out of range (e.g. zero window size).
+    InvalidConfig(String),
+    /// Internal invariant violation; indicates a bug, never expected input.
+    Internal(String),
+}
+
+impl fmt::Display for JiscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JiscError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            JiscError::NotEquivalent(m) => write!(f, "plans not equivalent: {m}"),
+            JiscError::UnknownStream(m) => write!(f, "unknown stream: {m}"),
+            JiscError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            JiscError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JiscError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = JiscError::InvalidPlan("need two streams".into());
+        assert_eq!(e.to_string(), "invalid plan: need two streams");
+        let e = JiscError::Internal("oops".into());
+        assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&JiscError::UnknownStream("X".into()));
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared foundations for the JISC reproduction.
+//!
+//! This crate holds the data model and utilities every other crate builds on:
+//!
+//! * [`mod@tuple`] — base and joined (composite) tuples with lineage,
+//! * [`hash`] — a fast Fx-style hasher and map/set aliases,
+//! * [`metrics`] — cheap execution counters used by every strategy,
+//! * [`rng`] — a deterministic SplitMix64 generator for reproducible runs,
+//! * [`error`] — the crate-family error type.
+//!
+//! The join model follows the paper (EDBT 2014, §2.1): tuples carry a single
+//! join-attribute value (`Key`) shared by all streams of a query, plus an
+//! opaque `payload` that callers use as a row id into their own storage.
+
+pub mod error;
+pub mod hash;
+pub mod lineage;
+pub mod metrics;
+pub mod rng;
+pub mod tuple;
+
+pub use error::{JiscError, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use lineage::Lineage;
+pub use metrics::Metrics;
+pub use rng::SplitMix64;
+pub use tuple::{BaseTuple, JoinedTuple, Key, SeqNo, StreamId, Tuple};

@@ -1,0 +1,78 @@
+//! Canonical identity of a join result.
+
+use std::fmt;
+
+use crate::tuple::{SeqNo, StreamId};
+
+/// Sorted `(stream, seq)` pairs identifying the base tuples of a composite.
+///
+/// Used for duplicate elimination in the Parallel Track strategy and for
+/// output-equality checks in the correctness tests (Theorems 1–3): two
+/// composites are the same logical output tuple iff their lineages are equal,
+/// independent of the join order that produced them.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lineage(Box<[(StreamId, SeqNo)]>);
+
+impl Lineage {
+    /// Build from constituent identities; sorts into canonical order.
+    pub fn new(mut parts: Vec<(StreamId, SeqNo)>) -> Self {
+        parts.sort_unstable();
+        Lineage(parts.into_boxed_slice())
+    }
+
+    /// Number of base tuples.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The sorted constituent identities.
+    pub fn parts(&self) -> &[(StreamId, SeqNo)] {
+        &self.0
+    }
+
+    /// True if the given base tuple is a constituent.
+    pub fn contains(&self, stream: StreamId, seq: SeqNo) -> bool {
+        self.0.binary_search(&(stream, seq)).is_ok()
+    }
+}
+
+impl fmt::Debug for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (s, q)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}#{q}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineage_sorts_canonically() {
+        let a = Lineage::new(vec![(StreamId(2), 5), (StreamId(0), 1), (StreamId(1), 9)]);
+        let b = Lineage::new(vec![(StreamId(0), 1), (StreamId(1), 9), (StreamId(2), 5)]);
+        assert_eq!(a, b);
+        assert_eq!(a.arity(), 3);
+        assert!(a.contains(StreamId(1), 9));
+        assert!(!a.contains(StreamId(1), 8));
+    }
+
+    #[test]
+    fn distinct_lineages_differ() {
+        let a = Lineage::new(vec![(StreamId(0), 1)]);
+        let b = Lineage::new(vec![(StreamId(0), 2)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let a = Lineage::new(vec![(StreamId(1), 2), (StreamId(0), 1)]);
+        assert_eq!(format!("{a:?}"), "[S0#1,S1#2]");
+    }
+}

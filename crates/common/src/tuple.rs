@@ -1,0 +1,235 @@
+//! Tuple model: base stream tuples and joined (composite) tuples.
+//!
+//! Following the paper's execution model (§2.1), every stream of a query
+//! shares a single join attribute (called `ID` in the paper, [`Key`] here).
+//! A [`BaseTuple`] is one arrival on one stream; a [`JoinedTuple`] is the
+//! concatenation of two tuples produced by a binary operator. Joined tuples
+//! share substructure through [`Tuple`] clones (an `Arc` bump), so an n-way
+//! join result costs O(1) per join step, not O(n).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::lineage::Lineage;
+
+/// Join-attribute value (the paper's `ID`).
+pub type Key = u64;
+
+/// Global arrival sequence number; also serves as a logical timestamp.
+pub type SeqNo = u64;
+
+/// Identifies one input stream of a query.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StreamId(pub u16);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// One arrival on one stream.
+///
+/// `payload` is opaque to the engine; callers treat it as a row id into their
+/// own storage (see the examples for the pattern).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseTuple {
+    /// Stream this tuple arrived on.
+    pub stream: StreamId,
+    /// Global arrival sequence number (unique across all streams).
+    pub seq: SeqNo,
+    /// Join-attribute value.
+    pub key: Key,
+    /// Opaque caller payload (row id).
+    pub payload: u64,
+}
+
+impl BaseTuple {
+    /// Build a tuple; convenience for tests and generators.
+    pub fn new(stream: StreamId, seq: SeqNo, key: Key, payload: u64) -> Self {
+        BaseTuple { stream, seq, key, payload }
+    }
+}
+
+/// A join result: the concatenation of two tuples.
+///
+/// `key` is the join-attribute value the composite will be probed with by the
+/// parent operator. Under the paper's single-attribute model this equals the
+/// key of every constituent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinedTuple {
+    /// Probe key for the parent operator.
+    pub key: Key,
+    /// Left input.
+    pub left: Tuple,
+    /// Right input.
+    pub right: Tuple,
+}
+
+/// Either a base tuple or a joined composite; cheap to clone.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Tuple {
+    /// A single stream arrival.
+    Base(Arc<BaseTuple>),
+    /// A composite produced by a binary operator.
+    Joined(Arc<JoinedTuple>),
+}
+
+impl Tuple {
+    /// Wrap a base tuple.
+    pub fn base(t: BaseTuple) -> Self {
+        Tuple::Base(Arc::new(t))
+    }
+
+    /// Join two tuples under the given probe key.
+    pub fn joined(key: Key, left: Tuple, right: Tuple) -> Self {
+        Tuple::Joined(Arc::new(JoinedTuple { key, left, right }))
+    }
+
+    /// Join-attribute value this tuple is probed/stored under.
+    #[inline]
+    pub fn key(&self) -> Key {
+        match self {
+            Tuple::Base(b) => b.key,
+            Tuple::Joined(j) => j.key,
+        }
+    }
+
+    /// Number of base tuples in this composite.
+    pub fn arity(&self) -> usize {
+        let mut n = 0;
+        self.for_each_base(&mut |_| n += 1);
+        n
+    }
+
+    /// Latest (largest) arrival sequence number among constituents.
+    ///
+    /// Used by the Parallel Track strategy to decide whether a state entry is
+    /// "old" (contains a pre-transition arrival) or "new".
+    pub fn max_seq(&self) -> SeqNo {
+        match self {
+            Tuple::Base(b) => b.seq,
+            Tuple::Joined(j) => j.left.max_seq().max(j.right.max_seq()),
+        }
+    }
+
+    /// Earliest (smallest) arrival sequence number among constituents.
+    pub fn min_seq(&self) -> SeqNo {
+        match self {
+            Tuple::Base(b) => b.seq,
+            Tuple::Joined(j) => j.left.min_seq().min(j.right.min_seq()),
+        }
+    }
+
+    /// Visit every base tuple in the composite (in left-to-right tree order).
+    pub fn for_each_base(&self, f: &mut impl FnMut(&Arc<BaseTuple>)) {
+        match self {
+            Tuple::Base(b) => f(b),
+            Tuple::Joined(j) => {
+                j.left.for_each_base(f);
+                j.right.for_each_base(f);
+            }
+        }
+    }
+
+    /// The constituent from `stream`, if present.
+    pub fn base_for(&self, stream: StreamId) -> Option<Arc<BaseTuple>> {
+        match self {
+            Tuple::Base(b) => (b.stream == stream).then(|| Arc::clone(b)),
+            Tuple::Joined(j) => j.left.base_for(stream).or_else(|| j.right.base_for(stream)),
+        }
+    }
+
+    /// True if the exact base tuple `(stream, seq)` is a constituent.
+    pub fn contains_base(&self, stream: StreamId, seq: SeqNo) -> bool {
+        match self {
+            Tuple::Base(b) => b.stream == stream && b.seq == seq,
+            Tuple::Joined(j) => {
+                j.left.contains_base(stream, seq) || j.right.contains_base(stream, seq)
+            }
+        }
+    }
+
+    /// Canonical lineage: sorted `(stream, seq)` pairs of all constituents.
+    ///
+    /// Two composites with equal lineage represent the same logical join
+    /// result regardless of the join order that produced them; this is the
+    /// identity used for duplicate elimination and output comparison.
+    pub fn lineage(&self) -> Lineage {
+        let mut parts = Vec::with_capacity(4);
+        self.for_each_base(&mut |b| parts.push((b.stream, b.seq)));
+        Lineage::new(parts)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tuple::Base(b) => write!(f, "{}#{}(k={})", b.stream, b.seq, b.key),
+            Tuple::Joined(j) => write!(f, "({:?}⋈{:?})", j.left, j.right),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bt(stream: u16, seq: SeqNo, key: Key) -> Tuple {
+        Tuple::base(BaseTuple::new(StreamId(stream), seq, key, 0))
+    }
+
+    #[test]
+    fn base_accessors() {
+        let t = bt(1, 7, 42);
+        assert_eq!(t.key(), 42);
+        assert_eq!(t.arity(), 1);
+        assert_eq!(t.max_seq(), 7);
+        assert_eq!(t.min_seq(), 7);
+        assert!(t.contains_base(StreamId(1), 7));
+        assert!(!t.contains_base(StreamId(1), 8));
+        assert!(!t.contains_base(StreamId(2), 7));
+    }
+
+    #[test]
+    fn joined_composite_tracks_constituents() {
+        let r = bt(0, 1, 5);
+        let s = bt(1, 2, 5);
+        let t = bt(2, 9, 5);
+        let rs = Tuple::joined(5, r.clone(), s.clone());
+        let rst = Tuple::joined(5, rs.clone(), t.clone());
+
+        assert_eq!(rst.arity(), 3);
+        assert_eq!(rst.key(), 5);
+        assert_eq!(rst.max_seq(), 9);
+        assert_eq!(rst.min_seq(), 1);
+        assert!(rst.contains_base(StreamId(0), 1));
+        assert!(rst.contains_base(StreamId(2), 9));
+        assert!(!rst.contains_base(StreamId(2), 1));
+        assert_eq!(rst.base_for(StreamId(1)).unwrap().seq, 2);
+        assert!(rst.base_for(StreamId(3)).is_none());
+    }
+
+    #[test]
+    fn lineage_is_order_independent() {
+        let r = bt(0, 1, 5);
+        let s = bt(1, 2, 5);
+        let t = bt(2, 3, 5);
+        // (r ⋈ s) ⋈ t  vs  r ⋈ (t ⋈ s): same logical result, same lineage.
+        let a = Tuple::joined(5, Tuple::joined(5, r.clone(), s.clone()), t.clone());
+        let b = Tuple::joined(5, r, Tuple::joined(5, t, s));
+        assert_eq!(a.lineage(), b.lineage());
+    }
+
+    #[test]
+    fn clone_shares_structure() {
+        let r = bt(0, 1, 5);
+        let s = bt(1, 2, 5);
+        let rs = Tuple::joined(5, r, s);
+        let rs2 = rs.clone();
+        match (&rs, &rs2) {
+            (Tuple::Joined(a), Tuple::Joined(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("expected joined"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the shared data model.
+
+use jisc_common::{BaseTuple, FxHasher, Lineage, SplitMix64, StreamId, Tuple};
+use proptest::prelude::*;
+use std::hash::{Hash, Hasher};
+
+fn hash_one<T: Hash>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// Lineage is canonical: any permutation of the same parts is equal,
+    /// hashes equally, and sorts equally.
+    #[test]
+    fn lineage_canonical_under_permutation(
+        mut parts in proptest::collection::vec((0u16..8, 0u64..1000), 1..6),
+        seed in 0u64..1000,
+    ) {
+        parts.dedup();
+        let a = Lineage::new(parts.iter().map(|&(s, q)| (StreamId(s), q)).collect());
+        let mut shuffled = parts.clone();
+        SplitMix64::new(seed).shuffle(&mut shuffled);
+        let b = Lineage::new(shuffled.iter().map(|&(s, q)| (StreamId(s), q)).collect());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(hash_one(&a), hash_one(&b));
+        prop_assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    /// A composite's lineage contains exactly its constituents, regardless
+    /// of the join-tree shape that produced it.
+    #[test]
+    fn tuple_lineage_matches_constituents(
+        keys in proptest::collection::vec(0u64..100, 2..6),
+        seed in 0u64..1000,
+    ) {
+        let bases: Vec<Tuple> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Tuple::base(BaseTuple::new(StreamId(i as u16), i as u64, k, 0)))
+            .collect();
+        // Fold into a random-shaped tree.
+        let mut rng = SplitMix64::new(seed);
+        let mut nodes = bases.clone();
+        while nodes.len() > 1 {
+            let i = rng.next_below(nodes.len() as u64 - 1) as usize;
+            let l = nodes.remove(i);
+            let r = nodes.remove(i);
+            nodes.insert(i, Tuple::joined(l.key(), l, r));
+        }
+        let t = nodes.pop().unwrap();
+        prop_assert_eq!(t.arity(), keys.len());
+        for (i, _) in keys.iter().enumerate() {
+            prop_assert!(t.contains_base(StreamId(i as u16), i as u64));
+            prop_assert!(t.lineage().contains(StreamId(i as u16), i as u64));
+        }
+        prop_assert_eq!(t.max_seq(), keys.len() as u64 - 1);
+        prop_assert_eq!(t.min_seq(), 0);
+    }
+
+    /// SplitMix64's bounded sampling is always within bounds and the
+    /// shuffle is a permutation.
+    #[test]
+    fn rng_bounds_and_shuffle(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut s = v.clone();
+        s.sort_unstable();
+        prop_assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,171 @@
+//! The public facade: one engine, pluggable migration strategy.
+
+use jisc_common::{Key, Metrics, Result, StreamId};
+use jisc_engine::{Catalog, OutputSink, PlanSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::jisc::JiscExec;
+use crate::moving_state::MovingStateExec;
+use crate::parallel_track::ParallelTrackExec;
+
+/// Which plan-migration strategy drives transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Just-In-Time State Completion (§4) — the paper's contribution.
+    Jisc,
+    /// Eager migration: halt and rebuild missing states (§3.2).
+    MovingState,
+    /// Run old and new plans in parallel with duplicate elimination (§3.3).
+    ParallelTrack {
+        /// Arrivals between old-plan discard sweeps.
+        check_period: u64,
+    },
+}
+
+#[derive(Debug)]
+enum Inner {
+    Jisc(JiscExec),
+    Ms(MovingStateExec),
+    Pt(ParallelTrackExec),
+}
+
+/// An adaptive stream-join engine: push tuples, read output, and switch
+/// query plans at runtime without stopping the query.
+///
+/// ```
+/// use jisc_core::{AdaptiveEngine, Strategy};
+/// use jisc_engine::{Catalog, JoinStyle, PlanSpec};
+///
+/// let catalog = Catalog::uniform(&["R", "S", "T"], 1000).unwrap();
+/// let plan = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+/// let mut engine = AdaptiveEngine::new(catalog, &plan, Strategy::Jisc).unwrap();
+/// engine.push_named("R", 7, 0).unwrap();
+/// engine.push_named("S", 7, 0).unwrap();
+/// engine.push_named("T", 7, 0).unwrap();
+/// assert_eq!(engine.output().count(), 1);
+///
+/// // The optimizer decides S and T should swap: migrate without halting.
+/// let better = PlanSpec::left_deep(&["R", "T", "S"], JoinStyle::Hash);
+/// engine.transition_to(&better).unwrap();
+/// engine.push_named("R", 7, 1).unwrap(); // keeps producing output
+/// assert_eq!(engine.output().count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveEngine {
+    inner: Inner,
+    strategy: Strategy,
+}
+
+impl AdaptiveEngine {
+    /// Build an engine over `catalog` running `spec` under `strategy`.
+    pub fn new(catalog: Catalog, spec: &PlanSpec, strategy: Strategy) -> Result<Self> {
+        let inner = match strategy {
+            Strategy::Jisc => Inner::Jisc(JiscExec::new(catalog, spec)?),
+            Strategy::MovingState => Inner::Ms(MovingStateExec::new(catalog, spec)?),
+            Strategy::ParallelTrack { check_period } => {
+                Inner::Pt(ParallelTrackExec::new(catalog, spec, check_period)?)
+            }
+        };
+        Ok(AdaptiveEngine { inner, strategy })
+    }
+
+    /// The strategy this engine was built with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Process one arrival to quiescence.
+    pub fn push(&mut self, stream: StreamId, key: Key, payload: u64) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.push(stream, key, payload),
+            Inner::Ms(e) => e.push(stream, key, payload),
+            Inner::Pt(e) => e.push(stream, key, payload),
+        }
+    }
+
+    /// Process one arrival by stream name.
+    pub fn push_named(&mut self, stream: &str, key: Key, payload: u64) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.push_named(stream, key, payload),
+            Inner::Ms(e) => e.push_named(stream, key, payload),
+            Inner::Pt(e) => e.push_named(stream, key, payload),
+        }
+    }
+
+    /// Process one arrival carrying an explicit timestamp (time windows).
+    pub fn push_at(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.push_at(stream, key, payload, ts),
+            Inner::Ms(e) => e.push_at(stream, key, payload, ts),
+            Inner::Pt(e) => e.push_at(stream, key, payload, ts),
+        }
+    }
+
+    /// Migrate to an equivalent plan at runtime.
+    pub fn transition_to(&mut self, new_spec: &PlanSpec) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.transition_to(new_spec),
+            Inner::Ms(e) => e.transition_to(new_spec),
+            Inner::Pt(e) => e.transition_to(new_spec),
+        }
+    }
+
+    /// The query output (merged across plans for Parallel Track).
+    pub fn output(&self) -> &OutputSink {
+        match &self.inner {
+            Inner::Jisc(e) => &e.pipeline().output,
+            Inner::Ms(e) => &e.pipeline().output,
+            Inner::Pt(e) => &e.output,
+        }
+    }
+
+    /// Execution counters (merged across plans for Parallel Track).
+    pub fn metrics(&self) -> Metrics {
+        match &self.inner {
+            Inner::Jisc(e) => e.pipeline().metrics.clone(),
+            Inner::Ms(e) => e.pipeline().metrics.clone(),
+            Inner::Pt(e) => e.metrics(),
+        }
+    }
+
+    /// The stream catalog.
+    pub fn catalog(&self) -> &Catalog {
+        match &self.inner {
+            Inner::Jisc(e) => e.pipeline().catalog(),
+            Inner::Ms(e) => e.pipeline().catalog(),
+            Inner::Pt(e) => e.catalog(),
+        }
+    }
+
+    /// Plans currently executing (always 1 except Parallel Track migration).
+    pub fn active_plans(&self) -> usize {
+        match &self.inner {
+            Inner::Pt(e) => e.active_plans(),
+            _ => 1,
+        }
+    }
+
+    /// States currently marked incomplete (JISC only; 0 otherwise).
+    pub fn incomplete_states(&self) -> usize {
+        match &self.inner {
+            Inner::Jisc(e) => e.incomplete_states(),
+            _ => 0,
+        }
+    }
+
+    /// Direct access to the JISC executor, if that is the strategy.
+    pub fn as_jisc(&self) -> Option<&JiscExec> {
+        match &self.inner {
+            Inner::Jisc(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the Parallel Track executor, if that is the strategy.
+    pub fn as_parallel_track(&self) -> Option<&ParallelTrackExec> {
+        match &self.inner {
+            Inner::Pt(e) => Some(e),
+            _ => None,
+        }
+    }
+}

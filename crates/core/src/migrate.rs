@@ -1,0 +1,200 @@
+//! Shared plan-transition machinery: equivalence checks, state adoption,
+//! and eager state construction.
+//!
+//! Every migration strategy performs the same skeleton (§4.1): finish the
+//! buffer-clearing phase through the old plan, record the transition
+//! instant, compile the new plan, verify it computes the same query, and
+//! move the states whose signatures survive. Strategies differ in what they
+//! do with the states that do *not* survive — JISC completes them lazily,
+//! Moving State builds them eagerly, Parallel Track keeps the old plan
+//! running instead.
+
+use jisc_common::{JiscError, Result, Tuple};
+use jisc_engine::{NodeId, OpClass, OpKind, Pipeline, Plan, Predicate};
+
+/// Verify that `new` evaluates the same query as `old`: identical root
+/// signature (operator class and covered stream set).
+pub fn verify_same_query(old: &Plan, new: &Plan) -> Result<()> {
+    let a = old.node(old.root()).signature;
+    let b = new.node(new.root()).signature;
+    if a != b {
+        return Err(JiscError::NotEquivalent(format!(
+            "root signatures differ: {a:?} vs {b:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Verify every binary operator in `plan` is order-insensitive, a
+/// precondition for any plan reordering to preserve query semantics:
+/// hash joins and `KeyEq` nested loops are; general theta predicates
+/// (`KeyLeq`, band joins) are not.
+pub fn verify_reorderable(plan: &Plan) -> Result<()> {
+    for id in plan.ids() {
+        if let OpKind::NljJoin(pred) = plan.node(id).op {
+            if !pred.is_reorderable() {
+                return Err(JiscError::NotEquivalent(format!(
+                    "predicate {pred:?} is not reorderable; plan transitions would \
+                     change query semantics"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Eagerly materialize the state of `node` from its children's states
+/// (which must be complete). This is the Moving State strategy's per-state
+/// recomputation (§3.2) and costs `O(w^2)` per join level — `O(w^h)`
+/// transitively — which is exactly the output-latency source of Figure 10.
+///
+/// Returns the number of entries built.
+pub fn build_state_eagerly(p: &mut Pipeline, node: NodeId) -> u64 {
+    let (Some(l), Some(r)) = (p.plan().node(node).left, p.plan().node(node).right) else {
+        return 0; // scans and aggregates are never rebuilt
+    };
+    debug_assert!(p.plan().node(l).state.is_complete());
+    debug_assert!(p.plan().node(r).state.is_complete());
+    let mut built = 0u64;
+    match p.plan().node(node).op.clone() {
+        OpKind::HashJoin => {
+            // Drive from the side with fewer distinct keys.
+            let (lk, rk) =
+                (p.plan().node(l).state.distinct_key_count(), p.plan().node(r).state.distinct_key_count());
+            let keys = if lk <= rk {
+                p.plan().node(l).state.distinct_keys()
+            } else {
+                p.plan().node(r).state.distinct_keys()
+            };
+            for key in keys {
+                let ls = p.lookup_state(l, key);
+                if ls.is_empty() {
+                    continue;
+                }
+                let rs = p.lookup_state(r, key);
+                for a in &ls {
+                    for b in &rs {
+                        let t = Tuple::joined(key, a.clone(), b.clone());
+                        p.state_insert(node, t);
+                        built += 1;
+                    }
+                }
+            }
+        }
+        OpKind::NljJoin(pred) => {
+            // Nested loops: full cross product with predicate evaluation —
+            // the quadratic rebuild the paper measures in Figure 10b.
+            let ls: Vec<Tuple> = p.plan().node(l).state.iter().cloned().collect();
+            let rs: Vec<Tuple> = p.plan().node(r).state.iter().cloned().collect();
+            p.metrics.nlj_comparisons += (ls.len() * rs.len()) as u64;
+            for a in &ls {
+                for b in &rs {
+                    if pred.eval(a.key(), b.key()) {
+                        let t = Tuple::joined(a.key(), a.clone(), b.clone());
+                        p.state_insert(node, t);
+                        built += 1;
+                    }
+                }
+            }
+        }
+        OpKind::SetDiff => {
+            let outers: Vec<Tuple> = p.plan().node(l).state.iter().cloned().collect();
+            for a in outers {
+                if !p.state_contains_key(r, a.key()) {
+                    p.state_insert(node, a);
+                    built += 1;
+                }
+            }
+        }
+        OpKind::Scan(_) | OpKind::Aggregate(_) => {}
+    }
+    p.metrics.eager_entries_built += built;
+    built
+}
+
+/// Which predicate class a node evaluates, for diagnostics.
+pub fn op_class(plan: &Plan, node: NodeId) -> OpClass {
+    plan.node(node).signature.class
+}
+
+/// `true` if the node is a binary stateful operator (join or set-diff).
+pub fn is_binary(plan: &Plan, node: NodeId) -> bool {
+    matches!(
+        plan.node(node).op,
+        OpKind::HashJoin | OpKind::NljJoin(_) | OpKind::SetDiff
+    )
+}
+
+/// Convenience: `true` when `pred` would be accepted by
+/// [`verify_reorderable`].
+pub fn predicate_reorderable(pred: Predicate) -> bool {
+    pred.is_reorderable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jisc_common::StreamId;
+    use jisc_engine::{Catalog, JoinStyle, PlanSpec};
+
+    #[test]
+    fn same_query_accepts_reorders_and_rejects_different_queries() {
+        let c = Catalog::uniform(&["R", "S", "T"], 10).unwrap();
+        let a = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash)).unwrap();
+        let b = Plan::compile(&c, &PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash)).unwrap();
+        assert!(verify_same_query(&a, &b).is_ok());
+        let two = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash)).unwrap();
+        assert!(verify_same_query(&a, &two).is_err());
+    }
+
+    #[test]
+    fn reorderable_check() {
+        let c = Catalog::uniform(&["R", "S"], 10).unwrap();
+        let hash = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash)).unwrap();
+        assert!(verify_reorderable(&hash).is_ok());
+        let nlj_eq = Plan::compile(
+            &c,
+            &PlanSpec::left_deep(&["R", "S"], JoinStyle::Nlj(Predicate::KeyEq)),
+        )
+        .unwrap();
+        assert!(verify_reorderable(&nlj_eq).is_ok());
+        let band = Plan::compile(
+            &c,
+            &PlanSpec::left_deep(&["R", "S"], JoinStyle::Nlj(Predicate::BandWithin(2))),
+        )
+        .unwrap();
+        assert!(verify_reorderable(&band).is_err());
+    }
+
+    #[test]
+    fn eager_build_materializes_join() {
+        let c = Catalog::uniform(&["R", "S"], 100).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut p = Pipeline::new(c, &spec).unwrap();
+        p.push(StreamId(0), 1, 0).unwrap();
+        p.push(StreamId(0), 1, 1).unwrap();
+        p.push(StreamId(1), 1, 0).unwrap();
+        p.push(StreamId(1), 2, 0).unwrap();
+        let root = p.plan().root();
+        // wipe the root state and rebuild it eagerly
+        p.plan_mut().node_mut(root).state.clear();
+        let built = build_state_eagerly(&mut p, root);
+        assert_eq!(built, 2); // two R(1) x one S(1)
+        assert_eq!(p.plan().node(root).state.len(), 2);
+        assert_eq!(p.metrics.eager_entries_built, 2);
+    }
+
+    #[test]
+    fn eager_build_set_diff() {
+        let c = Catalog::uniform(&["A", "B"], 100).unwrap();
+        let spec = PlanSpec::set_diff_chain(&["A", "B"]);
+        let mut p = Pipeline::new(c, &spec).unwrap();
+        p.push(StreamId(0), 1, 0).unwrap();
+        p.push(StreamId(0), 2, 0).unwrap();
+        p.push(StreamId(1), 2, 0).unwrap();
+        let root = p.plan().root();
+        p.plan_mut().node_mut(root).state.clear();
+        let built = build_state_eagerly(&mut p, root);
+        assert_eq!(built, 1); // only A(1) is visible
+    }
+}

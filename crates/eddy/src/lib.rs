@@ -1,0 +1,25 @@
+//! Eddy-based execution frameworks for the JISC reproduction (EDBT 2014).
+//!
+//! The paper compares JISC against two eddy-family systems:
+//!
+//! * [`cacq`] — **CACQ**: eddies over SteMs, no intermediate state, free
+//!   plan transitions, expensive normal operation (§3.1);
+//! * [`stairs`] — **STAIRs**: eddies with intermediate-state modules and
+//!   Promote/Demote migration, eager (the original, ≡ Moving State) or
+//!   lazy (**JISC applied to STAIRs**, §4.6);
+//! * [`mjoin`] — **MJoin**: the non-eddy n-ary symmetric hash join the
+//!   paper sets aside in §2.1, as an extra stateless baseline.
+//!
+//! Both reuse the tuple model from `jisc-common`; STAIRs reuses the
+//! operator-state machinery from `jisc-engine` with per-hop eddy routing
+//! costs accounted in `Metrics::eddy_hops`.
+
+pub mod cacq;
+pub mod mjoin;
+pub mod stairs;
+pub mod stem;
+
+pub use cacq::CacqExec;
+pub use mjoin::MJoinExec;
+pub use stairs::{StairsExec, StairsMode};
+pub use stem::Stem;

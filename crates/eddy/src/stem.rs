@@ -1,0 +1,113 @@
+//! SteMs — State Modules (Raman et al.; used by CACQ, §3.1).
+//!
+//! A SteM is a half-join: the hash-indexed sliding window of one stream.
+//! CACQ splits every binary join into SteMs, keeps *no* intermediate
+//! results, and rejoins arriving tuples across all other streams' SteMs.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use jisc_common::{BaseTuple, FxHashMap, Key, Metrics, StreamId, Tuple};
+
+/// The hash-indexed window of one stream.
+#[derive(Debug)]
+pub struct Stem {
+    stream: StreamId,
+    window: usize,
+    table: FxHashMap<Key, Vec<Tuple>>,
+    ring: VecDeque<Arc<BaseTuple>>,
+    len: usize,
+}
+
+impl Stem {
+    /// Empty SteM for `stream` with a count-based window of `window` tuples.
+    pub fn new(stream: StreamId, window: usize) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        Stem { stream, window, table: FxHashMap::default(), ring: VecDeque::new(), len: 0 }
+    }
+
+    /// The stream this SteM indexes.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Tuples currently held (equals the window size once warmed up).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the SteM holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an arrival, sliding the window. Unlike pipelined operator
+    /// states, eviction is local — CACQ stores no intermediate results, so
+    /// nothing propagates (§3.1).
+    pub fn insert(&mut self, t: Arc<BaseTuple>, m: &mut Metrics) {
+        if self.ring.len() == self.window {
+            let old = self.ring.pop_front().expect("non-empty ring");
+            if let Some(bucket) = self.table.get_mut(&old.key) {
+                let before = bucket.len();
+                bucket.retain(|e| !e.contains_base(old.stream, old.seq));
+                let gone = before - bucket.len();
+                self.len -= gone;
+                m.removals += gone as u64;
+                if bucket.is_empty() {
+                    self.table.remove(&old.key);
+                }
+            }
+        }
+        debug_assert_eq!(t.stream, self.stream, "tuple routed to wrong SteM");
+        m.inserts += 1;
+        self.len += 1;
+        self.table.entry(t.key).or_default().push(Tuple::Base(Arc::clone(&t)));
+        self.ring.push_back(t);
+    }
+
+    /// Probe for tuples matching `key` (Arc-cloned).
+    pub fn probe(&self, key: Key, m: &mut Metrics) -> Vec<Tuple> {
+        m.probes += 1;
+        self.table.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Distinct keys currently present.
+    pub fn distinct_keys(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(stream: u16, seq: u64, key: Key) -> Arc<BaseTuple> {
+        Arc::new(BaseTuple::new(StreamId(stream), seq, key, 0))
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut m = Metrics::new();
+        let mut s = Stem::new(StreamId(0), 10);
+        s.insert(arc(0, 1, 5), &mut m);
+        s.insert(arc(0, 2, 5), &mut m);
+        s.insert(arc(0, 3, 7), &mut m);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.probe(5, &mut m).len(), 2);
+        assert_eq!(s.probe(9, &mut m).len(), 0);
+        assert_eq!(s.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn window_slides_locally() {
+        let mut m = Metrics::new();
+        let mut s = Stem::new(StreamId(0), 2);
+        s.insert(arc(0, 1, 5), &mut m);
+        s.insert(arc(0, 2, 6), &mut m);
+        s.insert(arc(0, 3, 7), &mut m); // evicts seq 1
+        assert_eq!(s.len(), 2);
+        assert!(s.probe(5, &mut m).is_empty());
+        assert_eq!(s.probe(6, &mut m).len(), 1);
+        assert_eq!(m.removals, 1);
+    }
+}

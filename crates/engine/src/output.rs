@@ -1,0 +1,122 @@
+//! Query output sink: the root operator's emission log.
+
+use jisc_common::{FxHashMap, Key, Lineage, Tuple};
+
+/// Collects everything the plan root emits.
+///
+/// Output is an append-only log, matching the paper's stream semantics: a
+/// result is correct at emission time and is never retracted by later window
+/// slides. (Set-difference suppressions that reach the root are counted in
+/// [`OutputSink::retractions`] for observability but do not rewrite the log.)
+///
+/// The sink also supports *latency arming*: a migration strategy arms the
+/// sink when a transition is triggered, and the sink records how much work
+/// (an externally supplied monotonic counter) elapsed until the next
+/// emission — the paper's "output latency" measure (§6.3).
+#[derive(Debug, Default)]
+pub struct OutputSink {
+    /// Emitted result tuples, in emission order.
+    pub log: Vec<Tuple>,
+    /// Aggregate updates: `(group key or None for global, running count)`.
+    pub agg_log: Vec<(Option<Key>, u64)>,
+    /// Root-level suppressions observed (set-difference plans).
+    pub retractions: u64,
+    armed_at: Option<u64>,
+    /// Work elapsed between each arming and the next emission.
+    pub latency_marks: Vec<u64>,
+}
+
+impl OutputSink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        OutputSink::default()
+    }
+
+    /// Record an emission; `work_now` is the current monotonic work counter.
+    pub fn emit(&mut self, t: Tuple, work_now: u64) {
+        if let Some(at) = self.armed_at.take() {
+            self.latency_marks.push(work_now.saturating_sub(at));
+        }
+        self.log.push(t);
+    }
+
+    /// Arm the latency marker at the current work counter (called when a
+    /// plan transition is triggered).
+    pub fn arm_latency(&mut self, work_now: u64) {
+        self.armed_at = Some(work_now);
+    }
+
+    /// True if a latency measurement is pending (armed but not yet emitted).
+    pub fn latency_pending(&self) -> bool {
+        self.armed_at.is_some()
+    }
+
+    /// Number of emitted result tuples.
+    pub fn count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Multiset of output lineages — the canonical form used to compare two
+    /// executions for equality (Theorems 1–3).
+    pub fn lineage_multiset(&self) -> FxHashMap<Lineage, usize> {
+        let mut m: FxHashMap<Lineage, usize> = FxHashMap::default();
+        for t in &self.log {
+            *m.entry(t.lineage()).or_default() += 1;
+        }
+        m
+    }
+
+    /// True if no output lineage appears more than once (duplicate-freedom,
+    /// Theorem 3).
+    pub fn is_duplicate_free(&self) -> bool {
+        self.lineage_multiset().values().all(|&c| c == 1)
+    }
+
+    /// Clear the log (between experiment phases), keeping arming state.
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+        self.agg_log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jisc_common::{BaseTuple, StreamId};
+
+    fn bt(stream: u16, seq: u64, key: Key) -> Tuple {
+        Tuple::base(BaseTuple::new(StreamId(stream), seq, key, 0))
+    }
+
+    #[test]
+    fn emit_logs_and_counts() {
+        let mut s = OutputSink::new();
+        s.emit(bt(0, 1, 5), 10);
+        s.emit(bt(0, 2, 5), 20);
+        assert_eq!(s.count(), 2);
+        assert!(s.is_duplicate_free());
+    }
+
+    #[test]
+    fn latency_marks_measure_to_first_emission() {
+        let mut s = OutputSink::new();
+        s.arm_latency(100);
+        assert!(s.latency_pending());
+        s.emit(bt(0, 1, 5), 175);
+        s.emit(bt(0, 2, 5), 500); // second emission does not re-mark
+        assert_eq!(s.latency_marks, vec![75]);
+        assert!(!s.latency_pending());
+        s.arm_latency(600);
+        s.emit(bt(0, 3, 5), 630);
+        assert_eq!(s.latency_marks, vec![75, 30]);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut s = OutputSink::new();
+        s.emit(bt(0, 1, 5), 0);
+        s.emit(bt(0, 1, 5), 0);
+        assert!(!s.is_duplicate_free());
+        assert_eq!(s.lineage_multiset().values().copied().max(), Some(2));
+    }
+}

@@ -1,0 +1,574 @@
+//! The pipelined execution engine: streams in, operator tree, results out.
+//!
+//! A [`Pipeline`] owns a compiled [`Plan`], the per-stream sliding-window
+//! rings, the freshness bookkeeping of §4.4, the output sink, and the
+//! execution metrics. Tuples are [`Pipeline::ingest`]ed into per-operator
+//! input queues and drained by [`Pipeline::run_with`] under a pluggable
+//! [`Semantics`] — the default semantics implement plain symmetric-hash-join
+//! pipelining (§2.1); the JISC, Moving State, and Parallel Track strategies
+//! in `jisc-core` supply their own.
+
+use std::sync::Arc;
+
+use jisc_common::{
+    BaseTuple, FxHashMap, JiscError, Key, Lineage, Metrics, Result, SeqNo, StreamId, Tuple,
+};
+
+use crate::ops::DefaultSemantics;
+use crate::output::OutputSink;
+use crate::plan::{NodeId, Payload, Plan, QueueItem, Signature};
+use crate::predicate::Predicate;
+use crate::spec::{Catalog, PlanSpec, WindowSpec};
+use crate::state::State;
+
+/// Pluggable operator semantics: how one queued item is processed at a node.
+///
+/// Implementations receive the whole pipeline so they can probe sibling
+/// states, insert results, and forward items. [`DefaultSemantics`] gives the
+/// paper's plain pipelined execution; migration strategies override it.
+pub trait Semantics {
+    /// Process one queue item at `node`.
+    fn process(&mut self, p: &mut Pipeline, node: NodeId, item: QueueItem);
+}
+
+/// Result of [`Pipeline::adopt_states`]: which signatures were adopted into
+/// the running plan, and the donor states that were discarded.
+#[derive(Debug)]
+pub struct AdoptionOutcome {
+    /// Signatures whose states moved into the new plan.
+    pub adopted: Vec<Signature>,
+    /// Old-plan states with no matching node in the new plan.
+    pub discarded: Vec<(Signature, State)>,
+}
+
+/// The execution engine for one query.
+#[derive(Debug)]
+pub struct Pipeline {
+    catalog: Catalog,
+    plan: Plan,
+    /// Per-stream window ring: `(timestamp, tuple)` in arrival order,
+    /// oldest at the front. Timestamps drive time-based windows; count
+    /// windows ignore them.
+    rings: Vec<std::collections::VecDeque<(u64, Arc<BaseTuple>)>>,
+    /// Per-stream, per-key sequence number of the most recent arrival
+    /// (Definition 2 freshness is an O(1) probe of this map, §4.4).
+    fresh: Vec<FxHashMap<Key, SeqNo>>,
+    next_seq: SeqNo,
+    /// Most recent arrival timestamp (monotonicity enforced for push_at).
+    last_ts: u64,
+    /// Cached: does any stream use a time-based window?
+    has_time_windows: bool,
+    last_transition_seq: SeqNo,
+    /// Items currently sitting in operator input queues (scheduler state).
+    pending_items: usize,
+    /// Query output.
+    pub output: OutputSink,
+    /// Execution counters.
+    pub metrics: Metrics,
+}
+
+impl Pipeline {
+    /// Compile `spec` against `catalog` and build an empty pipeline.
+    pub fn new(catalog: Catalog, spec: &PlanSpec) -> Result<Self> {
+        let plan = Plan::compile(&catalog, spec)?;
+        let n = catalog.len();
+        let has_time_windows = !catalog.all_count_windows();
+        Ok(Pipeline {
+            catalog,
+            plan,
+            rings: vec![Default::default(); n],
+            fresh: vec![Default::default(); n],
+            next_seq: 0,
+            last_ts: 0,
+            has_time_windows,
+            last_transition_seq: 0,
+            pending_items: 0,
+            output: OutputSink::new(),
+            metrics: Metrics::new(),
+        })
+    }
+
+    // ----- accessors -----
+
+    /// The stream catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The running plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Mutable access to the running plan (migration layer).
+    pub fn plan_mut(&mut self) -> &mut Plan {
+        &mut self.plan
+    }
+
+    /// Sequence number the next arrival will get.
+    pub fn next_seq(&self) -> SeqNo {
+        self.next_seq
+    }
+
+    /// Align this pipeline's sequence counter with another's. The Parallel
+    /// Track strategy spawns a second pipeline mid-stream and both must
+    /// assign identical sequence numbers to the same arrivals so lineages
+    /// (the duplicate-elimination identity) agree across plans.
+    pub fn set_next_seq(&mut self, seq: SeqNo) {
+        self.next_seq = seq;
+        self.last_transition_seq = self.last_transition_seq.min(seq);
+    }
+
+    /// Sequence number recorded at the most recent plan transition.
+    pub fn last_transition_seq(&self) -> SeqNo {
+        self.last_transition_seq
+    }
+
+    /// Current window contents of a stream (oldest first), with the
+    /// timestamp each tuple arrived at.
+    pub fn window_of(&self, s: StreamId) -> &std::collections::VecDeque<(u64, Arc<BaseTuple>)> {
+        &self.rings[s.0 as usize]
+    }
+
+    /// Monotonic work counter used for latency measurements.
+    pub fn work_now(&self) -> u64 {
+        self.metrics.total_work()
+    }
+
+    // ----- ingestion -----
+
+    /// Accept one arrival: assigns a sequence number, classifies freshness,
+    /// slides the stream's window (enqueuing the expiry removal first), and
+    /// enqueues the insert at the stream's scan node. Does **not** run the
+    /// pipeline; call [`Pipeline::run_with`] (or use a strategy executor).
+    ///
+    /// One arrival must be fully processed before the next is ingested
+    /// (enforced): with symmetric joins, batching arrivals would let a
+    /// tuple probe partners that arrived *after* it, changing the query's
+    /// answer relative to the arrival order.
+    pub fn ingest(&mut self, stream: StreamId, key: Key, payload: u64) -> Result<()> {
+        let ts = self.last_ts.max(self.next_seq);
+        self.ingest_at(stream, key, payload, ts)
+    }
+
+    /// [`Pipeline::ingest`] with an explicit arrival timestamp (drives
+    /// time-based windows; must be monotonically non-decreasing). For
+    /// count-windowed streams the timestamp is recorded but irrelevant.
+    ///
+    /// Time-window expiry: every tuple whose age reaches the stream's
+    /// window duration at this timestamp is removed — possibly several per
+    /// arrival, possibly none.
+    pub fn ingest_at(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
+        if self.pending_items > 0 {
+            return Err(JiscError::InvalidConfig(
+                "previous arrival not yet processed: run the pipeline before \
+                 ingesting the next tuple"
+                    .into(),
+            ));
+        }
+        if ts < self.last_ts {
+            return Err(JiscError::InvalidConfig(format!(
+                "timestamps must be monotonic: {ts} < {}",
+                self.last_ts
+            )));
+        }
+        self.last_ts = ts;
+        let scan = self
+            .plan
+            .scan_of(stream)
+            .ok_or_else(|| JiscError::UnknownStream(format!("{stream}")))?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.metrics.tuples_in += 1;
+
+        // Slide windows before recording the new arrival, so the expiring
+        // tuples' freshness reflects arrivals strictly before this one.
+        // Count windows slide only on their own stream's arrivals; time
+        // windows are driven by the clock, so *every* time-windowed stream
+        // is aged on every arrival.
+        let mut expired: Vec<Arc<BaseTuple>> = Vec::new();
+        if self.has_time_windows {
+            for i in 0..self.catalog.len() {
+                let s = StreamId(i as u16);
+                match self.catalog.window_spec(s) {
+                    WindowSpec::Count(w) => {
+                        if s != stream {
+                            continue;
+                        }
+                        let ring = &mut self.rings[i];
+                        if ring.len() == w {
+                            expired.push(ring.pop_front().expect("non-empty ring").1);
+                        }
+                    }
+                    WindowSpec::Time(d) => {
+                        // A tuple is inside the window while `ts - arrival < d`.
+                        let ring = &mut self.rings[i];
+                        while ring.front().is_some_and(|(at, _)| ts.saturating_sub(*at) >= d) {
+                            expired.push(ring.pop_front().expect("non-empty ring").1);
+                        }
+                    }
+                }
+            }
+        } else if let WindowSpec::Count(w) = self.catalog.window_spec(stream) {
+            // Fast path: count windows slide only the arriving stream.
+            let ring = &mut self.rings[stream.0 as usize];
+            if ring.len() == w {
+                expired.push(ring.pop_front().expect("non-empty ring").1);
+            }
+        }
+        for old in expired {
+            let old_scan = self
+                .plan
+                .scan_of(old.stream)
+                .ok_or_else(|| JiscError::UnknownStream(format!("{}", old.stream)))?;
+            let old_fresh = self.fresh[old.stream.0 as usize]
+                .get(&old.key)
+                .is_none_or(|&s| s < self.last_transition_seq);
+            self.pending_items += 1;
+            self.plan.node_mut(old_scan).queue.push_back(QueueItem {
+                from: None,
+                payload: Payload::Remove {
+                    stream: old.stream,
+                    seq: old.seq,
+                    key: old.key,
+                    fresh: old_fresh,
+                },
+            });
+        }
+
+        let prev = self.fresh[stream.0 as usize].insert(key, seq);
+        let fresh = prev.is_none_or(|s| s < self.last_transition_seq);
+        let base = Arc::new(BaseTuple::new(stream, seq, key, payload));
+        self.rings[stream.0 as usize].push_back((ts, Arc::clone(&base)));
+        self.pending_items += 1;
+        self.plan.node_mut(scan).queue.push_back(QueueItem {
+            from: None,
+            payload: Payload::Insert { tuple: Tuple::Base(base), fresh },
+        });
+        Ok(())
+    }
+
+
+    /// [`Pipeline::ingest`] by stream name.
+    pub fn ingest_named(&mut self, stream: &str, key: Key, payload: u64) -> Result<()> {
+        let id = self.catalog.id(stream)?;
+        self.ingest(id, key, payload)
+    }
+
+    /// Is a (hypothetical) arrival with `key` on `stream` fresh right now
+    /// (Definition 2)? O(1), as in §4.4.
+    pub fn is_fresh(&self, stream: StreamId, key: Key) -> bool {
+        self.fresh[stream.0 as usize]
+            .get(&key)
+            .is_none_or(|&s| s < self.last_transition_seq)
+    }
+
+    // ----- execution -----
+
+    /// Drain all queues to quiescence under the given semantics.
+    pub fn run_with(&mut self, sem: &mut impl Semantics) {
+        // Bottom-up passes: children drain before parents, so one pass
+        // usually reaches quiescence; the pending-item counter makes both
+        // the outer loop and the per-node scans cheap to terminate.
+        while self.pending_items > 0 {
+            for i in 0..self.plan.topo().len() {
+                let id = self.plan.topo()[i];
+                while let Some(item) = self.plan.node_mut(id).queue.pop_front() {
+                    self.pending_items -= 1;
+                    sem.process(self, id, item);
+                }
+            }
+        }
+    }
+
+    /// Drain all queues under the default (plain pipelined) semantics.
+    pub fn run(&mut self) {
+        self.run_with(&mut DefaultSemantics);
+    }
+
+    /// Ingest then immediately run with the given semantics.
+    pub fn push_with(
+        &mut self,
+        sem: &mut impl Semantics,
+        stream: StreamId,
+        key: Key,
+        payload: u64,
+    ) -> Result<()> {
+        self.ingest(stream, key, payload)?;
+        self.run_with(sem);
+        Ok(())
+    }
+
+    /// Ingest then immediately run with default semantics.
+    pub fn push(&mut self, stream: StreamId, key: Key, payload: u64) -> Result<()> {
+        self.push_with(&mut DefaultSemantics, stream, key, payload)
+    }
+
+    /// Ingest at an explicit timestamp, then run with the given semantics.
+    pub fn push_at_with(
+        &mut self,
+        sem: &mut impl Semantics,
+        stream: StreamId,
+        key: Key,
+        payload: u64,
+        ts: u64,
+    ) -> Result<()> {
+        self.ingest_at(stream, key, payload, ts)?;
+        self.run_with(sem);
+        Ok(())
+    }
+
+    /// Ingest at an explicit timestamp, then run with default semantics.
+    pub fn push_at(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
+        self.push_at_with(&mut DefaultSemantics, stream, key, payload, ts)
+    }
+
+    // ----- helpers used by operator semantics -----
+
+    /// Probe node `n`'s state for `key` (clones matches; `Arc` bumps).
+    pub fn lookup_state(&mut self, n: NodeId, key: Key) -> Vec<Tuple> {
+        // Split borrows: plan (shared) and metrics (mutable) are disjoint.
+        self.plan.node(n).state.lookup(key, &mut self.metrics)
+    }
+
+    /// Theta-scan node `n`'s state.
+    pub fn scan_theta_state(
+        &mut self,
+        n: NodeId,
+        pred: Predicate,
+        probe_key: Key,
+        stored_is_left: bool,
+    ) -> Vec<Tuple> {
+        self.plan.node(n).state.scan_theta(pred, probe_key, stored_is_left, &mut self.metrics)
+    }
+
+    /// Does node `n`'s state contain `key`?
+    pub fn state_contains_key(&mut self, n: NodeId, key: Key) -> bool {
+        self.plan.node(n).state.contains_key(key, &mut self.metrics)
+    }
+
+    /// Insert into node `n`'s state.
+    pub fn state_insert(&mut self, n: NodeId, t: Tuple) {
+        self.plan.node_mut(n).state.insert(t, &mut self.metrics);
+    }
+
+    /// Insert into node `n`'s state unless an equal-lineage entry exists.
+    pub fn state_insert_if_absent(&mut self, n: NodeId, t: Tuple) -> bool {
+        self.plan.node_mut(n).state.insert_if_absent(t, &mut self.metrics)
+    }
+
+    /// Remove entries containing a base tuple from node `n`'s state;
+    /// returns the number removed.
+    pub fn state_remove_containing(
+        &mut self,
+        n: NodeId,
+        stream: StreamId,
+        seq: SeqNo,
+        key: Key,
+    ) -> usize {
+        self.plan.node_mut(n).state.remove_containing(stream, seq, key, &mut self.metrics)
+    }
+
+    /// Remove entries whose lineage is a superset of `lin` from node `n`;
+    /// returns the number removed.
+    pub fn state_remove_superset(&mut self, n: NodeId, lin: &Lineage, key: Key) -> usize {
+        self.plan.node_mut(n).state.remove_superset(lin, key, &mut self.metrics)
+    }
+
+    /// Remove all entries stored under `key` from node `n`'s state;
+    /// returns the number removed.
+    pub fn state_remove_key(&mut self, n: NodeId, key: Key) -> usize {
+        self.plan.node_mut(n).state.remove_key(key, &mut self.metrics)
+    }
+
+    /// Remove one exact entry (by lineage) from node `n`'s state.
+    pub fn state_remove_by_lineage(&mut self, n: NodeId, lin: &Lineage, key: Key) -> bool {
+        self.plan.node_mut(n).state.remove_by_lineage(lin, key, &mut self.metrics)
+    }
+
+    /// Does node `n`'s state contain any entry with a constituent older
+    /// than `seq`? (Parallel Track discard check, §3.3.)
+    pub fn state_has_entry_older_than(&mut self, n: NodeId, seq: SeqNo) -> bool {
+        self.plan.node(n).state.has_entry_older_than(seq, &mut self.metrics)
+    }
+
+    /// Enqueue an item at node `n`.
+    pub fn enqueue(&mut self, n: NodeId, item: QueueItem) {
+        self.pending_items += 1;
+        self.plan.node_mut(n).queue.push_back(item);
+    }
+
+    /// Forward a payload from `node` to its parent, or handle it at the top:
+    /// inserts are emitted as query output; removals of emitted results are
+    /// counted as retractions.
+    pub fn forward_or_emit(&mut self, node: NodeId, payload: Payload) {
+        match self.plan.node(node).parent {
+            Some(parent) => self.enqueue(parent, QueueItem { from: Some(node), payload }),
+            None => match payload {
+                Payload::Insert { tuple, .. } => self.emit(tuple),
+                Payload::Remove { .. }
+                | Payload::RemoveEntry { .. }
+                | Payload::SuppressKey { .. } => {
+                    self.output.retractions += 1;
+                }
+            },
+        }
+    }
+
+    /// Emit a result tuple at the root.
+    pub fn emit(&mut self, t: Tuple) {
+        self.metrics.tuples_out += 1;
+        let work = self.metrics.total_work();
+        self.output.emit(t, work);
+    }
+
+    // ----- migration support -----
+
+    /// Record that a plan transition has been decided *now*: future arrivals
+    /// are classified fresh/attempted relative to this instant (§4.4), and
+    /// the sink is armed for a latency measurement (§6.3).
+    pub fn mark_transition(&mut self) {
+        self.last_transition_seq = self.next_seq;
+        self.metrics.transitions += 1;
+        let work = self.metrics.total_work();
+        self.output.arm_latency(work);
+    }
+
+    /// Swap in a new plan, returning the old one. Queues of the old plan
+    /// must be empty (safe transition, §4.1) — enforced, since discarding
+    /// states under queued tuples breaks correctness.
+    pub fn replace_plan(&mut self, new_plan: Plan) -> Plan {
+        assert!(
+            self.plan.queues_empty(),
+            "safe transition requires empty input queues (buffer-clearing phase, §4.1)"
+        );
+        std::mem::replace(&mut self.plan, new_plan)
+    }
+
+    /// Compile a spec against this pipeline's catalog (new-plan construction).
+    pub fn compile(&self, spec: &PlanSpec) -> Result<Plan> {
+        Plan::compile(&self.catalog, spec)
+    }
+
+    /// Move states out of `donor` into the running plan wherever signatures
+    /// match, calling `classify` on each adopted state (with the signature)
+    /// and leaving non-matching new-plan states untouched. Returns the
+    /// adopted signatures and the donor states that found no home (the
+    /// states a migration discards). Used by every migration strategy.
+    pub fn adopt_states(
+        &mut self,
+        donor: &mut Plan,
+        mut classify: impl FnMut(Signature, &mut State),
+    ) -> AdoptionOutcome {
+        let mut donated = donor.take_states();
+        let mut adopted = Vec::new();
+        for id in self.plan.ids().collect::<Vec<_>>() {
+            let sig = self.plan.node(id).signature;
+            if let Some(mut st) = donated.remove(&sig) {
+                classify(sig, &mut st);
+                self.plan.node_mut(id).state = st;
+                adopted.push(sig);
+                self.metrics.states_copied += 1;
+            }
+        }
+        AdoptionOutcome { adopted, discarded: donated.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JoinStyle;
+
+    fn pipeline(streams: &[&str], window: usize) -> Pipeline {
+        let c = Catalog::uniform(streams, window).unwrap();
+        let spec = PlanSpec::left_deep(streams, JoinStyle::Hash);
+        Pipeline::new(c, &spec).unwrap()
+    }
+
+    #[test]
+    fn two_way_join_produces_matches() {
+        let mut p = pipeline(&["R", "S"], 100);
+        p.push(StreamId(0), 1, 0).unwrap();
+        p.push(StreamId(1), 1, 0).unwrap(); // matches r
+        p.push(StreamId(1), 2, 0).unwrap(); // no match
+        p.push(StreamId(0), 2, 0).unwrap(); // matches s2
+        assert_eq!(p.output.count(), 2);
+        assert!(p.output.is_duplicate_free());
+        assert_eq!(p.metrics.tuples_in, 4);
+        assert_eq!(p.metrics.tuples_out, 2);
+    }
+
+    #[test]
+    fn three_way_join_needs_all_streams() {
+        let mut p = pipeline(&["R", "S", "T"], 100);
+        p.push(StreamId(0), 7, 0).unwrap();
+        p.push(StreamId(1), 7, 0).unwrap();
+        assert_eq!(p.output.count(), 0); // no T tuple yet
+        p.push(StreamId(2), 7, 0).unwrap();
+        assert_eq!(p.output.count(), 1);
+        assert_eq!(p.output.log[0].arity(), 3);
+    }
+
+    #[test]
+    fn window_expiry_removes_matches() {
+        let mut p = pipeline(&["R", "S"], 2);
+        p.push(StreamId(0), 1, 0).unwrap();
+        p.push(StreamId(0), 2, 0).unwrap();
+        p.push(StreamId(0), 3, 0).unwrap(); // expires r(key=1)
+        p.push(StreamId(1), 1, 0).unwrap(); // r(1) gone: no match
+        assert_eq!(p.output.count(), 0);
+        p.push(StreamId(1), 3, 0).unwrap(); // r(3) still in window
+        assert_eq!(p.output.count(), 1);
+    }
+
+    #[test]
+    fn freshness_tracks_transitions() {
+        let mut p = pipeline(&["R", "S"], 100);
+        p.push(StreamId(0), 5, 0).unwrap();
+        // No transition yet: everything arriving "after the most recent
+        // transition" (seq 0) with a prior same-key arrival is attempted.
+        assert!(!p.is_fresh(StreamId(0), 5));
+        assert!(p.is_fresh(StreamId(0), 6));
+        assert!(p.is_fresh(StreamId(1), 5)); // per-stream tracking
+        p.mark_transition();
+        assert!(p.is_fresh(StreamId(0), 5)); // old arrival predates transition
+        p.push(StreamId(0), 5, 0).unwrap();
+        assert!(!p.is_fresh(StreamId(0), 5));
+    }
+
+    #[test]
+    fn duplicate_keys_join_cross_product() {
+        let mut p = pipeline(&["R", "S"], 100);
+        p.push(StreamId(0), 1, 0).unwrap();
+        p.push(StreamId(0), 1, 1).unwrap();
+        p.push(StreamId(1), 1, 0).unwrap(); // joins both r's
+        assert_eq!(p.output.count(), 2);
+    }
+
+    #[test]
+    fn ingest_unknown_stream_errors() {
+        let mut p = pipeline(&["R", "S"], 10);
+        assert!(p.ingest(StreamId(9), 1, 0).is_err());
+        assert!(p.ingest_named("Z", 1, 0).is_err());
+    }
+
+    #[test]
+    fn root_state_materializes_results() {
+        let mut p = pipeline(&["R", "S"], 100);
+        p.push(StreamId(0), 1, 0).unwrap();
+        p.push(StreamId(1), 1, 0).unwrap();
+        let root = p.plan().root();
+        assert_eq!(p.plan().node(root).state.len(), 1);
+    }
+
+    #[test]
+    fn latency_marker_records_on_next_emit() {
+        let mut p = pipeline(&["R", "S"], 100);
+        p.push(StreamId(0), 1, 0).unwrap();
+        p.mark_transition();
+        assert!(p.output.latency_pending());
+        p.push(StreamId(1), 1, 0).unwrap();
+        assert_eq!(p.output.latency_marks.len(), 1);
+    }
+}

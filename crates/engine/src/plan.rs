@@ -1,0 +1,548 @@
+//! Runtime plan: an arena of operator nodes compiled from a [`PlanSpec`].
+
+use std::collections::VecDeque;
+
+use jisc_common::{
+    FxHashMap, JiscError, Key, Lineage, Result, SeqNo, StreamId, Tuple,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::predicate::Predicate;
+use crate::spec::{AggKind, Catalog, JoinStyle, PlanSpec, SpecNode};
+use crate::state::{State, StoreKind};
+
+/// Index of a node in the plan arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Bitmask of streams covered by a subtree (≤64 streams per catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamSet(pub u64);
+
+impl StreamSet {
+    /// Empty set.
+    pub const EMPTY: StreamSet = StreamSet(0);
+
+    /// Set containing exactly one stream.
+    pub fn singleton(s: StreamId) -> Self {
+        StreamSet(1u64 << s.0)
+    }
+
+    /// Union of two sets.
+    pub fn union(self, other: StreamSet) -> Self {
+        StreamSet(self.0 | other.0)
+    }
+
+    /// Membership test.
+    pub fn contains(self, s: StreamId) -> bool {
+        self.0 & (1u64 << s.0) != 0
+    }
+
+    /// Number of streams in the set.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterate over member stream ids.
+    pub fn iter(self) -> impl Iterator<Item = StreamId> {
+        (0..64u16).filter(move |i| self.0 & (1u64 << i) != 0).map(StreamId)
+    }
+}
+
+/// Semantic class of an operator, used for state identity across plans.
+///
+/// Two nodes in different plans hold logically identical states iff their
+/// [`Signature`]s are equal (Definition 1's "exists in the old plan").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Stream scan.
+    Scan,
+    /// Equi-join on the shared attribute (hash or `KeyEq` nested loops —
+    /// the state contents are identical either way).
+    EquiJoin,
+    /// Theta join with a non-equi predicate; order-sensitive, so the
+    /// predicate participates in identity.
+    ThetaJoin(Predicate),
+    /// Set difference; the outer side must match for states to coincide
+    /// (`(A−B)−C` and `(A−C)−B` hold the same state, `(B−A)−C` does not).
+    SetDiff {
+        /// Streams on the outer (preserved) side.
+        outer: StreamSet,
+    },
+    /// Aggregate above the root (never migrated; always complete).
+    Aggregate,
+}
+
+/// State identity: operator class plus covered stream set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Semantic operator class.
+    pub class: OpClass,
+    /// Streams covered by the node's subtree.
+    pub streams: StreamSet,
+}
+
+/// Operator kind of a runtime node.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// Leaf scan of one stream; state = window contents.
+    Scan(StreamId),
+    /// Symmetric hash join; state = materialized join of children states.
+    HashJoin,
+    /// Nested-loops join with a theta predicate; state is a list.
+    NljJoin(Predicate),
+    /// Set difference (`left − right`); state = visible outer tuples.
+    SetDiff,
+    /// Aggregate above the root (§4.7).
+    Aggregate(AggKind),
+}
+
+/// An item waiting in an operator's input queue (§2.1: push-based operators
+/// with input queues).
+#[derive(Debug, Clone)]
+pub struct QueueItem {
+    /// Child node that produced the item (`None` for external arrivals at a
+    /// scan). Binary operators use this to orient left/right.
+    pub from: Option<NodeId>,
+    /// The work to perform.
+    pub payload: Payload,
+}
+
+/// What a queue item asks the operator to do.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Process a newly produced tuple.
+    Insert {
+        /// The tuple to process.
+        tuple: Tuple,
+        /// Definition 2 classification of the triggering base arrival.
+        fresh: bool,
+    },
+    /// A base tuple left its window: purge entries containing it (§2.1/§4.2).
+    Remove {
+        /// Stream of the expired tuple.
+        stream: StreamId,
+        /// Arrival sequence number of the expired tuple.
+        seq: SeqNo,
+        /// Join-attribute value of the expired tuple (bucket hint).
+        key: Key,
+        /// Freshness of the expired tuple's key (§4.4 optimization).
+        fresh: bool,
+    },
+    /// Set-difference suppression through an *incomplete* state (§4.7): an
+    /// inner arrival could not prove local absence, so every entry with this
+    /// key at upper states must be purged.
+    SuppressKey {
+        /// Join-attribute value being suppressed.
+        key: Key,
+        /// Freshness of the triggering arrival's key.
+        fresh: bool,
+    },
+    /// A specific entry was suppressed (set-difference): purge entries whose
+    /// lineage contains all of this entry's constituents.
+    RemoveEntry {
+        /// Lineage of the suppressed entry.
+        lineage: Lineage,
+        /// Its join-attribute value (bucket hint).
+        key: Key,
+        /// Freshness of the triggering arrival's key.
+        fresh: bool,
+    },
+}
+
+/// One operator in the runtime plan.
+#[derive(Debug)]
+pub struct Node {
+    /// What the operator does.
+    pub op: OpKind,
+    /// Parent node (None at the top).
+    pub parent: Option<NodeId>,
+    /// Left child.
+    pub left: Option<NodeId>,
+    /// Right child.
+    pub right: Option<NodeId>,
+    /// Materialized output state.
+    pub state: State,
+    /// Input queue (§2.1).
+    pub queue: VecDeque<QueueItem>,
+    /// State identity across plans.
+    pub signature: Signature,
+}
+
+/// A compiled runtime plan.
+#[derive(Debug)]
+pub struct Plan {
+    nodes: Vec<Node>,
+    root: NodeId,
+    scans: FxHashMap<StreamId, NodeId>,
+    /// Bottom-up (children before parents) node order.
+    topo: Vec<NodeId>,
+}
+
+impl Plan {
+    /// Compile a spec against a catalog.
+    pub fn compile(catalog: &Catalog, spec: &PlanSpec) -> Result<Plan> {
+        spec.validate(catalog)?;
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut scans = FxHashMap::default();
+        let root = build(catalog, &spec.root, &mut nodes, &mut scans)?;
+        let root = if let Some(agg) = spec.aggregate {
+            let streams = nodes[root.0 as usize].signature.streams;
+            let id = NodeId(nodes.len() as u32);
+            nodes[root.0 as usize].parent = Some(id);
+            nodes.push(Node {
+                op: OpKind::Aggregate(agg),
+                parent: None,
+                left: Some(root),
+                right: None,
+                state: State::new(StoreKind::Hash),
+                queue: VecDeque::new(),
+                signature: Signature { class: OpClass::Aggregate, streams },
+            });
+            id
+        } else {
+            root
+        };
+        let mut topo = Vec::with_capacity(nodes.len());
+        topo_order(&nodes, root, &mut topo);
+        Ok(Plan { nodes, root, scans, topo })
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Scan node for a stream.
+    pub fn scan_of(&self, s: StreamId) -> Option<NodeId> {
+        self.scans.get(&s).copied()
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node by id.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Two nodes mutably at once (distinct ids).
+    pub fn two_nodes_mut(&mut self, a: NodeId, b: NodeId) -> (&mut Node, &mut Node) {
+        assert_ne!(a, b, "two_nodes_mut requires distinct nodes");
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < bi {
+            let (lo, hi) = self.nodes.split_at_mut(bi);
+            (&mut lo[ai], &mut hi[0])
+        } else {
+            let (lo, hi) = self.nodes.split_at_mut(ai);
+            let (x, y) = (&mut hi[0], &mut lo[bi]);
+            (x, y)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the plan has no nodes (never true once compiled).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Bottom-up node order (children before parents).
+    pub fn topo(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// All node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The sibling ("opposite operator") of `child` under `parent`.
+    pub fn sibling(&self, parent: NodeId, child: NodeId) -> Option<NodeId> {
+        let p = self.node(parent);
+        if p.left == Some(child) {
+            p.right
+        } else if p.right == Some(child) {
+            p.left
+        } else {
+            None
+        }
+    }
+
+    /// True if `child` is the left child of `parent`.
+    pub fn is_left_child(&self, parent: NodeId, child: NodeId) -> bool {
+        self.node(parent).left == Some(child)
+    }
+
+    /// True if every queue in the plan is empty.
+    pub fn queues_empty(&self) -> bool {
+        self.nodes.iter().all(|n| n.queue.is_empty())
+    }
+
+    /// Total queued items across all nodes.
+    pub fn queued_items(&self) -> usize {
+        self.nodes.iter().map(|n| n.queue.len()).sum()
+    }
+
+    /// Move all states out, keyed by signature (transition support).
+    pub fn take_states(&mut self) -> FxHashMap<Signature, State> {
+        let mut out = FxHashMap::default();
+        for n in &mut self.nodes {
+            let kind = n.state.kind();
+            let st = std::mem::replace(&mut n.state, State::new(kind));
+            out.insert(n.signature, st);
+        }
+        out
+    }
+
+    /// True if the plan is a left-deep chain (every right child is a leaf).
+    pub fn is_left_deep(&self) -> bool {
+        self.nodes.iter().all(|n| match n.op {
+            OpKind::HashJoin | OpKind::NljJoin(_) | OpKind::SetDiff => {
+                let r = n.right.expect("binary node has right child");
+                matches!(self.node(r).op, OpKind::Scan(_))
+            }
+            _ => true,
+        })
+    }
+}
+
+fn build(
+    catalog: &Catalog,
+    spec: &SpecNode,
+    nodes: &mut Vec<Node>,
+    scans: &mut FxHashMap<StreamId, NodeId>,
+) -> Result<NodeId> {
+    match spec {
+        SpecNode::Scan(name) => {
+            let sid = catalog.id(name)?;
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(Node {
+                op: OpKind::Scan(sid),
+                parent: None,
+                left: None,
+                right: None,
+                state: State::new(StoreKind::Hash),
+                queue: VecDeque::new(),
+                signature: Signature { class: OpClass::Scan, streams: StreamSet::singleton(sid) },
+            });
+            scans.insert(sid, id);
+            Ok(id)
+        }
+        SpecNode::Join { style, left, right } => {
+            let l = build(catalog, left, nodes, scans)?;
+            let r = build(catalog, right, nodes, scans)?;
+            let streams =
+                nodes[l.0 as usize].signature.streams.union(nodes[r.0 as usize].signature.streams);
+            let (op, store, class) = match style {
+                JoinStyle::Hash => (OpKind::HashJoin, StoreKind::Hash, OpClass::EquiJoin),
+                JoinStyle::Nlj(p) => {
+                    let class =
+                        if *p == Predicate::KeyEq { OpClass::EquiJoin } else { OpClass::ThetaJoin(*p) };
+                    (OpKind::NljJoin(*p), StoreKind::List, class)
+                }
+            };
+            let id = NodeId(nodes.len() as u32);
+            nodes[l.0 as usize].parent = Some(id);
+            nodes[r.0 as usize].parent = Some(id);
+            nodes.push(Node {
+                op,
+                parent: None,
+                left: Some(l),
+                right: Some(r),
+                state: State::new(store),
+                queue: VecDeque::new(),
+                signature: Signature { class, streams },
+            });
+            Ok(id)
+        }
+        SpecNode::SetDiff { left, right } => {
+            let l = build(catalog, left, nodes, scans)?;
+            let r = build(catalog, right, nodes, scans)?;
+            let lsig = nodes[l.0 as usize].signature;
+            let outer = match lsig.class {
+                OpClass::Scan => lsig.streams,
+                OpClass::SetDiff { outer } => outer,
+                _ => {
+                    return Err(JiscError::InvalidPlan(
+                        "set-difference outer side must be a scan or another set-difference".into(),
+                    ))
+                }
+            };
+            let streams = lsig.streams.union(nodes[r.0 as usize].signature.streams);
+            let id = NodeId(nodes.len() as u32);
+            nodes[l.0 as usize].parent = Some(id);
+            nodes[r.0 as usize].parent = Some(id);
+            nodes.push(Node {
+                op: OpKind::SetDiff,
+                parent: None,
+                left: Some(l),
+                right: Some(r),
+                state: State::new(StoreKind::Hash),
+                queue: VecDeque::new(),
+                signature: Signature { class: OpClass::SetDiff { outer }, streams },
+            });
+            Ok(id)
+        }
+    }
+}
+
+fn topo_order(nodes: &[Node], root: NodeId, out: &mut Vec<NodeId>) {
+    let n = &nodes[root.0 as usize];
+    if let Some(l) = n.left {
+        topo_order(nodes, l, out);
+    }
+    if let Some(r) = n.right {
+        topo_order(nodes, r, out);
+    }
+    out.push(root);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog4() -> Catalog {
+        Catalog::uniform(&["R", "S", "T", "U"], 10).unwrap()
+    }
+
+    #[test]
+    fn stream_set_ops() {
+        let a = StreamSet::singleton(StreamId(0));
+        let b = StreamSet::singleton(StreamId(3));
+        let u = a.union(b);
+        assert!(u.contains(StreamId(0)));
+        assert!(u.contains(StreamId(3)));
+        assert!(!u.contains(StreamId(1)));
+        assert_eq!(u.count(), 2);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![StreamId(0), StreamId(3)]);
+    }
+
+    #[test]
+    fn compile_left_deep_structure() {
+        let c = catalog4();
+        let spec = PlanSpec::left_deep(&["R", "S", "T", "U"], JoinStyle::Hash);
+        let p = Plan::compile(&c, &spec).unwrap();
+        assert_eq!(p.len(), 7); // 4 scans + 3 joins
+        assert!(p.is_left_deep());
+        let root = p.node(p.root());
+        assert!(matches!(root.op, OpKind::HashJoin));
+        assert_eq!(root.signature.streams.count(), 4);
+        // every scan is reachable
+        for i in 0..4 {
+            assert!(p.scan_of(StreamId(i)).is_some());
+        }
+        // topo order: children before parents
+        let pos: FxHashMap<NodeId, usize> =
+            p.topo().iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        for id in p.ids() {
+            if let Some(par) = p.node(id).parent {
+                assert!(pos[&id] < pos[&par]);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_bushy_is_not_left_deep() {
+        let c = catalog4();
+        let spec = PlanSpec::bushy(&["R", "S", "T", "U"], JoinStyle::Hash);
+        let p = Plan::compile(&c, &spec).unwrap();
+        assert!(!p.is_left_deep());
+    }
+
+    #[test]
+    fn signatures_match_across_equivalent_plans() {
+        let c = catalog4();
+        let old = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S", "T", "U"], JoinStyle::Hash))
+            .unwrap();
+        // new plan swaps T and U: ((R ⋈ S) ⋈ U) ⋈ T — state RS survives.
+        let new = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S", "U", "T"], JoinStyle::Hash))
+            .unwrap();
+        let old_sigs: std::collections::HashSet<_> =
+            old.ids().map(|i| old.node(i).signature).collect();
+        let new_sigs: Vec<_> = new.ids().map(|i| new.node(i).signature).collect();
+        // scans (4), RS, RSTU match; RST does not match RSU.
+        let matching = new_sigs.iter().filter(|s| old_sigs.contains(s)).count();
+        assert_eq!(matching, 6);
+    }
+
+    #[test]
+    fn nlj_keyeq_shares_signature_class_with_hash() {
+        let c = catalog4();
+        let h = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash)).unwrap();
+        let n = Plan::compile(
+            &c,
+            &PlanSpec::left_deep(&["R", "S"], JoinStyle::Nlj(Predicate::KeyEq)),
+        )
+        .unwrap();
+        assert_eq!(h.node(h.root()).signature, n.node(n.root()).signature);
+        let t = Plan::compile(
+            &c,
+            &PlanSpec::left_deep(&["R", "S"], JoinStyle::Nlj(Predicate::KeyLeq)),
+        )
+        .unwrap();
+        assert_ne!(h.node(h.root()).signature, t.node(t.root()).signature);
+    }
+
+    #[test]
+    fn set_diff_signature_tracks_outer() {
+        let c = Catalog::uniform(&["A", "B", "C"], 10).unwrap();
+        let abc = Plan::compile(&c, &PlanSpec::set_diff_chain(&["A", "B", "C"])).unwrap();
+        let acb = Plan::compile(&c, &PlanSpec::set_diff_chain(&["A", "C", "B"])).unwrap();
+        // (A−B)−C and (A−C)−B cover the same streams with the same outer.
+        assert_eq!(abc.node(abc.root()).signature, acb.node(acb.root()).signature);
+        let bac = Plan::compile(&c, &PlanSpec::set_diff_chain(&["B", "A", "C"])).unwrap();
+        assert_ne!(abc.node(abc.root()).signature, bac.node(bac.root()).signature);
+    }
+
+    #[test]
+    fn set_diff_rejects_join_outer() {
+        let c = catalog4();
+        let spec = PlanSpec::new(SpecNode::SetDiff {
+            left: Box::new(SpecNode::Join {
+                style: JoinStyle::Hash,
+                left: Box::new(SpecNode::Scan("R".into())),
+                right: Box::new(SpecNode::Scan("S".into())),
+            }),
+            right: Box::new(SpecNode::Scan("T".into())),
+        });
+        assert!(Plan::compile(&c, &spec).is_err());
+    }
+
+    #[test]
+    fn aggregate_sits_above_root() {
+        let c = catalog4();
+        let spec =
+            PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash).with_aggregate(AggKind::Count);
+        let p = Plan::compile(&c, &spec).unwrap();
+        let root = p.node(p.root());
+        assert!(matches!(root.op, OpKind::Aggregate(AggKind::Count)));
+        assert!(root.right.is_none());
+        let join = p.node(root.left.unwrap());
+        assert_eq!(join.parent, Some(p.root()));
+    }
+
+    #[test]
+    fn two_nodes_mut_disjoint() {
+        let c = catalog4();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut p = Plan::compile(&c, &spec).unwrap();
+        let (a, b) = (NodeId(0), NodeId(2));
+        let (na, nb) = p.two_nodes_mut(a, b);
+        na.queue.push_back(QueueItem {
+            from: None,
+            payload: Payload::Remove { stream: StreamId(0), seq: 0, key: 0, fresh: true },
+        });
+        nb.queue.push_back(QueueItem {
+            from: None,
+            payload: Payload::Remove { stream: StreamId(0), seq: 1, key: 0, fresh: true },
+        });
+        assert_eq!(p.queued_items(), 2);
+        assert!(!p.queues_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Join predicates for nested-loops (theta) joins.
+//!
+//! Equi-joins are evaluated by hashing and never consult a [`Predicate`];
+//! nested-loops joins evaluate a predicate for every pair of candidate
+//! tuples, exactly as the paper's general theta joins do (§2.1).
+
+use jisc_common::Key;
+use serde::{Deserialize, Serialize};
+
+/// A theta predicate over the join-attribute values of two tuples.
+///
+/// The paper's workloads join on a single shared attribute, so predicates
+/// here are functions of the two key values. `KeyEq` gives a nested-loops
+/// join with equi-join semantics (used in Figure 10b, where the Moving State
+/// strategy must rebuild states with nested loops); the others exercise
+/// genuinely non-hashable conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `l.key == r.key` — equi semantics, nested-loops evaluation.
+    KeyEq,
+    /// `l.key <= r.key`.
+    KeyLeq,
+    /// `|l.key - r.key| <= d` — a band join.
+    BandWithin(u64),
+    /// Always true (cross product); useful in stress tests only.
+    Always,
+}
+
+impl Predicate {
+    /// Evaluate the predicate on two key values, left and right.
+    #[inline]
+    pub fn eval(&self, l: Key, r: Key) -> bool {
+        match *self {
+            Predicate::KeyEq => l == r,
+            Predicate::KeyLeq => l <= r,
+            Predicate::BandWithin(d) => l.abs_diff(r) <= d,
+            Predicate::Always => true,
+        }
+    }
+
+    /// True if the predicate is symmetric: `eval(a, b) == eval(b, a)`.
+    pub fn is_symmetric(&self) -> bool {
+        matches!(self, Predicate::KeyEq | Predicate::BandWithin(_) | Predicate::Always)
+    }
+
+    /// True if the join result is insensitive to the order in which a set of
+    /// streams is joined (required for plan transitions to be meaningful).
+    ///
+    /// Equality and band predicates over a single shared attribute are
+    /// associative in this sense; `KeyLeq` is not in general.
+    pub fn is_reorderable(&self) -> bool {
+        matches!(self, Predicate::KeyEq | Predicate::Always)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_eq() {
+        assert!(Predicate::KeyEq.eval(3, 3));
+        assert!(!Predicate::KeyEq.eval(3, 4));
+    }
+
+    #[test]
+    fn key_leq_is_asymmetric() {
+        assert!(Predicate::KeyLeq.eval(3, 4));
+        assert!(!Predicate::KeyLeq.eval(4, 3));
+        assert!(!Predicate::KeyLeq.is_symmetric());
+    }
+
+    #[test]
+    fn band_within() {
+        let p = Predicate::BandWithin(2);
+        assert!(p.eval(5, 7));
+        assert!(p.eval(7, 5));
+        assert!(!p.eval(5, 8));
+        assert!(p.is_symmetric());
+    }
+
+    #[test]
+    fn reorderability() {
+        assert!(Predicate::KeyEq.is_reorderable());
+        assert!(!Predicate::KeyLeq.is_reorderable());
+        assert!(!Predicate::BandWithin(1).is_reorderable());
+    }
+}

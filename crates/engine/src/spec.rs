@@ -1,0 +1,370 @@
+//! Declarative plan specifications and the stream catalog.
+//!
+//! A [`PlanSpec`] is the user-facing description of a query evaluation plan
+//! (QEP): a binary tree of joins / set-differences over named streams, with
+//! an optional aggregate on top (§4.7). Specs are cheap values: migration
+//! strategies diff an old spec against a new one, and the workload crate
+//! builds transition scenarios by permuting spec leaves.
+
+use jisc_common::{FxHashMap, JiscError, Result, StreamId};
+use serde::{Deserialize, Serialize};
+
+use crate::predicate::Predicate;
+
+/// Sliding-window specification for one stream.
+///
+/// The paper's evaluation uses count-based windows (§6: "the window size
+/// corresponding to each stream is 10,000 tuples"); time-based windows are
+/// the natural extension every DSMS also offers and migrate identically
+/// (expiry is still a bottom-up state-clearing pass, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// Keep the last `n` tuples (n > 0).
+    Count(usize),
+    /// Keep tuples younger than `d` timestamp ticks (d > 0); arrivals carry
+    /// monotonic timestamps via `Pipeline::push_at`.
+    Time(u64),
+}
+
+impl WindowSpec {
+    /// A loose capacity hint (the count, or the duration in ticks).
+    pub fn hint(&self) -> usize {
+        match *self {
+            WindowSpec::Count(n) => n,
+            WindowSpec::Time(d) => d as usize,
+        }
+    }
+}
+
+/// Definition of one input stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamDef {
+    /// Unique stream name (e.g. `"R"`).
+    pub name: String,
+    /// Sliding-window specification.
+    pub window: WindowSpec,
+}
+
+impl StreamDef {
+    /// Count-based window of `window` tuples (the paper's setup).
+    pub fn new(name: impl Into<String>, window: usize) -> Self {
+        StreamDef { name: name.into(), window: WindowSpec::Count(window) }
+    }
+
+    /// Time-based window of `ticks` timestamp units.
+    pub fn timed(name: impl Into<String>, ticks: u64) -> Self {
+        StreamDef { name: name.into(), window: WindowSpec::Time(ticks) }
+    }
+}
+
+/// The set of streams a query ranges over, with their window sizes.
+///
+/// Stream ids are assigned by position and remain stable across every plan
+/// of the query, which is what lets migration match states between plans.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    defs: Vec<StreamDef>,
+    index: FxHashMap<String, StreamId>,
+}
+
+impl Catalog {
+    /// Build a catalog; stream names must be unique, windows non-zero, and
+    /// at most 64 streams are supported (stream sets are u64 bitmasks).
+    pub fn new(defs: Vec<StreamDef>) -> Result<Self> {
+        if defs.is_empty() {
+            return Err(JiscError::InvalidConfig("catalog needs at least one stream".into()));
+        }
+        if defs.len() > 64 {
+            return Err(JiscError::InvalidConfig("at most 64 streams supported".into()));
+        }
+        let mut index = FxHashMap::default();
+        for (i, d) in defs.iter().enumerate() {
+            let zero = match d.window {
+                WindowSpec::Count(n) => n == 0,
+                WindowSpec::Time(t) => t == 0,
+            };
+            if zero {
+                return Err(JiscError::InvalidConfig(format!(
+                    "stream {} has zero window",
+                    d.name
+                )));
+            }
+            if index.insert(d.name.clone(), StreamId(i as u16)).is_some() {
+                return Err(JiscError::InvalidConfig(format!("duplicate stream {}", d.name)));
+            }
+        }
+        Ok(Catalog { defs, index })
+    }
+
+    /// Catalog with the same window size for every stream.
+    pub fn uniform(names: &[&str], window: usize) -> Result<Self> {
+        Catalog::new(names.iter().map(|n| StreamDef::new(*n, window)).collect())
+    }
+
+    /// Id of a stream by name.
+    pub fn id(&self, name: &str) -> Result<StreamId> {
+        self.index.get(name).copied().ok_or_else(|| JiscError::UnknownStream(name.into()))
+    }
+
+    /// Name of a stream by id.
+    pub fn name(&self, id: StreamId) -> &str {
+        &self.defs[id.0 as usize].name
+    }
+
+    /// Window size hint of a stream (count, or time-window duration).
+    pub fn window(&self, id: StreamId) -> usize {
+        self.defs[id.0 as usize].window.hint()
+    }
+
+    /// Full window specification of a stream.
+    pub fn window_spec(&self, id: StreamId) -> WindowSpec {
+        self.defs[id.0 as usize].window
+    }
+
+    /// True if every stream uses a count-based window.
+    pub fn all_count_windows(&self) -> bool {
+        self.defs.iter().all(|d| matches!(d.window, WindowSpec::Count(_)))
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if the catalog has no streams (never true for a valid catalog).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// All stream ids.
+    pub fn ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        (0..self.defs.len()).map(|i| StreamId(i as u16))
+    }
+}
+
+/// How a join in a spec is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinStyle {
+    /// Symmetric hash join on the shared attribute (§2.1).
+    Hash,
+    /// Nested-loops join with the given theta predicate.
+    Nlj(Predicate),
+}
+
+/// Aggregate placed above the plan root (§4.7: unary, migration-proof).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Running count of all output tuples.
+    Count,
+    /// Running count per join-attribute value.
+    GroupCount,
+}
+
+/// One node of a plan specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpecNode {
+    /// Leaf: scan of a named stream.
+    Scan(String),
+    /// Binary join of two subplans.
+    Join { style: JoinStyle, left: Box<SpecNode>, right: Box<SpecNode> },
+    /// Set difference: `left − right` (§4.7).
+    SetDiff { left: Box<SpecNode>, right: Box<SpecNode> },
+}
+
+impl SpecNode {
+    fn leaves_into<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            SpecNode::Scan(n) => out.push(n),
+            SpecNode::Join { left, right, .. } | SpecNode::SetDiff { left, right } => {
+                left.leaves_into(out);
+                right.leaves_into(out);
+            }
+        }
+    }
+
+    fn swap_in_place(&mut self, a: &str, b: &str) {
+        match self {
+            SpecNode::Scan(n) => {
+                if n == a {
+                    *n = b.to_string();
+                } else if n == b {
+                    *n = a.to_string();
+                }
+            }
+            SpecNode::Join { left, right, .. } | SpecNode::SetDiff { left, right } => {
+                left.swap_in_place(a, b);
+                right.swap_in_place(a, b);
+            }
+        }
+    }
+}
+
+/// A full query-evaluation-plan specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanSpec {
+    /// Root of the operator tree.
+    pub root: SpecNode,
+    /// Optional aggregate above the root.
+    pub aggregate: Option<AggKind>,
+}
+
+impl PlanSpec {
+    /// Wrap a root node.
+    pub fn new(root: SpecNode) -> Self {
+        PlanSpec { root, aggregate: None }
+    }
+
+    /// Left-deep chain: `((s0 ⋈ s1) ⋈ s2) ⋈ …` (Figure 1).
+    ///
+    /// Requires at least two streams.
+    pub fn left_deep(streams: &[&str], style: JoinStyle) -> Self {
+        assert!(streams.len() >= 2, "left-deep plan needs at least two streams");
+        let mut node = SpecNode::Scan(streams[0].into());
+        for s in &streams[1..] {
+            node = SpecNode::Join {
+                style,
+                left: Box::new(node),
+                right: Box::new(SpecNode::Scan((*s).into())),
+            };
+        }
+        PlanSpec::new(node)
+    }
+
+    /// Balanced bushy tree over the given streams.
+    pub fn bushy(streams: &[&str], style: JoinStyle) -> Self {
+        assert!(streams.len() >= 2, "bushy plan needs at least two streams");
+        fn build(streams: &[&str], style: JoinStyle) -> SpecNode {
+            if streams.len() == 1 {
+                return SpecNode::Scan(streams[0].into());
+            }
+            let mid = streams.len() / 2;
+            SpecNode::Join {
+                style,
+                left: Box::new(build(&streams[..mid], style)),
+                right: Box::new(build(&streams[mid..], style)),
+            }
+        }
+        PlanSpec::new(build(streams, style))
+    }
+
+    /// Left-deep set-difference chain: `((s0 − s1) − s2) − …` (§4.7).
+    pub fn set_diff_chain(streams: &[&str]) -> Self {
+        assert!(streams.len() >= 2, "set-difference chain needs at least two streams");
+        let mut node = SpecNode::Scan(streams[0].into());
+        for s in &streams[1..] {
+            node = SpecNode::SetDiff {
+                left: Box::new(node),
+                right: Box::new(SpecNode::Scan((*s).into())),
+            };
+        }
+        PlanSpec::new(node)
+    }
+
+    /// Add an aggregate above the root (§4.7).
+    pub fn with_aggregate(mut self, agg: AggKind) -> Self {
+        self.aggregate = Some(agg);
+        self
+    }
+
+    /// Stream names at the leaves, left-to-right.
+    pub fn leaves(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.root.leaves_into(&mut out);
+        out
+    }
+
+    /// A new spec with the positions of streams `a` and `b` exchanged —
+    /// the paper's pairwise join exchange (§5.2).
+    pub fn swap_streams(&self, a: &str, b: &str) -> Self {
+        let mut spec = self.clone();
+        spec.root.swap_in_place(a, b);
+        spec
+    }
+
+    /// Validate against a catalog: every leaf is a known stream, no stream
+    /// appears twice, and binary structure is sound by construction.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        let leaves = self.leaves();
+        if leaves.len() < 2 {
+            return Err(JiscError::InvalidPlan("plan must range over at least two streams".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for l in &leaves {
+            catalog.id(l)?;
+            if !seen.insert(*l) {
+                return Err(JiscError::InvalidPlan(format!("stream {l} appears twice")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_rejects_bad_configs() {
+        assert!(Catalog::new(vec![]).is_err());
+        assert!(Catalog::new(vec![StreamDef::new("R", 0)]).is_err());
+        assert!(Catalog::new(vec![StreamDef::new("R", 1), StreamDef::new("R", 1)]).is_err());
+        let many: Vec<StreamDef> = (0..65).map(|i| StreamDef::new(format!("s{i}"), 1)).collect();
+        assert!(Catalog::new(many).is_err());
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let c = Catalog::uniform(&["R", "S"], 10).unwrap();
+        assert_eq!(c.id("R").unwrap(), StreamId(0));
+        assert_eq!(c.id("S").unwrap(), StreamId(1));
+        assert!(c.id("T").is_err());
+        assert_eq!(c.name(StreamId(1)), "S");
+        assert_eq!(c.window(StreamId(0)), 10);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn left_deep_leaves_in_order() {
+        let p = PlanSpec::left_deep(&["R", "S", "T", "U"], JoinStyle::Hash);
+        assert_eq!(p.leaves(), vec!["R", "S", "T", "U"]);
+    }
+
+    #[test]
+    fn bushy_covers_all_leaves() {
+        let p = PlanSpec::bushy(&["A", "B", "C", "D", "E"], JoinStyle::Hash);
+        assert_eq!(p.leaves(), vec!["A", "B", "C", "D", "E"]);
+    }
+
+    #[test]
+    fn swap_streams_exchanges_positions() {
+        let p = PlanSpec::left_deep(&["R", "S", "T", "U"], JoinStyle::Hash);
+        let q = p.swap_streams("S", "U");
+        assert_eq!(q.leaves(), vec!["R", "U", "T", "S"]);
+        // swapping back restores the original
+        assert_eq!(q.swap_streams("S", "U"), p);
+    }
+
+    #[test]
+    fn validation_catches_unknown_and_duplicate_streams() {
+        let c = Catalog::uniform(&["R", "S", "T"], 5).unwrap();
+        let ok = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        assert!(ok.validate(&c).is_ok());
+        let unknown = PlanSpec::left_deep(&["R", "X"], JoinStyle::Hash);
+        assert!(unknown.validate(&c).is_err());
+        let dup = PlanSpec::left_deep(&["R", "R"], JoinStyle::Hash);
+        assert!(dup.validate(&c).is_err());
+    }
+
+    #[test]
+    fn set_diff_chain_shape() {
+        let p = PlanSpec::set_diff_chain(&["A", "B", "C"]);
+        assert_eq!(p.leaves(), vec!["A", "B", "C"]);
+        match &p.root {
+            SpecNode::SetDiff { left, right } => {
+                assert!(matches!(**right, SpecNode::Scan(ref n) if n == "C"));
+                assert!(matches!(**left, SpecNode::SetDiff { .. }));
+            }
+            _ => panic!("expected set-diff root"),
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Operator states: the materialized output of each plan node.
+//!
+//! Following the paper's model (§2.1), every node of a query evaluation plan
+//! owns a *state*: a scan node's state is the current window contents of its
+//! stream; a join node's state is the materialized join of its children's
+//! states; a set-difference node's state is the currently-visible outer
+//! tuples. A binary operator probes the states of its children and inserts
+//! results into its own state, which is in turn probed by its parent.
+//!
+//! States also carry the migration bookkeeping JISC needs (§4.3–§4.4):
+//! a completeness flag (Definition 1), the pending-key set backing the
+//! completion-detection counter, and — for bushy Case-3 states — the set of
+//! keys already completed on demand.
+
+use jisc_common::{FxHashSet, Key, Lineage, Metrics, SeqNo, StreamId, Tuple};
+
+use crate::predicate::Predicate;
+
+/// Physical layout of a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Hash-partitioned by join key; O(1) probes (symmetric hash join,
+    /// stream scans, set-difference).
+    Hash,
+    /// Flat list; probes scan every entry (nested-loops / theta joins).
+    List,
+}
+
+/// Entry storage.
+#[derive(Debug, Clone)]
+enum Store {
+    Hash(jisc_common::FxHashMap<Key, Vec<Tuple>>),
+    List(Vec<Tuple>),
+}
+
+/// Tracks which join-attribute values still need on-demand completion.
+///
+/// `Known` backs the integer counter of §4.3 (Cases 1 and 2): the counter's
+/// value is the set's size, and the state is declared complete when it
+/// reaches zero. `Unknown` is Case 3 (bushy plan, both children incomplete):
+/// no counter can be initialized, so completed keys are tracked positively
+/// and completion is detected through child notifications instead.
+#[derive(Debug, Clone)]
+pub enum PendingKeys {
+    /// Keys awaiting completion; size of this set is the paper's counter.
+    Known(FxHashSet<Key>),
+    /// Case 3: pending set unknowable at transition time; remembers keys
+    /// completed so far.
+    Unknown { completed: FxHashSet<Key> },
+}
+
+/// A node's materialized state plus migration bookkeeping.
+#[derive(Debug, Clone)]
+pub struct State {
+    store: Store,
+    /// Definition 1: does this state hold *all* entries implied by the
+    /// current windows? Always true outside migration.
+    complete: bool,
+    /// Present only while `!complete`.
+    pending: Option<PendingKeys>,
+    /// Total entries (cached so hash states report length in O(1)).
+    len: usize,
+}
+
+impl State {
+    /// Fresh, empty, complete state of the given layout.
+    pub fn new(kind: StoreKind) -> Self {
+        let store = match kind {
+            StoreKind::Hash => Store::Hash(Default::default()),
+            StoreKind::List => Store::List(Vec::new()),
+        };
+        State { store, complete: true, pending: None, len: 0 }
+    }
+
+    /// Physical layout of this state.
+    pub fn kind(&self) -> StoreKind {
+        match self.store {
+            Store::Hash(_) => StoreKind::Hash,
+            Store::List(_) => StoreKind::List,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    // ----- completeness bookkeeping (Definition 1, §4.3) -----
+
+    /// Is this state complete (Definition 1)?
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Mark complete and drop pending bookkeeping.
+    pub fn mark_complete(&mut self) {
+        self.complete = true;
+        self.pending = None;
+    }
+
+    /// Mark incomplete with the given pending-key tracking.
+    pub fn mark_incomplete(&mut self, pending: PendingKeys) {
+        self.complete = false;
+        self.pending = Some(pending);
+    }
+
+    /// The §4.3 counter value, if this state tracks one (Cases 1 and 2).
+    pub fn counter(&self) -> Option<usize> {
+        match &self.pending {
+            Some(PendingKeys::Known(s)) => Some(s.len()),
+            _ => None,
+        }
+    }
+
+    /// Does `key` still need on-demand completion at this state?
+    ///
+    /// Complete states never do. Known-pending states need it iff the key is
+    /// pending; Case-3 states need it unless already completed once.
+    pub fn needs_completion(&self, key: Key) -> bool {
+        if self.complete {
+            return false;
+        }
+        match &self.pending {
+            Some(PendingKeys::Known(s)) => s.contains(&key),
+            Some(PendingKeys::Unknown { completed }) => !completed.contains(&key),
+            // Incomplete but no pending info: be conservative.
+            None => true,
+        }
+    }
+
+    /// Record that `key` has been completed at this state; decrements the
+    /// counter (Known) or grows the completed set (Unknown). Returns `true`
+    /// if this state just became complete (counter hit zero).
+    pub fn note_key_completed(&mut self, key: Key) -> bool {
+        match &mut self.pending {
+            Some(PendingKeys::Known(s)) => {
+                s.remove(&key);
+                if s.is_empty() {
+                    self.mark_complete();
+                    return true;
+                }
+                false
+            }
+            Some(PendingKeys::Unknown { completed }) => {
+                completed.insert(key);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Drop `key` from the pending set because it vanished from the child
+    /// states (window expiry): there is nothing left to complete for it.
+    /// Returns `true` if the state just became complete.
+    pub fn note_key_expired(&mut self, key: Key) -> bool {
+        if let Some(PendingKeys::Known(s)) = &mut self.pending {
+            s.remove(&key);
+            if s.is_empty() {
+                self.mark_complete();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// For Case-3 states whose children have both become complete: replace
+    /// the unknown pending tracking with the residual key set that still
+    /// needs completion. If it is empty the state becomes complete.
+    /// Returns `true` if the state just became complete.
+    pub fn resolve_case3(&mut self, residual: FxHashSet<Key>) -> bool {
+        if self.complete {
+            return true;
+        }
+        if residual.is_empty() {
+            self.mark_complete();
+            true
+        } else {
+            self.pending = Some(PendingKeys::Known(residual));
+            false
+        }
+    }
+
+    /// Keys completed so far on a Case-3 state (empty set otherwise).
+    pub fn completed_keys(&self) -> Option<&FxHashSet<Key>> {
+        match &self.pending {
+            Some(PendingKeys::Unknown { completed }) => Some(completed),
+            _ => None,
+        }
+    }
+
+    // ----- entry operations -----
+
+    /// Insert an entry under its own key.
+    pub fn insert(&mut self, t: Tuple, m: &mut Metrics) {
+        m.inserts += 1;
+        self.len += 1;
+        match &mut self.store {
+            Store::Hash(map) => map.entry(t.key()).or_default().push(t),
+            Store::List(v) => v.push(t),
+        }
+    }
+
+    /// Entries matching `key` (hash states: the bucket; list states: a scan).
+    ///
+    /// Counts one probe (hash) or `len` comparisons (list).
+    pub fn lookup(&self, key: Key, m: &mut Metrics) -> Vec<Tuple> {
+        match &self.store {
+            Store::Hash(map) => {
+                m.probes += 1;
+                map.get(&key).cloned().unwrap_or_default()
+            }
+            Store::List(v) => {
+                m.probes += 1;
+                m.nlj_comparisons += v.len() as u64;
+                v.iter().filter(|t| t.key() == key).cloned().collect()
+            }
+        }
+    }
+
+    /// Entries whose key satisfies `pred` against `probe_key`, with the
+    /// stored entry's key on the side indicated by `stored_is_left`.
+    pub fn scan_theta(
+        &self,
+        pred: Predicate,
+        probe_key: Key,
+        stored_is_left: bool,
+        m: &mut Metrics,
+    ) -> Vec<Tuple> {
+        m.probes += 1;
+        let eval = |stored: Key| {
+            if stored_is_left {
+                pred.eval(stored, probe_key)
+            } else {
+                pred.eval(probe_key, stored)
+            }
+        };
+        match &self.store {
+            Store::List(v) => {
+                m.nlj_comparisons += v.len() as u64;
+                v.iter().filter(|t| eval(t.key())).cloned().collect()
+            }
+            Store::Hash(map) => {
+                // Theta probe against a hash state (e.g. a scan feeding an
+                // NLJ): every entry must be examined.
+                let mut out = Vec::new();
+                for bucket in map.values() {
+                    m.nlj_comparisons += bucket.len() as u64;
+                    out.extend(bucket.iter().filter(|t| eval(t.key())).cloned());
+                }
+                out
+            }
+        }
+    }
+
+    /// True if at least one entry matches `key` exactly.
+    pub fn contains_key(&self, key: Key, m: &mut Metrics) -> bool {
+        match &self.store {
+            Store::Hash(map) => {
+                m.probes += 1;
+                map.get(&key).is_some_and(|b| !b.is_empty())
+            }
+            Store::List(v) => {
+                m.probes += 1;
+                m.nlj_comparisons += v.len() as u64;
+                v.iter().any(|t| t.key() == key)
+            }
+        }
+    }
+
+    /// Remove all entries containing the base tuple `(stream, seq)`.
+    ///
+    /// For hash states the search is confined to the `key` bucket (the join
+    /// attribute of every constituent equals the entry key under the shared
+    /// attribute model); list states scan fully. Returns how many entries
+    /// were removed — the hot window-expiry path allocates nothing.
+    pub fn remove_containing(
+        &mut self,
+        stream: StreamId,
+        seq: SeqNo,
+        key: Key,
+        m: &mut Metrics,
+    ) -> usize {
+        let removed = match &mut self.store {
+            Store::Hash(map) => {
+                m.probes += 1;
+                match map.get_mut(&key) {
+                    None => 0,
+                    Some(bucket) => {
+                        let before = bucket.len();
+                        bucket.retain(|t| !t.contains_base(stream, seq));
+                        let gone = before - bucket.len();
+                        if bucket.is_empty() {
+                            map.remove(&key);
+                        }
+                        gone
+                    }
+                }
+            }
+            Store::List(v) => {
+                m.nlj_comparisons += v.len() as u64;
+                let before = v.len();
+                v.retain(|t| !t.contains_base(stream, seq));
+                before - v.len()
+            }
+        };
+        self.len -= removed;
+        m.removals += removed as u64;
+        removed
+    }
+
+    /// Remove a specific entry identified by lineage (set-difference
+    /// suppression). Returns `true` if an entry was removed.
+    pub fn remove_by_lineage(&mut self, lin: &Lineage, key: Key, m: &mut Metrics) -> bool {
+        let removed = match &mut self.store {
+            Store::Hash(map) => {
+                m.probes += 1;
+                match map.get_mut(&key) {
+                    None => false,
+                    Some(bucket) => {
+                        let before = bucket.len();
+                        bucket.retain(|t| t.lineage() != *lin);
+                        let hit = bucket.len() < before;
+                        if bucket.is_empty() {
+                            map.remove(&key);
+                        }
+                        hit
+                    }
+                }
+            }
+            Store::List(v) => {
+                let before = v.len();
+                m.nlj_comparisons += before as u64;
+                v.retain(|t| t.lineage() != *lin);
+                v.len() < before
+            }
+        };
+        if removed {
+            self.len -= 1;
+            m.removals += 1;
+        }
+        removed
+    }
+
+    /// Remove every entry stored under `key` (set-difference suppression by
+    /// key, [`Payload::SuppressKey`](crate::plan::Payload)). Returns how
+    /// many entries were removed.
+    pub fn remove_key(&mut self, key: Key, m: &mut Metrics) -> usize {
+        let removed = match &mut self.store {
+            Store::Hash(map) => {
+                m.probes += 1;
+                map.remove(&key).map_or(0, |b| b.len())
+            }
+            Store::List(v) => {
+                m.nlj_comparisons += v.len() as u64;
+                let before = v.len();
+                v.retain(|t| t.key() != key);
+                before - v.len()
+            }
+        };
+        self.len -= removed;
+        m.removals += removed as u64;
+        removed
+    }
+
+    /// Remove all entries whose lineage contains *every* constituent of
+    /// `lin` (set-difference suppression propagating upward: any upper entry
+    /// built from a suppressed entry must go). Returns how many entries were
+    /// removed.
+    pub fn remove_superset(&mut self, lin: &Lineage, key: Key, m: &mut Metrics) -> usize {
+        let contains_all =
+            |t: &Tuple| lin.parts().iter().all(|(s, q)| t.contains_base(*s, *q));
+        let removed = match &mut self.store {
+            Store::Hash(map) => {
+                m.probes += 1;
+                match map.get_mut(&key) {
+                    None => 0,
+                    Some(bucket) => {
+                        let before = bucket.len();
+                        bucket.retain(|t| !contains_all(t));
+                        let gone = before - bucket.len();
+                        if bucket.is_empty() {
+                            map.remove(&key);
+                        }
+                        gone
+                    }
+                }
+            }
+            Store::List(v) => {
+                m.nlj_comparisons += v.len() as u64;
+                let before = v.len();
+                v.retain(|t| !contains_all(t));
+                before - v.len()
+            }
+        };
+        self.len -= removed;
+        m.removals += removed as u64;
+        removed
+    }
+
+    /// Insert `t` unless an entry with identical lineage already exists under
+    /// the same key. Used by state completion to merge on-demand-computed
+    /// entries with entries that accumulated through normal post-transition
+    /// processing (§4.4 discussion). Returns `true` if inserted.
+    pub fn insert_if_absent(&mut self, t: Tuple, m: &mut Metrics) -> bool {
+        let lin = t.lineage();
+        let exists = match &self.store {
+            Store::Hash(map) => {
+                m.probes += 1;
+                map.get(&t.key()).is_some_and(|b| b.iter().any(|e| e.lineage() == lin))
+            }
+            Store::List(v) => {
+                m.nlj_comparisons += v.len() as u64;
+                v.iter().any(|e| e.lineage() == lin)
+            }
+        };
+        if exists {
+            false
+        } else {
+            self.insert(t, m);
+            true
+        }
+    }
+
+    /// Distinct join-attribute values currently present.
+    pub fn distinct_keys(&self) -> FxHashSet<Key> {
+        match &self.store {
+            Store::Hash(map) => map.keys().copied().collect(),
+            Store::List(v) => v.iter().map(|t| t.key()).collect(),
+        }
+    }
+
+    /// Number of distinct join-attribute values (the §4.3 counter seed).
+    pub fn distinct_key_count(&self) -> usize {
+        match &self.store {
+            Store::Hash(map) => map.len(),
+            Store::List(v) => v.iter().map(|t| t.key()).collect::<FxHashSet<_>>().len(),
+        }
+    }
+
+    /// Iterate over all entries.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &Tuple> + '_> {
+        match &self.store {
+            Store::Hash(map) => Box::new(map.values().flatten()),
+            Store::List(v) => Box::new(v.iter()),
+        }
+    }
+
+    /// True if any entry contains a base tuple older than `seq` (used by the
+    /// Parallel Track discard check, §3.3).
+    pub fn has_entry_older_than(&self, seq: SeqNo, m: &mut Metrics) -> bool {
+        let mut checked = 0u64;
+        let found = self.iter().any(|t| {
+            checked += 1;
+            t.min_seq() < seq
+        });
+        m.discard_checks += checked;
+        found
+    }
+
+    /// Drop every entry (state discard during migration).
+    pub fn clear(&mut self) {
+        match &mut self.store {
+            Store::Hash(map) => map.clear(),
+            Store::List(v) => v.clear(),
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jisc_common::BaseTuple;
+
+    fn bt(stream: u16, seq: SeqNo, key: Key) -> Tuple {
+        Tuple::base(BaseTuple::new(StreamId(stream), seq, key, 0))
+    }
+
+    #[test]
+    fn hash_insert_lookup() {
+        let mut m = Metrics::new();
+        let mut s = State::new(StoreKind::Hash);
+        s.insert(bt(0, 1, 5), &mut m);
+        s.insert(bt(0, 2, 5), &mut m);
+        s.insert(bt(0, 3, 9), &mut m);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.lookup(5, &mut m).len(), 2);
+        assert_eq!(s.lookup(9, &mut m).len(), 1);
+        assert!(s.lookup(7, &mut m).is_empty());
+        assert_eq!(m.inserts, 3);
+        assert_eq!(m.probes, 3);
+    }
+
+    #[test]
+    fn list_lookup_counts_comparisons() {
+        let mut m = Metrics::new();
+        let mut s = State::new(StoreKind::List);
+        for i in 0..4 {
+            s.insert(bt(0, i, i), &mut m);
+        }
+        let hits = s.lookup(2, &mut m);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(m.nlj_comparisons, 4);
+    }
+
+    #[test]
+    fn theta_scan_orientation() {
+        let mut m = Metrics::new();
+        let mut s = State::new(StoreKind::List);
+        s.insert(bt(0, 1, 3), &mut m);
+        s.insert(bt(0, 2, 8), &mut m);
+        // stored keys on the left of `<=`: stored <= 5 matches key 3 only.
+        let hits = s.scan_theta(Predicate::KeyLeq, 5, true, &mut m);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].key(), 3);
+        // probe on the left: 5 <= stored matches key 8 only.
+        let hits = s.scan_theta(Predicate::KeyLeq, 5, false, &mut m);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].key(), 8);
+    }
+
+    #[test]
+    fn remove_containing_prunes_bucket() {
+        let mut m = Metrics::new();
+        let mut s = State::new(StoreKind::Hash);
+        let a = bt(0, 1, 5);
+        let b = bt(1, 2, 5);
+        let ab = Tuple::joined(5, a.clone(), b.clone());
+        s.insert(ab, &mut m);
+        s.insert(bt(1, 3, 5), &mut m);
+        let removed = s.remove_containing(StreamId(0), 1, 5, &mut m);
+        assert_eq!(removed, 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.lookup(5, &mut m).len(), 1);
+        // removing a non-existent base is a no-op
+        assert_eq!(s.remove_containing(StreamId(0), 99, 5, &mut m), 0);
+    }
+
+    #[test]
+    fn insert_if_absent_dedups_by_lineage() {
+        let mut m = Metrics::new();
+        let mut s = State::new(StoreKind::Hash);
+        let a = bt(0, 1, 5);
+        let b = bt(1, 2, 5);
+        let ab1 = Tuple::joined(5, a.clone(), b.clone());
+        let ab2 = Tuple::joined(5, b, a); // same lineage, different shape
+        assert!(s.insert_if_absent(ab1, &mut m));
+        assert!(!s.insert_if_absent(ab2, &mut m));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn completeness_counter_lifecycle() {
+        let mut s = State::new(StoreKind::Hash);
+        assert!(s.is_complete());
+        let pend: FxHashSet<Key> = [1u64, 2, 3].into_iter().collect();
+        s.mark_incomplete(PendingKeys::Known(pend));
+        assert!(!s.is_complete());
+        assert_eq!(s.counter(), Some(3));
+        assert!(s.needs_completion(2));
+        assert!(!s.needs_completion(7)); // never pending -> trivially complete
+        assert!(!s.note_key_completed(1));
+        assert_eq!(s.counter(), Some(2));
+        assert!(!s.note_key_expired(2));
+        assert!(s.note_key_completed(3)); // counter hits zero
+        assert!(s.is_complete());
+        assert_eq!(s.counter(), None);
+    }
+
+    #[test]
+    fn case3_tracking() {
+        let mut s = State::new(StoreKind::Hash);
+        s.mark_incomplete(PendingKeys::Unknown { completed: Default::default() });
+        assert!(s.needs_completion(4));
+        assert!(!s.note_key_completed(4));
+        assert!(!s.needs_completion(4));
+        assert_eq!(s.counter(), None);
+        // resolve with a residual set
+        let resid: FxHashSet<Key> = [9u64].into_iter().collect();
+        assert!(!s.resolve_case3(resid));
+        assert_eq!(s.counter(), Some(1));
+        assert!(s.note_key_completed(9));
+        assert!(s.is_complete());
+        // resolving an already-complete state is a no-op success
+        assert!(s.resolve_case3(Default::default()));
+    }
+
+    #[test]
+    fn distinct_keys_and_old_entry_check() {
+        let mut m = Metrics::new();
+        let mut s = State::new(StoreKind::Hash);
+        s.insert(bt(0, 10, 1), &mut m);
+        s.insert(bt(0, 11, 1), &mut m);
+        s.insert(bt(0, 12, 2), &mut m);
+        assert_eq!(s.distinct_key_count(), 2);
+        assert!(s.has_entry_older_than(11, &mut m));
+        assert!(!s.has_entry_older_than(10, &mut m));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.distinct_key_count(), 0);
+    }
+}

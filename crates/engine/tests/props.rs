@@ -1,0 +1,119 @@
+//! Property tests for the engine substrate: state bookkeeping and plan
+//! compilation invariants under randomized operation sequences.
+
+use jisc_common::{BaseTuple, Metrics, SplitMix64, StreamId, Tuple};
+use jisc_engine::{Catalog, JoinStyle, Plan, PlanSpec, State, StoreKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// State length stays consistent with its contents under arbitrary
+    /// interleavings of inserts and removals, for both store layouts.
+    #[test]
+    fn state_len_is_consistent(
+        ops in proptest::collection::vec((0u8..4, 0u64..6, 0u64..50), 1..200),
+        hash_layout in any::<bool>(),
+    ) {
+        let kind = if hash_layout { StoreKind::Hash } else { StoreKind::List };
+        let mut st = State::new(kind);
+        let mut m = Metrics::new();
+        let mut seq = 0u64;
+        for (op, key, arg) in ops {
+            match op {
+                0 | 1 => {
+                    st.insert(
+                        Tuple::base(BaseTuple::new(StreamId(0), seq, key, 0)),
+                        &mut m,
+                    );
+                    seq += 1;
+                }
+                2 => {
+                    st.remove_containing(StreamId(0), arg, key, &mut m);
+                }
+                _ => {
+                    st.remove_key(key, &mut m);
+                }
+            }
+            let counted: usize = st.iter().count();
+            prop_assert_eq!(st.len(), counted, "len cache diverged from contents");
+            prop_assert_eq!(st.is_empty(), counted == 0);
+            let distinct = st.distinct_key_count();
+            prop_assert!(distinct <= counted);
+            prop_assert_eq!(distinct, st.distinct_keys().len());
+        }
+        prop_assert_eq!(m.inserts as usize >= st.len(), true);
+    }
+
+    /// Compiled plans are structurally sound for any stream count and any
+    /// leaf permutation: topo order is bottom-up, parents link children,
+    /// signatures union correctly, and left-deep detection is exact.
+    #[test]
+    fn plan_compilation_invariants(
+        streams in 2usize..10,
+        seed in 0u64..500,
+        bushy in any::<bool>(),
+    ) {
+        let mut names: Vec<String> = (0..streams).map(|i| format!("s{i}")).collect();
+        SplitMix64::new(seed).shuffle(&mut names);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let catalog = Catalog::uniform(&refs, 10).unwrap();
+        let spec = if bushy {
+            PlanSpec::bushy(&refs, JoinStyle::Hash)
+        } else {
+            PlanSpec::left_deep(&refs, JoinStyle::Hash)
+        };
+        let plan = Plan::compile(&catalog, &spec).unwrap();
+        prop_assert_eq!(plan.len(), 2 * streams - 1);
+        // topo: children before parents; root last
+        let topo = plan.topo();
+        prop_assert_eq!(*topo.last().unwrap(), plan.root());
+        let pos = |id| topo.iter().position(|&x| x == id).unwrap();
+        for id in plan.ids() {
+            let n = plan.node(id);
+            if let Some(p) = n.parent {
+                prop_assert!(pos(id) < pos(p));
+                // parent links back
+                let pn = plan.node(p);
+                prop_assert!(pn.left == Some(id) || pn.right == Some(id));
+            } else {
+                prop_assert_eq!(id, plan.root());
+            }
+            if let (Some(l), Some(r)) = (n.left, n.right) {
+                let u = plan.node(l).signature.streams.union(plan.node(r).signature.streams);
+                prop_assert_eq!(n.signature.streams, u);
+            }
+        }
+        prop_assert_eq!(plan.node(plan.root()).signature.streams.count() as usize, streams);
+        if !bushy {
+            prop_assert!(plan.is_left_deep());
+        } else if streams >= 4 {
+            prop_assert!(!plan.is_left_deep());
+        }
+    }
+
+    /// The engine's output for a two-way join equals the analytic count:
+    /// each arrival joins every same-key tuple currently in the opposite
+    /// window.
+    #[test]
+    fn two_way_join_count_matches_math(
+        arrivals in proptest::collection::vec((0u16..2, 0u64..5), 1..120),
+        window in 1usize..12,
+    ) {
+        use jisc_engine::Pipeline;
+        let catalog = Catalog::uniform(&["R", "S"], window).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut p = Pipeline::new(catalog, &spec).unwrap();
+        let mut windows: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        let mut expected = 0usize;
+        for &(s, k) in &arrivals {
+            let w = &mut windows[s as usize];
+            if w.len() == window {
+                w.remove(0);
+            }
+            let opp = &windows[1 - s as usize];
+            expected += opp.iter().filter(|&&x| x == k).count();
+            windows[s as usize].push(k);
+            p.push(StreamId(s), k, 0).unwrap();
+        }
+        prop_assert_eq!(p.output.count(), expected);
+    }
+}

@@ -1,0 +1,110 @@
+//! When to actually migrate: reorder policy with hysteresis.
+//!
+//! §5.1.2's thrashing warning cuts both ways — even with JISC's cheap
+//! transitions, migrating on every estimator wiggle wastes completion work.
+//! The policy fires only when the proposed order differs *enough* from the
+//! running one (rank displacement) and a cooldown has elapsed.
+
+use jisc_common::StreamId;
+
+/// Decides whether a proposed join order is worth migrating to.
+#[derive(Debug, Clone)]
+pub struct ReorderPolicy {
+    /// Minimum total rank displacement between current and proposed orders
+    /// before a migration fires (1 = any change; higher = more inertia).
+    pub min_displacement: usize,
+    /// Arrivals that must pass between migrations.
+    pub cooldown: u64,
+    since_last: u64,
+}
+
+impl ReorderPolicy {
+    /// Policy with the given inertia knobs.
+    pub fn new(min_displacement: usize, cooldown: u64) -> Self {
+        ReorderPolicy { min_displacement: min_displacement.max(1), cooldown, since_last: 0 }
+    }
+
+    /// Trigger-happy policy (fires on any change, no cooldown) — useful in
+    /// tests and for stressing overlapped transitions.
+    pub fn eager() -> Self {
+        ReorderPolicy::new(1, 0)
+    }
+
+    /// Total rank displacement between two orders over the same streams.
+    pub fn displacement(current: &[StreamId], proposed: &[StreamId]) -> usize {
+        proposed
+            .iter()
+            .enumerate()
+            .map(|(new_rank, s)| {
+                let old_rank =
+                    current.iter().position(|c| c == s).expect("same stream set");
+                old_rank.abs_diff(new_rank)
+            })
+            .sum()
+    }
+
+    /// Account one processed arrival (advances the cooldown clock).
+    pub fn tick(&mut self) {
+        self.since_last = self.since_last.saturating_add(1);
+    }
+
+    /// Should the engine migrate from `current` to `proposed` now?
+    /// Resets the cooldown clock when it says yes.
+    pub fn should_migrate(&mut self, current: &[StreamId], proposed: &[StreamId]) -> bool {
+        if self.since_last < self.cooldown {
+            return false;
+        }
+        if Self::displacement(current, proposed) < self.min_displacement {
+            return false;
+        }
+        self.since_last = 0;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u16]) -> Vec<StreamId> {
+        v.iter().map(|&i| StreamId(i)).collect()
+    }
+
+    #[test]
+    fn displacement_measures_rank_moves() {
+        let cur = ids(&[0, 1, 2, 3]);
+        assert_eq!(ReorderPolicy::displacement(&cur, &ids(&[0, 1, 2, 3])), 0);
+        assert_eq!(ReorderPolicy::displacement(&cur, &ids(&[1, 0, 2, 3])), 2);
+        assert_eq!(ReorderPolicy::displacement(&cur, &ids(&[3, 1, 2, 0])), 6);
+    }
+
+    #[test]
+    fn cooldown_blocks_rapid_fire() {
+        let mut p = ReorderPolicy::new(1, 10);
+        let cur = ids(&[0, 1]);
+        let swap = ids(&[1, 0]);
+        assert!(!p.should_migrate(&cur, &swap), "cooldown not yet elapsed");
+        for _ in 0..10 {
+            p.tick();
+        }
+        assert!(p.should_migrate(&cur, &swap));
+        // fired: clock reset
+        assert!(!p.should_migrate(&cur, &swap));
+    }
+
+    #[test]
+    fn small_changes_are_ignored_with_inertia() {
+        let mut p = ReorderPolicy::new(4, 0);
+        let cur = ids(&[0, 1, 2, 3]);
+        assert!(!p.should_migrate(&cur, &ids(&[1, 0, 2, 3])), "displacement 2 < 4");
+        assert!(p.should_migrate(&cur, &ids(&[3, 1, 2, 0])), "displacement 6 >= 4");
+    }
+
+    #[test]
+    fn eager_policy_fires_on_any_change() {
+        let mut p = ReorderPolicy::eager();
+        let cur = ids(&[0, 1]);
+        assert!(!p.should_migrate(&cur, &cur.clone()), "identity is never a migration");
+        assert!(p.should_migrate(&cur, &ids(&[1, 0])));
+    }
+}

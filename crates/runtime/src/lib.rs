@@ -1,0 +1,352 @@
+//! Threaded streaming driver for the JISC engine.
+//!
+//! The core engine is deliberately synchronous and deterministic (that is
+//! what makes the paper's correctness theorems testable bit-for-bit). Real
+//! deployments want producers decoupled from the engine: this crate runs
+//! an [`jisc_core::AdaptiveEngine`] on its own thread behind bounded
+//! crossbeam channels, with live control (plan migrations, stat snapshots)
+//! and a lock-protected stats mirror for cheap observability.
+//!
+//! ```
+//! use jisc_core::Strategy;
+//! use jisc_engine::{Catalog, JoinStyle, PlanSpec};
+//! use jisc_runtime::{Event, StreamDriver};
+//!
+//! let catalog = Catalog::uniform(&["R", "S"], 100).unwrap();
+//! let plan = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+//! let driver = StreamDriver::spawn(catalog, &plan, Strategy::Jisc, 256).unwrap();
+//!
+//! let tx = driver.sender();
+//! tx.send(Event { stream: 0, key: 7, payload: 0 }).unwrap();
+//! tx.send(Event { stream: 1, key: 7, payload: 0 }).unwrap();
+//! drop(tx); // close our handle; the driver drains what was sent
+//!
+//! let report = driver.shutdown().unwrap();
+//! assert_eq!(report.outputs, 1);
+//! ```
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use jisc_common::{JiscError, Key, Metrics, Result};
+use jisc_core::{AdaptiveEngine, Strategy};
+use jisc_engine::{Catalog, PlanSpec};
+use parking_lot::RwLock;
+
+/// One arrival, as producers see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Stream index (catalog order).
+    pub stream: u16,
+    /// Join-attribute value.
+    pub key: Key,
+    /// Opaque payload (row id).
+    pub payload: u64,
+}
+
+/// Control messages processed with priority over data.
+enum Control {
+    Transition(PlanSpec),
+    Snapshot(Sender<Snapshot>),
+    Stop,
+}
+
+/// A point-in-time view of the running engine.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Arrivals processed so far.
+    pub events: u64,
+    /// Results emitted so far.
+    pub outputs: u64,
+    /// Plans currently executing (Parallel Track may run several).
+    pub active_plans: usize,
+    /// States currently incomplete (JISC only).
+    pub incomplete_states: usize,
+    /// Full execution counters.
+    pub metrics: Metrics,
+}
+
+/// Final report returned by [`StreamDriver::shutdown`].
+#[derive(Debug)]
+pub struct Report {
+    /// Arrivals processed.
+    pub events: u64,
+    /// Results emitted.
+    pub outputs: u64,
+    /// Transitions performed via [`StreamDriver::transition`].
+    pub transitions: u64,
+    /// Execution counters.
+    pub metrics: Metrics,
+    /// The engine itself, for post-mortem inspection of output/state.
+    pub engine: AdaptiveEngine,
+}
+
+/// Handle to an engine running on its own thread.
+#[derive(Debug)]
+pub struct StreamDriver {
+    data_tx: Sender<Event>,
+    ctrl_tx: Sender<Control>,
+    worker: JoinHandle<Report>,
+    mirror: Arc<RwLock<Snapshot>>,
+}
+
+impl StreamDriver {
+    /// Spawn the engine thread. `queue_capacity` bounds the data channel —
+    /// producers block when the engine falls behind (backpressure rather
+    /// than load shedding, which the paper treats as orthogonal, §2.1).
+    pub fn spawn(
+        catalog: Catalog,
+        plan: &PlanSpec,
+        strategy: Strategy,
+        queue_capacity: usize,
+    ) -> Result<Self> {
+        let engine = AdaptiveEngine::new(catalog, plan, strategy)?;
+        let (data_tx, data_rx) = bounded::<Event>(queue_capacity.max(1));
+        let (ctrl_tx, ctrl_rx) = bounded::<Control>(16);
+        let mirror = Arc::new(RwLock::new(Snapshot {
+            events: 0,
+            outputs: 0,
+            active_plans: 1,
+            incomplete_states: 0,
+            metrics: Metrics::new(),
+        }));
+        let mirror_w = Arc::clone(&mirror);
+        let worker = std::thread::Builder::new()
+            .name("jisc-engine".into())
+            .spawn(move || worker_loop(engine, data_rx, ctrl_rx, mirror_w))
+            .expect("spawn engine thread");
+        Ok(StreamDriver { data_tx, ctrl_tx, worker, mirror })
+    }
+
+    /// A cloneable producer handle (multiple producer threads supported).
+    pub fn sender(&self) -> Sender<Event> {
+        self.data_tx.clone()
+    }
+
+    /// Request a plan migration. Control messages take priority over
+    /// queued data, so the migration lands promptly at an arrival boundary;
+    /// the engine's own buffer-clearing phase (§4.1) keeps it correct
+    /// wherever it lands in the stream.
+    pub fn transition(&self, plan: PlanSpec) -> Result<()> {
+        self.ctrl_tx
+            .send(Control::Transition(plan))
+            .map_err(|_| JiscError::Internal("engine thread is gone".into()))
+    }
+
+    /// Synchronous snapshot via round-trip to the engine thread.
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        let (tx, rx) = bounded(1);
+        self.ctrl_tx
+            .send(Control::Snapshot(tx))
+            .map_err(|_| JiscError::Internal("engine thread is gone".into()))?;
+        rx.recv().map_err(|_| JiscError::Internal("engine thread is gone".into()))
+    }
+
+    /// Cheap, possibly slightly stale view (no thread round-trip): the
+    /// worker refreshes this mirror periodically.
+    pub fn peek(&self) -> Snapshot {
+        self.mirror.read().clone()
+    }
+
+    /// Stop the engine after draining already-queued events and return the
+    /// final report.
+    pub fn shutdown(self) -> Result<Report> {
+        drop(self.data_tx); // close our data side
+        let _ = self.ctrl_tx.send(Control::Stop);
+        self.worker.join().map_err(|_| JiscError::Internal("engine thread panicked".into()))
+    }
+}
+
+fn worker_loop(
+    mut engine: AdaptiveEngine,
+    data_rx: Receiver<Event>,
+    ctrl_rx: Receiver<Control>,
+    mirror: Arc<RwLock<Snapshot>>,
+) -> Report {
+    let mut events = 0u64;
+    let mut transitions = 0u64;
+    let mut stopping = false;
+    loop {
+        // Control first (cheap check), then data; block on both when idle.
+        let ctrl = ctrl_rx.try_recv().ok();
+        let ctrl = match ctrl {
+            Some(c) => Some(c),
+            None => {
+                crossbeam::channel::select! {
+                    recv(ctrl_rx) -> c => c.ok(),
+                    recv(data_rx) -> ev => {
+                        match ev {
+                            Ok(ev) => {
+                                process(&mut engine, ev, &mut events);
+                                if events.is_multiple_of(1024) {
+                                    refresh(&mirror, &engine, events);
+                                }
+                                continue;
+                            }
+                            Err(_) => {
+                                // all producers gone: drain controls & stop
+                                stopping = true;
+                                None
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match ctrl {
+            Some(Control::Transition(plan)) => {
+                engine.transition_to(&plan).expect("transition request for this query");
+                transitions += 1;
+            }
+            Some(Control::Snapshot(reply)) => {
+                let _ = reply.send(snapshot_of(&engine, events));
+            }
+            Some(Control::Stop) => stopping = true,
+            None => {
+                if stopping {
+                    break;
+                }
+            }
+        }
+        if stopping {
+            // Drain whatever data is still queued, then finish.
+            while let Ok(ev) = data_rx.try_recv() {
+                process(&mut engine, ev, &mut events);
+            }
+            break;
+        }
+    }
+    refresh(&mirror, &engine, events);
+    let m = engine.metrics();
+    Report {
+        events,
+        outputs: m.tuples_out,
+        transitions,
+        metrics: m,
+        engine,
+    }
+}
+
+fn process(engine: &mut AdaptiveEngine, ev: Event, events: &mut u64) {
+    engine
+        .push(jisc_common::StreamId(ev.stream), ev.key, ev.payload)
+        .expect("event for a known stream");
+    *events += 1;
+}
+
+fn snapshot_of(engine: &AdaptiveEngine, events: u64) -> Snapshot {
+    let metrics = engine.metrics();
+    Snapshot {
+        events,
+        outputs: metrics.tuples_out,
+        active_plans: engine.active_plans(),
+        incomplete_states: engine.incomplete_states(),
+        metrics,
+    }
+}
+
+fn refresh(mirror: &Arc<RwLock<Snapshot>>, engine: &AdaptiveEngine, events: u64) {
+    *mirror.write() = snapshot_of(engine, events);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jisc_engine::JoinStyle;
+
+    fn driver(streams: &[&str], window: usize, cap: usize) -> StreamDriver {
+        let catalog = Catalog::uniform(streams, window).unwrap();
+        let plan = PlanSpec::left_deep(streams, JoinStyle::Hash);
+        StreamDriver::spawn(catalog, &plan, Strategy::Jisc, cap).unwrap()
+    }
+
+    #[test]
+    fn single_producer_matches_synchronous_run() {
+        let events: Vec<Event> = (0..500)
+            .map(|i| Event { stream: (i % 3) as u16, key: i % 11, payload: i })
+            .collect();
+        // synchronous reference
+        let catalog = Catalog::uniform(&["R", "S", "T"], 50).unwrap();
+        let plan = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let mut sync = AdaptiveEngine::new(catalog, &plan, Strategy::Jisc).unwrap();
+        for e in &events {
+            sync.push(jisc_common::StreamId(e.stream), e.key, e.payload).unwrap();
+        }
+        // threaded run
+        let d = driver(&["R", "S", "T"], 50, 64);
+        let tx = d.sender();
+        for e in &events {
+            tx.send(*e).unwrap();
+        }
+        drop(tx);
+        let report = d.shutdown().unwrap();
+        assert_eq!(report.events, 500);
+        assert_eq!(report.outputs, sync.output().count() as u64);
+        assert_eq!(
+            report.engine.output().lineage_multiset(),
+            sync.output().lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn transition_requests_are_processed_in_stream_order() {
+        let d = driver(&["R", "S", "T"], 100, 16);
+        let tx = d.sender();
+        for i in 0..200u64 {
+            tx.send(Event { stream: (i % 3) as u16, key: i % 7, payload: 0 }).unwrap();
+        }
+        let new_plan = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash);
+        d.transition(new_plan).unwrap();
+        for i in 0..200u64 {
+            tx.send(Event { stream: (i % 3) as u16, key: i % 7, payload: 0 }).unwrap();
+        }
+        drop(tx);
+        let report = d.shutdown().unwrap();
+        assert_eq!(report.transitions, 1);
+        assert!(report.engine.output().is_duplicate_free());
+        assert!(report.outputs > 0);
+    }
+
+    #[test]
+    fn snapshot_and_peek_report_progress() {
+        let d = driver(&["R", "S"], 50, 8);
+        let tx = d.sender();
+        for i in 0..2_000u64 {
+            tx.send(Event { stream: (i % 2) as u16, key: i % 5, payload: 0 }).unwrap();
+        }
+        let snap = d.snapshot().unwrap();
+        assert!(snap.events > 0);
+        assert_eq!(snap.active_plans, 1);
+        let peek = d.peek();
+        assert!(peek.events <= snap.events + 2_000);
+        drop(tx);
+        let report = d.shutdown().unwrap();
+        assert_eq!(report.events, 2_000);
+    }
+
+    #[test]
+    fn multiple_producers_preserve_invariants() {
+        let d = driver(&["R", "S", "T"], 30, 32);
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let tx = d.sender();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    tx.send(Event {
+                        stream: ((p + i) % 3) as u16,
+                        key: (p * 37 + i) % 9,
+                        payload: p * 1_000 + i,
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = d.shutdown().unwrap();
+        assert_eq!(report.events, 2_000);
+        assert!(report.engine.output().is_duplicate_free());
+    }
+}

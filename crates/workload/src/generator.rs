@@ -1,0 +1,193 @@
+//! Arrival generators: which stream a tuple lands on and what key it has.
+//!
+//! The paper's setup (§6): "We uniformly generate the data and uniformly
+//! distribute it across the different streams." Key selectivity is
+//! controlled by the key-domain size relative to the window size; a Zipf
+//! option exercises skew beyond the paper's uniform default.
+
+use jisc_common::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// One generated arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Stream index (into the catalog's stream list).
+    pub stream: u16,
+    /// Join-attribute value.
+    pub key: u64,
+    /// Opaque payload (a running row id).
+    pub payload: u64,
+}
+
+/// Key-value distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Uniform over `[0, domain)` — the paper's setup.
+    Uniform,
+    /// Zipf over `[0, domain)` with the given exponent (`s > 0`).
+    Zipf(f64),
+}
+
+/// How arrivals are spread across streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interleave {
+    /// Strict rotation: stream 0, 1, 2, …, 0, 1, 2, …
+    RoundRobin,
+    /// Uniformly random stream per arrival (paper's "uniformly distribute").
+    Random,
+}
+
+/// Deterministic, seedable arrival generator.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    streams: u16,
+    domain: u64,
+    distribution: KeyDistribution,
+    interleave: Interleave,
+    rng: SplitMix64,
+    /// Zipf cumulative distribution (lazy; only for `KeyDistribution::Zipf`).
+    zipf_cdf: Vec<f64>,
+    counter: u64,
+}
+
+impl Generator {
+    /// Build a generator over `streams` streams with keys in `[0, domain)`.
+    pub fn new(
+        streams: u16,
+        domain: u64,
+        distribution: KeyDistribution,
+        interleave: Interleave,
+        seed: u64,
+    ) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        assert!(domain > 0, "key domain must be non-empty");
+        let zipf_cdf = match distribution {
+            KeyDistribution::Zipf(s) => {
+                assert!(s > 0.0, "Zipf exponent must be positive");
+                let mut weights: Vec<f64> =
+                    (1..=domain).map(|r| 1.0 / (r as f64).powf(s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                if let Some(last) = weights.last_mut() {
+                    *last = 1.0;
+                }
+                weights
+            }
+            KeyDistribution::Uniform => Vec::new(),
+        };
+        Generator {
+            streams,
+            domain,
+            distribution,
+            interleave,
+            rng: SplitMix64::new(seed),
+            zipf_cdf,
+            counter: 0,
+        }
+    }
+
+    /// Paper-default generator: uniform keys, random stream assignment.
+    pub fn uniform(streams: u16, domain: u64, seed: u64) -> Self {
+        Generator::new(streams, domain, KeyDistribution::Uniform, Interleave::Random, seed)
+    }
+
+    /// Next arrival.
+    pub fn next_arrival(&mut self) -> Arrival {
+        let stream = match self.interleave {
+            Interleave::RoundRobin => (self.counter % self.streams as u64) as u16,
+            Interleave::Random => self.rng.next_below(self.streams as u64) as u16,
+        };
+        let key = match self.distribution {
+            KeyDistribution::Uniform => self.rng.next_below(self.domain),
+            KeyDistribution::Zipf(_) => {
+                let u = self.rng.next_f64();
+                self.zipf_cdf.partition_point(|&c| c < u) as u64
+            }
+        };
+        let payload = self.counter;
+        self.counter += 1;
+        Arrival { stream, key, payload }
+    }
+
+    /// Generate `n` arrivals into a vector.
+    pub fn take_vec(&mut self, n: usize) -> Vec<Arrival> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+impl Iterator for Generator {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        Some(self.next_arrival())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Generator::uniform(4, 100, 9).take_vec(50);
+        let b = Generator::uniform(4, 100, 9).take_vec(50);
+        assert_eq!(a, b);
+        let c = Generator::uniform(4, 100, 10).take_vec(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut g = Generator::new(3, 10, KeyDistribution::Uniform, Interleave::RoundRobin, 1);
+        let streams: Vec<u16> = (0..6).map(|_| g.next_arrival().stream).collect();
+        assert_eq!(streams, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn uniform_streams_roughly_balanced() {
+        let mut g = Generator::uniform(4, 10, 3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[g.next_arrival().stream as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..=11_000).contains(&c), "stream count {c}");
+        }
+    }
+
+    #[test]
+    fn keys_within_domain() {
+        let mut g = Generator::uniform(2, 7, 5);
+        for _ in 0..10_000 {
+            assert!(g.next_arrival().key < 7);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_small_keys() {
+        let mut g =
+            Generator::new(1, 1000, KeyDistribution::Zipf(1.2), Interleave::RoundRobin, 11);
+        let mut head = 0u32;
+        let n = 50_000;
+        for _ in 0..n {
+            if g.next_arrival().key < 10 {
+                head += 1;
+            }
+        }
+        // Under Zipf(1.2) the top-10 of 1000 keys carry far more than the
+        // uniform 1% of mass.
+        assert!(head as f64 / n as f64 > 0.3, "head fraction {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn payloads_are_sequential() {
+        let mut g = Generator::uniform(2, 10, 1);
+        let v = g.take_vec(5);
+        let payloads: Vec<u64> = v.iter().map(|a| a.payload).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workloads, scenarios, and schedules for the JISC evaluation (§6).
+//!
+//! * [`generator`] — deterministic arrival generators (uniform keys across
+//!   uniformly chosen streams, the paper's setup; Zipf for skew ablations),
+//! * [`scenarios`] — forced-transition shapes: best case (one incomplete
+//!   state, Figure 5), worst case (all intermediates incomplete), and
+//!   parameterized distance-d swaps (§5.2),
+//! * [`schedules`] — when transitions fire: once, periodically (Figures
+//!   11–12), or in overlapping bursts (§4.5).
+
+pub mod generator;
+pub mod scenarios;
+pub mod schedules;
+
+pub use generator::{Arrival, Generator, Interleave, KeyDistribution};
+pub use scenarios::{best_case, distance_swap, stream_names, worst_case, Scenario};
+pub use schedules::Schedule;

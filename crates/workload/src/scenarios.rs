@@ -1,0 +1,145 @@
+//! Transition scenarios matching the paper's evaluation (§6).
+//!
+//! The evaluation forces plan transitions of controlled shape:
+//!
+//! * **best case** (Figures 7, 12): the new plan has exactly one incomplete
+//!   state — the subtrees below and above the exchanged pair are unchanged
+//!   (Figure 5's shape). Achieved by exchanging the two topmost streams of
+//!   a left-deep plan.
+//! * **worst case** (Figures 8, 11): every migratable state is incomplete —
+//!   achieved by exchanging the outermost (bottom) stream with the topmost
+//!   one, so no intermediate stream-set survives. (The root state covers
+//!   all streams and exists in any equivalent plan, so it always survives;
+//!   the paper's "all states incomplete" reads as "all intermediate
+//!   states".)
+//! * **distance-d swap** (§5.2): exchange the streams at positions `i` and
+//!   `i + d`, producing exactly `d` incomplete intermediate states.
+
+use jisc_engine::{JoinStyle, PlanSpec};
+use serde::{Deserialize, Serialize};
+
+/// A prepared transition scenario: initial plan and the plan to migrate to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Plan the query starts with.
+    pub initial: PlanSpec,
+    /// Plan the forced transition migrates to.
+    pub target: PlanSpec,
+    /// Number of intermediate states the transition leaves incomplete.
+    pub incomplete_states: usize,
+}
+
+/// Stream names `s0..s{n}` for a plan with `n` joins (`n + 1` streams).
+pub fn stream_names(joins: usize) -> Vec<String> {
+    (0..=joins).map(|i| format!("s{i}")).collect()
+}
+
+fn left_deep(names: &[String], style: JoinStyle) -> PlanSpec {
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    PlanSpec::left_deep(&refs, style)
+}
+
+/// Best case (Figure 5 / Figure 7): exchange the two topmost streams of a
+/// left-deep plan over `joins + 1` streams. Exactly one intermediate state
+/// (the join just below the root) is incomplete.
+pub fn best_case(joins: usize, style: JoinStyle) -> Scenario {
+    assert!(joins >= 2, "need at least two joins for a meaningful swap");
+    let names = stream_names(joins);
+    let initial = left_deep(&names, style);
+    let mut swapped = names.clone();
+    swapped.swap(joins - 1, joins);
+    Scenario { initial, target: left_deep(&swapped, style), incomplete_states: 1 }
+}
+
+/// Worst case (Figure 8): exchange the outermost (bottom) stream with the
+/// topmost one. Every intermediate state below the root is incomplete.
+pub fn worst_case(joins: usize, style: JoinStyle) -> Scenario {
+    assert!(joins >= 2, "need at least two joins for a meaningful swap");
+    let names = stream_names(joins);
+    let initial = left_deep(&names, style);
+    let mut swapped = names.clone();
+    swapped.swap(0, joins);
+    Scenario { initial, target: left_deep(&swapped, style), incomplete_states: joins - 1 }
+}
+
+/// Distance-`d` pairwise exchange at position `i` (1-based positions along
+/// the join chain as in §5.2): streams at positions `i` and `i + d` swap,
+/// leaving `d` intermediate states incomplete (capped at the chain).
+pub fn distance_swap(joins: usize, i: usize, d: usize, style: JoinStyle) -> Scenario {
+    assert!(d >= 1 && i >= 1, "positions are 1-based and distance positive");
+    assert!(i + d <= joins + 1, "swap must stay within the plan");
+    let names = stream_names(joins);
+    let initial = left_deep(&names, style);
+    let mut swapped = names.clone();
+    swapped.swap(i - 1, i - 1 + d);
+    // Swapping leaf positions a < b leaves the states covering prefixes
+    // shorter than a or at least b unchanged; the b − a prefixes in between
+    // change, except that swapping at the very bottom (a = 1, i.e. the two
+    // innermost leaves) leaves the leaf join's stream-set intact.
+    let a = i.max(2) - 1; // first affected prefix length (as join index)
+    let b = (i + d - 1).min(joins); // first unaffected upper join index
+    let incomplete = b.saturating_sub(a.max(1));
+    Scenario { initial, target: left_deep(&swapped, style), incomplete_states: incomplete }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jisc_engine::{Catalog, Plan};
+
+    /// Count how many binary states of `target` do not exist in `initial`.
+    fn count_incomplete(s: &Scenario) -> usize {
+        let names = s.initial.leaves().iter().map(|n| n.to_string()).collect::<Vec<_>>();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let catalog = Catalog::uniform(&refs, 10).unwrap();
+        let old = Plan::compile(&catalog, &s.initial).unwrap();
+        let new = Plan::compile(&catalog, &s.target).unwrap();
+        let old_sigs: std::collections::HashSet<_> =
+            old.ids().map(|i| old.node(i).signature).collect();
+        new.ids().filter(|&i| !old_sigs.contains(&new.node(i).signature)).count()
+    }
+
+    #[test]
+    fn best_case_has_one_incomplete_state() {
+        for joins in [2, 4, 8, 20] {
+            let s = best_case(joins, JoinStyle::Hash);
+            assert_eq!(count_incomplete(&s), 1, "joins={joins}");
+            assert_eq!(s.incomplete_states, 1);
+        }
+    }
+
+    #[test]
+    fn worst_case_invalidates_all_intermediates() {
+        for joins in [2, 4, 8, 20] {
+            let s = worst_case(joins, JoinStyle::Hash);
+            assert_eq!(count_incomplete(&s), joins - 1, "joins={joins}");
+            assert_eq!(s.incomplete_states, joins - 1);
+        }
+    }
+
+    #[test]
+    fn distance_swap_matches_predicted_incomplete_count() {
+        for joins in [4usize, 8, 12] {
+            for i in 1..=joins {
+                for d in 1..=(joins + 1 - i) {
+                    let s = distance_swap(joins, i, d, JoinStyle::Hash);
+                    assert_eq!(
+                        count_incomplete(&s),
+                        s.incomplete_states,
+                        "joins={joins} i={i} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_are_equivalent_queries() {
+        let s = worst_case(5, JoinStyle::Hash);
+        let mut a = s.initial.leaves();
+        let mut b = s.target.leaves();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! Transition schedules: when (and to what) the forced transitions fire.
+//!
+//! Figures 11–12 force a transition every `f` tuples; the thrashing
+//! experiment (§5.1.2) fires transitions faster than completion can settle.
+//! A schedule alternates between a scenario's two plans so that every
+//! firing is a genuine plan change.
+
+use jisc_engine::PlanSpec;
+
+use crate::scenarios::Scenario;
+
+/// A precomputed list of (arrival index, plan) transition points.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    transitions: Vec<(usize, PlanSpec)>,
+}
+
+impl Schedule {
+    /// No transitions (static execution).
+    pub fn none() -> Self {
+        Schedule { transitions: Vec::new() }
+    }
+
+    /// Fire every `period` arrivals over a run of `total` arrivals,
+    /// alternating target → initial → target → … so each firing changes
+    /// the running plan.
+    pub fn periodic(scenario: &Scenario, period: usize, total: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        let mut transitions = Vec::new();
+        let mut to_target = true;
+        let mut at = period;
+        while at < total {
+            let plan =
+                if to_target { scenario.target.clone() } else { scenario.initial.clone() };
+            transitions.push((at, plan));
+            to_target = !to_target;
+            at += period;
+        }
+        Schedule { transitions }
+    }
+
+    /// A single transition at `at`.
+    pub fn once(scenario: &Scenario, at: usize) -> Self {
+        Schedule { transitions: vec![(at, scenario.target.clone())] }
+    }
+
+    /// A burst of `count` transitions `gap` arrivals apart starting at
+    /// `start`, alternating plans — the §4.5/§5.1.2 overlapped-transition
+    /// stress.
+    pub fn burst(scenario: &Scenario, start: usize, gap: usize, count: usize) -> Self {
+        assert!(gap > 0);
+        let mut transitions = Vec::new();
+        let mut to_target = true;
+        for k in 0..count {
+            let plan =
+                if to_target { scenario.target.clone() } else { scenario.initial.clone() };
+            transitions.push((start + k * gap, plan));
+            to_target = !to_target;
+        }
+        Schedule { transitions }
+    }
+
+    /// The transition points, ordered by arrival index.
+    pub fn transitions(&self) -> &[(usize, PlanSpec)] {
+        &self.transitions
+    }
+
+    /// Number of scheduled transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if the schedule has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Plans due at arrival index `i` (usually zero or one; bursts can
+    /// schedule several at the same index).
+    pub fn due(&self, i: usize) -> impl Iterator<Item = &PlanSpec> {
+        self.transitions.iter().filter(move |(at, _)| *at == i).map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::best_case;
+    use jisc_engine::JoinStyle;
+
+    #[test]
+    fn periodic_alternates_and_stays_in_range() {
+        let s = best_case(3, JoinStyle::Hash);
+        let sched = Schedule::periodic(&s, 100, 450);
+        assert_eq!(sched.len(), 4); // at 100, 200, 300, 400
+        let plans: Vec<_> = sched.transitions().iter().map(|(at, p)| (*at, p)).collect();
+        assert_eq!(plans[0].0, 100);
+        assert_eq!(plans[0].1, &s.target);
+        assert_eq!(plans[1].1, &s.initial);
+        assert_eq!(plans[2].1, &s.target);
+    }
+
+    #[test]
+    fn once_and_due() {
+        let s = best_case(3, JoinStyle::Hash);
+        let sched = Schedule::once(&s, 42);
+        assert_eq!(sched.due(42).count(), 1);
+        assert_eq!(sched.due(41).count(), 0);
+    }
+
+    #[test]
+    fn burst_schedules_rapid_transitions() {
+        let s = best_case(3, JoinStyle::Hash);
+        let sched = Schedule::burst(&s, 500, 5, 3);
+        let idxs: Vec<usize> = sched.transitions().iter().map(|(at, _)| *at).collect();
+        assert_eq!(idxs, vec![500, 505, 510]);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(Schedule::none().is_empty());
+    }
+}

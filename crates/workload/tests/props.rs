@@ -1,0 +1,76 @@
+//! Property tests for workload generation and scenario construction.
+
+use jisc_engine::{Catalog, JoinStyle, Plan};
+use jisc_workload::{best_case, distance_swap, worst_case, Generator, Schedule};
+use proptest::prelude::*;
+
+proptest! {
+    /// Generators are deterministic per seed and respect stream/domain
+    /// bounds for any configuration.
+    #[test]
+    fn generator_bounds_and_determinism(
+        streams in 1u16..12,
+        domain in 1u64..10_000,
+        seed in any::<u64>(),
+        n in 1usize..300,
+    ) {
+        let a = Generator::uniform(streams, domain, seed).take_vec(n);
+        let b = Generator::uniform(streams, domain, seed).take_vec(n);
+        prop_assert_eq!(&a, &b);
+        for arr in &a {
+            prop_assert!(arr.stream < streams);
+            prop_assert!(arr.key < domain);
+        }
+    }
+
+    /// Every scenario's predicted incomplete-state count matches the
+    /// actual signature diff of its compiled plans.
+    #[test]
+    fn scenario_predictions_match_compiled_diff(
+        joins in 2usize..12,
+        i in 1usize..12,
+        d in 1usize..12,
+    ) {
+        prop_assume!(i + d <= joins + 1);
+        for scenario in [
+            best_case(joins, JoinStyle::Hash),
+            worst_case(joins, JoinStyle::Hash),
+            distance_swap(joins, i, d, JoinStyle::Hash),
+        ] {
+            let names: Vec<String> =
+                scenario.initial.leaves().iter().map(|s| s.to_string()).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let catalog = Catalog::uniform(&refs, 5).unwrap();
+            let old = Plan::compile(&catalog, &scenario.initial).unwrap();
+            let new = Plan::compile(&catalog, &scenario.target).unwrap();
+            let old_sigs: std::collections::HashSet<_> =
+                old.ids().map(|x| old.node(x).signature).collect();
+            let actual =
+                new.ids().filter(|&x| !old_sigs.contains(&new.node(x).signature)).count();
+            prop_assert_eq!(actual, scenario.incomplete_states);
+        }
+    }
+
+    /// Periodic schedules alternate plans, stay in range, and always
+    /// change the running plan.
+    #[test]
+    fn periodic_schedules_always_change_plans(
+        joins in 2usize..8,
+        period in 1usize..500,
+        total in 1usize..2_000,
+    ) {
+        let scenario = best_case(joins, JoinStyle::Hash);
+        let sched = Schedule::periodic(&scenario, period, total);
+        let mut current = scenario.initial.clone();
+        let mut last_at = 0;
+        for (i, (at, plan)) in sched.transitions().iter().enumerate() {
+            prop_assert!(*at < total);
+            if i > 0 {
+                prop_assert_eq!(*at - last_at, period);
+            }
+            prop_assert_ne!(plan, &current, "every firing must change the plan");
+            current = plan.clone();
+            last_at = *at;
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Sensor fusion under fluctuating rates: overlapped transitions, streamed
+//! from a producer thread.
+//!
+//! ```text
+//! cargo run -p jisc-examples --release --bin sensor_fusion
+//! ```
+//!
+//! Six sensor arrays stream readings tagged with a cell id; the fused
+//! output joins all six per cell. Rates fluctuate so quickly that the
+//! optimizer fires transitions *before previous migrations settle* — the
+//! §4.5 overlapped-transition regime where eager strategies thrash. A
+//! crossbeam channel decouples the producer from the engine, as a real
+//! deployment would.
+
+use std::thread;
+
+use crossbeam::channel;
+use jisc_common::SplitMix64;
+use jisc_core::{AdaptiveEngine, Strategy};
+use jisc_engine::{Catalog, JoinStyle, PlanSpec};
+
+const SENSORS: [&str; 6] = ["lidar", "radar", "camera", "thermal", "acoustic", "pressure"];
+const WINDOW: usize = 1_500;
+const EVENTS: usize = 60_000;
+
+#[derive(Debug)]
+enum Msg {
+    Reading { sensor: &'static str, cell: u64 },
+    /// Rate shift detected upstream: migrate to the given sensor order.
+    Reorder(Vec<&'static str>),
+    Done,
+}
+
+fn producer(tx: channel::Sender<Msg>) {
+    let mut rng = SplitMix64::new(7);
+    let mut order: Vec<&'static str> = SENSORS.to_vec();
+    for i in 0..EVENTS {
+        // Fluctuating rates: every 4000 events the "quiet" sensor changes,
+        // and the upstream rate monitor immediately requests a reorder —
+        // long before the previous migration's states finish completing.
+        if i > 0 && i % 4_000 == 0 {
+            let a = rng.next_below(SENSORS.len() as u64) as usize;
+            let b = rng.next_below(SENSORS.len() as u64) as usize;
+            if a != b {
+                order.swap(a, b);
+                tx.send(Msg::Reorder(order.clone())).expect("channel open");
+            }
+        }
+        let sensor = order[rng.next_below(SENSORS.len() as u64) as usize];
+        let cell = rng.next_below(2_000);
+        tx.send(Msg::Reading { sensor, cell }).expect("channel open");
+    }
+    tx.send(Msg::Done).expect("channel open");
+}
+
+fn main() {
+    let catalog = Catalog::uniform(&SENSORS, WINDOW).expect("catalog");
+    let plan = PlanSpec::left_deep(&SENSORS, JoinStyle::Hash);
+    let mut engine = AdaptiveEngine::new(catalog, &plan, Strategy::Jisc).expect("engine");
+
+    let (tx, rx) = channel::bounded::<Msg>(1024);
+    let producer = thread::spawn(move || producer(tx));
+
+    let mut readings = 0u64;
+    let mut transitions = 0u64;
+    let mut max_incomplete = 0usize;
+    let mut overlapped = 0u64;
+    let t0 = std::time::Instant::now();
+    for msg in rx.iter() {
+        match msg {
+            Msg::Reading { sensor, cell } => {
+                engine.push_named(sensor, cell, readings).expect("push");
+                readings += 1;
+            }
+            Msg::Reorder(order) => {
+                // §4.5: if states from the previous transition are still
+                // incomplete, this transition overlaps it.
+                if engine.incomplete_states() > 0 {
+                    overlapped += 1;
+                }
+                let new_plan = PlanSpec::left_deep(&order, JoinStyle::Hash);
+                engine.transition_to(&new_plan).expect("transition");
+                transitions += 1;
+                max_incomplete = max_incomplete.max(engine.incomplete_states());
+            }
+            Msg::Done => break,
+        }
+    }
+    producer.join().expect("producer thread");
+
+    let m = engine.metrics();
+    println!("--- sensor fusion summary ---");
+    println!("readings            : {readings} in {:.1?}", t0.elapsed());
+    println!("fused outputs       : {}", m.tuples_out);
+    println!("transitions         : {transitions} ({overlapped} overlapped)");
+    println!("max incomplete      : {max_incomplete}");
+    println!("on-demand completions: {}", m.completions);
+    println!("attempted skips     : {}", m.attempted_skips);
+    println!("duplicate-free      : {}", engine.output().is_duplicate_free());
+    assert!(engine.output().is_duplicate_free());
+    assert!(transitions > 0, "expected the rate monitor to fire");
+}

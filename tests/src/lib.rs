@@ -1,0 +1,7 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The centerpiece is [`oracle::NaiveOracle`], a brute-force n-way windowed
+//! join evaluator used as ground truth against every engine in the
+//! workspace.
+
+pub mod oracle;

@@ -1,0 +1,187 @@
+//! A brute-force ground-truth evaluator for windowed n-way equi-joins and
+//! set-difference chains.
+//!
+//! The oracle keeps each stream's window as a plain ring and, on every
+//! arrival, recomputes the newly produced results directly from window
+//! contents — no hashing, no states, no migration. Every engine in the
+//! workspace (pipelined, JISC, Moving State, Parallel Track, CACQ, STAIRs)
+//! must produce exactly the oracle's output lineages, regardless of how
+//! many plan transitions happen along the way.
+
+use std::collections::VecDeque;
+
+use jisc_common::{FxHashMap, FxHashSet, Key, Lineage, SeqNo, StreamId};
+
+/// Brute-force evaluator over `n` streams.
+#[derive(Debug)]
+pub struct NaiveOracle {
+    windows: Vec<VecDeque<(SeqNo, Key)>>,
+    window_size: usize,
+    next_seq: SeqNo,
+    /// Multiset of produced result lineages.
+    pub results: FxHashMap<Lineage, usize>,
+    /// Outer tuples currently visible (set-difference mode only).
+    visible: FxHashSet<SeqNo>,
+    /// Query mode.
+    mode: Mode,
+}
+
+/// What query the oracle evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Equi-join of every stream on the shared key.
+    JoinAll,
+    /// `s0 − s1 − s2 − …`: outputs emitted when a stream-0 tuple arrives
+    /// and no other stream currently holds its key (append-only log, same
+    /// emission rule as the engine), plus re-emissions when the last
+    /// suppressor expires.
+    SetDiffChain,
+}
+
+impl NaiveOracle {
+    /// Oracle over `streams` streams with a shared `window_size`.
+    pub fn new(streams: usize, window_size: usize, mode: Mode) -> Self {
+        NaiveOracle {
+            windows: vec![VecDeque::new(); streams],
+            window_size,
+            next_seq: 0,
+            results: FxHashMap::default(),
+            visible: FxHashSet::default(),
+            mode,
+        }
+    }
+
+    /// Process one arrival, recording any results it produces.
+    pub fn push(&mut self, stream: StreamId, key: Key) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Slide the window first, exactly like the engine's ingest.
+        let expired = {
+            let ring = &mut self.windows[stream.0 as usize];
+            if ring.len() == self.window_size {
+                ring.pop_front()
+            } else {
+                None
+            }
+        };
+        if self.mode == Mode::SetDiffChain {
+            if let Some((sq, k)) = expired {
+                if stream.0 == 0 {
+                    self.visible.remove(&sq);
+                } else {
+                    self.maybe_reemit_after_expiry(k);
+                }
+            }
+        }
+        self.windows[stream.0 as usize].push_back((seq, key));
+        match self.mode {
+            Mode::JoinAll => self.join_all(stream, seq, key),
+            Mode::SetDiffChain => self.set_diff(stream, seq, key),
+        }
+    }
+
+    fn join_all(&mut self, stream: StreamId, seq: SeqNo, key: Key) {
+        // Cross product of matching tuples from every *other* stream.
+        let mut combos: Vec<Vec<(StreamId, SeqNo)>> = vec![vec![(stream, seq)]];
+        for (i, ring) in self.windows.iter().enumerate() {
+            if i == stream.0 as usize {
+                continue;
+            }
+            let matches: Vec<(StreamId, SeqNo)> = ring
+                .iter()
+                .filter(|(_, k)| *k == key)
+                .map(|(s, _)| (StreamId(i as u16), *s))
+                .collect();
+            if matches.is_empty() {
+                return; // some stream has no partner: no output
+            }
+            let mut next = Vec::with_capacity(combos.len() * matches.len());
+            for c in &combos {
+                for m in &matches {
+                    let mut c2 = c.clone();
+                    c2.push(*m);
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
+        for c in combos {
+            *self.results.entry(Lineage::new(c)).or_default() += 1;
+        }
+    }
+
+    fn suppressed(&self, key: Key) -> bool {
+        self.windows[1..].iter().any(|r| r.iter().any(|(_, k)| *k == key))
+    }
+
+    fn set_diff(&mut self, stream: StreamId, seq: SeqNo, key: Key) {
+        if stream.0 != 0 {
+            // Subtrahend arrival: matching visible outers become suppressed.
+            let victims: Vec<SeqNo> = self.windows[0]
+                .iter()
+                .filter(|(_, k)| *k == key)
+                .map(|(s, _)| *s)
+                .collect();
+            for v in victims {
+                self.visible.remove(&v);
+            }
+            return;
+        }
+        if !self.suppressed(key) {
+            self.visible.insert(seq);
+            *self.results.entry(Lineage::new(vec![(stream, seq)])).or_default() += 1;
+        }
+    }
+
+    fn maybe_reemit_after_expiry(&mut self, key: Key) {
+        // The expired subtrahend tuple was already popped; if no suppressor
+        // remains, every currently-suppressed outer with this key re-emerges.
+        if self.suppressed(key) {
+            return;
+        }
+        let reborn: Vec<SeqNo> = self.windows[0]
+            .iter()
+            .filter(|(sq, k)| *k == key && !self.visible.contains(sq))
+            .map(|(sq, _)| *sq)
+            .collect();
+        for sq in reborn {
+            self.visible.insert(sq);
+            *self.results.entry(Lineage::new(vec![(StreamId(0), sq)])).or_default() += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_way_join_counts() {
+        let mut o = NaiveOracle::new(2, 10, Mode::JoinAll);
+        o.push(StreamId(0), 5);
+        o.push(StreamId(1), 5);
+        o.push(StreamId(1), 5);
+        o.push(StreamId(0), 5); // joins both stream-1 tuples
+        // r1⋈s1, r1⋈s2 (when each s arrived), r2⋈s1, r2⋈s2
+        assert_eq!(o.results.values().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn window_limits_matches() {
+        let mut o = NaiveOracle::new(2, 1, Mode::JoinAll);
+        o.push(StreamId(0), 5);
+        o.push(StreamId(0), 6); // evicts key 5
+        o.push(StreamId(1), 5);
+        assert!(o.results.is_empty());
+    }
+
+    #[test]
+    fn set_diff_visibility_and_reemission() {
+        let mut o = NaiveOracle::new(2, 1, Mode::SetDiffChain);
+        o.push(StreamId(1), 7); // suppressor
+        o.push(StreamId(0), 7); // suppressed
+        assert!(o.results.is_empty());
+        o.push(StreamId(1), 99); // evicts suppressor: key 7 re-emerges
+        assert_eq!(o.results.values().sum::<usize>(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Every engine in the workspace must match the brute-force oracle —
+//! windows, joins, set-differences, and migrations included.
+
+use jisc_common::{FxHashMap, Lineage, SplitMix64, StreamId};
+use jisc_core::{AdaptiveEngine, Strategy};
+use jisc_eddy::{CacqExec, StairsExec, StairsMode};
+use jisc_engine::{Catalog, JoinStyle, PlanSpec};
+use jisc_integration_tests::oracle::{Mode, NaiveOracle};
+
+fn workload(n: usize, streams: u16, keys: u64, seed: u64) -> Vec<(u16, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| (rng.next_below(streams as u64) as u16, rng.next_below(keys))).collect()
+}
+
+fn oracle_results(
+    arrivals: &[(u16, u64)],
+    streams: usize,
+    window: usize,
+    mode: Mode,
+) -> FxHashMap<Lineage, usize> {
+    let mut o = NaiveOracle::new(streams, window, mode);
+    for &(s, k) in arrivals {
+        o.push(StreamId(s), k);
+    }
+    o.results
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("s{i}")).collect()
+}
+
+#[test]
+fn pipelined_engines_match_oracle_with_migrations() {
+    for (streams, window, keys, n, seed) in
+        [(3usize, 20usize, 6u64, 400usize, 1u64), (4, 35, 10, 700, 2), (5, 15, 5, 500, 3)]
+    {
+        let arrivals = workload(n, streams as u16, keys, seed);
+        let expected = oracle_results(&arrivals, streams, window, Mode::JoinAll);
+        let nm = names(streams);
+        let refs: Vec<&str> = nm.iter().map(String::as_str).collect();
+        let mut rev = refs.clone();
+        rev.reverse();
+        let initial = PlanSpec::left_deep(&refs, JoinStyle::Hash);
+        let target = PlanSpec::left_deep(&rev, JoinStyle::Hash);
+        for strategy in [
+            Strategy::Jisc,
+            Strategy::MovingState,
+            Strategy::ParallelTrack { check_period: 9 },
+        ] {
+            let catalog = Catalog::uniform(&refs, window).unwrap();
+            let mut e = AdaptiveEngine::new(catalog, &initial, strategy).unwrap();
+            for (i, &(s, k)) in arrivals.iter().enumerate() {
+                if i == n / 2 {
+                    e.transition_to(&target).unwrap();
+                }
+                e.push(StreamId(s), k, 0).unwrap();
+            }
+            assert_eq!(
+                e.output().lineage_multiset(),
+                expected,
+                "{strategy:?} diverged from the oracle (streams={streams})"
+            );
+        }
+    }
+}
+
+#[test]
+fn cacq_matches_oracle() {
+    for (streams, window, keys, n, seed) in [(3usize, 25usize, 8u64, 500usize, 4u64), (4, 18, 6, 600, 5)]
+    {
+        let arrivals = workload(n, streams as u16, keys, seed);
+        let expected = oracle_results(&arrivals, streams, window, Mode::JoinAll);
+        let nm = names(streams);
+        let refs: Vec<&str> = nm.iter().map(String::as_str).collect();
+        let catalog = Catalog::uniform(&refs, window).unwrap();
+        let mut e = CacqExec::new(catalog).unwrap();
+        for (i, &(s, k)) in arrivals.iter().enumerate() {
+            if i == n / 2 {
+                // mid-run rerouting must not change output
+                let mut rev = refs.clone();
+                rev.reverse();
+                e.set_routing_order_named(&rev).unwrap();
+            }
+            e.push(StreamId(s), k, 0).unwrap();
+        }
+        assert_eq!(e.output.lineage_multiset(), expected, "CACQ diverged from the oracle");
+    }
+}
+
+#[test]
+fn stairs_match_oracle_across_reroutes() {
+    let streams = 4usize;
+    let (window, keys, n) = (22usize, 7u64, 600usize);
+    let arrivals = workload(n, streams as u16, keys, 6);
+    let expected = oracle_results(&arrivals, streams, window, Mode::JoinAll);
+    let nm = names(streams);
+    let refs: Vec<&str> = nm.iter().map(String::as_str).collect();
+    for mode in [StairsMode::Eager, StairsMode::JiscLazy] {
+        let catalog = Catalog::uniform(&refs, window).unwrap();
+        let mut e = StairsExec::new(catalog, &refs, mode).unwrap();
+        for (i, &(s, k)) in arrivals.iter().enumerate() {
+            if i == n / 3 || i == 2 * n / 3 {
+                let mut rev = refs.clone();
+                rev.rotate_left(1 + i % 2);
+                e.reroute(&rev).unwrap();
+            }
+            e.push(StreamId(s), k, 0).unwrap();
+        }
+        assert_eq!(
+            e.output().lineage_multiset(),
+            expected,
+            "STAIRs {mode:?} diverged from the oracle"
+        );
+    }
+}
+
+#[test]
+fn set_difference_matches_oracle_with_migration() {
+    let streams = 4usize;
+    let (window, keys, n) = (25usize, 12u64, 800usize);
+    let arrivals = workload(n, streams as u16, keys, 7);
+    let expected = oracle_results(&arrivals, streams, window, Mode::SetDiffChain);
+    let nm = names(streams);
+    let refs: Vec<&str> = nm.iter().map(String::as_str).collect();
+    let initial = PlanSpec::set_diff_chain(&refs);
+    // migrate subtrahend order: s0 − s3 − s1 − s2
+    let target = PlanSpec::set_diff_chain(&[refs[0], refs[3], refs[1], refs[2]]);
+    for strategy in [Strategy::Jisc, Strategy::MovingState] {
+        let catalog = Catalog::uniform(&refs, window).unwrap();
+        let mut e = AdaptiveEngine::new(catalog, &initial, strategy).unwrap();
+        for (i, &(s, k)) in arrivals.iter().enumerate() {
+            if i == n / 2 {
+                e.transition_to(&target).unwrap();
+            }
+            e.push(StreamId(s), k, 0).unwrap();
+        }
+        assert_eq!(
+            e.output().lineage_multiset(),
+            expected,
+            "{strategy:?} set-difference diverged from the oracle"
+        );
+    }
+}
+
+#[test]
+fn bushy_plans_match_oracle() {
+    let streams = 6usize;
+    let (window, keys, n) = (12usize, 5u64, 900usize);
+    let arrivals = workload(n, streams as u16, keys, 8);
+    let expected = oracle_results(&arrivals, streams, window, Mode::JoinAll);
+    let nm = names(streams);
+    let refs: Vec<&str> = nm.iter().map(String::as_str).collect();
+    let initial = PlanSpec::bushy(&refs, JoinStyle::Hash);
+    let shuffled = ["s4", "s1", "s5", "s3", "s0", "s2"];
+    let target = PlanSpec::bushy(&shuffled, JoinStyle::Hash);
+    let catalog = Catalog::uniform(&refs, window).unwrap();
+    let mut e = AdaptiveEngine::new(catalog, &initial, Strategy::Jisc).unwrap();
+    for (i, &(s, k)) in arrivals.iter().enumerate() {
+        if i == n / 2 {
+            e.transition_to(&target).unwrap();
+        }
+        e.push(StreamId(s), k, 0).unwrap();
+    }
+    assert_eq!(e.output().lineage_multiset(), expected, "bushy JISC diverged from the oracle");
+}
+
+#[test]
+fn mjoin_matches_oracle() {
+    use jisc_eddy::MJoinExec;
+    let streams = 4usize;
+    let (window, keys, n) = (20usize, 7u64, 600usize);
+    let arrivals = workload(n, streams as u16, keys, 10);
+    let expected = oracle_results(&arrivals, streams, window, Mode::JoinAll);
+    let nm = names(streams);
+    let refs: Vec<&str> = nm.iter().map(String::as_str).collect();
+    let catalog = Catalog::uniform(&refs, window).unwrap();
+    let mut e = MJoinExec::new(catalog).unwrap();
+    for (i, &(s, k)) in arrivals.iter().enumerate() {
+        if i == n / 2 {
+            let mut rev = refs.clone();
+            rev.reverse();
+            e.set_probe_order_named(&rev).unwrap();
+        }
+        e.push(StreamId(s), k, 0).unwrap();
+    }
+    assert_eq!(e.output.lineage_multiset(), expected, "MJoin diverged from the oracle");
+}

@@ -1,0 +1,161 @@
+//! Property-based tests (proptest): randomized workloads, windows, plan
+//! shapes, and transition schedules against the brute-force oracle and the
+//! paper's invariants (Theorems 1–3, §4.3 counter convergence).
+
+use jisc_common::StreamId;
+use jisc_core::AdaptiveEngine;
+use jisc_engine::{Catalog, JoinStyle, PlanSpec};
+use jisc_integration_tests::oracle::{Mode, NaiveOracle};
+use proptest::prelude::*;
+
+/// A generated scenario: arrivals plus a transition schedule.
+#[derive(Debug, Clone)]
+struct Scenario {
+    streams: usize,
+    window: usize,
+    arrivals: Vec<(u16, u64)>,
+    /// (arrival index, permutation of stream indices)
+    transitions: Vec<(usize, Vec<usize>)>,
+}
+
+fn scenario_strategy(max_streams: usize, max_n: usize) -> impl Strategy<Value = Scenario> {
+    (3..=max_streams, 5usize..40, 20usize..max_n).prop_flat_map(|(streams, window, n)| {
+        let arrivals =
+            proptest::collection::vec((0..streams as u16, 0u64..12), n);
+        let perm = proptest::sample::select(
+            // a handful of fixed permutation shapes; Just to keep shrinking sane
+            (0..streams)
+                .map(|rot| {
+                    let mut p: Vec<usize> = (0..streams).collect();
+                    p.rotate_left(rot);
+                    p
+                })
+                .chain([{
+                    let mut p: Vec<usize> = (0..streams).collect();
+                    p.reverse();
+                    p
+                }])
+                .collect::<Vec<_>>(),
+        );
+        let transitions =
+            proptest::collection::vec((0..n, perm), 0..4);
+        (Just(streams), Just(window), arrivals, transitions).prop_map(
+            |(streams, window, arrivals, mut transitions)| {
+                transitions.sort_by_key(|(i, _)| *i);
+                Scenario { streams, window, arrivals, transitions }
+            },
+        )
+    })
+}
+
+fn run_strategy(
+    sc: &Scenario,
+    strategy: Strategy_,
+) -> jisc_common::FxHashMap<jisc_common::Lineage, usize> {
+    let names: Vec<String> = (0..sc.streams).map(|i| format!("s{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let catalog = Catalog::uniform(&refs, sc.window).unwrap();
+    let initial = PlanSpec::left_deep(&refs, JoinStyle::Hash);
+    let mut e = AdaptiveEngine::new(catalog, &initial, strategy).unwrap();
+    let mut next = 0;
+    for (i, &(s, k)) in sc.arrivals.iter().enumerate() {
+        while next < sc.transitions.len() && sc.transitions[next].0 == i {
+            let perm: Vec<&str> =
+                sc.transitions[next].1.iter().map(|&j| refs[j]).collect();
+            let plan = PlanSpec::left_deep(&perm, JoinStyle::Hash);
+            e.transition_to(&plan).unwrap();
+            next += 1;
+        }
+        e.push(StreamId(s), k, 0).unwrap();
+    }
+    assert!(e.output().is_duplicate_free(), "Theorem 3 violated by {strategy:?}");
+    e.output().lineage_multiset()
+}
+
+type Strategy_ = jisc_core::Strategy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorems 1 & 2: under arbitrary transition schedules, JISC produces
+    /// exactly the oracle's output — nothing missed, nothing invented.
+    #[test]
+    fn jisc_matches_oracle(sc in scenario_strategy(5, 250)) {
+        let mut o = NaiveOracle::new(sc.streams, sc.window, Mode::JoinAll);
+        for &(s, k) in &sc.arrivals {
+            o.push(StreamId(s), k);
+        }
+        let got = run_strategy(&sc, Strategy_::Jisc);
+        prop_assert_eq!(got, o.results);
+    }
+
+    /// The same under Moving State and Parallel Track.
+    #[test]
+    fn baselines_match_oracle(sc in scenario_strategy(4, 160)) {
+        let mut o = NaiveOracle::new(sc.streams, sc.window, Mode::JoinAll);
+        for &(s, k) in &sc.arrivals {
+            o.push(StreamId(s), k);
+        }
+        let ms = run_strategy(&sc, Strategy_::MovingState);
+        prop_assert_eq!(&ms, &o.results);
+        let pt = run_strategy(&sc, Strategy_::ParallelTrack { check_period: 5 });
+        prop_assert_eq!(&pt, &o.results);
+    }
+
+    /// §4.3 liveness: once the windows fully turn over after the last
+    /// transition, every pending key has either been completed or expired,
+    /// so every state is complete again.
+    #[test]
+    fn counters_converge_after_window_turnover(
+        seed in 0u64..500,
+        streams in 3usize..6,
+        window in 4usize..16,
+    ) {
+        let names: Vec<String> = (0..streams).map(|i| format!("s{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let catalog = Catalog::uniform(&refs, window).unwrap();
+        let initial = PlanSpec::left_deep(&refs, JoinStyle::Hash);
+        let mut rev = refs.clone();
+        rev.reverse();
+        let target = PlanSpec::left_deep(&rev, JoinStyle::Hash);
+        let mut e = AdaptiveEngine::new(catalog, &initial, Strategy_::Jisc).unwrap();
+        let mut rng = jisc_common::SplitMix64::new(seed);
+        let warm = streams * window * 2;
+        for _ in 0..warm {
+            e.push(
+                StreamId(rng.next_below(streams as u64) as u16),
+                rng.next_below(8),
+                0,
+            ).unwrap();
+        }
+        e.transition_to(&target).unwrap();
+        // Drive until every stream's window content postdates the
+        // transition: every pre-transition key is gone, so every pending
+        // key was either completed on demand or expired.
+        for _ in 0..streams * window * 4 {
+            e.push(
+                StreamId(rng.next_below(streams as u64) as u16),
+                rng.next_below(8),
+                0,
+            ).unwrap();
+        }
+        prop_assert_eq!(e.incomplete_states(), 0, "states must converge to complete");
+    }
+
+    /// Plan-spec algebra: swapping two streams is an involution and
+    /// preserves the leaf multiset.
+    #[test]
+    fn swap_is_involution(streams in 2usize..8, a in 0usize..8, b in 0usize..8) {
+        let names: Vec<String> = (0..streams).map(|i| format!("s{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let plan = PlanSpec::left_deep(&refs, JoinStyle::Hash);
+        let (a, b) = (a % streams, b % streams);
+        let swapped = plan.swap_streams(refs[a], refs[b]);
+        prop_assert_eq!(swapped.swap_streams(refs[a], refs[b]), plan.clone());
+        let mut l1 = plan.leaves();
+        let mut l2 = swapped.leaves();
+        l1.sort();
+        l2.sort();
+        prop_assert_eq!(l1, l2);
+    }
+}
