@@ -92,6 +92,9 @@ mod tests {
     fn tail_mass_decreases_with_n() {
         let small = run(10, 100_000, 7).tail_fraction;
         let large = run(10_000, 100_000, 7).tail_fraction;
-        assert!(large < small, "concentration should improve: {small} -> {large}");
+        assert!(
+            large < small,
+            "concentration should improve: {small} -> {large}"
+        );
     }
 }

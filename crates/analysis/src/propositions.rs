@@ -17,8 +17,7 @@ pub fn variance_complete_states(n: u64) -> f64 {
     assert!(n >= 2);
     let h = harmonic(n);
     let nf = n as f64;
-    (2.0 * nf * nf * h - 5.0 * nf * nf + 6.0 * nf - 2.0 * h - 1.0)
-        / (12.0 * (h - 1.0) * (h - 1.0))
+    (2.0 * nf * nf * h - 5.0 * nf * nf + 6.0 * nf - 2.0 * h - 1.0) / (12.0 * (h - 1.0) * (h - 1.0))
 }
 
 /// Proposition 2 (asymptotic mean): `E[C_n] ≈ n − n / (2 ln n)`.
@@ -68,8 +67,14 @@ mod tests {
             let (me, ve) = moments_by_enumeration(n);
             let mc = expected_complete_states(n);
             let vc = variance_complete_states(n);
-            assert!((me - mc).abs() / mc.max(1.0) < 1e-9, "mean n={n}: {me} vs {mc}");
-            assert!((ve - vc).abs() / vc.max(1.0) < 1e-6, "var n={n}: {ve} vs {vc}");
+            assert!(
+                (me - mc).abs() / mc.max(1.0) < 1e-9,
+                "mean n={n}: {me} vs {mc}"
+            );
+            assert!(
+                (ve - vc).abs() / vc.max(1.0) < 1e-6,
+                "var n={n}: {ve} vs {vc}"
+            );
         }
     }
 

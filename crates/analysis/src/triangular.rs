@@ -59,7 +59,11 @@ impl SwapSampler {
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
-        SwapSampler { n, cdf, rng: SplitMix64::new(seed) }
+        SwapSampler {
+            n,
+            cdf,
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Draw a swap pair `(i, j)` with `1 ≤ i < j ≤ n`.
@@ -86,8 +90,7 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         for n in [2u64, 5, 20, 100] {
-            let total: f64 =
-                (1..n).map(|d| distance_probability(n, d)).sum();
+            let total: f64 = (1..n).map(|d| distance_probability(n, d)).sum();
             assert!((total - 1.0).abs() < 1e-9, "n={n}: total {total}");
             // pairwise form agrees
             let pair_total: f64 = (1..=n)

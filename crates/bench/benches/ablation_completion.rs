@@ -13,7 +13,12 @@ fn bench(c: &mut Criterion) {
     let joins = 10;
     let window = 200usize;
     let scenario = worst_case(joins, JoinStyle::Hash);
-    let names = scenario.initial.leaves().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let names = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let streams = refs.len();
     let warmup = arrivals_for(&scenario, streams * window * 2, window as u64, 1);

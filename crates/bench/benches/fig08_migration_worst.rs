@@ -34,7 +34,9 @@ fn bench(c: &mut Criterion) {
                     let mut e = engine_for(
                         &scenario,
                         window,
-                        Strategy::ParallelTrack { check_period: (window / 2) as u64 },
+                        Strategy::ParallelTrack {
+                            check_period: (window / 2) as u64,
+                        },
                     );
                     push_all(&mut e, &warmup);
                     e.transition_to(&scenario.target).unwrap();
@@ -49,7 +51,8 @@ fn bench(c: &mut Criterion) {
                 || {
                     let mut e = cacq_for(&scenario, window);
                     push_all_cacq(&mut e, &warmup);
-                    e.set_routing_order_named(&scenario.target.leaves()).unwrap();
+                    e.set_routing_order_named(&scenario.target.leaves())
+                        .unwrap();
                     e
                 },
                 |mut e| push_all_cacq(&mut e, &stage),

@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
 
     for strategy in [
         Strategy::Jisc,
-        Strategy::ParallelTrack { check_period: (window / 2) as u64 },
+        Strategy::ParallelTrack {
+            check_period: (window / 2) as u64,
+        },
     ] {
         g.bench_with_input(
             BenchmarkId::new(format!("{strategy:?}"), period),

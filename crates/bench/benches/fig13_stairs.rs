@@ -17,29 +17,34 @@ fn bench(c: &mut Criterion) {
     let mut rerouted = refs.clone();
     rerouted.swap(0, joins);
     let streams = refs.len();
-    let warmup = Generator::uniform(streams as u16, window as u64, 1).take_vec(streams * window * 2);
+    let warmup =
+        Generator::uniform(streams as u16, window as u64, 1).take_vec(streams * window * 2);
     let stage = Generator::uniform(streams as u16, window as u64, 2).take_vec(streams * window);
 
     for mode in [StairsMode::Eager, StairsMode::JiscLazy] {
-        g.bench_with_input(BenchmarkId::new(format!("{mode:?}"), joins), &joins, |b, _| {
-            b.iter_batched(
-                || {
-                    let catalog = Catalog::uniform(&refs, window).unwrap();
-                    let mut e = StairsExec::new(catalog, &refs, mode).unwrap();
-                    for a in &warmup {
-                        e.push(StreamId(a.stream), a.key, a.payload).unwrap();
-                    }
-                    e
-                },
-                |mut e| {
-                    e.reroute(&rerouted).unwrap();
-                    for a in &stage {
-                        e.push(StreamId(a.stream), a.key, a.payload).unwrap();
-                    }
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new(format!("{mode:?}"), joins),
+            &joins,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let catalog = Catalog::uniform(&refs, window).unwrap();
+                        let mut e = StairsExec::new(catalog, &refs, mode).unwrap();
+                        for a in &warmup {
+                            e.push(StreamId(a.stream), a.key, a.payload).unwrap();
+                        }
+                        e
+                    },
+                    |mut e| {
+                        e.reroute(&rerouted).unwrap();
+                        for a in &stage {
+                            e.push(StreamId(a.stream), a.key, a.payload).unwrap();
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     g.finish();
 }

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     for strategy in [
         Strategy::Jisc,
         Strategy::MovingState,
-        Strategy::ParallelTrack { check_period: (window / 2) as u64 },
+        Strategy::ParallelTrack {
+            check_period: (window / 2) as u64,
+        },
     ] {
         g.bench_function(format!("{strategy:?}"), |b| {
             b.iter_batched(

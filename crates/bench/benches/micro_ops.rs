@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
             || (State::new(StoreKind::Hash), Metrics::new()),
             |(mut s, mut m)| {
                 for i in 0..1_000u64 {
-                    s.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)), &mut m);
+                    s.insert(
+                        Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)),
+                        &mut m,
+                    );
                 }
                 (s, m)
             },
@@ -23,7 +26,10 @@ fn bench(c: &mut Criterion) {
     let mut filled = State::new(StoreKind::Hash);
     let mut m = Metrics::new();
     for i in 0..10_000u64 {
-        filled.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 997, 0)), &mut m);
+        filled.insert(
+            Tuple::base(BaseTuple::new(StreamId(0), i, i % 997, 0)),
+            &mut m,
+        );
     }
     g.bench_function("hash_state_probe", |b| {
         let mut m = Metrics::new();
@@ -36,7 +42,10 @@ fn bench(c: &mut Criterion) {
 
     let mut list = State::new(StoreKind::List);
     for i in 0..1_000u64 {
-        list.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)), &mut m);
+        list.insert(
+            Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)),
+            &mut m,
+        );
     }
     g.bench_function("list_state_probe_1000", |b| {
         let mut m = Metrics::new();
@@ -49,7 +58,10 @@ fn bench(c: &mut Criterion) {
                 let mut s = State::new(StoreKind::Hash);
                 let mut m = Metrics::new();
                 for i in 0..1_000u64 {
-                    s.insert(Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)), &mut m);
+                    s.insert(
+                        Tuple::base(BaseTuple::new(StreamId(0), i, i % 97, 0)),
+                        &mut m,
+                    );
                 }
                 (s, m)
             },
@@ -61,6 +73,42 @@ fn bench(c: &mut Criterion) {
             },
             criterion::BatchSize::SmallInput,
         )
+    });
+
+    let mut list_large = State::new(StoreKind::List);
+    for i in 0..10_000u64 {
+        list_large.insert(
+            Tuple::base(BaseTuple::new(StreamId(0), i, i % 499, 0)),
+            &mut m,
+        );
+    }
+    // O(1) via the maintained per-key count map; previously a full scan
+    // collecting a throwaway hash set per call.
+    g.bench_function("list_distinct_key_count_10000", |b| {
+        b.iter(|| std::hint::black_box(list_large.distinct_key_count()))
+    });
+
+    g.bench_function("probe_for_each_match", |b| {
+        let mut m = Metrics::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 997;
+            let mut n = 0usize;
+            filled.for_each_match(k, &mut m, |_| n += 1);
+            std::hint::black_box(n)
+        })
+    });
+
+    g.bench_function("probe_lookup_into_reused_buf", |b| {
+        let mut m = Metrics::new();
+        let mut buf = Vec::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 997;
+            buf.clear();
+            filled.lookup_into(k, &mut m, &mut buf);
+            std::hint::black_box(buf.len())
+        })
     });
 
     g.finish();

@@ -4,7 +4,8 @@
 //! repro [EXPERIMENT...] [--scale X] [--quick]
 //!
 //! EXPERIMENT   any of: fig7 fig8 fig9 fig10 fig10a fig10b fig11 fig12
-//!              analysis stairs overlap setdiff ablation   (default: all)
+//!              analysis stairs overlap setdiff ablation throughput
+//!              (default: all)
 //! --scale X    multiply window/tuple counts by X (default 1.0;
 //!              the paper's setup corresponds to roughly --scale 20)
 //! --quick      shorthand for --scale 0.2 (CI-sized smoke run)
@@ -44,7 +45,10 @@ fn main() -> ExitCode {
         experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
-    println!("# JISC reproduction — measured results (scale {:.2})\n", scale.0);
+    println!(
+        "# JISC reproduction — measured results (scale {:.2})\n",
+        scale.0
+    );
     for id in &experiments {
         eprintln!("running {id} ...");
         match run_experiment(id, scale) {

@@ -9,9 +9,9 @@
 //!    purge check a real overhead; sweeping it shows the cost/latency
 //!    trade-off.
 
+use jisc_common::StreamId;
 use jisc_core::{CompletionMode, JiscExec, Strategy};
 use jisc_engine::Catalog;
-use jisc_common::StreamId;
 use jisc_workload::{best_case, worst_case};
 
 use crate::harness::{arrivals_for, engine_for, push_all, timed, Scale};
@@ -28,7 +28,12 @@ pub fn ablation_selectivity(scale: Scale) -> Table {
         "Ablation: key-domain size (join fan-out) vs migration-stage time",
         "Smaller domains mean denser matches and larger states: both strategies \
          slow down, but JISC keeps its relative advantage across selectivities",
-        &["domain/window", "JISC (ms)", "ParallelTrack (ms)", "speedup"],
+        &[
+            "domain/window",
+            "JISC (ms)",
+            "ParallelTrack (ms)",
+            "speedup",
+        ],
     );
     for factor in [1.0, 2.0, 4.0, 8.0] {
         let domain = ((window as f64) * factor).max(1.0) as u64;
@@ -43,7 +48,9 @@ pub fn ablation_selectivity(scale: Scale) -> Table {
         let mut pt = engine_for(
             &scenario,
             window,
-            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+            Strategy::ParallelTrack {
+                check_period: (window / 2).max(1) as u64,
+            },
         );
         push_all(&mut pt, &warmup);
         pt.transition_to(&scenario.target).expect("transition");
@@ -69,11 +76,23 @@ pub fn ablation_completion(scale: Scale) -> Table {
         "Identical outputs; the iterative left-deep procedure avoids recursion \
          overhead but both are within the same order (the paper's point is that \
          Proc. 3 is a simplification, not an asymptotic win)",
-        &["joins", "iterative (ms)", "recursive (ms)", "ratio", "completions iter", "completions rec"],
+        &[
+            "joins",
+            "iterative (ms)",
+            "recursive (ms)",
+            "ratio",
+            "completions iter",
+            "completions rec",
+        ],
     );
     for joins in [4usize, 8, 12, 16] {
         let scenario = worst_case(joins, crate::harness::hash_style());
-        let names = scenario.initial.leaves().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let names = scenario
+            .initial
+            .leaves()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let streams = refs.len();
         let domain = window as u64;
@@ -93,7 +112,11 @@ pub fn ablation_completion(scale: Scale) -> Table {
                     e.push(StreamId(a.stream), a.key, a.payload).expect("push");
                 }
             });
-            (t, e.pipeline().metrics.completions, e.pipeline().output.count())
+            (
+                t,
+                e.pipeline().metrics.completions,
+                e.pipeline().output.count(),
+            )
         };
         let (t_iter, c_iter, out_iter) = run(CompletionMode::Auto);
         let (t_rec, c_rec, out_rec) = run(CompletionMode::ForceRecursive);
@@ -102,7 +125,10 @@ pub fn ablation_completion(scale: Scale) -> Table {
             joins.to_string(),
             ms(t_iter),
             ms(t_rec),
-            format!("{:.2}", t_rec.as_secs_f64() / t_iter.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}",
+                t_rec.as_secs_f64() / t_iter.as_secs_f64().max(1e-9)
+            ),
             c_iter.to_string(),
             c_rec.to_string(),
         ]);
@@ -124,11 +150,22 @@ pub fn ablation_pt_check(scale: Scale) -> Table {
         "Ablation: Parallel Track discard-check period",
         "Frequent checks discard the old plan promptly but sweep states often \
          (discard_checks grows); rare checks keep two plans (2x work) longer",
-        &["check period", "stage (ms)", "discard checks", "dedup checks"],
+        &[
+            "check period",
+            "stage (ms)",
+            "discard checks",
+            "dedup checks",
+        ],
     );
     for factor in [0.1, 0.5, 1.0, 5.0] {
         let period = ((window as f64) * factor).max(1.0) as u64;
-        let mut pt = engine_for(&scenario, window, Strategy::ParallelTrack { check_period: period });
+        let mut pt = engine_for(
+            &scenario,
+            window,
+            Strategy::ParallelTrack {
+                check_period: period,
+            },
+        );
         push_all(&mut pt, &warmup);
         pt.transition_to(&scenario.target).expect("transition");
         let (t, _) = timed(|| push_all(&mut pt, &stage));
@@ -166,7 +203,13 @@ pub fn ablation_skew(scale: Scale) -> Table {
         "Skew inflates hot-key buckets for every strategy; JISC's relative \
          advantage over Parallel Track persists because completion touches \
          only probed keys while PT processes everything twice",
-        &["distribution", "JISC (ms)", "ParallelTrack (ms)", "speedup", "outputs JISC"],
+        &[
+            "distribution",
+            "JISC (ms)",
+            "ParallelTrack (ms)",
+            "speedup",
+            "outputs JISC",
+        ],
     );
     for (label, dist) in [
         ("uniform", KeyDistribution::Uniform),
@@ -190,7 +233,9 @@ pub fn ablation_skew(scale: Scale) -> Table {
         let mut pt = engine_for(
             &scenario,
             window,
-            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+            Strategy::ParallelTrack {
+                check_period: (window / 2).max(1) as u64,
+            },
         );
         push_seq(&mut pt, &warmup);
         pt.transition_to(&scenario.target).expect("transition");

@@ -1,8 +1,6 @@
 //! §5.2 validation: Propositions 1–3 against Monte-Carlo simulation.
 
-use jisc_analysis::{
-    concentration_bound, expected_asymptotic, monte_carlo, variance_asymptotic,
-};
+use jisc_analysis::{concentration_bound, expected_asymptotic, monte_carlo, variance_asymptotic};
 
 use crate::harness::Scale;
 use crate::table::Table;

@@ -57,7 +57,9 @@ fn frequency_table(id: &str, title: &str, scenario: &Scenario, scale: Scale, see
         let mut pt = engine_for(
             scenario,
             window,
-            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+            Strategy::ParallelTrack {
+                check_period: (window / 2).max(1) as u64,
+            },
         );
         let t_pt = drive_with_schedule(&mut pt, &arrivals, &schedule);
 

@@ -10,9 +10,7 @@
 use jisc_core::Strategy;
 use jisc_workload::{best_case, worst_case, Scenario};
 
-use crate::harness::{
-    arrivals_for, cacq_for, engine_for, push_all, push_all_cacq, timed, Scale,
-};
+use crate::harness::{arrivals_for, cacq_for, engine_for, push_all, push_all_cacq, timed, Scale};
 use crate::table::{ms, speedup, Table};
 
 /// Default join counts swept (the paper sweeps up to ~20 joins).
@@ -43,7 +41,9 @@ fn run_for(scenario: &Scenario, window: usize, seed: u64) -> [std::time::Duratio
         let mut pt = engine_for(
             scenario,
             window,
-            Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+            Strategy::ParallelTrack {
+                check_period: (window / 2).max(1) as u64,
+            },
         );
         push_all(&mut pt, &warmup);
         pt.transition_to(&scenario.target).expect("transition");
@@ -51,7 +51,8 @@ fn run_for(scenario: &Scenario, window: usize, seed: u64) -> [std::time::Duratio
 
         let mut cacq = cacq_for(scenario, window);
         push_all_cacq(&mut cacq, &warmup);
-        cacq.set_routing_order_named(&scenario.target.leaves()).expect("reroute");
+        cacq.set_routing_order_named(&scenario.target.leaves())
+            .expect("reroute");
         ts[2].push(timed(|| push_all_cacq(&mut cacq, &stage)).0);
     }
     ts.iter_mut().for_each(|v| v.sort());

@@ -10,3 +10,4 @@ pub mod normal_op;
 pub mod overlap;
 pub mod setdiff_exp;
 pub mod stairs_exp;
+pub mod throughput;

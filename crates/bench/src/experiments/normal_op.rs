@@ -10,8 +10,8 @@ use jisc_core::Strategy;
 use jisc_workload::best_case;
 
 use crate::harness::{
-    arrivals_for, cacq_for, engine_for, mjoin_for, push_all, push_all_cacq, push_all_mjoin,
-    timed, Scale,
+    arrivals_for, cacq_for, engine_for, mjoin_for, push_all, push_all_cacq, push_all_mjoin, timed,
+    Scale,
 };
 use crate::table::{ms, speedup, Table};
 
@@ -44,7 +44,15 @@ pub fn fig9(scale: Scale) -> Table {
          (minimal overhead); CACQ is roughly 2x slower (per-tuple eddy routing, \
          no materialized intermediate state); MJoin shows the stateless \
          baseline without the eddy's scheduling overhead",
-        &["tuples", "SHJ (ms)", "JISC (ms)", "CACQ (ms)", "MJoin (ms)", "JISC/SHJ", "CACQ/JISC"],
+        &[
+            "tuples",
+            "SHJ (ms)",
+            "JISC (ms)",
+            "CACQ (ms)",
+            "MJoin (ms)",
+            "JISC/SHJ",
+            "CACQ/JISC",
+        ],
     );
 
     let checkpoints = 5;
@@ -69,7 +77,10 @@ pub fn fig9(scale: Scale) -> Table {
             ms(cum_jisc),
             ms(cum_cacq),
             ms(cum_mjoin),
-            format!("{:.2}", cum_jisc.as_secs_f64() / cum_shj.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}",
+                cum_jisc.as_secs_f64() / cum_shj.as_secs_f64().max(1e-9)
+            ),
             speedup(cum_cacq, cum_jisc),
         ]);
     }

@@ -59,7 +59,9 @@ pub fn overlap(scale: Scale) -> Table {
     for strategy in [
         Strategy::Jisc,
         Strategy::MovingState,
-        Strategy::ParallelTrack { check_period: (window / 2).max(1) as u64 },
+        Strategy::ParallelTrack {
+            check_period: (window / 2).max(1) as u64,
+        },
     ] {
         let mut e = engine_for(&scenario, window, strategy);
         let mut max_plans = 1usize;

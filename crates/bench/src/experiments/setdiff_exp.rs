@@ -28,7 +28,13 @@ pub fn setdiff(scale: Scale) -> Table {
         "Both strategies produce identical output; JISC's migration stage is \
          cheaper because surviving states ({A,B,C,D} outer chains) are adopted \
          and missing ones complete on demand",
-        &["strategy", "transition (ms)", "stage (ms)", "outputs", "incomplete after"],
+        &[
+            "strategy",
+            "transition (ms)",
+            "stage (ms)",
+            "outputs",
+            "incomplete after",
+        ],
     );
     let mut outputs = Vec::new();
     for strategy in [Strategy::Jisc, Strategy::MovingState] {
@@ -53,6 +59,9 @@ pub fn setdiff(scale: Scale) -> Table {
             incomplete.to_string(),
         ]);
     }
-    assert_eq!(outputs[0], outputs[1], "set-difference outputs diverged across strategies");
+    assert_eq!(
+        outputs[0], outputs[1],
+        "set-difference outputs diverged across strategies"
+    );
     table
 }

@@ -1,0 +1,138 @@
+//! Throughput: serial pipeline vs the key-partitioned sharded runtime.
+//!
+//! The Figure-9 normal-operation workload (20-join plan, uniform arrivals,
+//! no transition in flight) driven through [`ShardedExecutor`] at N = 1, 2,
+//! 4 and 8 workers, against a plain single-threaded JISC pipeline. Time
+//! windows are used so every configuration computes the identical result
+//! (count windows shard as per-shard quotas; see `is_exact`).
+//!
+//! Besides the markdown table, the run writes `BENCH_throughput.json` to
+//! the working directory with raw tuples/sec and the machine's core count —
+//! parallel speedup is bounded by physical cores, so the JSON records both.
+
+use std::time::Instant;
+
+use jisc_common::StreamId;
+use jisc_core::jisc::JiscSemantics;
+use jisc_engine::{Catalog, Pipeline, StreamDef};
+use jisc_runtime::shard::{ShardSemantics, ShardedExecutor};
+use jisc_workload::{best_case, Arrival};
+
+use crate::harness::{arrivals_for, Scale};
+use crate::table::Table;
+
+/// Joins in the measured plan (Figure 9's setup).
+const JOINS: usize = 20;
+
+/// Base tuple count before scaling.
+const BASE_TUPLES: usize = 60_000;
+
+/// Base per-stream window population before scaling.
+const BASE_WINDOW: usize = 500;
+
+/// Shard counts measured against the serial baseline.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn timed_catalog(names: &[String], window: usize, streams: usize) -> Catalog {
+    // With the default clock (ts == global arrival index), a tuple ages one
+    // tick per arrival on *any* stream; `window * streams` ticks keep the
+    // same per-stream population as Figure 9's count window of `window`.
+    let ticks = (window * streams) as u64;
+    Catalog::new(
+        names
+            .iter()
+            .map(|n| StreamDef::timed(n.clone(), ticks))
+            .collect(),
+    )
+    .expect("valid catalog")
+}
+
+/// Throughput table (tuples/sec) and `BENCH_throughput.json`.
+pub fn throughput(scale: Scale) -> Table {
+    let window = scale.apply(BASE_WINDOW);
+    let total = scale.apply(BASE_TUPLES);
+    let scenario = best_case(JOINS, crate::harness::hash_style());
+    let names: Vec<String> = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let domain = window as u64;
+    let arrivals: Vec<Arrival> = arrivals_for(&scenario, total, domain, 900);
+    let catalog = timed_catalog(&names, window, names.len());
+
+    // Serial baseline: one pipeline, same semantics the shard workers run.
+    let mut serial = Pipeline::new(catalog.clone(), &scenario.initial).expect("pipeline");
+    let mut sem = JiscSemantics::default();
+    let t0 = Instant::now();
+    for a in &arrivals {
+        serial
+            .push_with(&mut sem, StreamId(a.stream), a.key, a.payload)
+            .expect("push");
+    }
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let serial_tps = total as f64 / serial_secs.max(1e-9);
+    let serial_outputs = serial.output.count();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut table = Table::new(
+        "throughput",
+        "Throughput: serial vs key-partitioned sharded runtime (20 joins)",
+        "tuples/sec should scale with shard count up to the machine's \
+         physical cores; beyond that, added shards only add queue overhead",
+        &["config", "tuples/sec", "speedup vs serial", "outputs"],
+    );
+    table.row(vec![
+        "serial".into(),
+        format!("{serial_tps:.0}"),
+        "1.00".into(),
+        serial_outputs.to_string(),
+    ]);
+
+    let mut json_rows = Vec::new();
+    for n in SHARD_COUNTS {
+        let mut exec = ShardedExecutor::spawn(
+            catalog.clone(),
+            &scenario.initial,
+            ShardSemantics::Jisc,
+            n,
+            4096,
+        )
+        .expect("sharded executor");
+        assert!(exec.is_exact(), "time windows shard exactly");
+        let t0 = Instant::now();
+        for a in &arrivals {
+            exec.push(StreamId(a.stream), a.key, a.payload)
+                .expect("push");
+        }
+        let report = exec.finish().expect("finish");
+        let secs = t0.elapsed().as_secs_f64();
+        let tps = total as f64 / secs.max(1e-9);
+        assert_eq!(
+            report.outputs as usize, serial_outputs,
+            "sharded run must match the serial result"
+        );
+        table.row(vec![
+            format!("sharded N={n}"),
+            format!("{tps:.0}"),
+            format!("{:.2}", tps / serial_tps),
+            report.outputs.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"shards\": {n}, \"tuples_per_sec\": {tps:.0}, \"speedup\": {:.3}}}",
+            tps / serial_tps
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"throughput\",\n  \"cores\": {cores},\n  \
+         \"tuples\": {total},\n  \"joins\": {JOINS},\n  \
+         \"serial_tuples_per_sec\": {serial_tps:.0},\n  \"sharded\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_throughput.json", &json) {
+        eprintln!("warning: could not write BENCH_throughput.json: {e}");
+    }
+    table
+}

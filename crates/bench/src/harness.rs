@@ -35,7 +35,12 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (Duration, T) {
 
 /// Build an adaptive engine for a scenario's initial plan.
 pub fn engine_for(scenario: &Scenario, window: usize, strategy: Strategy) -> AdaptiveEngine {
-    let names = scenario.initial.leaves().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let names = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let catalog = Catalog::uniform(&refs, window).expect("valid catalog");
     AdaptiveEngine::new(catalog, &scenario.initial, strategy).expect("valid engine")
@@ -105,7 +110,12 @@ pub fn push_all_mjoin(e: &mut MJoinExec, arrivals: &[Arrival]) {
 
 /// MJoin executor over the same streams as a scenario.
 pub fn mjoin_for(scenario: &Scenario, window: usize) -> MJoinExec {
-    let names = scenario.initial.leaves().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let names = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let catalog = Catalog::uniform(&refs, window).expect("valid catalog");
     MJoinExec::new(catalog).expect("valid mjoin")
@@ -113,7 +123,12 @@ pub fn mjoin_for(scenario: &Scenario, window: usize) -> MJoinExec {
 
 /// CACQ executor over the same streams as a scenario.
 pub fn cacq_for(scenario: &Scenario, window: usize) -> CacqExec {
-    let names = scenario.initial.leaves().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let names = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let catalog = Catalog::uniform(&refs, window).expect("valid catalog");
     CacqExec::new(catalog).expect("valid cacq")
@@ -183,6 +198,9 @@ mod tests {
         let (d, pushed) = latency_to_first_output(&mut e, &scenario.target, &more);
         assert!(d > Duration::ZERO);
         assert!(pushed >= 1);
-        assert!(pushed < 200, "a dense workload should produce output quickly");
+        assert!(
+            pushed < 200,
+            "a dense workload should produce output quickly"
+        );
     }
 }

@@ -21,8 +21,19 @@ pub use table::Table;
 
 /// All experiment ids in canonical order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12", "analysis", "stairs",
-    "overlap", "setdiff", "ablation",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "analysis",
+    "stairs",
+    "overlap",
+    "setdiff",
+    "ablation",
+    "throughput",
 ];
 
 /// Run one experiment by id (returns one or more tables).
@@ -41,6 +52,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "stairs" => vec![stairs_exp::stairs(scale)],
         "overlap" => vec![overlap::overlap(scale)],
         "setdiff" => vec![setdiff_exp::setdiff(scale)],
+        "throughput" => vec![throughput::throughput(scale)],
         "ablation" => vec![
             ablation::ablation_selectivity(scale),
             ablation::ablation_completion(scale),

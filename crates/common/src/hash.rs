@@ -74,6 +74,22 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<Fx
 /// `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
 
+/// Partition a join-attribute value onto one of `shards` workers.
+///
+/// The runtime's sharded executor routes every arrival with the same key to
+/// the same worker, so this must be a pure function of the key. Raw keys are
+/// often sequential integers, so the value is mixed through [`FxHasher`]
+/// first to avoid keying all hot ranges onto one shard.
+#[inline]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h = FxHasher::default();
+    h.write_u64(key);
+    (h.finish() % shards as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,7 +121,10 @@ mod tests {
     #[test]
     fn byte_tail_is_hashed() {
         // Inputs differing only in trailing (non-8-aligned) bytes must differ.
-        assert_ne!(hash_one([1u8, 2, 3].as_slice()), hash_one([1u8, 2, 4].as_slice()));
+        assert_ne!(
+            hash_one([1u8, 2, 3].as_slice()),
+            hash_one([1u8, 2, 4].as_slice())
+        );
     }
 
     #[test]

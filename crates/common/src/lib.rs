@@ -20,7 +20,7 @@ pub mod rng;
 pub mod tuple;
 
 pub use error::{JiscError, Result};
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{shard_of, FxHashMap, FxHashSet, FxHasher};
 pub use lineage::Lineage;
 pub use metrics::Metrics;
 pub use rng::SplitMix64;

@@ -97,14 +97,27 @@ mod tests {
 
     #[test]
     fn total_work_sums_components() {
-        let m = Metrics { probes: 3, inserts: 2, eddy_hops: 5, ..Metrics::new() };
+        let m = Metrics {
+            probes: 3,
+            inserts: 2,
+            eddy_hops: 5,
+            ..Metrics::new()
+        };
         assert_eq!(m.total_work(), 10);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Metrics { probes: 1, tuples_out: 2, ..Metrics::new() };
-        let b = Metrics { probes: 4, duplicates_dropped: 1, ..Metrics::new() };
+        let mut a = Metrics {
+            probes: 1,
+            tuples_out: 2,
+            ..Metrics::new()
+        };
+        let b = Metrics {
+            probes: 4,
+            duplicates_dropped: 1,
+            ..Metrics::new()
+        };
         a.merge(&b);
         assert_eq!(a.probes, 5);
         assert_eq!(a.tuples_out, 2);
@@ -113,7 +126,10 @@ mod tests {
 
     #[test]
     fn serializes_roundtrip() {
-        let m = Metrics { transitions: 7, ..Metrics::new() };
+        let m = Metrics {
+            transitions: 7,
+            ..Metrics::new()
+        };
         let s = serde_json_like(&m);
         assert!(s.contains("\"transitions\":7"));
     }

@@ -92,7 +92,10 @@ mod tests {
         }
         for c in counts {
             // each bucket expects 10_000; allow ±5%
-            assert!((9_500..=10_500).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (9_500..=10_500).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

@@ -47,7 +47,12 @@ pub struct BaseTuple {
 impl BaseTuple {
     /// Build a tuple; convenience for tests and generators.
     pub fn new(stream: StreamId, seq: SeqNo, key: Key, payload: u64) -> Self {
-        BaseTuple { stream, seq, key, payload }
+        BaseTuple {
+            stream,
+            seq,
+            key,
+            payload,
+        }
     }
 }
 

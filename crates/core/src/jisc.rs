@@ -25,12 +25,10 @@
 //! exactly. The `isFresh` classification is kept for §4.2's window-clearing
 //! optimization and for metrics.
 
+use jisc_common::Tuple;
 use jisc_common::{FxHashSet, Key, Result};
 use jisc_engine::ops;
-use jisc_common::Tuple;
-use jisc_engine::{
-    NodeId, OpKind, Payload, Pipeline, PlanSpec, QueueItem, Semantics, Signature,
-};
+use jisc_engine::{NodeId, OpKind, Payload, Pipeline, PlanSpec, QueueItem, Semantics, Signature};
 
 use crate::migrate::{verify_reorderable, verify_same_query};
 
@@ -68,12 +66,19 @@ fn jisc_join(p: &mut Pipeline, node: NodeId, item: QueueItem, mode: CompletionMo
     match item.payload {
         Payload::Insert { tuple, fresh } => {
             let from = item.from.expect("join items come from a child");
-            let opp = p.plan().sibling(node, from).expect("binary node has sibling");
+            let opp = p
+                .plan()
+                .sibling(node, from)
+                .expect("binary node has sibling");
             ensure_key_complete_with(p, opp, tuple.key(), mode);
-            let matches = ops::probe_opposite(p, node, item.from, &tuple);
-            ops::emit_joins(p, node, item.from, tuple, matches, fresh);
+            ops::probe_and_emit_joins(p, node, item.from, tuple, fresh);
         }
-        Payload::Remove { stream, seq, key, fresh } => {
+        Payload::Remove {
+            stream,
+            seq,
+            key,
+            fresh,
+        } => {
             let removed = p.state_remove_containing(node, stream, seq, key);
             // §4.2: an incomplete state cannot prove absence for a key it
             // has not completed — the clearing-tuple continues upward, since
@@ -82,14 +87,33 @@ fn jisc_join(p: &mut Pipeline, node: NodeId, item: QueueItem, mode: CompletionMo
             // fresh/attempted gate, which is unsound when the attempted
             // arrival never completed this state (see module docs).
             if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                p.forward_or_emit(node, Payload::Remove { stream, seq, key, fresh });
+                p.forward_or_emit(
+                    node,
+                    Payload::Remove {
+                        stream,
+                        seq,
+                        key,
+                        fresh,
+                    },
+                );
             }
             note_removal(p, node, key);
         }
-        Payload::RemoveEntry { lineage, key, fresh } => {
+        Payload::RemoveEntry {
+            lineage,
+            key,
+            fresh,
+        } => {
             let removed = p.state_remove_superset(node, &lineage, key);
             if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                p.forward_or_emit(node, Payload::RemoveEntry { lineage, key, fresh });
+                p.forward_or_emit(
+                    node,
+                    Payload::RemoveEntry {
+                        lineage,
+                        key,
+                        fresh,
+                    },
+                );
             }
             note_removal(p, node, key);
         }
@@ -128,7 +152,10 @@ fn jisc_set_diff(p: &mut Pipeline, node: NodeId, item: QueueItem, mode: Completi
                 ops::process_set_diff(
                     p,
                     node,
-                    QueueItem { from: Some(from), payload: Payload::Insert { tuple, fresh } },
+                    QueueItem {
+                        from: Some(from),
+                        payload: Payload::Insert { tuple, fresh },
+                    },
                 );
             }
         }
@@ -138,19 +165,24 @@ fn jisc_set_diff(p: &mut Pipeline, node: NodeId, item: QueueItem, mode: Completi
             ops::process_set_diff(
                 p,
                 node,
-                QueueItem { from: Some(from), payload: Payload::Insert { tuple, fresh } },
+                QueueItem {
+                    from: Some(from),
+                    payload: Payload::Insert { tuple, fresh },
+                },
             );
         }
         Payload::Remove { key, fresh, .. } if !from_left => {
             // Inner expiry: formerly suppressed outers may become visible.
             if !p.state_contains_key(inner, key) {
                 ensure_key_complete_with(p, outer, key, mode);
-                let candidates = p.lookup_state(outer, key);
-                for c in candidates {
+                let mut candidates = p.take_probe_scratch();
+                p.lookup_state_into(outer, key, &mut candidates);
+                for c in candidates.drain(..) {
                     if p.state_insert_if_absent(node, c.clone()) {
                         p.forward_or_emit(node, Payload::Insert { tuple: c, fresh });
                     }
                 }
+                p.recycle_probe_scratch(candidates);
                 // The visible set for this key is now fully materialized.
                 if p.plan().node(node).state.needs_completion(key)
                     && p.plan_mut().node_mut(node).state.note_key_completed(key)
@@ -159,17 +191,41 @@ fn jisc_set_diff(p: &mut Pipeline, node: NodeId, item: QueueItem, mode: Completi
                 }
             }
         }
-        Payload::Remove { stream, seq, key, fresh } => {
+        Payload::Remove {
+            stream,
+            seq,
+            key,
+            fresh,
+        } => {
             let removed = p.state_remove_containing(node, stream, seq, key);
             if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                p.forward_or_emit(node, Payload::Remove { stream, seq, key, fresh });
+                p.forward_or_emit(
+                    node,
+                    Payload::Remove {
+                        stream,
+                        seq,
+                        key,
+                        fresh,
+                    },
+                );
             }
             note_removal(p, node, key);
         }
-        Payload::RemoveEntry { lineage, key, fresh } => {
+        Payload::RemoveEntry {
+            lineage,
+            key,
+            fresh,
+        } => {
             let removed = p.state_remove_superset(node, &lineage, key);
             if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                p.forward_or_emit(node, Payload::RemoveEntry { lineage, key, fresh });
+                p.forward_or_emit(
+                    node,
+                    Payload::RemoveEntry {
+                        lineage,
+                        key,
+                        fresh,
+                    },
+                );
             }
             note_removal(p, node, key);
         }
@@ -261,7 +317,9 @@ pub fn complete_key_left_deep(p: &mut Pipeline, n: NodeId, key: Key) {
 /// the merge is linear in the bucket, not quadratic.
 fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
     let node = p.plan().node(n);
-    let (Some(l), Some(r)) = (node.left, node.right) else { return };
+    let (Some(l), Some(r)) = (node.left, node.right) else {
+        return;
+    };
     match node.op {
         OpKind::HashJoin | OpKind::NljJoin(_) => {
             let ls = p.lookup_state(l, key);
@@ -311,7 +369,9 @@ pub fn on_state_completed(p: &mut Pipeline, n: NodeId) {
             return;
         }
         let parent_node = p.plan().node(par);
-        let (Some(l), Some(r)) = (parent_node.left, parent_node.right) else { return };
+        let (Some(l), Some(r)) = (parent_node.left, parent_node.right) else {
+            return;
+        };
         if !(p.plan().node(l).state.is_complete() && p.plan().node(r).state.is_complete()) {
             return;
         }
@@ -329,12 +389,7 @@ pub fn on_state_completed(p: &mut Pipeline, n: NodeId) {
 /// for set-difference) minus keys already completed on demand. Keys fully
 /// handled by post-transition processing may linger in the residual; their
 /// later completion is a deduplicated no-op.
-fn case3_residual(
-    p: &Pipeline,
-    parent: NodeId,
-    l: NodeId,
-    r: NodeId,
-) -> FxHashSet<Key> {
+fn case3_residual(p: &Pipeline, parent: NodeId, l: NodeId, r: NodeId) -> FxHashSet<Key> {
     let basis = match p.plan().node(parent).op {
         OpKind::SetDiff => p.plan().node(l).state.distinct_keys(),
         _ => {
@@ -365,13 +420,14 @@ fn note_removal(p: &mut Pipeline, n: NodeId, key: Key) {
         return;
     }
     let node = p.plan().node(n);
-    let (Some(l), Some(r)) = (node.left, node.right) else { return };
+    let (Some(l), Some(r)) = (node.left, node.right) else {
+        return;
+    };
     // A child can be declared key-empty only if its own entries for the key
     // are authoritative: an incomplete child that still needs completion for
     // the key may be hiding entries it has not materialized yet.
     let is_set_diff = matches!(node.op, OpKind::SetDiff);
-    let l_empty =
-        !p.plan().node(l).state.needs_completion(key) && !p.state_contains_key(l, key);
+    let l_empty = !p.plan().node(l).state.needs_completion(key) && !p.state_contains_key(l, key);
     let moot = if is_set_diff {
         // Visible set is provably empty: no outer candidates, or an inner
         // match positively suppresses the key.
@@ -415,7 +471,9 @@ fn init_incomplete_states(p: &mut Pipeline, adopted: &FxHashSet<Signature>) {
         if adopted.contains(&node.signature) {
             continue;
         }
-        let (Some(l), Some(r)) = (node.left, node.right) else { continue };
+        let (Some(l), Some(r)) = (node.left, node.right) else {
+            continue;
+        };
         let is_set_diff = matches!(node.op, OpKind::SetDiff);
         let l_complete = p.plan().node(l).state.is_complete();
         let r_complete = p.plan().node(r).state.is_complete();
@@ -424,7 +482,9 @@ fn init_incomplete_states(p: &mut Pipeline, adopted: &FxHashSet<Signature>) {
                 // Counter basis: outer keys (every visible candidate).
                 PendingKeys::Known(p.plan().node(l).state.distinct_keys())
             } else {
-                PendingKeys::Unknown { completed: Default::default() }
+                PendingKeys::Unknown {
+                    completed: Default::default(),
+                }
             }
         } else {
             match (l_complete, r_complete) {
@@ -445,7 +505,9 @@ fn init_incomplete_states(p: &mut Pipeline, adopted: &FxHashSet<Signature>) {
                 (true, false) => PendingKeys::Known(p.plan().node(l).state.distinct_keys()),
                 (false, true) => PendingKeys::Known(p.plan().node(r).state.distinct_keys()),
                 // Case 3: both incomplete — counter unknowable.
-                (false, false) => PendingKeys::Unknown { completed: Default::default() },
+                (false, false) => PendingKeys::Unknown {
+                    completed: Default::default(),
+                },
             }
         };
         match pending {
@@ -462,7 +524,10 @@ fn init_incomplete_states(p: &mut Pipeline, adopted: &FxHashSet<Signature>) {
 
 /// Number of states currently marked incomplete.
 pub fn incomplete_state_count(p: &Pipeline) -> usize {
-    p.plan().ids().filter(|&i| !p.plan().node(i).state.is_complete()).count()
+    p.plan()
+        .ids()
+        .filter(|&i| !p.plan().node(i).state.is_complete())
+        .count()
 }
 
 /// The JISC executor: a pipeline driven by [`JiscSemantics`] with
@@ -479,7 +544,10 @@ impl JiscExec {
     pub fn new(catalog: jisc_engine::Catalog, spec: &PlanSpec) -> Result<Self> {
         let pipe = Pipeline::new(catalog, spec)?;
         verify_reorderable(pipe.plan())?;
-        Ok(JiscExec { pipe, sem: JiscSemantics::default() })
+        Ok(JiscExec {
+            pipe,
+            sem: JiscSemantics::default(),
+        })
     }
 
     /// Process one arrival to quiescence.
@@ -501,7 +569,8 @@ impl JiscExec {
         payload: u64,
         ts: u64,
     ) -> Result<()> {
-        self.pipe.push_at_with(&mut self.sem, stream, key, payload, ts)
+        self.pipe
+            .push_at_with(&mut self.sem, stream, key, payload, ts)
     }
 
     /// Migrate to a new plan without halting (§4).
@@ -545,7 +614,12 @@ mod tests {
     fn feed(e: &mut JiscExec, n: usize, streams: u64, keys: u64, seed: u64) {
         let mut rng = SplitMix64::new(seed);
         for _ in 0..n {
-            e.push(StreamId(rng.next_below(streams) as u16), rng.next_below(keys), 0).unwrap();
+            e.push(
+                StreamId(rng.next_below(streams) as u16),
+                rng.next_below(keys),
+                0,
+            )
+            .unwrap();
         }
     }
 
@@ -589,7 +663,10 @@ mod tests {
         }
         assert_eq!(counters.len(), 2);
         for c in counters {
-            assert!(c > 0 && c <= 6, "counter must hold distinct key count, got {c}");
+            assert!(
+                c > 0 && c <= 6,
+                "counter must hold distinct key count, got {c}"
+            );
         }
     }
 
@@ -631,7 +708,10 @@ mod tests {
         // {R,S,U} exists in the old plan but was incomplete there: must
         // remain incomplete here (plus nothing else changed: {R,S} swaps
         // produce the same signature).
-        assert!(e.incomplete_states() >= 1, "revisited state must stay incomplete");
+        assert!(
+            e.incomplete_states() >= 1,
+            "revisited state must stay incomplete"
+        );
     }
 
     #[test]
@@ -643,7 +723,10 @@ mod tests {
         feed(&mut e, 300, 3, 4, 9);
         let m = &e.pipeline().metrics;
         assert!(m.completions <= 4 * 2, "at most once per key per state");
-        assert!(m.attempted_skips > 0, "repeat keys must take the short path");
+        assert!(
+            m.attempted_skips > 0,
+            "repeat keys must take the short path"
+        );
     }
 
     #[test]

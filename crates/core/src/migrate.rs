@@ -59,8 +59,10 @@ pub fn build_state_eagerly(p: &mut Pipeline, node: NodeId) -> u64 {
     match p.plan().node(node).op.clone() {
         OpKind::HashJoin => {
             // Drive from the side with fewer distinct keys.
-            let (lk, rk) =
-                (p.plan().node(l).state.distinct_key_count(), p.plan().node(r).state.distinct_key_count());
+            let (lk, rk) = (
+                p.plan().node(l).state.distinct_key_count(),
+                p.plan().node(r).state.distinct_key_count(),
+            );
             let keys = if lk <= rk {
                 p.plan().node(l).state.distinct_keys()
             } else {

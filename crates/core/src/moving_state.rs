@@ -51,8 +51,12 @@ impl MovingStateExec {
         verify_reorderable(&new_plan)?;
         self.pipe.mark_transition();
         let mut old = self.pipe.replace_plan(new_plan);
-        let adopted: FxHashSet<Signature> =
-            self.pipe.adopt_states(&mut old, |_, _| {}).adopted.into_iter().collect();
+        let adopted: FxHashSet<Signature> = self
+            .pipe
+            .adopt_states(&mut old, |_, _| {})
+            .adopted
+            .into_iter()
+            .collect();
         // Eager recomputation, bottom-up so children are ready first. This
         // is the halt: no tuple is processed until the loop finishes.
         let order: Vec<_> = self.pipe.plan().topo().to_vec();
@@ -87,7 +91,12 @@ mod tests {
     fn feed(e: &mut MovingStateExec, n: usize, streams: u64, keys: u64, seed: u64) {
         let mut rng = SplitMix64::new(seed);
         for _ in 0..n {
-            e.push(StreamId(rng.next_below(streams) as u16), rng.next_below(keys), 0).unwrap();
+            e.push(
+                StreamId(rng.next_below(streams) as u16),
+                rng.next_below(keys),
+                0,
+            )
+            .unwrap();
         }
     }
 
@@ -100,7 +109,10 @@ mod tests {
         feed(&mut e, 400, 4, 8, 1);
         let target = PlanSpec::left_deep(&["U", "S", "T", "R"], JoinStyle::Hash);
         e.transition_to(&target).unwrap();
-        assert!(e.pipeline().metrics.eager_entries_built > 0, "must rebuild now");
+        assert!(
+            e.pipeline().metrics.eager_entries_built > 0,
+            "must rebuild now"
+        );
         // Every state is complete immediately after an eager migration.
         for id in e.pipeline().plan().ids() {
             assert!(e.pipeline().plan().node(id).state.is_complete());
@@ -142,16 +154,28 @@ mod tests {
         let mut jisc = crate::jisc::JiscExec::new(catalog, &spec).unwrap();
         let mut rng = SplitMix64::new(2);
         for _ in 0..2_000 {
-            jisc.push(StreamId(rng.next_below(3) as u16), rng.next_below(200), 0).unwrap();
+            jisc.push(StreamId(rng.next_below(3) as u16), rng.next_below(200), 0)
+                .unwrap();
         }
         jisc.transition_to(&target).unwrap();
         let mut rng = SplitMix64::new(3);
         for _ in 0..500 {
-            jisc.push(StreamId(rng.next_below(3) as u16), rng.next_below(200), 0).unwrap();
+            jisc.push(StreamId(rng.next_below(3) as u16), rng.next_below(200), 0)
+                .unwrap();
         }
 
-        let l_ms = *ms.pipeline().output.latency_marks.first().expect("MS emitted");
-        let l_jisc = *jisc.pipeline().output.latency_marks.first().expect("JISC emitted");
+        let l_ms = *ms
+            .pipeline()
+            .output
+            .latency_marks
+            .first()
+            .expect("MS emitted");
+        let l_jisc = *jisc
+            .pipeline()
+            .output
+            .latency_marks
+            .first()
+            .expect("JISC emitted");
         assert!(
             l_ms > 5 * l_jisc.max(1),
             "eager rebuild work ({l_ms}) must dwarf lazy completion ({l_jisc})"

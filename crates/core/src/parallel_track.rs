@@ -44,7 +44,10 @@ impl ParallelTrackExec {
         let pipe = Pipeline::new(catalog.clone(), spec)?;
         Ok(ParallelTrackExec {
             catalog,
-            tracks: vec![Track { pipe, retired_at: None }],
+            tracks: vec![Track {
+                pipe,
+                retired_at: None,
+            }],
             output: OutputSink::new(),
             dedup: FxHashSet::default(),
             extra: Metrics::new(),
@@ -60,7 +63,10 @@ impl ParallelTrackExec {
 
     /// Total work performed across all plans plus merge overhead.
     pub fn work_now(&self) -> u64 {
-        self.tracks.iter().map(|t| t.pipe.metrics.total_work()).sum::<u64>()
+        self.tracks
+            .iter()
+            .map(|t| t.pipe.metrics.total_work())
+            .sum::<u64>()
             + self.extra.total_work()
     }
 
@@ -113,7 +119,10 @@ impl ParallelTrackExec {
         for t in &mut self.tracks {
             t.retired_at.get_or_insert(cur_seq);
         }
-        self.tracks.push(Track { pipe: new_pipe, retired_at: None });
+        self.tracks.push(Track {
+            pipe: new_pipe,
+            retired_at: None,
+        });
         self.extra.transitions += 1;
         let work = self.work_now();
         self.output.arm_latency(work);
@@ -216,7 +225,12 @@ mod tests {
     fn feed(e: &mut ParallelTrackExec, n: usize, streams: u64, keys: u64, seed: u64) {
         let mut rng = SplitMix64::new(seed);
         for _ in 0..n {
-            e.push(StreamId(rng.next_below(streams) as u16), rng.next_below(keys), 0).unwrap();
+            e.push(
+                StreamId(rng.next_below(streams) as u16),
+                rng.next_below(keys),
+                0,
+            )
+            .unwrap();
         }
     }
 
@@ -242,7 +256,10 @@ mod tests {
         e.transition_to(&target).unwrap();
         // All-new results are produced by both plans; dedup must drop one.
         feed(&mut e, 150, 2, 4, 4);
-        assert!(e.extra.duplicates_dropped > 0, "both plans produce the all-new results");
+        assert!(
+            e.extra.duplicates_dropped > 0,
+            "both plans produce the all-new results"
+        );
         assert!(e.output.is_duplicate_free());
     }
 
@@ -255,7 +272,11 @@ mod tests {
         e.transition_to(&t1).unwrap();
         feed(&mut e, 20, 3, 8, 6);
         e.transition_to(&t2).unwrap();
-        assert_eq!(e.active_plans(), 3, "overlapped transitions run many plans (§3.3)");
+        assert_eq!(
+            e.active_plans(),
+            3,
+            "overlapped transitions run many plans (§3.3)"
+        );
     }
 
     #[test]

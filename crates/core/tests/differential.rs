@@ -36,7 +36,9 @@ fn run(
 
 fn workload(n: usize, streams: u16, keys: u64, seed: u64) -> Vec<(u16, u64)> {
     let mut rng = SplitMix64::new(seed);
-    (0..n).map(|_| (rng.next_below(streams as u64) as u16, rng.next_below(keys))).collect()
+    (0..n)
+        .map(|_| (rng.next_below(streams as u64) as u16, rng.next_below(keys)))
+        .collect()
 }
 
 fn all_strategies() -> Vec<Strategy> {
@@ -55,7 +57,10 @@ fn check_against_static(
     transitions: &[(usize, PlanSpec)],
 ) {
     let reference = run(Strategy::MovingState, catalog, initial, arrivals, &[]);
-    assert!(!reference.is_empty(), "workload must produce output to be meaningful");
+    assert!(
+        !reference.is_empty(),
+        "workload must produce output to be meaningful"
+    );
     for strategy in all_strategies() {
         let got = run(strategy, catalog, initial, arrivals, transitions);
         assert_eq!(
@@ -192,8 +197,17 @@ fn set_difference_chain_migration() {
     let reference = run(Strategy::MovingState, &catalog, &initial, &arrivals, &[]);
     assert!(!reference.is_empty());
     for strategy in [Strategy::Jisc, Strategy::MovingState] {
-        let got = run(strategy, &catalog, &initial, &arrivals, &[(250, new.clone())]);
-        assert_eq!(got, reference, "{strategy:?} diverged on set-difference chain");
+        let got = run(
+            strategy,
+            &catalog,
+            &initial,
+            &arrivals,
+            &[(250, new.clone())],
+        );
+        assert_eq!(
+            got, reference,
+            "{strategy:?} diverged on set-difference chain"
+        );
     }
 }
 
@@ -224,11 +238,9 @@ fn transition_with_aggregate_on_top() {
     use jisc_engine::AggKind;
     let streams = ["R", "S", "T"];
     let catalog = Catalog::uniform(&streams, 30).unwrap();
-    let initial =
-        PlanSpec::left_deep(&streams, JoinStyle::Hash).with_aggregate(AggKind::Count);
+    let initial = PlanSpec::left_deep(&streams, JoinStyle::Hash).with_aggregate(AggKind::Count);
     let arrivals = workload(300, 3, 6, 10);
-    let new =
-        PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash).with_aggregate(AggKind::Count);
+    let new = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash).with_aggregate(AggKind::Count);
 
     let reference = {
         let mut e = AdaptiveEngine::new(catalog.clone(), &initial, Strategy::MovingState).unwrap();
@@ -244,7 +256,11 @@ fn transition_with_aggregate_on_top() {
         }
         e.push(StreamId(s), k, 0).unwrap();
     }
-    assert_eq!(e.output().agg_log, reference, "aggregate stream diverged under migration");
+    assert_eq!(
+        e.output().agg_log,
+        reference,
+        "aggregate stream diverged under migration"
+    );
 }
 
 #[test]
@@ -267,7 +283,10 @@ fn transition_to_different_query_is_rejected() {
     for strategy in all_strategies() {
         let mut e = AdaptiveEngine::new(catalog.clone(), &initial, strategy).unwrap();
         let two_way = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
-        assert!(e.transition_to(&two_way).is_err(), "{strategy:?} accepted a different query");
+        assert!(
+            e.transition_to(&two_way).is_err(),
+            "{strategy:?} accepted a different query"
+        );
     }
 }
 
@@ -299,7 +318,10 @@ fn time_window_migration_matches_static() {
         for &(s, k, t) in &arrivals {
             e.push_at(StreamId(s), k, 0, t).unwrap();
         }
-        assert!(e.output().count() > 0, "time-window workload must produce output");
+        assert!(
+            e.output().count() > 0,
+            "time-window workload must produce output"
+        );
         e.output().lineage_multiset()
     };
     for strategy in [
@@ -331,8 +353,8 @@ fn group_count_aggregate_survives_migration_and_expiry() {
     let catalog = Catalog::uniform(&streams, 12).unwrap();
     let initial =
         PlanSpec::left_deep(&streams, JoinStyle::Hash).with_aggregate(AggKind::GroupCount);
-    let target = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash)
-        .with_aggregate(AggKind::GroupCount);
+    let target =
+        PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash).with_aggregate(AggKind::GroupCount);
     let arrivals = workload(500, 3, 5, 30);
 
     let reference = {

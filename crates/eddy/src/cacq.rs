@@ -13,9 +13,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use jisc_common::{
-    BaseTuple, JiscError, Key, Metrics, Result, SeqNo, StreamId, Tuple,
-};
+use jisc_common::{BaseTuple, JiscError, Key, Metrics, Result, SeqNo, StreamId, Tuple};
 use jisc_engine::{Catalog, OutputSink, StreamSet};
 
 use crate::stem::Stem;
@@ -54,18 +52,28 @@ impl CacqExec {
     /// Build over a catalog with the default routing order (stream id order).
     pub fn new(catalog: Catalog) -> Result<Self> {
         if catalog.len() < 2 {
-            return Err(JiscError::InvalidPlan("CACQ needs at least two streams".into()));
+            return Err(JiscError::InvalidPlan(
+                "CACQ needs at least two streams".into(),
+            ));
         }
         if !catalog.all_count_windows() {
             return Err(JiscError::InvalidConfig(
                 "CACQ SteMs support count-based windows only".into(),
             ));
         }
-        let stems = catalog.ids().map(|s| Stem::new(s, catalog.window(s))).collect();
+        let stems = catalog
+            .ids()
+            .map(|s| Stem::new(s, catalog.window(s)))
+            .collect();
         let order: Vec<StreamId> = catalog.ids().collect();
-        let stats =
-            order.iter().enumerate().map(|(rank, _)| OperatorStats { tickets: 0, rank }).collect();
-        let all = order.iter().fold(StreamSet::EMPTY, |a, &s| a.union(StreamSet::singleton(s)));
+        let stats = order
+            .iter()
+            .enumerate()
+            .map(|(rank, _)| OperatorStats { tickets: 0, rank })
+            .collect();
+        let all = order
+            .iter()
+            .fold(StreamSet::EMPTY, |a, &s| a.union(StreamSet::singleton(s)));
         Ok(CacqExec {
             catalog,
             stems,
@@ -91,7 +99,9 @@ impl CacqExec {
     /// Change the routing order — CACQ's entire plan transition (§3.1):
     /// no state moves, no halt, nothing to complete.
     pub fn set_routing_order(&mut self, order: Vec<StreamId>) -> Result<()> {
-        let set = order.iter().fold(StreamSet::EMPTY, |a, &s| a.union(StreamSet::singleton(s)));
+        let set = order
+            .iter()
+            .fold(StreamSet::EMPTY, |a, &s| a.union(StreamSet::singleton(s)));
         if set != self.all || order.len() != self.catalog.len() {
             return Err(JiscError::NotEquivalent(
                 "routing order must be a permutation of all streams".into(),
@@ -110,7 +120,10 @@ impl CacqExec {
 
     /// Change the routing order by stream names.
     pub fn set_routing_order_named(&mut self, names: &[&str]) -> Result<()> {
-        let order = names.iter().map(|n| self.catalog.id(n)).collect::<Result<Vec<_>>>()?;
+        let order = names
+            .iter()
+            .map(|n| self.catalog.id(n))
+            .collect::<Result<Vec<_>>>()?;
         self.set_routing_order(order)
     }
 
@@ -142,9 +155,9 @@ impl CacqExec {
         let mut queue: BinaryHeap<(Reverse<u64>, u64)> = BinaryHeap::new();
         let mut pool: Vec<Option<Partial>> = Vec::new();
         let enqueue = |queue: &mut BinaryHeap<(Reverse<u64>, u64)>,
-                           pool: &mut Vec<Option<Partial>>,
-                           ticket_no: &mut u64,
-                           partial: Partial| {
+                       pool: &mut Vec<Option<Partial>>,
+                       ticket_no: &mut u64,
+                       partial: Partial| {
             let idx = pool.len() as u64;
             pool.push(Some(partial));
             queue.push((Reverse(*ticket_no), idx));
@@ -154,10 +167,16 @@ impl CacqExec {
             &mut queue,
             &mut pool,
             &mut ticket_no,
-            Partial { tuple: Tuple::Base(base), done: Box::new(StreamSet::singleton(stream)) },
+            Partial {
+                tuple: Tuple::Base(base),
+                done: Box::new(StreamSet::singleton(stream)),
+            },
         );
         while let Some((_, idx)) = queue.pop() {
-            let Partial { tuple: partial, done } = pool[idx as usize].take().expect("live partial");
+            let Partial {
+                tuple: partial,
+                done,
+            } = pool[idx as usize].take().expect("live partial");
             let done = *done;
             self.metrics.eddy_hops += 1;
             // Routing decision: scan every operator's eligibility (done
@@ -193,7 +212,9 @@ impl CacqExec {
             // Lottery bookkeeping: consume earns a ticket, each produced
             // tuple spends one.
             let st = &mut self.stats[next.0 as usize];
-            st.tickets = (st.tickets + 1).saturating_sub(matches.len() as u64).min(1 << 20);
+            st.tickets = (st.tickets + 1)
+                .saturating_sub(matches.len() as u64)
+                .min(1 << 20);
             let done = done.union(StreamSet::singleton(next));
             for m in matches {
                 enqueue(
@@ -254,7 +275,11 @@ mod tests {
         e.push(StreamId(1), 3, 0).unwrap();
         let work_before = e.metrics.total_work();
         e.set_routing_order_named(&["T", "R", "S"]).unwrap();
-        assert_eq!(e.metrics.total_work(), work_before, "transition must cost nothing");
+        assert_eq!(
+            e.metrics.total_work(),
+            work_before,
+            "transition must cost nothing"
+        );
         e.push(StreamId(2), 3, 0).unwrap();
         assert_eq!(e.output.count(), 1);
     }

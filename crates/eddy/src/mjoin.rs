@@ -34,14 +34,19 @@ impl MJoinExec {
     /// Build over a catalog (count-based windows only, like SteMs).
     pub fn new(catalog: Catalog) -> Result<Self> {
         if catalog.len() < 2 {
-            return Err(JiscError::InvalidPlan("MJoin needs at least two streams".into()));
+            return Err(JiscError::InvalidPlan(
+                "MJoin needs at least two streams".into(),
+            ));
         }
         if !catalog.all_count_windows() {
             return Err(JiscError::InvalidConfig(
                 "MJoin indexes support count-based windows only".into(),
             ));
         }
-        let stems = catalog.ids().map(|s| Stem::new(s, catalog.window(s))).collect();
+        let stems = catalog
+            .ids()
+            .map(|s| Stem::new(s, catalog.window(s)))
+            .collect();
         let order = catalog.ids().collect();
         Ok(MJoinExec {
             catalog,
@@ -65,12 +70,17 @@ impl MJoinExec {
                 "probe order must cover every stream exactly once".into(),
             ));
         }
-        let order = names.iter().map(|n| self.catalog.id(n)).collect::<Result<Vec<_>>>()?;
+        let order = names
+            .iter()
+            .map(|n| self.catalog.id(n))
+            .collect::<Result<Vec<_>>>()?;
         let mut dedup = order.clone();
         dedup.sort();
         dedup.dedup();
         if dedup.len() != order.len() {
-            return Err(JiscError::NotEquivalent("probe order repeats a stream".into()));
+            return Err(JiscError::NotEquivalent(
+                "probe order repeats a stream".into(),
+            ));
         }
         self.order = order;
         self.metrics.transitions += 1;

@@ -64,8 +64,12 @@ impl StairsExec {
         Ok(StairsExec {
             pipe,
             mode,
-            lazy_sem: EddyRouted { inner: JiscSemantics::default() },
-            eager_sem: EddyRouted { inner: jisc_engine::DefaultSemantics },
+            lazy_sem: EddyRouted {
+                inner: JiscSemantics::default(),
+            },
+            eager_sem: EddyRouted {
+                inner: jisc_engine::DefaultSemantics,
+            },
         })
     }
 
@@ -77,8 +81,12 @@ impl StairsExec {
     /// Process one arrival through the eddy.
     pub fn push(&mut self, stream: StreamId, key: Key, payload: u64) -> Result<()> {
         match self.mode {
-            StairsMode::Eager => self.pipe.push_with(&mut self.eager_sem, stream, key, payload),
-            StairsMode::JiscLazy => self.pipe.push_with(&mut self.lazy_sem, stream, key, payload),
+            StairsMode::Eager => self
+                .pipe
+                .push_with(&mut self.eager_sem, stream, key, payload),
+            StairsMode::JiscLazy => self
+                .pipe
+                .push_with(&mut self.lazy_sem, stream, key, payload),
         }
     }
 
@@ -108,8 +116,11 @@ impl StairsExec {
                 let outcome = self.pipe.adopt_states(&mut old, |_, _| {});
                 let adopted: jisc_common::FxHashSet<_> = outcome.adopted.into_iter().collect();
                 // Demote: every entry of a state that did not survive.
-                let demoted: u64 =
-                    outcome.discarded.iter().map(|(_, st)| st.len() as u64).sum();
+                let demoted: u64 = outcome
+                    .discarded
+                    .iter()
+                    .map(|(_, st)| st.len() as u64)
+                    .sum();
                 self.pipe.metrics.demotes += demoted;
                 // Promote: eagerly rebuild every missing state, bottom-up.
                 let order: Vec<_> = self.pipe.plan().topo().to_vec();
@@ -149,7 +160,9 @@ mod tests {
 
     fn workload(n: usize, streams: u16, keys: u64, seed: u64) -> Vec<(u16, u64)> {
         let mut rng = SplitMix64::new(seed);
-        (0..n).map(|_| (rng.next_below(streams as u64) as u16, rng.next_below(keys))).collect()
+        (0..n)
+            .map(|_| (rng.next_below(streams as u64) as u16, rng.next_below(keys)))
+            .collect()
     }
 
     #[test]
@@ -188,8 +201,14 @@ mod tests {
         }
         eager.reroute(&["T", "S", "R"]).unwrap();
         lazy.reroute(&["T", "S", "R"]).unwrap();
-        assert!(eager.metrics().promotes > 0, "eager reroute must promote now");
-        assert!(eager.metrics().demotes > 0, "eager reroute must demote old states");
+        assert!(
+            eager.metrics().promotes > 0,
+            "eager reroute must promote now"
+        );
+        assert!(
+            eager.metrics().demotes > 0,
+            "eager reroute must demote old states"
+        );
         assert_eq!(
             lazy.metrics().eager_entries_built,
             0,

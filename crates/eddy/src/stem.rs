@@ -23,7 +23,13 @@ impl Stem {
     /// Empty SteM for `stream` with a count-based window of `window` tuples.
     pub fn new(stream: StreamId, window: usize) -> Self {
         assert!(window > 0, "window must be non-zero");
-        Stem { stream, window, table: FxHashMap::default(), ring: VecDeque::new(), len: 0 }
+        Stem {
+            stream,
+            window,
+            table: FxHashMap::default(),
+            ring: VecDeque::new(),
+            len: 0,
+        }
     }
 
     /// The stream this SteM indexes.
@@ -61,7 +67,10 @@ impl Stem {
         debug_assert_eq!(t.stream, self.stream, "tuple routed to wrong SteM");
         m.inserts += 1;
         self.len += 1;
-        self.table.entry(t.key).or_default().push(Tuple::Base(Arc::clone(&t)));
+        self.table
+            .entry(t.key)
+            .or_default()
+            .push(Tuple::Base(Arc::clone(&t)));
         self.ring.push_back(t);
     }
 

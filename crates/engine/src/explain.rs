@@ -35,8 +35,12 @@ pub fn explain_plan(plan: &Plan, catalog: &Catalog) -> String {
 
 fn op_label(plan: &Plan, catalog: &Catalog, id: NodeId) -> String {
     let node = plan.node(id);
-    let streams: Vec<&str> =
-        node.signature.streams.iter().map(|s| catalog.name(s)).collect();
+    let streams: Vec<&str> = node
+        .signature
+        .streams
+        .iter()
+        .map(|s| catalog.name(s))
+        .collect();
     let set = streams.join(",");
     match &node.op {
         OpKind::Scan(s) => format!("scan {}", catalog.name(*s)),
@@ -57,7 +61,12 @@ fn render(
 ) {
     let node = plan.node(id);
     let st = &node.state;
-    let _ = write!(out, "{prefix}{}  state={}", op_label(plan, catalog, id), st.len());
+    let _ = write!(
+        out,
+        "{prefix}{}  state={}",
+        op_label(plan, catalog, id),
+        st.len()
+    );
     if st.is_complete() {
         let _ = write!(out, " complete");
     } else {
@@ -78,7 +87,11 @@ fn render(
     let kids: Vec<NodeId> = [node.left, node.right].into_iter().flatten().collect();
     for (i, k) in kids.iter().enumerate() {
         let last = i + 1 == kids.len();
-        let (branch, next) = if last { ("└─ ", "   ") } else { ("├─ ", "│  ") };
+        let (branch, next) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
         render(
             plan,
             catalog,
@@ -120,22 +133,27 @@ mod tests {
         let mut p = Pipeline::new(catalog, &spec).unwrap();
         let root = p.plan().root();
         let pend: jisc_common::FxHashSet<u64> = [1u64, 2, 3].into_iter().collect();
-        p.plan_mut().node_mut(root).state.mark_incomplete(PendingKeys::Known(pend));
+        p.plan_mut()
+            .node_mut(root)
+            .state
+            .mark_incomplete(PendingKeys::Known(pend));
         let text = explain(&p);
         assert!(text.contains("INCOMPLETE counter=3"), "{text}");
         // Case-3 rendering
         p.plan_mut()
             .node_mut(root)
             .state
-            .mark_incomplete(PendingKeys::Unknown { completed: Default::default() });
+            .mark_incomplete(PendingKeys::Unknown {
+                completed: Default::default(),
+            });
         assert!(explain(&p).contains("counter=?(case 3)"));
     }
 
     #[test]
     fn explain_covers_every_operator_kind() {
         let catalog = Catalog::uniform(&["A", "B"], 10).unwrap();
-        let spec = PlanSpec::set_diff_chain(&["A", "B"])
-            .with_aggregate(crate::spec::AggKind::Count);
+        let spec =
+            PlanSpec::set_diff_chain(&["A", "B"]).with_aggregate(crate::spec::AggKind::Count);
         let p = Pipeline::new(catalog, &spec).unwrap();
         let text = explain(&p);
         assert!(text.contains("agg[Count]"));

@@ -43,11 +43,24 @@ pub fn process_scan(p: &mut Pipeline, node: NodeId, item: QueueItem) {
             p.state_insert(node, tuple.clone());
             p.forward_or_emit(node, Payload::Insert { tuple, fresh });
         }
-        Payload::Remove { stream, seq, key, fresh } => {
+        Payload::Remove {
+            stream,
+            seq,
+            key,
+            fresh,
+        } => {
             p.state_remove_containing(node, stream, seq, key);
             // The expired tuple was in this window by construction; the
             // slide must always reach the operators above (§2.1).
-            p.forward_or_emit(node, Payload::Remove { stream, seq, key, fresh });
+            p.forward_or_emit(
+                node,
+                Payload::Remove {
+                    stream,
+                    seq,
+                    key,
+                    fresh,
+                },
+            );
         }
         Payload::RemoveEntry { .. } | Payload::SuppressKey { .. } => {
             // Scans receive no entry-level or key-level suppressions.
@@ -59,22 +72,45 @@ pub fn process_scan(p: &mut Pipeline, node: NodeId, item: QueueItem) {
 pub fn process_join(p: &mut Pipeline, node: NodeId, item: QueueItem) {
     match item.payload {
         Payload::Insert { tuple, fresh } => {
-            let matches = probe_opposite(p, node, item.from, &tuple);
-            emit_joins(p, node, item.from, tuple, matches, fresh);
+            probe_and_emit_joins(p, node, item.from, tuple, fresh);
         }
-        Payload::Remove { stream, seq, key, fresh } => {
+        Payload::Remove {
+            stream,
+            seq,
+            key,
+            fresh,
+        } => {
             let removed = p.state_remove_containing(node, stream, seq, key);
             // §2.1: propagate while matches are found. §4.2: a state that
             // still needs completion for this key cannot prove absence, so
             // the clearing-tuple continues upward regardless of a match.
             if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                p.forward_or_emit(node, Payload::Remove { stream, seq, key, fresh });
+                p.forward_or_emit(
+                    node,
+                    Payload::Remove {
+                        stream,
+                        seq,
+                        key,
+                        fresh,
+                    },
+                );
             }
         }
-        Payload::RemoveEntry { lineage, key, fresh } => {
+        Payload::RemoveEntry {
+            lineage,
+            key,
+            fresh,
+        } => {
             let removed = p.state_remove_superset(node, &lineage, key);
             if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                p.forward_or_emit(node, Payload::RemoveEntry { lineage, key, fresh });
+                p.forward_or_emit(
+                    node,
+                    Payload::RemoveEntry {
+                        lineage,
+                        key,
+                        fresh,
+                    },
+                );
             }
         }
         Payload::SuppressKey { key, fresh } => {
@@ -88,53 +124,104 @@ pub fn process_join(p: &mut Pipeline, node: NodeId, item: QueueItem) {
     }
 }
 
+/// Probe the state of the child opposite to the item's origin, appending
+/// the matching entries (Arc-cloned) to `out`.
+pub fn probe_opposite_into(
+    p: &mut Pipeline,
+    node: NodeId,
+    from: Option<NodeId>,
+    tuple: &Tuple,
+    out: &mut Vec<Tuple>,
+) {
+    let from = from.expect("join items always come from a child");
+    let opp = p
+        .plan()
+        .sibling(node, from)
+        .expect("binary node has a sibling child");
+    match p.plan().node(node).op {
+        OpKind::NljJoin(pred) => {
+            // If the tuple came from the left child, stored entries sit on
+            // the predicate's right side.
+            let from_left = p.plan().is_left_child(node, from);
+            p.scan_theta_state_into(opp, pred, tuple.key(), !from_left, out);
+        }
+        _ => p.lookup_state_into(opp, tuple.key(), out),
+    }
+}
+
 /// Probe the state of the child opposite to the item's origin and return the
-/// matching entries (Arc-cloned).
+/// matching entries (Arc-cloned). Allocates; prefer
+/// [`probe_and_emit_joins`] (or [`probe_opposite_into`] with a recycled
+/// buffer) on per-arrival paths.
 pub fn probe_opposite(
     p: &mut Pipeline,
     node: NodeId,
     from: Option<NodeId>,
     tuple: &Tuple,
 ) -> Vec<Tuple> {
-    let from = from.expect("join items always come from a child");
-    let opp = p.plan().sibling(node, from).expect("binary node has a sibling child");
-    match p.plan().node(node).op {
-        OpKind::NljJoin(pred) => {
-            // If the tuple came from the left child, stored entries sit on
-            // the predicate's right side.
-            let from_left = p.plan().is_left_child(node, from);
-            p.scan_theta_state(opp, pred, tuple.key(), !from_left)
-        }
-        _ => p.lookup_state(opp, tuple.key()),
-    }
+    let mut out = Vec::new();
+    probe_opposite_into(p, node, from, tuple, &mut out);
+    out
 }
 
 /// Build join results in child order, materialize them into the node's own
-/// state, and forward each upward (emitting at the root).
+/// state, and forward each upward (emitting at the root). Drains `matches`.
 pub fn emit_joins(
     p: &mut Pipeline,
     node: NodeId,
     from: Option<NodeId>,
     tuple: Tuple,
-    matches: Vec<Tuple>,
+    matches: &mut Vec<Tuple>,
     fresh: bool,
 ) {
     let from = from.expect("join items always come from a child");
     let from_left = p.plan().is_left_child(node, from);
-    for m in matches {
-        let (l, r) = if from_left { (tuple.clone(), m) } else { (m, tuple.clone()) };
+    for m in matches.drain(..) {
+        let (l, r) = if from_left {
+            (tuple.clone(), m)
+        } else {
+            (m, tuple.clone())
+        };
         let key = l.key();
         let joined = Tuple::joined(key, l, r);
         p.state_insert(node, joined.clone());
-        p.forward_or_emit(node, Payload::Insert { tuple: joined, fresh });
+        p.forward_or_emit(
+            node,
+            Payload::Insert {
+                tuple: joined,
+                fresh,
+            },
+        );
     }
+}
+
+/// The join-insert hot path: probe the opposite state into the pipeline's
+/// recycled scratch buffer, then materialize and forward each result —
+/// no per-arrival allocation once the buffer has warmed up.
+pub fn probe_and_emit_joins(
+    p: &mut Pipeline,
+    node: NodeId,
+    from: Option<NodeId>,
+    tuple: Tuple,
+    fresh: bool,
+) {
+    let mut matches = p.take_probe_scratch();
+    probe_opposite_into(p, node, from, &tuple, &mut matches);
+    emit_joins(p, node, from, tuple, &mut matches, fresh);
+    p.recycle_probe_scratch(matches);
 }
 
 /// Set difference (`outer − inner`): state = currently visible outer tuples.
 pub fn process_set_diff(p: &mut Pipeline, node: NodeId, item: QueueItem) {
-    let from = item.from.expect("set-difference items always come from a child");
+    let from = item
+        .from
+        .expect("set-difference items always come from a child");
     let from_left = p.plan().is_left_child(node, from);
-    let inner = p.plan().node(node).right.expect("set-diff has a right child");
+    let inner = p
+        .plan()
+        .node(node)
+        .right
+        .expect("set-diff has a right child");
     let outer = p.plan().node(node).left.expect("set-diff has a left child");
     match item.payload {
         Payload::Insert { tuple, fresh } => {
@@ -146,39 +233,74 @@ pub fn process_set_diff(p: &mut Pipeline, node: NodeId, item: QueueItem) {
                 }
             } else {
                 // Inner arrival: suppress matching visible outers.
-                let victims = p.lookup_state(node, tuple.key());
-                for v in victims {
+                let mut victims = p.take_probe_scratch();
+                p.lookup_state_into(node, tuple.key(), &mut victims);
+                for v in victims.drain(..) {
                     let lin = v.lineage();
                     let key = v.key();
                     p.state_remove_by_lineage(node, &lin, key);
-                    p.forward_or_emit(node, Payload::RemoveEntry { lineage: lin, key, fresh });
+                    p.forward_or_emit(
+                        node,
+                        Payload::RemoveEntry {
+                            lineage: lin,
+                            key,
+                            fresh,
+                        },
+                    );
                 }
+                p.recycle_probe_scratch(victims);
             }
         }
-        Payload::Remove { stream, seq, key, fresh } => {
+        Payload::Remove {
+            stream,
+            seq,
+            key,
+            fresh,
+        } => {
             if from_left {
                 let removed = p.state_remove_containing(node, stream, seq, key);
                 if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                    p.forward_or_emit(node, Payload::Remove { stream, seq, key, fresh });
+                    p.forward_or_emit(
+                        node,
+                        Payload::Remove {
+                            stream,
+                            seq,
+                            key,
+                            fresh,
+                        },
+                    );
                 }
             } else {
                 // Inner expiry: if the last matching inner tuple left the
                 // window, formerly suppressed outers become visible again.
                 if !p.state_contains_key(inner, key) {
-                    let candidates = p.lookup_state(outer, key);
-                    for c in candidates {
+                    let mut candidates = p.take_probe_scratch();
+                    p.lookup_state_into(outer, key, &mut candidates);
+                    for c in candidates.drain(..) {
                         if p.state_insert_if_absent(node, c.clone()) {
                             p.forward_or_emit(node, Payload::Insert { tuple: c, fresh });
                         }
                     }
+                    p.recycle_probe_scratch(candidates);
                 }
             }
         }
-        Payload::RemoveEntry { lineage, key, fresh } => {
+        Payload::RemoveEntry {
+            lineage,
+            key,
+            fresh,
+        } => {
             // Only meaningful from the outer side (inner children are scans).
             let removed = p.state_remove_superset(node, &lineage, key);
             if removed > 0 || p.plan().node(node).state.needs_completion(key) {
-                p.forward_or_emit(node, Payload::RemoveEntry { lineage, key, fresh });
+                p.forward_or_emit(
+                    node,
+                    Payload::RemoveEntry {
+                        lineage,
+                        key,
+                        fresh,
+                    },
+                );
             }
         }
         Payload::SuppressKey { key, fresh } => {
@@ -198,7 +320,9 @@ pub fn process_aggregate(p: &mut Pipeline, node: NodeId, kind: AggKind, item: Qu
             p.state_insert(node, tuple);
             log_agg(p, node, kind, key);
         }
-        Payload::Remove { stream, seq, key, .. } => {
+        Payload::Remove {
+            stream, seq, key, ..
+        } => {
             if p.state_remove_containing(node, stream, seq, key) > 0 {
                 log_agg(p, node, kind, key);
             }
@@ -223,7 +347,7 @@ fn log_agg(p: &mut Pipeline, node: NodeId, kind: AggKind, key: jisc_common::Key)
             p.output.agg_log.push((None, total));
         }
         AggKind::GroupCount => {
-            let count = p.lookup_state(node, key).len() as u64;
+            let count = p.state_match_count(node, key) as u64;
             p.output.agg_log.push((Some(key), count));
         }
     }
@@ -232,8 +356,8 @@ fn log_agg(p: &mut Pipeline, node: NodeId, kind: AggKind, key: jisc_common::Key)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{Catalog, JoinStyle, PlanSpec};
     use crate::predicate::Predicate;
+    use crate::spec::{Catalog, JoinStyle, PlanSpec};
     use jisc_common::StreamId;
 
     fn pipe(spec: PlanSpec, streams: &[&str], window: usize) -> Pipeline {
@@ -311,8 +435,7 @@ mod tests {
 
     #[test]
     fn aggregate_count_tracks_results() {
-        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash)
-            .with_aggregate(AggKind::Count);
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash).with_aggregate(AggKind::Count);
         let mut p = pipe(spec, &["R", "S"], 100);
         p.push(StreamId(0), 1, 0).unwrap();
         p.push(StreamId(1), 1, 0).unwrap();
@@ -325,8 +448,8 @@ mod tests {
     #[test]
     fn aggregate_group_count_decrements_on_expiry() {
         let c = Catalog::uniform(&["R", "S"], 1).unwrap();
-        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash)
-            .with_aggregate(AggKind::GroupCount);
+        let spec =
+            PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash).with_aggregate(AggKind::GroupCount);
         let mut p = Pipeline::new(c, &spec).unwrap();
         p.push(StreamId(0), 4, 0).unwrap();
         p.push(StreamId(1), 4, 0).unwrap();
@@ -361,7 +484,7 @@ mod integration_shape_tests {
         let root = p.plan().root();
         assert_eq!(p.plan().node(root).state.len(), 1);
         p.push(StreamId(1), 1, 0).unwrap(); // B(1) suppresses A(1)
-        // The join result built from the suppressed tuple is purged.
+                                            // The join result built from the suppressed tuple is purged.
         assert_eq!(p.plan().node(root).state.len(), 0);
         // And later C arrivals find no visible A(1).
         p.push(StreamId(2), 1, 1).unwrap();
@@ -402,7 +525,9 @@ mod integration_shape_tests {
         let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
         let mut p = Pipeline::new(c, &spec).unwrap();
         p.ingest(StreamId(0), 1, 0).unwrap(); // queued, not drained
-        let other = p.compile(&PlanSpec::left_deep(&["S", "R"], JoinStyle::Hash)).unwrap();
+        let other = p
+            .compile(&PlanSpec::left_deep(&["S", "R"], JoinStyle::Hash))
+            .unwrap();
         let _ = p.replace_plan(other); // must panic (§4.1)
     }
 
@@ -429,13 +554,18 @@ mod integration_shape_tests {
         for i in 0..30u64 {
             p.push(StreamId((i % 3) as u16), i % 5, 0).unwrap();
         }
-        let new_plan = p.compile(&PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash)).unwrap();
+        let new_plan = p
+            .compile(&PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash))
+            .unwrap();
         let mut old = p.replace_plan(new_plan);
         let outcome = p.adopt_states(&mut old, |_, _| {});
         // 3 scans + root {R,S,T} survive; RS is discarded (new plan has TS).
         assert_eq!(outcome.adopted.len(), 4);
         assert_eq!(outcome.discarded.len(), 1);
-        assert!(!outcome.discarded[0].1.is_empty(), "discarded RS state had entries");
+        assert!(
+            !outcome.discarded[0].1.is_empty(),
+            "discarded RS state had entries"
+        );
     }
 }
 
@@ -490,18 +620,20 @@ mod time_window_tests {
         let mut p = timed_pipeline(5);
         p.push_at(StreamId(0), 1, 0, 50).unwrap();
         assert!(p.push_at(StreamId(0), 1, 0, 49).is_err());
-        assert!(p.push_at(StreamId(0), 1, 0, 50).is_ok(), "equal timestamps allowed");
+        assert!(
+            p.push_at(StreamId(0), 1, 0, 50).is_ok(),
+            "equal timestamps allowed"
+        );
     }
 
     #[test]
     fn mixed_count_and_time_windows() {
         let c = Catalog::new(vec![
-            StreamDef::new("R", 2),      // count window
-            StreamDef::timed("S", 100),  // time window
+            StreamDef::new("R", 2),     // count window
+            StreamDef::timed("S", 100), // time window
         ])
         .unwrap();
-        let mut p =
-            Pipeline::new(c, &PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash)).unwrap();
+        let mut p = Pipeline::new(c, &PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash)).unwrap();
         p.push_at(StreamId(0), 1, 0, 1).unwrap();
         p.push_at(StreamId(0), 2, 0, 2).unwrap();
         p.push_at(StreamId(0), 3, 0, 3).unwrap(); // count window evicts key 1
@@ -528,7 +660,13 @@ mod time_window_tests {
         let initial = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
         let mut rng = SplitMix64::new(5);
         let arrivals: Vec<(u16, u64, u64)> = (0..400)
-            .map(|i| (rng.next_below(3) as u16, rng.next_below(8), i * 2 + rng.next_below(2)))
+            .map(|i| {
+                (
+                    rng.next_below(3) as u16,
+                    rng.next_below(8),
+                    i * 2 + rng.next_below(2),
+                )
+            })
             .collect();
 
         let mut re = Pipeline::new(mk(), &initial).unwrap();

@@ -77,6 +77,27 @@ impl OutputSink {
         self.log.clear();
         self.agg_log.clear();
     }
+
+    /// Merge per-shard sinks into one deterministic sink.
+    ///
+    /// Join logs are concatenated and sorted by lineage, which is a total
+    /// order independent of shard interleaving, so the merged log is
+    /// byte-identical across runs and comparable (as a multiset) to a serial
+    /// execution. Aggregate logs are concatenated in shard order — they are
+    /// per-shard running sequences, not a global one. Latency marks are
+    /// pooled and sorted; retraction counts are summed.
+    pub fn merged(sinks: impl IntoIterator<Item = OutputSink>) -> OutputSink {
+        let mut out = OutputSink::new();
+        for s in sinks {
+            out.log.extend(s.log);
+            out.agg_log.extend(s.agg_log);
+            out.retractions += s.retractions;
+            out.latency_marks.extend(s.latency_marks);
+        }
+        out.log.sort_by_cached_key(|t| t.lineage());
+        out.latency_marks.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,12 @@ pub struct Pipeline {
     last_transition_seq: SeqNo,
     /// Items currently sitting in operator input queues (scheduler state).
     pending_items: usize,
+    /// Reused per-arrival buffer for tuples expiring out of the windows,
+    /// so the steady-state ingest path allocates nothing.
+    expired_scratch: Vec<Arc<BaseTuple>>,
+    /// Reused buffer for join-probe results (see
+    /// [`Pipeline::take_probe_scratch`]).
+    probe_scratch: Vec<Tuple>,
     /// Query output.
     pub output: OutputSink,
     /// Execution counters.
@@ -83,6 +89,8 @@ impl Pipeline {
             has_time_windows,
             last_transition_seq: 0,
             pending_items: 0,
+            expired_scratch: Vec::new(),
+            probe_scratch: Vec::new(),
             output: OutputSink::new(),
             metrics: Metrics::new(),
         })
@@ -186,7 +194,8 @@ impl Pipeline {
         // Count windows slide only on their own stream's arrivals; time
         // windows are driven by the clock, so *every* time-windowed stream
         // is aged on every arrival.
-        let mut expired: Vec<Arc<BaseTuple>> = Vec::new();
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
         if self.has_time_windows {
             for i in 0..self.catalog.len() {
                 let s = StreamId(i as u16);
@@ -203,7 +212,10 @@ impl Pipeline {
                     WindowSpec::Time(d) => {
                         // A tuple is inside the window while `ts - arrival < d`.
                         let ring = &mut self.rings[i];
-                        while ring.front().is_some_and(|(at, _)| ts.saturating_sub(*at) >= d) {
+                        while ring
+                            .front()
+                            .is_some_and(|(at, _)| ts.saturating_sub(*at) >= d)
+                        {
                             expired.push(ring.pop_front().expect("non-empty ring").1);
                         }
                     }
@@ -216,7 +228,7 @@ impl Pipeline {
                 expired.push(ring.pop_front().expect("non-empty ring").1);
             }
         }
-        for old in expired {
+        for old in expired.drain(..) {
             let old_scan = self
                 .plan
                 .scan_of(old.stream)
@@ -235,6 +247,7 @@ impl Pipeline {
                 },
             });
         }
+        self.expired_scratch = expired;
 
         let prev = self.fresh[stream.0 as usize].insert(key, seq);
         let fresh = prev.is_none_or(|s| s < self.last_transition_seq);
@@ -243,11 +256,13 @@ impl Pipeline {
         self.pending_items += 1;
         self.plan.node_mut(scan).queue.push_back(QueueItem {
             from: None,
-            payload: Payload::Insert { tuple: Tuple::Base(base), fresh },
+            payload: Payload::Insert {
+                tuple: Tuple::Base(base),
+                fresh,
+            },
         });
         Ok(())
     }
-
 
     /// [`Pipeline::ingest`] by stream name.
     pub fn ingest_named(&mut self, stream: &str, key: Key, payload: u64) -> Result<()> {
@@ -326,9 +341,49 @@ impl Pipeline {
     // ----- helpers used by operator semantics -----
 
     /// Probe node `n`'s state for `key` (clones matches; `Arc` bumps).
+    ///
+    /// Allocates a fresh `Vec` per call — completion/migration cold paths
+    /// only. The per-arrival probe path uses
+    /// [`Pipeline::lookup_state_into`] with a recycled buffer.
     pub fn lookup_state(&mut self, n: NodeId, key: Key) -> Vec<Tuple> {
         // Split borrows: plan (shared) and metrics (mutable) are disjoint.
         self.plan.node(n).state.lookup(key, &mut self.metrics)
+    }
+
+    /// Probe node `n`'s state for `key`, appending matches to `out`.
+    pub fn lookup_state_into(&mut self, n: NodeId, key: Key, out: &mut Vec<Tuple>) {
+        self.plan
+            .node(n)
+            .state
+            .lookup_into(key, &mut self.metrics, out);
+    }
+
+    /// Number of entries matching `key` in node `n`'s state, without
+    /// materializing them.
+    pub fn state_match_count(&mut self, n: NodeId, key: Key) -> usize {
+        self.plan.node(n).state.match_count(key, &mut self.metrics)
+    }
+
+    /// Borrow the pipeline's reusable probe buffer (empty). Operator
+    /// semantics cannot hold a `&Tuple` into a state while also mutating
+    /// the pipeline, so probes clone matches into a buffer first; taking
+    /// this one instead of allocating keeps the steady-state join path
+    /// allocation-free. Return it with
+    /// [`Pipeline::recycle_probe_scratch`] when drained. Nested takes are
+    /// harmless: the inner take sees a fresh `Vec`, and recycling keeps
+    /// whichever buffer has the larger capacity.
+    pub fn take_probe_scratch(&mut self) -> Vec<Tuple> {
+        let mut buf = std::mem::take(&mut self.probe_scratch);
+        buf.clear();
+        buf
+    }
+
+    /// Give back a buffer obtained from [`Pipeline::take_probe_scratch`].
+    pub fn recycle_probe_scratch(&mut self, mut buf: Vec<Tuple>) {
+        buf.clear();
+        if buf.capacity() > self.probe_scratch.capacity() {
+            self.probe_scratch = buf;
+        }
     }
 
     /// Theta-scan node `n`'s state.
@@ -339,7 +394,28 @@ impl Pipeline {
         probe_key: Key,
         stored_is_left: bool,
     ) -> Vec<Tuple> {
-        self.plan.node(n).state.scan_theta(pred, probe_key, stored_is_left, &mut self.metrics)
+        self.plan
+            .node(n)
+            .state
+            .scan_theta(pred, probe_key, stored_is_left, &mut self.metrics)
+    }
+
+    /// Theta-scan node `n`'s state, appending matches to `out`.
+    pub fn scan_theta_state_into(
+        &mut self,
+        n: NodeId,
+        pred: Predicate,
+        probe_key: Key,
+        stored_is_left: bool,
+        out: &mut Vec<Tuple>,
+    ) {
+        self.plan.node(n).state.scan_theta_into(
+            pred,
+            probe_key,
+            stored_is_left,
+            &mut self.metrics,
+            out,
+        );
     }
 
     /// Does node `n`'s state contain `key`?
@@ -354,7 +430,10 @@ impl Pipeline {
 
     /// Insert into node `n`'s state unless an equal-lineage entry exists.
     pub fn state_insert_if_absent(&mut self, n: NodeId, t: Tuple) -> bool {
-        self.plan.node_mut(n).state.insert_if_absent(t, &mut self.metrics)
+        self.plan
+            .node_mut(n)
+            .state
+            .insert_if_absent(t, &mut self.metrics)
     }
 
     /// Remove entries containing a base tuple from node `n`'s state;
@@ -366,30 +445,45 @@ impl Pipeline {
         seq: SeqNo,
         key: Key,
     ) -> usize {
-        self.plan.node_mut(n).state.remove_containing(stream, seq, key, &mut self.metrics)
+        self.plan
+            .node_mut(n)
+            .state
+            .remove_containing(stream, seq, key, &mut self.metrics)
     }
 
     /// Remove entries whose lineage is a superset of `lin` from node `n`;
     /// returns the number removed.
     pub fn state_remove_superset(&mut self, n: NodeId, lin: &Lineage, key: Key) -> usize {
-        self.plan.node_mut(n).state.remove_superset(lin, key, &mut self.metrics)
+        self.plan
+            .node_mut(n)
+            .state
+            .remove_superset(lin, key, &mut self.metrics)
     }
 
     /// Remove all entries stored under `key` from node `n`'s state;
     /// returns the number removed.
     pub fn state_remove_key(&mut self, n: NodeId, key: Key) -> usize {
-        self.plan.node_mut(n).state.remove_key(key, &mut self.metrics)
+        self.plan
+            .node_mut(n)
+            .state
+            .remove_key(key, &mut self.metrics)
     }
 
     /// Remove one exact entry (by lineage) from node `n`'s state.
     pub fn state_remove_by_lineage(&mut self, n: NodeId, lin: &Lineage, key: Key) -> bool {
-        self.plan.node_mut(n).state.remove_by_lineage(lin, key, &mut self.metrics)
+        self.plan
+            .node_mut(n)
+            .state
+            .remove_by_lineage(lin, key, &mut self.metrics)
     }
 
     /// Does node `n`'s state contain any entry with a constituent older
     /// than `seq`? (Parallel Track discard check, §3.3.)
     pub fn state_has_entry_older_than(&mut self, n: NodeId, seq: SeqNo) -> bool {
-        self.plan.node(n).state.has_entry_older_than(seq, &mut self.metrics)
+        self.plan
+            .node(n)
+            .state
+            .has_entry_older_than(seq, &mut self.metrics)
     }
 
     /// Enqueue an item at node `n`.
@@ -403,7 +497,13 @@ impl Pipeline {
     /// counted as retractions.
     pub fn forward_or_emit(&mut self, node: NodeId, payload: Payload) {
         match self.plan.node(node).parent {
-            Some(parent) => self.enqueue(parent, QueueItem { from: Some(node), payload }),
+            Some(parent) => self.enqueue(
+                parent,
+                QueueItem {
+                    from: Some(node),
+                    payload,
+                },
+            ),
             None => match payload {
                 Payload::Insert { tuple, .. } => self.emit(tuple),
                 Payload::Remove { .. }
@@ -471,7 +571,10 @@ impl Pipeline {
                 self.metrics.states_copied += 1;
             }
         }
-        AdoptionOutcome { adopted, discarded: donated.into_iter().collect() }
+        AdoptionOutcome {
+            adopted,
+            discarded: donated.into_iter().collect(),
+        }
     }
 }
 

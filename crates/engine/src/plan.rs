@@ -2,9 +2,7 @@
 
 use std::collections::VecDeque;
 
-use jisc_common::{
-    FxHashMap, JiscError, Key, Lineage, Result, SeqNo, StreamId, Tuple,
-};
+use jisc_common::{FxHashMap, JiscError, Key, Lineage, Result, SeqNo, StreamId, Tuple};
 use serde::{Deserialize, Serialize};
 
 use crate::predicate::Predicate;
@@ -45,7 +43,9 @@ impl StreamSet {
 
     /// Iterate over member stream ids.
     pub fn iter(self) -> impl Iterator<Item = StreamId> {
-        (0..64u16).filter(move |i| self.0 & (1u64 << i) != 0).map(StreamId)
+        (0..64u16)
+            .filter(move |i| self.0 & (1u64 << i) != 0)
+            .map(StreamId)
     }
 }
 
@@ -197,7 +197,10 @@ impl Plan {
                 right: None,
                 state: State::new(StoreKind::Hash),
                 queue: VecDeque::new(),
-                signature: Signature { class: OpClass::Aggregate, streams },
+                signature: Signature {
+                    class: OpClass::Aggregate,
+                    streams,
+                },
             });
             id
         } else {
@@ -205,7 +208,12 @@ impl Plan {
         };
         let mut topo = Vec::with_capacity(nodes.len());
         topo_order(&nodes, root, &mut topo);
-        Ok(Plan { nodes, root, scans, topo })
+        Ok(Plan {
+            nodes,
+            root,
+            scans,
+            topo,
+        })
     }
 
     /// Root node id.
@@ -329,7 +337,10 @@ fn build(
                 right: None,
                 state: State::new(StoreKind::Hash),
                 queue: VecDeque::new(),
-                signature: Signature { class: OpClass::Scan, streams: StreamSet::singleton(sid) },
+                signature: Signature {
+                    class: OpClass::Scan,
+                    streams: StreamSet::singleton(sid),
+                },
             });
             scans.insert(sid, id);
             Ok(id)
@@ -337,13 +348,18 @@ fn build(
         SpecNode::Join { style, left, right } => {
             let l = build(catalog, left, nodes, scans)?;
             let r = build(catalog, right, nodes, scans)?;
-            let streams =
-                nodes[l.0 as usize].signature.streams.union(nodes[r.0 as usize].signature.streams);
+            let streams = nodes[l.0 as usize]
+                .signature
+                .streams
+                .union(nodes[r.0 as usize].signature.streams);
             let (op, store, class) = match style {
                 JoinStyle::Hash => (OpKind::HashJoin, StoreKind::Hash, OpClass::EquiJoin),
                 JoinStyle::Nlj(p) => {
-                    let class =
-                        if *p == Predicate::KeyEq { OpClass::EquiJoin } else { OpClass::ThetaJoin(*p) };
+                    let class = if *p == Predicate::KeyEq {
+                        OpClass::EquiJoin
+                    } else {
+                        OpClass::ThetaJoin(*p)
+                    };
                     (OpKind::NljJoin(*p), StoreKind::List, class)
                 }
             };
@@ -385,7 +401,10 @@ fn build(
                 right: Some(r),
                 state: State::new(StoreKind::Hash),
                 queue: VecDeque::new(),
-                signature: Signature { class: OpClass::SetDiff { outer }, streams },
+                signature: Signature {
+                    class: OpClass::SetDiff { outer },
+                    streams,
+                },
             });
             Ok(id)
         }
@@ -458,11 +477,17 @@ mod tests {
     #[test]
     fn signatures_match_across_equivalent_plans() {
         let c = catalog4();
-        let old = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S", "T", "U"], JoinStyle::Hash))
-            .unwrap();
+        let old = Plan::compile(
+            &c,
+            &PlanSpec::left_deep(&["R", "S", "T", "U"], JoinStyle::Hash),
+        )
+        .unwrap();
         // new plan swaps T and U: ((R ⋈ S) ⋈ U) ⋈ T — state RS survives.
-        let new = Plan::compile(&c, &PlanSpec::left_deep(&["R", "S", "U", "T"], JoinStyle::Hash))
-            .unwrap();
+        let new = Plan::compile(
+            &c,
+            &PlanSpec::left_deep(&["R", "S", "U", "T"], JoinStyle::Hash),
+        )
+        .unwrap();
         let old_sigs: std::collections::HashSet<_> =
             old.ids().map(|i| old.node(i).signature).collect();
         let new_sigs: Vec<_> = new.ids().map(|i| new.node(i).signature).collect();
@@ -495,9 +520,15 @@ mod tests {
         let abc = Plan::compile(&c, &PlanSpec::set_diff_chain(&["A", "B", "C"])).unwrap();
         let acb = Plan::compile(&c, &PlanSpec::set_diff_chain(&["A", "C", "B"])).unwrap();
         // (A−B)−C and (A−C)−B cover the same streams with the same outer.
-        assert_eq!(abc.node(abc.root()).signature, acb.node(acb.root()).signature);
+        assert_eq!(
+            abc.node(abc.root()).signature,
+            acb.node(acb.root()).signature
+        );
         let bac = Plan::compile(&c, &PlanSpec::set_diff_chain(&["B", "A", "C"])).unwrap();
-        assert_ne!(abc.node(abc.root()).signature, bac.node(bac.root()).signature);
+        assert_ne!(
+            abc.node(abc.root()).signature,
+            bac.node(bac.root()).signature
+        );
     }
 
     #[test]
@@ -517,8 +548,7 @@ mod tests {
     #[test]
     fn aggregate_sits_above_root() {
         let c = catalog4();
-        let spec =
-            PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash).with_aggregate(AggKind::Count);
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash).with_aggregate(AggKind::Count);
         let p = Plan::compile(&c, &spec).unwrap();
         let root = p.node(p.root());
         assert!(matches!(root.op, OpKind::Aggregate(AggKind::Count)));
@@ -536,11 +566,21 @@ mod tests {
         let (na, nb) = p.two_nodes_mut(a, b);
         na.queue.push_back(QueueItem {
             from: None,
-            payload: Payload::Remove { stream: StreamId(0), seq: 0, key: 0, fresh: true },
+            payload: Payload::Remove {
+                stream: StreamId(0),
+                seq: 0,
+                key: 0,
+                fresh: true,
+            },
         });
         nb.queue.push_back(QueueItem {
             from: None,
-            payload: Payload::Remove { stream: StreamId(0), seq: 1, key: 0, fresh: true },
+            payload: Payload::Remove {
+                stream: StreamId(0),
+                seq: 1,
+                key: 0,
+                fresh: true,
+            },
         });
         assert_eq!(p.queued_items(), 2);
         assert!(!p.queues_empty());

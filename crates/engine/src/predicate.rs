@@ -40,7 +40,10 @@ impl Predicate {
 
     /// True if the predicate is symmetric: `eval(a, b) == eval(b, a)`.
     pub fn is_symmetric(&self) -> bool {
-        matches!(self, Predicate::KeyEq | Predicate::BandWithin(_) | Predicate::Always)
+        matches!(
+            self,
+            Predicate::KeyEq | Predicate::BandWithin(_) | Predicate::Always
+        )
     }
 
     /// True if the join result is insensitive to the order in which a set of

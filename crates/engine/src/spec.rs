@@ -48,12 +48,18 @@ pub struct StreamDef {
 impl StreamDef {
     /// Count-based window of `window` tuples (the paper's setup).
     pub fn new(name: impl Into<String>, window: usize) -> Self {
-        StreamDef { name: name.into(), window: WindowSpec::Count(window) }
+        StreamDef {
+            name: name.into(),
+            window: WindowSpec::Count(window),
+        }
     }
 
     /// Time-based window of `ticks` timestamp units.
     pub fn timed(name: impl Into<String>, ticks: u64) -> Self {
-        StreamDef { name: name.into(), window: WindowSpec::Time(ticks) }
+        StreamDef {
+            name: name.into(),
+            window: WindowSpec::Time(ticks),
+        }
     }
 }
 
@@ -72,10 +78,14 @@ impl Catalog {
     /// at most 64 streams are supported (stream sets are u64 bitmasks).
     pub fn new(defs: Vec<StreamDef>) -> Result<Self> {
         if defs.is_empty() {
-            return Err(JiscError::InvalidConfig("catalog needs at least one stream".into()));
+            return Err(JiscError::InvalidConfig(
+                "catalog needs at least one stream".into(),
+            ));
         }
         if defs.len() > 64 {
-            return Err(JiscError::InvalidConfig("at most 64 streams supported".into()));
+            return Err(JiscError::InvalidConfig(
+                "at most 64 streams supported".into(),
+            ));
         }
         let mut index = FxHashMap::default();
         for (i, d) in defs.iter().enumerate() {
@@ -90,7 +100,10 @@ impl Catalog {
                 )));
             }
             if index.insert(d.name.clone(), StreamId(i as u16)).is_some() {
-                return Err(JiscError::InvalidConfig(format!("duplicate stream {}", d.name)));
+                return Err(JiscError::InvalidConfig(format!(
+                    "duplicate stream {}",
+                    d.name
+                )));
             }
         }
         Ok(Catalog { defs, index })
@@ -103,7 +116,10 @@ impl Catalog {
 
     /// Id of a stream by name.
     pub fn id(&self, name: &str) -> Result<StreamId> {
-        self.index.get(name).copied().ok_or_else(|| JiscError::UnknownStream(name.into()))
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| JiscError::UnknownStream(name.into()))
     }
 
     /// Name of a stream by id.
@@ -123,7 +139,9 @@ impl Catalog {
 
     /// True if every stream uses a count-based window.
     pub fn all_count_windows(&self) -> bool {
-        self.defs.iter().all(|d| matches!(d.window, WindowSpec::Count(_)))
+        self.defs
+            .iter()
+            .all(|d| matches!(d.window, WindowSpec::Count(_)))
     }
 
     /// Number of streams.
@@ -166,9 +184,16 @@ pub enum SpecNode {
     /// Leaf: scan of a named stream.
     Scan(String),
     /// Binary join of two subplans.
-    Join { style: JoinStyle, left: Box<SpecNode>, right: Box<SpecNode> },
+    Join {
+        style: JoinStyle,
+        left: Box<SpecNode>,
+        right: Box<SpecNode>,
+    },
     /// Set difference: `left − right` (§4.7).
-    SetDiff { left: Box<SpecNode>, right: Box<SpecNode> },
+    SetDiff {
+        left: Box<SpecNode>,
+        right: Box<SpecNode>,
+    },
 }
 
 impl SpecNode {
@@ -211,14 +236,20 @@ pub struct PlanSpec {
 impl PlanSpec {
     /// Wrap a root node.
     pub fn new(root: SpecNode) -> Self {
-        PlanSpec { root, aggregate: None }
+        PlanSpec {
+            root,
+            aggregate: None,
+        }
     }
 
     /// Left-deep chain: `((s0 ⋈ s1) ⋈ s2) ⋈ …` (Figure 1).
     ///
     /// Requires at least two streams.
     pub fn left_deep(streams: &[&str], style: JoinStyle) -> Self {
-        assert!(streams.len() >= 2, "left-deep plan needs at least two streams");
+        assert!(
+            streams.len() >= 2,
+            "left-deep plan needs at least two streams"
+        );
         let mut node = SpecNode::Scan(streams[0].into());
         for s in &streams[1..] {
             node = SpecNode::Join {
@@ -249,7 +280,10 @@ impl PlanSpec {
 
     /// Left-deep set-difference chain: `((s0 − s1) − s2) − …` (§4.7).
     pub fn set_diff_chain(streams: &[&str]) -> Self {
-        assert!(streams.len() >= 2, "set-difference chain needs at least two streams");
+        assert!(
+            streams.len() >= 2,
+            "set-difference chain needs at least two streams"
+        );
         let mut node = SpecNode::Scan(streams[0].into());
         for s in &streams[1..] {
             node = SpecNode::SetDiff {
@@ -286,7 +320,9 @@ impl PlanSpec {
     pub fn validate(&self, catalog: &Catalog) -> Result<()> {
         let leaves = self.leaves();
         if leaves.len() < 2 {
-            return Err(JiscError::InvalidPlan("plan must range over at least two streams".into()));
+            return Err(JiscError::InvalidPlan(
+                "plan must range over at least two streams".into(),
+            ));
         }
         let mut seen = std::collections::BTreeSet::new();
         for l in &leaves {
@@ -308,7 +344,9 @@ mod tests {
         assert!(Catalog::new(vec![]).is_err());
         assert!(Catalog::new(vec![StreamDef::new("R", 0)]).is_err());
         assert!(Catalog::new(vec![StreamDef::new("R", 1), StreamDef::new("R", 1)]).is_err());
-        let many: Vec<StreamDef> = (0..65).map(|i| StreamDef::new(format!("s{i}"), 1)).collect();
+        let many: Vec<StreamDef> = (0..65)
+            .map(|i| StreamDef::new(format!("s{i}"), 1))
+            .collect();
         assert!(Catalog::new(many).is_err());
     }
 

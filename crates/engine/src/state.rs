@@ -60,6 +60,21 @@ pub struct State {
     pending: Option<PendingKeys>,
     /// Total entries (cached so hash states report length in O(1)).
     len: usize,
+    /// Per-key entry counts, maintained for `List` stores only (hash stores
+    /// answer key questions from their buckets). Keeps the §4.3 counter
+    /// seed [`State::distinct_key_count`] O(1) instead of a full scan plus
+    /// a throwaway set allocation per call. Empty for `Hash` stores.
+    list_keys: jisc_common::FxHashMap<Key, u32>,
+}
+
+/// Decrement a per-key count, dropping the entry at zero.
+fn list_note_removed(counts: &mut jisc_common::FxHashMap<Key, u32>, key: Key) {
+    if let Some(c) = counts.get_mut(&key) {
+        *c -= 1;
+        if *c == 0 {
+            counts.remove(&key);
+        }
+    }
 }
 
 impl State {
@@ -69,7 +84,13 @@ impl State {
             StoreKind::Hash => Store::Hash(Default::default()),
             StoreKind::List => Store::List(Vec::new()),
         };
-        State { store, complete: true, pending: None, len: 0 }
+        State {
+            store,
+            complete: true,
+            pending: None,
+            len: 0,
+            list_keys: Default::default(),
+        }
     }
 
     /// Physical layout of this state.
@@ -201,23 +222,61 @@ impl State {
         self.len += 1;
         match &mut self.store {
             Store::Hash(map) => map.entry(t.key()).or_default().push(t),
-            Store::List(v) => v.push(t),
+            Store::List(v) => {
+                *self.list_keys.entry(t.key()).or_insert(0) += 1;
+                v.push(t);
+            }
         }
     }
 
     /// Entries matching `key` (hash states: the bucket; list states: a scan).
     ///
-    /// Counts one probe (hash) or `len` comparisons (list).
+    /// Counts one probe (hash) or `len` comparisons (list). Allocates a
+    /// fresh `Vec` per call — the probe hot path uses
+    /// [`State::lookup_into`] / [`State::for_each_match`] instead.
     pub fn lookup(&self, key: Key, m: &mut Metrics) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.lookup_into(key, m, &mut out);
+        out
+    }
+
+    /// Append entries matching `key` to `out` (same accounting as
+    /// [`State::lookup`], no allocation beyond `out`'s growth).
+    pub fn lookup_into(&self, key: Key, m: &mut Metrics, out: &mut Vec<Tuple>) {
+        self.for_each_match(key, m, |t| out.push(t.clone()));
+    }
+
+    /// Visit each entry matching `key` without cloning or allocating.
+    ///
+    /// Counts one probe (hash) or `len` comparisons (list), exactly like
+    /// [`State::lookup`].
+    pub fn for_each_match(&self, key: Key, m: &mut Metrics, mut f: impl FnMut(&Tuple)) {
+        m.probes += 1;
         match &self.store {
             Store::Hash(map) => {
-                m.probes += 1;
-                map.get(&key).cloned().unwrap_or_default()
+                if let Some(bucket) = map.get(&key) {
+                    for t in bucket {
+                        f(t);
+                    }
+                }
             }
             Store::List(v) => {
-                m.probes += 1;
                 m.nlj_comparisons += v.len() as u64;
-                v.iter().filter(|t| t.key() == key).cloned().collect()
+                for t in v.iter().filter(|t| t.key() == key) {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// Number of entries matching `key` (same accounting as a lookup).
+    pub fn match_count(&self, key: Key, m: &mut Metrics) -> usize {
+        m.probes += 1;
+        match &self.store {
+            Store::Hash(map) => map.get(&key).map_or(0, Vec::len),
+            Store::List(v) => {
+                m.nlj_comparisons += v.len() as u64;
+                v.iter().filter(|t| t.key() == key).count()
             }
         }
     }
@@ -231,6 +290,20 @@ impl State {
         stored_is_left: bool,
         m: &mut Metrics,
     ) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.scan_theta_into(pred, probe_key, stored_is_left, m, &mut out);
+        out
+    }
+
+    /// [`State::scan_theta`], appending into a caller-provided buffer.
+    pub fn scan_theta_into(
+        &self,
+        pred: Predicate,
+        probe_key: Key,
+        stored_is_left: bool,
+        m: &mut Metrics,
+        out: &mut Vec<Tuple>,
+    ) {
         m.probes += 1;
         let eval = |stored: Key| {
             if stored_is_left {
@@ -242,17 +315,15 @@ impl State {
         match &self.store {
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
-                v.iter().filter(|t| eval(t.key())).cloned().collect()
+                out.extend(v.iter().filter(|t| eval(t.key())).cloned());
             }
             Store::Hash(map) => {
                 // Theta probe against a hash state (e.g. a scan feeding an
                 // NLJ): every entry must be examined.
-                let mut out = Vec::new();
                 for bucket in map.values() {
                     m.nlj_comparisons += bucket.len() as u64;
                     out.extend(bucket.iter().filter(|t| eval(t.key())).cloned());
                 }
-                out
             }
         }
     }
@@ -304,7 +375,14 @@ impl State {
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
                 let before = v.len();
-                v.retain(|t| !t.contains_base(stream, seq));
+                let counts = &mut self.list_keys;
+                v.retain(|t| {
+                    let keep = !t.contains_base(stream, seq);
+                    if !keep {
+                        list_note_removed(counts, t.key());
+                    }
+                    keep
+                });
                 before - v.len()
             }
         };
@@ -335,7 +413,14 @@ impl State {
             Store::List(v) => {
                 let before = v.len();
                 m.nlj_comparisons += before as u64;
-                v.retain(|t| t.lineage() != *lin);
+                let counts = &mut self.list_keys;
+                v.retain(|t| {
+                    let keep = t.lineage() != *lin;
+                    if !keep {
+                        list_note_removed(counts, t.key());
+                    }
+                    keep
+                });
                 v.len() < before
             }
         };
@@ -359,6 +444,7 @@ impl State {
                 m.nlj_comparisons += v.len() as u64;
                 let before = v.len();
                 v.retain(|t| t.key() != key);
+                self.list_keys.remove(&key);
                 before - v.len()
             }
         };
@@ -372,8 +458,7 @@ impl State {
     /// built from a suppressed entry must go). Returns how many entries were
     /// removed.
     pub fn remove_superset(&mut self, lin: &Lineage, key: Key, m: &mut Metrics) -> usize {
-        let contains_all =
-            |t: &Tuple| lin.parts().iter().all(|(s, q)| t.contains_base(*s, *q));
+        let contains_all = |t: &Tuple| lin.parts().iter().all(|(s, q)| t.contains_base(*s, *q));
         let removed = match &mut self.store {
             Store::Hash(map) => {
                 m.probes += 1;
@@ -393,7 +478,14 @@ impl State {
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
                 let before = v.len();
-                v.retain(|t| !contains_all(t));
+                let counts = &mut self.list_keys;
+                v.retain(|t| {
+                    let keep = !contains_all(t);
+                    if !keep {
+                        list_note_removed(counts, t.key());
+                    }
+                    keep
+                });
                 before - v.len()
             }
         };
@@ -411,7 +503,8 @@ impl State {
         let exists = match &self.store {
             Store::Hash(map) => {
                 m.probes += 1;
-                map.get(&t.key()).is_some_and(|b| b.iter().any(|e| e.lineage() == lin))
+                map.get(&t.key())
+                    .is_some_and(|b| b.iter().any(|e| e.lineage() == lin))
             }
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
@@ -430,15 +523,17 @@ impl State {
     pub fn distinct_keys(&self) -> FxHashSet<Key> {
         match &self.store {
             Store::Hash(map) => map.keys().copied().collect(),
-            Store::List(v) => v.iter().map(|t| t.key()).collect(),
+            Store::List(_) => self.list_keys.keys().copied().collect(),
         }
     }
 
     /// Number of distinct join-attribute values (the §4.3 counter seed).
+    /// O(1) for both layouts: hash stores count buckets, list stores read
+    /// the maintained per-key count map.
     pub fn distinct_key_count(&self) -> usize {
         match &self.store {
             Store::Hash(map) => map.len(),
-            Store::List(v) => v.iter().map(|t| t.key()).collect::<FxHashSet<_>>().len(),
+            Store::List(_) => self.list_keys.len(),
         }
     }
 
@@ -468,6 +563,7 @@ impl State {
             Store::Hash(map) => map.clear(),
             Store::List(v) => v.clear(),
         }
+        self.list_keys.clear();
         self.len = 0;
     }
 }
@@ -575,7 +671,9 @@ mod tests {
     #[test]
     fn case3_tracking() {
         let mut s = State::new(StoreKind::Hash);
-        s.mark_incomplete(PendingKeys::Unknown { completed: Default::default() });
+        s.mark_incomplete(PendingKeys::Unknown {
+            completed: Default::default(),
+        });
         assert!(s.needs_completion(4));
         assert!(!s.note_key_completed(4));
         assert!(!s.needs_completion(4));
@@ -603,5 +701,51 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.distinct_key_count(), 0);
+    }
+
+    #[test]
+    fn list_distinct_key_count_tracks_every_mutation() {
+        let mut m = Metrics::new();
+        let mut s = State::new(StoreKind::List);
+        s.insert(bt(0, 1, 5), &mut m);
+        s.insert(bt(0, 2, 5), &mut m);
+        s.insert(bt(0, 3, 9), &mut m);
+        s.insert(bt(1, 4, 7), &mut m);
+        assert_eq!(s.distinct_key_count(), 3);
+        assert_eq!(s.distinct_keys(), [5, 9, 7].into_iter().collect());
+        // removing one of two key-5 entries keeps the key
+        assert!(s.remove_by_lineage(&bt(0, 1, 5).lineage(), 5, &mut m));
+        assert_eq!(s.distinct_key_count(), 3);
+        // removing the base of the last key-5 entry drops the key
+        assert_eq!(s.remove_containing(StreamId(0), 2, 5, &mut m), 1);
+        assert_eq!(s.distinct_key_count(), 2);
+        assert_eq!(s.remove_key(9, &mut m), 1);
+        assert_eq!(s.distinct_key_count(), 1);
+        assert_eq!(s.remove_superset(&bt(1, 4, 7).lineage(), 7, &mut m), 1);
+        assert_eq!(s.distinct_key_count(), 0);
+        s.insert(bt(0, 8, 3), &mut m);
+        assert_eq!(s.distinct_key_count(), 1);
+        s.clear();
+        assert_eq!(s.distinct_key_count(), 0);
+    }
+
+    #[test]
+    fn for_each_match_and_match_count_agree_with_lookup() {
+        let mut m = Metrics::new();
+        for kind in [StoreKind::Hash, StoreKind::List] {
+            let mut s = State::new(kind);
+            s.insert(bt(0, 1, 5), &mut m);
+            s.insert(bt(0, 2, 5), &mut m);
+            s.insert(bt(0, 3, 9), &mut m);
+            let looked = s.lookup(5, &mut m);
+            let mut visited = Vec::new();
+            s.for_each_match(5, &mut m, |t| visited.push(t.clone()));
+            assert_eq!(visited, looked);
+            assert_eq!(s.match_count(5, &mut m), 2);
+            assert_eq!(s.match_count(4, &mut m), 0);
+            let mut buf = vec![bt(9, 99, 99)];
+            s.lookup_into(5, &mut m, &mut buf);
+            assert_eq!(buf.len(), 3, "lookup_into appends");
+        }
     }
 }

@@ -63,7 +63,13 @@ impl SelfTuningEngine {
         let spec = PlanSpec::left_deep(&names, JoinStyle::Hash);
         let estimator = SelectivityEstimator::new(catalog.len(), alpha);
         let engine = AdaptiveEngine::new(catalog, &spec, strategy)?;
-        Ok(SelfTuningEngine { engine, estimator, policy, current_order: order, migrations: 0 })
+        Ok(SelfTuningEngine {
+            engine,
+            estimator,
+            policy,
+            current_order: order,
+            migrations: 0,
+        })
     }
 
     /// Process one arrival, updating estimates and possibly migrating.
@@ -75,8 +81,10 @@ impl SelfTuningEngine {
         self.policy.tick();
         if let Some(proposed) = self.estimator.proposed_order() {
             if self.policy.should_migrate(&self.current_order, &proposed) {
-                let names: Vec<&str> =
-                    proposed.iter().map(|&s| self.engine.catalog().name(s)).collect();
+                let names: Vec<&str> = proposed
+                    .iter()
+                    .map(|&s| self.engine.catalog().name(s))
+                    .collect();
                 let spec = PlanSpec::left_deep(&names, JoinStyle::Hash);
                 self.engine.transition_to(&spec)?;
                 self.current_order = proposed;
@@ -121,13 +129,9 @@ mod tests {
     #[test]
     fn self_tuning_migrates_toward_selective_order() {
         let catalog = Catalog::uniform(&["R", "S", "T"], 300).unwrap();
-        let mut e = SelfTuningEngine::new(
-            catalog,
-            Strategy::Jisc,
-            ReorderPolicy::new(2, 500),
-            0.02,
-        )
-        .unwrap();
+        let mut e =
+            SelfTuningEngine::new(catalog, Strategy::Jisc, ReorderPolicy::new(2, 500), 0.02)
+                .unwrap();
         let mut rng = SplitMix64::new(3);
         // Stream T rarely matches (9 of 10 arrivals land in a disjoint key
         // space): its own arrivals almost never complete a result, so it is
@@ -141,7 +145,10 @@ mod tests {
             };
             e.push(StreamId(s), key, 0).unwrap();
         }
-        assert!(e.migrations() >= 1, "should have re-optimized at least once");
+        assert!(
+            e.migrations() >= 1,
+            "should have re-optimized at least once"
+        );
         assert_eq!(
             e.current_order().first(),
             Some(&StreamId(2)),
@@ -162,7 +169,8 @@ mod tests {
         .unwrap();
         let mut rng = SplitMix64::new(9);
         for _ in 0..4_000 {
-            e.push(StreamId(rng.next_below(2) as u16), rng.next_below(5), 0).unwrap();
+            e.push(StreamId(rng.next_below(2) as u16), rng.next_below(5), 0)
+                .unwrap();
         }
         assert!(
             e.migrations() <= 4,

@@ -21,7 +21,11 @@ pub struct ReorderPolicy {
 impl ReorderPolicy {
     /// Policy with the given inertia knobs.
     pub fn new(min_displacement: usize, cooldown: u64) -> Self {
-        ReorderPolicy { min_displacement: min_displacement.max(1), cooldown, since_last: 0 }
+        ReorderPolicy {
+            min_displacement: min_displacement.max(1),
+            cooldown,
+            since_last: 0,
+        }
     }
 
     /// Trigger-happy policy (fires on any change, no cooldown) — useful in
@@ -36,8 +40,10 @@ impl ReorderPolicy {
             .iter()
             .enumerate()
             .map(|(new_rank, s)| {
-                let old_rank =
-                    current.iter().position(|c| c == s).expect("same stream set");
+                let old_rank = current
+                    .iter()
+                    .position(|c| c == s)
+                    .expect("same stream set");
                 old_rank.abs_diff(new_rank)
             })
             .sum()
@@ -96,15 +102,24 @@ mod tests {
     fn small_changes_are_ignored_with_inertia() {
         let mut p = ReorderPolicy::new(4, 0);
         let cur = ids(&[0, 1, 2, 3]);
-        assert!(!p.should_migrate(&cur, &ids(&[1, 0, 2, 3])), "displacement 2 < 4");
-        assert!(p.should_migrate(&cur, &ids(&[3, 1, 2, 0])), "displacement 6 >= 4");
+        assert!(
+            !p.should_migrate(&cur, &ids(&[1, 0, 2, 3])),
+            "displacement 2 < 4"
+        );
+        assert!(
+            p.should_migrate(&cur, &ids(&[3, 1, 2, 0])),
+            "displacement 6 >= 4"
+        );
     }
 
     #[test]
     fn eager_policy_fires_on_any_change() {
         let mut p = ReorderPolicy::eager();
         let cur = ids(&[0, 1]);
-        assert!(!p.should_migrate(&cur, &cur.clone()), "identity is never a migration");
+        assert!(
+            !p.should_migrate(&cur, &cur.clone()),
+            "identity is never a migration"
+        );
         assert!(p.should_migrate(&cur, &ids(&[1, 0])));
     }
 }

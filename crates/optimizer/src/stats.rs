@@ -20,7 +20,11 @@ impl Ewma {
     /// New EWMA with smoothing factor `alpha` in `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Ewma { value: 0.0, alpha, primed: false }
+        Ewma {
+            value: 0.0,
+            alpha,
+            primed: false,
+        }
     }
 
     /// Fold one observation in.
@@ -66,7 +70,11 @@ impl SelectivityEstimator {
     pub fn new(n: usize, alpha: f64) -> Self {
         SelectivityEstimator {
             streams: vec![
-                StreamStats { hit_rate: Ewma::new(alpha), arrivals: 0, results: 0 };
+                StreamStats {
+                    hit_rate: Ewma::new(alpha),
+                    arrivals: 0,
+                    results: 0
+                };
                 n
             ],
         }

@@ -1,0 +1,237 @@
+//! A small bounded MPSC/MPMC channel built on `std` primitives.
+//!
+//! The runtime needs exactly three things from a channel: bounded capacity
+//! (backpressure instead of load shedding), multiple producers, and
+//! disconnect detection on both ends. crossbeam provides all three but is
+//! unavailable offline, and `std::sync::mpsc::sync_channel` hides its
+//! queue behind opaque errors that make "drain what is left after the
+//! senders hang up" awkward. This is the textbook Mutex + two-Condvar
+//! implementation; under the engine's one-consumer workloads the lock is
+//! effectively uncontended outside handoff points.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries
+/// the undeliverable value back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and every
+/// sender has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now, but senders remain.
+    Empty,
+    /// Nothing queued and every sender has been dropped.
+    Disconnected,
+}
+
+#[derive(Debug)]
+struct Queue<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: Mutex<Queue<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Producer half; clone freely for multiple producer threads.
+#[derive(Debug)]
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a channel holding at most `capacity` queued values (min 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Queue {
+            items: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        capacity: capacity.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue. Fails (returning the value)
+    /// if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if !q.receiver_alive {
+                return Err(SendError(value));
+            }
+            if q.items.len() < self.shared.capacity {
+                q.items.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            q = self.shared.not_full.wait(q).expect("channel lock");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock").senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.queue.lock().expect("channel lock");
+        q.senders -= 1;
+        if q.senders == 0 {
+            // Wake a receiver blocked on an empty queue so it can observe
+            // the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives; fails once the queue is drained and all
+    /// senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(v) = q.items.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                return Err(RecvError);
+            }
+            q = self.shared.not_empty.wait(q).expect("channel lock");
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.queue.lock().expect("channel lock");
+        match q.items.pop_front() {
+            Some(v) => {
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if q.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.queue.lock().expect("channel lock");
+        q.receiver_alive = false;
+        // Wake senders blocked on a full queue so they can fail fast.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(
+            (0..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn capacity_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the receiver makes room
+            drop(tx);
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert_eq!(rx.recv(), Err(RecvError));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn drained_after_senders_drop() {
+        let (tx, rx) = bounded(8);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), "a");
+        assert_eq!(rx.try_recv().unwrap(), "b");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_once_receiver_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn multiple_producers_deliver_everything() {
+        let (tx, rx) = bounded(4);
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 400, "no value lost or duplicated");
+    }
+}

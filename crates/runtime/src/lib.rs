@@ -1,11 +1,13 @@
-//! Threaded streaming driver for the JISC engine.
+//! Threaded streaming drivers for the JISC engine.
 //!
 //! The core engine is deliberately synchronous and deterministic (that is
 //! what makes the paper's correctness theorems testable bit-for-bit). Real
 //! deployments want producers decoupled from the engine: this crate runs
-//! an [`jisc_core::AdaptiveEngine`] on its own thread behind bounded
-//! crossbeam channels, with live control (plan migrations, stat snapshots)
-//! and a lock-protected stats mirror for cheap observability.
+//! an [`jisc_core::AdaptiveEngine`] on its own thread behind a bounded
+//! channel, with live control (plan migrations, stat snapshots) and a
+//! lock-protected stats mirror for cheap observability. For scale-up, the
+//! [`shard`] module adds a key-partitioned parallel executor
+//! ([`ShardedExecutor`]) that runs one pipeline per worker thread.
 //!
 //! ```
 //! use jisc_core::Strategy;
@@ -25,14 +27,17 @@
 //! assert_eq!(report.outputs, 1);
 //! ```
 
-use std::sync::Arc;
+pub mod chan;
+pub mod shard;
+
+pub use shard::{ShardSemantics, ShardedExecutor, ShardedReport};
+
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use jisc_common::{JiscError, Key, Metrics, Result};
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_engine::{Catalog, PlanSpec};
-use parking_lot::RwLock;
 
 /// One arrival, as producers see it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,11 +50,20 @@ pub struct Event {
     pub payload: u64,
 }
 
-/// Control messages processed with priority over data.
+/// Control messages, delivered in stream order relative to data.
+#[derive(Debug)]
 enum Control {
     Transition(PlanSpec),
-    Snapshot(Sender<Snapshot>),
+    Snapshot(chan::Sender<Snapshot>),
     Stop,
+}
+
+/// What flows to the engine thread: data and control share one queue, so a
+/// control message takes effect exactly at its position in the stream.
+#[derive(Debug)]
+enum Msg {
+    Data(Event),
+    Ctrl(Control),
 }
 
 /// A point-in-time view of the running engine.
@@ -82,17 +96,32 @@ pub struct Report {
     pub engine: AdaptiveEngine,
 }
 
+/// Cloneable producer handle for a [`StreamDriver`].
+#[derive(Debug, Clone)]
+pub struct EventSender {
+    tx: chan::Sender<Msg>,
+}
+
+impl EventSender {
+    /// Enqueue one arrival; blocks when the driver's queue is full
+    /// (backpressure). Fails if the engine thread is gone.
+    pub fn send(&self, ev: Event) -> Result<()> {
+        self.tx
+            .send(Msg::Data(ev))
+            .map_err(|_| JiscError::Internal("engine thread is gone".into()))
+    }
+}
+
 /// Handle to an engine running on its own thread.
 #[derive(Debug)]
 pub struct StreamDriver {
-    data_tx: Sender<Event>,
-    ctrl_tx: Sender<Control>,
+    tx: chan::Sender<Msg>,
     worker: JoinHandle<Report>,
     mirror: Arc<RwLock<Snapshot>>,
 }
 
 impl StreamDriver {
-    /// Spawn the engine thread. `queue_capacity` bounds the data channel —
+    /// Spawn the engine thread. `queue_capacity` bounds the shared queue —
     /// producers block when the engine falls behind (backpressure rather
     /// than load shedding, which the paper treats as orthogonal, §2.1).
     pub fn spawn(
@@ -102,8 +131,7 @@ impl StreamDriver {
         queue_capacity: usize,
     ) -> Result<Self> {
         let engine = AdaptiveEngine::new(catalog, plan, strategy)?;
-        let (data_tx, data_rx) = bounded::<Event>(queue_capacity.max(1));
-        let (ctrl_tx, ctrl_rx) = bounded::<Control>(16);
+        let (tx, rx) = chan::bounded::<Msg>(queue_capacity.max(1));
         let mirror = Arc::new(RwLock::new(Snapshot {
             events: 0,
             outputs: 0,
@@ -114,107 +142,85 @@ impl StreamDriver {
         let mirror_w = Arc::clone(&mirror);
         let worker = std::thread::Builder::new()
             .name("jisc-engine".into())
-            .spawn(move || worker_loop(engine, data_rx, ctrl_rx, mirror_w))
+            .spawn(move || worker_loop(engine, rx, mirror_w))
             .expect("spawn engine thread");
-        Ok(StreamDriver { data_tx, ctrl_tx, worker, mirror })
+        Ok(StreamDriver { tx, worker, mirror })
     }
 
     /// A cloneable producer handle (multiple producer threads supported).
-    pub fn sender(&self) -> Sender<Event> {
-        self.data_tx.clone()
+    pub fn sender(&self) -> EventSender {
+        EventSender {
+            tx: self.tx.clone(),
+        }
     }
 
-    /// Request a plan migration. Control messages take priority over
-    /// queued data, so the migration lands promptly at an arrival boundary;
-    /// the engine's own buffer-clearing phase (§4.1) keeps it correct
-    /// wherever it lands in the stream.
+    /// Request a plan migration. The request shares the data queue, so it
+    /// lands at a well-defined arrival boundary; the engine's own
+    /// buffer-clearing phase (§4.1) keeps it correct wherever it lands in
+    /// the stream.
     pub fn transition(&self, plan: PlanSpec) -> Result<()> {
-        self.ctrl_tx
-            .send(Control::Transition(plan))
+        self.tx
+            .send(Msg::Ctrl(Control::Transition(plan)))
             .map_err(|_| JiscError::Internal("engine thread is gone".into()))
     }
 
-    /// Synchronous snapshot via round-trip to the engine thread.
+    /// Synchronous snapshot via round-trip to the engine thread (the reply
+    /// comes after everything already queued has been processed).
     pub fn snapshot(&self) -> Result<Snapshot> {
-        let (tx, rx) = bounded(1);
-        self.ctrl_tx
-            .send(Control::Snapshot(tx))
+        let (reply_tx, reply_rx) = chan::bounded(1);
+        self.tx
+            .send(Msg::Ctrl(Control::Snapshot(reply_tx)))
             .map_err(|_| JiscError::Internal("engine thread is gone".into()))?;
-        rx.recv().map_err(|_| JiscError::Internal("engine thread is gone".into()))
+        reply_rx
+            .recv()
+            .map_err(|_| JiscError::Internal("engine thread is gone".into()))
     }
 
     /// Cheap, possibly slightly stale view (no thread round-trip): the
     /// worker refreshes this mirror periodically.
     pub fn peek(&self) -> Snapshot {
-        self.mirror.read().clone()
+        self.mirror.read().expect("mirror lock").clone()
     }
 
     /// Stop the engine after draining already-queued events and return the
     /// final report.
     pub fn shutdown(self) -> Result<Report> {
-        drop(self.data_tx); // close our data side
-        let _ = self.ctrl_tx.send(Control::Stop);
-        self.worker.join().map_err(|_| JiscError::Internal("engine thread panicked".into()))
+        let _ = self.tx.send(Msg::Ctrl(Control::Stop));
+        drop(self.tx);
+        self.worker
+            .join()
+            .map_err(|_| JiscError::Internal("engine thread panicked".into()))
     }
 }
 
 fn worker_loop(
     mut engine: AdaptiveEngine,
-    data_rx: Receiver<Event>,
-    ctrl_rx: Receiver<Control>,
+    rx: chan::Receiver<Msg>,
     mirror: Arc<RwLock<Snapshot>>,
 ) -> Report {
     let mut events = 0u64;
     let mut transitions = 0u64;
-    let mut stopping = false;
     loop {
-        // Control first (cheap check), then data; block on both when idle.
-        let ctrl = ctrl_rx.try_recv().ok();
-        let ctrl = match ctrl {
-            Some(c) => Some(c),
-            None => {
-                crossbeam::channel::select! {
-                    recv(ctrl_rx) -> c => c.ok(),
-                    recv(data_rx) -> ev => {
-                        match ev {
-                            Ok(ev) => {
-                                process(&mut engine, ev, &mut events);
-                                if events.is_multiple_of(1024) {
-                                    refresh(&mirror, &engine, events);
-                                }
-                                continue;
-                            }
-                            Err(_) => {
-                                // all producers gone: drain controls & stop
-                                stopping = true;
-                                None
-                            }
-                        }
-                    }
+        match rx.recv() {
+            Ok(Msg::Data(ev)) => {
+                process(&mut engine, ev, &mut events);
+                if events.is_multiple_of(1024) {
+                    refresh(&mirror, &engine, events);
                 }
             }
-        };
-        match ctrl {
-            Some(Control::Transition(plan)) => {
-                engine.transition_to(&plan).expect("transition request for this query");
+            Ok(Msg::Ctrl(Control::Transition(plan))) => {
+                engine
+                    .transition_to(&plan)
+                    .expect("transition request for this query");
                 transitions += 1;
             }
-            Some(Control::Snapshot(reply)) => {
+            Ok(Msg::Ctrl(Control::Snapshot(reply))) => {
                 let _ = reply.send(snapshot_of(&engine, events));
             }
-            Some(Control::Stop) => stopping = true,
-            None => {
-                if stopping {
-                    break;
-                }
-            }
-        }
-        if stopping {
-            // Drain whatever data is still queued, then finish.
-            while let Ok(ev) = data_rx.try_recv() {
-                process(&mut engine, ev, &mut events);
-            }
-            break;
+            // Stop drains nothing further: everything queued before it has
+            // already been handled (single FIFO). A receive error means all
+            // producers and the driver are gone — same thing.
+            Ok(Msg::Ctrl(Control::Stop)) | Err(_) => break,
         }
     }
     refresh(&mirror, &engine, events);
@@ -247,7 +253,7 @@ fn snapshot_of(engine: &AdaptiveEngine, events: u64) -> Snapshot {
 }
 
 fn refresh(mirror: &Arc<RwLock<Snapshot>>, engine: &AdaptiveEngine, events: u64) {
-    *mirror.write() = snapshot_of(engine, events);
+    *mirror.write().expect("mirror lock") = snapshot_of(engine, events);
 }
 
 #[cfg(test)]
@@ -264,14 +270,19 @@ mod tests {
     #[test]
     fn single_producer_matches_synchronous_run() {
         let events: Vec<Event> = (0..500)
-            .map(|i| Event { stream: (i % 3) as u16, key: i % 11, payload: i })
+            .map(|i| Event {
+                stream: (i % 3) as u16,
+                key: i % 11,
+                payload: i,
+            })
             .collect();
         // synchronous reference
         let catalog = Catalog::uniform(&["R", "S", "T"], 50).unwrap();
         let plan = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
         let mut sync = AdaptiveEngine::new(catalog, &plan, Strategy::Jisc).unwrap();
         for e in &events {
-            sync.push(jisc_common::StreamId(e.stream), e.key, e.payload).unwrap();
+            sync.push(jisc_common::StreamId(e.stream), e.key, e.payload)
+                .unwrap();
         }
         // threaded run
         let d = driver(&["R", "S", "T"], 50, 64);
@@ -294,12 +305,22 @@ mod tests {
         let d = driver(&["R", "S", "T"], 100, 16);
         let tx = d.sender();
         for i in 0..200u64 {
-            tx.send(Event { stream: (i % 3) as u16, key: i % 7, payload: 0 }).unwrap();
+            tx.send(Event {
+                stream: (i % 3) as u16,
+                key: i % 7,
+                payload: 0,
+            })
+            .unwrap();
         }
         let new_plan = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash);
         d.transition(new_plan).unwrap();
         for i in 0..200u64 {
-            tx.send(Event { stream: (i % 3) as u16, key: i % 7, payload: 0 }).unwrap();
+            tx.send(Event {
+                stream: (i % 3) as u16,
+                key: i % 7,
+                payload: 0,
+            })
+            .unwrap();
         }
         drop(tx);
         let report = d.shutdown().unwrap();
@@ -313,7 +334,12 @@ mod tests {
         let d = driver(&["R", "S"], 50, 8);
         let tx = d.sender();
         for i in 0..2_000u64 {
-            tx.send(Event { stream: (i % 2) as u16, key: i % 5, payload: 0 }).unwrap();
+            tx.send(Event {
+                stream: (i % 2) as u16,
+                key: i % 5,
+                payload: 0,
+            })
+            .unwrap();
         }
         let snap = d.snapshot().unwrap();
         assert!(snap.events > 0);

@@ -1,0 +1,582 @@
+//! Key-partitioned parallel execution.
+//!
+//! The paper's queries join all streams on one shared attribute (§2.1), so
+//! an equi-join plan is embarrassingly parallel over that attribute: tuples
+//! with different keys never contribute to the same output, and every
+//! operator state is a disjoint union of per-key slices. [`ShardedExecutor`]
+//! exploits this by hashing each arrival's key onto one of `N` worker
+//! threads, each running an independent clone of the pipeline over its
+//! partition of the input.
+//!
+//! # Correctness
+//!
+//! The router assigns every arrival the *global* sequence number and
+//! timestamp a serial [`Pipeline`] would have used, and each worker rewinds
+//! its pipeline's sequence counter to the routed value before ingesting
+//! ([`Pipeline::set_next_seq`]). Stored tuples therefore carry identical
+//! identities to a serial run, and the merged output log is
+//! lineage-for-lineage equal to serial execution whenever the partitioning
+//! is lossless:
+//!
+//! - **Hash equi-joins and set-differences** probe only equal keys, and all
+//!   arrivals of a key land on the same shard, so every serial match is
+//!   found and no cross-key match can exist. `KeyEq` nested-loops joins are
+//!   equi-joins in disguise and shard the same way.
+//! - **Time windows** expire by timestamp comparison against the arriving
+//!   tuple. A stale tuple could only produce a late join with a same-key
+//!   arrival — which is routed to its own shard and expires it first (the
+//!   expiry sweep runs before the insert), so per-shard expiry is
+//!   observationally identical to serial expiry.
+//! - **Count windows** slide per arrival, and a shard only observes its own
+//!   partition's arrivals: each shard keeps the most recent `w` tuples *of
+//!   its partition* (a per-shard quota) rather than of the whole stream.
+//!   The executor still runs, but [`ShardedExecutor::is_exact`] reports
+//!   `false` for `N > 1` because eviction timing differs from serial.
+//! - **General theta predicates** (`KeyLeq`, band joins, cross products)
+//!   match across different keys, so key partitioning would lose results.
+//!   Plans containing them fall back to a single worker (`shards() == 1`),
+//!   which is serial execution on a background thread.
+//!
+//! # Migration barrier
+//!
+//! [`ShardedExecutor::transition`] validates the new plan once on the
+//! router (compile, same-query and reorderability checks), then broadcasts
+//! it as an in-band command on every shard's FIFO queue. Each worker thus
+//! performs its JISC transition at exactly the same global arrival
+//! boundary: after every routed event with a smaller sequence number and
+//! before every later one. Because shards are key-disjoint, the per-shard
+//! transition sequence numbers classify exactly the same tuples as fresh
+//! (§4.4) as the serial boundary would, and just-in-time completion
+//! proceeds independently per shard.
+
+use std::thread::JoinHandle;
+
+use jisc_common::{shard_of, JiscError, Key, Metrics, Result, SeqNo, StreamId};
+use jisc_core::jisc::{incomplete_state_count, jisc_transition, JiscSemantics};
+use jisc_core::migrate::{verify_reorderable, verify_same_query};
+use jisc_engine::plan::Plan;
+use jisc_engine::{Catalog, DefaultSemantics, OpKind, OutputSink, Pipeline, PlanSpec, Predicate};
+
+use crate::chan;
+
+/// Which operator semantics each shard drains its pipeline with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardSemantics {
+    /// Plain pipelined execution; plan transitions are rejected.
+    Default,
+    /// Just-in-time state completion; transitions broadcast as barriers.
+    #[default]
+    Jisc,
+}
+
+/// Events are shipped in batches to amortize queue synchronization.
+const BATCH: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct ShardEvent {
+    stream: StreamId,
+    key: Key,
+    payload: u64,
+    ts: u64,
+    seq: SeqNo,
+}
+
+#[derive(Debug)]
+enum ShardCmd {
+    Batch(Vec<ShardEvent>),
+    Transition(PlanSpec),
+}
+
+struct ShardResult {
+    output: OutputSink,
+    metrics: Metrics,
+    events: u64,
+    incomplete_states: usize,
+}
+
+/// Final report of a sharded run; see [`OutputSink::merged`] for how the
+/// per-shard logs combine.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// Total arrivals routed.
+    pub events: u64,
+    /// Arrivals processed by each shard (length = effective shard count).
+    pub shard_events: Vec<u64>,
+    /// Merged result count (== `output.count()`).
+    pub outputs: u64,
+    /// Plan transitions broadcast.
+    pub transitions: u64,
+    /// True if the merged output is guaranteed lineage-equal to a serial
+    /// run of the same arrival sequence.
+    pub exact: bool,
+    /// Merged, lineage-sorted output.
+    pub output: OutputSink,
+    /// Summed execution counters.
+    pub metrics: Metrics,
+    /// States still incomplete across all shards (JISC only).
+    pub incomplete_states: usize,
+}
+
+/// Key-partitioned parallel runtime: `N` worker threads, each owning an
+/// independent [`Pipeline`] over the hash-partition of keys it is
+/// responsible for.
+///
+/// ```
+/// use jisc_engine::{Catalog, JoinStyle, PlanSpec};
+/// use jisc_runtime::shard::{ShardSemantics, ShardedExecutor};
+/// use jisc_common::StreamId;
+///
+/// let catalog = Catalog::new(vec![
+///     jisc_engine::StreamDef::timed("R", 100),
+///     jisc_engine::StreamDef::timed("S", 100),
+/// ]).unwrap();
+/// let plan = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+/// let mut exec =
+///     ShardedExecutor::spawn(catalog, &plan, ShardSemantics::Jisc, 2, 256).unwrap();
+/// exec.push(StreamId(0), 7, 0).unwrap();
+/// exec.push(StreamId(1), 7, 0).unwrap();
+/// let report = exec.finish().unwrap();
+/// assert_eq!(report.outputs, 1);
+/// assert!(report.exact);
+/// ```
+#[derive(Debug)]
+pub struct ShardedExecutor {
+    txs: Vec<chan::Sender<ShardCmd>>,
+    workers: Vec<JoinHandle<ShardResult>>,
+    batches: Vec<Vec<ShardEvent>>,
+    catalog: Catalog,
+    /// Compiled current plan, kept for router-side transition validation.
+    current: Plan,
+    semantics: ShardSemantics,
+    exact: bool,
+    next_seq: SeqNo,
+    last_ts: u64,
+    events: u64,
+    shard_events: Vec<u64>,
+    transitions: u64,
+}
+
+/// True if hash partitioning by key preserves the plan's semantics: every
+/// binary operator matches only equal keys.
+fn key_partitionable(plan: &Plan) -> bool {
+    plan.ids().all(|id| match &plan.node(id).op {
+        OpKind::NljJoin(pred) => *pred == Predicate::KeyEq,
+        OpKind::Scan(_) | OpKind::HashJoin | OpKind::SetDiff | OpKind::Aggregate(_) => true,
+    })
+}
+
+impl ShardedExecutor {
+    /// Spawn `shards` workers (min 1) running `spec` under `semantics`.
+    ///
+    /// Plans with non-equi theta joins are not key-partitionable and fall
+    /// back to a single worker; check [`ShardedExecutor::shards`]. With
+    /// JISC semantics the plan must be reorderable (as for
+    /// [`jisc_core::JiscExec`]), since transitions may be requested later.
+    pub fn spawn(
+        catalog: Catalog,
+        spec: &PlanSpec,
+        semantics: ShardSemantics,
+        shards: usize,
+        queue_capacity: usize,
+    ) -> Result<Self> {
+        let current = Plan::compile(&catalog, spec)?;
+        if semantics == ShardSemantics::Jisc {
+            verify_reorderable(&current)?;
+        }
+        let n = if key_partitionable(&current) {
+            shards.max(1)
+        } else {
+            1
+        };
+        let exact = n == 1
+            || catalog
+                .ids()
+                .all(|s| matches!(catalog.window_spec(s), jisc_engine::WindowSpec::Time(_)));
+        let cap = queue_capacity.max(1);
+        let mut txs = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = chan::bounded::<ShardCmd>(cap);
+            let pipe = Pipeline::new(catalog.clone(), spec)?;
+            let sem = semantics;
+            let handle = std::thread::Builder::new()
+                .name(format!("jisc-shard-{i}"))
+                .spawn(move || worker_loop(pipe, sem, rx))
+                .expect("spawn shard thread");
+            txs.push(tx);
+            workers.push(handle);
+        }
+        Ok(ShardedExecutor {
+            txs,
+            workers,
+            batches: (0..n).map(|_| Vec::with_capacity(BATCH)).collect(),
+            catalog,
+            current,
+            semantics,
+            exact,
+            next_seq: 0,
+            last_ts: 0,
+            events: 0,
+            shard_events: vec![0; n],
+            transitions: 0,
+        })
+    }
+
+    /// Effective worker count (1 when the plan forced a serial fallback).
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True if the merged output is guaranteed lineage-equal to a serial
+    /// run: one shard, or all windows are time-based. With count windows
+    /// and `N > 1`, each shard applies the window to its own partition (a
+    /// per-shard quota), so eviction timing differs from serial.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Arrivals routed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Route one arrival, timestamping exactly as a serial
+    /// [`Pipeline::ingest`] would (`ts = max(last_ts, next_seq)`).
+    pub fn push(&mut self, stream: StreamId, key: Key, payload: u64) -> Result<()> {
+        let ts = self.last_ts.max(self.next_seq);
+        self.push_at(stream, key, payload, ts)
+    }
+
+    /// Route one arrival at an explicit timestamp (monotonicity enforced,
+    /// as in [`Pipeline::ingest_at`]).
+    pub fn push_at(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
+        if stream.0 as usize >= self.catalog.len() {
+            return Err(JiscError::UnknownStream(format!(
+                "stream index {}",
+                stream.0
+            )));
+        }
+        if ts < self.last_ts {
+            return Err(JiscError::Internal(format!(
+                "timestamps must be monotone: {ts} < {}",
+                self.last_ts
+            )));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.last_ts = ts;
+        let s = shard_of(key, self.txs.len());
+        self.events += 1;
+        self.shard_events[s] += 1;
+        self.batches[s].push(ShardEvent {
+            stream,
+            key,
+            payload,
+            ts,
+            seq,
+        });
+        if self.batches[s].len() >= BATCH {
+            self.flush(s)?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast a plan transition as an in-band barrier: it reaches every
+    /// shard after all previously routed events and before all later ones.
+    /// The plan is validated here so workers cannot fail mid-stream.
+    pub fn transition(&mut self, spec: &PlanSpec) -> Result<()> {
+        if self.semantics != ShardSemantics::Jisc {
+            return Err(JiscError::Internal(
+                "plan transitions require JISC semantics".into(),
+            ));
+        }
+        let new_plan = Plan::compile(&self.catalog, spec)?;
+        verify_same_query(&self.current, &new_plan)?;
+        verify_reorderable(&new_plan)?;
+        if !key_partitionable(&new_plan) && self.txs.len() > 1 {
+            return Err(JiscError::Internal(
+                "new plan is not key-partitionable; cannot transition a sharded run".into(),
+            ));
+        }
+        self.flush_all()?;
+        for tx in &self.txs {
+            tx.send(ShardCmd::Transition(spec.clone()))
+                .map_err(|_| JiscError::Internal("shard thread is gone".into()))?;
+        }
+        self.current = new_plan;
+        self.transitions += 1;
+        Ok(())
+    }
+
+    /// Drain all shards and merge their results.
+    pub fn finish(mut self) -> Result<ShardedReport> {
+        self.flush_all()?;
+        drop(std::mem::take(&mut self.txs)); // closes every queue
+        let mut results = Vec::with_capacity(self.workers.len());
+        for w in std::mem::take(&mut self.workers) {
+            results.push(
+                w.join()
+                    .map_err(|_| JiscError::Internal("shard thread panicked".into()))?,
+            );
+        }
+        let mut metrics = Metrics::new();
+        let mut incomplete = 0;
+        let mut processed = Vec::with_capacity(results.len());
+        let mut sinks = Vec::with_capacity(results.len());
+        for r in results {
+            metrics.merge(&r.metrics);
+            incomplete += r.incomplete_states;
+            processed.push(r.events);
+            sinks.push(r.output);
+        }
+        debug_assert_eq!(processed, self.shard_events);
+        let output = OutputSink::merged(sinks);
+        Ok(ShardedReport {
+            events: self.events,
+            shard_events: self.shard_events.clone(),
+            outputs: output.count() as u64,
+            transitions: self.transitions,
+            exact: self.exact,
+            output,
+            metrics,
+            incomplete_states: incomplete,
+        })
+    }
+
+    fn flush(&mut self, s: usize) -> Result<()> {
+        if self.batches[s].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.batches[s], Vec::with_capacity(BATCH));
+        self.txs[s]
+            .send(ShardCmd::Batch(batch))
+            .map_err(|_| JiscError::Internal("shard thread is gone".into()))
+    }
+
+    fn flush_all(&mut self) -> Result<()> {
+        for s in 0..self.batches.len() {
+            self.flush(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ShardedExecutor {
+    fn drop(&mut self) {
+        // Close queues so workers exit even if `finish` was never called.
+        self.txs.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    mut pipe: Pipeline,
+    semantics: ShardSemantics,
+    rx: chan::Receiver<ShardCmd>,
+) -> ShardResult {
+    let mut default_sem = DefaultSemantics;
+    let mut jisc_sem = JiscSemantics::default();
+    let mut events = 0u64;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ShardCmd::Batch(batch) => {
+                for ev in batch {
+                    // Rewind to the routed global sequence number so stored
+                    // tuples carry serial identities.
+                    pipe.set_next_seq(ev.seq);
+                    let r = match semantics {
+                        ShardSemantics::Default => pipe.push_at_with(
+                            &mut default_sem,
+                            ev.stream,
+                            ev.key,
+                            ev.payload,
+                            ev.ts,
+                        ),
+                        ShardSemantics::Jisc => {
+                            pipe.push_at_with(&mut jisc_sem, ev.stream, ev.key, ev.payload, ev.ts)
+                        }
+                    };
+                    r.expect("router validates streams and timestamps");
+                    events += 1;
+                }
+            }
+            ShardCmd::Transition(spec) => {
+                jisc_transition(&mut pipe, &spec).expect("router validates transition requests");
+            }
+        }
+    }
+    let incomplete_states = incomplete_state_count(&pipe);
+    ShardResult {
+        output: std::mem::take(&mut pipe.output),
+        metrics: pipe.metrics.clone(),
+        events,
+        incomplete_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jisc_engine::{JoinStyle, StreamDef};
+
+    fn timed_catalog(streams: &[&str], ticks: u64) -> Catalog {
+        Catalog::new(
+            streams
+                .iter()
+                .map(|s| StreamDef::timed(*s, ticks))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn serial_run(catalog: Catalog, spec: &PlanSpec, events: &[(u16, Key, u64)]) -> Pipeline {
+        let mut pipe = Pipeline::new(catalog, spec).unwrap();
+        let mut sem = JiscSemantics::default();
+        for &(s, k, p) in events {
+            pipe.push_with(&mut sem, StreamId(s), k, p).unwrap();
+        }
+        pipe
+    }
+
+    fn arrivals(n: u64, streams: u16, keys: u64) -> Vec<(u16, Key, u64)> {
+        (0..n)
+            .map(|i| ((i % streams as u64) as u16, (i * 7 + 3) % keys, i))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_time_windows() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        for n in [1, 2, 4] {
+            let mut exec = ShardedExecutor::spawn(
+                timed_catalog(&["R", "S", "T"], 40),
+                &spec,
+                ShardSemantics::Jisc,
+                n,
+                64,
+            )
+            .unwrap();
+            assert_eq!(exec.shards(), n);
+            assert!(exec.is_exact());
+            for &(s, k, p) in &events {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            let report = exec.finish().unwrap();
+            assert_eq!(report.events, 600);
+            assert_eq!(
+                report.output.lineage_multiset(),
+                serial.output.lineage_multiset(),
+                "shards={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_output_is_deterministic_and_lineage_sorted() {
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let events = arrivals(400, 2, 9);
+        let run = |n| {
+            let mut exec = ShardedExecutor::spawn(
+                timed_catalog(&["R", "S"], 30),
+                &spec,
+                ShardSemantics::Jisc,
+                n,
+                32,
+            )
+            .unwrap();
+            for &(s, k, p) in &events {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            exec.finish().unwrap()
+        };
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a.output.log, b.output.log, "merge must be deterministic");
+        let lineages: Vec<_> = a.output.log.iter().map(|t| t.lineage()).collect();
+        let mut sorted = lineages.clone();
+        sorted.sort();
+        assert_eq!(lineages, sorted);
+    }
+
+    #[test]
+    fn barrier_transition_matches_serial_migration() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let new_spec = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash);
+        let events = arrivals(500, 3, 13);
+        // serial reference with the same mid-stream migration
+        let mut serial = Pipeline::new(timed_catalog(&["R", "S", "T"], 60), &spec).unwrap();
+        let mut sem = JiscSemantics::default();
+        for &(s, k, p) in &events[..250] {
+            serial.push_with(&mut sem, StreamId(s), k, p).unwrap();
+        }
+        jisc_transition(&mut serial, &new_spec).unwrap();
+        for &(s, k, p) in &events[250..] {
+            serial.push_with(&mut sem, StreamId(s), k, p).unwrap();
+        }
+        for n in [1, 2, 4] {
+            let mut exec = ShardedExecutor::spawn(
+                timed_catalog(&["R", "S", "T"], 60),
+                &spec,
+                ShardSemantics::Jisc,
+                n,
+                64,
+            )
+            .unwrap();
+            for &(s, k, p) in &events[..250] {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            exec.transition(&new_spec).unwrap();
+            for &(s, k, p) in &events[250..] {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            let report = exec.finish().unwrap();
+            assert_eq!(report.transitions, 1);
+            assert_eq!(
+                report.output.lineage_multiset(),
+                serial.output.lineage_multiset(),
+                "shards={n}"
+            );
+            assert_eq!(
+                report.incomplete_states, 0,
+                "completion must finish draining"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_plans_fall_back_to_serial() {
+        let catalog = timed_catalog(&["R", "S"], 50);
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Nlj(Predicate::BandWithin(2)));
+        let exec = ShardedExecutor::spawn(catalog, &spec, ShardSemantics::Default, 4, 32).unwrap();
+        assert_eq!(exec.shards(), 1, "band joins are not key-partitionable");
+        let report = exec.finish().unwrap();
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn count_windows_report_inexact() {
+        let catalog = Catalog::uniform(&["R", "S"], 10).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let exec = ShardedExecutor::spawn(catalog, &spec, ShardSemantics::Jisc, 4, 32).unwrap();
+        assert_eq!(exec.shards(), 4);
+        assert!(
+            !exec.is_exact(),
+            "per-shard count-window quotas are approximate"
+        );
+    }
+
+    #[test]
+    fn default_semantics_rejects_transitions() {
+        let catalog = timed_catalog(&["R", "S"], 50);
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut exec =
+            ShardedExecutor::spawn(catalog, &spec, ShardSemantics::Default, 2, 32).unwrap();
+        let swapped = PlanSpec::left_deep(&["S", "R"], JoinStyle::Hash);
+        assert!(exec.transition(&swapped).is_err());
+        exec.finish().unwrap();
+    }
+}

@@ -92,7 +92,13 @@ impl Generator {
 
     /// Paper-default generator: uniform keys, random stream assignment.
     pub fn uniform(streams: u16, domain: u64, seed: u64) -> Self {
-        Generator::new(streams, domain, KeyDistribution::Uniform, Interleave::Random, seed)
+        Generator::new(
+            streams,
+            domain,
+            KeyDistribution::Uniform,
+            Interleave::Random,
+            seed,
+        )
     }
 
     /// Next arrival.
@@ -110,7 +116,11 @@ impl Generator {
         };
         let payload = self.counter;
         self.counter += 1;
-        Arrival { stream, key, payload }
+        Arrival {
+            stream,
+            key,
+            payload,
+        }
     }
 
     /// Generate `n` arrivals into a vector.
@@ -169,8 +179,13 @@ mod tests {
 
     #[test]
     fn zipf_skews_toward_small_keys() {
-        let mut g =
-            Generator::new(1, 1000, KeyDistribution::Zipf(1.2), Interleave::RoundRobin, 11);
+        let mut g = Generator::new(
+            1,
+            1000,
+            KeyDistribution::Zipf(1.2),
+            Interleave::RoundRobin,
+            11,
+        );
         let mut head = 0u32;
         let n = 50_000;
         for _ in 0..n {
@@ -180,7 +195,11 @@ mod tests {
         }
         // Under Zipf(1.2) the top-10 of 1000 keys carry far more than the
         // uniform 1% of mass.
-        assert!(head as f64 / n as f64 > 0.3, "head fraction {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "head fraction {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub fn best_case(joins: usize, style: JoinStyle) -> Scenario {
     let initial = left_deep(&names, style);
     let mut swapped = names.clone();
     swapped.swap(joins - 1, joins);
-    Scenario { initial, target: left_deep(&swapped, style), incomplete_states: 1 }
+    Scenario {
+        initial,
+        target: left_deep(&swapped, style),
+        incomplete_states: 1,
+    }
 }
 
 /// Worst case (Figure 8): exchange the outermost (bottom) stream with the
@@ -59,14 +63,21 @@ pub fn worst_case(joins: usize, style: JoinStyle) -> Scenario {
     let initial = left_deep(&names, style);
     let mut swapped = names.clone();
     swapped.swap(0, joins);
-    Scenario { initial, target: left_deep(&swapped, style), incomplete_states: joins - 1 }
+    Scenario {
+        initial,
+        target: left_deep(&swapped, style),
+        incomplete_states: joins - 1,
+    }
 }
 
 /// Distance-`d` pairwise exchange at position `i` (1-based positions along
 /// the join chain as in §5.2): streams at positions `i` and `i + d` swap,
 /// leaving `d` intermediate states incomplete (capped at the chain).
 pub fn distance_swap(joins: usize, i: usize, d: usize, style: JoinStyle) -> Scenario {
-    assert!(d >= 1 && i >= 1, "positions are 1-based and distance positive");
+    assert!(
+        d >= 1 && i >= 1,
+        "positions are 1-based and distance positive"
+    );
     assert!(i + d <= joins + 1, "swap must stay within the plan");
     let names = stream_names(joins);
     let initial = left_deep(&names, style);
@@ -79,7 +90,11 @@ pub fn distance_swap(joins: usize, i: usize, d: usize, style: JoinStyle) -> Scen
     let a = i.max(2) - 1; // first affected prefix length (as join index)
     let b = (i + d - 1).min(joins); // first unaffected upper join index
     let incomplete = b.saturating_sub(a.max(1));
-    Scenario { initial, target: left_deep(&swapped, style), incomplete_states: incomplete }
+    Scenario {
+        initial,
+        target: left_deep(&swapped, style),
+        incomplete_states: incomplete,
+    }
 }
 
 #[cfg(test)]
@@ -89,14 +104,21 @@ mod tests {
 
     /// Count how many binary states of `target` do not exist in `initial`.
     fn count_incomplete(s: &Scenario) -> usize {
-        let names = s.initial.leaves().iter().map(|n| n.to_string()).collect::<Vec<_>>();
+        let names = s
+            .initial
+            .leaves()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let catalog = Catalog::uniform(&refs, 10).unwrap();
         let old = Plan::compile(&catalog, &s.initial).unwrap();
         let new = Plan::compile(&catalog, &s.target).unwrap();
         let old_sigs: std::collections::HashSet<_> =
             old.ids().map(|i| old.node(i).signature).collect();
-        new.ids().filter(|&i| !old_sigs.contains(&new.node(i).signature)).count()
+        new.ids()
+            .filter(|&i| !old_sigs.contains(&new.node(i).signature))
+            .count()
     }
 
     #[test]

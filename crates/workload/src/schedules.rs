@@ -18,7 +18,9 @@ pub struct Schedule {
 impl Schedule {
     /// No transitions (static execution).
     pub fn none() -> Self {
-        Schedule { transitions: Vec::new() }
+        Schedule {
+            transitions: Vec::new(),
+        }
     }
 
     /// Fire every `period` arrivals over a run of `total` arrivals,
@@ -30,8 +32,11 @@ impl Schedule {
         let mut to_target = true;
         let mut at = period;
         while at < total {
-            let plan =
-                if to_target { scenario.target.clone() } else { scenario.initial.clone() };
+            let plan = if to_target {
+                scenario.target.clone()
+            } else {
+                scenario.initial.clone()
+            };
             transitions.push((at, plan));
             to_target = !to_target;
             at += period;
@@ -41,7 +46,9 @@ impl Schedule {
 
     /// A single transition at `at`.
     pub fn once(scenario: &Scenario, at: usize) -> Self {
-        Schedule { transitions: vec![(at, scenario.target.clone())] }
+        Schedule {
+            transitions: vec![(at, scenario.target.clone())],
+        }
     }
 
     /// A burst of `count` transitions `gap` arrivals apart starting at
@@ -52,8 +59,11 @@ impl Schedule {
         let mut transitions = Vec::new();
         let mut to_target = true;
         for k in 0..count {
-            let plan =
-                if to_target { scenario.target.clone() } else { scenario.initial.clone() };
+            let plan = if to_target {
+                scenario.target.clone()
+            } else {
+                scenario.initial.clone()
+            };
             transitions.push((start + k * gap, plan));
             to_target = !to_target;
         }
@@ -78,7 +88,10 @@ impl Schedule {
     /// Plans due at arrival index `i` (usually zero or one; bursts can
     /// schedule several at the same index).
     pub fn due(&self, i: usize) -> impl Iterator<Item = &PlanSpec> {
-        self.transitions.iter().filter(move |(at, _)| *at == i).map(|(_, p)| p)
+        self.transitions
+            .iter()
+            .filter(move |(at, _)| *at == i)
+            .map(|(_, p)| p)
     }
 }
 

@@ -40,7 +40,9 @@ struct SelectivityMonitor {
 
 impl SelectivityMonitor {
     fn new() -> Self {
-        SelectivityMonitor { stats: vec![(0, 0); STREAMS.len()] }
+        SelectivityMonitor {
+            stats: vec![(0, 0); STREAMS.len()],
+        }
     }
 
     fn observe(&mut self, stream: usize, hit: bool) {
@@ -67,18 +69,18 @@ fn synth_event(rng: &mut SplitMix64, phase: usize, seq: usize) -> Event {
     let feed_idx = if phase == 0 {
         // auth quiet: mostly firewall/netflow noise
         match rng.next_below(10) {
-            0 => 3,          // auth (rare)
-            1 | 2 => 1,      // ids
-            3..=6 => 0,      // firewall
-            _ => 2,          // netflow
+            0 => 3,     // auth (rare)
+            1 | 2 => 1, // ids
+            3..=6 => 0, // firewall
+            _ => 2,     // netflow
         }
     } else {
         // attack phase: ids quiet, auth chattering
         match rng.next_below(10) {
-            0 => 1,          // ids (rare)
-            1 | 2 => 3,      // auth
-            3..=6 => 0,      // firewall
-            _ => 2,          // netflow
+            0 => 1,     // ids (rare)
+            1 | 2 => 3, // auth
+            3..=6 => 0, // firewall
+            _ => 2,     // netflow
         }
     } as usize;
     let conn_id = rng.next_below(3_000);
@@ -106,9 +108,14 @@ fn main() {
     for i in 0..total {
         let phase = if i < total / 2 { 0 } else { 1 };
         let ev = synth_event(&mut rng, phase, i);
-        let feed_idx = STREAMS.iter().position(|s| *s == ev.feed).expect("known feed");
+        let feed_idx = STREAMS
+            .iter()
+            .position(|s| *s == ev.feed)
+            .expect("known feed");
         let out_before = engine.output().count();
-        engine.push_named(ev.feed, ev.conn_id, archive.len() as u64).expect("push");
+        engine
+            .push_named(ev.feed, ev.conn_id, archive.len() as u64)
+            .expect("push");
         monitor.observe(feed_idx, engine.output().count() > out_before);
         archive.push(ev);
 

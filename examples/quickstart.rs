@@ -37,7 +37,10 @@ fn main() {
         engine.incomplete_states()
     );
     // EXPLAIN the running plan: which states survived, which are pending.
-    print!("{}", jisc_engine::explain(engine.as_jisc().expect("jisc strategy").pipeline()));
+    print!(
+        "{}",
+        jisc_engine::explain(engine.as_jisc().expect("jisc strategy").pipeline())
+    );
 
     // Keep streaming through the new plan.
     engine.push_named("S", 8, 201).unwrap(); // joins with T(8)? needs R(8) too

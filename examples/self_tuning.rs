@@ -59,6 +59,9 @@ fn main() {
     println!("outputs         : {}", m.tuples_out);
     println!("self-migrations : {}", engine.migrations());
     println!("completions     : {}", m.completions);
-    println!("duplicate-free  : {}", engine.engine().output().is_duplicate_free());
+    println!(
+        "duplicate-free  : {}",
+        engine.engine().output().is_duplicate_free()
+    );
     assert!(engine.engine().output().is_duplicate_free());
 }

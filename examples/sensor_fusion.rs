@@ -9,29 +9,34 @@
 //! output joins all six per cell. Rates fluctuate so quickly that the
 //! optimizer fires transitions *before previous migrations settle* — the
 //! §4.5 overlapped-transition regime where eager strategies thrash. A
-//! crossbeam channel decouples the producer from the engine, as a real
+//! bounded channel decouples the producer from the engine, as a real
 //! deployment would.
 
+use std::sync::mpsc;
 use std::thread;
 
-use crossbeam::channel;
 use jisc_common::SplitMix64;
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_engine::{Catalog, JoinStyle, PlanSpec};
 
-const SENSORS: [&str; 6] = ["lidar", "radar", "camera", "thermal", "acoustic", "pressure"];
+const SENSORS: [&str; 6] = [
+    "lidar", "radar", "camera", "thermal", "acoustic", "pressure",
+];
 const WINDOW: usize = 1_500;
 const EVENTS: usize = 60_000;
 
 #[derive(Debug)]
 enum Msg {
-    Reading { sensor: &'static str, cell: u64 },
+    Reading {
+        sensor: &'static str,
+        cell: u64,
+    },
     /// Rate shift detected upstream: migrate to the given sensor order.
     Reorder(Vec<&'static str>),
     Done,
 }
 
-fn producer(tx: channel::Sender<Msg>) {
+fn producer(tx: mpsc::SyncSender<Msg>) {
     let mut rng = SplitMix64::new(7);
     let mut order: Vec<&'static str> = SENSORS.to_vec();
     for i in 0..EVENTS {
@@ -48,7 +53,8 @@ fn producer(tx: channel::Sender<Msg>) {
         }
         let sensor = order[rng.next_below(SENSORS.len() as u64) as usize];
         let cell = rng.next_below(2_000);
-        tx.send(Msg::Reading { sensor, cell }).expect("channel open");
+        tx.send(Msg::Reading { sensor, cell })
+            .expect("channel open");
     }
     tx.send(Msg::Done).expect("channel open");
 }
@@ -58,7 +64,7 @@ fn main() {
     let plan = PlanSpec::left_deep(&SENSORS, JoinStyle::Hash);
     let mut engine = AdaptiveEngine::new(catalog, &plan, Strategy::Jisc).expect("engine");
 
-    let (tx, rx) = channel::bounded::<Msg>(1024);
+    let (tx, rx) = mpsc::sync_channel::<Msg>(1024);
     let producer = thread::spawn(move || producer(tx));
 
     let mut readings = 0u64;
@@ -96,7 +102,10 @@ fn main() {
     println!("max incomplete      : {max_incomplete}");
     println!("on-demand completions: {}", m.completions);
     println!("attempted skips     : {}", m.attempted_skips);
-    println!("duplicate-free      : {}", engine.output().is_duplicate_free());
+    println!(
+        "duplicate-free      : {}",
+        engine.output().is_duplicate_free()
+    );
     assert!(engine.output().is_duplicate_free());
     assert!(transitions > 0, "expected the rate monitor to fire");
 }

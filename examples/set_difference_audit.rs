@@ -15,9 +15,9 @@
 //! example, `A−B−C−D → A−D−B−C`) and JISC migrates the set-difference
 //! states without stopping the report stream.
 
+use jisc_common::SplitMix64;
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_engine::{Catalog, PlanSpec};
-use jisc_common::SplitMix64;
 
 const STREAMS: [&str; 4] = ["orders", "cancels", "fraud_flags", "embargo"];
 
@@ -73,6 +73,9 @@ fn main() {
     println!("suppressions     : {}", m.removals);
     println!("completions      : {}", m.completions);
     println!("duplicate-free   : {}", engine.output().is_duplicate_free());
-    assert!(engine.output().count() > before, "output must keep flowing after migration");
+    assert!(
+        engine.output().count() > before,
+        "output must keep flowing after migration"
+    );
     assert!(engine.output().is_duplicate_free());
 }

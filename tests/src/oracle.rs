@@ -111,7 +111,9 @@ impl NaiveOracle {
     }
 
     fn suppressed(&self, key: Key) -> bool {
-        self.windows[1..].iter().any(|r| r.iter().any(|(_, k)| *k == key))
+        self.windows[1..]
+            .iter()
+            .any(|r| r.iter().any(|(_, k)| *k == key))
     }
 
     fn set_diff(&mut self, stream: StreamId, seq: SeqNo, key: Key) {
@@ -129,7 +131,10 @@ impl NaiveOracle {
         }
         if !self.suppressed(key) {
             self.visible.insert(seq);
-            *self.results.entry(Lineage::new(vec![(stream, seq)])).or_default() += 1;
+            *self
+                .results
+                .entry(Lineage::new(vec![(stream, seq)]))
+                .or_default() += 1;
         }
     }
 
@@ -146,7 +151,10 @@ impl NaiveOracle {
             .collect();
         for sq in reborn {
             self.visible.insert(sq);
-            *self.results.entry(Lineage::new(vec![(StreamId(0), sq)])).or_default() += 1;
+            *self
+                .results
+                .entry(Lineage::new(vec![(StreamId(0), sq)]))
+                .or_default() += 1;
         }
     }
 }
@@ -162,7 +170,7 @@ mod tests {
         o.push(StreamId(1), 5);
         o.push(StreamId(1), 5);
         o.push(StreamId(0), 5); // joins both stream-1 tuples
-        // r1⋈s1, r1⋈s2 (when each s arrived), r2⋈s1, r2⋈s2
+                                // r1⋈s1, r1⋈s2 (when each s arrived), r2⋈s1, r2⋈s2
         assert_eq!(o.results.values().sum::<usize>(), 4);
     }
 

@@ -9,7 +9,9 @@ use jisc_integration_tests::oracle::{Mode, NaiveOracle};
 
 fn workload(n: usize, streams: u16, keys: u64, seed: u64) -> Vec<(u16, u64)> {
     let mut rng = SplitMix64::new(seed);
-    (0..n).map(|_| (rng.next_below(streams as u64) as u16, rng.next_below(keys))).collect()
+    (0..n)
+        .map(|_| (rng.next_below(streams as u64) as u16, rng.next_below(keys)))
+        .collect()
 }
 
 fn oracle_results(
@@ -31,9 +33,11 @@ fn names(n: usize) -> Vec<String> {
 
 #[test]
 fn pipelined_engines_match_oracle_with_migrations() {
-    for (streams, window, keys, n, seed) in
-        [(3usize, 20usize, 6u64, 400usize, 1u64), (4, 35, 10, 700, 2), (5, 15, 5, 500, 3)]
-    {
+    for (streams, window, keys, n, seed) in [
+        (3usize, 20usize, 6u64, 400usize, 1u64),
+        (4, 35, 10, 700, 2),
+        (5, 15, 5, 500, 3),
+    ] {
         let arrivals = workload(n, streams as u16, keys, seed);
         let expected = oracle_results(&arrivals, streams, window, Mode::JoinAll);
         let nm = names(streams);
@@ -66,7 +70,8 @@ fn pipelined_engines_match_oracle_with_migrations() {
 
 #[test]
 fn cacq_matches_oracle() {
-    for (streams, window, keys, n, seed) in [(3usize, 25usize, 8u64, 500usize, 4u64), (4, 18, 6, 600, 5)]
+    for (streams, window, keys, n, seed) in
+        [(3usize, 25usize, 8u64, 500usize, 4u64), (4, 18, 6, 600, 5)]
     {
         let arrivals = workload(n, streams as u16, keys, seed);
         let expected = oracle_results(&arrivals, streams, window, Mode::JoinAll);
@@ -83,7 +88,11 @@ fn cacq_matches_oracle() {
             }
             e.push(StreamId(s), k, 0).unwrap();
         }
-        assert_eq!(e.output.lineage_multiset(), expected, "CACQ diverged from the oracle");
+        assert_eq!(
+            e.output.lineage_multiset(),
+            expected,
+            "CACQ diverged from the oracle"
+        );
     }
 }
 
@@ -161,7 +170,11 @@ fn bushy_plans_match_oracle() {
         }
         e.push(StreamId(s), k, 0).unwrap();
     }
-    assert_eq!(e.output().lineage_multiset(), expected, "bushy JISC diverged from the oracle");
+    assert_eq!(
+        e.output().lineage_multiset(),
+        expected,
+        "bushy JISC diverged from the oracle"
+    );
 }
 
 #[test]
@@ -183,5 +196,9 @@ fn mjoin_matches_oracle() {
         }
         e.push(StreamId(s), k, 0).unwrap();
     }
-    assert_eq!(e.output.lineage_multiset(), expected, "MJoin diverged from the oracle");
+    assert_eq!(
+        e.output.lineage_multiset(),
+        expected,
+        "MJoin diverged from the oracle"
+    );
 }

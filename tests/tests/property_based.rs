@@ -20,8 +20,7 @@ struct Scenario {
 
 fn scenario_strategy(max_streams: usize, max_n: usize) -> impl Strategy<Value = Scenario> {
     (3..=max_streams, 5usize..40, 20usize..max_n).prop_flat_map(|(streams, window, n)| {
-        let arrivals =
-            proptest::collection::vec((0..streams as u16, 0u64..12), n);
+        let arrivals = proptest::collection::vec((0..streams as u16, 0u64..12), n);
         let perm = proptest::sample::select(
             // a handful of fixed permutation shapes; Just to keep shrinking sane
             (0..streams)
@@ -37,12 +36,16 @@ fn scenario_strategy(max_streams: usize, max_n: usize) -> impl Strategy<Value = 
                 }])
                 .collect::<Vec<_>>(),
         );
-        let transitions =
-            proptest::collection::vec((0..n, perm), 0..4);
+        let transitions = proptest::collection::vec((0..n, perm), 0..4);
         (Just(streams), Just(window), arrivals, transitions).prop_map(
             |(streams, window, arrivals, mut transitions)| {
                 transitions.sort_by_key(|(i, _)| *i);
-                Scenario { streams, window, arrivals, transitions }
+                Scenario {
+                    streams,
+                    window,
+                    arrivals,
+                    transitions,
+                }
             },
         )
     })
@@ -60,15 +63,17 @@ fn run_strategy(
     let mut next = 0;
     for (i, &(s, k)) in sc.arrivals.iter().enumerate() {
         while next < sc.transitions.len() && sc.transitions[next].0 == i {
-            let perm: Vec<&str> =
-                sc.transitions[next].1.iter().map(|&j| refs[j]).collect();
+            let perm: Vec<&str> = sc.transitions[next].1.iter().map(|&j| refs[j]).collect();
             let plan = PlanSpec::left_deep(&perm, JoinStyle::Hash);
             e.transition_to(&plan).unwrap();
             next += 1;
         }
         e.push(StreamId(s), k, 0).unwrap();
     }
-    assert!(e.output().is_duplicate_free(), "Theorem 3 violated by {strategy:?}");
+    assert!(
+        e.output().is_duplicate_free(),
+        "Theorem 3 violated by {strategy:?}"
+    );
     e.output().lineage_multiset()
 }
 

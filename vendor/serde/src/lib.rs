@@ -1,0 +1,40 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of config
+//! and metrics types but never serializes through serde itself (the one
+//! JSON emitter is hand-rolled; see `jisc_common::metrics`). The build
+//! environment has no registry access, so this crate supplies just enough
+//! surface for those derives to compile: two marker traits and a derive
+//! macro that emits empty impls. If a future change needs real
+//! serialization, vendor the full crate or hand-roll the writer as
+//! `metrics.rs` does.
+
+/// Marker for types declared serializable. No methods: nothing in this
+/// workspace drives serialization through serde.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Blanket impls so containers of serializable types stay serializable if
+/// a derive is ever placed on a wrapper struct.
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, String, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64
+);
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,61 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the macro
+//! walks the raw token stream, takes the identifier that follows the
+//! `struct`/`enum`/`union` keyword, and emits an empty marker impl. The
+//! workspace's derive sites are all non-generic, which keeps this honest;
+//! generic types get a compile error pointing here instead of a silently
+//! wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, has_generics)` for the item being derived.
+fn item_name(input: TokenStream) -> (String, bool) {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("derive: expected type name after `{kw}`, got {other:?}"),
+                };
+                let generic = matches!(
+                    tokens.next(),
+                    Some(TokenTree::Punct(ref p)) if p.as_char() == '<'
+                );
+                return (name, generic);
+            }
+        }
+    }
+    panic!("derive: no struct/enum/union found in input");
+}
+
+fn marker_impl(input: TokenStream, template: &str) -> TokenStream {
+    let (name, generic) = item_name(input);
+    assert!(
+        !generic,
+        "offline serde derive does not support generic type `{name}`; \
+         write the impl by hand (see vendor/serde_derive)"
+    );
+    template
+        .replace("$name", &name)
+        .parse()
+        .expect("derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(
+        input,
+        "#[automatically_derived] impl ::serde::Serialize for $name {}",
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(
+        input,
+        "#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for $name {}",
+    )
+}
