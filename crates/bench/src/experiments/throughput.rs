@@ -1,10 +1,12 @@
-//! Throughput: serial pipeline vs the key-partitioned sharded runtime.
+//! Throughput: serial pipeline vs batched ingest vs the key-partitioned
+//! sharded runtime.
 //!
 //! The Figure-9 normal-operation workload (20-join plan, uniform arrivals,
-//! no transition in flight) driven through [`ShardedExecutor`] at N = 1, 2,
-//! 4 and 8 workers, against a plain single-threaded JISC pipeline. Time
-//! windows are used so every configuration computes the identical result
-//! (count windows shard as per-shard quotas; see `is_exact`).
+//! no transition in flight) driven three ways: a per-tuple serial JISC
+//! pipeline, the same pipeline over [`TupleBatch`]ed ingest at batch sizes
+//! 1, 64 and 256, and [`ShardedExecutor`] at N = 1, 2, 4 and 8 workers.
+//! Time windows are used so every configuration computes the identical
+//! result (count windows shard as per-shard quotas; see `Exactness`).
 //!
 //! Besides the markdown table, the run writes `BENCH_throughput.json` to
 //! the working directory with raw tuples/sec and the machine's core count —
@@ -12,7 +14,7 @@
 
 use std::time::Instant;
 
-use jisc_common::StreamId;
+use jisc_common::{BatchedTuple, StreamId, TupleBatch};
 use jisc_core::jisc::JiscSemantics;
 use jisc_engine::{Catalog, Pipeline, StreamDef};
 use jisc_runtime::shard::{ShardSemantics, ShardedExecutor};
@@ -32,6 +34,9 @@ const BASE_WINDOW: usize = 500;
 
 /// Shard counts measured against the serial baseline.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Data-plane batch sizes measured for serial batched ingest.
+const BATCH_SIZES: [usize; 3] = [1, 64, 256];
 
 fn timed_catalog(names: &[String], window: usize, streams: usize) -> Catalog {
     // With the default clock (ts == global arrival index), a tuple ages one
@@ -90,6 +95,44 @@ pub fn throughput(scale: Scale) -> Table {
         serial_outputs.to_string(),
     ]);
 
+    // Batched serial ingest: same pipeline and semantics, data delivered in
+    // TupleBatches so the symmetric joins probe a whole run of tuples
+    // against old state before interleaving inserts.
+    let mut batched_json_rows = Vec::new();
+    for bs in BATCH_SIZES {
+        let mut pipe = Pipeline::new(catalog.clone(), &scenario.initial).expect("pipeline");
+        let mut sem = JiscSemantics::default();
+        let mut batch = TupleBatch::new(bs);
+        let t0 = Instant::now();
+        for a in &arrivals {
+            batch.push(BatchedTuple::new(StreamId(a.stream), a.key, a.payload));
+            if batch.is_full() {
+                pipe.push_batch_with(&mut sem, &batch).expect("push batch");
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            pipe.push_batch_with(&mut sem, &batch).expect("push batch");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let tps = total as f64 / secs.max(1e-9);
+        assert_eq!(
+            pipe.output.count(),
+            serial_outputs,
+            "batched run must match the per-tuple result"
+        );
+        table.row(vec![
+            format!("batched B={bs}"),
+            format!("{tps:.0}"),
+            format!("{:.2}", tps / serial_tps),
+            pipe.output.count().to_string(),
+        ]);
+        batched_json_rows.push(format!(
+            "    {{\"batch_size\": {bs}, \"tuples_per_sec\": {tps:.0}, \"speedup\": {:.3}}}",
+            tps / serial_tps
+        ));
+    }
+
     let mut json_rows = Vec::new();
     for n in SHARD_COUNTS {
         let mut exec = ShardedExecutor::spawn(
@@ -128,7 +171,9 @@ pub fn throughput(scale: Scale) -> Table {
     let json = format!(
         "{{\n  \"experiment\": \"throughput\",\n  \"cores\": {cores},\n  \
          \"tuples\": {total},\n  \"joins\": {JOINS},\n  \
-         \"serial_tuples_per_sec\": {serial_tps:.0},\n  \"sharded\": [\n{}\n  ]\n}}\n",
+         \"serial_tuples_per_sec\": {serial_tps:.0},\n  \"batched\": [\n{}\n  ],\n  \
+         \"sharded\": [\n{}\n  ]\n}}\n",
+        batched_json_rows.join(",\n"),
         json_rows.join(",\n")
     );
     if let Err(e) = std::fs::write("BENCH_throughput.json", &json) {

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use jisc_common::StreamId;
+use jisc_common::{BatchedTuple, Event, StreamId, TupleBatch};
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_eddy::{CacqExec, MJoinExec};
 use jisc_engine::{Catalog, JoinStyle, PlanSpec};
@@ -46,16 +46,36 @@ pub fn engine_for(scenario: &Scenario, window: usize, strategy: Strategy) -> Ada
     AdaptiveEngine::new(catalog, &scenario.initial, strategy).expect("valid engine")
 }
 
-/// Push a slice of arrivals through an engine (panics on engine error —
-/// experiment configurations are trusted).
+/// Default data-plane batch size for experiment drives.
+pub const INGEST_BATCH: usize = 64;
+
+/// Push a slice of arrivals through an engine as [`TupleBatch`]es of
+/// [`INGEST_BATCH`] (panics on engine error — experiment configurations
+/// are trusted).
 pub fn push_all(e: &mut AdaptiveEngine, arrivals: &[Arrival]) {
+    push_all_batched(e, arrivals, INGEST_BATCH);
+}
+
+/// Push a slice of arrivals with an explicit batch size.
+pub fn push_all_batched(e: &mut AdaptiveEngine, arrivals: &[Arrival], batch_size: usize) {
+    let mut batch = TupleBatch::new(batch_size);
     for a in arrivals {
-        e.push(StreamId(a.stream), a.key, a.payload).expect("push");
+        batch.push(BatchedTuple::new(StreamId(a.stream), a.key, a.payload));
+        if batch.is_full() {
+            e.push_batch(&batch).expect("push batch");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        e.push_batch(&batch).expect("push batch");
     }
 }
 
-/// Push arrivals, firing scheduled transitions at their indices (indices
-/// are relative to the slice). Returns the wall time of the whole drive.
+/// Push arrivals as batches, firing scheduled transitions at their indices
+/// (indices are relative to the slice). A transition cuts the current
+/// batch short so the migration barrier lands at exactly the scheduled
+/// arrival boundary, then batching resumes. Returns the wall time of the
+/// whole drive.
 pub fn drive_with_schedule(
     e: &mut AdaptiveEngine,
     arrivals: &[Arrival],
@@ -64,12 +84,25 @@ pub fn drive_with_schedule(
     let t0 = Instant::now();
     let mut next = 0;
     let transitions = schedule.transitions();
+    let mut batch = TupleBatch::new(INGEST_BATCH);
     for (i, a) in arrivals.iter().enumerate() {
         while next < transitions.len() && transitions[next].0 == i {
-            e.transition_to(&transitions[next].1).expect("transition");
+            if !batch.is_empty() {
+                e.push_batch(&batch).expect("push batch");
+                batch.clear();
+            }
+            e.on_event(Event::MigrationBarrier(transitions[next].1.clone()))
+                .expect("transition");
             next += 1;
         }
-        e.push(StreamId(a.stream), a.key, a.payload).expect("push");
+        batch.push(BatchedTuple::new(StreamId(a.stream), a.key, a.payload));
+        if batch.is_full() {
+            e.push_batch(&batch).expect("push batch");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        e.push_batch(&batch).expect("push batch");
     }
     t0.elapsed()
 }

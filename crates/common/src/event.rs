@@ -1,0 +1,166 @@
+//! The unified in-band event model.
+//!
+//! Everything that flows through an executor — data, watermarks, control —
+//! is one ordered stream of [`Event`]s. Data moves in capacity-bounded
+//! [`TupleBatch`]es so per-arrival dispatch cost is amortized; migration
+//! and expiry ride the same stream as punctuation, which is what lets the
+//! serial and sharded runtimes share a single migration code path.
+//!
+//! `Event` is generic over the plan payload `P` carried by a migration
+//! barrier: the concrete plan type lives downstream of this crate, so
+//! executors instantiate `Event<PlanSpec>`.
+
+use crate::tuple::{Key, SeqNo, StreamId};
+
+/// One tuple as it appears inside a [`TupleBatch`].
+///
+/// `ts` and `seq` are optional overrides: `None` means "assign from the
+/// consumer's own clock / sequence counter" (the serial default), while
+/// `Some` pins them — the sharded router stamps both so every shard agrees
+/// on global arrival order regardless of channel interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchedTuple {
+    /// Source stream.
+    pub stream: StreamId,
+    /// Join key.
+    pub key: Key,
+    /// Opaque payload.
+    pub payload: u64,
+    /// Explicit timestamp, or `None` for the consumer's default clock.
+    pub ts: Option<u64>,
+    /// Explicit sequence number, or `None` to take the next one.
+    pub seq: Option<SeqNo>,
+}
+
+impl BatchedTuple {
+    /// A tuple with consumer-assigned timestamp and sequence number.
+    pub fn new(stream: StreamId, key: Key, payload: u64) -> Self {
+        BatchedTuple {
+            stream,
+            key,
+            payload,
+            ts: None,
+            seq: None,
+        }
+    }
+}
+
+/// A capacity-bounded run of tuples, the data-plane unit of work.
+///
+/// The capacity is fixed at construction; [`push`](TupleBatch::push) past
+/// it panics (callers check [`is_full`](TupleBatch::is_full) and cut a new
+/// batch). [`clear`](TupleBatch::clear) keeps the allocation so a producer
+/// can reuse one batch as a scratch buffer, same discipline as the
+/// pipeline's probe scratch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleBatch {
+    items: Vec<BatchedTuple>,
+    capacity: usize,
+}
+
+impl TupleBatch {
+    /// An empty batch holding at most `capacity` tuples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TupleBatch {
+            items: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// A batch of exactly one tuple.
+    pub fn of_one(t: BatchedTuple) -> Self {
+        let mut b = TupleBatch::new(1);
+        b.push(t);
+        b
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tuples currently in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the batch is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Append a tuple. Panics if the batch is full.
+    pub fn push(&mut self, t: BatchedTuple) {
+        assert!(!self.is_full(), "TupleBatch over capacity");
+        self.items.push(t);
+    }
+
+    /// The tuples, in arrival order.
+    pub fn items(&self) -> &[BatchedTuple] {
+        &self.items
+    }
+
+    /// Empty the batch, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+/// One element of the unified event stream.
+///
+/// Consumers process events strictly in order; the variants are:
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<P> {
+    /// A run of data tuples.
+    Batch(TupleBatch),
+    /// Watermark punctuation: expire every tuple older than the window
+    /// allows at time `ts`, exactly as a serial ingest at `ts` would.
+    Expiry(u64),
+    /// Plan-migration punctuation carrying the target plan. All data
+    /// before the barrier executes under the old plan, all data after it
+    /// under the new one — on every executor, serial or sharded.
+    MigrationBarrier(P),
+    /// Drain every operator queue to quiescence.
+    Flush,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_capacity_is_enforced() {
+        let mut b = TupleBatch::new(2);
+        assert!(b.is_empty());
+        b.push(BatchedTuple::new(StreamId(0), 1, 0));
+        assert!(!b.is_full());
+        b.push(BatchedTuple::new(StreamId(1), 2, 0));
+        assert!(b.is_full());
+        assert_eq!(b.len(), 2);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn batch_push_past_capacity_panics() {
+        let mut b = TupleBatch::new(1);
+        b.push(BatchedTuple::new(StreamId(0), 1, 0));
+        b.push(BatchedTuple::new(StreamId(0), 2, 0));
+    }
+
+    #[test]
+    fn batch_of_one() {
+        let b = TupleBatch::of_one(BatchedTuple::new(StreamId(3), 7, 9));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.items()[0].key, 7);
+        assert_eq!(b.items()[0].ts, None);
+    }
+}

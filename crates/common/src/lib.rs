@@ -3,6 +3,7 @@
 //! This crate holds the data model and utilities every other crate builds on:
 //!
 //! * [`mod@tuple`] — base and joined (composite) tuples with lineage,
+//! * [`event`] — the unified in-band event model ([`Event`], [`TupleBatch`]),
 //! * [`hash`] — a fast Fx-style hasher and map/set aliases,
 //! * [`metrics`] — cheap execution counters used by every strategy,
 //! * [`rng`] — a deterministic SplitMix64 generator for reproducible runs,
@@ -13,6 +14,7 @@
 //! opaque `payload` that callers use as a row id into their own storage.
 
 pub mod error;
+pub mod event;
 pub mod hash;
 pub mod lineage;
 pub mod metrics;
@@ -20,6 +22,7 @@ pub mod rng;
 pub mod tuple;
 
 pub use error::{JiscError, Result};
+pub use event::{BatchedTuple, Event, TupleBatch};
 pub use hash::{shard_of, FxHashMap, FxHashSet, FxHasher};
 pub use lineage::Lineage;
 pub use metrics::Metrics;

@@ -1,6 +1,6 @@
 //! The public facade: one engine, pluggable migration strategy.
 
-use jisc_common::{Key, Metrics, Result, StreamId};
+use jisc_common::{Event, Key, Metrics, Result, StreamId, TupleBatch};
 use jisc_engine::{Catalog, OutputSink, PlanSpec};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +98,26 @@ impl AdaptiveEngine {
             Inner::Jisc(e) => e.push_at(stream, key, payload, ts),
             Inner::Ms(e) => e.push_at(stream, key, payload, ts),
             Inner::Pt(e) => e.push_at(stream, key, payload, ts),
+        }
+    }
+
+    /// Process a whole batch of arrivals to quiescence.
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.push_batch(batch),
+            Inner::Ms(e) => e.push_batch(batch),
+            Inner::Pt(e) => e.push_batch(batch),
+        }
+    }
+
+    /// Consume one in-band event (data batch, watermark punctuation,
+    /// migration barrier, or flush) — the unified ingest surface every
+    /// strategy shares.
+    pub fn on_event(&mut self, ev: Event<PlanSpec>) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.on_event(ev),
+            Inner::Ms(e) => e.on_event(ev),
+            Inner::Pt(e) => e.on_event(ev),
         }
     }
 

@@ -26,7 +26,7 @@
 //! optimization and for metrics.
 
 use jisc_common::Tuple;
-use jisc_common::{FxHashSet, Key, Result};
+use jisc_common::{Event, FxHashSet, Key, Result, TupleBatch};
 use jisc_engine::ops;
 use jisc_engine::{NodeId, OpKind, Payload, Pipeline, PlanSpec, QueueItem, Semantics, Signature};
 
@@ -57,6 +57,13 @@ impl Semantics for JiscSemantics {
             OpKind::SetDiff => jisc_set_diff(p, node, item, self.mode),
             OpKind::Scan(_) | OpKind::Aggregate(_) => ops::default_process(p, node, item),
         }
+    }
+
+    /// Batched-path counterpart of the `ensure_key_complete_with` call in
+    /// `jisc_join`: complete the probed state's entries for the key
+    /// before any batch tuple reads them.
+    fn before_probe(&mut self, p: &mut Pipeline, state_node: NodeId, key: Key) {
+        ensure_key_complete_with(p, state_node, key, self.mode);
     }
 }
 
@@ -322,16 +329,21 @@ fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
     };
     match node.op {
         OpKind::HashJoin | OpKind::NljJoin(_) => {
-            let ls = p.lookup_state(l, key);
+            let mut ls = Vec::new();
+            p.lookup_state_into(l, key, &mut ls);
             if ls.is_empty() {
                 return;
             }
-            let rs = p.lookup_state(r, key);
+            let mut rs = Vec::new();
+            p.lookup_state_into(r, key, &mut rs);
             if rs.is_empty() {
                 return;
             }
+            let mut own = p.take_probe_scratch();
+            p.lookup_state_into(n, key, &mut own);
             let existing: FxHashSet<jisc_common::Lineage> =
-                p.lookup_state(n, key).iter().map(|t| t.lineage()).collect();
+                own.iter().map(|t| t.lineage()).collect();
+            p.recycle_probe_scratch(own);
             for a in &ls {
                 for b in &rs {
                     let t = Tuple::joined(key, a.clone(), b.clone());
@@ -343,9 +355,13 @@ fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
         }
         OpKind::SetDiff => {
             if !p.state_contains_key(r, key) {
+                let mut own = p.take_probe_scratch();
+                p.lookup_state_into(n, key, &mut own);
                 let existing: FxHashSet<jisc_common::Lineage> =
-                    p.lookup_state(n, key).iter().map(|t| t.lineage()).collect();
-                let outers = p.lookup_state(l, key);
+                    own.iter().map(|t| t.lineage()).collect();
+                p.recycle_probe_scratch(own);
+                let mut outers = Vec::new();
+                p.lookup_state_into(l, key, &mut outers);
                 for a in outers {
                     if existing.is_empty() || !existing.contains(&a.lineage()) {
                         p.state_insert(n, a);
@@ -522,6 +538,51 @@ fn init_incomplete_states(p: &mut Pipeline, adopted: &FxHashSet<Signature>) {
     }
 }
 
+/// Semantics that can additionally apply a [`Event::MigrationBarrier`]
+/// (jisc_common's `Event`): the hook that puts plan migration in-band.
+///
+/// Serial executors and the sharded runtime's workers both drive their
+/// pipelines exclusively through [`apply_event`], so there is exactly one
+/// migration code path regardless of deployment shape.
+pub trait EventSemantics: Semantics {
+    /// Apply a migration barrier carrying the target plan.
+    fn apply_barrier(p: &mut Pipeline, spec: &PlanSpec) -> Result<()>;
+}
+
+impl EventSemantics for JiscSemantics {
+    fn apply_barrier(p: &mut Pipeline, spec: &PlanSpec) -> Result<()> {
+        jisc_transition(p, spec)
+    }
+}
+
+impl EventSemantics for jisc_engine::DefaultSemantics {
+    fn apply_barrier(_p: &mut Pipeline, _spec: &PlanSpec) -> Result<()> {
+        Err(jisc_common::JiscError::InvalidConfig(
+            "plan transitions require JISC semantics".into(),
+        ))
+    }
+}
+
+/// Apply one in-band event to a pipeline: the single consumption path for
+/// the unified event stream. `Batch` runs the batched ingest,
+/// `Expiry` advances the watermark, `MigrationBarrier` performs the
+/// semantics' plan transition, and `Flush` drains all operator queues.
+pub fn apply_event<S: EventSemantics>(
+    p: &mut Pipeline,
+    sem: &mut S,
+    ev: Event<PlanSpec>,
+) -> Result<()> {
+    match ev {
+        Event::Batch(batch) => p.push_batch_with(sem, &batch),
+        Event::Expiry(ts) => p.advance_watermark_with(sem, ts),
+        Event::MigrationBarrier(spec) => S::apply_barrier(p, &spec),
+        Event::Flush => {
+            p.run_with(sem);
+            Ok(())
+        }
+    }
+}
+
 /// Number of states currently marked incomplete.
 pub fn incomplete_state_count(p: &Pipeline) -> usize {
     p.plan()
@@ -571,6 +632,17 @@ impl JiscExec {
     ) -> Result<()> {
         self.pipe
             .push_at_with(&mut self.sem, stream, key, payload, ts)
+    }
+
+    /// Process a whole batch of arrivals to quiescence.
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> Result<()> {
+        self.pipe.push_batch_with(&mut self.sem, batch)
+    }
+
+    /// Consume one in-band event (data batch, watermark, migration
+    /// barrier, or flush).
+    pub fn on_event(&mut self, ev: Event<PlanSpec>) -> Result<()> {
+        apply_event(&mut self.pipe, &mut self.sem, ev)
     }
 
     /// Migrate to a new plan without halting (§4).

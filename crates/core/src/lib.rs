@@ -26,7 +26,9 @@ pub mod moving_state;
 pub mod parallel_track;
 
 pub use adaptive::{AdaptiveEngine, Strategy};
-pub use jisc::{jisc_transition, CompletionMode, JiscExec, JiscSemantics};
+pub use jisc::{
+    apply_event, jisc_transition, CompletionMode, EventSemantics, JiscExec, JiscSemantics,
+};
 pub use moving_state::MovingStateExec;
 pub use parallel_track::ParallelTrackExec;
 

@@ -68,12 +68,16 @@ pub fn build_state_eagerly(p: &mut Pipeline, node: NodeId) -> u64 {
             } else {
                 p.plan().node(r).state.distinct_keys()
             };
+            let mut ls = Vec::new();
+            let mut rs = Vec::new();
             for key in keys {
-                let ls = p.lookup_state(l, key);
+                ls.clear();
+                p.lookup_state_into(l, key, &mut ls);
                 if ls.is_empty() {
                     continue;
                 }
-                let rs = p.lookup_state(r, key);
+                rs.clear();
+                p.lookup_state_into(r, key, &mut rs);
                 for a in &ls {
                     for b in &rs {
                         let t = Tuple::joined(key, a.clone(), b.clone());

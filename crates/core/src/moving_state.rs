@@ -7,7 +7,7 @@
 //! halt shows up as a burst of work inside [`MovingStateExec::transition_to`]
 //! and as the large armed-latency mark the paper plots in Figure 10.
 
-use jisc_common::{FxHashSet, Key, Result, StreamId};
+use jisc_common::{Event, FxHashSet, Key, Result, StreamId, TupleBatch};
 use jisc_engine::{Catalog, DefaultSemantics, Pipeline, PlanSpec, Signature};
 
 use crate::migrate::{build_state_eagerly, is_binary, verify_reorderable, verify_same_query};
@@ -40,6 +40,25 @@ impl MovingStateExec {
     /// Process one arrival carrying an explicit timestamp (time windows).
     pub fn push_at(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
         self.pipe.push_at(stream, key, payload, ts)
+    }
+
+    /// Process a whole batch of arrivals to quiescence.
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> Result<()> {
+        self.pipe.push_batch(batch)
+    }
+
+    /// Consume one in-band event. A migration barrier performs this
+    /// strategy's eager halt-and-rebuild transition.
+    pub fn on_event(&mut self, ev: Event<PlanSpec>) -> Result<()> {
+        match ev {
+            Event::Batch(batch) => self.push_batch(&batch),
+            Event::Expiry(ts) => self.pipe.advance_watermark_with(&mut DefaultSemantics, ts),
+            Event::MigrationBarrier(spec) => self.transition_to(&spec),
+            Event::Flush => {
+                self.pipe.run_with(&mut DefaultSemantics);
+                Ok(())
+            }
+        }
     }
 
     /// Migrate eagerly: halt, rebuild every missing state, resume.

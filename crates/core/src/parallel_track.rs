@@ -8,8 +8,8 @@
 //! transitions stack additional plans, degrading throughput further — the
 //! behaviour §5.1.2 criticizes and Figure 11/12 measure.
 
-use jisc_common::{FxHashSet, Key, Lineage, Metrics, Result, SeqNo, StreamId};
-use jisc_engine::{Catalog, OutputSink, Pipeline, PlanSpec};
+use jisc_common::{Event, FxHashSet, Key, Lineage, Metrics, Result, SeqNo, StreamId, TupleBatch};
+use jisc_engine::{Catalog, DefaultSemantics, OutputSink, Pipeline, PlanSpec};
 
 use crate::migrate::{verify_reorderable, verify_same_query};
 
@@ -103,6 +103,45 @@ impl ParallelTrackExec {
             self.discard_sweep();
         }
         Ok(())
+    }
+
+    /// Process a whole batch through every running plan, merging outputs
+    /// once per batch (the merge itself amortizes too) and counting every
+    /// batch tuple toward the discard-sweep cadence.
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> Result<()> {
+        for t in &mut self.tracks {
+            t.pipe.push_batch(batch)?;
+        }
+        self.merge_outputs();
+        self.since_check += batch.len() as u64;
+        if self.tracks.len() > 1 && self.since_check >= self.check_period {
+            self.since_check = 0;
+            self.discard_sweep();
+        }
+        Ok(())
+    }
+
+    /// Consume one in-band event. A migration barrier spawns the new
+    /// parallel track.
+    pub fn on_event(&mut self, ev: Event<PlanSpec>) -> Result<()> {
+        match ev {
+            Event::Batch(batch) => self.push_batch(&batch),
+            Event::Expiry(ts) => {
+                for t in &mut self.tracks {
+                    t.pipe.advance_watermark_with(&mut DefaultSemantics, ts)?;
+                }
+                self.merge_outputs();
+                Ok(())
+            }
+            Event::MigrationBarrier(spec) => self.transition_to(&spec),
+            Event::Flush => {
+                for t in &mut self.tracks {
+                    t.pipe.run_with(&mut DefaultSemantics);
+                }
+                self.merge_outputs();
+                Ok(())
+            }
+        }
     }
 
     /// Start the new plan alongside the running ones (§3.3). The new plan

@@ -1,0 +1,190 @@
+//! Property test: batched execution is observationally equivalent to
+//! per-tuple execution.
+//!
+//! Random multi-stream scenarios — count and time windows, with mid-stream
+//! migrations at random points — are run twice per strategy: once pushing
+//! every arrival individually, once through the unified event stream in
+//! [`TupleBatch`]es of size 1, 7, 64 and 256. Migration points rarely fall
+//! on a batch boundary, so the [`Event::MigrationBarrier`] routinely lands
+//! "mid-batch", cutting the current batch short exactly as a router would.
+//! Output lineage multisets must be identical in every configuration, for
+//! all four strategies: plain pipelined execution (no migrations), JISC,
+//! Moving State, and Parallel Track.
+
+use jisc_common::{BatchedTuple, Event, Lineage, StreamId, TupleBatch};
+use jisc_core::{AdaptiveEngine, Strategy as Mig};
+use jisc_engine::{Catalog, JoinStyle, Pipeline, PlanSpec, StreamDef};
+use proptest::prelude::*;
+
+type OutputMultiset = Vec<(Lineage, usize)>;
+
+const BATCH_SIZES: [usize; 4] = [1, 7, 64, 256];
+
+#[derive(Debug, Clone)]
+struct Case {
+    /// Stream names, 3..=4 of them.
+    names: Vec<String>,
+    /// Time-window ticks, or `None` for a count window of 20.
+    ticks: Option<u64>,
+    /// `(stream, key)` arrivals.
+    arrivals: Vec<(u16, u64)>,
+    /// Arrival indices at which a migration (leaf rotation) fires.
+    migrations: Vec<usize>,
+}
+
+impl Case {
+    fn catalog(&self) -> Catalog {
+        let defs = self
+            .names
+            .iter()
+            .map(|n| match self.ticks {
+                Some(t) => StreamDef::timed(n.clone(), t),
+                None => StreamDef::new(n.clone(), 20),
+            })
+            .collect();
+        Catalog::new(defs).expect("valid catalog")
+    }
+
+    /// Plan after `rot` leaf rotations (rot = 0 is the initial plan).
+    fn plan(&self, rot: usize) -> PlanSpec {
+        let mut names: Vec<&str> = self.names.iter().map(String::as_str).collect();
+        let by = rot % names.len();
+        names.rotate_left(by);
+        PlanSpec::left_deep(&names, JoinStyle::Hash)
+    }
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (3usize..=4, 0usize..3, 40usize..120).prop_flat_map(|(streams, wkind, n)| {
+        (
+            Just(streams),
+            Just(wkind),
+            proptest::collection::vec((0..streams as u16, 0u64..9), n),
+            proptest::collection::vec(1usize..n, 0..3),
+        )
+            .prop_map(|(streams, wkind, arrivals, mut migrations)| {
+                migrations.sort_unstable();
+                migrations.dedup();
+                Case {
+                    names: (0..streams).map(|i| format!("S{i}")).collect(),
+                    // wkind 0: count windows; 1: slow expiry; 2: fast expiry.
+                    ticks: match wkind {
+                        0 => None,
+                        1 => Some(40),
+                        _ => Some(12),
+                    },
+                    arrivals,
+                    migrations,
+                }
+            })
+    })
+}
+
+fn sorted_multiset(m: jisc_common::FxHashMap<Lineage, usize>) -> OutputMultiset {
+    let mut v: Vec<_> = m.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Per-tuple reference run of `strategy` with the case's migrations.
+fn per_tuple(case: &Case, strategy: Mig) -> OutputMultiset {
+    let mut e = AdaptiveEngine::new(case.catalog(), &case.plan(0), strategy).expect("engine");
+    let mut rot = 0usize;
+    for (i, &(s, k)) in case.arrivals.iter().enumerate() {
+        if case.migrations.contains(&i) {
+            rot += 1;
+            e.transition_to(&case.plan(rot)).expect("transition");
+        }
+        e.push(StreamId(s), k, i as u64).expect("push");
+    }
+    sorted_multiset(e.output().lineage_multiset())
+}
+
+/// Batched run of `strategy` over the unified event stream: data in
+/// batches of `batch_size`, migrations as in-band barriers that cut the
+/// current batch short.
+fn batched(case: &Case, strategy: Mig, batch_size: usize) -> OutputMultiset {
+    let mut e = AdaptiveEngine::new(case.catalog(), &case.plan(0), strategy).expect("engine");
+    let mut rot = 0usize;
+    let mut batch = TupleBatch::new(batch_size);
+    for (i, &(s, k)) in case.arrivals.iter().enumerate() {
+        if case.migrations.contains(&i) {
+            if !batch.is_empty() {
+                e.on_event(Event::Batch(batch.clone())).expect("batch");
+                batch.clear();
+            }
+            rot += 1;
+            e.on_event(Event::MigrationBarrier(case.plan(rot)))
+                .expect("barrier");
+        }
+        batch.push(BatchedTuple::new(StreamId(s), k, i as u64));
+        if batch.is_full() {
+            e.on_event(Event::Batch(batch.clone())).expect("batch");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        e.on_event(Event::Batch(batch)).expect("batch");
+    }
+    sorted_multiset(e.output().lineage_multiset())
+}
+
+/// Plain pipelined execution (DefaultSemantics, no migrations): batched
+/// ingest through `Pipeline::push_batch` against per-tuple `push`.
+fn plain_pair(case: &Case, batch_size: usize) -> (OutputMultiset, OutputMultiset) {
+    let mut reference = Pipeline::new(case.catalog(), &case.plan(0)).expect("pipeline");
+    for (i, &(s, k)) in case.arrivals.iter().enumerate() {
+        reference.push(StreamId(s), k, i as u64).expect("push");
+    }
+    let mut pipe = Pipeline::new(case.catalog(), &case.plan(0)).expect("pipeline");
+    let mut batch = TupleBatch::new(batch_size);
+    for (i, &(s, k)) in case.arrivals.iter().enumerate() {
+        batch.push(BatchedTuple::new(StreamId(s), k, i as u64));
+        if batch.is_full() {
+            pipe.push_batch(&batch).expect("push batch");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        pipe.push_batch(&batch).expect("push batch");
+    }
+    (
+        sorted_multiset(reference.output.lineage_multiset()),
+        sorted_multiset(pipe.output.lineage_multiset()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_equals_per_tuple_plain(case in case_strategy()) {
+        for bs in BATCH_SIZES {
+            let (expected, got) = plain_pair(&case, bs);
+            prop_assert_eq!(
+                &got, &expected,
+                "plain pipeline diverged at batch size {} (ticks {:?})",
+                bs, case.ticks
+            );
+        }
+    }
+
+    #[test]
+    fn batched_equals_per_tuple_all_strategies(case in case_strategy()) {
+        for strategy in [
+            Mig::Jisc,
+            Mig::MovingState,
+            Mig::ParallelTrack { check_period: 10 },
+        ] {
+            let expected = per_tuple(&case, strategy);
+            for bs in BATCH_SIZES {
+                let got = batched(&case, strategy, bs);
+                prop_assert_eq!(
+                    &got, &expected,
+                    "{:?} diverged at batch size {} ({} migrations, ticks {:?})",
+                    strategy, bs, case.migrations.len(), case.ticks
+                );
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! MJoin (Viglas et al.): a single n-ary symmetric hash join.
 //!
 //! The paper's §2.1 sets MJoins aside ("addressed in a similar manner,
-//! [but] not discussed in this paper"); this implementation completes the
+//! \[but\] not discussed in this paper"); this implementation completes the
 //! related-work set. Like CACQ, an MJoin keeps one hash index per stream
 //! and no intermediate state, so plan transitions are trivial (only the
 //! probe order changes). Unlike CACQ there is no eddy: each arrival probes
@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use jisc_common::{BaseTuple, JiscError, Key, Metrics, Result, SeqNo, StreamId, Tuple};
+use jisc_common::{BaseTuple, JiscError, Key, Metrics, Result, SeqNo, StreamId, Tuple, TupleBatch};
 use jisc_engine::{Catalog, OutputSink};
 
 use crate::stem::Stem;
@@ -134,6 +134,16 @@ impl MJoinExec {
     pub fn push_named(&mut self, stream: &str, key: Key, payload: u64) -> Result<()> {
         let id = self.catalog.id(stream)?;
         self.push(id, key, payload)
+    }
+
+    /// Process a batch of arrivals. Probe cascades are per-tuple, so the
+    /// batch is drained tuple-at-a-time with this executor's own sequence
+    /// clock (any `seq`/`ts` overrides in the batch are ignored).
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> Result<()> {
+        for t in batch.items() {
+            self.push(t.stream, t.key, t.payload)?;
+        }
+        Ok(())
     }
 }
 

@@ -11,12 +11,13 @@
 use std::sync::Arc;
 
 use jisc_common::{
-    BaseTuple, FxHashMap, JiscError, Key, Lineage, Metrics, Result, SeqNo, StreamId, Tuple,
+    BaseTuple, BatchedTuple, FxHashMap, FxHashSet, JiscError, Key, Lineage, Metrics, Result, SeqNo,
+    StreamId, Tuple, TupleBatch,
 };
 
 use crate::ops::DefaultSemantics;
 use crate::output::OutputSink;
-use crate::plan::{NodeId, Payload, Plan, QueueItem, Signature};
+use crate::plan::{NodeId, OpKind, Payload, Plan, QueueItem, Signature};
 use crate::predicate::Predicate;
 use crate::spec::{Catalog, PlanSpec, WindowSpec};
 use crate::state::State;
@@ -29,6 +30,14 @@ use crate::state::State;
 pub trait Semantics {
     /// Process one queue item at `node`.
     fn process(&mut self, p: &mut Pipeline, node: NodeId, item: QueueItem);
+
+    /// Hook called by the batched execution path immediately before a
+    /// delta tuple with `key` probes `state_node`'s state — the batched
+    /// counterpart of whatever per-item preparation `process` does before
+    /// probing the opposite state. The default is a no-op (plain
+    /// pipelining needs none); JISC semantics complete the probed key on
+    /// demand here.
+    fn before_probe(&mut self, _p: &mut Pipeline, _state_node: NodeId, _key: Key) {}
 }
 
 /// Result of [`Pipeline::adopt_states`]: which signatures were adopted into
@@ -67,6 +76,14 @@ pub struct Pipeline {
     /// Reused buffer for join-probe results (see
     /// [`Pipeline::take_probe_scratch`]).
     probe_scratch: Vec<Tuple>,
+    /// Deferred inserts of the batch currently being ingested:
+    /// `(scan node, base tuple, fresh flag)` in arrival order.
+    batch_run: Vec<(NodeId, Arc<BaseTuple>, bool)>,
+    /// Keys present in the deferred run (expiry-commutation check).
+    batch_run_keys: FxHashSet<Key>,
+    /// Per-node delta buffers reused across batch flushes (indexed by
+    /// `NodeId`).
+    batch_deltas: Vec<Vec<(Tuple, bool)>>,
     /// Query output.
     pub output: OutputSink,
     /// Execution counters.
@@ -91,6 +108,9 @@ impl Pipeline {
             pending_items: 0,
             expired_scratch: Vec::new(),
             probe_scratch: Vec::new(),
+            batch_run: Vec::new(),
+            batch_run_keys: FxHashSet::default(),
+            batch_deltas: Vec::new(),
             output: OutputSink::new(),
             metrics: Metrics::new(),
         })
@@ -338,19 +358,375 @@ impl Pipeline {
         self.push_at_with(&mut DefaultSemantics, stream, key, payload, ts)
     }
 
-    // ----- helpers used by operator semantics -----
+    // ----- batched ingestion -----
 
-    /// Probe node `n`'s state for `key` (clones matches; `Arc` bumps).
+    /// Process a whole [`TupleBatch`] to quiescence under the given
+    /// semantics, equivalent (by output lineage multiset) to pushing its
+    /// tuples one at a time in order.
     ///
-    /// Allocates a fresh `Vec` per call — completion/migration cold paths
-    /// only. The per-arrival probe path uses
-    /// [`Pipeline::lookup_state_into`] with a recycled buffer.
-    pub fn lookup_state(&mut self, n: NodeId, key: Key) -> Vec<Tuple> {
-        // Split borrows: plan (shared) and metrics (mutable) are disjoint.
-        self.plan.node(n).state.lookup(key, &mut self.metrics)
+    /// On [batchable](Plan::batchable) plans — scans and equi-joins — the
+    /// batch executes in two phases per flush: every batch tuple probes
+    /// the operator states *as they were before the batch* (plus an
+    /// explicit intra-batch pairing term), and only then are the batch's
+    /// delta tuples installed into the states. This amortizes queue and
+    /// dispatch overhead across the batch while producing exactly the
+    /// per-tuple result: the symmetric-join identity
+    /// `(L+dl)(R+dr) − LR = dl·R + L·dr + dl·dr` accounts every join pair
+    /// once. Window expiries landing mid-batch commute with pending
+    /// deferred inserts only when every expiring key is absent from the
+    /// run **and** no state is incomplete (mid-migration); otherwise the
+    /// run is flushed first, degrading toward per-tuple execution but
+    /// never changing the answer. Non-batchable plans (set-difference,
+    /// aggregation, non-`KeyEq` theta joins) and batches of one take the
+    /// per-tuple path directly.
+    ///
+    /// A `None` timestamp on a batch tuple means "default clock" (same
+    /// rule as [`Pipeline::ingest`]); a `Some(seq)` pins the arrival's
+    /// sequence number via [`Pipeline::set_next_seq`] (sharded routing).
+    pub fn push_batch_with(&mut self, sem: &mut impl Semantics, batch: &TupleBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if batch.len() < 2 || !self.plan.batchable() {
+            for t in batch.items() {
+                if let Some(seq) = t.seq {
+                    self.set_next_seq(seq);
+                }
+                let ts = match t.ts {
+                    Some(ts) => ts,
+                    None => self.last_ts.max(self.next_seq),
+                };
+                self.push_at_with(sem, t.stream, t.key, t.payload, ts)?;
+            }
+            return Ok(());
+        }
+        if self.pending_items > 0 {
+            return Err(JiscError::InvalidConfig(
+                "previous arrival not yet processed: run the pipeline before \
+                 ingesting the next batch"
+                    .into(),
+            ));
+        }
+        debug_assert!(self.batch_run.is_empty());
+        for t in batch.items() {
+            if let Err(e) = self.ingest_deferred(sem, t) {
+                // Leave the pipeline in the state a serial prefix of the
+                // batch would have produced.
+                self.flush_run(sem);
+                return Err(e);
+            }
+        }
+        self.flush_run(sem);
+        Ok(())
     }
 
-    /// Probe node `n`'s state for `key`, appending matches to `out`.
+    /// [`Pipeline::push_batch_with`] under the default semantics.
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> Result<()> {
+        self.push_batch_with(&mut DefaultSemantics, batch)
+    }
+
+    /// Ingest one batch tuple without enqueuing its insert: sequence
+    /// numbering, window slide (with the expiry-commutation rule), and
+    /// freshness classification happen now; the insert itself is deferred
+    /// into `batch_run` until [`Pipeline::flush_run`].
+    fn ingest_deferred(&mut self, sem: &mut impl Semantics, t: &BatchedTuple) -> Result<()> {
+        if let Some(seq) = t.seq {
+            self.set_next_seq(seq);
+        }
+        let ts = match t.ts {
+            Some(ts) => ts,
+            None => self.last_ts.max(self.next_seq),
+        };
+        if ts < self.last_ts {
+            return Err(JiscError::InvalidConfig(format!(
+                "timestamps must be monotonic: {ts} < {}",
+                self.last_ts
+            )));
+        }
+        self.last_ts = ts;
+        let scan = self
+            .plan
+            .scan_of(t.stream)
+            .ok_or_else(|| JiscError::UnknownStream(format!("{}", t.stream)))?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.metrics.tuples_in += 1;
+
+        // Window slide, identical to [`Pipeline::ingest_at`].
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        if self.has_time_windows {
+            for i in 0..self.catalog.len() {
+                let s = StreamId(i as u16);
+                match self.catalog.window_spec(s) {
+                    WindowSpec::Count(w) => {
+                        if s != t.stream {
+                            continue;
+                        }
+                        let ring = &mut self.rings[i];
+                        if ring.len() == w {
+                            expired.push(ring.pop_front().expect("non-empty ring").1);
+                        }
+                    }
+                    WindowSpec::Time(d) => {
+                        let ring = &mut self.rings[i];
+                        while ring
+                            .front()
+                            .is_some_and(|(at, _)| ts.saturating_sub(*at) >= d)
+                        {
+                            expired.push(ring.pop_front().expect("non-empty ring").1);
+                        }
+                    }
+                }
+            }
+        } else if let WindowSpec::Count(w) = self.catalog.window_spec(t.stream) {
+            let ring = &mut self.rings[t.stream.0 as usize];
+            if ring.len() == w {
+                expired.push(ring.pop_front().expect("non-empty ring").1);
+            }
+        }
+        if !expired.is_empty() {
+            // Removals of key k commute with pending deferred inserts of
+            // keys ≠ k only on equi-joins over *complete* states: the
+            // removed entry cannot match any pending insert, and no
+            // completion bookkeeping can change a Remove's forwarding
+            // decision. Any expiring key in the run, or any incomplete
+            // state anywhere, forces a flush first.
+            let commute = expired
+                .iter()
+                .all(|old| !self.batch_run_keys.contains(&old.key))
+                && !self.any_state_incomplete();
+            if !commute {
+                self.flush_run(sem);
+            }
+            for old in expired.drain(..) {
+                let old_scan = self
+                    .plan
+                    .scan_of(old.stream)
+                    .ok_or_else(|| JiscError::UnknownStream(format!("{}", old.stream)))?;
+                let old_fresh = self.fresh[old.stream.0 as usize]
+                    .get(&old.key)
+                    .is_none_or(|&s| s < self.last_transition_seq);
+                self.pending_items += 1;
+                self.plan.node_mut(old_scan).queue.push_back(QueueItem {
+                    from: None,
+                    payload: Payload::Remove {
+                        stream: old.stream,
+                        seq: old.seq,
+                        key: old.key,
+                        fresh: old_fresh,
+                    },
+                });
+            }
+            self.expired_scratch = expired;
+            self.run_with(sem);
+        } else {
+            self.expired_scratch = expired;
+        }
+
+        let prev = self.fresh[t.stream.0 as usize].insert(t.key, seq);
+        let fresh = prev.is_none_or(|s| s < self.last_transition_seq);
+        let base = Arc::new(BaseTuple::new(t.stream, seq, t.key, t.payload));
+        self.rings[t.stream.0 as usize].push_back((ts, Arc::clone(&base)));
+        self.batch_run.push((scan, base, fresh));
+        self.batch_run_keys.insert(t.key);
+        Ok(())
+    }
+
+    /// Is any state in the plan marked incomplete (mid-migration)?
+    fn any_state_incomplete(&self) -> bool {
+        self.plan
+            .ids()
+            .any(|i| !self.plan.node(i).state.is_complete())
+    }
+
+    /// Execute the deferred run: compute every node's delta against the
+    /// pre-run states (phase I), then install all deltas and emit at the
+    /// root (phase II). The strict phase separation is what keeps JISC
+    /// completion sound mid-batch — completion triggered by
+    /// [`Semantics::before_probe`] reads only pre-run child states, so it
+    /// materializes exactly the old-only combinations, while every delta
+    /// entry contains at least one batch constituent; the two sets are
+    /// lineage-disjoint and nothing is double-counted.
+    fn flush_run(&mut self, sem: &mut impl Semantics) {
+        if self.batch_run.is_empty() {
+            return;
+        }
+        self.batch_run_keys.clear();
+        if self.batch_run.len() == 1 {
+            let (scan, base, fresh) = self.batch_run.pop().expect("non-empty run");
+            self.enqueue(
+                scan,
+                QueueItem {
+                    from: None,
+                    payload: Payload::Insert {
+                        tuple: Tuple::Base(base),
+                        fresh,
+                    },
+                },
+            );
+            self.run_with(sem);
+            return;
+        }
+        let mut deltas = std::mem::take(&mut self.batch_deltas);
+        for d in &mut deltas {
+            d.clear();
+        }
+        deltas.resize_with(self.plan.len(), Vec::new);
+        for (scan, base, fresh) in self.batch_run.drain(..) {
+            deltas[scan.0 as usize].push((Tuple::Base(base), fresh));
+        }
+
+        // Phase I: compute join deltas bottom-up against pre-run states.
+        // The arena allocates children before parents, so a node's delta
+        // slot always sits above both children's in the buffer.
+        let mut buf = self.take_probe_scratch();
+        for i in 0..self.plan.topo().len() {
+            let id = self.plan.topo()[i];
+            let node = self.plan.node(id);
+            let pred = match node.op {
+                OpKind::HashJoin => None,
+                OpKind::NljJoin(p) => Some(p),
+                _ => continue,
+            };
+            let (l, r) = (
+                node.left.expect("binary node has left child"),
+                node.right.expect("binary node has right child"),
+            );
+            let (li, ri) = (l.0 as usize, r.0 as usize);
+            let idx = id.0 as usize;
+            debug_assert!(li < idx && ri < idx, "children precede parent in arena");
+            let (lower, upper) = deltas.split_at_mut(idx);
+            let out = &mut upper[0];
+            // Left delta × pre-run right state.
+            for (t, f) in &lower[li] {
+                let key = t.key();
+                sem.before_probe(self, r, key);
+                buf.clear();
+                match pred {
+                    Some(pr) => self.scan_theta_state_into(r, pr, key, false, &mut buf),
+                    None => self.lookup_state_into(r, key, &mut buf),
+                }
+                for m in buf.drain(..) {
+                    out.push((Tuple::joined(key, t.clone(), m), *f));
+                }
+            }
+            // Pre-run left state × right delta.
+            for (t, f) in &lower[ri] {
+                let key = t.key();
+                sem.before_probe(self, l, key);
+                buf.clear();
+                match pred {
+                    Some(pr) => self.scan_theta_state_into(l, pr, key, true, &mut buf),
+                    None => self.lookup_state_into(l, key, &mut buf),
+                }
+                for m in buf.drain(..) {
+                    out.push((Tuple::joined(key, m.clone(), t.clone()), *f));
+                }
+            }
+            // Intra-batch term: left delta × right delta on key equality.
+            // The result carries the fresh flag of whichever side's tuple
+            // is the later arrival — the item that would have triggered
+            // the join in per-tuple execution.
+            for (a, fa) in &lower[li] {
+                for (b, fb) in &lower[ri] {
+                    if a.key() == b.key() {
+                        let f = if a.max_seq() > b.max_seq() { *fa } else { *fb };
+                        out.push((Tuple::joined(a.key(), a.clone(), b.clone()), f));
+                    }
+                }
+            }
+        }
+        self.recycle_probe_scratch(buf);
+
+        // Phase II: install every delta into its own node's state; the
+        // root's delta is the batch's query output.
+        for i in 0..self.plan.topo().len() {
+            let id = self.plan.topo()[i];
+            let idx = id.0 as usize;
+            if deltas[idx].is_empty() {
+                continue;
+            }
+            let is_root = self.plan.node(id).parent.is_none();
+            let mut d = std::mem::take(&mut deltas[idx]);
+            for (t, _fresh) in d.drain(..) {
+                if is_root {
+                    self.state_insert(id, t.clone());
+                    self.emit(t);
+                } else {
+                    self.state_insert(id, t);
+                }
+            }
+            deltas[idx] = d;
+        }
+        self.batch_deltas = deltas;
+    }
+
+    // ----- punctuation -----
+
+    /// Advance the watermark to `ts`: expire every tuple whose age reaches
+    /// its stream's time window at `ts`, exactly as a serial
+    /// [`Pipeline::ingest_at`] sequence reaching `ts` would, and drain the
+    /// resulting removals to quiescence. Count windows are arrival-driven
+    /// and unaffected.
+    pub fn advance_watermark_with(&mut self, sem: &mut impl Semantics, ts: u64) -> Result<()> {
+        if self.pending_items > 0 {
+            return Err(JiscError::InvalidConfig(
+                "previous arrival not yet processed: run the pipeline before \
+                 advancing the watermark"
+                    .into(),
+            ));
+        }
+        if ts < self.last_ts {
+            return Err(JiscError::InvalidConfig(format!(
+                "timestamps must be monotonic: {ts} < {}",
+                self.last_ts
+            )));
+        }
+        self.last_ts = ts;
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        for i in 0..self.catalog.len() {
+            if let WindowSpec::Time(d) = self.catalog.window_spec(StreamId(i as u16)) {
+                let ring = &mut self.rings[i];
+                while ring
+                    .front()
+                    .is_some_and(|(at, _)| ts.saturating_sub(*at) >= d)
+                {
+                    expired.push(ring.pop_front().expect("non-empty ring").1);
+                }
+            }
+        }
+        for old in expired.drain(..) {
+            let old_scan = self
+                .plan
+                .scan_of(old.stream)
+                .ok_or_else(|| JiscError::UnknownStream(format!("{}", old.stream)))?;
+            let old_fresh = self.fresh[old.stream.0 as usize]
+                .get(&old.key)
+                .is_none_or(|&s| s < self.last_transition_seq);
+            self.pending_items += 1;
+            self.plan.node_mut(old_scan).queue.push_back(QueueItem {
+                from: None,
+                payload: Payload::Remove {
+                    stream: old.stream,
+                    seq: old.seq,
+                    key: old.key,
+                    fresh: old_fresh,
+                },
+            });
+        }
+        self.expired_scratch = expired;
+        self.run_with(sem);
+        Ok(())
+    }
+
+    // ----- helpers used by operator semantics -----
+
+    /// Probe node `n`'s state for `key`, appending matches to `out`
+    /// (clones matches; `Arc` bumps). This is the single state-probe entry
+    /// point: hot paths pass the recycled
+    /// [`Pipeline::take_probe_scratch`] buffer, cold paths a local `Vec`.
     pub fn lookup_state_into(&mut self, n: NodeId, key: Key, out: &mut Vec<Tuple>) {
         self.plan
             .node(n)
@@ -386,21 +762,9 @@ impl Pipeline {
         }
     }
 
-    /// Theta-scan node `n`'s state.
-    pub fn scan_theta_state(
-        &mut self,
-        n: NodeId,
-        pred: Predicate,
-        probe_key: Key,
-        stored_is_left: bool,
-    ) -> Vec<Tuple> {
-        self.plan
-            .node(n)
-            .state
-            .scan_theta(pred, probe_key, stored_is_left, &mut self.metrics)
-    }
-
-    /// Theta-scan node `n`'s state, appending matches to `out`.
+    /// Theta-scan node `n`'s state, appending matches to `out` — the
+    /// single theta-probe entry point (see
+    /// [`Pipeline::lookup_state_into`]).
     pub fn scan_theta_state_into(
         &mut self,
         n: NodeId,

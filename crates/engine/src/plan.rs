@@ -308,6 +308,20 @@ impl Plan {
         out
     }
 
+    /// True if every operator supports batch-at-a-time execution: scans
+    /// and equi-joins (hash, or nested loops on `KeyEq`). Set-difference
+    /// and aggregation are emission-order-sensitive, and non-`KeyEq` theta
+    /// joins have no intra-batch pairing rule, so plans containing them
+    /// run batches through the per-tuple path instead.
+    pub fn batchable(&self) -> bool {
+        self.nodes.iter().all(|n| {
+            matches!(
+                n.op,
+                OpKind::Scan(_) | OpKind::HashJoin | OpKind::NljJoin(Predicate::KeyEq)
+            )
+        })
+    }
+
     /// True if the plan is a left-deep chain (every right child is a leaf).
     pub fn is_left_deep(&self) -> bool {
         self.nodes.iter().all(|n| match n.op {

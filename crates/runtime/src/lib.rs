@@ -4,23 +4,29 @@
 //! what makes the paper's correctness theorems testable bit-for-bit). Real
 //! deployments want producers decoupled from the engine: this crate runs
 //! an [`jisc_core::AdaptiveEngine`] on its own thread behind a bounded
-//! channel, with live control (plan migrations, stat snapshots) and a
-//! lock-protected stats mirror for cheap observability. For scale-up, the
-//! [`shard`] module adds a key-partitioned parallel executor
-//! ([`ShardedExecutor`]) that runs one pipeline per worker thread.
+//! channel carrying the unified in-band [`Event`] stream — data batches,
+//! expiry watermarks, migration barriers, and flush punctuation all share
+//! one FIFO, so control takes effect at an exact position in the stream.
+//! A lock-protected stats mirror provides cheap observability. For
+//! scale-up, the [`shard`] module adds a key-partitioned parallel executor
+//! ([`ShardedExecutor`]) that runs one pipeline per worker thread over the
+//! same event model.
 //!
 //! ```
 //! use jisc_core::Strategy;
 //! use jisc_engine::{Catalog, JoinStyle, PlanSpec};
-//! use jisc_runtime::{Event, StreamDriver};
+//! use jisc_runtime::{BatchedTuple, StreamDriver, TupleBatch};
+//! use jisc_common::StreamId;
 //!
 //! let catalog = Catalog::uniform(&["R", "S"], 100).unwrap();
 //! let plan = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
 //! let driver = StreamDriver::spawn(catalog, &plan, Strategy::Jisc, 256).unwrap();
 //!
 //! let tx = driver.sender();
-//! tx.send(Event { stream: 0, key: 7, payload: 0 }).unwrap();
-//! tx.send(Event { stream: 1, key: 7, payload: 0 }).unwrap();
+//! let mut batch = TupleBatch::new(64);
+//! batch.push(BatchedTuple::new(StreamId(0), 7, 0));
+//! batch.push(BatchedTuple::new(StreamId(1), 7, 0));
+//! tx.send_batch(batch).unwrap();
 //! drop(tx); // close our handle; the driver drains what was sent
 //!
 //! let report = driver.shutdown().unwrap();
@@ -30,40 +36,24 @@
 pub mod chan;
 pub mod shard;
 
-pub use shard::{ShardSemantics, ShardedExecutor, ShardedReport};
+pub use shard::{Exactness, ShardSemantics, ShardedExecutor, ShardedReport};
 
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
-use jisc_common::{JiscError, Key, Metrics, Result};
+pub use jisc_common::{BatchedTuple, Event, TupleBatch};
+use jisc_common::{JiscError, Key, Metrics, Result, StreamId};
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_engine::{Catalog, PlanSpec};
 
-/// One arrival, as producers see it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Event {
-    /// Stream index (catalog order).
-    pub stream: u16,
-    /// Join-attribute value.
-    pub key: Key,
-    /// Opaque payload (row id).
-    pub payload: u64,
-}
-
-/// Control messages, delivered in stream order relative to data.
-#[derive(Debug)]
-enum Control {
-    Transition(PlanSpec),
-    Snapshot(chan::Sender<Snapshot>),
-    Stop,
-}
-
-/// What flows to the engine thread: data and control share one queue, so a
-/// control message takes effect exactly at its position in the stream.
+/// What flows to the engine thread: in-band events and driver control
+/// share one queue, so each takes effect exactly at its position in the
+/// stream.
 #[derive(Debug)]
 enum Msg {
-    Data(Event),
-    Ctrl(Control),
+    Event(Event<PlanSpec>),
+    Snapshot(chan::Sender<Snapshot>),
+    Stop,
 }
 
 /// A point-in-time view of the running engine.
@@ -84,11 +74,11 @@ pub struct Snapshot {
 /// Final report returned by [`StreamDriver::shutdown`].
 #[derive(Debug)]
 pub struct Report {
-    /// Arrivals processed.
+    /// Arrivals processed (tuples, summed over batches).
     pub events: u64,
     /// Results emitted.
     pub outputs: u64,
-    /// Transitions performed via [`StreamDriver::transition`].
+    /// Migration barriers applied.
     pub transitions: u64,
     /// Execution counters.
     pub metrics: Metrics,
@@ -103,12 +93,26 @@ pub struct EventSender {
 }
 
 impl EventSender {
-    /// Enqueue one arrival; blocks when the driver's queue is full
+    /// Enqueue one in-band event; blocks when the driver's queue is full
     /// (backpressure). Fails if the engine thread is gone.
-    pub fn send(&self, ev: Event) -> Result<()> {
+    pub fn send(&self, ev: Event<PlanSpec>) -> Result<()> {
         self.tx
-            .send(Msg::Data(ev))
+            .send(Msg::Event(ev))
             .map_err(|_| JiscError::Internal("engine thread is gone".into()))
+    }
+
+    /// Enqueue a whole data batch.
+    pub fn send_batch(&self, batch: TupleBatch) -> Result<()> {
+        self.send(Event::Batch(batch))
+    }
+
+    /// Convenience: enqueue one arrival as a batch of one.
+    pub fn send_tuple(&self, stream: u16, key: Key, payload: u64) -> Result<()> {
+        self.send(Event::Batch(TupleBatch::of_one(BatchedTuple::new(
+            StreamId(stream),
+            key,
+            payload,
+        ))))
     }
 }
 
@@ -154,13 +158,13 @@ impl StreamDriver {
         }
     }
 
-    /// Request a plan migration. The request shares the data queue, so it
-    /// lands at a well-defined arrival boundary; the engine's own
-    /// buffer-clearing phase (§4.1) keeps it correct wherever it lands in
-    /// the stream.
+    /// Request a plan migration as an in-band [`Event::MigrationBarrier`].
+    /// The barrier shares the data queue, so it lands at a well-defined
+    /// arrival boundary; the engine's own buffer-clearing phase (§4.1)
+    /// keeps it correct wherever it lands in the stream.
     pub fn transition(&self, plan: PlanSpec) -> Result<()> {
         self.tx
-            .send(Msg::Ctrl(Control::Transition(plan)))
+            .send(Msg::Event(Event::MigrationBarrier(plan)))
             .map_err(|_| JiscError::Internal("engine thread is gone".into()))
     }
 
@@ -169,7 +173,7 @@ impl StreamDriver {
     pub fn snapshot(&self) -> Result<Snapshot> {
         let (reply_tx, reply_rx) = chan::bounded(1);
         self.tx
-            .send(Msg::Ctrl(Control::Snapshot(reply_tx)))
+            .send(Msg::Snapshot(reply_tx))
             .map_err(|_| JiscError::Internal("engine thread is gone".into()))?;
         reply_rx
             .recv()
@@ -185,7 +189,7 @@ impl StreamDriver {
     /// Stop the engine after draining already-queued events and return the
     /// final report.
     pub fn shutdown(self) -> Result<Report> {
-        let _ = self.tx.send(Msg::Ctrl(Control::Stop));
+        let _ = self.tx.send(Msg::Stop);
         drop(self.tx);
         self.worker
             .join()
@@ -202,25 +206,24 @@ fn worker_loop(
     let mut transitions = 0u64;
     loop {
         match rx.recv() {
-            Ok(Msg::Data(ev)) => {
-                process(&mut engine, ev, &mut events);
+            Ok(Msg::Event(ev)) => {
+                match &ev {
+                    Event::Batch(b) => events += b.len() as u64,
+                    Event::MigrationBarrier(_) => transitions += 1,
+                    Event::Expiry(_) | Event::Flush => {}
+                }
+                engine.on_event(ev).expect("event for this query");
                 if events.is_multiple_of(1024) {
                     refresh(&mirror, &engine, events);
                 }
             }
-            Ok(Msg::Ctrl(Control::Transition(plan))) => {
-                engine
-                    .transition_to(&plan)
-                    .expect("transition request for this query");
-                transitions += 1;
-            }
-            Ok(Msg::Ctrl(Control::Snapshot(reply))) => {
+            Ok(Msg::Snapshot(reply)) => {
                 let _ = reply.send(snapshot_of(&engine, events));
             }
             // Stop drains nothing further: everything queued before it has
             // already been handled (single FIFO). A receive error means all
             // producers and the driver are gone — same thing.
-            Ok(Msg::Ctrl(Control::Stop)) | Err(_) => break,
+            Ok(Msg::Stop) | Err(_) => break,
         }
     }
     refresh(&mirror, &engine, events);
@@ -232,13 +235,6 @@ fn worker_loop(
         metrics: m,
         engine,
     }
-}
-
-fn process(engine: &mut AdaptiveEngine, ev: Event, events: &mut u64) {
-    engine
-        .push(jisc_common::StreamId(ev.stream), ev.key, ev.payload)
-        .expect("event for a known stream");
-    *events += 1;
 }
 
 fn snapshot_of(engine: &AdaptiveEngine, events: u64) -> Snapshot {
@@ -268,27 +264,28 @@ mod tests {
     }
 
     #[test]
-    fn single_producer_matches_synchronous_run() {
-        let events: Vec<Event> = (0..500)
-            .map(|i| Event {
-                stream: (i % 3) as u16,
-                key: i % 11,
-                payload: i,
-            })
-            .collect();
-        // synchronous reference
+    fn batched_producer_matches_synchronous_run() {
+        let events: Vec<(u16, Key, u64)> = (0..500).map(|i| ((i % 3) as u16, i % 11, i)).collect();
+        // synchronous per-tuple reference
         let catalog = Catalog::uniform(&["R", "S", "T"], 50).unwrap();
         let plan = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
         let mut sync = AdaptiveEngine::new(catalog, &plan, Strategy::Jisc).unwrap();
-        for e in &events {
-            sync.push(jisc_common::StreamId(e.stream), e.key, e.payload)
-                .unwrap();
+        for &(s, k, p) in &events {
+            sync.push(StreamId(s), k, p).unwrap();
         }
-        // threaded run
+        // threaded run over batches of 64
         let d = driver(&["R", "S", "T"], 50, 64);
         let tx = d.sender();
-        for e in &events {
-            tx.send(*e).unwrap();
+        let mut batch = TupleBatch::new(64);
+        for &(s, k, p) in &events {
+            batch.push(BatchedTuple::new(StreamId(s), k, p));
+            if batch.is_full() {
+                tx.send_batch(std::mem::replace(&mut batch, TupleBatch::new(64)))
+                    .unwrap();
+            }
+        }
+        if !batch.is_empty() {
+            tx.send_batch(batch).unwrap();
         }
         drop(tx);
         let report = d.shutdown().unwrap();
@@ -305,22 +302,12 @@ mod tests {
         let d = driver(&["R", "S", "T"], 100, 16);
         let tx = d.sender();
         for i in 0..200u64 {
-            tx.send(Event {
-                stream: (i % 3) as u16,
-                key: i % 7,
-                payload: 0,
-            })
-            .unwrap();
+            tx.send_tuple((i % 3) as u16, i % 7, 0).unwrap();
         }
         let new_plan = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash);
         d.transition(new_plan).unwrap();
         for i in 0..200u64 {
-            tx.send(Event {
-                stream: (i % 3) as u16,
-                key: i % 7,
-                payload: 0,
-            })
-            .unwrap();
+            tx.send_tuple((i % 3) as u16, i % 7, 0).unwrap();
         }
         drop(tx);
         let report = d.shutdown().unwrap();
@@ -334,12 +321,7 @@ mod tests {
         let d = driver(&["R", "S"], 50, 8);
         let tx = d.sender();
         for i in 0..2_000u64 {
-            tx.send(Event {
-                stream: (i % 2) as u16,
-                key: i % 5,
-                payload: 0,
-            })
-            .unwrap();
+            tx.send_tuple((i % 2) as u16, i % 5, 0).unwrap();
         }
         let snap = d.snapshot().unwrap();
         assert!(snap.events > 0);
@@ -359,12 +341,8 @@ mod tests {
             let tx = d.sender();
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
-                    tx.send(Event {
-                        stream: ((p + i) % 3) as u16,
-                        key: (p * 37 + i) % 9,
-                        payload: p * 1_000 + i,
-                    })
-                    .unwrap();
+                    tx.send_tuple(((p + i) % 3) as u16, (p * 37 + i) % 9, p * 1_000 + i)
+                        .unwrap();
                 }
             }));
         }
@@ -374,5 +352,19 @@ mod tests {
         let report = d.shutdown().unwrap();
         assert_eq!(report.events, 2_000);
         assert!(report.engine.output().is_duplicate_free());
+    }
+
+    #[test]
+    fn flush_punctuation_is_accepted_in_band() {
+        let d = driver(&["R", "S"], 50, 16);
+        let tx = d.sender();
+        for i in 0..100u64 {
+            tx.send_tuple((i % 2) as u16, i % 5, 0).unwrap();
+        }
+        tx.send(Event::Flush).unwrap();
+        drop(tx);
+        let report = d.shutdown().unwrap();
+        assert_eq!(report.events, 100);
+        assert!(report.outputs > 0);
     }
 }

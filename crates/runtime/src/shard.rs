@@ -37,22 +37,29 @@
 //!   Plans containing them fall back to a single worker (`shards() == 1`),
 //!   which is serial execution on a background thread.
 //!
-//! # Migration barrier
+//! # In-band events
 //!
+//! Shard queues carry the unified [`Event`] stream: data travels as
+//! [`Event::Batch`] (router-built [`TupleBatch`]es stamping each tuple with
+//! its global sequence number and timestamp), and
 //! [`ShardedExecutor::transition`] validates the new plan once on the
 //! router (compile, same-query and reorderability checks), then broadcasts
-//! it as an in-band command on every shard's FIFO queue. Each worker thus
-//! performs its JISC transition at exactly the same global arrival
+//! [`Event::MigrationBarrier`] on every shard's FIFO queue. Each worker
+//! thus performs its JISC transition at exactly the same global arrival
 //! boundary: after every routed event with a smaller sequence number and
 //! before every later one. Because shards are key-disjoint, the per-shard
 //! transition sequence numbers classify exactly the same tuples as fresh
 //! (§4.4) as the serial boundary would, and just-in-time completion
-//! proceeds independently per shard.
+//! proceeds independently per shard. Workers drain their queues through
+//! [`jisc_core::apply_event`] — the same event handler serial execution
+//! uses — so serial and sharded migrations share one code path.
 
 use std::thread::JoinHandle;
 
-use jisc_common::{shard_of, JiscError, Key, Metrics, Result, SeqNo, StreamId};
-use jisc_core::jisc::{incomplete_state_count, jisc_transition, JiscSemantics};
+use jisc_common::{
+    shard_of, BatchedTuple, Event, JiscError, Key, Metrics, Result, SeqNo, StreamId, TupleBatch,
+};
+use jisc_core::jisc::{apply_event, incomplete_state_count, JiscSemantics};
 use jisc_core::migrate::{verify_reorderable, verify_same_query};
 use jisc_engine::plan::Plan;
 use jisc_engine::{Catalog, DefaultSemantics, OpKind, OutputSink, Pipeline, PlanSpec, Predicate};
@@ -72,19 +79,24 @@ pub enum ShardSemantics {
 /// Events are shipped in batches to amortize queue synchronization.
 const BATCH: usize = 64;
 
-#[derive(Debug, Clone, Copy)]
-struct ShardEvent {
-    stream: StreamId,
-    key: Key,
-    payload: u64,
-    ts: u64,
-    seq: SeqNo,
+/// Whether a sharded run's merged output is guaranteed lineage-equal to a
+/// serial run of the same arrival sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exactness {
+    /// One shard, or all windows are time-based: merged output is
+    /// lineage-for-lineage identical to serial execution.
+    Exact,
+    /// Count windows with `N > 1` shards: each shard applies the window to
+    /// its own partition (a per-shard quota), so eviction timing differs
+    /// from serial and the output is an approximation.
+    ApproximateCountWindows,
 }
 
-#[derive(Debug)]
-enum ShardCmd {
-    Batch(Vec<ShardEvent>),
-    Transition(PlanSpec),
+impl Exactness {
+    /// Convenience predicate: `true` iff [`Exactness::Exact`].
+    pub fn is_exact(self) -> bool {
+        matches!(self, Exactness::Exact)
+    }
 }
 
 struct ShardResult {
@@ -106,9 +118,9 @@ pub struct ShardedReport {
     pub outputs: u64,
     /// Plan transitions broadcast.
     pub transitions: u64,
-    /// True if the merged output is guaranteed lineage-equal to a serial
+    /// Whether the merged output is guaranteed lineage-equal to a serial
     /// run of the same arrival sequence.
-    pub exact: bool,
+    pub exactness: Exactness,
     /// Merged, lineage-sorted output.
     pub output: OutputSink,
     /// Summed execution counters.
@@ -137,18 +149,18 @@ pub struct ShardedReport {
 /// exec.push(StreamId(1), 7, 0).unwrap();
 /// let report = exec.finish().unwrap();
 /// assert_eq!(report.outputs, 1);
-/// assert!(report.exact);
+/// assert!(report.exactness.is_exact());
 /// ```
 #[derive(Debug)]
 pub struct ShardedExecutor {
-    txs: Vec<chan::Sender<ShardCmd>>,
+    txs: Vec<chan::Sender<Event<PlanSpec>>>,
     workers: Vec<JoinHandle<ShardResult>>,
-    batches: Vec<Vec<ShardEvent>>,
+    batches: Vec<TupleBatch>,
     catalog: Catalog,
     /// Compiled current plan, kept for router-side transition validation.
     current: Plan,
     semantics: ShardSemantics,
-    exact: bool,
+    exactness: Exactness,
     next_seq: SeqNo,
     last_ts: u64,
     events: u64,
@@ -188,15 +200,20 @@ impl ShardedExecutor {
         } else {
             1
         };
-        let exact = n == 1
+        let exactness = if n == 1
             || catalog
                 .ids()
-                .all(|s| matches!(catalog.window_spec(s), jisc_engine::WindowSpec::Time(_)));
+                .all(|s| matches!(catalog.window_spec(s), jisc_engine::WindowSpec::Time(_)))
+        {
+            Exactness::Exact
+        } else {
+            Exactness::ApproximateCountWindows
+        };
         let cap = queue_capacity.max(1);
         let mut txs = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
-            let (tx, rx) = chan::bounded::<ShardCmd>(cap);
+            let (tx, rx) = chan::bounded::<Event<PlanSpec>>(cap);
             let pipe = Pipeline::new(catalog.clone(), spec)?;
             let sem = semantics;
             let handle = std::thread::Builder::new()
@@ -209,11 +226,11 @@ impl ShardedExecutor {
         Ok(ShardedExecutor {
             txs,
             workers,
-            batches: (0..n).map(|_| Vec::with_capacity(BATCH)).collect(),
+            batches: (0..n).map(|_| TupleBatch::new(BATCH)).collect(),
             catalog,
             current,
             semantics,
-            exact,
+            exactness,
             next_seq: 0,
             last_ts: 0,
             events: 0,
@@ -227,12 +244,15 @@ impl ShardedExecutor {
         self.txs.len()
     }
 
-    /// True if the merged output is guaranteed lineage-equal to a serial
-    /// run: one shard, or all windows are time-based. With count windows
-    /// and `N > 1`, each shard applies the window to its own partition (a
-    /// per-shard quota), so eviction timing differs from serial.
+    /// Whether the merged output is guaranteed lineage-equal to a serial
+    /// run; see [`Exactness`].
+    pub fn exactness(&self) -> Exactness {
+        self.exactness
+    }
+
+    /// Convenience for `self.exactness().is_exact()`.
     pub fn is_exact(&self) -> bool {
-        self.exact
+        self.exactness.is_exact()
     }
 
     /// Arrivals routed so far.
@@ -268,14 +288,14 @@ impl ShardedExecutor {
         let s = shard_of(key, self.txs.len());
         self.events += 1;
         self.shard_events[s] += 1;
-        self.batches[s].push(ShardEvent {
+        self.batches[s].push(BatchedTuple {
             stream,
             key,
             payload,
-            ts,
-            seq,
+            ts: Some(ts),
+            seq: Some(seq),
         });
-        if self.batches[s].len() >= BATCH {
+        if self.batches[s].is_full() {
             self.flush(s)?;
         }
         Ok(())
@@ -300,7 +320,7 @@ impl ShardedExecutor {
         }
         self.flush_all()?;
         for tx in &self.txs {
-            tx.send(ShardCmd::Transition(spec.clone()))
+            tx.send(Event::MigrationBarrier(spec.clone()))
                 .map_err(|_| JiscError::Internal("shard thread is gone".into()))?;
         }
         self.current = new_plan;
@@ -311,6 +331,12 @@ impl ShardedExecutor {
     /// Drain all shards and merge their results.
     pub fn finish(mut self) -> Result<ShardedReport> {
         self.flush_all()?;
+        // Final punctuation: drain any residual operator queues before the
+        // workers snapshot their results.
+        for tx in &self.txs {
+            tx.send(Event::Flush)
+                .map_err(|_| JiscError::Internal("shard thread is gone".into()))?;
+        }
         drop(std::mem::take(&mut self.txs)); // closes every queue
         let mut results = Vec::with_capacity(self.workers.len());
         for w in std::mem::take(&mut self.workers) {
@@ -336,7 +362,7 @@ impl ShardedExecutor {
             shard_events: self.shard_events.clone(),
             outputs: output.count() as u64,
             transitions: self.transitions,
-            exact: self.exact,
+            exactness: self.exactness,
             output,
             metrics,
             incomplete_states: incomplete,
@@ -347,9 +373,9 @@ impl ShardedExecutor {
         if self.batches[s].is_empty() {
             return Ok(());
         }
-        let batch = std::mem::replace(&mut self.batches[s], Vec::with_capacity(BATCH));
+        let batch = std::mem::replace(&mut self.batches[s], TupleBatch::new(BATCH));
         self.txs[s]
-            .send(ShardCmd::Batch(batch))
+            .send(Event::Batch(batch))
             .map_err(|_| JiscError::Internal("shard thread is gone".into()))
     }
 
@@ -374,38 +400,24 @@ impl Drop for ShardedExecutor {
 fn worker_loop(
     mut pipe: Pipeline,
     semantics: ShardSemantics,
-    rx: chan::Receiver<ShardCmd>,
+    rx: chan::Receiver<Event<PlanSpec>>,
 ) -> ShardResult {
     let mut default_sem = DefaultSemantics;
     let mut jisc_sem = JiscSemantics::default();
     let mut events = 0u64;
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            ShardCmd::Batch(batch) => {
-                for ev in batch {
-                    // Rewind to the routed global sequence number so stored
-                    // tuples carry serial identities.
-                    pipe.set_next_seq(ev.seq);
-                    let r = match semantics {
-                        ShardSemantics::Default => pipe.push_at_with(
-                            &mut default_sem,
-                            ev.stream,
-                            ev.key,
-                            ev.payload,
-                            ev.ts,
-                        ),
-                        ShardSemantics::Jisc => {
-                            pipe.push_at_with(&mut jisc_sem, ev.stream, ev.key, ev.payload, ev.ts)
-                        }
-                    };
-                    r.expect("router validates streams and timestamps");
-                    events += 1;
-                }
-            }
-            ShardCmd::Transition(spec) => {
-                jisc_transition(&mut pipe, &spec).expect("router validates transition requests");
-            }
+    while let Ok(ev) = rx.recv() {
+        if let Event::Batch(b) = &ev {
+            events += b.len() as u64;
         }
+        // Routed tuples carry their global sequence numbers and timestamps,
+        // so the batched ingest rewinds each shard pipeline to serial tuple
+        // identities; barriers and punctuation use the same `apply_event`
+        // handler that serial execution uses.
+        let r = match semantics {
+            ShardSemantics::Default => apply_event(&mut pipe, &mut default_sem, ev),
+            ShardSemantics::Jisc => apply_event(&mut pipe, &mut jisc_sem, ev),
+        };
+        r.expect("router validates streams, timestamps, and transitions");
     }
     let incomplete_states = incomplete_state_count(&pipe);
     ShardResult {
@@ -419,6 +431,7 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jisc_core::jisc::jisc_transition;
     use jisc_engine::{JoinStyle, StreamDef};
 
     fn timed_catalog(streams: &[&str], ticks: u64) -> Catalog {
@@ -461,7 +474,7 @@ mod tests {
             )
             .unwrap();
             assert_eq!(exec.shards(), n);
-            assert!(exec.is_exact());
+            assert_eq!(exec.exactness(), Exactness::Exact);
             for &(s, k, p) in &events {
                 exec.push(StreamId(s), k, p).unwrap();
             }
@@ -563,10 +576,12 @@ mod tests {
         let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
         let exec = ShardedExecutor::spawn(catalog, &spec, ShardSemantics::Jisc, 4, 32).unwrap();
         assert_eq!(exec.shards(), 4);
-        assert!(
-            !exec.is_exact(),
+        assert_eq!(
+            exec.exactness(),
+            Exactness::ApproximateCountWindows,
             "per-shard count-window quotas are approximate"
         );
+        assert!(!exec.is_exact());
     }
 
     #[test]
