@@ -8,6 +8,7 @@ pub mod latency;
 pub mod migration;
 pub mod normal_op;
 pub mod overlap;
+pub mod recovery_exp;
 pub mod setdiff_exp;
 pub mod stairs_exp;
 pub mod throughput;

@@ -34,6 +34,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "setdiff",
     "ablation",
     "throughput",
+    "recovery",
 ];
 
 /// Run one experiment by id (returns one or more tables).
@@ -53,6 +54,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "overlap" => vec![overlap::overlap(scale)],
         "setdiff" => vec![setdiff_exp::setdiff(scale)],
         "throughput" => vec![throughput::throughput(scale)],
+        "recovery" => vec![recovery_exp::recovery(scale)],
         "ablation" => vec![
             ablation::ablation_selectivity(scale),
             ablation::ablation_completion(scale),

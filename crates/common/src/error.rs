@@ -23,6 +23,28 @@ pub enum JiscError {
     InvalidConfig(String),
     /// Internal invariant violation; indicates a bug, never expected input.
     Internal(String),
+    /// A worker/engine thread died of a panic; carries the shard index and
+    /// the stringified panic payload.
+    WorkerPanic {
+        /// Index of the shard (0 for the single-threaded driver).
+        shard: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A bounded queue was full and the overload policy refused to block.
+    QueueFull(String),
+    /// A bounded send did not complete within its timeout (backpressure
+    /// persisted for the whole window).
+    SendTimeout {
+        /// The timeout that elapsed, in milliseconds.
+        millis: u64,
+    },
+    /// A shutdown join did not complete within its timeout; the worker
+    /// thread may still be running (leaked).
+    ShutdownTimeout {
+        /// The timeout that elapsed, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl fmt::Display for JiscError {
@@ -33,6 +55,19 @@ impl fmt::Display for JiscError {
             JiscError::UnknownStream(m) => write!(f, "unknown stream: {m}"),
             JiscError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             JiscError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+            JiscError::WorkerPanic { shard, payload } => {
+                write!(f, "worker for shard {shard} panicked: {payload}")
+            }
+            JiscError::QueueFull(m) => write!(f, "queue full: {m}"),
+            JiscError::SendTimeout { millis } => {
+                write!(f, "send timed out after {millis} ms (queue full)")
+            }
+            JiscError::ShutdownTimeout { millis } => {
+                write!(
+                    f,
+                    "shutdown timed out after {millis} ms (worker still running)"
+                )
+            }
         }
     }
 }
@@ -49,6 +84,27 @@ mod tests {
         assert_eq!(e.to_string(), "invalid plan: need two streams");
         let e = JiscError::Internal("oops".into());
         assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn structured_fault_errors_display_context() {
+        let e = JiscError::WorkerPanic {
+            shard: 3,
+            payload: "index out of bounds".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker for shard 3 panicked: index out of bounds"
+        );
+        assert!(JiscError::SendTimeout { millis: 250 }
+            .to_string()
+            .contains("250 ms"));
+        assert!(JiscError::ShutdownTimeout { millis: 1000 }
+            .to_string()
+            .contains("still running"));
+        assert!(JiscError::QueueFull("shard 1".into())
+            .to_string()
+            .contains("shard 1"));
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Structured worker-fault reports.
+//!
+//! When a supervised worker thread dies — a panic caught at the event-loop
+//! boundary, or an engine error the router cannot repair — it reports a
+//! [`WorkerFault`] over the control channel instead of dying silently. The
+//! supervisor uses the record to drive recovery (restore the shard from its
+//! last checkpoint, replay the suffix) and surfaces it in the final report
+//! so operators can see exactly what failed and where in the stream.
+
+use std::fmt;
+
+/// One worker failure, as reported to the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Which shard's worker failed (0 for the single-threaded driver).
+    pub shard: usize,
+    /// Stringified panic payload (or engine error message).
+    pub payload: String,
+    /// Data-plane events (batches/punctuation) the worker had fully
+    /// processed before the failing one.
+    pub last_seq: u64,
+    /// Tuples processed by the failed incarnation since it (re)started.
+    pub tuples: u64,
+}
+
+impl fmt::Display for WorkerFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} faulted after event {} ({} tuples this incarnation): {}",
+            self.shard, self.last_seq, self.tuples, self.payload
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_shard_and_position() {
+        let w = WorkerFault {
+            shard: 2,
+            payload: "boom".into(),
+            last_seq: 41,
+            tuples: 7,
+        };
+        let s = w.to_string();
+        assert!(s.contains("shard 2"));
+        assert!(s.contains("event 41"));
+        assert!(s.contains("boom"));
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod hash;
 pub mod lineage;
 pub mod metrics;
@@ -23,6 +24,7 @@ pub mod tuple;
 
 pub use error::{JiscError, Result};
 pub use event::{BatchedTuple, Event, TupleBatch};
+pub use fault::WorkerFault;
 pub use hash::{shard_of, FxHashMap, FxHashSet, FxHasher};
 pub use lineage::Lineage;
 pub use metrics::Metrics;

@@ -1,12 +1,13 @@
 //! The public facade: one engine, pluggable migration strategy.
 
 use jisc_common::{Event, Key, Metrics, Result, StreamId, TupleBatch};
-use jisc_engine::{Catalog, OutputSink, PlanSpec};
+use jisc_engine::{BaseStateSnapshot, Catalog, OutputSink, PlanSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::jisc::JiscExec;
 use crate::moving_state::MovingStateExec;
 use crate::parallel_track::ParallelTrackExec;
+use crate::recovery::{restore_pipeline, RecoveryMode};
 
 /// Which plan-migration strategy drives transitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -186,6 +187,70 @@ impl AdaptiveEngine {
         match &self.inner {
             Inner::Pt(e) => Some(e),
             _ => None,
+        }
+    }
+
+    // ----- crash recovery -----
+
+    /// Capture a lightweight base-state checkpoint: window rings, freshness
+    /// maps, and clocks — no derived operator states (see
+    /// [`BaseStateSnapshot`]). Returns `None` when the engine cannot be
+    /// snapshotted right now: mid-event, an aggregate plan, or a Parallel
+    /// Track migration still running retiring plans.
+    pub fn base_snapshot(&self) -> Option<BaseStateSnapshot> {
+        match &self.inner {
+            Inner::Jisc(e) => e.pipeline().snapshot_base_state(),
+            Inner::Ms(e) => e.pipeline().snapshot_base_state(),
+            Inner::Pt(e) => e.sole_pipeline().and_then(|p| p.snapshot_base_state()),
+        }
+    }
+
+    /// Rebuild an engine after a crash. `spec` must be the plan that was
+    /// active when `snap` was taken. With `Some(snap)` the base state is
+    /// restored and the derived states are brought back per strategy —
+    /// just-in-time completion for [`Strategy::Jisc`] (the recovery *is* a
+    /// state completion), eager Moving State rebuild otherwise. With `None`
+    /// (no checkpoint yet) this is simply a fresh engine; the caller's
+    /// replay reconstructs everything. Restoring emits no output.
+    pub fn restore(
+        catalog: Catalog,
+        spec: &PlanSpec,
+        strategy: Strategy,
+        snap: Option<&BaseStateSnapshot>,
+    ) -> Result<Self> {
+        let mut engine = AdaptiveEngine::new(catalog, spec, strategy)?;
+        let Some(snap) = snap else {
+            return Ok(engine);
+        };
+        match &mut engine.inner {
+            Inner::Jisc(e) => restore_pipeline(e.pipeline_mut(), snap, RecoveryMode::JustInTime)?,
+            Inner::Ms(e) => restore_pipeline(e.pipeline_mut(), snap, RecoveryMode::Eager)?,
+            Inner::Pt(e) => restore_pipeline(
+                e.sole_pipeline_mut().expect("fresh engine runs one track"),
+                snap,
+                RecoveryMode::Eager,
+            )?,
+        }
+        Ok(engine)
+    }
+
+    /// Move the accumulated output out of the engine, leaving it empty —
+    /// used by checkpointing to drain results that are now durable.
+    pub fn take_output(&mut self) -> OutputSink {
+        match &mut self.inner {
+            Inner::Jisc(e) => std::mem::take(&mut e.pipeline_mut().output),
+            Inner::Ms(e) => std::mem::take(&mut e.pipeline_mut().output),
+            Inner::Pt(e) => std::mem::take(&mut e.output),
+        }
+    }
+
+    /// Replace the engine's output sink — used after [`Self::restore`] to
+    /// reinstate output saved alongside the checkpoint.
+    pub fn set_output(&mut self, sink: OutputSink) {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.pipeline_mut().output = sink,
+            Inner::Ms(e) => e.pipeline_mut().output = sink,
+            Inner::Pt(e) => e.output = sink,
         }
     }
 }

@@ -479,7 +479,9 @@ pub fn jisc_transition(p: &mut Pipeline, new_spec: &PlanSpec) -> Result<()> {
 }
 
 /// Mark non-adopted binary states incomplete and seed their §4.3 counters.
-fn init_incomplete_states(p: &mut Pipeline, adopted: &FxHashSet<Signature>) {
+/// Also the crash-recovery entry point (`crate::recovery`): a restarted
+/// pipeline is a transition that adopted nothing.
+pub(crate) fn init_incomplete_states(p: &mut Pipeline, adopted: &FxHashSet<Signature>) {
     use jisc_engine::PendingKeys;
     let order: Vec<NodeId> = p.plan().topo().to_vec();
     for id in order {

@@ -24,6 +24,7 @@ pub mod jisc;
 pub mod migrate;
 pub mod moving_state;
 pub mod parallel_track;
+pub mod recovery;
 
 pub use adaptive::{AdaptiveEngine, Strategy};
 pub use jisc::{
@@ -31,6 +32,7 @@ pub use jisc::{
 };
 pub use moving_state::MovingStateExec;
 pub use parallel_track::ParallelTrackExec;
+pub use recovery::{restore_pipeline, RecoveryMode};
 
 #[cfg(test)]
 mod tests {

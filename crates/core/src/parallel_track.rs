@@ -243,6 +243,23 @@ impl ParallelTrackExec {
         &self.tracks.last().expect("at least one track").pipe
     }
 
+    /// The sole running pipeline, when no migration is in flight. `None`
+    /// while retiring plans still run — checkpoints wait for the sweep.
+    pub fn sole_pipeline(&self) -> Option<&Pipeline> {
+        match &self.tracks[..] {
+            [t] => Some(&t.pipe),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the sole running pipeline (recovery restore).
+    pub fn sole_pipeline_mut(&mut self) -> Option<&mut Pipeline> {
+        match &mut self.tracks[..] {
+            [t] => Some(&mut t.pipe),
+            _ => None,
+        }
+    }
+
     /// The stream catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

@@ -34,6 +34,7 @@ pub mod output;
 pub mod pipeline;
 pub mod plan;
 pub mod predicate;
+pub mod snapshot;
 pub mod spec;
 pub mod state;
 
@@ -43,5 +44,6 @@ pub use output::OutputSink;
 pub use pipeline::{AdoptionOutcome, Pipeline, Semantics};
 pub use plan::{Node, NodeId, OpClass, OpKind, Payload, Plan, QueueItem, Signature, StreamSet};
 pub use predicate::Predicate;
+pub use snapshot::BaseStateSnapshot;
 pub use spec::{AggKind, Catalog, JoinStyle, PlanSpec, SpecNode, StreamDef, WindowSpec};
 pub use state::{PendingKeys, State, StoreKind};

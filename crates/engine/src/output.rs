@@ -13,7 +13,7 @@ use jisc_common::{FxHashMap, Key, Lineage, Tuple};
 /// sink when a transition is triggered, and the sink records how much work
 /// (an externally supplied monotonic counter) elapsed until the next
 /// emission — the paper's "output latency" measure (§6.3).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OutputSink {
     /// Emitted result tuples, in emission order.
     pub log: Vec<Tuple>,

@@ -914,6 +914,80 @@ impl Pipeline {
         Plan::compile(&self.catalog, spec)
     }
 
+    // ----- recovery support -----
+
+    /// Capture the pipeline's base state — window rings, freshness maps,
+    /// and clocks — for a recovery checkpoint. Operator states are *not*
+    /// captured; the recovery layer rebuilds them from the restored scan
+    /// states (see [`crate::snapshot::BaseStateSnapshot`]).
+    ///
+    /// Returns `None` when the pipeline cannot be snapshotted right now:
+    /// mid-event (queued items or a deferred batch run in flight), or when
+    /// the plan contains an aggregate (aggregate accumulators are not part
+    /// of the base state, so a base snapshot could not restore them; such
+    /// plans recover by full replay instead).
+    pub fn snapshot_base_state(&self) -> Option<crate::snapshot::BaseStateSnapshot> {
+        if self.pending_items > 0 || !self.batch_run.is_empty() {
+            return None;
+        }
+        if self
+            .plan
+            .ids()
+            .any(|i| matches!(self.plan.node(i).op, OpKind::Aggregate(_)))
+        {
+            return None;
+        }
+        Some(crate::snapshot::BaseStateSnapshot {
+            rings: self
+                .rings
+                .iter()
+                .map(|r| r.iter().cloned().collect())
+                .collect(),
+            fresh: self.fresh.clone(),
+            next_seq: self.next_seq,
+            last_ts: self.last_ts,
+            last_transition_seq: self.last_transition_seq,
+        })
+    }
+
+    /// Restore a snapshot into a freshly built pipeline (same catalog, the
+    /// plan that was running when the snapshot was taken): window rings,
+    /// freshness maps, and clocks are reinstated, and each windowed tuple
+    /// is re-inserted into its stream's scan state directly — **without**
+    /// enqueuing or emitting, so restoring produces no output. Operator
+    /// states above the scans stay empty; the caller (the recovery layer)
+    /// decides whether to complete them lazily or rebuild them eagerly.
+    pub fn restore_base_state(&mut self, snap: &crate::snapshot::BaseStateSnapshot) -> Result<()> {
+        if self.next_seq != 0 || self.pending_items > 0 || self.rings.iter().any(|r| !r.is_empty())
+        {
+            return Err(JiscError::InvalidConfig(
+                "snapshots restore only into a freshly built pipeline".into(),
+            ));
+        }
+        if snap.rings.len() != self.rings.len() || snap.fresh.len() != self.fresh.len() {
+            return Err(JiscError::InvalidConfig(format!(
+                "snapshot has {} streams, catalog has {}",
+                snap.rings.len(),
+                self.rings.len()
+            )));
+        }
+        for (i, ring) in snap.rings.iter().enumerate() {
+            let scan = self
+                .plan
+                .scan_of(StreamId(i as u16))
+                .ok_or_else(|| JiscError::UnknownStream(format!("stream index {i}")))?;
+            for (ts, base) in ring {
+                self.rings[i].push_back((*ts, Arc::clone(base)));
+                self.state_insert(scan, Tuple::Base(Arc::clone(base)));
+            }
+        }
+        self.fresh = snap.fresh.clone();
+        self.next_seq = snap.next_seq;
+        self.last_ts = snap.last_ts;
+        self.last_transition_seq = snap.last_transition_seq;
+        Ok(())
+    }
+
     /// Move states out of `donor` into the running plan wherever signatures
     /// match, calling `classify` on each adopted state (with the signature)
     /// and leaving non-matching new-plan states untouched. Returns the

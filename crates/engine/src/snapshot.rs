@@ -1,0 +1,44 @@
+//! Lightweight base-state checkpoints for crash recovery.
+//!
+//! A [`BaseStateSnapshot`] captures only the *base* state of a pipeline:
+//! the per-stream window rings, the freshness maps of §4.4, and the
+//! sequence/timestamp counters. Operator (join) states are deliberately
+//! **not** captured — they are derived data, and the whole point of the
+//! recovery path in `jisc-core` is that a restarted pipeline can treat its
+//! empty operator states as *incomplete* (Definition 1) and rebuild them
+//! from the restored scan states, either lazily with the JISC completion
+//! procedures or eagerly with the Moving State rebuild. This keeps
+//! checkpoints `O(window)` instead of `O(window^height)`.
+//!
+//! Tuples are shared via [`Arc`], so snapshotting clones ring layout and
+//! bumps refcounts rather than copying payloads.
+
+use std::sync::Arc;
+
+use jisc_common::{BaseTuple, FxHashMap, Key, SeqNo};
+
+/// A point-in-time copy of a pipeline's base state (windows, freshness,
+/// clocks). Produced by [`Pipeline::snapshot_base_state`] and consumed by
+/// the recovery layer in `jisc-core`.
+///
+/// [`Pipeline::snapshot_base_state`]: crate::Pipeline::snapshot_base_state
+#[derive(Debug, Clone)]
+pub struct BaseStateSnapshot {
+    /// Per-stream window contents, oldest first: `(arrival ts, tuple)`.
+    pub rings: Vec<Vec<(u64, Arc<BaseTuple>)>>,
+    /// Per-stream, per-key sequence number of the most recent arrival.
+    pub fresh: Vec<FxHashMap<Key, SeqNo>>,
+    /// Sequence number the next arrival would have received.
+    pub next_seq: SeqNo,
+    /// Most recent arrival timestamp.
+    pub last_ts: u64,
+    /// Sequence number recorded at the most recent plan transition.
+    pub last_transition_seq: SeqNo,
+}
+
+impl BaseStateSnapshot {
+    /// Total tuples captured across all window rings.
+    pub fn window_tuples(&self) -> usize {
+        self.rings.iter().map(Vec::len).sum()
+    }
+}

@@ -8,14 +8,43 @@
 //! senders hang up" awkward. This is the textbook Mutex + two-Condvar
 //! implementation; under the engine's one-consumer workloads the lock is
 //! effectively uncontended outside handoff points.
+//!
+//! # Poisoning
+//!
+//! Lock poisoning is deliberately ignored (`lock_queue` recovers the guard
+//! from a `PoisonError`). The queue state is a `VecDeque` plus two
+//! counters, and every critical section either completes its mutation in
+//! one statement or panics before mutating — there is no partially-updated
+//! invariant a panicking thread can leave behind. Treating poison as fatal
+//! would turn one supervised worker panic into a cascade that takes down
+//! the router and every sibling shard, defeating the supervision layer.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when the receiver is gone; carries
 /// the undeliverable value back to the caller.
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`]; carries the value back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity right now.
+    Full(T),
+    /// The receiver has been dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the value back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The queue stayed at capacity for the whole timeout.
+    Timeout(T),
+    /// The receiver has been dropped.
+    Disconnected(T),
+}
 
 /// Error returned by [`Receiver::recv`] when the queue is empty and every
 /// sender has been dropped.
@@ -27,6 +56,15 @@ pub struct RecvError;
 pub enum TryRecvError {
     /// Nothing queued right now, but senders remain.
     Empty,
+    /// Nothing queued and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout; senders remain.
+    Timeout,
     /// Nothing queued and every sender has been dropped.
     Disconnected,
 }
@@ -44,6 +82,13 @@ struct Shared<T> {
     capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Lock the queue, recovering from poison (see module docs).
+    fn lock_queue(&self) -> MutexGuard<'_, Queue<T>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Producer half; clone freely for multiple producer threads.
@@ -82,7 +127,7 @@ impl<T> Sender<T> {
     /// Block until there is room, then enqueue. Fails (returning the value)
     /// if the receiver has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut q = self.shared.queue.lock().expect("channel lock");
+        let mut q = self.shared.lock_queue();
         loop {
             if !q.receiver_alive {
                 return Err(SendError(value));
@@ -92,14 +137,63 @@ impl<T> Sender<T> {
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
-            q = self.shared.not_full.wait(q).expect("channel lock");
+            q = self
+                .shared
+                .not_full
+                .wait(q)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Enqueue without blocking; fails with [`TrySendError::Full`] when the
+    /// queue is at capacity.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.shared.lock_queue();
+        if !q.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if q.items.len() < self.shared.capacity {
+            q.items.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TrySendError::Full(value))
+        }
+    }
+
+    /// Block at most `timeout` waiting for room, then enqueue.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock_queue();
+        loop {
+            if !q.receiver_alive {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if q.items.len() < self.shared.capacity {
+                q.items.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(SendTimeoutError::Timeout(value));
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .not_full
+                .wait_timeout(q, left)
+                .unwrap_or_else(|e| e.into_inner());
+            // Loop re-checks state and deadline; spurious wakeups are fine.
+            q = guard;
         }
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.queue.lock().expect("channel lock").senders += 1;
+        self.shared.lock_queue().senders += 1;
         Sender {
             shared: Arc::clone(&self.shared),
         }
@@ -108,7 +202,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut q = self.shared.queue.lock().expect("channel lock");
+        let mut q = self.shared.lock_queue();
         q.senders -= 1;
         if q.senders == 0 {
             // Wake a receiver blocked on an empty queue so it can observe
@@ -122,7 +216,7 @@ impl<T> Receiver<T> {
     /// Block until a value arrives; fails once the queue is drained and all
     /// senders are gone.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut q = self.shared.queue.lock().expect("channel lock");
+        let mut q = self.shared.lock_queue();
         loop {
             if let Some(v) = q.items.pop_front() {
                 self.shared.not_full.notify_one();
@@ -131,13 +225,17 @@ impl<T> Receiver<T> {
             if q.senders == 0 {
                 return Err(RecvError);
             }
-            q = self.shared.not_empty.wait(q).expect("channel lock");
+            q = self
+                .shared
+                .not_empty
+                .wait(q)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut q = self.shared.queue.lock().expect("channel lock");
+        let mut q = self.shared.lock_queue();
         match q.items.pop_front() {
             Some(v) => {
                 self.shared.not_full.notify_one();
@@ -147,11 +245,38 @@ impl<T> Receiver<T> {
             None => Err(TryRecvError::Empty),
         }
     }
+
+    /// Block at most `timeout` for a value.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock_queue();
+        loop {
+            if let Some(v) = q.items.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(left) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(q, left)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut q = self.shared.queue.lock().expect("channel lock");
+        let mut q = self.shared.lock_queue();
         q.receiver_alive = false;
         // Wake senders blocked on a full queue so they can fail fast.
         self.shared.not_full.notify_all();
@@ -233,5 +358,83 @@ mod tests {
         got.sort_unstable();
         got.dedup();
         assert_eq!(got.len(), 400, "no value lost or duplicated");
+    }
+
+    #[test]
+    fn try_send_reports_full_then_succeeds_after_drain() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(2).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn send_timeout_expires_on_full_queue_and_delivers_when_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let short = Duration::from_millis(20);
+        assert_eq!(tx.send_timeout(2, short), Err(SendTimeoutError::Timeout(2)));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap(); // keeps rx alive until the timed send lands
+            (a, b)
+        });
+        // Long enough for the receiver thread to make room.
+        tx.send_timeout(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(t.join().unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_delivers() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn dropping_last_sender_wakes_blocked_recv() {
+        let (tx, rx) = bounded::<u8>(2);
+        let t = std::thread::spawn(move || rx.recv());
+        // Give the receiver time to block on the empty queue, then hang up.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropping_receiver_wakes_blocked_send() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap(); // fill the queue
+        let t = std::thread::spawn(move || tx.send(2));
+        // Give the sender time to block on the full queue, then hang up.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn try_recv_after_disconnect_drains_then_reports() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 }

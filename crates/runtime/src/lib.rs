@@ -34,17 +34,28 @@
 //! ```
 
 pub mod chan;
+pub mod fault;
 pub mod shard;
+pub(crate) mod supervisor;
 
-pub use shard::{Exactness, ShardSemantics, ShardedExecutor, ShardedReport};
+pub use fault::{FaultAction, FaultPlan};
+pub use shard::{
+    Exactness, OverloadPolicy, ShardSemantics, ShardStrategy, ShardedConfig, ShardedExecutor,
+    ShardedReport,
+};
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-pub use jisc_common::{BatchedTuple, Event, TupleBatch};
+pub use jisc_common::{BatchedTuple, Event, TupleBatch, WorkerFault};
 use jisc_common::{JiscError, Key, Metrics, Result, StreamId};
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_engine::{Catalog, PlanSpec};
+
+/// Default bound on [`StreamDriver::shutdown`]'s join.
+const DEFAULT_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// What flows to the engine thread: in-band events and driver control
 /// share one queue, so each takes effect exactly at its position in the
@@ -101,6 +112,32 @@ impl EventSender {
             .map_err(|_| JiscError::Internal("engine thread is gone".into()))
     }
 
+    /// Non-blocking enqueue: [`JiscError::QueueFull`] when the driver is
+    /// backed up, instead of blocking the producer.
+    pub fn try_send(&self, ev: Event<PlanSpec>) -> Result<()> {
+        self.tx.try_send(Msg::Event(ev)).map_err(|e| match e {
+            chan::TrySendError::Full(_) => JiscError::QueueFull("driver event queue".into()),
+            chan::TrySendError::Disconnected(_) => {
+                JiscError::Internal("engine thread is gone".into())
+            }
+        })
+    }
+
+    /// Enqueue with bounded blocking: [`JiscError::SendTimeout`] if the
+    /// driver does not drain within `timeout`.
+    pub fn send_timeout(&self, ev: Event<PlanSpec>, timeout: Duration) -> Result<()> {
+        self.tx
+            .send_timeout(Msg::Event(ev), timeout)
+            .map_err(|e| match e {
+                chan::SendTimeoutError::Timeout(_) => JiscError::SendTimeout {
+                    millis: timeout.as_millis() as u64,
+                },
+                chan::SendTimeoutError::Disconnected(_) => {
+                    JiscError::Internal("engine thread is gone".into())
+                }
+            })
+    }
+
     /// Enqueue a whole data batch.
     pub fn send_batch(&self, batch: TupleBatch) -> Result<()> {
         self.send(Event::Batch(batch))
@@ -116,11 +153,20 @@ impl EventSender {
     }
 }
 
+/// What the engine thread hands back: a clean report, or a structured
+/// fault if an event panicked or errored (the loop runs under
+/// `catch_unwind`, so the unwind never crosses into the runtime).
+#[derive(Debug)]
+enum DriverOutcome {
+    Clean(Box<Report>),
+    Faulted(WorkerFault),
+}
+
 /// Handle to an engine running on its own thread.
 #[derive(Debug)]
 pub struct StreamDriver {
     tx: chan::Sender<Msg>,
-    worker: JoinHandle<Report>,
+    worker: JoinHandle<DriverOutcome>,
     mirror: Arc<RwLock<Snapshot>>,
 }
 
@@ -181,19 +227,55 @@ impl StreamDriver {
     }
 
     /// Cheap, possibly slightly stale view (no thread round-trip): the
-    /// worker refreshes this mirror periodically.
+    /// worker refreshes this mirror periodically. A poisoned mirror (a
+    /// reader or writer panicked mid-clone) is recovered, not propagated —
+    /// the snapshot is plain data, valid whether or not the poisoner
+    /// finished.
     pub fn peek(&self) -> Snapshot {
-        self.mirror.read().expect("mirror lock").clone()
+        self.mirror
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Stop the engine after draining already-queued events and return the
-    /// final report.
+    /// final report. Bounded: equivalent to [`StreamDriver::shutdown_timeout`]
+    /// with a 30-second cap.
     pub fn shutdown(self) -> Result<Report> {
+        self.shutdown_timeout(DEFAULT_SHUTDOWN_TIMEOUT)
+    }
+
+    /// Stop the engine, waiting at most `timeout` for it to drain.
+    ///
+    /// Distinguishes the failure modes the old unbounded join conflated:
+    /// [`JiscError::WorkerPanic`] carries the panic payload (or engine
+    /// error) of a dead engine thread, while [`JiscError::ShutdownTimeout`]
+    /// means the thread is still live but wedged — in that case it is
+    /// leaked (detached), never blocked on forever.
+    pub fn shutdown_timeout(self, timeout: Duration) -> Result<Report> {
         let _ = self.tx.send(Msg::Stop);
         drop(self.tx);
-        self.worker
-            .join()
-            .map_err(|_| JiscError::Internal("engine thread panicked".into()))
+        let deadline = Instant::now() + timeout;
+        while !self.worker.is_finished() {
+            if Instant::now() >= deadline {
+                return Err(JiscError::ShutdownTimeout {
+                    millis: timeout.as_millis() as u64,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        match self.worker.join() {
+            Ok(DriverOutcome::Clean(report)) => Ok(*report),
+            Ok(DriverOutcome::Faulted(f)) => Err(JiscError::WorkerPanic {
+                shard: f.shard,
+                payload: f.payload,
+            }),
+            // The unwind escaped the supervised loop (should not happen).
+            Err(payload) => Err(JiscError::WorkerPanic {
+                shard: 0,
+                payload: fault::payload_string(payload.as_ref()),
+            }),
+        }
     }
 }
 
@@ -201,18 +283,35 @@ fn worker_loop(
     mut engine: AdaptiveEngine,
     rx: chan::Receiver<Msg>,
     mirror: Arc<RwLock<Snapshot>>,
-) -> Report {
+) -> DriverOutcome {
     let mut events = 0u64;
     let mut transitions = 0u64;
     loop {
         match rx.recv() {
             Ok(Msg::Event(ev)) => {
-                match &ev {
-                    Event::Batch(b) => events += b.len() as u64,
-                    Event::MigrationBarrier(_) => transitions += 1,
-                    Event::Expiry(_) | Event::Flush => {}
+                let (batch_len, is_barrier) = match &ev {
+                    Event::Batch(b) => (b.len() as u64, false),
+                    Event::MigrationBarrier(_) => (0, true),
+                    Event::Expiry(_) | Event::Flush => (0, false),
+                };
+                // Supervised application: a panic (or engine error) becomes
+                // a structured fault instead of unwinding into the runtime
+                // and poisoning the stats mirror.
+                let failure = match catch_unwind(AssertUnwindSafe(|| engine.on_event(ev))) {
+                    Ok(Ok(())) => None,
+                    Ok(Err(e)) => Some(e.to_string()),
+                    Err(payload) => Some(fault::payload_string(payload.as_ref())),
+                };
+                if let Some(payload) = failure {
+                    return DriverOutcome::Faulted(WorkerFault {
+                        shard: 0,
+                        payload,
+                        last_seq: events,
+                        tuples: events,
+                    });
                 }
-                engine.on_event(ev).expect("event for this query");
+                events += batch_len;
+                transitions += u64::from(is_barrier);
                 if events.is_multiple_of(1024) {
                     refresh(&mirror, &engine, events);
                 }
@@ -228,13 +327,13 @@ fn worker_loop(
     }
     refresh(&mirror, &engine, events);
     let m = engine.metrics();
-    Report {
+    DriverOutcome::Clean(Box::new(Report {
         events,
         outputs: m.tuples_out,
         transitions,
         metrics: m,
         engine,
-    }
+    }))
 }
 
 fn snapshot_of(engine: &AdaptiveEngine, events: u64) -> Snapshot {
@@ -249,7 +348,9 @@ fn snapshot_of(engine: &AdaptiveEngine, events: u64) -> Snapshot {
 }
 
 fn refresh(mirror: &Arc<RwLock<Snapshot>>, engine: &AdaptiveEngine, events: u64) {
-    *mirror.write().expect("mirror lock") = snapshot_of(engine, events);
+    // Recover a poisoned mirror: the replacement value is built fresh, so
+    // whatever half-state the poisoner left is overwritten wholesale.
+    *mirror.write().unwrap_or_else(|e| e.into_inner()) = snapshot_of(engine, events);
 }
 
 #[cfg(test)]
@@ -352,6 +453,78 @@ mod tests {
         let report = d.shutdown().unwrap();
         assert_eq!(report.events, 2_000);
         assert!(report.engine.output().is_duplicate_free());
+    }
+
+    #[test]
+    fn engine_fault_surfaces_as_worker_panic_from_shutdown() {
+        let d = driver(&["R", "S"], 50, 16);
+        let tx = d.sender();
+        tx.send_tuple(0, 1, 0).unwrap();
+        // Unknown stream: the engine rejects the event, which the
+        // supervised loop reports as a structured fault.
+        tx.send_tuple(99, 1, 0).unwrap();
+        drop(tx);
+        let err = d.shutdown().unwrap_err();
+        match err {
+            JiscError::WorkerPanic { shard, payload } => {
+                assert_eq!(shard, 0);
+                assert!(payload.contains("stream"), "payload: {payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sends_after_engine_death_fail_instead_of_hanging() {
+        let d = driver(&["R", "S"], 50, 4);
+        let tx = d.sender();
+        tx.send_tuple(99, 1, 0).unwrap(); // kills the engine thread
+        let mut dead = false;
+        for i in 0..10_000u64 {
+            if tx.send_tuple((i % 2) as u16, i % 5, 0).is_err() {
+                dead = true;
+                break;
+            }
+        }
+        assert!(dead, "sends to a dead engine must error, not hang");
+        assert!(d.shutdown().is_err());
+    }
+
+    #[test]
+    fn try_send_and_send_timeout_bound_backpressure() {
+        let d = driver(&["R", "S", "T"], 50, 1);
+        let tx = d.sender();
+        // A capacity-1 queue against real join work per tuple backs up
+        // almost immediately; loop until the bounded sends observe it.
+        let mut saw_full = false;
+        let mut saw_timeout = false;
+        for i in 0..200_000u64 {
+            let mk = || {
+                Event::Batch(TupleBatch::of_one(BatchedTuple::new(
+                    StreamId((i % 3) as u16),
+                    i % 7,
+                    0,
+                )))
+            };
+            if !saw_full {
+                match tx.try_send(mk()) {
+                    Err(JiscError::QueueFull(_)) => saw_full = true,
+                    other => other.unwrap(),
+                }
+            } else {
+                match tx.send_timeout(mk(), Duration::ZERO) {
+                    Err(JiscError::SendTimeout { millis: 0 }) => {
+                        saw_timeout = true;
+                        break;
+                    }
+                    other => other.unwrap(),
+                }
+            }
+        }
+        assert!(saw_full, "try_send never observed a full queue");
+        assert!(saw_timeout, "send_timeout never expired");
+        drop(tx);
+        d.shutdown().unwrap();
     }
 
     #[test]

@@ -1,19 +1,20 @@
-//! Key-partitioned parallel execution.
+//! Key-partitioned parallel execution with supervised, recoverable workers.
 //!
 //! The paper's queries join all streams on one shared attribute (§2.1), so
 //! an equi-join plan is embarrassingly parallel over that attribute: tuples
 //! with different keys never contribute to the same output, and every
 //! operator state is a disjoint union of per-key slices. [`ShardedExecutor`]
 //! exploits this by hashing each arrival's key onto one of `N` worker
-//! threads, each running an independent clone of the pipeline over its
-//! partition of the input.
+//! threads, each running an independent engine over its partition of the
+//! input.
 //!
 //! # Correctness
 //!
 //! The router assigns every arrival the *global* sequence number and
-//! timestamp a serial [`Pipeline`] would have used, and each worker rewinds
-//! its pipeline's sequence counter to the routed value before ingesting
-//! ([`Pipeline::set_next_seq`]). Stored tuples therefore carry identical
+//! timestamp a serial [`Pipeline`](jisc_engine::Pipeline) would have used,
+//! and each worker rewinds its pipeline's sequence counter to the routed
+//! value before ingesting (`Pipeline::set_next_seq`). Stored tuples
+//! therefore carry identical
 //! identities to a serial run, and the merged output log is
 //! lineage-for-lineage equal to serial execution whenever the partitioning
 //! is lossless:
@@ -45,28 +46,55 @@
 //! [`ShardedExecutor::transition`] validates the new plan once on the
 //! router (compile, same-query and reorderability checks), then broadcasts
 //! [`Event::MigrationBarrier`] on every shard's FIFO queue. Each worker
-//! thus performs its JISC transition at exactly the same global arrival
+//! thus performs its transition at exactly the same global arrival
 //! boundary: after every routed event with a smaller sequence number and
 //! before every later one. Because shards are key-disjoint, the per-shard
 //! transition sequence numbers classify exactly the same tuples as fresh
 //! (§4.4) as the serial boundary would, and just-in-time completion
-//! proceeds independently per shard. Workers drain their queues through
-//! [`jisc_core::apply_event`] — the same event handler serial execution
-//! uses — so serial and sharded migrations share one code path.
+//! proceeds independently per shard.
+//!
+//! # Supervision and recovery
+//!
+//! Workers run under `catch_unwind` (see the `supervisor` module). When one
+//! faults, the router: quiesces the survivors with in-band [`Event::Flush`]
+//! punctuation, reaps the dead thread and collects its structured
+//! [`WorkerFault`], rebuilds the shard's engine from its last lightweight
+//! checkpoint (base state only — derived join states come back via the
+//! JISC completion procedures, `jisc_core::recovery`), and replays the
+//! post-checkpoint suffix of events from a router-side replay buffer. The
+//! failed incarnation's un-checkpointed output was discarded with it, so
+//! replay regenerates those results exactly once — the recovered run's
+//! merged output is the same lineage multiset a fault-free run produces.
+//!
+//! Checkpoints ride the shard queues as in-band marks every
+//! [`ShardedConfig::checkpoint_every`] routed tuples; the replay buffer is
+//! pruned as checkpoints complete, bounding both recovery time and router
+//! memory. With checkpointing disabled the replay buffer holds the whole
+//! history and recovery degenerates to full re-execution.
 
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use jisc_common::{
     shard_of, BatchedTuple, Event, JiscError, Key, Metrics, Result, SeqNo, StreamId, TupleBatch,
+    WorkerFault,
 };
-use jisc_core::jisc::{apply_event, incomplete_state_count, JiscSemantics};
 use jisc_core::migrate::{verify_reorderable, verify_same_query};
 use jisc_engine::plan::Plan;
-use jisc_engine::{Catalog, DefaultSemantics, OpKind, OutputSink, Pipeline, PlanSpec, Predicate};
+use jisc_engine::{Catalog, OpKind, OutputSink, PlanSpec, Predicate};
 
 use crate::chan;
+use crate::fault::{payload_string, FaultInjector, FaultPlan};
+use crate::supervisor::{
+    worker_loop, CheckpointData, ShardEngine, ShardMsg, ShardResult, ToRouter, WorkerCtx,
+};
 
-/// Which operator semantics each shard drains its pipeline with.
+pub use crate::supervisor::ShardStrategy;
+
+/// Which operator semantics each shard drains its pipeline with (legacy
+/// two-state surface; [`ShardStrategy`] is the full version).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ShardSemantics {
     /// Plain pipelined execution; plan transitions are rejected.
@@ -76,8 +104,68 @@ pub enum ShardSemantics {
     Jisc,
 }
 
+impl From<ShardSemantics> for ShardStrategy {
+    fn from(s: ShardSemantics) -> ShardStrategy {
+        match s {
+            ShardSemantics::Default => ShardStrategy::Pipelined,
+            ShardSemantics::Jisc => ShardStrategy::Jisc,
+        }
+    }
+}
+
 /// Events are shipped in batches to amortize queue synchronization.
 const BATCH: usize = 64;
+
+/// What the router does when a shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block until the worker drains (backpressure; the default).
+    #[default]
+    Block,
+    /// Block at most this long, then fail the send with
+    /// [`JiscError::SendTimeout`].
+    Timeout(Duration),
+    /// Drop the data batch (counted in `shed_tuples`). Control events
+    /// (barriers, flushes) are never shed — they block instead.
+    Shed,
+}
+
+/// Configuration for a supervised sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Migration strategy every shard engine runs.
+    pub strategy: ShardStrategy,
+    /// Requested worker count (min 1; non-partitionable plans force 1).
+    pub shards: usize,
+    /// Per-shard queue capacity (events).
+    pub queue_capacity: usize,
+    /// Routed tuples per shard between checkpoint marks; `0` disables
+    /// checkpointing (recovery then replays the full history).
+    pub checkpoint_every: u64,
+    /// Recoveries tolerated per shard before the run fails with
+    /// [`JiscError::WorkerPanic`]. Injected faults disarm after firing, so
+    /// replay succeeds; a *deterministic* genuine bug exhausts this cap
+    /// instead of respawning forever.
+    pub max_recoveries: u32,
+    /// Queue-full behaviour on the data plane.
+    pub overload: OverloadPolicy,
+    /// Scripted faults (tests and recovery benchmarks); empty = none.
+    pub faults: FaultPlan,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            strategy: ShardStrategy::Jisc,
+            shards: 1,
+            queue_capacity: 256,
+            checkpoint_every: 1024,
+            max_recoveries: 4,
+            overload: OverloadPolicy::Block,
+            faults: FaultPlan::new(),
+        }
+    }
+}
 
 /// Whether a sharded run's merged output is guaranteed lineage-equal to a
 /// serial run of the same arrival sequence.
@@ -99,20 +187,13 @@ impl Exactness {
     }
 }
 
-struct ShardResult {
-    output: OutputSink,
-    metrics: Metrics,
-    events: u64,
-    incomplete_states: usize,
-}
-
 /// Final report of a sharded run; see [`OutputSink::merged`] for how the
 /// per-shard logs combine.
 #[derive(Debug)]
 pub struct ShardedReport {
     /// Total arrivals routed.
     pub events: u64,
-    /// Arrivals processed by each shard (length = effective shard count).
+    /// Arrivals routed to each shard (length = effective shard count).
     pub shard_events: Vec<u64>,
     /// Merged result count (== `output.count()`).
     pub outputs: u64,
@@ -127,11 +208,42 @@ pub struct ShardedReport {
     pub metrics: Metrics,
     /// States still incomplete across all shards (JISC only).
     pub incomplete_states: usize,
+    /// Structured faults observed (empty on a clean run).
+    pub faults: Vec<WorkerFault>,
+    /// Shard recoveries performed.
+    pub recoveries: u64,
+    /// Events re-sent from the replay buffer during recoveries.
+    pub replayed_events: u64,
+    /// Tuples re-sent from the replay buffer during recoveries.
+    pub replayed_tuples: u64,
+    /// Wall-clock time spent in recovery (reap + restore + replay).
+    pub recovery_wall: Duration,
+    /// Completed checkpoints (with base-state snapshots).
+    pub checkpoints: u64,
+    /// Tuples dropped by the [`OverloadPolicy::Shed`] policy.
+    pub shed_tuples: u64,
 }
 
-/// Key-partitioned parallel runtime: `N` worker threads, each owning an
-/// independent [`Pipeline`] over the hash-partition of keys it is
-/// responsible for.
+/// The router's record of a shard's last completed checkpoint.
+#[derive(Debug, Clone)]
+struct ShardCheckpoint {
+    spec: PlanSpec,
+    snapshot: jisc_engine::BaseStateSnapshot,
+    covered: u64,
+    tuples: u64,
+}
+
+enum SendOutcome {
+    Sent,
+    Shed(u64),
+    TimedOut(u64),
+    Disconnected,
+}
+
+/// Key-partitioned parallel runtime: `N` supervised worker threads, each
+/// owning an independent engine over the hash-partition of keys it is
+/// responsible for. Worker panics are recovered from checkpoints without
+/// terminating the run; see the module docs.
 ///
 /// ```
 /// use jisc_engine::{Catalog, JoinStyle, PlanSpec};
@@ -153,19 +265,47 @@ pub struct ShardedReport {
 /// ```
 #[derive(Debug)]
 pub struct ShardedExecutor {
-    txs: Vec<chan::Sender<Event<PlanSpec>>>,
-    workers: Vec<JoinHandle<ShardResult>>,
+    /// Per-shard senders; `None` once the shard's queue has been closed.
+    txs: Vec<Option<chan::Sender<ShardMsg>>>,
+    workers: Vec<Option<JoinHandle<Option<ShardResult>>>>,
+    /// Clean results reaped early (a worker that finished during recovery
+    /// bookkeeping in `finish`).
+    finished: Vec<Option<ShardResult>>,
     batches: Vec<TupleBatch>,
     catalog: Catalog,
     /// Compiled current plan, kept for router-side transition validation.
     current: Plan,
-    semantics: ShardSemantics,
+    /// Spec of the current plan (what a checkpoint-less respawn runs).
+    initial_spec: PlanSpec,
+    config: ShardedConfig,
     exactness: Exactness,
     next_seq: SeqNo,
     last_ts: u64,
     events: u64,
     shard_events: Vec<u64>,
     transitions: u64,
+    // --- supervision state ---
+    ctrl_tx: chan::Sender<ToRouter>,
+    ctrl_rx: chan::Receiver<ToRouter>,
+    injector: Arc<FaultInjector>,
+    ckpt: Vec<Option<ShardCheckpoint>>,
+    /// Post-checkpoint event suffix per shard, cloned at send time and
+    /// pruned as checkpoints complete.
+    replay: Vec<VecDeque<Event<PlanSpec>>>,
+    /// Events sent per shard (positional clock shared with the workers).
+    sent: Vec<u64>,
+    /// Tuples routed per shard since the last checkpoint request.
+    since_ckpt: Vec<u64>,
+    /// Output drained at completed checkpoints (durable across faults).
+    saved: Vec<OutputSink>,
+    recoveries_by_shard: Vec<u64>,
+    faults: Vec<WorkerFault>,
+    recoveries: u64,
+    replayed_events: u64,
+    replayed_tuples: u64,
+    recovery_wall: Duration,
+    checkpoints: u64,
+    shed_tuples: u64,
 }
 
 /// True if hash partitioning by key preserves the plan's semantics: every
@@ -178,12 +318,8 @@ fn key_partitionable(plan: &Plan) -> bool {
 }
 
 impl ShardedExecutor {
-    /// Spawn `shards` workers (min 1) running `spec` under `semantics`.
-    ///
-    /// Plans with non-equi theta joins are not key-partitionable and fall
-    /// back to a single worker; check [`ShardedExecutor::shards`]. With
-    /// JISC semantics the plan must be reorderable (as for
-    /// [`jisc_core::JiscExec`]), since transitions may be requested later.
+    /// Spawn with the legacy signature: `shards` workers (min 1) running
+    /// `spec` under `semantics`, default supervision settings.
     pub fn spawn(
         catalog: Catalog,
         spec: &PlanSpec,
@@ -191,12 +327,31 @@ impl ShardedExecutor {
         shards: usize,
         queue_capacity: usize,
     ) -> Result<Self> {
+        ShardedExecutor::spawn_with(
+            catalog,
+            spec,
+            ShardedConfig {
+                strategy: semantics.into(),
+                shards,
+                queue_capacity,
+                ..ShardedConfig::default()
+            },
+        )
+    }
+
+    /// Spawn a supervised sharded runtime.
+    ///
+    /// Plans with non-equi theta joins are not key-partitionable and fall
+    /// back to a single worker; check [`ShardedExecutor::shards`]. With a
+    /// transition-capable strategy the plan must be reorderable (as for
+    /// [`jisc_core::JiscExec`]), since transitions may be requested later.
+    pub fn spawn_with(catalog: Catalog, spec: &PlanSpec, config: ShardedConfig) -> Result<Self> {
         let current = Plan::compile(&catalog, spec)?;
-        if semantics == ShardSemantics::Jisc {
+        if config.strategy.supports_transitions() {
             verify_reorderable(&current)?;
         }
         let n = if key_partitionable(&current) {
-            shards.max(1)
+            config.shards.max(1)
         } else {
             1
         };
@@ -209,33 +364,65 @@ impl ShardedExecutor {
         } else {
             Exactness::ApproximateCountWindows
         };
-        let cap = queue_capacity.max(1);
+        let cap = config.queue_capacity.max(1);
+        // The control channel is sized so every worker can deposit a fault
+        // and a checkpoint without ever blocking against the router.
+        let (ctrl_tx, ctrl_rx) = chan::bounded::<ToRouter>((n * 4).max(16));
+        let injector = Arc::new(FaultInjector::new(config.faults.clone()));
+        if !config.faults.is_empty() {
+            crate::fault::install_quiet_hook();
+        }
         let mut txs = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
-            let (tx, rx) = chan::bounded::<Event<PlanSpec>>(cap);
-            let pipe = Pipeline::new(catalog.clone(), spec)?;
-            let sem = semantics;
+            let (tx, rx) = chan::bounded::<ShardMsg>(cap);
+            let engine = ShardEngine::new(&catalog, spec, config.strategy)?;
+            let ctx = WorkerCtx {
+                shard: i,
+                start_index: 0,
+                start_tuples: 0,
+                spec: spec.clone(),
+                injector: Arc::clone(&injector),
+                ctrl: ctrl_tx.clone(),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("jisc-shard-{i}"))
-                .spawn(move || worker_loop(pipe, sem, rx))
+                .spawn(move || worker_loop(engine, rx, ctx))
                 .expect("spawn shard thread");
-            txs.push(tx);
-            workers.push(handle);
+            txs.push(Some(tx));
+            workers.push(Some(handle));
         }
         Ok(ShardedExecutor {
             txs,
             workers,
+            finished: (0..n).map(|_| None).collect(),
             batches: (0..n).map(|_| TupleBatch::new(BATCH)).collect(),
             catalog,
             current,
-            semantics,
+            initial_spec: spec.clone(),
             exactness,
             next_seq: 0,
             last_ts: 0,
             events: 0,
             shard_events: vec![0; n],
             transitions: 0,
+            ctrl_tx,
+            ctrl_rx,
+            injector,
+            ckpt: vec![None; n],
+            replay: (0..n).map(|_| VecDeque::new()).collect(),
+            sent: vec![0; n],
+            since_ckpt: vec![0; n],
+            saved: Vec::new(),
+            recoveries_by_shard: vec![0; n],
+            faults: Vec::new(),
+            recoveries: 0,
+            replayed_events: 0,
+            replayed_tuples: 0,
+            recovery_wall: Duration::ZERO,
+            checkpoints: 0,
+            shed_tuples: 0,
+            config,
         })
     }
 
@@ -260,15 +447,25 @@ impl ShardedExecutor {
         self.events
     }
 
+    /// Shard recoveries performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Structured faults observed so far.
+    pub fn faults(&self) -> &[WorkerFault] {
+        &self.faults
+    }
+
     /// Route one arrival, timestamping exactly as a serial
-    /// [`Pipeline::ingest`] would (`ts = max(last_ts, next_seq)`).
+    /// [`Pipeline::ingest`](jisc_engine::Pipeline) would
+    /// (`ts = max(last_ts, next_seq)`).
     pub fn push(&mut self, stream: StreamId, key: Key, payload: u64) -> Result<()> {
         let ts = self.last_ts.max(self.next_seq);
         self.push_at(stream, key, payload, ts)
     }
 
-    /// Route one arrival at an explicit timestamp (monotonicity enforced,
-    /// as in [`Pipeline::ingest_at`]).
+    /// Route one arrival at an explicit timestamp (monotonicity enforced).
     pub fn push_at(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
         if stream.0 as usize >= self.catalog.len() {
             return Err(JiscError::UnknownStream(format!(
@@ -305,9 +502,9 @@ impl ShardedExecutor {
     /// shard after all previously routed events and before all later ones.
     /// The plan is validated here so workers cannot fail mid-stream.
     pub fn transition(&mut self, spec: &PlanSpec) -> Result<()> {
-        if self.semantics != ShardSemantics::Jisc {
+        if !self.config.strategy.supports_transitions() {
             return Err(JiscError::Internal(
-                "plan transitions require JISC semantics".into(),
+                "plan transitions require a migration-capable strategy".into(),
             ));
         }
         let new_plan = Plan::compile(&self.catalog, spec)?;
@@ -319,43 +516,54 @@ impl ShardedExecutor {
             ));
         }
         self.flush_all()?;
-        for tx in &self.txs {
-            tx.send(Event::MigrationBarrier(spec.clone()))
-                .map_err(|_| JiscError::Internal("shard thread is gone".into()))?;
+        for s in 0..self.txs.len() {
+            self.send_event(s, Event::MigrationBarrier(spec.clone()))?;
         }
+        // Note: `initial_spec` stays at the spawn-time plan — a shard with
+        // no checkpoint yet replays its full history, barriers included,
+        // and must start from the same plan its first incarnation did.
         self.current = new_plan;
         self.transitions += 1;
         Ok(())
     }
 
-    /// Drain all shards and merge their results.
+    /// Drain all shards and merge their results. Worker faults on the
+    /// final events are recovered here too — a panic mid-stream or
+    /// mid-drain never loses the run.
     pub fn finish(mut self) -> Result<ShardedReport> {
         self.flush_all()?;
         // Final punctuation: drain any residual operator queues before the
         // workers snapshot their results.
-        for tx in &self.txs {
-            tx.send(Event::Flush)
-                .map_err(|_| JiscError::Internal("shard thread is gone".into()))?;
+        for s in 0..self.txs.len() {
+            self.send_event(s, Event::Flush)?;
         }
-        drop(std::mem::take(&mut self.txs)); // closes every queue
-        let mut results = Vec::with_capacity(self.workers.len());
-        for w in std::mem::take(&mut self.workers) {
-            results.push(
-                w.join()
-                    .map_err(|_| JiscError::Internal("shard thread panicked".into()))?,
-            );
+        let n = self.txs.len();
+        let mut results = Vec::with_capacity(n);
+        for s in 0..n {
+            let result = loop {
+                if let Some(r) = self.finished[s].take() {
+                    break r;
+                }
+                self.txs[s] = None; // close this shard's queue
+                self.reap(s);
+                match self.finished[s].take() {
+                    Some(r) => break r,
+                    None => {
+                        // Faulted on the final events: recover and retry.
+                        self.respawn(s)?;
+                    }
+                }
+            };
+            results.push(result);
         }
         let mut metrics = Metrics::new();
         let mut incomplete = 0;
-        let mut processed = Vec::with_capacity(results.len());
-        let mut sinks = Vec::with_capacity(results.len());
+        let mut sinks = std::mem::take(&mut self.saved);
         for r in results {
             metrics.merge(&r.metrics);
             incomplete += r.incomplete_states;
-            processed.push(r.events);
             sinks.push(r.output);
         }
-        debug_assert_eq!(processed, self.shard_events);
         let output = OutputSink::merged(sinks);
         Ok(ShardedReport {
             events: self.events,
@@ -366,17 +574,35 @@ impl ShardedExecutor {
             output,
             metrics,
             incomplete_states: incomplete,
+            faults: std::mem::take(&mut self.faults),
+            recoveries: self.recoveries,
+            replayed_events: self.replayed_events,
+            replayed_tuples: self.replayed_tuples,
+            recovery_wall: self.recovery_wall,
+            checkpoints: self.checkpoints,
+            shed_tuples: self.shed_tuples,
         })
     }
 
     fn flush(&mut self, s: usize) -> Result<()> {
+        self.poll_ctrl();
         if self.batches[s].is_empty() {
             return Ok(());
         }
         let batch = std::mem::replace(&mut self.batches[s], TupleBatch::new(BATCH));
-        self.txs[s]
-            .send(Event::Batch(batch))
-            .map_err(|_| JiscError::Internal("shard thread is gone".into()))
+        let len = batch.len() as u64;
+        self.send_event(s, Event::Batch(batch))?;
+        if self.config.checkpoint_every > 0 {
+            self.since_ckpt[s] += len;
+            if self.since_ckpt[s] >= self.config.checkpoint_every {
+                self.since_ckpt[s] = 0;
+                // In-band mark; not part of the positional event clock.
+                if let Some(tx) = &self.txs[s] {
+                    let _ = tx.send(ShardMsg::Checkpoint);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn flush_all(&mut self) -> Result<()> {
@@ -385,54 +611,248 @@ impl ShardedExecutor {
         }
         Ok(())
     }
+
+    /// Send one event on a shard's queue under the overload policy,
+    /// recovering the shard (and retrying) if its worker has died. On
+    /// success the event is recorded in the positional clock and the
+    /// replay buffer.
+    fn send_event(&mut self, s: usize, ev: Event<PlanSpec>) -> Result<()> {
+        loop {
+            let outcome = {
+                let Some(tx) = &self.txs[s] else {
+                    return Err(JiscError::Internal("shard queue closed".into()));
+                };
+                match self.config.overload {
+                    OverloadPolicy::Block => match tx.send(ShardMsg::Event(ev.clone())) {
+                        Ok(()) => SendOutcome::Sent,
+                        Err(_) => SendOutcome::Disconnected,
+                    },
+                    OverloadPolicy::Timeout(d) => {
+                        match tx.send_timeout(ShardMsg::Event(ev.clone()), d) {
+                            Ok(()) => SendOutcome::Sent,
+                            Err(chan::SendTimeoutError::Timeout(_)) => {
+                                SendOutcome::TimedOut(d.as_millis() as u64)
+                            }
+                            Err(chan::SendTimeoutError::Disconnected(_)) => {
+                                SendOutcome::Disconnected
+                            }
+                        }
+                    }
+                    OverloadPolicy::Shed => match tx.try_send(ShardMsg::Event(ev.clone())) {
+                        Ok(()) => SendOutcome::Sent,
+                        Err(chan::TrySendError::Full(msg)) => {
+                            if let ShardMsg::Event(Event::Batch(b)) = &msg {
+                                SendOutcome::Shed(b.len() as u64)
+                            } else {
+                                // Control events are never shed: block.
+                                match tx.send(msg) {
+                                    Ok(()) => SendOutcome::Sent,
+                                    Err(_) => SendOutcome::Disconnected,
+                                }
+                            }
+                        }
+                        Err(chan::TrySendError::Disconnected(_)) => SendOutcome::Disconnected,
+                    },
+                }
+            };
+            match outcome {
+                SendOutcome::Sent => {
+                    self.sent[s] += 1;
+                    self.replay[s].push_back(ev);
+                    return Ok(());
+                }
+                SendOutcome::Shed(tuples) => {
+                    // Never sent: not in the positional clock, not replayed.
+                    self.shed_tuples += tuples;
+                    return Ok(());
+                }
+                SendOutcome::TimedOut(millis) => {
+                    return Err(JiscError::SendTimeout { millis });
+                }
+                SendOutcome::Disconnected => {
+                    self.reap(s);
+                    self.respawn(s)?;
+                    // Loop: retry the send on the respawned worker.
+                }
+            }
+        }
+    }
+
+    /// Drain pending worker → router control messages without blocking.
+    fn poll_ctrl(&mut self) {
+        while let Ok(msg) = self.ctrl_rx.try_recv() {
+            match msg {
+                ToRouter::Fault(f) => self.faults.push(f),
+                ToRouter::Checkpoint(c) => self.apply_checkpoint(c),
+            }
+        }
+    }
+
+    fn apply_checkpoint(&mut self, c: CheckpointData) {
+        let s = c.shard;
+        let (Some(snapshot), Some(output)) = (c.snapshot, c.output) else {
+            // The engine declined to snapshot (e.g. mid-migration Parallel
+            // Track); the previous checkpoint stays authoritative.
+            return;
+        };
+        self.checkpoints += 1;
+        // Prune the replay buffer: events the checkpoint now covers can
+        // never need replaying again.
+        let old_covered = self.ckpt[s].as_ref().map_or(0, |k| k.covered);
+        for _ in old_covered..c.covered {
+            self.replay[s].pop_front();
+        }
+        self.ckpt[s] = Some(ShardCheckpoint {
+            spec: c.spec,
+            snapshot,
+            covered: c.covered,
+            tuples: c.tuples,
+        });
+        self.saved.push(output);
+    }
+
+    /// Wait for shard `s`'s thread to exit and collect what it left behind:
+    /// a clean result (stashed in `finished`), or fault messages on the
+    /// control channel.
+    fn reap(&mut self, s: usize) {
+        loop {
+            match &self.workers[s] {
+                Some(h) if !h.is_finished() => {
+                    self.poll_ctrl();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                _ => break,
+            }
+        }
+        if let Some(h) = self.workers[s].take() {
+            match h.join() {
+                Ok(Some(result)) => self.finished[s] = Some(result),
+                Ok(None) => {} // fault arrives via the control channel
+                Err(payload) => {
+                    // Unwind escaped the supervised loop (should not
+                    // happen); synthesize a fault record so nothing is
+                    // silently lost.
+                    self.faults.push(WorkerFault {
+                        shard: s,
+                        payload: payload_string(payload.as_ref()),
+                        last_seq: 0,
+                        tuples: 0,
+                    });
+                }
+            }
+        }
+        self.poll_ctrl();
+    }
+
+    /// Rebuild shard `s` from its last checkpoint and replay the
+    /// post-checkpoint suffix. Loops internally if the worker dies again
+    /// during replay, up to [`ShardedConfig::max_recoveries`].
+    fn respawn(&mut self, s: usize) -> Result<()> {
+        let wall = Instant::now();
+        loop {
+            self.recoveries_by_shard[s] += 1;
+            self.recoveries += 1;
+            if self.recoveries_by_shard[s] > self.config.max_recoveries as u64 {
+                let payload = self
+                    .faults
+                    .iter()
+                    .rev()
+                    .find(|f| f.shard == s)
+                    .map(|f| f.payload.clone())
+                    .unwrap_or_else(|| "repeated worker failure".into());
+                self.recovery_wall += wall.elapsed();
+                return Err(JiscError::WorkerPanic { shard: s, payload });
+            }
+            // Quiesce survivors at a barrier point: in-band Flush
+            // punctuation drains their operator queues so the recovered
+            // run resumes from a consistent, quiescent frontier.
+            for o in 0..self.txs.len() {
+                if o == s {
+                    continue;
+                }
+                let Some(tx) = &self.txs[o] else { continue };
+                if tx.send(ShardMsg::Event(Event::Flush)).is_ok() {
+                    self.sent[o] += 1;
+                    self.replay[o].push_back(Event::Flush);
+                }
+                // A dead survivor is recovered by its own next send.
+            }
+            // Rebuild the engine from the checkpoint (fresh + full replay
+            // when no checkpoint has completed yet).
+            let ck = self.ckpt[s].clone();
+            let (spec, start_index, start_tuples) = match &ck {
+                Some(k) => (k.spec.clone(), k.covered, k.tuples),
+                None => (self.initial_spec.clone(), 0, 0),
+            };
+            let engine = ShardEngine::restore(
+                &self.catalog,
+                &spec,
+                self.config.strategy,
+                ck.as_ref().map(|k| &k.snapshot),
+            )?;
+            let (tx, rx) = chan::bounded::<ShardMsg>(self.config.queue_capacity.max(1));
+            let ctx = WorkerCtx {
+                shard: s,
+                start_index,
+                start_tuples,
+                spec,
+                injector: Arc::clone(&self.injector),
+                ctrl: self.ctrl_tx.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("jisc-shard-{s}"))
+                .spawn(move || worker_loop(engine, rx, ctx))
+                .expect("spawn shard thread");
+            self.txs[s] = Some(tx);
+            self.workers[s] = Some(handle);
+            // Replay the post-checkpoint suffix; the failed incarnation's
+            // un-checkpointed output died with it, so these events emit
+            // their results exactly once.
+            let suffix: Vec<Event<PlanSpec>> = self.replay[s].iter().cloned().collect();
+            let mut replay_ok = true;
+            for ev in suffix {
+                self.replayed_events += 1;
+                if let Event::Batch(b) = &ev {
+                    self.replayed_tuples += b.len() as u64;
+                }
+                let sent = self.txs[s]
+                    .as_ref()
+                    .is_some_and(|tx| tx.send(ShardMsg::Event(ev)).is_ok());
+                if !sent {
+                    replay_ok = false;
+                    break;
+                }
+            }
+            if replay_ok {
+                self.recovery_wall += wall.elapsed();
+                return Ok(());
+            }
+            // Died again during replay (a deterministic fault): reap the
+            // corpse and let the cap above decide whether to try again.
+            self.reap(s);
+        }
+    }
 }
 
 impl Drop for ShardedExecutor {
     fn drop(&mut self) {
         // Close queues so workers exit even if `finish` was never called.
-        self.txs.clear();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for tx in &mut self.txs {
+            *tx = None;
         }
-    }
-}
-
-fn worker_loop(
-    mut pipe: Pipeline,
-    semantics: ShardSemantics,
-    rx: chan::Receiver<Event<PlanSpec>>,
-) -> ShardResult {
-    let mut default_sem = DefaultSemantics;
-    let mut jisc_sem = JiscSemantics::default();
-    let mut events = 0u64;
-    while let Ok(ev) = rx.recv() {
-        if let Event::Batch(b) = &ev {
-            events += b.len() as u64;
+        for w in self.workers.iter_mut() {
+            if let Some(h) = w.take() {
+                let _ = h.join();
+            }
         }
-        // Routed tuples carry their global sequence numbers and timestamps,
-        // so the batched ingest rewinds each shard pipeline to serial tuple
-        // identities; barriers and punctuation use the same `apply_event`
-        // handler that serial execution uses.
-        let r = match semantics {
-            ShardSemantics::Default => apply_event(&mut pipe, &mut default_sem, ev),
-            ShardSemantics::Jisc => apply_event(&mut pipe, &mut jisc_sem, ev),
-        };
-        r.expect("router validates streams, timestamps, and transitions");
-    }
-    let incomplete_states = incomplete_state_count(&pipe);
-    ShardResult {
-        output: std::mem::take(&mut pipe.output),
-        metrics: pipe.metrics.clone(),
-        events,
-        incomplete_states,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jisc_core::jisc::jisc_transition;
-    use jisc_engine::{JoinStyle, StreamDef};
+    use jisc_core::jisc::{jisc_transition, JiscSemantics};
+    use jisc_engine::{JoinStyle, Pipeline, StreamDef};
 
     fn timed_catalog(streams: &[&str], ticks: u64) -> Catalog {
         Catalog::new(
@@ -593,5 +1013,269 @@ mod tests {
         let swapped = PlanSpec::left_deep(&["S", "R"], JoinStyle::Hash);
         assert!(exec.transition(&swapped).is_err());
         exec.finish().unwrap();
+    }
+
+    // --- supervision and recovery ---
+
+    fn fault_free_reference(
+        spec: &PlanSpec,
+        events: &[(u16, Key, u64)],
+        shards: usize,
+    ) -> ShardedReport {
+        let mut exec = ShardedExecutor::spawn(
+            timed_catalog(&["R", "S", "T"], 40),
+            spec,
+            ShardSemantics::Jisc,
+            shards,
+            64,
+        )
+        .unwrap();
+        for &(s, k, p) in events {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        exec.finish().unwrap()
+    }
+
+    fn supervised_run(
+        spec: &PlanSpec,
+        events: &[(u16, Key, u64)],
+        config: ShardedConfig,
+    ) -> Result<ShardedReport> {
+        let mut exec =
+            ShardedExecutor::spawn_with(timed_catalog(&["R", "S", "T"], 40), spec, config)?;
+        for &(s, k, p) in events {
+            exec.push(StreamId(s), k, p)?;
+        }
+        exec.finish()
+    }
+
+    #[test]
+    fn worker_panic_is_recovered_and_output_matches_fault_free() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let reference = fault_free_reference(&spec, &events, 2);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                checkpoint_every: 100,
+                faults: FaultPlan::new().panic_at(0, 150),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.faults.len(), 1);
+        assert_eq!(report.faults[0].shard, 0);
+        assert!(report.faults[0].payload.contains("injected panic"));
+        assert!(report.checkpoints > 0, "checkpoint cadence must fire");
+        assert!(report.replayed_tuples > 0, "recovery replays a suffix");
+        assert!(
+            report.replayed_tuples < report.events,
+            "checkpoints bound the replay suffix"
+        );
+        assert_eq!(
+            report.output.lineage_multiset(),
+            reference.output.lineage_multiset(),
+            "recovered run must match the fault-free lineage multiset"
+        );
+    }
+
+    #[test]
+    fn recovery_without_checkpoints_replays_full_history() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(400, 3, 11);
+        let reference = fault_free_reference(&spec, &events, 2);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                checkpoint_every: 0,
+                faults: FaultPlan::new().panic_at(1, 120),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.checkpoints, 0);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            reference.output.lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn panic_during_replay_recovers_again_under_the_cap() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(500, 3, 13);
+        let reference = fault_free_reference(&spec, &events, 2);
+        // Two faults on the same shard: the second trips during the first
+        // recovery's replay (full-history replay re-crosses position 130).
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                checkpoint_every: 0,
+                faults: FaultPlan::new().panic_at(0, 110).panic_at(0, 130),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 2);
+        assert_eq!(report.faults.len(), 2);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            reference.output.lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn max_recoveries_exhaustion_surfaces_worker_panic() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(500, 3, 13);
+        let err = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                checkpoint_every: 0,
+                max_recoveries: 1,
+                faults: FaultPlan::new().panic_at(0, 110).panic_at(0, 130),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, JiscError::WorkerPanic { shard: 0, .. }),
+            "expected WorkerPanic, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_batch_fault_loses_tuples_but_run_survives() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let reference = fault_free_reference(&spec, &events, 2);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                faults: FaultPlan::new().drop_batch_at(0, 150),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0, "a dropped batch is not a crash");
+        assert!(
+            report.outputs < reference.outputs,
+            "dropped tuples must lose some results"
+        );
+    }
+
+    #[test]
+    fn delayed_worker_changes_nothing_but_wall_time() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(300, 3, 11);
+        let reference = fault_free_reference(&spec, &events, 2);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                faults: FaultPlan::new().delay_at(0, 60, 30).delay_at(1, 60, 30),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            reference.output.lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn recovery_spans_plan_transitions() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let new_spec = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash);
+        let events = arrivals(500, 3, 13);
+        // Fault-free sharded reference with the same mid-stream migration.
+        let run = |config: ShardedConfig| {
+            let mut exec =
+                ShardedExecutor::spawn_with(timed_catalog(&["R", "S", "T"], 60), &spec, config)
+                    .unwrap();
+            for &(s, k, p) in &events[..250] {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            exec.transition(&new_spec).unwrap();
+            for &(s, k, p) in &events[250..] {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            exec.finish().unwrap()
+        };
+        let reference = run(ShardedConfig {
+            shards: 2,
+            ..ShardedConfig::default()
+        });
+        // Crash after the barrier, recover from a pre-barrier position
+        // (full-history replay re-runs the barrier itself).
+        let report = run(ShardedConfig {
+            shards: 2,
+            checkpoint_every: 0,
+            faults: FaultPlan::new().panic_at(0, 170),
+            ..ShardedConfig::default()
+        });
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.transitions, 1);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            reference.output.lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn shed_policy_drops_data_batches_when_a_worker_stalls() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(900, 3, 17);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 1,
+                overload: OverloadPolicy::Shed,
+                faults: FaultPlan::new().delay_at(0, 10, 150).delay_at(1, 10, 150),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.shed_tuples > 0, "stalled workers must shed load");
+        assert_eq!(report.recoveries, 0);
+    }
+
+    #[test]
+    fn timeout_policy_surfaces_send_timeout() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(900, 3, 17);
+        let err = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 1,
+                overload: OverloadPolicy::Timeout(Duration::from_millis(5)),
+                faults: FaultPlan::new().delay_at(0, 10, 400).delay_at(1, 10, 400),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, JiscError::SendTimeout { .. }),
+            "expected SendTimeout, got {err:?}"
+        );
     }
 }

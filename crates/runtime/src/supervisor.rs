@@ -1,0 +1,308 @@
+//! Supervised shard workers: catch panics, checkpoint, report faults.
+//!
+//! Every shard thread runs its event loop under `catch_unwind`. A panic (or
+//! an engine error) does not unwind into the runtime: the worker reports a
+//! structured [`WorkerFault`] on a dedicated control channel and exits,
+//! discarding its partial output — the router recovers the shard from its
+//! last checkpoint plus a bounded replay buffer, which regenerates exactly
+//! the outputs the failed incarnation had produced since that checkpoint.
+//!
+//! Checkpoints are requested by the router as in-band [`ShardMsg::Checkpoint`]
+//! marks, so they land at an exact position in the shard's event stream.
+//! A checkpoint captures only *base* state (`BaseStateSnapshot`) plus the
+//! output produced so far; derived join states are rebuilt at recovery via
+//! the JISC state-completion machinery (`jisc_core::recovery`).
+//!
+//! Event accounting is positional: a worker counts every event it receives
+//! — including batches a scripted fault drops — so the `covered` count in a
+//! checkpoint always aligns with the router's per-shard sent count, and
+//! replay after recovery neither skips nor double-processes an event.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use jisc_common::{Event, Metrics, Result, WorkerFault};
+use jisc_core::jisc::{apply_event, incomplete_state_count, JiscSemantics};
+use jisc_core::{AdaptiveEngine, RecoveryMode, Strategy};
+use jisc_engine::{BaseStateSnapshot, Catalog, DefaultSemantics, OutputSink, Pipeline, PlanSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::chan;
+use crate::fault::{inject_panic, payload_string, FaultInjector, Triggered};
+
+/// Which engine each shard runs — the four migration strategies of the
+/// paper's experimental section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ShardStrategy {
+    /// Plain pipelined execution; plan transitions are rejected.
+    Pipelined,
+    /// Just-in-time state completion; transitions broadcast as barriers.
+    #[default]
+    Jisc,
+    /// Eager halt-and-rebuild migration (§3.2).
+    MovingState,
+    /// Old and new plans in parallel with duplicate elimination (§3.3).
+    ParallelTrack {
+        /// Arrivals between old-plan discard sweeps.
+        check_period: u64,
+    },
+}
+
+impl ShardStrategy {
+    /// The `jisc-core` strategy this maps to (`None` for plain pipelined,
+    /// which runs a bare pipeline).
+    pub fn core_strategy(self) -> Option<Strategy> {
+        match self {
+            ShardStrategy::Pipelined => None,
+            ShardStrategy::Jisc => Some(Strategy::Jisc),
+            ShardStrategy::MovingState => Some(Strategy::MovingState),
+            ShardStrategy::ParallelTrack { check_period } => {
+                Some(Strategy::ParallelTrack { check_period })
+            }
+        }
+    }
+
+    /// Whether in-band migration barriers are accepted.
+    pub fn supports_transitions(self) -> bool {
+        !matches!(self, ShardStrategy::Pipelined)
+    }
+}
+
+/// What flows router → worker: in-band events plus checkpoint marks.
+#[derive(Debug)]
+pub(crate) enum ShardMsg {
+    /// One element of the unified event stream.
+    Event(Event<PlanSpec>),
+    /// Take a checkpoint now (at this exact stream position).
+    Checkpoint,
+}
+
+/// A completed checkpoint, shipped worker → router.
+#[derive(Debug)]
+pub(crate) struct CheckpointData {
+    pub shard: usize,
+    /// Events fully processed when the checkpoint was taken (positional).
+    pub covered: u64,
+    /// Tuples seen when the checkpoint was taken (fault-clock continuity).
+    pub tuples: u64,
+    /// The plan active at the checkpoint.
+    pub spec: PlanSpec,
+    /// Base state; `None` when the engine could not snapshot (e.g. a
+    /// Parallel Track migration still running retiring plans).
+    pub snapshot: Option<BaseStateSnapshot>,
+    /// Output drained at the checkpoint (only when `snapshot` is `Some`,
+    /// so saved output and saved state always agree).
+    pub output: Option<OutputSink>,
+}
+
+/// Worker → router control messages.
+#[derive(Debug)]
+pub(crate) enum ToRouter {
+    Fault(WorkerFault),
+    Checkpoint(CheckpointData),
+}
+
+/// Final state a worker hands back on clean exit.
+#[derive(Debug)]
+pub(crate) struct ShardResult {
+    pub output: OutputSink,
+    pub metrics: Metrics,
+    pub incomplete_states: usize,
+}
+
+/// The engine a shard worker drives: a bare pipeline (plain pipelined) or
+/// an [`AdaptiveEngine`] (JISC / Moving State / Parallel Track).
+pub(crate) enum ShardEngine {
+    Plain(Box<Pipeline>),
+    Jisc(Box<Pipeline>, Box<JiscSemantics>),
+    Adaptive(Box<AdaptiveEngine>),
+}
+
+impl ShardEngine {
+    pub fn new(catalog: &Catalog, spec: &PlanSpec, strategy: ShardStrategy) -> Result<Self> {
+        Ok(match strategy {
+            ShardStrategy::Pipelined => {
+                ShardEngine::Plain(Box::new(Pipeline::new(catalog.clone(), spec)?))
+            }
+            ShardStrategy::Jisc => ShardEngine::Jisc(
+                Box::new(Pipeline::new(catalog.clone(), spec)?),
+                Box::default(),
+            ),
+            _ => ShardEngine::Adaptive(Box::new(AdaptiveEngine::new(
+                catalog.clone(),
+                spec,
+                strategy.core_strategy().expect("non-pipelined"),
+            )?)),
+        })
+    }
+
+    /// Rebuild a shard engine from a checkpoint (or fresh, with no
+    /// checkpoint): base state restored, derived states brought back per
+    /// strategy — just-in-time completion for JISC, eager rebuild otherwise.
+    pub fn restore(
+        catalog: &Catalog,
+        spec: &PlanSpec,
+        strategy: ShardStrategy,
+        snap: Option<&BaseStateSnapshot>,
+    ) -> Result<Self> {
+        Ok(match strategy {
+            ShardStrategy::Pipelined | ShardStrategy::Jisc => {
+                let mut pipe = Pipeline::new(catalog.clone(), spec)?;
+                let mode = if strategy == ShardStrategy::Jisc {
+                    RecoveryMode::JustInTime
+                } else {
+                    RecoveryMode::Eager
+                };
+                if let Some(snap) = snap {
+                    jisc_core::recovery::restore_pipeline(&mut pipe, snap, mode)?;
+                }
+                if strategy == ShardStrategy::Jisc {
+                    ShardEngine::Jisc(Box::new(pipe), Box::default())
+                } else {
+                    ShardEngine::Plain(Box::new(pipe))
+                }
+            }
+            _ => ShardEngine::Adaptive(Box::new(AdaptiveEngine::restore(
+                catalog.clone(),
+                spec,
+                strategy.core_strategy().expect("non-pipelined"),
+                snap,
+            )?)),
+        })
+    }
+
+    pub fn on_event(&mut self, ev: Event<PlanSpec>) -> Result<()> {
+        match self {
+            ShardEngine::Plain(pipe) => apply_event(pipe, &mut DefaultSemantics, ev),
+            ShardEngine::Jisc(pipe, sem) => apply_event(pipe, sem.as_mut(), ev),
+            ShardEngine::Adaptive(engine) => engine.on_event(ev),
+        }
+    }
+
+    pub fn base_snapshot(&self) -> Option<BaseStateSnapshot> {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.snapshot_base_state(),
+            ShardEngine::Adaptive(engine) => engine.base_snapshot(),
+        }
+    }
+
+    pub fn take_output(&mut self) -> OutputSink {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => {
+                std::mem::take(&mut pipe.output)
+            }
+            ShardEngine::Adaptive(engine) => engine.take_output(),
+        }
+    }
+
+    pub fn into_result(mut self) -> ShardResult {
+        let incomplete_states = match &self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => incomplete_state_count(pipe),
+            ShardEngine::Adaptive(engine) => engine.incomplete_states(),
+        };
+        let metrics = match &self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.metrics.clone(),
+            ShardEngine::Adaptive(engine) => engine.metrics(),
+        };
+        ShardResult {
+            output: self.take_output(),
+            metrics,
+            incomplete_states,
+        }
+    }
+}
+
+/// Per-incarnation worker context.
+pub(crate) struct WorkerCtx {
+    pub shard: usize,
+    /// Positional event index to resume from (checkpoint `covered`).
+    pub start_index: u64,
+    /// Cumulative tuple count to resume from (fault-clock continuity).
+    pub start_tuples: u64,
+    /// Plan active at spawn (checkpoint spec, or the initial plan).
+    pub spec: PlanSpec,
+    pub injector: Arc<FaultInjector>,
+    pub ctrl: chan::Sender<ToRouter>,
+}
+
+/// The supervised event loop. Returns `Some(result)` on clean queue close;
+/// `None` after reporting a fault (the partial output is deliberately
+/// dropped — replay after recovery regenerates it exactly once).
+pub(crate) fn worker_loop(
+    mut engine: ShardEngine,
+    rx: chan::Receiver<ShardMsg>,
+    mut ctx: WorkerCtx,
+) -> Option<ShardResult> {
+    let mut index = ctx.start_index;
+    let mut tuples = ctx.start_tuples;
+    let incarnation_start = tuples;
+    while let Ok(msg) = rx.recv() {
+        let ev = match msg {
+            ShardMsg::Event(ev) => ev,
+            ShardMsg::Checkpoint => {
+                let snapshot = engine.base_snapshot();
+                // Drain output ONLY alongside a successful snapshot: saved
+                // output and saved state must describe the same prefix, or
+                // recovery from an older snapshot would double-emit.
+                let output = snapshot.is_some().then(|| engine.take_output());
+                let _ = ctx.ctrl.send(ToRouter::Checkpoint(CheckpointData {
+                    shard: ctx.shard,
+                    covered: index,
+                    tuples,
+                    spec: ctx.spec.clone(),
+                    snapshot,
+                    output,
+                }));
+                continue;
+            }
+        };
+        let batch_len = match &ev {
+            Event::Batch(b) => b.len() as u64,
+            _ => 0,
+        };
+        let injected = ctx.injector.trigger(ctx.shard, &ev, tuples);
+        if let Some(Triggered::DelayMillis(ms)) = injected {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if let Some(Triggered::DropBatch) = injected {
+            // Positional accounting: a dropped event still advances both
+            // clocks, keeping checkpoint/replay alignment intact.
+            index += 1;
+            tuples += batch_len;
+            continue;
+        }
+        let is_barrier = matches!(ev, Event::MigrationBarrier(_));
+        let barrier_spec = match &ev {
+            Event::MigrationBarrier(spec) => Some(spec.clone()),
+            _ => None,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(Triggered::Panic) = injected {
+                inject_panic(ctx.shard);
+            }
+            engine.on_event(ev)
+        }));
+        let failure = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(payload) => Some(payload_string(payload.as_ref())),
+        };
+        if let Some(payload) = failure {
+            let _ = ctx.ctrl.send(ToRouter::Fault(WorkerFault {
+                shard: ctx.shard,
+                payload,
+                last_seq: index,
+                tuples: tuples - incarnation_start,
+            }));
+            return None;
+        }
+        if is_barrier {
+            // Commit the spec only after the barrier applied successfully,
+            // so checkpoints always name the plan actually running.
+            ctx.spec = barrier_spec.expect("barrier carries a spec");
+        }
+        index += 1;
+        tuples += batch_len;
+    }
+    Some(engine.into_result())
+}

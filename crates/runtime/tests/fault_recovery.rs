@@ -1,0 +1,187 @@
+//! Property test: supervised recovery is output-transparent.
+//!
+//! Gated behind the `fault-injection` cargo feature (it spawns and kills
+//! many worker threads per case):
+//!
+//! ```text
+//! cargo test -q -p jisc-runtime --features fault-injection
+//! ```
+//!
+//! Random key-partitionable scenarios are run through [`ShardedExecutor`]
+//! at N ∈ {2, 4} under every migration strategy (Pipelined, JISC, Moving
+//! State, Parallel Track), with scripted worker panics at random stream
+//! positions — plus random checkpoint cadences, including none at all. The
+//! output lineage multiset must equal the fault-free *serial* reference:
+//! a crash, its recovery from a base-state checkpoint, and the suffix
+//! replay must leave no observable trace in the results.
+
+#![cfg(feature = "fault-injection")]
+
+use jisc_common::{Lineage, StreamId};
+use jisc_core::jisc::{jisc_transition, JiscSemantics};
+use jisc_engine::{Catalog, JoinStyle, Pipeline, PlanSpec, StreamDef};
+use jisc_runtime::shard::{ShardStrategy, ShardedConfig, ShardedExecutor};
+use jisc_runtime::FaultPlan;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    /// Stream names, 3..=4 of them.
+    names: Vec<String>,
+    /// Time-window ticks, or `None` for a never-evicting count window.
+    ticks: Option<u64>,
+    /// `(stream, key)` arrivals.
+    arrivals: Vec<(u16, u64)>,
+    /// Arrival index at which a migration (leaf rotation) fires, if any.
+    /// Only exercised under strategies that support transitions.
+    migration: Option<usize>,
+    /// `(shard, tuple position)` panic scripts (shard taken modulo N).
+    panics: Vec<(usize, u64)>,
+    /// Checkpoint cadence (tuples per shard; 0 = full-history replay).
+    checkpoint_every: u64,
+}
+
+impl Case {
+    fn catalog(&self) -> Catalog {
+        let defs = self
+            .names
+            .iter()
+            .map(|n| match self.ticks {
+                Some(t) => StreamDef::timed(n.clone(), t),
+                // Count window large enough that nothing ever evicts, so
+                // per-shard quotas coincide with the serial window.
+                None => StreamDef::new(n.clone(), self.arrivals.len().max(1)),
+            })
+            .collect();
+        Catalog::new(defs).expect("valid catalog")
+    }
+
+    fn plan(&self, rot: usize) -> PlanSpec {
+        let mut names: Vec<&str> = self.names.iter().map(String::as_str).collect();
+        let by = rot % names.len();
+        names.rotate_left(by);
+        PlanSpec::left_deep(&names, JoinStyle::Hash)
+    }
+
+    fn faults(&self, shards: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for &(shard, at) in &self.panics {
+            plan = plan.panic_at(shard % shards, at.max(1));
+        }
+        plan
+    }
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (3usize..=4, 0usize..3, 40usize..110).prop_flat_map(|(streams, wkind, n)| {
+        (
+            Just(streams),
+            Just(wkind),
+            proptest::collection::vec((0..streams as u16, 0u64..9), n),
+            // 0 encodes "no migration"; i > 0 migrates before arrival i.
+            0usize..n,
+            proptest::collection::vec((0usize..4, 1u64..(n as u64 / 2).max(2)), 1..3),
+            // Checkpoint cadence: none, tight, or loose.
+            0usize..3,
+        )
+            .prop_map(
+                |(streams, wkind, arrivals, migration, panics, ckpt_kind)| Case {
+                    names: (0..streams).map(|i| format!("S{i}")).collect(),
+                    ticks: match wkind {
+                        0 => None,
+                        1 => Some(40),
+                        _ => Some(12),
+                    },
+                    arrivals,
+                    migration: (migration > 0).then_some(migration),
+                    panics,
+                    checkpoint_every: [0, 16, 64][ckpt_kind],
+                },
+            )
+    })
+}
+
+/// Fault-free serial reference under JISC semantics. Without transitions
+/// every strategy emits identical results, so one serial run serves as the
+/// reference for all four.
+fn serial_lineages(case: &Case, migrate: bool) -> Vec<(Lineage, usize)> {
+    let mut pipe = Pipeline::new(case.catalog(), &case.plan(0)).expect("pipeline");
+    let mut sem = JiscSemantics::default();
+    for (i, &(s, k)) in case.arrivals.iter().enumerate() {
+        if migrate && case.migration == Some(i) {
+            jisc_transition(&mut pipe, &case.plan(1)).expect("transition");
+        }
+        pipe.push_with(&mut sem, StreamId(s), k, i as u64)
+            .expect("push");
+    }
+    sorted_multiset(pipe.output.lineage_multiset())
+}
+
+fn sorted_multiset(m: jisc_common::FxHashMap<Lineage, usize>) -> Vec<(Lineage, usize)> {
+    let mut v: Vec<_> = m.into_iter().collect();
+    v.sort();
+    v
+}
+
+const STRATEGIES: [ShardStrategy; 4] = [
+    ShardStrategy::Pipelined,
+    ShardStrategy::Jisc,
+    ShardStrategy::MovingState,
+    ShardStrategy::ParallelTrack { check_period: 5 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn recovered_runs_match_the_fault_free_serial_reference(case in case_strategy()) {
+        let plain = serial_lineages(&case, false);
+        let migrated = serial_lineages(&case, true);
+        for strategy in STRATEGIES {
+            // Transitions only where the strategy accepts barriers; the
+            // serial reference follows suit.
+            let migrate = strategy.supports_transitions() && case.migration.is_some();
+            let expected = if migrate { &migrated } else { &plain };
+            for n in [2usize, 4] {
+                let mut exec = ShardedExecutor::spawn_with(
+                    case.catalog(),
+                    &case.plan(0),
+                    ShardedConfig {
+                        strategy,
+                        shards: n,
+                        queue_capacity: 32,
+                        checkpoint_every: case.checkpoint_every,
+                        faults: case.faults(n),
+                        ..ShardedConfig::default()
+                    },
+                )
+                .expect("spawn");
+                prop_assert_eq!(exec.shards(), n);
+                for (i, &(s, k)) in case.arrivals.iter().enumerate() {
+                    if migrate && case.migration == Some(i) {
+                        exec.transition(&case.plan(1)).expect("transition");
+                    }
+                    exec.push(StreamId(s), k, i as u64).expect("push");
+                }
+                let report = exec.finish().expect("finish survives faults");
+                prop_assert_eq!(report.events as usize, case.arrivals.len());
+                // Every fault the injector fired was recovered, and each
+                // recovery is accounted (replay-triggered ones included).
+                prop_assert_eq!(report.recoveries as usize, report.faults.len());
+                for f in &report.faults {
+                    prop_assert!(f.payload.contains("injected panic"), "{}", f.payload);
+                }
+                if case.checkpoint_every == 0 {
+                    prop_assert_eq!(report.checkpoints, 0);
+                }
+                prop_assert!(report.output.is_duplicate_free());
+                let got = sorted_multiset(report.output.lineage_multiset());
+                prop_assert_eq!(
+                    &got, expected,
+                    "{:?} N={} diverged after {} recoveries (ckpt {}, ticks {:?})",
+                    strategy, n, report.recoveries, case.checkpoint_every, case.ticks
+                );
+            }
+        }
+    }
+}
