@@ -11,4 +11,5 @@ pub mod overlap;
 pub mod recovery_exp;
 pub mod setdiff_exp;
 pub mod stairs_exp;
+pub mod state_exp;
 pub mod throughput;

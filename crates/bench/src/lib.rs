@@ -35,6 +35,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation",
     "throughput",
     "recovery",
+    "state",
 ];
 
 /// Run one experiment by id (returns one or more tables).
@@ -55,6 +56,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "setdiff" => vec![setdiff_exp::setdiff(scale)],
         "throughput" => vec![throughput::throughput(scale)],
         "recovery" => vec![recovery_exp::recovery(scale)],
+        "state" => vec![state_exp::state(scale)],
         "ablation" => vec![
             ablation::ablation_selectivity(scale),
             ablation::ablation_completion(scale),

@@ -74,6 +74,20 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<Fx
 /// `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
 
+/// Hash a join-attribute value the way the engine's state indexes do.
+///
+/// The slab-backed open-addressing index in `jisc-engine` derives its
+/// group index from the low bits of this value and its 7-bit tag from the
+/// high bits, so both ends must be well mixed. The batched probe kernel
+/// pre-hashes whole tuple batches with this function and hands the hashes
+/// down, which is why it lives here rather than inside the index: one
+/// definition, computed once per tuple, shared by every layer.
+#[inline]
+pub fn hash_key(key: u64) -> u64 {
+    let h = key.wrapping_mul(SEED);
+    h ^ (h >> 32)
+}
+
 /// Partition a join-attribute value onto one of `shards` workers.
 ///
 /// The runtime's sharded executor routes every arrival with the same key to

@@ -25,7 +25,7 @@ pub mod tuple;
 pub use error::{JiscError, Result};
 pub use event::{BatchedTuple, Event, TupleBatch};
 pub use fault::WorkerFault;
-pub use hash::{shard_of, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{hash_key, shard_of, FxHashMap, FxHashSet, FxHasher};
 pub use lineage::Lineage;
 pub use metrics::Metrics;
 pub use rng::SplitMix64;

@@ -47,6 +47,17 @@ pub struct Metrics {
     pub promotes: u64,
     /// STAIRs: demote operations.
     pub demotes: u64,
+    /// Slab index: control groups examined across all probes. The ratio
+    /// `probe_depth / probes` is the mean probe length; a ratio creeping
+    /// past ~2 means the open-addressing index is degrading (tombstone
+    /// build-up or pathological key clustering) and is visible in
+    /// `explain` output without a profiler.
+    pub probe_depth: u64,
+    /// Slab index: rehashes performed (growth or tombstone cleanup).
+    pub slab_rehashes: u64,
+    /// Slab arena: entry slots reused from the free list (occupancy churn;
+    /// `inserts - slab_slot_reuses` is the arena's high-water growth).
+    pub slab_slot_reuses: u64,
 }
 
 impl Metrics {
@@ -88,6 +99,9 @@ impl Metrics {
         self.eddy_hops += other.eddy_hops;
         self.promotes += other.promotes;
         self.demotes += other.demotes;
+        self.probe_depth += other.probe_depth;
+        self.slab_rehashes += other.slab_rehashes;
+        self.slab_slot_reuses += other.slab_slot_reuses;
     }
 }
 

@@ -26,7 +26,7 @@
 //! optimization and for metrics.
 
 use jisc_common::Tuple;
-use jisc_common::{Event, FxHashSet, Key, Result, TupleBatch};
+use jisc_common::{hash_key, Event, FxHashSet, Key, Result, TupleBatch};
 use jisc_engine::ops;
 use jisc_engine::{NodeId, OpKind, Payload, Pipeline, PlanSpec, QueueItem, Semantics, Signature};
 
@@ -327,20 +327,23 @@ fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
     let (Some(l), Some(r)) = (node.left, node.right) else {
         return;
     };
+    // One key, several probes and inserts against hash-indexed slab states:
+    // hash once and hand the hash down (list-backed states ignore it).
+    let h = hash_key(key);
     match node.op {
         OpKind::HashJoin | OpKind::NljJoin(_) => {
             let mut ls = Vec::new();
-            p.lookup_state_into(l, key, &mut ls);
+            p.lookup_state_into_hashed(l, h, key, &mut ls);
             if ls.is_empty() {
                 return;
             }
             let mut rs = Vec::new();
-            p.lookup_state_into(r, key, &mut rs);
+            p.lookup_state_into_hashed(r, h, key, &mut rs);
             if rs.is_empty() {
                 return;
             }
             let mut own = p.take_probe_scratch();
-            p.lookup_state_into(n, key, &mut own);
+            p.lookup_state_into_hashed(n, h, key, &mut own);
             let existing: FxHashSet<jisc_common::Lineage> =
                 own.iter().map(|t| t.lineage()).collect();
             p.recycle_probe_scratch(own);
@@ -348,7 +351,7 @@ fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
                 for b in &rs {
                     let t = Tuple::joined(key, a.clone(), b.clone());
                     if existing.is_empty() || !existing.contains(&t.lineage()) {
-                        p.state_insert(n, t);
+                        p.state_insert_hashed(n, h, t);
                     }
                 }
             }
@@ -356,15 +359,15 @@ fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
         OpKind::SetDiff => {
             if !p.state_contains_key(r, key) {
                 let mut own = p.take_probe_scratch();
-                p.lookup_state_into(n, key, &mut own);
+                p.lookup_state_into_hashed(n, h, key, &mut own);
                 let existing: FxHashSet<jisc_common::Lineage> =
                     own.iter().map(|t| t.lineage()).collect();
                 p.recycle_probe_scratch(own);
                 let mut outers = Vec::new();
-                p.lookup_state_into(l, key, &mut outers);
+                p.lookup_state_into_hashed(l, h, key, &mut outers);
                 for a in outers {
                     if existing.is_empty() || !existing.contains(&a.lineage()) {
-                        p.state_insert(n, a);
+                        p.state_insert_hashed(n, h, a);
                     }
                 }
             }

@@ -6,14 +6,20 @@
 //! the moral equivalent of `EXPLAIN ANALYZE` for a migrating stream query.
 //!
 //! ```text
-//! ⋈ {s0,s1,s2,s3}  state=812 complete
+//! ⋈ {s0,s1,s2,s3}  state=812 complete keys=406 slab=812/1024
 //! ├─ ⋈ {s0,s1,s2}  state=0 INCOMPLETE counter=37
-//! │  ├─ ⋈ {s0,s1}  state=441 complete
-//! │  │  ├─ scan s0  state=300
-//! │  │  └─ scan s1  state=300
-//! │  └─ scan s2  state=300
-//! └─ scan s3  state=300
+//! │  ├─ ⋈ {s0,s1}  state=441 complete keys=220 slab=441/512
+//! │  │  ├─ scan s0  state=300 keys=150 slab=300/512
+//! │  │  └─ scan s1  state=300 keys=150 slab=300/512
+//! │  └─ scan s2  state=300 keys=150 slab=300/512
+//! └─ scan s3  state=300 keys=150 slab=300/512
+//! index: probes=2412 mean_depth=1.03 rehashes=14 slot_reuses=388
 //! ```
+//!
+//! `keys`/`slab` are the slab store's occupancy (live entries over arena
+//! slots); the `index:` footer aggregates the execution's probe counters —
+//! a mean probe depth creeping past ~2 or a climbing rehash count flags an
+//! index regression without reaching for a profiler.
 
 use std::fmt::Write as _;
 
@@ -21,9 +27,23 @@ use crate::pipeline::Pipeline;
 use crate::plan::{NodeId, OpKind, Plan};
 use crate::spec::Catalog;
 
-/// Render the running plan as an indented tree with state diagnostics.
+/// Render the running plan as an indented tree with state diagnostics,
+/// followed by an `index:` footer aggregating the execution's slab-index
+/// counters (probe depth, rehashes, slot reuses).
 pub fn explain(pipe: &Pipeline) -> String {
-    explain_plan(pipe.plan(), pipe.catalog())
+    let mut out = explain_plan(pipe.plan(), pipe.catalog());
+    let m = &pipe.metrics;
+    let mean_depth = if m.probes > 0 {
+        m.probe_depth as f64 / m.probes as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "index: probes={} mean_depth={mean_depth:.2} rehashes={} slot_reuses={}",
+        m.probes, m.slab_rehashes, m.slab_slot_reuses
+    );
+    out
 }
 
 /// Render any compiled plan against its catalog.
@@ -80,6 +100,15 @@ fn render(
             }
         }
     }
+    if let Some(stats) = st.slab_stats() {
+        if stats.slab_capacity > 0 {
+            let _ = write!(
+                out,
+                " keys={} slab={}/{}",
+                stats.keys, stats.live, stats.slab_capacity
+            );
+        }
+    }
     if !node.queue.is_empty() {
         let _ = write!(out, " queued={}", node.queue.len());
     }
@@ -123,7 +152,14 @@ mod tests {
         assert!(text.contains("scan R"), "scans shown");
         assert!(text.contains("complete"));
         assert!(!text.contains("INCOMPLETE"));
-        assert_eq!(text.lines().count(), 5, "3 scans + 2 joins:\n{text}");
+        assert_eq!(
+            text.lines().count(),
+            6,
+            "3 scans + 2 joins + index footer:\n{text}"
+        );
+        assert!(text.contains("keys=1 slab=1/"), "slab occupancy: {text}");
+        assert!(text.contains("index: probes="), "footer: {text}");
+        assert!(text.contains("mean_depth="), "footer depth: {text}");
     }
 
     #[test]

@@ -28,22 +28,26 @@
 //! assert_eq!(pipe.output.count(), 1); // r ⋈ s ⋈ t
 //! ```
 
+pub mod baseline;
 pub mod explain;
 pub mod ops;
 pub mod output;
 pub mod pipeline;
 pub mod plan;
 pub mod predicate;
+pub mod slab;
 pub mod snapshot;
 pub mod spec;
 pub mod state;
 
+pub use baseline::BaselineStore;
 pub use explain::{explain, explain_plan};
 pub use ops::DefaultSemantics;
 pub use output::OutputSink;
 pub use pipeline::{AdoptionOutcome, Pipeline, Semantics};
 pub use plan::{Node, NodeId, OpClass, OpKind, Payload, Plan, QueueItem, Signature, StreamSet};
 pub use predicate::Predicate;
+pub use slab::{SlabStats, SlabStore};
 pub use snapshot::BaseStateSnapshot;
 pub use spec::{AggKind, Catalog, JoinStyle, PlanSpec, SpecNode, StreamDef, WindowSpec};
 pub use state::{PendingKeys, State, StoreKind};

@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use jisc_common::{
-    BaseTuple, BatchedTuple, FxHashMap, FxHashSet, JiscError, Key, Lineage, Metrics, Result, SeqNo,
-    StreamId, Tuple, TupleBatch,
+    hash_key, BaseTuple, BatchedTuple, FxHashMap, FxHashSet, JiscError, Key, Lineage, Metrics,
+    Result, SeqNo, StreamId, Tuple, TupleBatch,
 };
 
 use crate::ops::DefaultSemantics;
@@ -39,6 +39,26 @@ pub trait Semantics {
     /// demand here.
     fn before_probe(&mut self, _p: &mut Pipeline, _state_node: NodeId, _key: Key) {}
 }
+
+/// Probe lookahead of the batch kernel: while one delta tuple's matches are
+/// materialized, the index lines this many items ahead are prefetched.
+/// Deep enough to cover a main-memory miss, shallow enough not to thrash
+/// L1 on small batches.
+const PREFETCH_DIST: usize = 8;
+
+/// States smaller than this skip probe prefetching entirely: their index
+/// fits in cache, so the prefetch instructions are pure overhead.
+const PREFETCH_MIN_STATE: usize = 4096;
+
+/// Below this `|δl|·|δr|` product the intra-batch pairing term uses the
+/// plain nested loop; above it, a keyed index over the right delta. The
+/// nested loop wins on small deltas (no map to build or allocate), the
+/// index on large ones (the nested loop is quadratic in batch size).
+const INTRA_PAIR_KEYED_MIN: usize = 2048;
+
+/// Per-node delta scratch buffers shrink back to this capacity after each
+/// flush, so one outlier batch cannot pin its high-water allocation.
+const DELTA_SCRATCH_CAP: usize = 1024;
 
 /// Result of [`Pipeline::adopt_states`]: which signatures were adopted into
 /// the running plan, and the donor states that were discarded.
@@ -77,13 +97,18 @@ pub struct Pipeline {
     /// [`Pipeline::take_probe_scratch`]).
     probe_scratch: Vec<Tuple>,
     /// Deferred inserts of the batch currently being ingested:
-    /// `(scan node, base tuple, fresh flag)` in arrival order.
-    batch_run: Vec<(NodeId, Arc<BaseTuple>, bool)>,
+    /// `(scan node, base tuple, fresh flag, key hash)` in arrival order.
+    /// The hash is computed once at ingest and rides along so the batch
+    /// kernel never rehashes a key.
+    batch_run: Vec<(NodeId, Arc<BaseTuple>, bool, u64)>,
     /// Keys present in the deferred run (expiry-commutation check).
     batch_run_keys: FxHashSet<Key>,
     /// Per-node delta buffers reused across batch flushes (indexed by
-    /// `NodeId`).
-    batch_deltas: Vec<Vec<(Tuple, bool)>>,
+    /// `NodeId`). Each entry carries the probe-key hash of its tuple —
+    /// under the shared-attribute model a joined tuple is probed with the
+    /// same key (hence hash) as the delta tuple that produced it.
+    /// Capacities are capped after each flush (see `DELTA_SCRATCH_CAP`).
+    batch_deltas: Vec<Vec<(Tuple, bool, u64)>>,
     /// Query output.
     pub output: OutputSink,
     /// Execution counters.
@@ -528,7 +553,7 @@ impl Pipeline {
         let fresh = prev.is_none_or(|s| s < self.last_transition_seq);
         let base = Arc::new(BaseTuple::new(t.stream, seq, t.key, t.payload));
         self.rings[t.stream.0 as usize].push_back((ts, Arc::clone(&base)));
-        self.batch_run.push((scan, base, fresh));
+        self.batch_run.push((scan, base, fresh, hash_key(t.key)));
         self.batch_run_keys.insert(t.key);
         Ok(())
     }
@@ -554,7 +579,7 @@ impl Pipeline {
         }
         self.batch_run_keys.clear();
         if self.batch_run.len() == 1 {
-            let (scan, base, fresh) = self.batch_run.pop().expect("non-empty run");
+            let (scan, base, fresh, _) = self.batch_run.pop().expect("non-empty run");
             self.enqueue(
                 scan,
                 QueueItem {
@@ -573,13 +598,19 @@ impl Pipeline {
             d.clear();
         }
         deltas.resize_with(self.plan.len(), Vec::new);
-        for (scan, base, fresh) in self.batch_run.drain(..) {
-            deltas[scan.0 as usize].push((Tuple::Base(base), fresh));
+        for (scan, base, fresh, h) in self.batch_run.drain(..) {
+            deltas[scan.0 as usize].push((Tuple::Base(base), fresh, h));
         }
 
         // Phase I: compute join deltas bottom-up against pre-run states.
         // The arena allocates children before parents, so a node's delta
         // slot always sits above both children's in the buffer.
+        //
+        // Equi-join probes run through the batch kernel: every delta tuple
+        // carries its pre-computed key hash, and the index lines the probe
+        // `PREFETCH_DIST` items ahead will touch are prefetched while the
+        // current probe's matches are materialized, hiding the cache-miss
+        // latency of out-of-cache state tables behind useful work.
         let mut buf = self.take_probe_scratch();
         for i in 0..self.plan.topo().len() {
             let id = self.plan.topo()[i];
@@ -599,48 +630,88 @@ impl Pipeline {
             let (lower, upper) = deltas.split_at_mut(idx);
             let out = &mut upper[0];
             // Left delta × pre-run right state.
-            for (t, f) in &lower[li] {
+            let prefetch_r = self.plan.node(r).state.len() >= PREFETCH_MIN_STATE;
+            for di in 0..lower[li].len() {
+                if prefetch_r {
+                    if let Some((_, _, hn)) = lower[li].get(di + PREFETCH_DIST) {
+                        self.plan.node(r).state.prefetch(*hn);
+                    }
+                }
+                let (t, f, h) = lower[li][di].clone();
                 let key = t.key();
                 sem.before_probe(self, r, key);
                 buf.clear();
                 match pred {
                     Some(pr) => self.scan_theta_state_into(r, pr, key, false, &mut buf),
-                    None => self.lookup_state_into(r, key, &mut buf),
+                    None => self.lookup_state_into_hashed(r, h, key, &mut buf),
                 }
                 for m in buf.drain(..) {
-                    out.push((Tuple::joined(key, t.clone(), m), *f));
+                    out.push((Tuple::joined(key, t.clone(), m), f, h));
                 }
             }
             // Pre-run left state × right delta.
-            for (t, f) in &lower[ri] {
+            let prefetch_l = self.plan.node(l).state.len() >= PREFETCH_MIN_STATE;
+            for di in 0..lower[ri].len() {
+                if prefetch_l {
+                    if let Some((_, _, hn)) = lower[ri].get(di + PREFETCH_DIST) {
+                        self.plan.node(l).state.prefetch(*hn);
+                    }
+                }
+                let (t, f, h) = lower[ri][di].clone();
                 let key = t.key();
                 sem.before_probe(self, l, key);
                 buf.clear();
                 match pred {
                     Some(pr) => self.scan_theta_state_into(l, pr, key, true, &mut buf),
-                    None => self.lookup_state_into(l, key, &mut buf),
+                    None => self.lookup_state_into_hashed(l, h, key, &mut buf),
                 }
                 for m in buf.drain(..) {
-                    out.push((Tuple::joined(key, m.clone(), t.clone()), *f));
+                    out.push((Tuple::joined(key, m.clone(), t.clone()), f, h));
                 }
             }
-            // Intra-batch term: left delta × right delta on key equality.
-            // The result carries the fresh flag of whichever side's tuple
-            // is the later arrival — the item that would have triggered
-            // the join in per-tuple execution.
-            for (a, fa) in &lower[li] {
-                for (b, fb) in &lower[ri] {
-                    if a.key() == b.key() {
-                        let f = if a.max_seq() > b.max_seq() { *fa } else { *fb };
-                        out.push((Tuple::joined(a.key(), a.clone(), b.clone()), f));
+            // Intra-batch term: left delta × right delta on key equality
+            // (batchable theta joins are `KeyEq`, so key equality is the
+            // join condition for both operator kinds). The result carries
+            // the fresh flag of whichever side's tuple is the later
+            // arrival — the item that would have triggered the join in
+            // per-tuple execution. Pairing is keyed through a one-shot
+            // index over the right delta instead of a nested loop: the
+            // loop was O(|δl|·|δr|) and dominated large-batch flushes
+            // (the B=256 regression); keying keeps it O(|δl|+|δr|+pairs)
+            // while emitting in exactly the nested loop's order.
+            let (la, ra) = (&lower[li], &lower[ri]);
+            if !la.is_empty() && !ra.is_empty() {
+                if la.len() * ra.len() > INTRA_PAIR_KEYED_MIN {
+                    let mut by_key: FxHashMap<Key, Vec<u32>> = FxHashMap::default();
+                    for (j, (b, _, _)) in ra.iter().enumerate() {
+                        by_key.entry(b.key()).or_default().push(j as u32);
+                    }
+                    for (a, fa, h) in la {
+                        if let Some(js) = by_key.get(&a.key()) {
+                            for &j in js {
+                                let (b, fb, _) = &ra[j as usize];
+                                let f = if a.max_seq() > b.max_seq() { *fa } else { *fb };
+                                out.push((Tuple::joined(a.key(), a.clone(), b.clone()), f, *h));
+                            }
+                        }
+                    }
+                } else {
+                    for (a, fa, h) in la {
+                        for (b, fb, _) in ra {
+                            if a.key() == b.key() {
+                                let f = if a.max_seq() > b.max_seq() { *fa } else { *fb };
+                                out.push((Tuple::joined(a.key(), a.clone(), b.clone()), f, *h));
+                            }
+                        }
                     }
                 }
             }
         }
         self.recycle_probe_scratch(buf);
 
-        // Phase II: install every delta into its own node's state; the
-        // root's delta is the batch's query output.
+        // Phase II: install every delta into its own node's state (hash
+        // rides along, so installs never rehash); the root's delta is the
+        // batch's query output.
         for i in 0..self.plan.topo().len() {
             let id = self.plan.topo()[i];
             let idx = id.0 as usize;
@@ -649,15 +720,23 @@ impl Pipeline {
             }
             let is_root = self.plan.node(id).parent.is_none();
             let mut d = std::mem::take(&mut deltas[idx]);
-            for (t, _fresh) in d.drain(..) {
+            for (t, _fresh, h) in d.drain(..) {
                 if is_root {
-                    self.state_insert(id, t.clone());
+                    self.state_insert_hashed(id, h, t.clone());
                     self.emit(t);
                 } else {
-                    self.state_insert(id, t);
+                    self.state_insert_hashed(id, h, t);
                 }
             }
             deltas[idx] = d;
+        }
+        // Large batches with selective joins can balloon a delta buffer;
+        // keep the reusable capacity bounded so one outlier batch does not
+        // pin its high-water allocation forever.
+        for d in &mut deltas {
+            if d.capacity() > DELTA_SCRATCH_CAP {
+                d.shrink_to(DELTA_SCRATCH_CAP);
+            }
         }
         self.batch_deltas = deltas;
     }
@@ -734,6 +813,23 @@ impl Pipeline {
             .lookup_into(key, &mut self.metrics, out);
     }
 
+    /// [`Pipeline::lookup_state_into`] with the key's hash already
+    /// computed — the batch kernel and state completion pre-hash once per
+    /// tuple. Accounting is identical.
+    pub fn lookup_state_into_hashed(&mut self, n: NodeId, h: u64, key: Key, out: &mut Vec<Tuple>) {
+        self.plan
+            .node(n)
+            .state
+            .for_each_match_hashed(h, key, &mut self.metrics, |t| out.push(t.clone()));
+    }
+
+    /// Prefetch the index lines a probe of node `n`'s state with hash `h`
+    /// will touch (no-op for list states).
+    #[inline]
+    pub fn state_prefetch(&self, n: NodeId, h: u64) {
+        self.plan.node(n).state.prefetch(h);
+    }
+
     /// Number of entries matching `key` in node `n`'s state, without
     /// materializing them.
     pub fn state_match_count(&mut self, n: NodeId, key: Key) -> usize {
@@ -790,6 +886,14 @@ impl Pipeline {
     /// Insert into node `n`'s state.
     pub fn state_insert(&mut self, n: NodeId, t: Tuple) {
         self.plan.node_mut(n).state.insert(t, &mut self.metrics);
+    }
+
+    /// [`Pipeline::state_insert`] with the key's hash already computed.
+    pub fn state_insert_hashed(&mut self, n: NodeId, h: u64, t: Tuple) {
+        self.plan
+            .node_mut(n)
+            .state
+            .insert_hashed(h, t, &mut self.metrics);
     }
 
     /// Insert into node `n`'s state unless an equal-lineage entry exists.
@@ -976,6 +1080,12 @@ impl Pipeline {
                 .plan
                 .scan_of(StreamId(i as u16))
                 .ok_or_else(|| JiscError::UnknownStream(format!("stream index {i}")))?;
+            // Pre-size the scan state for the whole window so restore-replay
+            // pays no growth rehashes (entry count bounds the key count).
+            self.plan
+                .node_mut(scan)
+                .state
+                .reserve(ring.len(), ring.len(), &mut self.metrics);
             for (ts, base) in ring {
                 self.rings[i].push_back((*ts, Arc::clone(base)));
                 self.state_insert(scan, Tuple::Base(Arc::clone(base)));

@@ -15,6 +15,7 @@
 use jisc_common::{FxHashSet, Key, Lineage, Metrics, SeqNo, StreamId, Tuple};
 
 use crate::predicate::Predicate;
+use crate::slab::{SlabStats, SlabStore};
 
 /// Physical layout of a state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +28,15 @@ pub enum StoreKind {
 }
 
 /// Entry storage.
+///
+/// The hash layout is the cache-conscious [`SlabStore`]: an open-addressing
+/// index over a contiguous slab arena with intrusive per-key chains and an
+/// insertion-order ring (see [`crate::slab`]). The previous
+/// `FxHashMap<Key, Vec<Tuple>>` layout survives as
+/// [`crate::baseline::BaselineStore`] for benchmarking and equivalence tests.
 #[derive(Debug, Clone)]
 enum Store {
-    Hash(jisc_common::FxHashMap<Key, Vec<Tuple>>),
+    Hash(SlabStore),
     List(Vec<Tuple>),
 }
 
@@ -81,7 +88,7 @@ impl State {
     /// Fresh, empty, complete state of the given layout.
     pub fn new(kind: StoreKind) -> Self {
         let store = match kind {
-            StoreKind::Hash => Store::Hash(Default::default()),
+            StoreKind::Hash => Store::Hash(SlabStore::new()),
             StoreKind::List => Store::List(Vec::new()),
         };
         State {
@@ -221,11 +228,24 @@ impl State {
         m.inserts += 1;
         self.len += 1;
         match &mut self.store {
-            Store::Hash(map) => map.entry(t.key()).or_default().push(t),
+            Store::Hash(slab) => slab.insert(t, m),
             Store::List(v) => {
                 *self.list_keys.entry(t.key()).or_insert(0) += 1;
                 v.push(t);
             }
+        }
+    }
+
+    /// [`State::insert`] with the key's hash already computed (batched
+    /// ingest pre-hashes whole batches once). List states ignore the hash.
+    pub fn insert_hashed(&mut self, h: u64, t: Tuple, m: &mut Metrics) {
+        match &mut self.store {
+            Store::Hash(slab) => {
+                m.inserts += 1;
+                self.len += 1;
+                slab.insert_hashed(h, t.key(), t, m);
+            }
+            Store::List(_) => self.insert(t, m),
         }
     }
 
@@ -253,13 +273,7 @@ impl State {
     pub fn for_each_match(&self, key: Key, m: &mut Metrics, mut f: impl FnMut(&Tuple)) {
         m.probes += 1;
         match &self.store {
-            Store::Hash(map) => {
-                if let Some(bucket) = map.get(&key) {
-                    for t in bucket {
-                        f(t);
-                    }
-                }
-            }
+            Store::Hash(slab) => slab.for_each_match(key, m, f),
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
                 for t in v.iter().filter(|t| t.key() == key) {
@@ -269,11 +283,51 @@ impl State {
         }
     }
 
+    /// [`State::for_each_match`] with the key's hash already computed —
+    /// the batch-probe kernel hashes a whole `TupleBatch` once and probes
+    /// with [`State::prefetch`] warming the index ahead of each visit.
+    /// Accounting is identical to [`State::for_each_match`].
+    pub fn for_each_match_hashed(&self, h: u64, key: Key, m: &mut Metrics, f: impl FnMut(&Tuple)) {
+        match &self.store {
+            Store::Hash(slab) => {
+                m.probes += 1;
+                slab.for_each_match_hashed(h, key, m, f);
+            }
+            Store::List(_) => self.for_each_match(key, m, f),
+        }
+    }
+
+    /// Prefetch the index cache lines `h` will probe (no-op for lists).
+    #[inline]
+    pub fn prefetch(&self, h: u64) {
+        if let Store::Hash(slab) = &self.store {
+            slab.prefetch(h);
+        }
+    }
+
+    /// Pre-size the underlying storage for roughly `entries` entries over
+    /// `keys` distinct keys (checkpoint restore sizes states up front so
+    /// replay does not pay growth rehashes).
+    pub fn reserve(&mut self, keys: usize, entries: usize, m: &mut Metrics) {
+        match &mut self.store {
+            Store::Hash(slab) => slab.reserve(keys, entries, m),
+            Store::List(v) => v.reserve(entries.saturating_sub(v.len())),
+        }
+    }
+
+    /// Slab occupancy diagnostics (`None` for list states).
+    pub fn slab_stats(&self) -> Option<SlabStats> {
+        match &self.store {
+            Store::Hash(slab) => Some(slab.stats()),
+            Store::List(_) => None,
+        }
+    }
+
     /// Number of entries matching `key` (same accounting as a lookup).
     pub fn match_count(&self, key: Key, m: &mut Metrics) -> usize {
         m.probes += 1;
         match &self.store {
-            Store::Hash(map) => map.get(&key).map_or(0, Vec::len),
+            Store::Hash(slab) => slab.match_count(key, m),
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
                 v.iter().filter(|t| t.key() == key).count()
@@ -317,13 +371,12 @@ impl State {
                 m.nlj_comparisons += v.len() as u64;
                 out.extend(v.iter().filter(|t| eval(t.key())).cloned());
             }
-            Store::Hash(map) => {
+            Store::Hash(slab) => {
                 // Theta probe against a hash state (e.g. a scan feeding an
-                // NLJ): every entry must be examined.
-                for bucket in map.values() {
-                    m.nlj_comparisons += bucket.len() as u64;
-                    out.extend(bucket.iter().filter(|t| eval(t.key())).cloned());
-                }
+                // NLJ): every entry must be examined; the slab walk is a
+                // dense insertion-order sweep.
+                m.nlj_comparisons += slab.len() as u64;
+                out.extend(slab.iter().filter(|t| eval(t.key())).cloned());
             }
         }
     }
@@ -331,9 +384,9 @@ impl State {
     /// True if at least one entry matches `key` exactly.
     pub fn contains_key(&self, key: Key, m: &mut Metrics) -> bool {
         match &self.store {
-            Store::Hash(map) => {
+            Store::Hash(slab) => {
                 m.probes += 1;
-                map.get(&key).is_some_and(|b| !b.is_empty())
+                slab.contains_key(key, m)
             }
             Store::List(v) => {
                 m.probes += 1;
@@ -357,20 +410,9 @@ impl State {
         m: &mut Metrics,
     ) -> usize {
         let removed = match &mut self.store {
-            Store::Hash(map) => {
+            Store::Hash(slab) => {
                 m.probes += 1;
-                match map.get_mut(&key) {
-                    None => 0,
-                    Some(bucket) => {
-                        let before = bucket.len();
-                        bucket.retain(|t| !t.contains_base(stream, seq));
-                        let gone = before - bucket.len();
-                        if bucket.is_empty() {
-                            map.remove(&key);
-                        }
-                        gone
-                    }
-                }
+                slab.remove_containing(stream, seq, key, m)
             }
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
@@ -394,21 +436,10 @@ impl State {
     /// Remove a specific entry identified by lineage (set-difference
     /// suppression). Returns `true` if an entry was removed.
     pub fn remove_by_lineage(&mut self, lin: &Lineage, key: Key, m: &mut Metrics) -> bool {
-        let removed = match &mut self.store {
-            Store::Hash(map) => {
+        let gone = match &mut self.store {
+            Store::Hash(slab) => {
                 m.probes += 1;
-                match map.get_mut(&key) {
-                    None => false,
-                    Some(bucket) => {
-                        let before = bucket.len();
-                        bucket.retain(|t| t.lineage() != *lin);
-                        let hit = bucket.len() < before;
-                        if bucket.is_empty() {
-                            map.remove(&key);
-                        }
-                        hit
-                    }
-                }
+                slab.remove_by_lineage(lin, key, m)
             }
             Store::List(v) => {
                 let before = v.len();
@@ -421,14 +452,12 @@ impl State {
                     }
                     keep
                 });
-                v.len() < before
+                before - v.len()
             }
         };
-        if removed {
-            self.len -= 1;
-            m.removals += 1;
-        }
-        removed
+        self.len -= gone;
+        m.removals += gone as u64;
+        gone > 0
     }
 
     /// Remove every entry stored under `key` (set-difference suppression by
@@ -436,9 +465,9 @@ impl State {
     /// many entries were removed.
     pub fn remove_key(&mut self, key: Key, m: &mut Metrics) -> usize {
         let removed = match &mut self.store {
-            Store::Hash(map) => {
+            Store::Hash(slab) => {
                 m.probes += 1;
-                map.remove(&key).map_or(0, |b| b.len())
+                slab.remove_key(key, m)
             }
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
@@ -460,20 +489,9 @@ impl State {
     pub fn remove_superset(&mut self, lin: &Lineage, key: Key, m: &mut Metrics) -> usize {
         let contains_all = |t: &Tuple| lin.parts().iter().all(|(s, q)| t.contains_base(*s, *q));
         let removed = match &mut self.store {
-            Store::Hash(map) => {
+            Store::Hash(slab) => {
                 m.probes += 1;
-                match map.get_mut(&key) {
-                    None => 0,
-                    Some(bucket) => {
-                        let before = bucket.len();
-                        bucket.retain(|t| !contains_all(t));
-                        let gone = before - bucket.len();
-                        if bucket.is_empty() {
-                            map.remove(&key);
-                        }
-                        gone
-                    }
-                }
+                slab.remove_superset(lin, key, m)
             }
             Store::List(v) => {
                 m.nlj_comparisons += v.len() as u64;
@@ -499,30 +517,33 @@ impl State {
     /// entries with entries that accumulated through normal post-transition
     /// processing (§4.4 discussion). Returns `true` if inserted.
     pub fn insert_if_absent(&mut self, t: Tuple, m: &mut Metrics) -> bool {
-        let lin = t.lineage();
-        let exists = match &self.store {
-            Store::Hash(map) => {
+        match &mut self.store {
+            Store::Hash(slab) => {
                 m.probes += 1;
-                map.get(&t.key())
-                    .is_some_and(|b| b.iter().any(|e| e.lineage() == lin))
+                let inserted = slab.insert_if_absent(t, m);
+                if inserted {
+                    m.inserts += 1;
+                    self.len += 1;
+                }
+                inserted
             }
             Store::List(v) => {
+                let lin = t.lineage();
                 m.nlj_comparisons += v.len() as u64;
-                v.iter().any(|e| e.lineage() == lin)
+                if v.iter().any(|e| e.lineage() == lin) {
+                    false
+                } else {
+                    self.insert(t, m);
+                    true
+                }
             }
-        };
-        if exists {
-            false
-        } else {
-            self.insert(t, m);
-            true
         }
     }
 
     /// Distinct join-attribute values currently present.
     pub fn distinct_keys(&self) -> FxHashSet<Key> {
         match &self.store {
-            Store::Hash(map) => map.keys().copied().collect(),
+            Store::Hash(slab) => slab.distinct_keys(),
             Store::List(_) => self.list_keys.keys().copied().collect(),
         }
     }
@@ -532,15 +553,16 @@ impl State {
     /// the maintained per-key count map.
     pub fn distinct_key_count(&self) -> usize {
         match &self.store {
-            Store::Hash(map) => map.len(),
+            Store::Hash(slab) => slab.key_count(),
             Store::List(_) => self.list_keys.len(),
         }
     }
 
-    /// Iterate over all entries.
+    /// Iterate over all entries. Hash states yield global insertion order
+    /// (the slab's order ring); list states yield list order.
     pub fn iter(&self) -> Box<dyn Iterator<Item = &Tuple> + '_> {
         match &self.store {
-            Store::Hash(map) => Box::new(map.values().flatten()),
+            Store::Hash(slab) => Box::new(slab.iter()),
             Store::List(v) => Box::new(v.iter()),
         }
     }
@@ -560,7 +582,7 @@ impl State {
     /// Drop every entry (state discard during migration).
     pub fn clear(&mut self) {
         match &mut self.store {
-            Store::Hash(map) => map.clear(),
+            Store::Hash(slab) => slab.clear(),
             Store::List(v) => v.clear(),
         }
         self.list_keys.clear();

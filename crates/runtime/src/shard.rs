@@ -153,11 +153,33 @@ pub struct ShardedConfig {
     pub faults: FaultPlan,
 }
 
+impl ShardedConfig {
+    /// Hardware-aware default worker count:
+    /// `std::thread::available_parallelism()`, or 1 when it cannot be
+    /// determined. Worker shards are CPU-bound (the per-shard engine is
+    /// the hot path), so defaulting past the core count oversubscribes
+    /// the machine — measured at 0.79× serial throughput for N=8 on a
+    /// small container — without any latency benefit.
+    pub fn default_shards() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Clamp an explicit shard request to `[1, default_shards()]`.
+    /// Explicit requests passed to
+    /// [`ShardedExecutor::spawn_with`](crate::ShardedExecutor) are honored
+    /// as given (tests and experiments deliberately oversubscribe); this
+    /// helper is for callers that want a hardware-respecting count derived
+    /// from a configured ceiling.
+    pub fn capped_shards(requested: usize) -> usize {
+        requested.clamp(1, Self::default_shards())
+    }
+}
+
 impl Default for ShardedConfig {
     fn default() -> Self {
         ShardedConfig {
             strategy: ShardStrategy::Jisc,
-            shards: 1,
+            shards: Self::default_shards(),
             queue_capacity: 256,
             checkpoint_every: 1024,
             max_recoveries: 4,
@@ -1002,6 +1024,24 @@ mod tests {
             "per-shard count-window quotas are approximate"
         );
         assert!(!exec.is_exact());
+    }
+
+    #[test]
+    fn default_shards_track_available_parallelism() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(ShardedConfig::default().shards, cores);
+        assert_eq!(ShardedConfig::default_shards(), cores);
+        // Explicit requests clamp through the helper but are never raised.
+        assert_eq!(ShardedConfig::capped_shards(0), 1);
+        assert_eq!(ShardedConfig::capped_shards(1), 1);
+        assert_eq!(ShardedConfig::capped_shards(cores), cores);
+        assert_eq!(ShardedConfig::capped_shards(cores + 8), cores);
+        // Explicit shard counts passed to spawn are honored as given, so
+        // tests and experiments can still deliberately oversubscribe.
+        let catalog = Catalog::uniform(&["R", "S"], 10).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let exec = ShardedExecutor::spawn(catalog, &spec, ShardSemantics::Jisc, 3, 32).unwrap();
+        assert_eq!(exec.shards(), 3);
     }
 
     #[test]
