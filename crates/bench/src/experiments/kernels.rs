@@ -1,0 +1,183 @@
+//! Microbenchmarks of the columnar data plane's kernels.
+//!
+//! Two layers, one table each run:
+//!
+//! * the **column kernels** of `jisc_common::kernels` (SWAR key hashing,
+//!   shard routing, predicate bitmaps, min/max) timed in isolation over a
+//!   dense key column — these are the primitives the engine's columnar
+//!   path composes;
+//! * the **engine kernel stats** ([`jisc_engine::KernelStats`]) from a
+//!   real 20-join columnar run at B = 256 — hash/probe/pair/install/expire
+//!   ns/element as they compose inside the two-phase flush.
+//!
+//! Besides the markdown table, the run writes `BENCH_kernels.json` with
+//! the raw per-kernel numbers.
+
+use std::time::Instant;
+
+use jisc_common::kernels::{eq_bitmap, hash_column, min_max, shard_column};
+use jisc_common::{ColumnarBatch, Key, SelBitmap, StreamId};
+use jisc_core::jisc::JiscSemantics;
+use jisc_engine::{Catalog, Pipeline, StreamDef};
+use jisc_workload::{best_case, Arrival};
+
+use crate::harness::{arrivals_for, Scale};
+use crate::table::Table;
+
+/// Column length for the isolated kernel timings.
+const BASE_COLUMN: usize = 1 << 16;
+
+/// Timing repetitions per kernel (the min is reported to shed scheduler
+/// noise).
+const REPS: usize = 32;
+
+/// Joins in the engine-level run (same plan shape as the throughput
+/// experiment).
+const JOINS: usize = 20;
+
+/// Tuples driven through the engine-level columnar run.
+const BASE_TUPLES: usize = 20_000;
+
+/// Per-stream window population of the engine-level run.
+const BASE_WINDOW: usize = 500;
+
+/// Batch size of the engine-level run.
+const BATCH: usize = 256;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Best-of-`REPS` wall-clock ns/element for one kernel invocation over
+/// `elements` column entries.
+fn best_ns_per_element(elements: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        run();
+        let ns = t0.elapsed().as_nanos() as f64 / elements.max(1) as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// Kernel microbench table and `BENCH_kernels.json`.
+pub fn kernels(scale: Scale) -> Table {
+    let n = scale.apply(BASE_COLUMN).max(64);
+    let mut seed = 0x6a69_7363u64; // deterministic column contents
+    let keys: Vec<Key> = (0..n).map(|_| splitmix(&mut seed) % 1024).collect();
+
+    let mut table = Table::new(
+        "kernels",
+        "Columnar kernel microbench (ns/element, best of 32)",
+        "whole-column kernels should run at a few ns/element or less — \
+         each processes a dense column with no per-row branching",
+        &["kernel", "elements", "ns/element"],
+    );
+    let mut json_rows = Vec::new();
+    let mut record = |table: &mut Table, name: &str, elements: usize, ns: f64| {
+        table.row(vec![name.into(), elements.to_string(), format!("{ns:.3}")]);
+        json_rows.push(format!(
+            "    {{\"kernel\": \"{name}\", \"elements\": {elements}, \
+             \"ns_per_element\": {ns:.3}}}"
+        ));
+    };
+
+    let mut hashes = Vec::with_capacity(n);
+    let ns = best_ns_per_element(n, || hash_column(&keys, &mut hashes));
+    record(&mut table, "hash_column", n, ns);
+
+    let mut routes = Vec::with_capacity(n);
+    let ns = best_ns_per_element(n, || shard_column(&keys, 8, &mut routes));
+    record(&mut table, "shard_column", n, ns);
+
+    let mut bm = SelBitmap::new();
+    let probe = keys[n / 2];
+    let ns = best_ns_per_element(n, || eq_bitmap(&keys, probe, &mut bm));
+    record(&mut table, "eq_bitmap", n, ns);
+
+    let ns = best_ns_per_element(n, || {
+        std::hint::black_box(min_max(&keys));
+    });
+    record(&mut table, "min_max", n, ns);
+
+    // Engine-level composition: the same kernels inside the two-phase
+    // columnar flush of a 20-join plan, as accumulated in
+    // `Pipeline::kernels`.
+    let total = scale.apply(BASE_TUPLES);
+    let window = scale.apply(BASE_WINDOW);
+    let scenario = best_case(JOINS, crate::harness::hash_style());
+    let names: Vec<String> = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ticks = (window * names.len()) as u64;
+    let catalog = Catalog::new(
+        names
+            .iter()
+            .map(|n| StreamDef::timed(n.clone(), ticks))
+            .collect(),
+    )
+    .expect("valid catalog");
+    let arrivals: Vec<Arrival> = arrivals_for(&scenario, total, window as u64, 900);
+
+    let mut pipe = Pipeline::new(catalog, &scenario.initial).expect("pipeline");
+    let mut sem = JiscSemantics::default();
+    let mut batch = ColumnarBatch::new(BATCH);
+    for a in &arrivals {
+        batch
+            .push(StreamId(a.stream), a.key, a.payload)
+            .expect("batch cut on full");
+        if batch.is_full() {
+            pipe.push_columnar_with(&mut sem, &batch)
+                .expect("push columnar");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        pipe.push_columnar_with(&mut sem, &batch)
+            .expect("push columnar");
+    }
+    let stats = pipe.kernels.clone();
+    let mut engine_rows = Vec::new();
+    for (name, c) in [
+        ("hash", &stats.hash),
+        ("probe", &stats.probe),
+        ("pair", &stats.pair),
+        ("install", &stats.install),
+        ("expire", &stats.expire),
+    ] {
+        table.row(vec![
+            format!("engine:{name}"),
+            c.elements.to_string(),
+            format!("{:.3}", c.ns_per_element()),
+        ]);
+        engine_rows.push(format!(
+            "    {{\"kernel\": \"{name}\", \"invocations\": {}, \"elements\": {}, \
+             \"ns_per_element\": {:.3}}}",
+            c.invocations,
+            c.elements,
+            c.ns_per_element()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"kernels\",\n  \"column_length\": {n},\n  \
+         \"engine_tuples\": {total},\n  \"engine_batch_size\": {BATCH},\n  \
+         \"column_kernels\": [\n{}\n  ],\n  \"engine_kernels\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n"),
+        engine_rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_kernels.json", &json) {
+        eprintln!("warning: could not write BENCH_kernels.json: {e}");
+    }
+    table
+}

@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod analysis_exp;
 pub mod frequency;
+pub mod kernels;
 pub mod latency;
 pub mod migration;
 pub mod normal_op;

@@ -60,7 +60,9 @@ pub fn push_all(e: &mut AdaptiveEngine, arrivals: &[Arrival]) {
 pub fn push_all_batched(e: &mut AdaptiveEngine, arrivals: &[Arrival], batch_size: usize) {
     let mut batch = TupleBatch::new(batch_size);
     for a in arrivals {
-        batch.push(BatchedTuple::new(StreamId(a.stream), a.key, a.payload));
+        batch
+            .push(BatchedTuple::new(StreamId(a.stream), a.key, a.payload))
+            .expect("batch cut on full");
         if batch.is_full() {
             e.push_batch(&batch).expect("push batch");
             batch.clear();
@@ -95,7 +97,9 @@ pub fn drive_with_schedule(
                 .expect("transition");
             next += 1;
         }
-        batch.push(BatchedTuple::new(StreamId(a.stream), a.key, a.payload));
+        batch
+            .push(BatchedTuple::new(StreamId(a.stream), a.key, a.payload))
+            .expect("batch cut on full");
         if batch.is_full() {
             e.push_batch(&batch).expect("push batch");
             batch.clear();

@@ -34,6 +34,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "setdiff",
     "ablation",
     "throughput",
+    "kernels",
     "recovery",
     "state",
 ];
@@ -55,6 +56,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "overlap" => vec![overlap::overlap(scale)],
         "setdiff" => vec![setdiff_exp::setdiff(scale)],
         "throughput" => vec![throughput::throughput(scale)],
+        "kernels" => vec![kernels::kernels(scale)],
         "recovery" => vec![recovery_exp::recovery(scale)],
         "state" => vec![state_exp::state(scale)],
         "ablation" => vec![

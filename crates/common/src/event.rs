@@ -10,7 +10,22 @@
 //! barrier: the concrete plan type lives downstream of this crate, so
 //! executors instantiate `Event<PlanSpec>`.
 
+use crate::columnar::ColumnarBatch;
 use crate::tuple::{Key, SeqNo, StreamId};
+
+/// Error returned by [`TupleBatch::push`] (and the columnar pushes) when
+/// the batch is already at capacity: the producer should cut the batch
+/// (ship it, clear it) and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchFull;
+
+impl std::fmt::Display for BatchFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch is at capacity")
+    }
+}
+
+impl std::error::Error for BatchFull {}
 
 /// One tuple as it appears inside a [`TupleBatch`].
 ///
@@ -45,13 +60,15 @@ impl BatchedTuple {
     }
 }
 
-/// A capacity-bounded run of tuples, the data-plane unit of work.
+/// A capacity-bounded run of tuples, the row-model data-plane unit of work
+/// (see [`ColumnarBatch`] for the columnar form the vectorized kernels
+/// consume).
 ///
 /// The capacity is fixed at construction; [`push`](TupleBatch::push) past
-/// it panics (callers check [`is_full`](TupleBatch::is_full) and cut a new
-/// batch). [`clear`](TupleBatch::clear) keeps the allocation so a producer
-/// can reuse one batch as a scratch buffer, same discipline as the
-/// pipeline's probe scratch.
+/// it returns [`BatchFull`] (callers cut a new batch and retry).
+/// [`clear`](TupleBatch::clear) keeps the allocation so a producer can
+/// reuse one batch as a scratch buffer, same discipline as the pipeline's
+/// probe scratch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TupleBatch {
     items: Vec<BatchedTuple>,
@@ -71,7 +88,7 @@ impl TupleBatch {
     /// A batch of exactly one tuple.
     pub fn of_one(t: BatchedTuple) -> Self {
         let mut b = TupleBatch::new(1);
-        b.push(t);
+        b.push_unchecked(t);
         b
     }
 
@@ -95,9 +112,22 @@ impl TupleBatch {
         self.items.len() >= self.capacity
     }
 
-    /// Append a tuple. Panics if the batch is full.
-    pub fn push(&mut self, t: BatchedTuple) {
-        assert!(!self.is_full(), "TupleBatch over capacity");
+    /// Append a tuple, or report [`BatchFull`] when at capacity so the
+    /// producer can cut the batch and retry — over-capacity is a normal
+    /// flow-control condition, not a programming error.
+    pub fn push(&mut self, t: BatchedTuple) -> Result<(), BatchFull> {
+        if self.is_full() {
+            return Err(BatchFull);
+        }
+        self.items.push(t);
+        Ok(())
+    }
+
+    /// Append a tuple the caller has already proven fits (checked in debug
+    /// builds only). The hot scratch-reuse path — flush on full, then push —
+    /// uses this to skip the redundant branch.
+    pub fn push_unchecked(&mut self, t: BatchedTuple) {
+        debug_assert!(!self.is_full(), "TupleBatch over capacity");
         self.items.push(t);
     }
 
@@ -115,10 +145,18 @@ impl TupleBatch {
 /// One element of the unified event stream.
 ///
 /// Consumers process events strictly in order; the variants are:
+// Batch variants dwarf the punctuation variants, but events are moved
+// through queues one at a time, never stored densely — boxing would cost
+// an allocation per batch on the hot ingest path for no locality gain.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
 pub enum Event<P> {
-    /// A run of data tuples.
+    /// A run of data tuples in the row model.
     Batch(TupleBatch),
+    /// A run of data tuples in columnar (SoA) layout — same semantics as
+    /// [`Event::Batch`] with the same rows, but consumers probe it through
+    /// the vectorized kernel path.
+    Columnar(ColumnarBatch),
     /// Watermark punctuation: expire every tuple older than the window
     /// allows at time `ts`, exactly as a serial ingest at `ts` would.
     Expiry(u64),
@@ -138,9 +176,9 @@ mod tests {
     fn batch_capacity_is_enforced() {
         let mut b = TupleBatch::new(2);
         assert!(b.is_empty());
-        b.push(BatchedTuple::new(StreamId(0), 1, 0));
+        b.push(BatchedTuple::new(StreamId(0), 1, 0)).unwrap();
         assert!(!b.is_full());
-        b.push(BatchedTuple::new(StreamId(1), 2, 0));
+        b.push(BatchedTuple::new(StreamId(1), 2, 0)).unwrap();
         assert!(b.is_full());
         assert_eq!(b.len(), 2);
         b.clear();
@@ -149,11 +187,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "over capacity")]
-    fn batch_push_past_capacity_panics() {
+    fn batch_push_past_capacity_errors() {
         let mut b = TupleBatch::new(1);
-        b.push(BatchedTuple::new(StreamId(0), 1, 0));
-        b.push(BatchedTuple::new(StreamId(0), 2, 0));
+        b.push(BatchedTuple::new(StreamId(0), 1, 0)).unwrap();
+        assert_eq!(b.push(BatchedTuple::new(StreamId(0), 2, 0)), Err(BatchFull));
+        assert_eq!(b.len(), 1, "failed push leaves the batch unchanged");
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub struct FxHasher {
     state: u64,
 }
 
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// The Fx multiplier, shared with the column kernels so whole-column
+/// hashing and shard routing stay bit-identical to the scalar paths.
+pub(crate) const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 impl FxHasher {
     #[inline]

@@ -4,6 +4,8 @@
 //!
 //! * [`mod@tuple`] — base and joined (composite) tuples with lineage,
 //! * [`event`] — the unified in-band event model ([`Event`], [`TupleBatch`]),
+//! * [`columnar`] — columnar (SoA) batches, selection bitmaps, payload arenas,
+//! * [`kernels`] — vectorized whole-column kernels (hash, predicate, shard),
 //! * [`hash`] — a fast Fx-style hasher and map/set aliases,
 //! * [`metrics`] — cheap execution counters used by every strategy,
 //! * [`rng`] — a deterministic SplitMix64 generator for reproducible runs,
@@ -13,17 +15,20 @@
 //! join-attribute value (`Key`) shared by all streams of a query, plus an
 //! opaque `payload` that callers use as a row id into their own storage.
 
+pub mod columnar;
 pub mod error;
 pub mod event;
 pub mod fault;
 pub mod hash;
+pub mod kernels;
 pub mod lineage;
 pub mod metrics;
 pub mod rng;
 pub mod tuple;
 
+pub use columnar::{ColumnarBatch, PayloadArena, SelBitmap};
 pub use error::{JiscError, Result};
-pub use event::{BatchedTuple, Event, TupleBatch};
+pub use event::{BatchFull, BatchedTuple, Event, TupleBatch};
 pub use fault::WorkerFault;
 pub use hash::{hash_key, shard_of, FxHashMap, FxHashSet, FxHasher};
 pub use lineage::Lineage;

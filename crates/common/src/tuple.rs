@@ -69,6 +69,11 @@ pub struct JoinedTuple {
     pub left: Tuple,
     /// Right input.
     pub right: Tuple,
+    /// Smallest constituent seq, cached at construction so containment and
+    /// age checks reject without walking the lineage tree.
+    seq_lo: SeqNo,
+    /// Largest constituent seq (see `seq_lo`).
+    seq_hi: SeqNo,
 }
 
 /// Either a base tuple or a joined composite; cheap to clone.
@@ -88,7 +93,15 @@ impl Tuple {
 
     /// Join two tuples under the given probe key.
     pub fn joined(key: Key, left: Tuple, right: Tuple) -> Self {
-        Tuple::Joined(Arc::new(JoinedTuple { key, left, right }))
+        let seq_lo = left.min_seq().min(right.min_seq());
+        let seq_hi = left.max_seq().max(right.max_seq());
+        Tuple::Joined(Arc::new(JoinedTuple {
+            key,
+            left,
+            right,
+            seq_lo,
+            seq_hi,
+        }))
     }
 
     /// Join-attribute value this tuple is probed/stored under.
@@ -111,18 +124,20 @@ impl Tuple {
     ///
     /// Used by the Parallel Track strategy to decide whether a state entry is
     /// "old" (contains a pre-transition arrival) or "new".
+    #[inline]
     pub fn max_seq(&self) -> SeqNo {
         match self {
             Tuple::Base(b) => b.seq,
-            Tuple::Joined(j) => j.left.max_seq().max(j.right.max_seq()),
+            Tuple::Joined(j) => j.seq_hi,
         }
     }
 
     /// Earliest (smallest) arrival sequence number among constituents.
+    #[inline]
     pub fn min_seq(&self) -> SeqNo {
         match self {
             Tuple::Base(b) => b.seq,
-            Tuple::Joined(j) => j.left.min_seq().min(j.right.min_seq()),
+            Tuple::Joined(j) => j.seq_lo,
         }
     }
 
@@ -146,11 +161,18 @@ impl Tuple {
     }
 
     /// True if the exact base tuple `(stream, seq)` is a constituent.
+    ///
+    /// Composites carry a cached constituent seq range, so a tuple that
+    /// cannot contain `seq` is rejected in O(1) and the lineage walk prunes
+    /// whole subtrees — the common case when expiry scans a key chain whose
+    /// entries are all newer than the expiring arrival.
     pub fn contains_base(&self, stream: StreamId, seq: SeqNo) -> bool {
         match self {
             Tuple::Base(b) => b.stream == stream && b.seq == seq,
             Tuple::Joined(j) => {
-                j.left.contains_base(stream, seq) || j.right.contains_base(stream, seq)
+                seq >= j.seq_lo
+                    && seq <= j.seq_hi
+                    && (j.left.contains_base(stream, seq) || j.right.contains_base(stream, seq))
             }
         }
     }

@@ -111,6 +111,15 @@ impl AdaptiveEngine {
         }
     }
 
+    /// Process a whole columnar batch through the vectorized kernel path.
+    pub fn push_columnar(&mut self, batch: &jisc_common::ColumnarBatch) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.push_columnar(batch),
+            Inner::Ms(e) => e.push_columnar(batch),
+            Inner::Pt(e) => e.push_columnar(batch),
+        }
+    }
+
     /// Consume one in-band event (data batch, watermark punctuation,
     /// migration barrier, or flush) — the unified ingest surface every
     /// strategy shares.

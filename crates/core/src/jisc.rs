@@ -65,6 +65,14 @@ impl Semantics for JiscSemantics {
     fn before_probe(&mut self, p: &mut Pipeline, state_node: NodeId, key: Key) {
         ensure_key_complete_with(p, state_node, key, self.mode);
     }
+
+    /// JISC `Remove` handling is the default walk plus `note_removal`,
+    /// which is a no-op on complete states — so once every state is
+    /// complete (no migration debt in flight), the bulk retraction kernel
+    /// is exact.
+    fn bulk_retract_ok(&self, p: &Pipeline) -> bool {
+        p.all_states_complete()
+    }
 }
 
 /// Procedure 1: JISC join. Complete the opposite state's entries for the
@@ -579,6 +587,7 @@ pub fn apply_event<S: EventSemantics>(
 ) -> Result<()> {
     match ev {
         Event::Batch(batch) => p.push_batch_with(sem, &batch),
+        Event::Columnar(batch) => p.push_columnar_with(sem, &batch),
         Event::Expiry(ts) => p.advance_watermark_with(sem, ts),
         Event::MigrationBarrier(spec) => S::apply_barrier(p, &spec),
         Event::Flush => {
@@ -642,6 +651,11 @@ impl JiscExec {
     /// Process a whole batch of arrivals to quiescence.
     pub fn push_batch(&mut self, batch: &TupleBatch) -> Result<()> {
         self.pipe.push_batch_with(&mut self.sem, batch)
+    }
+
+    /// Process a whole columnar batch through the vectorized kernel path.
+    pub fn push_columnar(&mut self, batch: &jisc_common::ColumnarBatch) -> Result<()> {
+        self.pipe.push_columnar_with(&mut self.sem, batch)
     }
 
     /// Consume one in-band event (data batch, watermark, migration

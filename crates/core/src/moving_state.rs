@@ -7,7 +7,7 @@
 //! halt shows up as a burst of work inside [`MovingStateExec::transition_to`]
 //! and as the large armed-latency mark the paper plots in Figure 10.
 
-use jisc_common::{Event, FxHashSet, Key, Result, StreamId, TupleBatch};
+use jisc_common::{ColumnarBatch, Event, FxHashSet, Key, Result, StreamId, TupleBatch};
 use jisc_engine::{Catalog, DefaultSemantics, Pipeline, PlanSpec, Signature};
 
 use crate::migrate::{build_state_eagerly, is_binary, verify_reorderable, verify_same_query};
@@ -47,11 +47,17 @@ impl MovingStateExec {
         self.pipe.push_batch(batch)
     }
 
+    /// Process a whole columnar batch through the vectorized kernel path.
+    pub fn push_columnar(&mut self, batch: &ColumnarBatch) -> Result<()> {
+        self.pipe.push_columnar(batch)
+    }
+
     /// Consume one in-band event. A migration barrier performs this
     /// strategy's eager halt-and-rebuild transition.
     pub fn on_event(&mut self, ev: Event<PlanSpec>) -> Result<()> {
         match ev {
             Event::Batch(batch) => self.push_batch(&batch),
+            Event::Columnar(batch) => self.push_columnar(&batch),
             Event::Expiry(ts) => self.pipe.advance_watermark_with(&mut DefaultSemantics, ts),
             Event::MigrationBarrier(spec) => self.transition_to(&spec),
             Event::Flush => {

@@ -121,11 +121,28 @@ impl ParallelTrackExec {
         Ok(())
     }
 
+    /// Process a whole columnar batch through every running plan via the
+    /// vectorized kernel path (same merge and sweep cadence as
+    /// [`ParallelTrackExec::push_batch`]).
+    pub fn push_columnar(&mut self, batch: &jisc_common::ColumnarBatch) -> Result<()> {
+        for t in &mut self.tracks {
+            t.pipe.push_columnar(batch)?;
+        }
+        self.merge_outputs();
+        self.since_check += batch.len() as u64;
+        if self.tracks.len() > 1 && self.since_check >= self.check_period {
+            self.since_check = 0;
+            self.discard_sweep();
+        }
+        Ok(())
+    }
+
     /// Consume one in-band event. A migration barrier spawns the new
     /// parallel track.
     pub fn on_event(&mut self, ev: Event<PlanSpec>) -> Result<()> {
         match ev {
             Event::Batch(batch) => self.push_batch(&batch),
+            Event::Columnar(batch) => self.push_columnar(&batch),
             Event::Expiry(ts) => {
                 for t in &mut self.tracks {
                     t.pipe.advance_watermark_with(&mut DefaultSemantics, ts)?;

@@ -11,9 +11,10 @@
 //! all four strategies: plain pipelined execution (no migrations), JISC,
 //! Moving State, and Parallel Track.
 
-use jisc_common::{BatchedTuple, Event, Lineage, StreamId, TupleBatch};
+use jisc_common::{BatchedTuple, ColumnarBatch, Event, Lineage, StreamId, TupleBatch};
+use jisc_core::jisc::apply_event;
 use jisc_core::{AdaptiveEngine, Strategy as Mig};
-use jisc_engine::{Catalog, JoinStyle, Pipeline, PlanSpec, StreamDef};
+use jisc_engine::{Catalog, DefaultSemantics, JoinStyle, Pipeline, PlanSpec, StreamDef};
 use proptest::prelude::*;
 
 type OutputMultiset = Vec<(Lineage, usize)>;
@@ -30,6 +31,10 @@ struct Case {
     arrivals: Vec<(u16, u64)>,
     /// Arrival indices at which a migration (leaf rotation) fires.
     migrations: Vec<usize>,
+    /// Arrival indices at which the arbitrary batch partition cuts.
+    cuts: Vec<usize>,
+    /// Arrival indices at which an expiry watermark is punctuated.
+    expiries: Vec<usize>,
 }
 
 impl Case {
@@ -61,22 +66,32 @@ fn case_strategy() -> impl Strategy<Value = Case> {
             Just(wkind),
             proptest::collection::vec((0..streams as u16, 0u64..9), n),
             proptest::collection::vec(1usize..n, 0..3),
+            proptest::collection::vec(1usize..n, 0..10),
+            proptest::collection::vec(1usize..n, 0..3),
         )
-            .prop_map(|(streams, wkind, arrivals, mut migrations)| {
-                migrations.sort_unstable();
-                migrations.dedup();
-                Case {
-                    names: (0..streams).map(|i| format!("S{i}")).collect(),
-                    // wkind 0: count windows; 1: slow expiry; 2: fast expiry.
-                    ticks: match wkind {
-                        0 => None,
-                        1 => Some(40),
-                        _ => Some(12),
-                    },
-                    arrivals,
-                    migrations,
-                }
-            })
+            .prop_map(
+                |(streams, wkind, arrivals, mut migrations, mut cuts, mut expiries)| {
+                    migrations.sort_unstable();
+                    migrations.dedup();
+                    cuts.sort_unstable();
+                    cuts.dedup();
+                    expiries.sort_unstable();
+                    expiries.dedup();
+                    Case {
+                        names: (0..streams).map(|i| format!("S{i}")).collect(),
+                        // wkind 0: count windows; 1: slow expiry; 2: fast expiry.
+                        ticks: match wkind {
+                            0 => None,
+                            1 => Some(40),
+                            _ => Some(12),
+                        },
+                        arrivals,
+                        migrations,
+                        cuts,
+                        expiries,
+                    }
+                },
+            )
     })
 }
 
@@ -117,7 +132,9 @@ fn batched(case: &Case, strategy: Mig, batch_size: usize) -> OutputMultiset {
             e.on_event(Event::MigrationBarrier(case.plan(rot)))
                 .expect("barrier");
         }
-        batch.push(BatchedTuple::new(StreamId(s), k, i as u64));
+        batch
+            .push(BatchedTuple::new(StreamId(s), k, i as u64))
+            .expect("batch cut on full");
         if batch.is_full() {
             e.on_event(Event::Batch(batch.clone())).expect("batch");
             batch.clear();
@@ -139,7 +156,9 @@ fn plain_pair(case: &Case, batch_size: usize) -> (OutputMultiset, OutputMultiset
     let mut pipe = Pipeline::new(case.catalog(), &case.plan(0)).expect("pipeline");
     let mut batch = TupleBatch::new(batch_size);
     for (i, &(s, k)) in case.arrivals.iter().enumerate() {
-        batch.push(BatchedTuple::new(StreamId(s), k, i as u64));
+        batch
+            .push(BatchedTuple::new(StreamId(s), k, i as u64))
+            .expect("batch cut on full");
         if batch.is_full() {
             pipe.push_batch(&batch).expect("push batch");
             batch.clear();
@@ -152,6 +171,84 @@ fn plain_pair(case: &Case, batch_size: usize) -> (OutputMultiset, OutputMultiset
         sorted_multiset(reference.output.lineage_multiset()),
         sorted_multiset(pipe.output.lineage_multiset()),
     )
+}
+
+/// Materialize the case as a unified event stream: data cut at the case's
+/// *arbitrary* partition points, with migration barriers and expiry
+/// watermarks cutting the current batch short wherever they land (so they
+/// routinely fall "mid-batch" relative to the partition). `columnar` picks
+/// the data representation; control positions are identical either way,
+/// which is exactly what the columnar ≡ row equivalence needs.
+fn event_stream(case: &Case, columnar: bool, with_migrations: bool) -> Vec<Event<PlanSpec>> {
+    fn cut(
+        evs: &mut Vec<Event<PlanSpec>>,
+        rows: &mut TupleBatch,
+        cols: &mut ColumnarBatch,
+        columnar: bool,
+    ) {
+        if columnar {
+            if !cols.is_empty() {
+                let full = std::mem::replace(cols, ColumnarBatch::new(cols.capacity()));
+                evs.push(Event::Columnar(full));
+            }
+        } else if !rows.is_empty() {
+            let full = std::mem::replace(rows, TupleBatch::new(rows.capacity()));
+            evs.push(Event::Batch(full));
+        }
+    }
+    let n = case.arrivals.len().max(1);
+    let mut evs = Vec::new();
+    let mut rows = TupleBatch::new(n);
+    let mut cols = ColumnarBatch::new(n);
+    let mut rot = 0usize;
+    for (i, &(s, k)) in case.arrivals.iter().enumerate() {
+        if with_migrations && case.migrations.contains(&i) {
+            cut(&mut evs, &mut rows, &mut cols, columnar);
+            rot += 1;
+            evs.push(Event::MigrationBarrier(case.plan(rot)));
+        }
+        if case.expiries.contains(&i) {
+            cut(&mut evs, &mut rows, &mut cols, columnar);
+            // Arrival `j` gets ts `j` (engine-assigned), so a watermark of
+            // `i` here is monotonic and, under time windows, expires a
+            // prefix of the rings mid-stream.
+            evs.push(Event::Expiry(i as u64));
+        }
+        if case.cuts.contains(&i) {
+            cut(&mut evs, &mut rows, &mut cols, columnar);
+        }
+        if columnar {
+            cols.push(StreamId(s), k, i as u64).expect("capacity n");
+        } else {
+            rows.push(BatchedTuple::new(StreamId(s), k, i as u64))
+                .expect("capacity n");
+        }
+    }
+    cut(&mut evs, &mut rows, &mut cols, columnar);
+    evs
+}
+
+/// Drive an event stream to completion: `None` runs the plain pipeline
+/// (DefaultSemantics), `Some` an [`AdaptiveEngine`] under that strategy.
+fn run_events(case: &Case, strategy: Option<Mig>, evs: &[Event<PlanSpec>]) -> OutputMultiset {
+    match strategy {
+        None => {
+            let mut pipe = Pipeline::new(case.catalog(), &case.plan(0)).expect("pipeline");
+            let mut sem = DefaultSemantics;
+            for ev in evs {
+                apply_event(&mut pipe, &mut sem, ev.clone()).expect("event");
+            }
+            sorted_multiset(pipe.output.lineage_multiset())
+        }
+        Some(strategy) => {
+            let mut e =
+                AdaptiveEngine::new(case.catalog(), &case.plan(0), strategy).expect("engine");
+            for ev in evs {
+                e.on_event(ev.clone()).expect("event");
+            }
+            sorted_multiset(e.output().lineage_multiset())
+        }
+    }
 }
 
 proptest! {
@@ -185,6 +282,84 @@ proptest! {
                     strategy, bs, case.migrations.len(), case.ticks
                 );
             }
+        }
+    }
+
+    /// Columnar ingest is observationally equivalent to row-batch ingest
+    /// over *arbitrary* batch partitions, for all four strategies, with
+    /// migration barriers and expiry watermarks landing mid-partition.
+    #[test]
+    fn columnar_equals_row_batches_all_strategies(case in case_strategy()) {
+        // Plain pipelined execution rejects barriers; both runs skip them.
+        let row = run_events(&case, None, &event_stream(&case, false, false));
+        let col = run_events(&case, None, &event_stream(&case, true, false));
+        prop_assert_eq!(
+            &col, &row,
+            "plain pipeline diverged ({} cuts, {} expiries, ticks {:?})",
+            case.cuts.len(), case.expiries.len(), case.ticks
+        );
+        for strategy in [
+            Mig::Jisc,
+            Mig::MovingState,
+            Mig::ParallelTrack { check_period: 10 },
+        ] {
+            let row = run_events(&case, Some(strategy), &event_stream(&case, false, true));
+            let col = run_events(&case, Some(strategy), &event_stream(&case, true, true));
+            prop_assert_eq!(
+                &col, &row,
+                "{:?} diverged ({} cuts, {} migrations, {} expiries, ticks {:?})",
+                strategy, case.cuts.len(), case.migrations.len(),
+                case.expiries.len(), case.ticks
+            );
+        }
+    }
+
+    /// A checkpoint/restore round-trip mid-way through a columnar event
+    /// stream reproduces the uninterrupted run: base state is snapshotted
+    /// at an event boundary, a fresh engine is restored from it (derived
+    /// states rebuilt per strategy — just-in-time for JISC), the drained
+    /// prefix output is reinstated, and the remaining events continue on
+    /// the restored engine.
+    #[test]
+    fn columnar_checkpoint_restore_round_trip(case in case_strategy()) {
+        for strategy in [
+            Mig::Jisc,
+            Mig::MovingState,
+            Mig::ParallelTrack { check_period: 10 },
+        ] {
+            let evs = event_stream(&case, true, true);
+            let full = run_events(&case, Some(strategy), &evs);
+
+            let mut e =
+                AdaptiveEngine::new(case.catalog(), &case.plan(0), strategy).expect("engine");
+            let mut spec = case.plan(0);
+            let mut restored = false;
+            for (j, ev) in evs.iter().enumerate() {
+                // At the first event boundary past the midpoint where the
+                // engine can snapshot (Parallel Track may be mid-migration),
+                // round-trip through checkpoint + restore.
+                if !restored && j * 2 >= evs.len() {
+                    if let Some(snap) = e.base_snapshot() {
+                        let saved = e.take_output();
+                        let mut r =
+                            AdaptiveEngine::restore(case.catalog(), &spec, strategy, Some(&snap))
+                                .expect("restore");
+                        r.set_output(saved);
+                        e = r;
+                        restored = true;
+                    }
+                }
+                if let Event::MigrationBarrier(p) = ev {
+                    spec = p.clone();
+                }
+                e.on_event(ev.clone()).expect("event");
+            }
+            let got = sorted_multiset(e.output().lineage_multiset());
+            prop_assert_eq!(
+                &got, &full,
+                "{:?} checkpoint/restore diverged (restored: {}, ticks {:?})",
+                strategy, restored, case.ticks
+            );
         }
     }
 }

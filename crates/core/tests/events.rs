@@ -110,7 +110,9 @@ fn flush_drains_all_operator_queues_and_is_idempotent() {
 
     let mut batch = TupleBatch::new(16);
     for i in 0..48u64 {
-        batch.push(BatchedTuple::new(StreamId((i % 3) as u16), i % 5, i));
+        batch
+            .push(BatchedTuple::new(StreamId((i % 3) as u16), i % 5, i))
+            .unwrap();
         if batch.is_full() {
             apply_event(&mut pipe, &mut sem, Event::Batch(batch.clone())).unwrap();
             batch.clear();
@@ -160,7 +162,8 @@ fn events_apply_in_stream_order_across_strategies() {
         let send = |from: usize, to: usize, e: &mut AdaptiveEngine| {
             let mut b = TupleBatch::new(to - from);
             for (i, &(s, k)) in arrivals[from..to].iter().enumerate() {
-                b.push(BatchedTuple::new(StreamId(s), k, (from + i) as u64));
+                b.push(BatchedTuple::new(StreamId(s), k, (from + i) as u64))
+                    .unwrap();
             }
             e.on_event(Event::Batch(b)).unwrap();
         };

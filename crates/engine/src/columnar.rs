@@ -1,0 +1,1052 @@
+//! The columnar (vectorized) batch execution path.
+//!
+//! [`Pipeline::push_batch_with`] processes a row-major
+//! [`TupleBatch`](jisc_common::TupleBatch) through per-element deltas that
+//! carry an `Arc`'d tuple each — every probe pays a pointer chase and a
+//! refcount round-trip even when it matches nothing, which is what capped
+//! the row path's batching gains. [`Pipeline::push_columnar_with`] executes
+//! the same two-phase flush over structure-of-arrays deltas instead:
+//!
+//! * the **key hashes of the whole batch** are produced by one column
+//!   kernel ([`jisc_common::kernels::hash_column`]) and ride along as a
+//!   dense column, feeding the slab store's `insert_hashed`/
+//!   `for_each_match_hashed` entry points directly;
+//! * **probe loops read only the dense key/hash columns** — a delta tuple's
+//!   `Arc` is touched (cloned) only when a probe actually matches, so a
+//!   selective join's flush no longer scales with refcount traffic;
+//! * **window expiry is planned per batch, not per arrival**: when no
+//!   window pops interleave with the batch at all it commits as one bulk
+//!   segment; otherwise a read-only planner cuts the batch into maximal
+//!   *bulk-safe segments* — each segment's expiries provably commute with
+//!   its inserts (no expiring key collides with a segment insert, no
+//!   segment row expires mid-segment) and execute as one bulk
+//!   pops-then-inserts step. Only incomplete (mid-migration) state forces
+//!   the exact per-arrival row path;
+//! * **nested-loop (KeyEq) probes and intra-batch pairing** evaluate the
+//!   join predicate over an entire delta column into a [`SelBitmap`]
+//!   (64 rows per word, branch-free) instead of scanning the state once
+//!   per delta element and materializing intermediates.
+//!
+//! The output is equivalent to pushing the batch's rows one at a time in
+//! order, by lineage multiset — property-tested against the per-tuple and
+//! row-batch paths for all four migration strategies.
+//!
+//! Per-kernel wall-clock/element counters accumulate in
+//! [`Pipeline::kernels`] ([`KernelStats`]) and surface as a footer line in
+//! [`crate::explain::explain`]. They are deliberately *not* part of
+//! [`jisc_common::Metrics`], which must stay deterministic and comparable
+//! across equivalent runs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jisc_common::kernels::{eq_bitmap, hash_column};
+use jisc_common::{
+    BaseTuple, ColumnarBatch, FxHashMap, FxHashSet, JiscError, Key, Result, SelBitmap, SeqNo, Tuple,
+};
+
+use crate::ops::DefaultSemantics;
+use crate::pipeline::{
+    Pipeline, Semantics, DELTA_SCRATCH_CAP, INTRA_PAIR_KEYED_MIN, PREFETCH_DIST, PREFETCH_MIN_STATE,
+};
+use crate::plan::{OpKind, Payload, QueueItem};
+use crate::predicate::Predicate;
+use crate::spec::WindowSpec;
+
+/// Accumulated cost of one kernel: how often it ran, how many column
+/// elements it touched, and the wall-clock nanoseconds it took.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelCounter {
+    /// Times the kernel ran.
+    pub invocations: u64,
+    /// Column elements processed across all invocations.
+    pub elements: u64,
+    /// Total wall-clock nanoseconds.
+    pub nanos: u64,
+}
+
+impl KernelCounter {
+    fn record(&mut self, elements: u64, took: Duration) {
+        self.invocations += 1;
+        self.elements += elements;
+        self.nanos += took.as_nanos() as u64;
+    }
+
+    /// Mean nanoseconds per element (0.0 before any elements).
+    pub fn ns_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.elements as f64
+        }
+    }
+}
+
+/// Per-kernel cost counters of the columnar path, surfaced in
+/// [`explain`](crate::explain::explain)'s footer. Wall-clock based, so kept
+/// out of [`jisc_common::Metrics`] (which is deterministic and comparable).
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Whole-column key hashing.
+    pub hash: KernelCounter,
+    /// Phase-I probes of pre-batch states (elements = delta entries probed).
+    pub probe: KernelCounter,
+    /// Intra-batch delta×delta pairing (elements = left-side entries).
+    pub pair: KernelCounter,
+    /// Phase-II state installs + root emission (elements = entries installed).
+    pub install: KernelCounter,
+    /// Bulk window expiry (elements = tuples expired).
+    pub expire: KernelCounter,
+}
+
+impl KernelStats {
+    /// Has the columnar path run at all?
+    pub fn any(&self) -> bool {
+        self.hash.invocations > 0
+    }
+
+    /// The `explain` footer line.
+    pub fn footer(&self) -> String {
+        let f = |c: &KernelCounter| format!("{}@{:.1}ns", c.elements, c.ns_per_element());
+        format!(
+            "kernels: hash={} probe={} pair={} install={} expire={}",
+            f(&self.hash),
+            f(&self.probe),
+            f(&self.pair),
+            f(&self.install),
+            f(&self.expire),
+        )
+    }
+}
+
+/// One node's batch delta in structure-of-arrays layout: parallel dense
+/// columns, one entry per delta tuple. The probe loops read `keys`/`hashes`
+/// only; `tuples` is touched when a probe matches (the `Arc` clone the row
+/// path paid per element now happens per *result*).
+#[derive(Debug, Default)]
+pub(crate) struct ColDelta {
+    keys: Vec<Key>,
+    hashes: Vec<u64>,
+    fresh: Vec<bool>,
+    /// Newest constituent sequence number (intra-batch pairing resolves
+    /// which side "arrived later" from this column without touching the
+    /// tuples).
+    max_seqs: Vec<SeqNo>,
+    tuples: Vec<Tuple>,
+}
+
+impl ColDelta {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn push(&mut self, key: Key, hash: u64, fresh: bool, max_seq: SeqNo, tuple: Tuple) {
+        self.keys.push(key);
+        self.hashes.push(hash);
+        self.fresh.push(fresh);
+        self.max_seqs.push(max_seq);
+        self.tuples.push(tuple);
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.hashes.clear();
+        self.fresh.clear();
+        self.max_seqs.clear();
+        self.tuples.clear();
+    }
+
+    fn shrink(&mut self, cap: usize) {
+        if self.keys.capacity() > cap {
+            self.keys.shrink_to(cap);
+            self.hashes.shrink_to(cap);
+            self.fresh.shrink_to(cap);
+            self.max_seqs.shrink_to(cap);
+            self.tuples.shrink_to(cap);
+        }
+    }
+}
+
+/// One expired base tuple's removal as carried by the bulk retraction
+/// kernel (the `fresh` flag of a queued `Remove` is omitted — the default
+/// removal walk threads it through unread).
+#[derive(Debug, Clone, Copy)]
+struct RemoveItem {
+    stream: jisc_common::StreamId,
+    seq: SeqNo,
+    key: Key,
+}
+
+/// Reusable scratch of the columnar path, owned by the pipeline so the
+/// steady state allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct ColScratch {
+    /// Whole-batch key hashes (hash kernel output).
+    hashes: Vec<u64>,
+    /// Effective per-row timestamps after clock resolution.
+    eff_ts: Vec<u64>,
+    /// Per-node SoA deltas, indexed by `NodeId`.
+    deltas: Vec<ColDelta>,
+    /// Distinct keys of the current segment (expiry-commutation check).
+    batch_keys: FxHashSet<Key>,
+    /// Predicate-kernel output bitmap.
+    bitmap: SelBitmap,
+    /// Per-stream: ring entries to expire for the current segment.
+    pops: Vec<usize>,
+    /// Per-stream arrival counts (current segment, or whole batch during
+    /// the global planning pass).
+    arrivals: Vec<usize>,
+    /// One row's prospective pops: `(stream, ring position, key)`.
+    row_pops: Vec<(usize, usize, Key)>,
+    /// Pops of the current segment whose removal is deferred past the
+    /// segment's flush: `(stream, ring position)`.
+    deferred_pops: Vec<(usize, usize)>,
+    /// Keys with a deferred removal pending — a new arrival on such a key
+    /// cuts the segment (it must not pair with the removed tuple).
+    deferred_keys: FxHashSet<Key>,
+    /// Tuples popped from their rings whose `Remove` has not been
+    /// enqueued yet; drained into the next expiry run.
+    pending_removes: Vec<Arc<BaseTuple>>,
+    /// Per-node pending removal columns of the bulk retraction kernel,
+    /// indexed by `NodeId`.
+    retract: Vec<Vec<RemoveItem>>,
+}
+
+/// Result of the read-only clock/expiry planning pass.
+enum BatchPlan {
+    /// No window expiry interleaves with the batch: one bulk segment.
+    Bulk,
+    /// Expiry interleaves; execute as maximal bulk-safe segments, cutting
+    /// where an expiring key collides with a segment insert.
+    Segmented,
+    /// Clock violation, unknown stream, or mid-migration incomplete state:
+    /// run the exact per-arrival row path.
+    Fallback,
+}
+
+impl Pipeline {
+    /// Process a whole [`ColumnarBatch`] to quiescence under the given
+    /// semantics, equivalent (by output lineage multiset) to pushing its
+    /// rows one at a time in order — the columnar counterpart of
+    /// [`Pipeline::push_batch_with`], executed through the vectorized
+    /// kernel path described in [`crate::columnar`].
+    pub fn push_columnar_with(
+        &mut self,
+        sem: &mut impl Semantics,
+        batch: &ColumnarBatch,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if batch.len() < 2 || !self.plan.batchable() {
+            for i in 0..batch.len() {
+                let t = batch.row(i);
+                if let Some(seq) = t.seq {
+                    self.set_next_seq(seq);
+                }
+                let ts = match t.ts {
+                    Some(ts) => ts,
+                    None => self.last_ts.max(self.next_seq),
+                };
+                self.push_at_with(sem, t.stream, t.key, t.payload, ts)?;
+            }
+            return Ok(());
+        }
+        if self.pending_items > 0 {
+            return Err(JiscError::InvalidConfig(
+                "previous arrival not yet processed: run the pipeline before \
+                 ingesting the next batch"
+                    .into(),
+            ));
+        }
+
+        let mut col = std::mem::take(&mut self.col);
+        let t0 = Instant::now();
+        hash_column(batch.keys(), &mut col.hashes);
+        self.kernels.hash.record(batch.len() as u64, t0.elapsed());
+
+        let plan = self.plan_batch(batch, &mut col);
+        let result = match plan {
+            BatchPlan::Bulk => {
+                col.pops.clear();
+                col.pops.resize(self.catalog.len(), 0);
+                col.deferred_pops.clear();
+                self.commit_segment(sem, batch, &mut col, 0, batch.len());
+                self.flush_columnar(sem, &mut col);
+                Ok(())
+            }
+            BatchPlan::Segmented => {
+                let mut start = 0;
+                while start < batch.len() {
+                    let end = self.plan_segment(batch, start, &mut col);
+                    self.commit_segment(sem, batch, &mut col, start, end);
+                    self.flush_columnar(sem, &mut col);
+                    start = end;
+                }
+                self.drain_deferred(sem, &mut col);
+                Ok(())
+            }
+            BatchPlan::Fallback => {
+                // Row-by-row deferred ingest: exact per-arrival window and
+                // clock semantics, including the serial-prefix state on
+                // error. Hot batches never land here; conflicting or
+                // malformed ones do.
+                let mut out = Ok(());
+                for i in 0..batch.len() {
+                    if let Err(e) = self.ingest_deferred(sem, &batch.row(i)) {
+                        out = Err(e);
+                        break;
+                    }
+                }
+                self.flush_run(sem);
+                out
+            }
+        };
+        self.col = col;
+        result
+    }
+
+    /// [`Pipeline::push_columnar_with`] under the default semantics.
+    pub fn push_columnar(&mut self, batch: &ColumnarBatch) -> Result<()> {
+        self.push_columnar_with(&mut DefaultSemantics, batch)
+    }
+
+    /// Read-only planning pass: resolve every row's effective timestamp
+    /// and classify the batch — bulk (no expiry interleaves), segmented
+    /// (expiry interleaves but state is complete), or row-path fallback.
+    /// Mutates only `col` scratch.
+    fn plan_batch(&self, batch: &ColumnarBatch, col: &mut ColScratch) -> BatchPlan {
+        let n = batch.len();
+
+        // Clock resolution: simulate the sequence/timestamp assignment the
+        // serial path would perform. Any monotonicity violation or a
+        // pinned sequence that would rewind the transition clock falls
+        // back — the row path reproduces the exact serial-prefix
+        // semantics (including the error).
+        col.eff_ts.clear();
+        col.eff_ts.reserve(n);
+        let mut sim_seq = self.next_seq;
+        let mut sim_ts = self.last_ts;
+        for i in 0..n {
+            if let Some(s) = batch.seq_at(i) {
+                if s < self.last_transition_seq {
+                    return BatchPlan::Fallback;
+                }
+                sim_seq = s;
+            }
+            let ts = batch.ts_at(i).unwrap_or_else(|| sim_ts.max(sim_seq));
+            if ts < sim_ts {
+                return BatchPlan::Fallback;
+            }
+            sim_ts = ts;
+            col.eff_ts.push(ts);
+            sim_seq += 1;
+        }
+
+        // Per-stream arrival counts, validating streams on the way.
+        let streams = self.catalog.len();
+        col.arrivals.clear();
+        col.arrivals.resize(streams, 0);
+        for &s in batch.streams() {
+            let si = s.0 as usize;
+            if si >= streams || self.plan.scan_of(s).is_none() {
+                return BatchPlan::Fallback;
+            }
+            col.arrivals[si] += 1;
+        }
+
+        // Does any window expiry interleave with this batch at all? A
+        // count window pops once its population would exceed `w`; a time
+        // window pops when a ring front ages past `d` by the batch's final
+        // timestamp, or when the batch's own span reaches `d` (a batch row
+        // would expire mid-batch).
+        let (first_ts, final_ts) = (col.eff_ts[0], col.eff_ts[n - 1]);
+        let mut expiry = false;
+        for i in 0..streams {
+            let s = jisc_common::StreamId(i as u16);
+            expiry |= match self.catalog.window_spec(s) {
+                WindowSpec::Count(w) => self.rings[i].len() + col.arrivals[i] > w,
+                WindowSpec::Time(d) => {
+                    final_ts - first_ts >= d
+                        || self.rings[i]
+                            .front()
+                            .is_some_and(|(at, _)| final_ts.saturating_sub(*at) >= d)
+                }
+            };
+            if expiry {
+                break;
+            }
+        }
+        if !expiry {
+            return BatchPlan::Bulk;
+        }
+        if self.any_state_incomplete() {
+            // Completion bookkeeping does not commute with bulk removals;
+            // mid-migration batches that expire take the exact row path.
+            return BatchPlan::Fallback;
+        }
+        BatchPlan::Segmented
+    }
+
+    /// Greedy maximal bulk-safe segment starting at row `start`.
+    ///
+    /// All joins are key-equality (`batchable()` gates the columnar path),
+    /// so only *per-key* event order matters for the output lineage
+    /// multiset — events on different keys commute freely. A ring pop
+    /// triggered mid-segment is therefore handled one of three ways:
+    ///
+    /// * its key was **not inserted earlier in the segment** → execute it
+    ///   *before* the segment's inserts (the bulk pre-pop), preserving
+    ///   pop-before-insert for that key (this covers a pop of the
+    ///   triggering row's own key: serial order is slide-then-insert);
+    /// * its key **was inserted earlier** → *defer* the removal until
+    ///   after the segment's flush. Serially every segment insert of that
+    ///   key precedes the pop (a later same-key arrival cuts the
+    ///   segment), so post-flush removal preserves per-key order;
+    /// * it would pop a **segment row** (count-window overflow, or the
+    ///   segment's timestamp span reaching the shortest time window) →
+    ///   cut: a batch tuple expiring mid-batch cannot be bulk-ordered.
+    ///
+    /// A new arrival whose key has a deferred removal pending also cuts —
+    /// it must probe the post-removal state. Fills `col.pops` (per-stream
+    /// ring pops) and `col.deferred_pops`/`col.deferred_keys` for the
+    /// segment, and always returns `end > start`: a single row is
+    /// trivially safe, since its own pops precede its insert in both
+    /// serial and bulk order.
+    fn plan_segment(&self, batch: &ColumnarBatch, start: usize, col: &mut ColScratch) -> usize {
+        let n = batch.len();
+        let streams = self.catalog.len();
+        col.pops.clear();
+        col.pops.resize(streams, 0);
+        col.arrivals.clear();
+        col.arrivals.resize(streams, 0);
+        col.batch_keys.clear();
+        col.deferred_pops.clear();
+        col.deferred_keys.clear();
+        let min_ticks = (0..streams)
+            .filter_map(
+                |i| match self.catalog.window_spec(jisc_common::StreamId(i as u16)) {
+                    WindowSpec::Time(d) => Some(d),
+                    WindowSpec::Count(_) => None,
+                },
+            )
+            .min();
+        let (keys, streams_col) = (batch.keys(), batch.streams());
+        let start_ts = col.eff_ts[start];
+        let mut e = start;
+        while e < n {
+            let ts = col.eff_ts[e];
+            let (s, key) = (streams_col[e], keys[e]);
+            let si = s.0 as usize;
+            if let Some(d) = min_ticks {
+                if e > start && ts - start_ts >= d {
+                    break; // admitting this row would age a segment row past `d`
+                }
+            }
+            if col.deferred_keys.contains(&key) {
+                break; // must probe state after the deferred removal lands
+            }
+            // Collect this row's prospective pops read-only, so a cut
+            // leaves `col.pops`/deferral state describing `[start, e)`.
+            col.row_pops.clear();
+            if self.has_time_windows {
+                for i in 0..streams {
+                    if let WindowSpec::Time(d) =
+                        self.catalog.window_spec(jisc_common::StreamId(i as u16))
+                    {
+                        let ring = &self.rings[i];
+                        let mut c = col.pops[i];
+                        while let Some((at, old)) = ring.get(c) {
+                            if ts.saturating_sub(*at) < d {
+                                break;
+                            }
+                            col.row_pops.push((i, c, old.key));
+                            c += 1;
+                        }
+                    }
+                }
+            }
+            let mut cut = false;
+            if let WindowSpec::Count(w) = self.catalog.window_spec(s) {
+                let ring = &self.rings[si];
+                let live = ring.len() + col.arrivals[si] - col.pops[si];
+                if live >= w {
+                    match ring.get(col.pops[si]) {
+                        Some((_, old)) => col.row_pops.push((si, col.pops[si], old.key)),
+                        None => cut = true, // a segment row would pop mid-segment
+                    }
+                }
+            }
+            // A pop of this row's own key can neither be deferred past the
+            // row's insert nor pre-popped before the earlier same-key
+            // insert that makes it deferrable.
+            cut |= col
+                .row_pops
+                .iter()
+                .any(|(_, _, k)| *k == key && col.batch_keys.contains(k));
+            if cut {
+                break;
+            }
+            for &(i, c, k) in &col.row_pops {
+                if col.batch_keys.contains(&k) {
+                    col.deferred_pops.push((i, c));
+                    col.deferred_keys.insert(k);
+                }
+                col.pops[i] = c + 1;
+            }
+            col.batch_keys.insert(key);
+            col.arrivals[si] += 1;
+            e += 1;
+        }
+        debug_assert!(e > start, "a single row is always bulk-safe");
+        e.max(start + 1)
+    }
+
+    /// Execute a planned segment `[start, end)`: the previous segment's
+    /// deferred removals and this segment's pre-pops run to quiescence
+    /// first (keys disjoint from the segment's inserts, so they commute
+    /// with its deferred inserts), deferred pops are staged for the *next*
+    /// expiry run, then every row is appended to its window ring and
+    /// scan-node delta.
+    fn commit_segment(
+        &mut self,
+        sem: &mut impl Semantics,
+        batch: &ColumnarBatch,
+        col: &mut ColScratch,
+        start: usize,
+        end: usize,
+    ) {
+        // Bulk expiry for the whole segment: first the removals deferred
+        // past the previous segment's flush, then this segment's pre-pops
+        // (trigger order — deferred removals' triggers precede this
+        // segment's rows).
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        expired.append(&mut col.pending_removes);
+        for i in 0..col.pops.len() {
+            for p in 0..col.pops[i] {
+                let old = self.rings[i].pop_front().expect("planned pop").1;
+                if col.deferred_pops.iter().any(|&(s, q)| s == i && q == p) {
+                    col.pending_removes.push(old);
+                } else {
+                    expired.push(old);
+                }
+            }
+        }
+        self.expired_scratch = expired;
+        self.run_removes(sem, col);
+
+        // Sequential commit of the arrivals: clocks, freshness, window
+        // rings, and the per-scan SoA deltas (hashes from the kernel
+        // column — nothing rehashes).
+        col.deltas.iter_mut().for_each(ColDelta::clear);
+        if col.deltas.len() < self.plan.len() {
+            col.deltas.resize_with(self.plan.len(), ColDelta::default);
+        }
+        let (keys, streams, payloads) = (batch.keys(), batch.streams(), batch.payloads());
+        for i in start..end {
+            if let Some(s) = batch.seq_at(i) {
+                self.set_next_seq(s);
+            }
+            let ts = col.eff_ts[i];
+            self.last_ts = ts;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.metrics.tuples_in += 1;
+            let (stream, key) = (streams[i], keys[i]);
+            let scan = self.plan.scan_of(stream).expect("validated stream");
+            let prev = self.fresh[stream.0 as usize].insert(key, seq);
+            let fresh = prev.is_none_or(|s| s < self.last_transition_seq);
+            let base = Arc::new(BaseTuple::new(stream, seq, key, payloads[i]));
+            self.rings[stream.0 as usize].push_back((ts, Arc::clone(&base)));
+            col.deltas[scan.0 as usize].push(key, col.hashes[i], fresh, seq, Tuple::Base(base));
+        }
+    }
+
+    /// Run any removals still deferred after the final segment's flush
+    /// (the batch is over, so nothing remains for them to wait on).
+    fn drain_deferred(&mut self, sem: &mut impl Semantics, col: &mut ColScratch) {
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        expired.append(&mut col.pending_removes);
+        self.expired_scratch = expired;
+        self.run_removes(sem, col);
+    }
+
+    /// Run the collected column of expired tuples (`self.expired_scratch`)
+    /// through removal propagation: the bulk retraction kernel when the
+    /// semantics' `Remove` handling is exactly the default one (see
+    /// [`Semantics::bulk_retract_ok`]), per-item enqueue and a run to
+    /// quiescence otherwise.
+    fn run_removes(&mut self, sem: &mut impl Semantics, col: &mut ColScratch) {
+        if self.expired_scratch.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let expired_n = self.expired_scratch.len() as u64;
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        if sem.bulk_retract_ok(self) {
+            col.retract.iter_mut().for_each(Vec::clear);
+            if col.retract.len() < self.plan.len() {
+                col.retract.resize_with(self.plan.len(), Vec::new);
+            }
+            for old in expired.drain(..) {
+                let scan = self.plan.scan_of(old.stream).expect("validated stream");
+                col.retract[scan.0 as usize].push(RemoveItem {
+                    stream: old.stream,
+                    seq: old.seq,
+                    key: old.key,
+                });
+            }
+            self.retract_columnar(col);
+        } else {
+            for old in expired.drain(..) {
+                let old_scan = self.plan.scan_of(old.stream).expect("validated stream");
+                let old_fresh = self.fresh[old.stream.0 as usize]
+                    .get(&old.key)
+                    .is_none_or(|&s| s < self.last_transition_seq);
+                self.pending_items += 1;
+                self.plan.node_mut(old_scan).queue.push_back(QueueItem {
+                    from: None,
+                    payload: Payload::Remove {
+                        stream: old.stream,
+                        seq: old.seq,
+                        key: old.key,
+                        fresh: old_fresh,
+                    },
+                });
+            }
+            self.run_with(sem);
+        }
+        self.expired_scratch = expired;
+        self.kernels.expire.record(expired_n, t0.elapsed());
+    }
+
+    /// Node-major bulk retraction: drain `col.retract` in topo order,
+    /// replaying the default `Remove` walk — scans always forward the
+    /// clearing tuple, joins forward while entries were removed (or the
+    /// key is still pending completion), the root counts retractions —
+    /// without per-item queue dispatch. Exact only for semantics that
+    /// opted in via [`Semantics::bulk_retract_ok`]; the `fresh` flag a
+    /// queued `Remove` would carry is not materialized because the
+    /// default walk only threads it through unread.
+    fn retract_columnar(&mut self, col: &mut ColScratch) {
+        for i in 0..self.plan.topo().len() {
+            let id = self.plan.topo()[i];
+            if col.retract[id.0 as usize].is_empty() {
+                continue;
+            }
+            let mut items = std::mem::take(&mut col.retract[id.0 as usize]);
+            let parent = self.plan.node(id).parent;
+            let is_scan = matches!(self.plan.node(id).op, OpKind::Scan(_));
+            for it in &items {
+                let removed = self.state_remove_containing(id, it.stream, it.seq, it.key);
+                if is_scan || removed > 0 || self.plan.node(id).state.needs_completion(it.key) {
+                    match parent {
+                        Some(par) => col.retract[par.0 as usize].push(*it),
+                        None => self.output.retractions += 1,
+                    }
+                }
+            }
+            items.clear();
+            col.retract[id.0 as usize] = items;
+        }
+    }
+
+    /// The columnar two-phase flush: phase I computes every join node's
+    /// delta against the pre-batch states bottom-up (dense-column probes,
+    /// bitmap-driven pairing), phase II installs all deltas and emits at
+    /// the root. Same phase discipline as the row path's `flush_run`, so
+    /// JISC completion stays sound mid-batch.
+    fn flush_columnar(&mut self, sem: &mut impl Semantics, col: &mut ColScratch) {
+        let ColScratch { deltas, bitmap, .. } = col;
+
+        // Phase I.
+        for i in 0..self.plan.topo().len() {
+            let id = self.plan.topo()[i];
+            let node = self.plan.node(id);
+            let nlj = match node.op {
+                OpKind::HashJoin => false,
+                OpKind::NljJoin(p) => {
+                    debug_assert_eq!(p, Predicate::KeyEq, "batchable plans are KeyEq-only");
+                    true
+                }
+                _ => continue,
+            };
+            let (l, r) = (
+                node.left.expect("binary node has left child"),
+                node.right.expect("binary node has right child"),
+            );
+            let (li, ri) = (l.0 as usize, r.0 as usize);
+            let idx = id.0 as usize;
+            debug_assert!(li < idx && ri < idx, "children precede parent in arena");
+            let (lower, upper) = deltas.split_at_mut(idx);
+            let out = &mut upper[0];
+            // Left delta × pre-batch right state, then left state × right
+            // delta.
+            let probed = (lower[li].len() + lower[ri].len()) as u64;
+            if probed > 0 {
+                let t_probe = Instant::now();
+                self.probe_direction(sem, r, &lower[li], out, nlj, false, bitmap);
+                self.probe_direction(sem, l, &lower[ri], out, nlj, true, bitmap);
+                self.kernels.probe.record(probed, t_probe.elapsed());
+            }
+            // Intra-batch pairing term.
+            if !lower[li].is_empty() && !lower[ri].is_empty() {
+                let t_pair = Instant::now();
+                Self::pair_deltas(&lower[li], &lower[ri], out, bitmap);
+                self.kernels
+                    .pair
+                    .record(lower[li].len() as u64, t_pair.elapsed());
+            }
+        }
+
+        // Phase II: install every delta into its own node's state; the
+        // root's delta is the batch's query output. Tuples move out of the
+        // delta (no per-entry refcount bump except the root's emit+install
+        // pair).
+        let t_install = Instant::now();
+        let mut installed = 0u64;
+        for i in 0..self.plan.topo().len() {
+            let id = self.plan.topo()[i];
+            let idx = id.0 as usize;
+            if deltas[idx].is_empty() {
+                continue;
+            }
+            let is_root = self.plan.node(id).parent.is_none();
+            let mut d = std::mem::take(&mut deltas[idx]);
+            installed += d.len() as u64;
+            for (j, t) in d.tuples.drain(..).enumerate() {
+                let h = d.hashes[j];
+                if is_root {
+                    self.state_insert_hashed(id, h, t.clone());
+                    self.emit(t);
+                } else {
+                    self.state_insert_hashed(id, h, t);
+                }
+            }
+            d.clear();
+            deltas[idx] = d;
+        }
+        self.kernels.install.record(installed, t_install.elapsed());
+        for d in deltas.iter_mut() {
+            d.shrink(DELTA_SCRATCH_CAP);
+        }
+    }
+
+    /// Probe `state_node`'s pre-batch state with every entry of `src`,
+    /// appending join results to `out`.
+    ///
+    /// Complete states take the vectorized path: hash states are probed
+    /// element-major straight off the hash column (prefetched, no `Arc`
+    /// touched until a match); list/theta states are probed stored-major —
+    /// one [`eq_bitmap`] evaluation of the whole delta key column per
+    /// stored entry, replacing a full state scan per delta element.
+    /// Incomplete states (mid-migration) take the row path's element-major
+    /// loop with a [`Semantics::before_probe`] call per element, so
+    /// on-demand completion observes exactly the per-tuple order.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_direction(
+        &mut self,
+        sem: &mut impl Semantics,
+        state_node: crate::plan::NodeId,
+        src: &ColDelta,
+        out: &mut ColDelta,
+        nlj: bool,
+        stored_is_left: bool,
+        bm: &mut SelBitmap,
+    ) {
+        if src.is_empty() {
+            return;
+        }
+        let join = |key: Key, t: &Tuple, m: &Tuple| {
+            if stored_is_left {
+                Tuple::joined(key, m.clone(), t.clone())
+            } else {
+                Tuple::joined(key, t.clone(), m.clone())
+            }
+        };
+        if !self.plan.node(state_node).state.is_complete() {
+            // Slow path: completion may mutate the probed state between
+            // elements; mirror the row path exactly.
+            let mut buf = self.take_probe_scratch();
+            for di in 0..src.len() {
+                let (key, h) = (src.keys[di], src.hashes[di]);
+                sem.before_probe(self, state_node, key);
+                buf.clear();
+                if nlj {
+                    self.scan_theta_state_into(
+                        state_node,
+                        Predicate::KeyEq,
+                        key,
+                        stored_is_left,
+                        &mut buf,
+                    );
+                } else {
+                    self.lookup_state_into_hashed(state_node, h, key, &mut buf);
+                }
+                for m in buf.drain(..) {
+                    out.push(
+                        key,
+                        h,
+                        src.fresh[di],
+                        src.max_seqs[di].max(m.max_seq()),
+                        join(key, &src.tuples[di], &m),
+                    );
+                }
+            }
+            self.recycle_probe_scratch(buf);
+            return;
+        }
+        // Fast path: the state cannot change during this direction (no
+        // completion, installs deferred to phase II), so borrow it once.
+        let plan = &self.plan;
+        let metrics = &mut self.metrics;
+        let st = &plan.node(state_node).state;
+        if nlj {
+            // Stored-major bitmap probe. Accounting matches the
+            // element-major theta scan: one probe per delta element, every
+            // (stored, delta) pair compared once.
+            metrics.probes += src.len() as u64;
+            metrics.nlj_comparisons += (src.len() * st.len()) as u64;
+            for m in st.iter() {
+                eq_bitmap(&src.keys, m.key(), bm);
+                bm.for_each_set(|di| {
+                    out.push(
+                        src.keys[di],
+                        src.hashes[di],
+                        src.fresh[di],
+                        src.max_seqs[di].max(m.max_seq()),
+                        join(src.keys[di], &src.tuples[di], m),
+                    );
+                });
+            }
+            return;
+        }
+        let prefetch = st.len() >= PREFETCH_MIN_STATE;
+        for di in 0..src.len() {
+            if prefetch {
+                if let Some(&hn) = src.hashes.get(di + PREFETCH_DIST) {
+                    st.prefetch(hn);
+                }
+            }
+            let (key, h) = (src.keys[di], src.hashes[di]);
+            let (f, ms) = (src.fresh[di], src.max_seqs[di]);
+            let t = &src.tuples[di];
+            st.for_each_match_hashed(h, key, metrics, |m| {
+                out.push(key, h, f, ms.max(m.max_seq()), join(key, t, m));
+            });
+        }
+    }
+
+    /// Intra-batch pairing: left delta × right delta on key equality,
+    /// emitting each pair with the fresh flag of its later-arriving side.
+    /// Small products run the bitmap kernel (one whole-column predicate
+    /// evaluation per left entry, 64 comparisons per word); large products
+    /// build a one-shot keyed index over the right delta, same as the row
+    /// path.
+    fn pair_deltas(la: &ColDelta, ra: &ColDelta, out: &mut ColDelta, bm: &mut SelBitmap) {
+        if la.is_empty() || ra.is_empty() {
+            return;
+        }
+        let emit = |a: usize, b: usize, out: &mut ColDelta| {
+            let f = if la.max_seqs[a] > ra.max_seqs[b] {
+                la.fresh[a]
+            } else {
+                ra.fresh[b]
+            };
+            out.push(
+                la.keys[a],
+                la.hashes[a],
+                f,
+                la.max_seqs[a].max(ra.max_seqs[b]),
+                Tuple::joined(la.keys[a], la.tuples[a].clone(), ra.tuples[b].clone()),
+            );
+        };
+        if la.len() * ra.len() > INTRA_PAIR_KEYED_MIN {
+            let mut by_key: FxHashMap<Key, Vec<u32>> = FxHashMap::default();
+            for (j, &k) in ra.keys.iter().enumerate() {
+                by_key.entry(k).or_default().push(j as u32);
+            }
+            for a in 0..la.len() {
+                if let Some(js) = by_key.get(&la.keys[a]) {
+                    for &j in js {
+                        emit(a, j as usize, out);
+                    }
+                }
+            }
+        } else {
+            for a in 0..la.len() {
+                eq_bitmap(&ra.keys, la.keys[a], bm);
+                bm.for_each_set(|b| emit(a, b, out));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Catalog, JoinStyle, PlanSpec, StreamDef};
+    use jisc_common::{SplitMix64, StreamId, TupleBatch};
+
+    fn pipes(catalog: Catalog, spec: &PlanSpec) -> (Pipeline, Pipeline) {
+        (
+            Pipeline::new(catalog.clone(), spec).unwrap(),
+            Pipeline::new(catalog, spec).unwrap(),
+        )
+    }
+
+    /// Drive one pipeline with row batches and the other with the same
+    /// arrivals as columnar batches; outputs must agree as lineage
+    /// multisets.
+    fn assert_equivalent(
+        catalog: Catalog,
+        spec: &PlanSpec,
+        arrivals: &[(StreamId, Key, Option<u64>)],
+        batch: usize,
+    ) {
+        let (mut row, mut colp) = pipes(catalog, spec);
+        for chunk in arrivals.chunks(batch) {
+            let mut rb = TupleBatch::new(chunk.len());
+            let mut cb = ColumnarBatch::new(chunk.len());
+            for &(s, k, ts) in chunk {
+                rb.push(jisc_common::BatchedTuple {
+                    stream: s,
+                    key: k,
+                    payload: 0,
+                    ts,
+                    seq: None,
+                })
+                .unwrap();
+                cb.push_stamped(s, k, 0, ts, None).unwrap();
+            }
+            row.push_batch(&rb).unwrap();
+            colp.push_columnar(&cb).unwrap();
+        }
+        assert_eq!(
+            row.output.lineage_multiset(),
+            colp.output.lineage_multiset(),
+            "columnar output diverged from row-batch output"
+        );
+        assert_eq!(row.output.count(), colp.output.count());
+    }
+
+    fn random_arrivals(
+        streams: u16,
+        n: usize,
+        key_space: u64,
+        seed: u64,
+    ) -> Vec<(StreamId, Key, Option<u64>)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                (
+                    StreamId((rng.next_u64() % streams as u64) as u16),
+                    rng.next_u64() % key_space,
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn columnar_matches_row_batches_hash_join_with_expiry() {
+        // Window of 16 on a 3-way join: every batch of 64 expires plenty,
+        // exercising both the bulk-expiry plan and the fallback.
+        let catalog = Catalog::uniform(&["R", "S", "T"], 16).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let arrivals = random_arrivals(3, 600, 8, 42);
+        for batch in [1, 3, 64, 256] {
+            assert_equivalent(catalog.clone(), &spec, &arrivals, batch);
+        }
+    }
+
+    #[test]
+    fn columnar_matches_row_batches_nlj_keyeq() {
+        let catalog = Catalog::uniform(&["R", "S", "T"], 32).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Nlj(Predicate::KeyEq));
+        let arrivals = random_arrivals(3, 400, 6, 7);
+        for batch in [2, 64] {
+            assert_equivalent(catalog.clone(), &spec, &arrivals, batch);
+        }
+    }
+
+    #[test]
+    fn columnar_matches_row_batches_time_windows() {
+        let defs = vec![StreamDef::timed("R", 50), StreamDef::timed("S", 80)];
+        let catalog = Catalog::new(defs).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut rng = SplitMix64::new(9);
+        let mut ts = 0u64;
+        let arrivals: Vec<_> = (0..500)
+            .map(|_| {
+                ts += rng.next_u64() % 7;
+                (
+                    StreamId((rng.next_u64() % 2) as u16),
+                    rng.next_u64() % 5,
+                    Some(ts),
+                )
+            })
+            .collect();
+        // Batch of 64 spans ~192 ticks on average — wider than both
+        // windows, so most batches take the row fallback; batch 8 mostly
+        // stays bulk. Both must agree with pure row execution.
+        for batch in [8, 64] {
+            assert_equivalent(catalog.clone(), &spec, &arrivals, batch);
+        }
+    }
+
+    #[test]
+    fn columnar_falls_back_on_non_batchable_plans() {
+        let catalog = Catalog::uniform(&["A", "B"], 10).unwrap();
+        let spec = PlanSpec::set_diff_chain(&["A", "B"]);
+        let (mut row, mut colp) = pipes(catalog, &spec);
+        let arrivals = random_arrivals(2, 100, 4, 3);
+        let mut cb = ColumnarBatch::new(arrivals.len());
+        for &(s, k, _) in &arrivals {
+            row.push(s, k, 0).unwrap();
+            cb.push(s, k, 0).unwrap();
+        }
+        colp.push_columnar(&cb).unwrap();
+        assert_eq!(
+            row.output.lineage_multiset(),
+            colp.output.lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn columnar_rejects_non_monotonic_pinned_timestamps() {
+        let catalog = Catalog::uniform(&["R", "S"], 10).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut p = Pipeline::new(catalog, &spec).unwrap();
+        let mut cb = ColumnarBatch::new(4);
+        cb.push_stamped(StreamId(0), 1, 0, Some(100), None).unwrap();
+        cb.push_stamped(StreamId(1), 1, 0, Some(50), None).unwrap();
+        assert!(p.push_columnar(&cb).is_err());
+        // The serial prefix (first row) must have landed.
+        assert_eq!(p.metrics.tuples_in, 1);
+    }
+
+    #[test]
+    fn kernel_stats_accumulate() {
+        let catalog = Catalog::uniform(&["R", "S"], 100).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut p = Pipeline::new(catalog, &spec).unwrap();
+        let mut cb = ColumnarBatch::new(8);
+        for i in 0..8u64 {
+            cb.push(StreamId((i % 2) as u16), i % 3, 0).unwrap();
+        }
+        p.push_columnar(&cb).unwrap();
+        assert!(p.kernels.any());
+        assert_eq!(p.kernels.hash.elements, 8);
+        assert_eq!(p.kernels.hash.invocations, 1);
+        assert!(p.kernels.install.elements > 0, "deltas installed");
+        let footer = p.kernels.footer();
+        assert!(footer.starts_with("kernels: hash=8@"), "{footer}");
+    }
+}

@@ -29,7 +29,9 @@ use crate::spec::Catalog;
 
 /// Render the running plan as an indented tree with state diagnostics,
 /// followed by an `index:` footer aggregating the execution's slab-index
-/// counters (probe depth, rehashes, slot reuses).
+/// counters (probe depth, rehashes, slot reuses). Runs that used the
+/// columnar path add a `kernels:` footer with per-kernel cycle/element
+/// costs (`elements@ns-per-element`, wall-clock).
 pub fn explain(pipe: &Pipeline) -> String {
     let mut out = explain_plan(pipe.plan(), pipe.catalog());
     let m = &pipe.metrics;
@@ -43,6 +45,9 @@ pub fn explain(pipe: &Pipeline) -> String {
         "index: probes={} mean_depth={mean_depth:.2} rehashes={} slot_reuses={}",
         m.probes, m.slab_rehashes, m.slab_slot_reuses
     );
+    if pipe.kernels.any() {
+        let _ = writeln!(out, "{}", pipe.kernels.footer());
+    }
     out
 }
 
@@ -160,6 +165,26 @@ mod tests {
         assert!(text.contains("keys=1 slab=1/"), "slab occupancy: {text}");
         assert!(text.contains("index: probes="), "footer: {text}");
         assert!(text.contains("mean_depth="), "footer depth: {text}");
+    }
+
+    #[test]
+    fn explain_adds_kernels_footer_after_columnar_push() {
+        let catalog = Catalog::uniform(&["R", "S", "T"], 100).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let mut p = Pipeline::new(catalog, &spec).unwrap();
+        let mut b = jisc_common::ColumnarBatch::new(4);
+        b.push(StreamId(0), 1, 0).unwrap();
+        b.push(StreamId(1), 1, 0).unwrap();
+        b.push(StreamId(2), 1, 0).unwrap();
+        p.push_columnar(&b).unwrap();
+        let text = explain(&p);
+        assert!(text.contains("kernels: hash=3@"), "kernels footer: {text}");
+        assert!(text.contains(" probe="), "probe counter: {text}");
+        assert_eq!(
+            text.lines().count(),
+            7,
+            "3 scans + 2 joins + index + kernels footers:\n{text}"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod baseline;
+pub mod columnar;
 pub mod explain;
 pub mod ops;
 pub mod output;
@@ -41,6 +42,7 @@ pub mod spec;
 pub mod state;
 
 pub use baseline::BaselineStore;
+pub use columnar::{KernelCounter, KernelStats};
 pub use explain::{explain, explain_plan};
 pub use ops::DefaultSemantics;
 pub use output::OutputSink;

@@ -23,6 +23,10 @@ impl Semantics for DefaultSemantics {
     fn process(&mut self, p: &mut Pipeline, node: NodeId, item: QueueItem) {
         default_process(p, node, item);
     }
+
+    fn bulk_retract_ok(&self, _p: &Pipeline) -> bool {
+        true // these ARE the default semantics
+    }
 }
 
 /// Dispatch one queue item under default semantics.

@@ -38,27 +38,38 @@ pub trait Semantics {
     /// pipelining needs none); JISC semantics complete the probed key on
     /// demand here.
     fn before_probe(&mut self, _p: &mut Pipeline, _state_node: NodeId, _key: Key) {}
+
+    /// May the columnar path run window-expiry removals through its bulk
+    /// retraction kernel instead of per-item [`Semantics::process`] calls?
+    /// Return true only when this implementation's `Remove` handling is
+    /// exactly the default semantics' in the pipeline's current state —
+    /// the kernel replays the default removal walk (remove containing
+    /// entries, forward while matches are found) without consulting
+    /// `process`. The conservative default is false.
+    fn bulk_retract_ok(&self, _p: &Pipeline) -> bool {
+        false
+    }
 }
 
 /// Probe lookahead of the batch kernel: while one delta tuple's matches are
 /// materialized, the index lines this many items ahead are prefetched.
 /// Deep enough to cover a main-memory miss, shallow enough not to thrash
 /// L1 on small batches.
-const PREFETCH_DIST: usize = 8;
+pub(crate) const PREFETCH_DIST: usize = 8;
 
 /// States smaller than this skip probe prefetching entirely: their index
 /// fits in cache, so the prefetch instructions are pure overhead.
-const PREFETCH_MIN_STATE: usize = 4096;
+pub(crate) const PREFETCH_MIN_STATE: usize = 4096;
 
 /// Below this `|δl|·|δr|` product the intra-batch pairing term uses the
 /// plain nested loop; above it, a keyed index over the right delta. The
 /// nested loop wins on small deltas (no map to build or allocate), the
 /// index on large ones (the nested loop is quadratic in batch size).
-const INTRA_PAIR_KEYED_MIN: usize = 2048;
+pub(crate) const INTRA_PAIR_KEYED_MIN: usize = 2048;
 
 /// Per-node delta scratch buffers shrink back to this capacity after each
 /// flush, so one outlier batch cannot pin its high-water allocation.
-const DELTA_SCRATCH_CAP: usize = 1024;
+pub(crate) const DELTA_SCRATCH_CAP: usize = 1024;
 
 /// Result of [`Pipeline::adopt_states`]: which signatures were adopted into
 /// the running plan, and the donor states that were discarded.
@@ -73,26 +84,26 @@ pub struct AdoptionOutcome {
 /// The execution engine for one query.
 #[derive(Debug)]
 pub struct Pipeline {
-    catalog: Catalog,
-    plan: Plan,
+    pub(crate) catalog: Catalog,
+    pub(crate) plan: Plan,
     /// Per-stream window ring: `(timestamp, tuple)` in arrival order,
     /// oldest at the front. Timestamps drive time-based windows; count
     /// windows ignore them.
-    rings: Vec<std::collections::VecDeque<(u64, Arc<BaseTuple>)>>,
+    pub(crate) rings: Vec<std::collections::VecDeque<(u64, Arc<BaseTuple>)>>,
     /// Per-stream, per-key sequence number of the most recent arrival
     /// (Definition 2 freshness is an O(1) probe of this map, §4.4).
-    fresh: Vec<FxHashMap<Key, SeqNo>>,
-    next_seq: SeqNo,
+    pub(crate) fresh: Vec<FxHashMap<Key, SeqNo>>,
+    pub(crate) next_seq: SeqNo,
     /// Most recent arrival timestamp (monotonicity enforced for push_at).
-    last_ts: u64,
+    pub(crate) last_ts: u64,
     /// Cached: does any stream use a time-based window?
-    has_time_windows: bool,
-    last_transition_seq: SeqNo,
+    pub(crate) has_time_windows: bool,
+    pub(crate) last_transition_seq: SeqNo,
     /// Items currently sitting in operator input queues (scheduler state).
-    pending_items: usize,
+    pub(crate) pending_items: usize,
     /// Reused per-arrival buffer for tuples expiring out of the windows,
     /// so the steady-state ingest path allocates nothing.
-    expired_scratch: Vec<Arc<BaseTuple>>,
+    pub(crate) expired_scratch: Vec<Arc<BaseTuple>>,
     /// Reused buffer for join-probe results (see
     /// [`Pipeline::take_probe_scratch`]).
     probe_scratch: Vec<Tuple>,
@@ -109,6 +120,13 @@ pub struct Pipeline {
     /// same key (hence hash) as the delta tuple that produced it.
     /// Capacities are capped after each flush (see `DELTA_SCRATCH_CAP`).
     batch_deltas: Vec<Vec<(Tuple, bool, u64)>>,
+    /// Reusable scratch of the columnar execution path (hash columns,
+    /// per-node SoA deltas; see [`crate::columnar`]).
+    pub(crate) col: crate::columnar::ColScratch,
+    /// Per-kernel time/element counters of the columnar path (not part of
+    /// [`Metrics`]: wall-clock timings are non-deterministic, and
+    /// `Metrics` must stay comparable across equivalent runs).
+    pub kernels: crate::columnar::KernelStats,
     /// Query output.
     pub output: OutputSink,
     /// Execution counters.
@@ -136,6 +154,8 @@ impl Pipeline {
             batch_run: Vec::new(),
             batch_run_keys: FxHashSet::default(),
             batch_deltas: Vec::new(),
+            col: Default::default(),
+            kernels: Default::default(),
             output: OutputSink::new(),
             metrics: Metrics::new(),
         })
@@ -454,7 +474,11 @@ impl Pipeline {
     /// numbering, window slide (with the expiry-commutation rule), and
     /// freshness classification happen now; the insert itself is deferred
     /// into `batch_run` until [`Pipeline::flush_run`].
-    fn ingest_deferred(&mut self, sem: &mut impl Semantics, t: &BatchedTuple) -> Result<()> {
+    pub(crate) fn ingest_deferred(
+        &mut self,
+        sem: &mut impl Semantics,
+        t: &BatchedTuple,
+    ) -> Result<()> {
         if let Some(seq) = t.seq {
             self.set_next_seq(seq);
         }
@@ -559,10 +583,15 @@ impl Pipeline {
     }
 
     /// Is any state in the plan marked incomplete (mid-migration)?
-    fn any_state_incomplete(&self) -> bool {
+    pub(crate) fn any_state_incomplete(&self) -> bool {
+        !self.all_states_complete()
+    }
+
+    /// Is every operator state complete (no in-flight migration debt)?
+    pub fn all_states_complete(&self) -> bool {
         self.plan
             .ids()
-            .any(|i| !self.plan.node(i).state.is_complete())
+            .all(|i| self.plan.node(i).state.is_complete())
     }
 
     /// Execute the deferred run: compute every node's delta against the
@@ -573,7 +602,7 @@ impl Pipeline {
     /// materializes exactly the old-only combinations, while every delta
     /// entry contains at least one batch constituent; the two sets are
     /// lineage-disjoint and nothing is double-counted.
-    fn flush_run(&mut self, sem: &mut impl Semantics) {
+    pub(crate) fn flush_run(&mut self, sem: &mut impl Semantics) {
         if self.batch_run.is_empty() {
             return;
         }

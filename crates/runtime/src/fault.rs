@@ -16,7 +16,7 @@
 use std::any::Any;
 use std::sync::{Mutex, Once};
 
-use jisc_common::{Event, TupleBatch};
+use jisc_common::Event;
 
 /// One scripted fault. `at` positions are expressed in *tuples routed to
 /// the shard so far*: the fault fires on the data event during which the
@@ -142,11 +142,19 @@ impl FaultInjector {
     /// the action. Only data batches trip faults; control events (expiry,
     /// barriers, flush) never do.
     pub fn trigger<P>(&self, shard: usize, ev: &Event<P>, tuples_before: u64) -> Option<Triggered> {
-        let Event::Batch(batch) = ev else { return None };
+        let (len, seq_hit): (u64, &dyn Fn(u64) -> bool) = match ev {
+            Event::Batch(batch) => (batch.len() as u64, &|at| {
+                batch.items().iter().any(|t| t.seq == Some(at))
+            }),
+            Event::Columnar(batch) => (batch.len() as u64, &|at| {
+                (0..batch.len()).any(|i| batch.seq_at(i) == Some(at))
+            }),
+            _ => return None,
+        };
         let mut armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
-        let hit = armed
-            .iter()
-            .position(|a| a.shard() == shard && batch_matches(batch, a.at(), tuples_before))?;
+        let hit = armed.iter().position(|a| {
+            a.shard() == shard && event_matches(len, seq_hit, a.at(), tuples_before)
+        })?;
         let action = armed.remove(hit);
         Some(match action {
             FaultAction::PanicAt { .. } => Triggered::Panic,
@@ -156,14 +164,15 @@ impl FaultInjector {
     }
 }
 
-/// True when processing `batch` would reach or cross position `at`, or when
-/// a tuple in the batch carries an explicit sequence number equal to `at`.
-fn batch_matches(batch: &TupleBatch, at: u64, tuples_before: u64) -> bool {
-    let after = tuples_before + batch.len() as u64;
+/// True when processing a data batch of `len` tuples would reach or cross
+/// position `at`, or when a tuple in it carries an explicit sequence number
+/// equal to `at` (`seq_hit`).
+fn event_matches(len: u64, seq_hit: &dyn Fn(u64) -> bool, at: u64, tuples_before: u64) -> bool {
+    let after = tuples_before + len;
     if tuples_before < at && at <= after {
         return true;
     }
-    batch.items().iter().any(|t| t.seq == Some(at))
+    seq_hit(at)
 }
 
 /// Payload type carried by injected panics, so supervisors (and humans
@@ -213,12 +222,12 @@ pub fn payload_string(payload: &(dyn Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jisc_common::{BatchedTuple, StreamId};
+    use jisc_common::{BatchedTuple, StreamId, TupleBatch};
 
     fn batch(n: usize) -> Event<()> {
         let mut b = TupleBatch::new(n.max(1));
         for _ in 0..n {
-            b.push(BatchedTuple::new(StreamId(0), 1, 0));
+            b.push(BatchedTuple::new(StreamId(0), 1, 0)).unwrap();
         }
         Event::Batch(b)
     }

@@ -24,8 +24,8 @@
 //!
 //! let tx = driver.sender();
 //! let mut batch = TupleBatch::new(64);
-//! batch.push(BatchedTuple::new(StreamId(0), 7, 0));
-//! batch.push(BatchedTuple::new(StreamId(1), 7, 0));
+//! batch.push(BatchedTuple::new(StreamId(0), 7, 0)).unwrap();
+//! batch.push(BatchedTuple::new(StreamId(1), 7, 0)).unwrap();
 //! tx.send_batch(batch).unwrap();
 //! drop(tx); // close our handle; the driver drains what was sent
 //!
@@ -53,6 +53,12 @@ pub use jisc_common::{BatchedTuple, Event, TupleBatch, WorkerFault};
 use jisc_common::{JiscError, Key, Metrics, Result, StreamId};
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_engine::{Catalog, PlanSpec};
+use jisc_optimizer::stats::DEFAULT_SUGGESTED_BATCH;
+use jisc_optimizer::SelectivityEstimator;
+
+/// EWMA smoothing for the driver's own selectivity estimator (feeds
+/// [`Snapshot::suggested_batch_size`]).
+const ESTIMATOR_ALPHA: f64 = 0.2;
 
 /// Default bound on [`StreamDriver::shutdown`]'s join.
 const DEFAULT_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(30);
@@ -60,7 +66,10 @@ const DEFAULT_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(30);
 /// What flows to the engine thread: in-band events and driver control
 /// share one queue, so each takes effect exactly at its position in the
 /// stream.
+// Channel messages are moved one at a time; see `Event` for why the batch
+// variants stay unboxed.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 enum Msg {
     Event(Event<PlanSpec>),
     Snapshot(chan::Sender<Snapshot>),
@@ -78,6 +87,9 @@ pub struct Snapshot {
     pub active_plans: usize,
     /// States currently incomplete (JISC only).
     pub incomplete_states: usize,
+    /// Batch cut size the engine thread's EWMA selectivity stats currently
+    /// call for (see [`SelectivityEstimator::suggest_batch_size`]).
+    pub suggested_batch_size: usize,
     /// Full execution counters.
     pub metrics: Metrics,
 }
@@ -143,6 +155,11 @@ impl EventSender {
         self.send(Event::Batch(batch))
     }
 
+    /// Enqueue a whole columnar batch (vectorized kernel path).
+    pub fn send_columnar(&self, batch: jisc_common::ColumnarBatch) -> Result<()> {
+        self.send(Event::Columnar(batch))
+    }
+
     /// Convenience: enqueue one arrival as a batch of one.
     pub fn send_tuple(&self, stream: u16, key: Key, payload: u64) -> Result<()> {
         self.send(Event::Batch(TupleBatch::of_one(BatchedTuple::new(
@@ -187,6 +204,7 @@ impl StreamDriver {
             outputs: 0,
             active_plans: 1,
             incomplete_states: 0,
+            suggested_batch_size: DEFAULT_SUGGESTED_BATCH,
             metrics: Metrics::new(),
         }));
         let mirror_w = Arc::clone(&mirror);
@@ -202,6 +220,45 @@ impl StreamDriver {
         EventSender {
             tx: self.tx.clone(),
         }
+    }
+
+    /// Batch cut size the engine's EWMA selectivity stats currently call
+    /// for (cheap mirror read; [`DEFAULT_SUGGESTED_BATCH`] until primed).
+    pub fn suggested_batch_size(&self) -> usize {
+        self.peek().suggested_batch_size.max(1)
+    }
+
+    /// Enqueue a data batch, auto-cutting it at the batch size the engine
+    /// thread's selectivity stats suggest: match-heavy workloads get small
+    /// cuts (bounding the quadratic intra-batch pairing term), selective
+    /// ones get large cuts that amortize per-batch overhead. Batches at or
+    /// under the suggested size ship unchanged; oversized ones are split
+    /// into suggested-size chunks (arrival order preserved). Producers who
+    /// want exact control over cut points should use
+    /// [`EventSender::send_batch`] instead.
+    pub fn send_batch(&self, batch: TupleBatch) -> Result<()> {
+        let cut = self.suggested_batch_size();
+        if batch.len() <= cut {
+            return self.send_event(Event::Batch(batch));
+        }
+        let mut chunk = TupleBatch::new(cut);
+        for &t in batch.items() {
+            chunk.push(t).expect("chunk is shipped before it fills");
+            if chunk.is_full() {
+                let full = std::mem::replace(&mut chunk, TupleBatch::new(cut));
+                self.send_event(Event::Batch(full))?;
+            }
+        }
+        if !chunk.is_empty() {
+            self.send_event(Event::Batch(chunk))?;
+        }
+        Ok(())
+    }
+
+    fn send_event(&self, ev: Event<PlanSpec>) -> Result<()> {
+        self.tx
+            .send(Msg::Event(ev))
+            .map_err(|_| JiscError::Internal("engine thread is gone".into()))
     }
 
     /// Request a plan migration as an in-band [`Event::MigrationBarrier`].
@@ -286,14 +343,40 @@ fn worker_loop(
 ) -> DriverOutcome {
     let mut events = 0u64;
     let mut transitions = 0u64;
+    // The driver watches its own stream selectivities so producers can ask
+    // it (via the mirror) what batch cut size the workload calls for.
+    let mut est = SelectivityEstimator::new(engine.catalog().len(), ESTIMATOR_ALPHA);
+    let mut arrivals = vec![0u64; engine.catalog().len()];
     loop {
         match rx.recv() {
             Ok(Msg::Event(ev)) => {
                 let (batch_len, is_barrier) = match &ev {
                     Event::Batch(b) => (b.len() as u64, false),
+                    Event::Columnar(b) => (b.len() as u64, false),
                     Event::MigrationBarrier(_) => (0, true),
                     Event::Expiry(_) | Event::Flush => (0, false),
                 };
+                arrivals.iter_mut().for_each(|c| *c = 0);
+                match &ev {
+                    // Out-of-range stream ids are left uncounted; the engine
+                    // rejects them below and the loop faults out anyway.
+                    Event::Batch(b) => {
+                        for t in b.items() {
+                            if let Some(c) = arrivals.get_mut(t.stream.0 as usize) {
+                                *c += 1;
+                            }
+                        }
+                    }
+                    Event::Columnar(b) => {
+                        for s in b.streams() {
+                            if let Some(c) = arrivals.get_mut(s.0 as usize) {
+                                *c += 1;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                let out_before = engine.metrics().tuples_out;
                 // Supervised application: a panic (or engine error) becomes
                 // a structured fault instead of unwinding into the runtime
                 // and poisoning the stats mirror.
@@ -310,14 +393,23 @@ fn worker_loop(
                         tuples: events,
                     });
                 }
+                // Attribute this event's output to its streams pro rata —
+                // the batch is the observation unit, not the tuple. A
+                // stream with arrivals implies a non-empty batch.
+                let produced = engine.metrics().tuples_out - out_before;
+                for (i, &a) in arrivals.iter().enumerate() {
+                    if a > 0 {
+                        est.observe_batch(StreamId(i as u16), a, produced * a / batch_len);
+                    }
+                }
                 events += batch_len;
                 transitions += u64::from(is_barrier);
                 if events.is_multiple_of(1024) {
-                    refresh(&mirror, &engine, events);
+                    refresh(&mirror, &engine, events, est.suggest_batch_size());
                 }
             }
             Ok(Msg::Snapshot(reply)) => {
-                let _ = reply.send(snapshot_of(&engine, events));
+                let _ = reply.send(snapshot_of(&engine, events, est.suggest_batch_size()));
             }
             // Stop drains nothing further: everything queued before it has
             // already been handled (single FIFO). A receive error means all
@@ -325,7 +417,7 @@ fn worker_loop(
             Ok(Msg::Stop) | Err(_) => break,
         }
     }
-    refresh(&mirror, &engine, events);
+    refresh(&mirror, &engine, events, est.suggest_batch_size());
     let m = engine.metrics();
     DriverOutcome::Clean(Box::new(Report {
         events,
@@ -336,21 +428,28 @@ fn worker_loop(
     }))
 }
 
-fn snapshot_of(engine: &AdaptiveEngine, events: u64) -> Snapshot {
+fn snapshot_of(engine: &AdaptiveEngine, events: u64, suggested_batch_size: usize) -> Snapshot {
     let metrics = engine.metrics();
     Snapshot {
         events,
         outputs: metrics.tuples_out,
         active_plans: engine.active_plans(),
         incomplete_states: engine.incomplete_states(),
+        suggested_batch_size,
         metrics,
     }
 }
 
-fn refresh(mirror: &Arc<RwLock<Snapshot>>, engine: &AdaptiveEngine, events: u64) {
+fn refresh(
+    mirror: &Arc<RwLock<Snapshot>>,
+    engine: &AdaptiveEngine,
+    events: u64,
+    suggested_batch_size: usize,
+) {
     // Recover a poisoned mirror: the replacement value is built fresh, so
     // whatever half-state the poisoner left is overwritten wholesale.
-    *mirror.write().unwrap_or_else(|e| e.into_inner()) = snapshot_of(engine, events);
+    *mirror.write().unwrap_or_else(|e| e.into_inner()) =
+        snapshot_of(engine, events, suggested_batch_size);
 }
 
 #[cfg(test)]
@@ -379,7 +478,7 @@ mod tests {
         let tx = d.sender();
         let mut batch = TupleBatch::new(64);
         for &(s, k, p) in &events {
-            batch.push(BatchedTuple::new(StreamId(s), k, p));
+            batch.push(BatchedTuple::new(StreamId(s), k, p)).unwrap();
             if batch.is_full() {
                 tx.send_batch(std::mem::replace(&mut batch, TupleBatch::new(64)))
                     .unwrap();
@@ -392,6 +491,48 @@ mod tests {
         let report = d.shutdown().unwrap();
         assert_eq!(report.events, 500);
         assert_eq!(report.outputs, sync.output().count() as u64);
+        assert_eq!(
+            report.engine.output().lineage_multiset(),
+            sync.output().lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn driver_send_batch_recuts_to_suggested_size() {
+        let events: Vec<(u16, Key, u64)> = (0..4_000).map(|i| ((i % 2) as u16, i % 5, i)).collect();
+        // synchronous per-tuple reference
+        let catalog = Catalog::uniform(&["R", "S"], 50).unwrap();
+        let plan = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut sync = AdaptiveEngine::new(catalog, &plan, Strategy::Jisc).unwrap();
+        for &(s, k, p) in &events {
+            sync.push(StreamId(s), k, p).unwrap();
+        }
+
+        let d = driver(&["R", "S"], 50, 64);
+        let tx = d.sender();
+        // Prime the estimator, then check the suggestion is sane (the
+        // snapshot round-trips through the engine thread, so it reflects
+        // everything sent so far).
+        for &(s, k, p) in &events[..512] {
+            tx.send_tuple(s, k, p).unwrap();
+        }
+        let suggested = d.snapshot().unwrap().suggested_batch_size;
+        assert!(suggested.is_power_of_two(), "suggested={suggested}");
+        assert!((16..=1024).contains(&suggested), "suggested={suggested}");
+        // Five keys over a 50-tuple window match nearly every arrival, so
+        // the quadratic pairing guard should pull the cut below the default.
+        assert!(suggested < 256, "match-heavy workload, got {suggested}");
+
+        // One producer batch far above the suggestion: the driver re-cuts.
+        let rest = &events[512..];
+        let mut big = TupleBatch::new(rest.len());
+        for &(s, k, p) in rest {
+            big.push(BatchedTuple::new(StreamId(s), k, p)).unwrap();
+        }
+        d.send_batch(big).unwrap();
+        drop(tx);
+        let report = d.shutdown().unwrap();
+        assert_eq!(report.events, events.len() as u64);
         assert_eq!(
             report.engine.output().lineage_multiset(),
             sync.output().lineage_multiset()

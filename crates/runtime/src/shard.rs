@@ -41,7 +41,7 @@
 //! # In-band events
 //!
 //! Shard queues carry the unified [`Event`] stream: data travels as
-//! [`Event::Batch`] (router-built [`TupleBatch`]es stamping each tuple with
+//! [`Event::Batch`] (router-built [`TupleBatch`](jisc_common::TupleBatch)es stamping each tuple with
 //! its global sequence number and timestamp), and
 //! [`ShardedExecutor::transition`] validates the new plan once on the
 //! router (compile, same-query and reorderability checks), then broadcasts
@@ -77,9 +77,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use jisc_common::kernels::shard_column;
 use jisc_common::{
-    shard_of, BatchedTuple, Event, JiscError, Key, Metrics, Result, SeqNo, StreamId, TupleBatch,
-    WorkerFault,
+    shard_of, ColumnarBatch, Event, JiscError, Key, Metrics, Result, SeqNo, StreamId, WorkerFault,
 };
 use jisc_core::migrate::{verify_reorderable, verify_same_query};
 use jisc_engine::plan::Plan;
@@ -293,7 +293,13 @@ pub struct ShardedExecutor {
     /// Clean results reaped early (a worker that finished during recovery
     /// bookkeeping in `finish`).
     finished: Vec<Option<ShardResult>>,
-    batches: Vec<TupleBatch>,
+    /// Per-shard staging buffers in columnar layout: routed rows land in
+    /// their shard's column batch and ship as [`Event::Columnar`] — the
+    /// worker's vectorized path consumes them without re-materializing
+    /// rows.
+    batches: Vec<ColumnarBatch>,
+    /// Reused output of the shard-routing kernel (`push_columnar`).
+    route_scratch: Vec<u32>,
     catalog: Catalog,
     /// Compiled current plan, kept for router-side transition validation.
     current: Plan,
@@ -418,7 +424,8 @@ impl ShardedExecutor {
             txs,
             workers,
             finished: (0..n).map(|_| None).collect(),
-            batches: (0..n).map(|_| TupleBatch::new(BATCH)).collect(),
+            batches: (0..n).map(|_| ColumnarBatch::new(BATCH)).collect(),
+            route_scratch: Vec::new(),
             catalog,
             current,
             initial_spec: spec.clone(),
@@ -507,16 +514,73 @@ impl ShardedExecutor {
         let s = shard_of(key, self.txs.len());
         self.events += 1;
         self.shard_events[s] += 1;
-        self.batches[s].push(BatchedTuple {
-            stream,
-            key,
-            payload,
-            ts: Some(ts),
-            seq: Some(seq),
-        });
+        self.batches[s]
+            .push_stamped(stream, key, payload, Some(ts), Some(seq))
+            .expect("staging batch is cut on full");
         if self.batches[s].is_full() {
             self.flush(s)?;
         }
+        Ok(())
+    }
+
+    /// Route a whole columnar batch in bulk: one pass of the shard-routing
+    /// kernel over the key column, then per-shard columnar staging — rows
+    /// are never re-materialized. Clocks are assigned exactly as
+    /// [`ShardedExecutor::push_at`] does per arrival (a pinned timestamp is
+    /// honored and checked for monotonicity; a missing one defaults to
+    /// `max(last_ts, next_seq)`). Input sequence numbers are ignored — the
+    /// router owns the global arrival clock. Batches carrying payload
+    /// blobs are rejected: blob handles are relative to their own batch's
+    /// arena and cannot be re-staged per shard.
+    pub fn push_columnar(&mut self, batch: &ColumnarBatch) -> Result<()> {
+        if !batch.arena().is_empty() {
+            return Err(JiscError::InvalidConfig(
+                "cannot route a columnar batch with payload blobs across shards".into(),
+            ));
+        }
+        // Validate up front so the routing loop below cannot fail between
+        // shards (an invalid row would otherwise leave a routed prefix).
+        let mut ts_check = self.last_ts;
+        for i in 0..batch.len() {
+            let stream = batch.streams()[i];
+            if stream.0 as usize >= self.catalog.len() {
+                return Err(JiscError::UnknownStream(format!(
+                    "stream index {}",
+                    stream.0
+                )));
+            }
+            if let Some(ts) = batch.ts_at(i) {
+                if ts < ts_check {
+                    return Err(JiscError::Internal(format!(
+                        "timestamps must be monotone: {ts} < {ts_check}"
+                    )));
+                }
+                ts_check = ts;
+            }
+        }
+        let n = self.txs.len();
+        let mut route = std::mem::take(&mut self.route_scratch);
+        shard_column(batch.keys(), n, &mut route);
+        let (keys, streams, payloads) = (batch.keys(), batch.streams(), batch.payloads());
+        for i in 0..batch.len() {
+            let ts = batch.ts_at(i).unwrap_or(self.last_ts.max(self.next_seq));
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.last_ts = ts;
+            let s = route[i] as usize;
+            self.events += 1;
+            self.shard_events[s] += 1;
+            self.batches[s]
+                .push_stamped(streams[i], keys[i], payloads[i], Some(ts), Some(seq))
+                .expect("staging batch is cut on full");
+            if self.batches[s].is_full() {
+                if let Err(e) = self.flush(s) {
+                    self.route_scratch = route;
+                    return Err(e);
+                }
+            }
+        }
+        self.route_scratch = route;
         Ok(())
     }
 
@@ -611,9 +675,9 @@ impl ShardedExecutor {
         if self.batches[s].is_empty() {
             return Ok(());
         }
-        let batch = std::mem::replace(&mut self.batches[s], TupleBatch::new(BATCH));
+        let batch = std::mem::replace(&mut self.batches[s], ColumnarBatch::new(BATCH));
         let len = batch.len() as u64;
-        self.send_event(s, Event::Batch(batch))?;
+        self.send_event(s, Event::Columnar(batch))?;
         if self.config.checkpoint_every > 0 {
             self.since_ckpt[s] += len;
             if self.since_ckpt[s] >= self.config.checkpoint_every {
@@ -664,6 +728,8 @@ impl ShardedExecutor {
                         Ok(()) => SendOutcome::Sent,
                         Err(chan::TrySendError::Full(msg)) => {
                             if let ShardMsg::Event(Event::Batch(b)) = &msg {
+                                SendOutcome::Shed(b.len() as u64)
+                            } else if let ShardMsg::Event(Event::Columnar(b)) = &msg {
                                 SendOutcome::Shed(b.len() as u64)
                             } else {
                                 // Control events are never shed: block.
@@ -834,8 +900,10 @@ impl ShardedExecutor {
             let mut replay_ok = true;
             for ev in suffix {
                 self.replayed_events += 1;
-                if let Event::Batch(b) = &ev {
-                    self.replayed_tuples += b.len() as u64;
+                match &ev {
+                    Event::Batch(b) => self.replayed_tuples += b.len() as u64,
+                    Event::Columnar(b) => self.replayed_tuples += b.len() as u64,
+                    _ => {}
                 }
                 let sent = self.txs[s]
                     .as_ref()

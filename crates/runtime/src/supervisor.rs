@@ -69,7 +69,10 @@ impl ShardStrategy {
 }
 
 /// What flows router → worker: in-band events plus checkpoint marks.
+// Channel messages are moved one at a time; see `Event` for why the batch
+// variants stay unboxed.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum ShardMsg {
     /// One element of the unified event stream.
     Event(Event<PlanSpec>),
@@ -258,6 +261,7 @@ pub(crate) fn worker_loop(
         };
         let batch_len = match &ev {
             Event::Batch(b) => b.len() as u64,
+            Event::Columnar(b) => b.len() as u64,
             _ => 0,
         };
         let injected = ctx.injector.trigger(ctx.shard, &ev, tuples);

@@ -14,13 +14,21 @@
 //! reality diverges from the running join order it requests a transition.
 //! With JISC the alert stream never stalls across migrations — the property
 //! the paper targets for safety-critical monitoring (§1).
+//!
+//! Ingest is columnar: events accumulate in a [`ColumnarBatch`] and ship
+//! through the vectorized kernel path (DESIGN.md §9). Alerts are credited
+//! to the feed whose arrival completed them via output lineage, so the
+//! selectivity monitor works on batch boundaries.
 
-use jisc_common::SplitMix64;
+use jisc_common::{ColumnarBatch, SplitMix64, StreamId};
 use jisc_core::{AdaptiveEngine, Strategy};
 use jisc_engine::{Catalog, JoinStyle, PlanSpec};
 
 const STREAMS: [&str; 4] = ["firewall", "ids", "netflow", "auth"];
 const WINDOW: usize = 2_000;
+
+/// Events per columnar batch.
+const BATCH: usize = 64;
 
 /// One raw event; the engine only sees (stream, connection id, row id).
 #[derive(Debug)]
@@ -45,10 +53,11 @@ impl SelectivityMonitor {
         }
     }
 
-    fn observe(&mut self, stream: usize, hit: bool) {
+    /// Record `probes` arrivals and `hits` completed alerts for a stream.
+    fn observe(&mut self, stream: usize, probes: u64, hits: u64) {
         let s = &mut self.stats[stream];
-        s.0 += 1;
-        s.1 += u64::from(hit);
+        s.0 += probes;
+        s.1 += hits;
     }
 
     /// Streams ordered by ascending hit rate (most selective first).
@@ -105,6 +114,8 @@ fn main() {
     let mut current_order: Vec<&'static str> = initial_order.to_vec();
 
     let total = 40_000usize;
+    let mut batch = ColumnarBatch::new(BATCH);
+    let mut batch_feeds: Vec<usize> = Vec::with_capacity(BATCH);
     for i in 0..total {
         let phase = if i < total / 2 { 0 } else { 1 };
         let ev = synth_event(&mut rng, phase, i);
@@ -112,15 +123,41 @@ fn main() {
             .iter()
             .position(|s| *s == ev.feed)
             .expect("known feed");
-        let out_before = engine.output().count();
-        engine
-            .push_named(ev.feed, ev.conn_id, archive.len() as u64)
-            .expect("push");
-        monitor.observe(feed_idx, engine.output().count() > out_before);
+        batch
+            .push(StreamId(feed_idx as u16), ev.conn_id, archive.len() as u64)
+            .expect("batch row");
+        batch_feeds.push(feed_idx);
         archive.push(ev);
 
+        // Ship the batch through the columnar kernel path at capacity, at
+        // optimizer checkpoints (so the monitor is current), and at
+        // end-of-stream.
+        let checkpoint = i > 0 && i % 5_000 == 0;
+        if batch.is_full() || checkpoint || i + 1 == total {
+            let out_before = engine.output().count();
+            engine.push_columnar(&batch).expect("push batch");
+            // Probes: one per arrival. Hits: credit each new alert to the
+            // feed whose arrival completed it (latest constituent by seq).
+            for &f in &batch_feeds {
+                monitor.observe(f, 1, 0);
+            }
+            for alert in &engine.output().log[out_before..] {
+                let mut last: Option<(u64, usize)> = None;
+                alert.for_each_base(&mut |b| {
+                    if last.is_none_or(|(s, _)| b.seq > s) {
+                        last = Some((b.seq, b.stream.0 as usize));
+                    }
+                });
+                if let Some((_, f)) = last {
+                    monitor.observe(f, 0, 1);
+                }
+            }
+            batch.clear();
+            batch_feeds.clear();
+        }
+
         // Every 5000 events, let the optimizer reconsider the join order.
-        if i > 0 && i % 5_000 == 0 {
+        if checkpoint {
             let proposal = monitor.proposed_order();
             if proposal != current_order {
                 let new_plan = PlanSpec::left_deep(&proposal, JoinStyle::Hash);

@@ -210,7 +210,9 @@ proptest! {
             let end = (i + cut.next().unwrap()).min(arr.len());
             let mut batch = TupleBatch::new(end - i);
             for &(s, k) in &arr[i..end] {
-                batch.push(jisc_common::BatchedTuple::new(StreamId(s), k, 0));
+                batch
+                    .push(jisc_common::BatchedTuple::new(StreamId(s), k, 0))
+                    .unwrap();
             }
             batched.push_batch(&batch).unwrap();
             i = end;
