@@ -1,0 +1,226 @@
+//! Elastic rescaling: live hot-range split under Zipf skew.
+//!
+//! A sharded run (2-join plan, time windows, N = 2 workers) ingests a
+//! Zipf-hot arrival stream — skewed ranks scattered over the key domain —
+//! and, 40 % of the way through, splits the partition-map range owning
+//! the hottest key onto a freshly spawned shard
+//! ([`ShardedExecutor::split_hot_key`]). The handover is a JISC state
+//! completion: the source exports only base state (scan rings) for the
+//! moved ranges, the target starts incomplete and completes probed keys
+//! first, and ingest never stops — the stream keeps flowing through the
+//! split, which the throughput trace must show as *no empty slice*.
+//!
+//! The stream is measured in equal arrival slices; the slice containing
+//! the split is the "during" phase. Every run must emit the identical
+//! output lineage as a fixed two-shard run of the same stream (a rescale
+//! is invisible in the result), and the report must show exactly one
+//! rescale with a non-zero migrated-tuple count.
+//!
+//! Besides the markdown table, the run writes `BENCH_elastic.json` with
+//! the per-slice throughput trace, phase means, migrated tuples, and
+//! completion-probe counts.
+
+use std::time::Instant;
+
+use jisc_common::StreamId;
+use jisc_runtime::shard::{ShardStrategy, ShardedConfig, ShardedExecutor};
+use jisc_workload::{best_case, Arrival, Generator};
+
+use crate::harness::Scale;
+use crate::table::Table;
+
+/// Joins in the measured plan. Kept shallow on purpose: skew multiplies
+/// per-key state across join levels ((p·w)^joins matches per hot
+/// arrival), and the subject here is the rescale protocol, not join
+/// depth — a deep plan under Zipf skew explodes the output
+/// combinatorially.
+const JOINS: usize = 2;
+
+/// Base tuple count before scaling.
+const BASE_TUPLES: usize = 40_000;
+
+/// Base per-stream window population before scaling.
+const BASE_WINDOW: usize = 100;
+
+/// Key-domain width relative to the window (bounds hot-key multiplicity).
+const DOMAIN_FACTOR: u64 = 8;
+
+/// Worker threads at the start of the run.
+const START_SHARDS: usize = 2;
+
+/// Zipf exponent for the hot-key skew.
+const ZIPF_S: f64 = 1.0;
+
+/// Arrival slices in the throughput trace.
+const SLICES: usize = 20;
+
+/// Slice whose midpoint carries the live split.
+const SPLIT_SLICE: usize = 8;
+
+fn run(
+    catalog: &jisc_engine::Catalog,
+    spec: &jisc_engine::PlanSpec,
+    arrivals: &[Arrival],
+    split_at: Option<(usize, u64)>,
+) -> (Vec<f64>, jisc_runtime::ShardedReport) {
+    let mut exec = ShardedExecutor::spawn_with(
+        catalog.clone(),
+        spec,
+        ShardedConfig {
+            strategy: ShardStrategy::Jisc,
+            shards: START_SHARDS,
+            queue_capacity: 4096,
+            ..ShardedConfig::default()
+        },
+    )
+    .expect("sharded executor");
+    assert!(exec.is_exact(), "time windows shard exactly");
+    let slice_len = arrivals.len().div_ceil(SLICES);
+    let mut slice_tps = Vec::with_capacity(SLICES);
+    for (i, slice) in arrivals.chunks(slice_len).enumerate() {
+        let t0 = Instant::now();
+        for (j, a) in slice.iter().enumerate() {
+            if let Some((at, key)) = split_at {
+                if i == at && j == slice.len() / 2 {
+                    let target = exec.split_hot_key(key).expect("live split");
+                    assert!(target >= START_SHARDS, "split spawns a fresh shard");
+                }
+            }
+            exec.push(StreamId(a.stream), a.key, a.payload)
+                .expect("push");
+        }
+        slice_tps.push(slice.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    (slice_tps, exec.finish().expect("finish"))
+}
+
+/// Elastic-rescaling table and `BENCH_elastic.json`.
+pub fn elastic(scale: Scale) -> Table {
+    let window = scale.apply(BASE_WINDOW);
+    let total = scale.apply(BASE_TUPLES);
+    let scenario = best_case(JOINS, crate::harness::hash_style());
+    let names: Vec<String> = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ticks = (window * names.len()) as u64;
+    let catalog = jisc_engine::Catalog::new(
+        names
+            .iter()
+            .map(|n| jisc_engine::StreamDef::timed(n.clone(), ticks))
+            .collect(),
+    )
+    .expect("valid catalog");
+    // Zipf-hot arrivals: skewed ranks scattered across the domain, so the
+    // hot key sits in an arbitrary partition-map range.
+    let mut gen = Generator::zipf_hot(
+        names.len() as u16,
+        window as u64 * DOMAIN_FACTOR,
+        ZIPF_S,
+        7001,
+    );
+    let hot_key = gen.hot_keys(1)[0];
+    let arrivals: Vec<Arrival> = gen.take_vec(total);
+
+    // Fixed two-shard reference: the rescaled run must reproduce this
+    // lineage exactly.
+    let (_, fixed) = run(&catalog, &scenario.initial, &arrivals, None);
+    let expected = fixed.output.lineage_multiset();
+
+    let (slice_tps, report) = run(
+        &catalog,
+        &scenario.initial,
+        &arrivals,
+        Some((SPLIT_SLICE, hot_key)),
+    );
+    assert_eq!(report.rescales, 1, "exactly one live split");
+    assert!(report.partition_epoch >= 1, "split bumps the map epoch");
+    assert!(report.migrated_tuples > 0, "the hot range carries state");
+    assert_eq!(
+        report.output.lineage_multiset(),
+        expected,
+        "a live split must not change the result"
+    );
+    let no_gap = slice_tps.iter().all(|&tps| tps > 0.0);
+    assert!(no_gap, "a live split never stops ingest: {slice_tps:?}");
+
+    let phase_of = |i: usize| match i.cmp(&SPLIT_SLICE) {
+        std::cmp::Ordering::Less => "before",
+        std::cmp::Ordering::Equal => "during",
+        std::cmp::Ordering::Greater => "after",
+    };
+    let phase_mean = |phase: &str| {
+        let v: Vec<f64> = slice_tps
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| phase_of(i) == phase)
+            .map(|(_, &t)| t)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let (before, during, after) = (
+        phase_mean("before"),
+        phase_mean("during"),
+        phase_mean("after"),
+    );
+    let probes: u64 = report.probes_by_shard.iter().sum();
+
+    let mut table = Table::new(
+        "elastic",
+        "Elastic rescaling: live hot-range split under Zipf skew (2 joins)",
+        "throughput stays non-zero through the split slice (ingest never \
+         stops); the migrated hot range carries tuples and the target \
+         completes probed keys just-in-time — output is identical to the \
+         fixed-shard run",
+        &["phase", "slices", "mean tuples/sec", "vs before"],
+    );
+    for phase in ["before", "during", "after"] {
+        let mean = phase_mean(phase);
+        let n = (0..slice_tps.len())
+            .filter(|&i| phase_of(i) == phase)
+            .count();
+        table.row(vec![
+            phase.into(),
+            n.to_string(),
+            format!("{mean:.0}"),
+            format!("{:.2}", mean / before.max(1e-9)),
+        ]);
+    }
+    // The report footer doubles as the experiment's shard-level summary
+    // (per-shard events, peak queue depth, shed and probe counters).
+    for line in report.footer().lines() {
+        table.row(vec![line.trim().into(), "".into(), "".into(), "".into()]);
+    }
+
+    let slice_json: Vec<String> = slice_tps
+        .iter()
+        .enumerate()
+        .map(|(i, tps)| {
+            format!(
+                "    {{\"slice\": {i}, \"phase\": \"{}\", \"tuples_per_sec\": {tps:.0}}}",
+                phase_of(i)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"elastic\",\n  \"tuples\": {total},\n  \
+         \"joins\": {JOINS},\n  \"start_shards\": {START_SHARDS},\n  \
+         \"zipf_s\": {ZIPF_S},\n  \"hot_key\": {hot_key},\n  \
+         \"split_slice\": {SPLIT_SLICE},\n  \
+         \"rescales\": {},\n  \"partition_epoch\": {},\n  \
+         \"migrated_tuples\": {},\n  \"completion_probes\": {probes},\n  \
+         \"no_gap\": {no_gap},\n  \
+         \"mean_tps\": {{\"before\": {before:.0}, \"during\": {during:.0}, \
+         \"after\": {after:.0}}},\n  \"slices\": [\n{}\n  ]\n}}\n",
+        report.rescales,
+        report.partition_epoch,
+        report.migrated_tuples,
+        slice_json.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_elastic.json", &json) {
+        eprintln!("warning: could not write BENCH_elastic.json: {e}");
+    }
+    table
+}

@@ -36,6 +36,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "throughput",
     "kernels",
     "recovery",
+    "elastic",
     "state",
 ];
 
@@ -58,6 +59,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "throughput" => vec![throughput::throughput(scale)],
         "kernels" => vec![kernels::kernels(scale)],
         "recovery" => vec![recovery_exp::recovery(scale)],
+        "elastic" => vec![elastic::elastic(scale)],
         "state" => vec![state_exp::state(scale)],
         "ablation" => vec![
             ablation::ablation_selectivity(scale),

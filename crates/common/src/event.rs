@@ -166,6 +166,12 @@ pub enum Event<P> {
     MigrationBarrier(P),
     /// Drain every operator queue to quiescence.
     Flush,
+    /// Partition-epoch punctuation carrying the next epoch's routing
+    /// table. All data before it was routed under the old map, all data
+    /// after it under the new one; engines treat it as an accepted no-op
+    /// (routing is the runtime's concern), but its in-band position is
+    /// what makes a live rescale a well-defined stream cut.
+    Repartition(crate::partition::PartitionMap),
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub mod hash;
 pub mod kernels;
 pub mod lineage;
 pub mod metrics;
+pub mod partition;
 pub mod rng;
 pub mod tuple;
 
@@ -33,5 +34,6 @@ pub use fault::WorkerFault;
 pub use hash::{hash_key, shard_of, FxHashMap, FxHashSet, FxHasher};
 pub use lineage::Lineage;
 pub use metrics::Metrics;
+pub use partition::{KeyRange, PartitionMap, RangeMove};
 pub use rng::SplitMix64;
 pub use tuple::{BaseTuple, JoinedTuple, Key, SeqNo, StreamId, Tuple};

@@ -1,0 +1,655 @@
+//! Versioned key-range partitioning: the routing table of the elastic
+//! sharded runtime.
+//!
+//! A [`PartitionMap`] divides the **hashed** key space `[0, u64::MAX]` into
+//! contiguous, non-overlapping [`KeyRange`]s, each owned by one shard.
+//! Routing a key means hashing it with [`crate::hash_key`] and
+//! binary-searching the sorted range table — hashing first means a "hot key
+//! range" is really a *hot key*, pinned wherever its hash landed, and a
+//! [`PartitionMap::split_key`] can carve exactly that key (plus whatever
+//! shares its hash neighborhood) onto its own shard.
+//!
+//! Maps are **epoch-stamped**: every rescaling operation (split, merge,
+//! scale-up/down) produces a new map with `epoch + 1`. The runtime
+//! broadcasts the new map in-band as
+//! [`Event::Repartition`](crate::Event::Repartition), so every shard
+//! observes the epoch change at the same position of its FIFO event stream —
+//! the same barrier discipline plan migrations use.
+//!
+//! The invariants (checked by [`PartitionMap::validate`], property-tested in
+//! this module):
+//!
+//! 1. ranges are sorted by `start` and contiguous: each `start` is the
+//!    previous `end + 1`;
+//! 2. the first range starts at `0`, the last ends at `u64::MAX`
+//!    (inclusive bounds — no sentinel overflow at the top of the space);
+//! 3. every range's owner is a known shard id.
+//!
+//! Together 1 + 2 give "every hash is owned by exactly one shard".
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::hash_key;
+use crate::{JiscError, Key, Result};
+
+/// An inclusive range `[start, end]` of *hashed* key space.
+///
+/// Inclusive on both ends so the top range can end at `u64::MAX` without a
+/// sentinel overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// First hash owned (inclusive).
+    pub start: u64,
+    /// Last hash owned (inclusive).
+    pub end: u64,
+}
+
+impl KeyRange {
+    /// The whole hashed key space.
+    pub const ALL: KeyRange = KeyRange {
+        start: 0,
+        end: u64::MAX,
+    };
+
+    /// Does this range contain hash `h`?
+    #[inline]
+    pub fn contains(&self, h: u64) -> bool {
+        self.start <= h && h <= self.end
+    }
+
+    /// Does this range contain `key` (after hashing)?
+    #[inline]
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.contains(hash_key(key))
+    }
+}
+
+/// One reassigned range in a map-to-map diff ([`PartitionMap::moves_from`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeMove {
+    /// The hashed-key range changing owner.
+    pub range: KeyRange,
+    /// Owner under the old map.
+    pub from: usize,
+    /// Owner under the new map.
+    pub to: usize,
+}
+
+/// An epoch-stamped assignment of hashed key ranges to shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionMap {
+    epoch: u64,
+    /// Sorted, contiguous, covering `[0, u64::MAX]`.
+    ranges: Vec<(KeyRange, usize)>,
+    /// One past the highest shard id that has ever owned a range in this
+    /// map's lineage (shard ids of retired shards are not reused).
+    shard_bound: usize,
+}
+
+impl PartitionMap {
+    /// The uniform map of epoch 0: the hash space divided into `n` equal
+    /// ranges, range `i` owned by shard `i`. With `n = 1` the single shard
+    /// owns everything.
+    pub fn uniform(n: usize) -> Self {
+        let n = n.max(1);
+        let width = u64::MAX / n as u64; // floor; the last range absorbs the remainder
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0u64;
+        for shard in 0..n {
+            let end = if shard == n - 1 {
+                u64::MAX
+            } else {
+                start + width
+            };
+            ranges.push((KeyRange { start, end }, shard));
+            start = end.wrapping_add(1);
+        }
+        PartitionMap {
+            epoch: 0,
+            ranges,
+            shard_bound: n,
+        }
+    }
+
+    /// The map's epoch (bumped by every rescaling operation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The sorted `(range, shard)` table.
+    pub fn ranges(&self) -> &[(KeyRange, usize)] {
+        &self.ranges
+    }
+
+    /// One past the highest shard id this map's lineage has ever used.
+    /// Routing targets are always `< shard_bound`; the runtime sizes its
+    /// per-shard tables with it.
+    pub fn shard_bound(&self) -> usize {
+        self.shard_bound
+    }
+
+    /// Shard ids that currently own at least one range, ascending.
+    pub fn live_shards(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.ranges.iter().map(|&(_, s)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The ranges owned by `shard` (empty if it owns none).
+    pub fn ranges_of(&self, shard: usize) -> Vec<KeyRange> {
+        self.ranges
+            .iter()
+            .filter(|&&(_, s)| s == shard)
+            .map(|&(r, _)| r)
+            .collect()
+    }
+
+    /// Owner of hash `h`: binary search over the sorted range table.
+    #[inline]
+    pub fn shard_for_hash(&self, h: u64) -> usize {
+        let idx = self
+            .ranges
+            .partition_point(|&(r, _)| r.start <= h)
+            .saturating_sub(1);
+        debug_assert!(self.ranges[idx].0.contains(h));
+        self.ranges[idx].1
+    }
+
+    /// Owner of `key` (hashes, then routes).
+    #[inline]
+    pub fn shard_for_key(&self, key: Key) -> usize {
+        self.shard_for_hash(hash_key(key))
+    }
+
+    /// Check the covering invariants; every constructor in this module
+    /// preserves them, so a failure means a hand-built or corrupted map.
+    pub fn validate(&self) -> Result<()> {
+        if self.ranges.is_empty() {
+            return Err(JiscError::InvalidConfig(
+                "partition map has no ranges".into(),
+            ));
+        }
+        if self.ranges[0].0.start != 0 {
+            return Err(JiscError::InvalidConfig(
+                "partition map does not start at hash 0".into(),
+            ));
+        }
+        if self.ranges.last().expect("non-empty").0.end != u64::MAX {
+            return Err(JiscError::InvalidConfig(
+                "partition map does not end at u64::MAX".into(),
+            ));
+        }
+        for w in self.ranges.windows(2) {
+            let (a, b) = (w[0].0, w[1].0);
+            if a.end.checked_add(1) != Some(b.start) {
+                return Err(JiscError::InvalidConfig(format!(
+                    "partition ranges not contiguous: [..{:#x}] then [{:#x}..]",
+                    a.end, b.start
+                )));
+            }
+        }
+        for &(r, s) in &self.ranges {
+            if r.start > r.end {
+                return Err(JiscError::InvalidConfig(format!(
+                    "inverted range [{:#x}, {:#x}]",
+                    r.start, r.end
+                )));
+            }
+            if s >= self.shard_bound {
+                return Err(JiscError::InvalidConfig(format!(
+                    "range owner {s} outside shard bound {}",
+                    self.shard_bound
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Next-epoch map with the containing range of `key`'s hash split so
+    /// the hash's upper part `[hash_key(key), end]` moves to `new_shard`
+    /// (allocating a fresh shard id when `new_shard` is `None`). The lower
+    /// part `[start, hash-1]` keeps its owner; when the hash *is* the range
+    /// start, the whole range moves. Returns the new map and the id that
+    /// now owns the key.
+    pub fn split_key(&self, key: Key, new_shard: Option<usize>) -> (PartitionMap, usize) {
+        let h = hash_key(key);
+        let target = new_shard.unwrap_or(self.shard_bound);
+        let mut next = self.clone();
+        next.epoch += 1;
+        next.shard_bound = next.shard_bound.max(target + 1);
+        let idx = next
+            .ranges
+            .partition_point(|&(r, _)| r.start <= h)
+            .saturating_sub(1);
+        let (r, _) = next.ranges[idx];
+        debug_assert!(r.contains(h));
+        if r.start == h {
+            next.ranges[idx].1 = target;
+        } else {
+            next.ranges[idx].0.end = h - 1;
+            next.ranges.insert(
+                idx + 1,
+                (
+                    KeyRange {
+                        start: h,
+                        end: r.end,
+                    },
+                    target,
+                ),
+            );
+        }
+        next.coalesce();
+        (next, target)
+    }
+
+    /// Next-epoch map with `shard`'s widest range split at its midpoint,
+    /// the upper half moving to `new_shard` (a fresh id when `None`) —
+    /// the scale-up primitive: halve the busiest shard's hash share.
+    /// Errors if `shard` owns nothing or its widest range is a single hash.
+    pub fn split_shard(
+        &self,
+        shard: usize,
+        new_shard: Option<usize>,
+    ) -> Result<(PartitionMap, usize)> {
+        let widest = self
+            .ranges
+            .iter()
+            .filter(|&&(_, s)| s == shard)
+            .map(|&(r, _)| r)
+            .max_by_key(|r| r.end - r.start)
+            .ok_or_else(|| JiscError::InvalidConfig(format!("shard {shard} owns no ranges")))?;
+        if widest.start == widest.end {
+            return Err(JiscError::InvalidConfig(format!(
+                "shard {shard}'s widest range is a single hash; nothing to split"
+            )));
+        }
+        let mid = widest.start + (widest.end - widest.start) / 2;
+        let target = new_shard.unwrap_or(self.shard_bound);
+        let mut next = self.clone();
+        next.epoch += 1;
+        next.shard_bound = next.shard_bound.max(target + 1);
+        let idx = next
+            .ranges
+            .partition_point(|&(r, _)| r.start <= widest.start)
+            .saturating_sub(1);
+        debug_assert_eq!(next.ranges[idx].0, widest);
+        next.ranges[idx].0.end = mid;
+        next.ranges.insert(
+            idx + 1,
+            (
+                KeyRange {
+                    start: mid + 1,
+                    end: widest.end,
+                },
+                target,
+            ),
+        );
+        next.coalesce();
+        Ok((next, target))
+    }
+
+    /// Bulk routing: hash every key and binary-search the range table,
+    /// writing one shard id per input key into `out` (cleared first). The
+    /// columnar twin of [`PartitionMap::shard_for_key`], shaped like the
+    /// SWAR kernels so the router's batch path stays row-free.
+    pub fn route_column(&self, keys: &[Key], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(keys.len());
+        if self.ranges.len() == 1 {
+            out.resize(keys.len(), self.ranges[0].1 as u32);
+            return;
+        }
+        out.extend(keys.iter().map(|&k| self.shard_for_key(k) as u32));
+    }
+
+    /// Next-epoch map with every range of `from` reassigned to `to`
+    /// (scale-down / merge). Adjacent same-owner ranges coalesce. Errors if
+    /// `from` owns nothing or `from == to`.
+    pub fn merge_into(&self, from: usize, to: usize) -> Result<PartitionMap> {
+        if from == to {
+            return Err(JiscError::InvalidConfig(
+                "cannot merge a shard into itself".into(),
+            ));
+        }
+        if !self.ranges.iter().any(|&(_, s)| s == from) {
+            return Err(JiscError::InvalidConfig(format!(
+                "shard {from} owns no ranges"
+            )));
+        }
+        let mut next = self.clone();
+        next.epoch += 1;
+        next.shard_bound = next.shard_bound.max(to + 1);
+        for entry in &mut next.ranges {
+            if entry.1 == from {
+                entry.1 = to;
+            }
+        }
+        next.coalesce();
+        Ok(next)
+    }
+
+    /// The ranges whose owner differs between `old` and `self`, as maximal
+    /// contiguous runs. Both maps must cover the space (callers validate);
+    /// the diff walks the union of the two maps' boundaries.
+    pub fn moves_from(&self, old: &PartitionMap) -> Vec<RangeMove> {
+        let mut moves: Vec<RangeMove> = Vec::new();
+        let mut cursor = 0u64;
+        loop {
+            let from = old.shard_for_hash(cursor);
+            let to = self.shard_for_hash(cursor);
+            // The current segment ends at the nearer of the two owning
+            // ranges' ends.
+            let old_end = old.range_at(cursor).end;
+            let new_end = self.range_at(cursor).end;
+            let end = old_end.min(new_end);
+            if from != to {
+                match moves.last_mut() {
+                    // Extend the previous move when contiguous with the
+                    // same endpoints.
+                    Some(last)
+                        if last.from == from
+                            && last.to == to
+                            && last.range.end.checked_add(1) == Some(cursor) =>
+                    {
+                        last.range.end = end;
+                    }
+                    _ => moves.push(RangeMove {
+                        range: KeyRange { start: cursor, end },
+                        from,
+                        to,
+                    }),
+                }
+            }
+            match end.checked_add(1) {
+                Some(next) => cursor = next,
+                None => break,
+            }
+        }
+        moves
+    }
+
+    /// Serialize to a compact wire string
+    /// (`epoch bound start:end:shard,...`). The workspace's serde is an
+    /// offline marker stand-in, so the wire format is hand-rolled like the
+    /// metrics JSON emitter; hex bounds keep it lossless for the full
+    /// `u64` space.
+    pub fn to_wire(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!("{} {} ", self.epoch, self.shard_bound);
+        for (i, &(r, shard)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(s, "{:x}:{:x}:{shard}", r.start, r.end).expect("string write");
+        }
+        s
+    }
+
+    /// Parse a [`PartitionMap::to_wire`] string, validating the covering
+    /// invariants before returning.
+    pub fn from_wire(s: &str) -> Result<PartitionMap> {
+        let bad = |what: &str| JiscError::InvalidConfig(format!("partition wire: {what}"));
+        let mut parts = s.split(' ');
+        let epoch: u64 = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| bad("missing epoch"))?;
+        let shard_bound: usize = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| bad("missing shard bound"))?;
+        let body = parts.next().ok_or_else(|| bad("missing ranges"))?;
+        let mut ranges = Vec::new();
+        for entry in body.split(',') {
+            let mut f = entry.split(':');
+            let start = f
+                .next()
+                .and_then(|v| u64::from_str_radix(v, 16).ok())
+                .ok_or_else(|| bad("bad range start"))?;
+            let end = f
+                .next()
+                .and_then(|v| u64::from_str_radix(v, 16).ok())
+                .ok_or_else(|| bad("bad range end"))?;
+            let shard: usize = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("bad range owner"))?;
+            ranges.push((KeyRange { start, end }, shard));
+        }
+        let map = PartitionMap {
+            epoch,
+            ranges,
+            shard_bound,
+        };
+        map.validate()?;
+        Ok(map)
+    }
+
+    /// The range containing hash `h`.
+    fn range_at(&self, h: u64) -> KeyRange {
+        let idx = self
+            .ranges
+            .partition_point(|&(r, _)| r.start <= h)
+            .saturating_sub(1);
+        self.ranges[idx].0
+    }
+
+    /// Merge adjacent ranges with the same owner.
+    fn coalesce(&mut self) {
+        let mut out: Vec<(KeyRange, usize)> = Vec::with_capacity(self.ranges.len());
+        for &(r, s) in &self.ranges {
+            match out.last_mut() {
+                Some((last, owner)) if *owner == s && last.end.checked_add(1) == Some(r.start) => {
+                    last.end = r.end;
+                }
+                _ => out.push((r, s)),
+            }
+        }
+        self.ranges = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn uniform_maps_cover_exactly_once() {
+        for n in [1, 2, 3, 4, 7, 8, 16] {
+            let m = PartitionMap::uniform(n);
+            m.validate().unwrap();
+            assert_eq!(m.epoch(), 0);
+            assert_eq!(m.live_shards().len(), n);
+            // Spot probes across the space always land in-bounds.
+            for h in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+                assert!(m.shard_for_hash(h) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_map_agrees_with_range_membership() {
+        let m = PartitionMap::uniform(4);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..2000 {
+            let key = rng.next_u64();
+            let s = m.shard_for_key(key);
+            let owned = m.ranges_of(s);
+            assert!(
+                owned.iter().any(|r| r.contains_key(key)),
+                "routed shard must own the key's hash"
+            );
+        }
+    }
+
+    #[test]
+    fn split_key_covers_exactly_once_and_routes_to_new_shard() {
+        let m = PartitionMap::uniform(2);
+        let key = 42u64;
+        let (split, target) = m.split_key(key, None);
+        split.validate().unwrap();
+        assert_eq!(split.epoch(), 1);
+        assert_eq!(target, 2, "fresh shard id allocated past the bound");
+        assert_eq!(split.shard_for_key(key), target);
+        assert_eq!(split.shard_bound(), 3);
+    }
+
+    #[test]
+    fn routing_outside_a_split_range_is_stable() {
+        let m = PartitionMap::uniform(3);
+        let key = 1234u64;
+        let (split, target) = m.split_key(key, None);
+        let moved: Vec<KeyRange> = split.ranges_of(target);
+        let mut rng = SplitMix64::new(99);
+        let mut outside = 0;
+        for _ in 0..5000 {
+            let k = rng.next_u64();
+            let h = hash_key(k);
+            if moved.iter().any(|r| r.contains(h)) {
+                assert_eq!(split.shard_for_key(k), target);
+            } else {
+                outside += 1;
+                assert_eq!(
+                    split.shard_for_key(k),
+                    m.shard_for_key(k),
+                    "keys outside the split range must not be re-routed"
+                );
+            }
+        }
+        assert!(outside > 0, "sample must exercise the unmoved space");
+    }
+
+    #[test]
+    fn merge_into_reassigns_and_coalesces() {
+        let m = PartitionMap::uniform(4);
+        let merged = m.merge_into(3, 2).unwrap();
+        merged.validate().unwrap();
+        assert_eq!(merged.epoch(), 1);
+        assert_eq!(merged.live_shards(), vec![0, 1, 2]);
+        // Shards 2 and 3 were adjacent; their ranges must have coalesced.
+        assert_eq!(merged.ranges_of(2).len(), 1);
+        assert!(m.merge_into(1, 1).is_err());
+        assert!(merged.merge_into(3, 0).is_err(), "3 owns nothing now");
+    }
+
+    #[test]
+    fn moves_from_names_exactly_the_reassigned_space() {
+        let m = PartitionMap::uniform(2);
+        let key = 7u64;
+        let (split, target) = m.split_key(key, None);
+        let moves = split.moves_from(&m);
+        assert!(!moves.is_empty());
+        for mv in &moves {
+            assert_eq!(mv.to, target);
+            assert_eq!(m.shard_for_hash(mv.range.start), mv.from);
+            assert_eq!(split.shard_for_hash(mv.range.start), mv.to);
+            assert_eq!(split.shard_for_hash(mv.range.end), mv.to);
+        }
+        // The moved space is exactly the new shard's owned space.
+        assert_eq!(
+            moves
+                .iter()
+                .map(|m| (m.range.start, m.range.end))
+                .collect::<Vec<_>>(),
+            split
+                .ranges_of(target)
+                .iter()
+                .map(|r| (r.start, r.end))
+                .collect::<Vec<_>>()
+        );
+        // Identity diff is empty.
+        assert!(split.moves_from(&split).is_empty());
+    }
+
+    #[test]
+    fn random_split_merge_sequences_preserve_invariants() {
+        let mut rng = SplitMix64::new(12345);
+        let mut m = PartitionMap::uniform(2);
+        for step in 0..60 {
+            let prev = m.clone();
+            if rng.next_u64().is_multiple_of(3) && m.live_shards().len() > 1 {
+                let live = m.live_shards();
+                let from = live[(rng.next_u64() as usize) % live.len()];
+                let to_candidates: Vec<usize> =
+                    live.iter().copied().filter(|&s| s != from).collect();
+                let to = to_candidates[(rng.next_u64() as usize) % to_candidates.len()];
+                m = m.merge_into(from, to).unwrap();
+            } else {
+                let key = rng.next_u64();
+                m = m.split_key(key, None).0;
+            }
+            m.validate().unwrap();
+            assert_eq!(m.epoch(), prev.epoch() + 1, "step {step} bumps the epoch");
+            // Every hash stays owned by exactly one shard after any op.
+            for _ in 0..50 {
+                let h = rng.next_u64();
+                let s = m.shard_for_hash(h);
+                assert_eq!(m.ranges().iter().filter(|(r, _)| r.contains(h)).count(), 1);
+                assert!(m.ranges_of(s).iter().any(|r| r.contains(h)));
+            }
+        }
+    }
+
+    #[test]
+    fn split_shard_halves_the_widest_range_and_routes_in_bulk() {
+        let m = PartitionMap::uniform(2);
+        let (next, target) = m.split_shard(1, None).unwrap();
+        next.validate().unwrap();
+        assert_eq!((next.epoch(), target), (1, 2));
+        let old_width: u128 = m
+            .ranges_of(1)
+            .iter()
+            .map(|r| (r.end - r.start) as u128 + 1)
+            .sum();
+        let new_width: u128 = next
+            .ranges_of(1)
+            .iter()
+            .map(|r| (r.end - r.start) as u128 + 1)
+            .sum();
+        let target_width: u128 = next
+            .ranges_of(target)
+            .iter()
+            .map(|r| (r.end - r.start) as u128 + 1)
+            .sum();
+        assert_eq!(new_width + target_width, old_width, "split is conservative");
+        assert!(
+            new_width.abs_diff(target_width) <= 1,
+            "split is at the midpoint"
+        );
+        assert!(next.split_shard(3, None).is_err(), "3 owns nothing");
+
+        // The bulk router agrees with scalar routing, key for key.
+        let keys: Vec<u64> = (0..500).collect();
+        let mut out = Vec::new();
+        next.route_column(&keys, &mut out);
+        assert_eq!(out.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(out[i] as usize, next.shard_for_key(k));
+        }
+        let single = PartitionMap::uniform(1);
+        single.route_column(&keys, &mut out);
+        assert!(out.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let (m, _) = PartitionMap::uniform(3).split_key(99, None);
+        let wire = m.to_wire();
+        let back = PartitionMap::from_wire(&wire).unwrap();
+        assert_eq!(m, back);
+        back.validate().unwrap();
+        assert_eq!(back.epoch(), m.epoch());
+        assert_eq!(back.shard_for_key(99), m.shard_for_key(99));
+        // Corrupted wires are rejected, not silently mis-parsed.
+        assert!(PartitionMap::from_wire("").is_err());
+        assert!(PartitionMap::from_wire("1 2 0:ff:0").is_err(), "gap at top");
+        let mut rng = SplitMix64::new(5);
+        let mut m = PartitionMap::uniform(4);
+        for _ in 0..20 {
+            m = m.split_key(rng.next_u64(), None).0;
+            assert_eq!(PartitionMap::from_wire(&m.to_wire()).unwrap(), m);
+        }
+    }
+}

@@ -243,6 +243,59 @@ impl AdaptiveEngine {
         Ok(engine)
     }
 
+    // ----- elastic repartitioning -----
+
+    /// Extract everything this engine holds for keys hashing into `ranges`
+    /// (elastic range handover, source side; see [`crate::rescale`]). Errors
+    /// while a Parallel Track migration still runs more than one plan — the
+    /// two tracks hold overlapping state for the same keys, so a per-range
+    /// cut is not well defined until the old track retires.
+    pub fn extract_range(
+        &mut self,
+        ranges: &[jisc_common::KeyRange],
+    ) -> Result<jisc_engine::BaseRangeExport> {
+        match &mut self.inner {
+            Inner::Jisc(e) => crate::rescale::extract_range(e.pipeline_mut(), ranges),
+            Inner::Ms(e) => crate::rescale::extract_range(e.pipeline_mut(), ranges),
+            Inner::Pt(e) => {
+                let p = e.sole_pipeline_mut().ok_or_else(|| {
+                    jisc_common::JiscError::InvalidConfig(
+                        "cannot extract a key range while a Parallel Track migration runs two \
+                         plans; retry after the old track retires"
+                            .into(),
+                    )
+                })?;
+                crate::rescale::extract_range(p, ranges)
+            }
+        }
+    }
+
+    /// Install an extracted range (elastic handover, target side): the base
+    /// slice is absorbed and the moved keys become just-in-time completion
+    /// debt under [`Strategy::Jisc`] — probed keys complete first while
+    /// ingest continues — or are materialized eagerly under the strategies
+    /// whose runtime semantics have no completion machinery.
+    pub fn install_range(&mut self, export: &jisc_engine::BaseRangeExport) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => {
+                crate::rescale::install_range(e.pipeline_mut(), export, RecoveryMode::JustInTime)
+            }
+            Inner::Ms(e) => {
+                crate::rescale::install_range(e.pipeline_mut(), export, RecoveryMode::Eager)
+            }
+            Inner::Pt(e) => {
+                let p = e.sole_pipeline_mut().ok_or_else(|| {
+                    jisc_common::JiscError::InvalidConfig(
+                        "cannot install a key range while a Parallel Track migration runs two \
+                         plans; retry after the old track retires"
+                            .into(),
+                    )
+                })?;
+                crate::rescale::install_range(p, export, RecoveryMode::Eager)
+            }
+        }
+    }
+
     /// Move the accumulated output out of the engine, leaving it empty —
     /// used by checkpointing to drain results that are now durable.
     pub fn take_output(&mut self) -> OutputSink {

@@ -330,7 +330,7 @@ pub fn complete_key_left_deep(p: &mut Pipeline, n: NodeId, key: Key) {
 /// Entries that accumulated through normal post-transition processing are
 /// skipped by lineage; the existing-lineage set is built once per key so
 /// the merge is linear in the bucket, not quadratic.
-fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
+pub(crate) fn materialize_key(p: &mut Pipeline, n: NodeId, key: Key) {
     let node = p.plan().node(n);
     let (Some(l), Some(r)) = (node.left, node.right) else {
         return;
@@ -594,6 +594,11 @@ pub fn apply_event<S: EventSemantics>(
             p.run_with(sem);
             Ok(())
         }
+        // Routing is the runtime's concern; an engine accepts the epoch
+        // punctuation as a no-op. Its value is its *position*: the router
+        // guarantees all pre-repartition events were routed under the old
+        // map and all later ones under the new map.
+        Event::Repartition(_) => Ok(()),
     }
 }
 

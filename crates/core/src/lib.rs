@@ -16,6 +16,8 @@
 //! * [`adaptive`] — the [`AdaptiveEngine`] facade unifying the three.
 //! * [`migrate`] — shared transition machinery (equivalence checks, state
 //!   adoption, eager state construction).
+//! * [`recovery`] / [`rescale`] — crash restore and elastic range handover,
+//!   both expressed as state completion over a restored base state.
 //!
 //! The eddy-based comparators (CACQ, STAIRs) live in the `jisc-eddy` crate.
 
@@ -25,6 +27,7 @@ pub mod migrate;
 pub mod moving_state;
 pub mod parallel_track;
 pub mod recovery;
+pub mod rescale;
 
 pub use adaptive::{AdaptiveEngine, Strategy};
 pub use jisc::{
@@ -33,6 +36,7 @@ pub use jisc::{
 pub use moving_state::MovingStateExec;
 pub use parallel_track::ParallelTrackExec;
 pub use recovery::{restore_pipeline, RecoveryMode};
+pub use rescale::{extract_range, install_range};
 
 #[cfg(test)]
 mod tests {

@@ -64,6 +64,8 @@ impl MovingStateExec {
                 self.pipe.run_with(&mut DefaultSemantics);
                 Ok(())
             }
+            // Partition-epoch punctuation: a routing concern, no-op here.
+            Event::Repartition(_) => Ok(()),
         }
     }
 

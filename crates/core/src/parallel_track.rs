@@ -158,6 +158,8 @@ impl ParallelTrackExec {
                 self.merge_outputs();
                 Ok(())
             }
+            // Partition-epoch punctuation: a routing concern, no-op here.
+            Event::Repartition(_) => Ok(()),
         }
     }
 

@@ -50,6 +50,6 @@ pub use pipeline::{AdoptionOutcome, Pipeline, Semantics};
 pub use plan::{Node, NodeId, OpClass, OpKind, Payload, Plan, QueueItem, Signature, StreamSet};
 pub use predicate::Predicate;
 pub use slab::{SlabStats, SlabStore};
-pub use snapshot::BaseStateSnapshot;
+pub use snapshot::{BaseRangeExport, BaseStateSnapshot};
 pub use spec::{AggKind, Catalog, JoinStyle, PlanSpec, SpecNode, StreamDef, WindowSpec};
 pub use state::{PendingKeys, State, StoreKind};

@@ -1127,6 +1127,167 @@ impl Pipeline {
         Ok(())
     }
 
+    // ----- elastic range handover (repartitioning) -----
+
+    /// Extract the base state of every key whose hash lies in `ranges` —
+    /// the source half of an elastic range handover. Matching window-ring
+    /// and freshness entries are removed and returned in ring (arrival)
+    /// order, and the moved keys leave their streams' scan states. Derived
+    /// (join) states and completion bookkeeping are the rescale layer's
+    /// concern (`jisc-core`), which can see the whole plan. Unlike a
+    /// snapshot restore this runs against a *live* pipeline; it only
+    /// refuses mid-event (queued items or a deferred batch run in flight).
+    pub fn extract_base_range(
+        &mut self,
+        ranges: &[jisc_common::KeyRange],
+    ) -> Result<crate::snapshot::BaseRangeExport> {
+        if self.pending_items > 0 || !self.batch_run.is_empty() {
+            return Err(JiscError::InvalidConfig(
+                "range extraction requires a quiescent pipeline".into(),
+            ));
+        }
+        let in_range = |h: u64| ranges.iter().any(|r| r.contains(h));
+        let mut rings = Vec::with_capacity(self.rings.len());
+        let mut fresh = Vec::with_capacity(self.fresh.len());
+        let mut keys = FxHashSet::default();
+        for i in 0..self.rings.len() {
+            let ring = &mut self.rings[i];
+            let mut moved = Vec::new();
+            let mut kept = std::collections::VecDeque::with_capacity(ring.len());
+            for (ts, t) in ring.drain(..) {
+                if in_range(hash_key(t.key)) {
+                    keys.insert(t.key);
+                    moved.push((ts, t));
+                } else {
+                    kept.push_back((ts, t));
+                }
+            }
+            *ring = kept;
+            rings.push(moved);
+            let fmap = &mut self.fresh[i];
+            let mut fmoved: Vec<(Key, SeqNo)> = Vec::new();
+            fmap.retain(|&k, &mut s| {
+                if in_range(hash_key(k)) {
+                    fmoved.push((k, s));
+                    false
+                } else {
+                    true
+                }
+            });
+            fmoved.sort_unstable();
+            for &(k, _) in &fmoved {
+                keys.insert(k);
+            }
+            fresh.push(fmoved);
+        }
+        for (i, moved) in rings.iter().enumerate() {
+            if moved.is_empty() {
+                continue;
+            }
+            let scan = self
+                .plan
+                .scan_of(StreamId(i as u16))
+                .ok_or_else(|| JiscError::UnknownStream(format!("stream index {i}")))?;
+            let mut seen = FxHashSet::default();
+            for (_, t) in moved {
+                if seen.insert(t.key) {
+                    self.state_remove_key(scan, t.key);
+                }
+            }
+        }
+        Ok(crate::snapshot::BaseRangeExport {
+            ranges: ranges.to_vec(),
+            rings,
+            fresh,
+            keys,
+        })
+    }
+
+    /// Absorb an extracted base range into this *live* pipeline — the
+    /// target half of an elastic range handover. Ring entries interleave
+    /// with the resident window by `(timestamp, seq)` so oldest-first
+    /// expiry order is preserved, freshness entries install (taking the max
+    /// on the pathological duplicate), and each moved tuple enters its
+    /// stream's scan state directly — without enqueuing or emitting, so
+    /// absorbing produces no output. The moved keys' derived entries are
+    /// **not** rebuilt here: the caller marks them as completion debt
+    /// (just-in-time) or materializes them eagerly via the rescale layer.
+    pub fn absorb_base_range(&mut self, export: &crate::snapshot::BaseRangeExport) -> Result<()> {
+        if self.pending_items > 0 || !self.batch_run.is_empty() {
+            return Err(JiscError::InvalidConfig(
+                "range absorption requires a quiescent pipeline".into(),
+            ));
+        }
+        if export.rings.len() != self.rings.len() || export.fresh.len() != self.fresh.len() {
+            return Err(JiscError::InvalidConfig(format!(
+                "range export has {} streams, catalog has {}",
+                export.rings.len(),
+                self.rings.len()
+            )));
+        }
+        let mut max_ts = self.last_ts;
+        for (i, moved) in export.rings.iter().enumerate() {
+            if moved.is_empty() {
+                continue;
+            }
+            let scan = self
+                .plan
+                .scan_of(StreamId(i as u16))
+                .ok_or_else(|| JiscError::UnknownStream(format!("stream index {i}")))?;
+            self.plan
+                .node_mut(scan)
+                .state
+                .reserve(moved.len(), moved.len(), &mut self.metrics);
+            // Merge the two (ts, seq)-sorted runs; the global sequence
+            // number breaks timestamp ties deterministically.
+            let resident: Vec<(u64, Arc<BaseTuple>)> = self.rings[i].drain(..).collect();
+            let mut a = resident.into_iter().peekable();
+            let mut b = moved.iter().cloned().peekable();
+            loop {
+                let take_a = match (a.peek(), b.peek()) {
+                    (Some(x), Some(y)) => (x.0, x.1.seq) <= (y.0, y.1.seq),
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let next = if take_a { a.next() } else { b.next() };
+                self.rings[i].push_back(next.expect("peeked"));
+            }
+            for (ts, t) in moved {
+                max_ts = max_ts.max(*ts);
+                self.state_insert(scan, Tuple::Base(Arc::clone(t)));
+            }
+        }
+        for (i, fmoved) in export.fresh.iter().enumerate() {
+            let fmap = &mut self.fresh[i];
+            for &(k, s) in fmoved {
+                let e = fmap.entry(k).or_insert(s);
+                if *e < s {
+                    *e = s;
+                }
+            }
+        }
+        // The target's clock may trail the moved tuples' stamps; advance it
+        // so arrival monotonicity holds for the next push.
+        self.last_ts = max_ts;
+        Ok(())
+    }
+
+    /// Remove every derived entry at node `n` whose key hashes into
+    /// `ranges`, returning the removed keys (the rescale layer widens the
+    /// export's key set with them). Thin borrow-splitting wrapper so
+    /// callers outside this crate reach the state and the metrics at once.
+    pub fn state_extract_key_range(
+        &mut self,
+        n: NodeId,
+        ranges: &[jisc_common::KeyRange],
+    ) -> Vec<Key> {
+        self.plan
+            .node_mut(n)
+            .state
+            .extract_key_range(ranges, &mut self.metrics)
+    }
+
     /// Move states out of `donor` into the running plan wherever signatures
     /// match, calling `classify` on each adopted state (with the signature)
     /// and leaving non-matching new-plan states untouched. Returns the

@@ -32,7 +32,7 @@
 //! groups examined into [`Metrics::probe_depth`], and index rebuilds count
 //! into [`Metrics::slab_rehashes`] — both surfaced by `explain`.
 
-use jisc_common::{hash_key, FxHashSet, Key, Metrics, Tuple};
+use jisc_common::{hash_key, FxHashSet, Key, KeyRange, Metrics, Tuple};
 
 /// Null link in the intrusive lists.
 const NIL: u32 = u32::MAX;
@@ -678,6 +678,26 @@ impl SlabStore {
             None => 0,
             Some(idx) => self.retain_chain(idx, |_| false),
         }
+    }
+
+    /// Remove every entry whose key hashes into one of `ranges` — per-range
+    /// extraction for elastic repartitioning. Returns the distinct keys
+    /// whose chains were removed (in index order; callers needing a stable
+    /// order must sort) and the total entry count removed.
+    pub fn extract_key_range(&mut self, ranges: &[KeyRange], m: &mut Metrics) -> (Vec<Key>, usize) {
+        let moved: Vec<Key> = self
+            .index
+            .keys()
+            .filter(|&k| {
+                let h = hash_key(k);
+                ranges.iter().any(|r| r.contains(h))
+            })
+            .collect();
+        let mut removed = 0;
+        for &k in &moved {
+            removed += self.remove_key(k, m);
+        }
+        (moved, removed)
     }
 
     /// Insert unless an equal-lineage entry exists under the same key.

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use jisc_common::{BaseTuple, FxHashMap, Key, SeqNo};
+use jisc_common::{BaseTuple, FxHashMap, FxHashSet, Key, KeyRange, SeqNo};
 
 /// A point-in-time copy of a pipeline's base state (windows, freshness,
 /// clocks). Produced by [`Pipeline::snapshot_base_state`] and consumed by
@@ -38,6 +38,38 @@ pub struct BaseStateSnapshot {
 
 impl BaseStateSnapshot {
     /// Total tuples captured across all window rings.
+    pub fn window_tuples(&self) -> usize {
+        self.rings.iter().map(Vec::len).sum()
+    }
+}
+
+/// The base-state slice of an elastic range handover: every window-ring
+/// entry and freshness entry of the keys whose hash lies in the moved
+/// ranges, extracted from the source shard's pipeline in ring (arrival)
+/// order. Like a [`BaseStateSnapshot`] this deliberately omits derived
+/// (join) states — the target installs the base slice and treats the moved
+/// keys as completion debt, so repartitioning rides the same just-in-time
+/// machinery as crash recovery. Produced by
+/// [`Pipeline::extract_base_range`], consumed by
+/// [`Pipeline::absorb_base_range`].
+///
+/// [`Pipeline::extract_base_range`]: crate::Pipeline::extract_base_range
+/// [`Pipeline::absorb_base_range`]: crate::Pipeline::absorb_base_range
+#[derive(Debug, Clone)]
+pub struct BaseRangeExport {
+    /// The hash ranges this export covers.
+    pub ranges: Vec<KeyRange>,
+    /// Per-stream moved window entries, oldest first: `(arrival ts, tuple)`.
+    pub rings: Vec<Vec<(u64, Arc<BaseTuple>)>>,
+    /// Per-stream moved freshness entries, sorted by key for determinism.
+    pub fresh: Vec<Vec<(Key, SeqNo)>>,
+    /// Every distinct key observed anywhere in the moved slice (base or,
+    /// once the rescale layer widens it, derived state).
+    pub keys: FxHashSet<Key>,
+}
+
+impl BaseRangeExport {
+    /// Total tuples moved across all window rings.
     pub fn window_tuples(&self) -> usize {
         self.rings.iter().map(Vec::len).sum()
     }

@@ -12,7 +12,7 @@
 //! completion-detection counter, and — for bushy Case-3 states — the set of
 //! keys already completed on demand.
 
-use jisc_common::{FxHashSet, Key, Lineage, Metrics, SeqNo, StreamId, Tuple};
+use jisc_common::{hash_key, FxHashSet, Key, KeyRange, Lineage, Metrics, SeqNo, StreamId, Tuple};
 
 use crate::predicate::Predicate;
 use crate::slab::{SlabStats, SlabStore};
@@ -218,6 +218,65 @@ impl State {
         match &self.pending {
             Some(PendingKeys::Unknown { completed }) => Some(completed),
             _ => None,
+        }
+    }
+
+    /// Add freshly adopted keys to this state's completion debt (elastic
+    /// range handover, target side): the moved keys' derived entries were
+    /// not shipped, so each must be completed on demand before its first
+    /// probe. A complete state becomes incomplete with a `Known` pending
+    /// set; a `Known` state grows its set; a Case-3 state forgets any prior
+    /// completion of the keys so they are re-completed. Returns `true` if
+    /// the state just transitioned from complete to incomplete.
+    pub fn add_pending_keys(&mut self, keys: impl IntoIterator<Item = Key>) -> bool {
+        match &mut self.pending {
+            Some(PendingKeys::Known(s)) => {
+                s.extend(keys);
+                false
+            }
+            Some(PendingKeys::Unknown { completed }) => {
+                for k in keys {
+                    completed.remove(&k);
+                }
+                false
+            }
+            None => {
+                let set: FxHashSet<Key> = keys.into_iter().collect();
+                if set.is_empty() {
+                    return false;
+                }
+                let was_complete = self.complete;
+                self.mark_incomplete(PendingKeys::Known(set));
+                was_complete
+            }
+        }
+    }
+
+    /// Drop completion debt for keys hashing into `ranges` (elastic range
+    /// handover, source side): the keys left this shard, so nothing here
+    /// will ever probe them again. `Known` sets shrink — possibly to
+    /// completion; Case-3 states only forget the keys' completed marks (the
+    /// pending set is unknowable, so it cannot shrink). Returns `true` if
+    /// the state just became complete.
+    pub fn prune_pending_in_ranges(&mut self, ranges: &[KeyRange]) -> bool {
+        let in_range = |k: &Key| {
+            let h = hash_key(*k);
+            ranges.iter().any(|r| r.contains(h))
+        };
+        match &mut self.pending {
+            Some(PendingKeys::Known(s)) => {
+                s.retain(|k| !in_range(k));
+                if s.is_empty() {
+                    self.mark_complete();
+                    return true;
+                }
+                false
+            }
+            Some(PendingKeys::Unknown { completed }) => {
+                completed.retain(|k| !in_range(k));
+                false
+            }
+            None => false,
         }
     }
 
@@ -480,6 +539,38 @@ impl State {
         self.len -= removed;
         m.removals += removed as u64;
         removed
+    }
+
+    /// Remove every entry whose key hashes into one of `ranges` — the
+    /// derived-state side of an elastic range handover. Returns the distinct
+    /// keys removed. Pending bookkeeping is untouched; callers that also
+    /// track completion debt must follow with
+    /// [`State::prune_pending_in_ranges`].
+    pub fn extract_key_range(&mut self, ranges: &[KeyRange], m: &mut Metrics) -> Vec<Key> {
+        match &mut self.store {
+            Store::Hash(slab) => {
+                m.probes += 1;
+                let (moved, removed) = slab.extract_key_range(ranges, m);
+                self.len -= removed;
+                m.removals += removed as u64;
+                moved
+            }
+            Store::List(_) => {
+                let moved: Vec<Key> = self
+                    .list_keys
+                    .keys()
+                    .copied()
+                    .filter(|&k| {
+                        let h = hash_key(k);
+                        ranges.iter().any(|r| r.contains(h))
+                    })
+                    .collect();
+                for &k in &moved {
+                    self.remove_key(k, m);
+                }
+                moved
+            }
+        }
     }
 
     /// Remove all entries whose lineage contains *every* constituent of

@@ -1,0 +1,331 @@
+//! When to rescale: the elastic partition controller.
+//!
+//! The runtime's `ShardedExecutor` can split, scale up, and scale down
+//! mid-stream (a JISC state handover per moved range); this module decides
+//! *when*, mirroring the migration policy's hysteresis discipline
+//! ([`crate::ReorderPolicy`]) — a rescale ships window state between
+//! threads, so firing on every load wiggle would thrash away the benefit.
+//!
+//! The controller consumes periodic per-shard load samples (routed events,
+//! queue depth, cumulative state probes — exactly what
+//! `ShardedExecutor::shard_loads` reports) and applies a small cost model:
+//!
+//! * **Pressure** is EWMA-smoothed mean queue occupancy. A rescale is worth
+//!   its one-off handover cost only if pressure is *sustained*, so the
+//!   high/low watermarks must hold for `persistence` consecutive samples.
+//! * **Shape** picks the action. Under sustained pressure, if one shard's
+//!   recent work rate (arrivals + probes, the probe rate standing in for
+//!   per-tuple join cost the way the EWMA selectivities do for join order)
+//!   exceeds `skew_threshold ×` the mean, the load is a hot key range:
+//!   splitting that shard ([`ElasticDecision::Split`]) halves the hot spot,
+//!   where a generic scale-up would leave it intact. Balanced pressure
+//!   scales up ([`ElasticDecision::ScaleUp`]).
+//! * Sustained idleness with more than one live shard merges the two
+//!   least-loaded shards ([`ElasticDecision::ScaleDown`]), shrinking the
+//!   thread footprint.
+//! * Every firing resets a `cooldown` clock; no decision fires while it
+//!   runs. Cooldown + persistence are the two hysteresis knobs.
+
+use crate::stats::Ewma;
+
+/// What the controller recommends after a load sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticDecision {
+    /// Load is acceptable (or hysteresis says wait).
+    Hold,
+    /// Sustained balanced pressure: halve the busiest shard's range
+    /// (`ShardedExecutor::scale_up`).
+    ScaleUp,
+    /// Sustained skewed pressure: this shard's range is hot — split it
+    /// (`ShardedExecutor::split_hot_key` / `PartitionMap::split_shard`).
+    Split {
+        /// The overloaded shard.
+        shard: usize,
+    },
+    /// Sustained idleness: merge `from`'s ranges into `into` and retire it
+    /// (`ShardedExecutor::scale_down`).
+    ScaleDown {
+        /// The shard to retire (least loaded).
+        from: usize,
+        /// The shard absorbing its ranges (second least loaded, so the
+        /// merged pair stays the coolest spot).
+        into: usize,
+    },
+}
+
+/// Hysteresis-governed scale-up/split/scale-down policy over per-shard
+/// load samples. See the module docs for the cost model.
+#[derive(Debug, Clone)]
+pub struct ElasticController {
+    /// Queue capacity the depth samples are measured against.
+    queue_capacity: u64,
+    /// EWMA occupancy above which pressure is "high" (0..1).
+    pub high_watermark: f64,
+    /// EWMA occupancy below which the run is "idle" (0..1).
+    pub low_watermark: f64,
+    /// Max-to-mean work-rate ratio above which pressure counts as skew.
+    pub skew_threshold: f64,
+    /// Consecutive samples a watermark must hold before firing.
+    pub persistence: u32,
+    /// Samples that must pass after a firing before the next one.
+    pub cooldown: u64,
+    occupancy: Ewma,
+    above: u32,
+    below: u32,
+    since_last: u64,
+    /// Per-slot `(events, probes)` at the previous sample, for rates.
+    last: Vec<(u64, u64)>,
+}
+
+impl ElasticController {
+    /// Controller with default watermarks (high 0.75, low 0.15, skew 2.0,
+    /// persistence 3, cooldown 8, EWMA α 0.4) for queues of the given
+    /// capacity.
+    pub fn new(queue_capacity: usize) -> Self {
+        ElasticController {
+            queue_capacity: queue_capacity.max(1) as u64,
+            high_watermark: 0.75,
+            low_watermark: 0.15,
+            skew_threshold: 2.0,
+            persistence: 3,
+            cooldown: 8,
+            occupancy: Ewma::new(0.4),
+            above: 0,
+            below: 0,
+            since_last: u64::MAX / 2, // first decision is not cooldown-gated
+            last: Vec::new(),
+        }
+    }
+
+    /// The current EWMA queue occupancy (0..1; 0 before any sample).
+    pub fn occupancy(&self) -> f64 {
+        if self.occupancy.is_primed() {
+            self.occupancy.value()
+        } else {
+            0.0
+        }
+    }
+
+    /// Feed one load sample and get a recommendation. `live` lists the
+    /// shard ids that currently own ranges; `loads` is indexed by shard
+    /// slot and carries `(events routed, queue depth now, cumulative
+    /// probes)` — the shape `ShardedExecutor::shard_loads` returns.
+    /// Retired slots are ignored.
+    pub fn decide(&mut self, live: &[usize], loads: &[(u64, u64, u64)]) -> ElasticDecision {
+        self.since_last = self.since_last.saturating_add(1);
+        if self.last.len() < loads.len() {
+            // New shards appear with zero history; their first sample's
+            // "rate" is their cumulative count, which only overstates the
+            // hottest shard — acceptable for a heuristic.
+            self.last.resize(loads.len(), (0, 0));
+        }
+        // Work rate per live shard since the previous sample: arrivals
+        // plus probes (the probe rate weights shards whose keys do more
+        // join work per tuple, as the EWMA selectivities do for order).
+        let mut rates: Vec<(usize, u64)> = Vec::with_capacity(live.len());
+        let mut depth_sum = 0u64;
+        for &s in live {
+            let Some(&(events, depth, probes)) = loads.get(s) else {
+                continue;
+            };
+            let (le, lp) = self.last[s];
+            rates.push((s, events.saturating_sub(le) + probes.saturating_sub(lp)));
+            depth_sum += depth;
+        }
+        for (s, &(events, _, probes)) in loads.iter().enumerate() {
+            self.last[s] = (events, probes);
+        }
+        if rates.is_empty() {
+            return ElasticDecision::Hold;
+        }
+        let occ = depth_sum as f64 / (rates.len() as u64 * self.queue_capacity) as f64;
+        self.occupancy.observe(occ);
+        let smoothed = self.occupancy.value();
+        if smoothed > self.high_watermark {
+            self.above += 1;
+            self.below = 0;
+        } else if smoothed < self.low_watermark {
+            self.below += 1;
+            self.above = 0;
+        } else {
+            self.above = 0;
+            self.below = 0;
+        }
+        if self.since_last < self.cooldown {
+            return ElasticDecision::Hold;
+        }
+        if self.above >= self.persistence {
+            let total: u64 = rates.iter().map(|&(_, r)| r).sum();
+            let mean = total as f64 / rates.len() as f64;
+            let &(hottest, max_rate) = rates
+                .iter()
+                .max_by_key(|&&(_, r)| r)
+                .expect("rates non-empty");
+            self.fired();
+            if mean > 0.0 && max_rate as f64 > self.skew_threshold * mean {
+                return ElasticDecision::Split { shard: hottest };
+            }
+            return ElasticDecision::ScaleUp;
+        }
+        if self.below >= self.persistence && rates.len() > 1 {
+            // Merge the two coolest shards; retiring the very coolest
+            // moves the least state.
+            rates.sort_by_key(|&(_, r)| r);
+            self.fired();
+            return ElasticDecision::ScaleDown {
+                from: rates[0].0,
+                into: rates[1].0,
+            };
+        }
+        ElasticDecision::Hold
+    }
+
+    fn fired(&mut self) {
+        self.since_last = 0;
+        self.above = 0;
+        self.below = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a loads table for shards 0..n with the given depths and
+    /// advance `events` by the given per-shard rates on every call.
+    fn sample(events: &mut [u64], rates: &[u64], depths: &[u64]) -> Vec<(u64, u64, u64)> {
+        events
+            .iter_mut()
+            .zip(rates)
+            .map(|(e, &r)| {
+                *e += r;
+                *e
+            })
+            .zip(depths)
+            .map(|(e, &d)| (e, d, 0))
+            .collect()
+    }
+
+    #[test]
+    fn sustained_balanced_pressure_scales_up() {
+        let mut c = ElasticController::new(100);
+        let live = [0usize, 1];
+        let mut ev = [0u64; 2];
+        let mut decisions = Vec::new();
+        for _ in 0..6 {
+            decisions.push(c.decide(&live, &sample(&mut ev, &[50, 50], &[95, 95])));
+        }
+        assert!(
+            decisions.contains(&ElasticDecision::ScaleUp),
+            "{decisions:?}"
+        );
+        let fired_at = decisions
+            .iter()
+            .position(|d| *d != ElasticDecision::Hold)
+            .unwrap();
+        assert!(fired_at >= 2, "persistence delays the first firing");
+        assert!(
+            decisions[..fired_at]
+                .iter()
+                .all(|d| *d == ElasticDecision::Hold),
+            "no firing before persistence"
+        );
+    }
+
+    #[test]
+    fn skewed_pressure_splits_the_hot_shard() {
+        let mut c = ElasticController::new(100);
+        let live = [0usize, 1, 2];
+        let mut ev = [0u64; 3];
+        let mut last = ElasticDecision::Hold;
+        for _ in 0..8 {
+            let d = c.decide(&live, &sample(&mut ev, &[300, 10, 10], &[90, 90, 90]));
+            if d != ElasticDecision::Hold {
+                last = d;
+                break;
+            }
+        }
+        assert_eq!(last, ElasticDecision::Split { shard: 0 });
+    }
+
+    #[test]
+    fn sustained_idleness_merges_the_two_coolest() {
+        let mut c = ElasticController::new(100);
+        let live = [0usize, 1, 2];
+        let mut ev = [0u64; 3];
+        let mut last = ElasticDecision::Hold;
+        for _ in 0..8 {
+            let d = c.decide(&live, &sample(&mut ev, &[40, 1, 5], &[0, 0, 0]));
+            if d != ElasticDecision::Hold {
+                last = d;
+                break;
+            }
+        }
+        assert_eq!(last, ElasticDecision::ScaleDown { from: 1, into: 2 });
+    }
+
+    #[test]
+    fn one_shard_never_scales_down() {
+        let mut c = ElasticController::new(100);
+        let mut ev = [0u64; 1];
+        for _ in 0..20 {
+            assert_eq!(
+                c.decide(&[0], &sample(&mut ev, &[1], &[0])),
+                ElasticDecision::Hold
+            );
+        }
+    }
+
+    #[test]
+    fn cooldown_blocks_rapid_refire_and_spikes_do_not_trigger() {
+        let mut c = ElasticController::new(100);
+        let live = [0usize, 1];
+        let mut ev = [0u64; 2];
+        // Under constant pressure, firings are spaced at least `cooldown`
+        // samples apart.
+        let mut firings = Vec::new();
+        for i in 0..30 {
+            if c.decide(&live, &sample(&mut ev, &[50, 50], &[95, 95])) != ElasticDecision::Hold {
+                firings.push(i as u64);
+            }
+        }
+        assert!(firings.len() >= 2, "{firings:?}");
+        assert!(firings[0] + 1 >= c.persistence as u64);
+        for pair in firings.windows(2) {
+            assert!(pair[1] - pair[0] >= c.cooldown, "{firings:?}");
+        }
+        // A one-sample spike on a fresh controller never fires: the EWMA
+        // plus persistence require sustained evidence.
+        let mut fresh = ElasticController::new(100);
+        let mut ev2 = [0u64; 2];
+        assert_eq!(
+            fresh.decide(&live, &sample(&mut ev2, &[50, 50], &[100, 100])),
+            ElasticDecision::Hold
+        );
+        for _ in 0..10 {
+            assert_eq!(
+                fresh.decide(&live, &sample(&mut ev2, &[50, 50], &[40, 40])),
+                ElasticDecision::Hold,
+                "occupancy decays back into the dead band"
+            );
+        }
+    }
+
+    #[test]
+    fn retired_slots_are_ignored() {
+        let mut c = ElasticController::new(100);
+        // Slot 1 is retired (not live): its frozen counters and empty
+        // queue must not dilute the occupancy estimate.
+        let live = [0usize, 2];
+        let mut ev = [0u64; 3];
+        let mut last = ElasticDecision::Hold;
+        for _ in 0..8 {
+            let d = c.decide(&live, &sample(&mut ev, &[50, 0, 50], &[95, 0, 95]));
+            if d != ElasticDecision::Hold {
+                last = d;
+                break;
+            }
+        }
+        assert_eq!(last, ElasticDecision::ScaleUp);
+    }
+}

@@ -7,12 +7,18 @@
 //! * [`stats`] — per-stream selectivity estimation (EWMA hit rates),
 //! * [`policy`] — hysteresis: migrate only on meaningful, rate-limited
 //!   order changes (avoiding self-inflicted thrashing, §5.1.2),
+//! * [`elastic`] — when to rescale the sharded runtime: watermark + cooldown
+//!   control over per-shard queue depth and probe rates, emitting
+//!   scale-up/split/scale-down decisions the executor applies as JISC
+//!   state handovers,
 //! * [`SelfTuningEngine`] — an [`AdaptiveEngine`] that watches its own
 //!   output and migrates itself.
 
+pub mod elastic;
 pub mod policy;
 pub mod stats;
 
+pub use elastic::{ElasticController, ElasticDecision};
 pub use policy::ReorderPolicy;
 pub use stats::{Ewma, SelectivityEstimator};
 

@@ -161,6 +161,18 @@ impl<T> Sender<T> {
         }
     }
 
+    /// Number of values queued right now. A snapshot: the consumer may
+    /// drain concurrently, so treat it as a load sample, not an invariant.
+    pub fn len(&self) -> usize {
+        self.shared.lock_queue().items.len()
+    }
+
+    /// Whether the queue is empty right now (same snapshot caveat as
+    /// [`Sender::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Block at most `timeout` waiting for room, then enqueue.
     pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
         let deadline = Instant::now() + timeout;

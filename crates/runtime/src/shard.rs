@@ -71,24 +71,50 @@
 //! pruned as checkpoints complete, bounding both recovery time and router
 //! memory. With checkpointing disabled the replay buffer holds the whole
 //! history and recovery degenerates to full re-execution.
+//!
+//! # Elastic rescaling
+//!
+//! Routing is table-driven: an epoch-stamped [`PartitionMap`] assigns
+//! contiguous hashed-key ranges to shards, and
+//! [`ShardedExecutor::apply_map`] moves ranges between shards *while the
+//! stream runs*. The protocol reuses the JISC recovery machinery
+//! (`jisc_core::rescale`): the router broadcasts the new map in-band as
+//! [`Event::Repartition`] (every shard observes the epoch cut at the same
+//! positional boundary), asks each source shard to extract the moved keys'
+//! *base* state at that exact position, and forwards the slice to the
+//! target, which installs it as just-in-time completion debt — probed keys
+//! complete first, and ingest never stops (the router keeps routing by the
+//! new map immediately; workers drain concurrently). Derived join state is
+//! never shipped: the target recompletes it from the base slice, which is
+//! what makes a handover cheap enough to run mid-stream.
+//!
+//! Export and install are positional events in the shard queues, so the
+//! crash story composes: a source that faults before (or while) extracting
+//! is respawned and replays up to the export request, re-extracting the
+//! same deterministic slice; duplicate replies are deduplicated by
+//! `(epoch, from, to)`. Shards that own nothing under the new map are
+//! retired — queue closed, output collected — and their ids are never
+//! reused. [`ShardedExecutor::split_hot_key`], `scale_up`, and
+//! `scale_down` are convenience wrappers producing successor maps.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use jisc_common::kernels::shard_column;
 use jisc_common::{
-    shard_of, ColumnarBatch, Event, JiscError, Key, Metrics, Result, SeqNo, StreamId, WorkerFault,
+    ColumnarBatch, Event, FxHashSet, JiscError, Key, KeyRange, Metrics, PartitionMap, Result,
+    SeqNo, StreamId, WorkerFault,
 };
 use jisc_core::migrate::{verify_reorderable, verify_same_query};
 use jisc_engine::plan::Plan;
-use jisc_engine::{Catalog, OpKind, OutputSink, PlanSpec, Predicate};
+use jisc_engine::{BaseRangeExport, Catalog, OpKind, OutputSink, PlanSpec, Predicate};
 
 use crate::chan;
 use crate::fault::{payload_string, FaultInjector, FaultPlan};
 use crate::supervisor::{
-    worker_loop, CheckpointData, ShardEngine, ShardMsg, ShardResult, ToRouter, WorkerCtx,
+    worker_loop, CheckpointData, RangeInstall, ShardEngine, ShardMsg, ShardResult, ToRouter,
+    WorkerCtx,
 };
 
 pub use crate::supervisor::ShardStrategy;
@@ -173,19 +199,33 @@ impl ShardedConfig {
     pub fn capped_shards(requested: usize) -> usize {
         requested.clamp(1, Self::default_shards())
     }
-}
 
-impl Default for ShardedConfig {
-    fn default() -> Self {
+    /// Configuration scaled to an explicit shard count. The router keeps
+    /// one replay buffer per shard, each holding up to `checkpoint_every`
+    /// tuples' worth of events — so the *aggregate* replay memory is
+    /// `shards × checkpoint_every`. This constructor holds that aggregate
+    /// at what the default configuration grants the machine
+    /// (`default_shards() × 1024`): oversubscribing shards past the core
+    /// count shrinks the per-shard checkpoint interval (floor 128) instead
+    /// of multiplying router-side replay memory.
+    pub fn for_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        let budget = Self::default_shards() as u64 * 1024;
         ShardedConfig {
             strategy: ShardStrategy::Jisc,
-            shards: Self::default_shards(),
+            shards: n,
             queue_capacity: 256,
-            checkpoint_every: 1024,
+            checkpoint_every: (budget / n as u64).clamp(128, 1024),
             max_recoveries: 4,
             overload: OverloadPolicy::Block,
             faults: FaultPlan::new(),
         }
+    }
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self::for_shards(Self::default_shards())
     }
 }
 
@@ -244,6 +284,57 @@ pub struct ShardedReport {
     pub checkpoints: u64,
     /// Tuples dropped by the [`OverloadPolicy::Shed`] policy.
     pub shed_tuples: u64,
+    /// Tuples shed per shard (same length as `shard_events`).
+    pub shed_by_shard: Vec<u64>,
+    /// Sends that failed with [`JiscError::SendTimeout`] under
+    /// [`OverloadPolicy::Timeout`].
+    pub send_timeouts: u64,
+    /// Highest queue depth the router observed per shard (sampled at each
+    /// send; a lower bound on the true peak).
+    pub peak_queue_depth: Vec<u64>,
+    /// Cumulative state probes per shard (the elastic controller's load
+    /// signal; from each shard's final metrics).
+    pub probes_by_shard: Vec<u64>,
+    /// Partition-map rescales applied (`apply_map` calls that moved ranges).
+    pub rescales: u64,
+    /// Final partition epoch.
+    pub partition_epoch: u64,
+    /// Window tuples shipped source → target across all rescales.
+    pub migrated_tuples: u64,
+}
+
+impl ShardedReport {
+    /// A human-readable per-shard load footer in the `explain` style:
+    /// one line per shard (events, peak queue depth, shed tuples, probes),
+    /// then run-wide shed/timeout/rescale totals. Retired shards keep
+    /// their line — their history is part of the run.
+    pub fn footer(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "shards: {} | partition epoch {} | rescales {} | migrated tuples {}",
+            self.shard_events.len(),
+            self.partition_epoch,
+            self.rescales,
+            self.migrated_tuples,
+        );
+        for (i, &ev) in self.shard_events.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  shard {i}: events {ev} | peak queue {} | shed {} | probes {}",
+                self.peak_queue_depth.get(i).copied().unwrap_or(0),
+                self.shed_by_shard.get(i).copied().unwrap_or(0),
+                self.probes_by_shard.get(i).copied().unwrap_or(0),
+            );
+        }
+        let _ = write!(
+            s,
+            "  totals: shed {} | send timeouts {} | checkpoints {} | recoveries {}",
+            self.shed_tuples, self.send_timeouts, self.checkpoints, self.recoveries,
+        );
+        s
+    }
 }
 
 /// The router's record of a shard's last completed checkpoint.
@@ -260,6 +351,51 @@ enum SendOutcome {
     Shed(u64),
     TimedOut(u64),
     Disconnected,
+}
+
+/// One entry of a shard's replay buffer: everything the router has sent on
+/// the shard's positional event stream, re-sendable after a fault. Rescale
+/// export/install requests are positional like data events, so a respawned
+/// incarnation re-extracts (or re-installs) at exactly the original stream
+/// position.
+#[derive(Debug, Clone)]
+enum ReplayEvent {
+    Event(Event<PlanSpec>),
+    ExportRange {
+        epoch: u64,
+        to: usize,
+        ranges: Vec<KeyRange>,
+    },
+    /// Shared with the live send: replaying does not deep-copy the slice.
+    InstallRange(Arc<RangeInstall>),
+}
+
+impl ReplayEvent {
+    fn to_msg(&self) -> ShardMsg {
+        match self {
+            ReplayEvent::Event(ev) => ShardMsg::Event(ev.clone()),
+            ReplayEvent::ExportRange { epoch, to, ranges } => ShardMsg::ExportRange {
+                epoch: *epoch,
+                to: *to,
+                ranges: ranges.clone(),
+            },
+            ReplayEvent::InstallRange(i) => ShardMsg::InstallRange(Arc::clone(i)),
+        }
+    }
+
+    /// Data tuples this entry carries (for shed/replay accounting).
+    fn tuple_count(&self) -> u64 {
+        match self {
+            ReplayEvent::Event(Event::Batch(b)) => b.len() as u64,
+            ReplayEvent::Event(Event::Columnar(b)) => b.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Only data events may be shed; everything else is control plane.
+    fn sheddable(&self) -> bool {
+        self.tuple_count() > 0
+    }
 }
 
 /// Key-partitioned parallel runtime: `N` supervised worker threads, each
@@ -303,8 +439,14 @@ pub struct ShardedExecutor {
     catalog: Catalog,
     /// Compiled current plan, kept for router-side transition validation.
     current: Plan,
-    /// Spec of the current plan (what a checkpoint-less respawn runs).
-    initial_spec: PlanSpec,
+    /// Spec of the current plan (what a newly spawned elastic shard runs).
+    current_spec: PlanSpec,
+    /// Per-shard spawn-time spec: what a checkpoint-less respawn must
+    /// replay from. The original shards start at the initial plan; shards
+    /// added by a rescale start at the plan current when they were spawned.
+    spawn_spec: Vec<PlanSpec>,
+    /// The routing table: hashed-key ranges → shard, epoch-stamped.
+    pmap: PartitionMap,
     config: ShardedConfig,
     exactness: Exactness,
     next_seq: SeqNo,
@@ -319,7 +461,7 @@ pub struct ShardedExecutor {
     ckpt: Vec<Option<ShardCheckpoint>>,
     /// Post-checkpoint event suffix per shard, cloned at send time and
     /// pruned as checkpoints complete.
-    replay: Vec<VecDeque<Event<PlanSpec>>>,
+    replay: Vec<VecDeque<ReplayEvent>>,
     /// Events sent per shard (positional clock shared with the workers).
     sent: Vec<u64>,
     /// Tuples routed per shard since the last checkpoint request.
@@ -334,6 +476,23 @@ pub struct ShardedExecutor {
     recovery_wall: Duration,
     checkpoints: u64,
     shed_tuples: u64,
+    // --- elastic state ---
+    /// `(epoch, from, to)` exports already forwarded to their target;
+    /// dedups the duplicate replies a crash-replayed source re-sends.
+    installed: FxHashSet<(u64, usize, usize)>,
+    /// Export replies that arrived outside `apply_map`'s wait loop (e.g.
+    /// while draining control traffic during an unrelated recovery);
+    /// consumed by the wait loop.
+    pending_exports: Vec<(usize, u64, usize, Box<BaseRangeExport>)>,
+    rescales: u64,
+    migrated_tuples: u64,
+    // --- per-shard load accounting (observability + elastic signals) ---
+    peak_queue: Vec<u64>,
+    shed_by_shard: Vec<u64>,
+    send_timeouts: u64,
+    /// Cumulative probes per shard as of its last checkpoint (live signal;
+    /// the final report uses each shard's final metrics instead).
+    probes_by_shard: Vec<u64>,
 }
 
 /// True if hash partitioning by key preserves the plan's semantics: every
@@ -393,9 +552,11 @@ impl ShardedExecutor {
             Exactness::ApproximateCountWindows
         };
         let cap = config.queue_capacity.max(1);
-        // The control channel is sized so every worker can deposit a fault
-        // and a checkpoint without ever blocking against the router.
-        let (ctrl_tx, ctrl_rx) = chan::bounded::<ToRouter>((n * 4).max(16));
+        // The control channel is sized so every worker can deposit a fault,
+        // a checkpoint, and a couple of rescale export replies without ever
+        // blocking against the router — generously, since elastic scale-ups
+        // add workers after this capacity is fixed.
+        let (ctrl_tx, ctrl_rx) = chan::bounded::<ToRouter>((n * 8).max(32));
         let injector = Arc::new(FaultInjector::new(config.faults.clone()));
         if !config.faults.is_empty() {
             crate::fault::install_quiet_hook();
@@ -428,7 +589,9 @@ impl ShardedExecutor {
             route_scratch: Vec::new(),
             catalog,
             current,
-            initial_spec: spec.clone(),
+            current_spec: spec.clone(),
+            spawn_spec: vec![spec.clone(); n],
+            pmap: PartitionMap::uniform(n),
             exactness,
             next_seq: 0,
             last_ts: 0,
@@ -451,13 +614,45 @@ impl ShardedExecutor {
             recovery_wall: Duration::ZERO,
             checkpoints: 0,
             shed_tuples: 0,
+            installed: FxHashSet::default(),
+            pending_exports: Vec::new(),
+            rescales: 0,
+            migrated_tuples: 0,
+            peak_queue: vec![0; n],
+            shed_by_shard: vec![0; n],
+            send_timeouts: 0,
+            probes_by_shard: vec![0; n],
             config,
         })
     }
 
-    /// Effective worker count (1 when the plan forced a serial fallback).
+    /// Shard slots allocated (1 when the plan forced a serial fallback).
+    /// Includes shards retired by a rescale; see
+    /// [`ShardedExecutor::live_shards`] for current owners.
     pub fn shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Shard ids that currently own key ranges (ascending).
+    pub fn live_shards(&self) -> Vec<usize> {
+        self.pmap.live_shards()
+    }
+
+    /// The current routing table.
+    pub fn partition_map(&self) -> &PartitionMap {
+        &self.pmap
+    }
+
+    /// Per-shard load signals for an elastic controller: for every slot,
+    /// `(events routed, queue depth now, probes at last checkpoint)`.
+    /// Retired slots report their final history.
+    pub fn shard_loads(&self) -> Vec<(u64, u64, u64)> {
+        (0..self.txs.len())
+            .map(|s| {
+                let depth = self.txs[s].as_ref().map_or(0, |tx| tx.len() as u64);
+                (self.shard_events[s], depth, self.probes_by_shard[s])
+            })
+            .collect()
     }
 
     /// Whether the merged output is guaranteed lineage-equal to a serial
@@ -511,7 +706,7 @@ impl ShardedExecutor {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.last_ts = ts;
-        let s = shard_of(key, self.txs.len());
+        let s = self.pmap.shard_for_key(key);
         self.events += 1;
         self.shard_events[s] += 1;
         self.batches[s]
@@ -558,9 +753,8 @@ impl ShardedExecutor {
                 ts_check = ts;
             }
         }
-        let n = self.txs.len();
         let mut route = std::mem::take(&mut self.route_scratch);
-        shard_column(batch.keys(), n, &mut route);
+        self.pmap.route_column(batch.keys(), &mut route);
         let (keys, streams, payloads) = (batch.keys(), batch.streams(), batch.payloads());
         for i in 0..batch.len() {
             let ts = batch.ts_at(i).unwrap_or(self.last_ts.max(self.next_seq));
@@ -603,14 +797,261 @@ impl ShardedExecutor {
         }
         self.flush_all()?;
         for s in 0..self.txs.len() {
-            self.send_event(s, Event::MigrationBarrier(spec.clone()))?;
+            if self.txs[s].is_some() {
+                self.send_event(s, Event::MigrationBarrier(spec.clone()))?;
+            }
         }
-        // Note: `initial_spec` stays at the spawn-time plan — a shard with
-        // no checkpoint yet replays its full history, barriers included,
-        // and must start from the same plan its first incarnation did.
+        // Note: `spawn_spec` stays at each shard's spawn-time plan — a
+        // shard with no checkpoint yet replays its full history, barriers
+        // included, and must start from the plan its first incarnation did.
         self.current = new_plan;
+        self.current_spec = spec.clone();
         self.transitions += 1;
         Ok(())
+    }
+
+    /// Install a successor partition map mid-stream: spawn any new target
+    /// shards, broadcast the epoch cut in-band, move the reassigned
+    /// ranges' state source → target as a JISC handover, and retire shards
+    /// that own nothing under the new map. Ingest resumes the moment this
+    /// returns — targets carry the moved keys as completion debt and
+    /// complete them on first probe while the stream keeps flowing.
+    ///
+    /// Requirements: `new_map` must be valid, advance the epoch by exactly
+    /// one, and the run must be *losslessly* partitionable at any width —
+    /// exact sharding (time windows, or a single live shard on both sides),
+    /// a key-partitionable plan, and no aggregates (their accumulators are
+    /// not per-key, so moved contributions could never be expired by the
+    /// source).
+    pub fn apply_map(&mut self, new_map: PartitionMap) -> Result<()> {
+        new_map.validate()?;
+        if new_map.epoch() != self.pmap.epoch() + 1 {
+            return Err(JiscError::InvalidConfig(format!(
+                "partition epoch must advance by exactly one ({} -> {})",
+                self.pmap.epoch(),
+                new_map.epoch()
+            )));
+        }
+        let all_timed = self.catalog.ids().all(|s| {
+            matches!(
+                self.catalog.window_spec(s),
+                jisc_engine::WindowSpec::Time(_)
+            )
+        });
+        let multi = self.pmap.live_shards().len() > 1 || new_map.live_shards().len() > 1;
+        if multi && !all_timed {
+            return Err(JiscError::InvalidConfig(
+                "rescaling to multiple shards requires time windows; count windows keep \
+                 per-shard quotas a handover would reshuffle"
+                    .into(),
+            ));
+        }
+        if multi && !key_partitionable(&self.current) {
+            return Err(JiscError::InvalidConfig(
+                "plan is not key-partitionable; cannot rescale past one shard".into(),
+            ));
+        }
+        if self
+            .current
+            .ids()
+            .any(|id| matches!(self.current.node(id).op, OpKind::Aggregate(_)))
+        {
+            return Err(JiscError::InvalidConfig(
+                "aggregate accumulators are not per-key; cannot rescale this plan".into(),
+            ));
+        }
+        let moves = new_map.moves_from(&self.pmap);
+        self.flush_all()?;
+        // Spawn every target slot before the epoch punctuation, so a new
+        // shard's positional stream also starts at the cut.
+        for mv in &moves {
+            self.ensure_shard_slot(mv.to)?;
+        }
+        // Epoch punctuation: every live shard observes the new map at the
+        // same positional boundary of its queue.
+        for s in 0..self.txs.len() {
+            if self.txs[s].is_some() {
+                self.send_event(s, Event::Repartition(new_map.clone()))?;
+            }
+        }
+        // One export request per (source, target) pair, carrying all the
+        // ranges moving between that pair.
+        let mut grouped: Vec<((usize, usize), Vec<KeyRange>)> = Vec::new();
+        for mv in &moves {
+            match grouped
+                .iter_mut()
+                .find(|(pair, _)| *pair == (mv.from, mv.to))
+            {
+                Some((_, ranges)) => ranges.push(mv.range),
+                None => grouped.push(((mv.from, mv.to), vec![mv.range])),
+            }
+        }
+        let epoch = new_map.epoch();
+        for ((from, to), ranges) in &grouped {
+            self.send_replayable(
+                *from,
+                ReplayEvent::ExportRange {
+                    epoch,
+                    to: *to,
+                    ranges: ranges.clone(),
+                },
+            )?;
+        }
+        // Wait for every export and forward it to its target. Workers keep
+        // draining their queues throughout — only the router blocks here,
+        // and only until the sources reach the export position. Faults are
+        // recovered in-loop: a respawned source replays up to the export
+        // request and re-extracts the same deterministic slice (duplicate
+        // replies are deduplicated by `(epoch, from, to)`).
+        while grouped
+            .iter()
+            .any(|((from, to), _)| !self.installed.contains(&(epoch, *from, *to)))
+        {
+            while let Some((from, e, to, export)) = self.pending_exports.pop() {
+                self.dispatch_install(from, e, to, export)?;
+            }
+            match self.ctrl_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(ToRouter::RangeExport {
+                    shard,
+                    epoch: e,
+                    to,
+                    export,
+                }) => {
+                    if !self.installed.contains(&(e, shard, to)) {
+                        self.dispatch_install(shard, e, to, export)?;
+                    }
+                }
+                Ok(ToRouter::Fault(f)) => {
+                    let shard = f.shard;
+                    self.faults.push(f);
+                    self.reap(shard);
+                    self.respawn(shard)?;
+                }
+                Ok(ToRouter::Checkpoint(c)) => self.apply_checkpoint(c),
+                Err(_) => {} // timeout: re-check; the router owns a sender, so never disconnected
+            }
+        }
+        // Shards owning nothing under the new map are done: close their
+        // queues and collect their output. Their ids are never reused.
+        for s in 0..self.txs.len() {
+            if self.txs[s].is_some() && new_map.ranges_of(s).is_empty() {
+                self.retire(s);
+            }
+        }
+        self.pmap = new_map;
+        self.rescales += 1;
+        Ok(())
+    }
+
+    /// Split the hash range containing `key` so the key (and its hash
+    /// neighborhood) lands on a freshly spawned shard; returns the new
+    /// shard's id. The canonical response to one hot key dominating a
+    /// shard.
+    pub fn split_hot_key(&mut self, key: Key) -> Result<usize> {
+        let (map, target) = self.pmap.split_key(key, None);
+        self.apply_map(map)?;
+        Ok(target)
+    }
+
+    /// Halve the busiest live shard's hash share onto a freshly spawned
+    /// shard (busiest by routed-event count); returns the new shard's id.
+    pub fn scale_up(&mut self) -> Result<usize> {
+        let busiest = self
+            .pmap
+            .live_shards()
+            .into_iter()
+            .max_by_key(|&s| self.shard_events[s])
+            .ok_or_else(|| JiscError::Internal("no live shards".into()))?;
+        let (map, target) = self.pmap.split_shard(busiest, None)?;
+        self.apply_map(map)?;
+        Ok(target)
+    }
+
+    /// Move all of `from`'s ranges onto `into` and retire `from`.
+    pub fn scale_down(&mut self, from: usize, into: usize) -> Result<()> {
+        let map = self.pmap.merge_into(from, into)?;
+        self.apply_map(map)
+    }
+
+    /// Forward an export to its target shard as an install, recording the
+    /// `(epoch, from, to)` tuple so duplicate replies are dropped.
+    // The box is how the export arrives in the ctrl message; taking it
+    // whole keeps the O(window-share) payload off the stack until the
+    // single move into the Arc.
+    #[allow(clippy::boxed_local)]
+    fn dispatch_install(
+        &mut self,
+        from: usize,
+        epoch: u64,
+        to: usize,
+        export: Box<BaseRangeExport>,
+    ) -> Result<()> {
+        if !self.installed.insert((epoch, from, to)) {
+            return Ok(());
+        }
+        self.migrated_tuples += export.window_tuples() as u64;
+        let install = Arc::new(RangeInstall {
+            epoch,
+            export: *export,
+        });
+        self.send_replayable(to, ReplayEvent::InstallRange(install))
+    }
+
+    /// Grow the per-shard tables to include slot `s` and spawn a fresh
+    /// worker there (running the current plan with empty state) if the
+    /// slot has never been used. Errors if `s` names a retired shard —
+    /// ids are not reused, so a stale map cannot resurrect dead state.
+    fn ensure_shard_slot(&mut self, s: usize) -> Result<()> {
+        while self.txs.len() <= s {
+            self.txs.push(None);
+            self.workers.push(None);
+            self.finished.push(None);
+            self.batches.push(ColumnarBatch::new(BATCH));
+            self.shard_events.push(0);
+            self.ckpt.push(None);
+            self.replay.push(VecDeque::new());
+            self.sent.push(0);
+            self.since_ckpt.push(0);
+            self.recoveries_by_shard.push(0);
+            self.peak_queue.push(0);
+            self.shed_by_shard.push(0);
+            self.probes_by_shard.push(0);
+            self.spawn_spec.push(self.current_spec.clone());
+        }
+        if self.txs[s].is_some() || self.workers[s].is_some() {
+            return Ok(()); // already live
+        }
+        if self.finished[s].is_some() || self.sent[s] > 0 {
+            return Err(JiscError::InvalidConfig(format!(
+                "shard {s} was retired; shard ids are not reused"
+            )));
+        }
+        self.spawn_spec[s] = self.current_spec.clone();
+        let engine = ShardEngine::new(&self.catalog, &self.current_spec, self.config.strategy)?;
+        let (tx, rx) = chan::bounded::<ShardMsg>(self.config.queue_capacity.max(1));
+        let ctx = WorkerCtx {
+            shard: s,
+            start_index: 0,
+            start_tuples: 0,
+            spec: self.current_spec.clone(),
+            injector: Arc::clone(&self.injector),
+            ctrl: self.ctrl_tx.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("jisc-shard-{s}"))
+            .spawn(move || worker_loop(engine, rx, ctx))
+            .expect("spawn shard thread");
+        self.txs[s] = Some(tx);
+        self.workers[s] = Some(handle);
+        Ok(())
+    }
+
+    /// Close a shard's queue and collect its final output. Its replay
+    /// buffer and checkpoint are kept (a fault racing the close still
+    /// recovers through the normal path); its id is never routed again.
+    fn retire(&mut self, s: usize) {
+        self.txs[s] = None;
+        self.reap(s);
     }
 
     /// Drain all shards and merge their results. Worker faults on the
@@ -619,9 +1060,12 @@ impl ShardedExecutor {
     pub fn finish(mut self) -> Result<ShardedReport> {
         self.flush_all()?;
         // Final punctuation: drain any residual operator queues before the
-        // workers snapshot their results.
+        // workers snapshot their results. Retired shards were already
+        // drained and collected when their ranges moved away.
         for s in 0..self.txs.len() {
-            self.send_event(s, Event::Flush)?;
+            if self.txs[s].is_some() {
+                self.send_event(s, Event::Flush)?;
+            }
         }
         let n = self.txs.len();
         let mut results = Vec::with_capacity(n);
@@ -644,10 +1088,12 @@ impl ShardedExecutor {
         }
         let mut metrics = Metrics::new();
         let mut incomplete = 0;
+        let mut probes_by_shard = Vec::with_capacity(n);
         let mut sinks = std::mem::take(&mut self.saved);
         for r in results {
             metrics.merge(&r.metrics);
             incomplete += r.incomplete_states;
+            probes_by_shard.push(r.metrics.probes);
             sinks.push(r.output);
         }
         let output = OutputSink::merged(sinks);
@@ -667,6 +1113,13 @@ impl ShardedExecutor {
             recovery_wall: self.recovery_wall,
             checkpoints: self.checkpoints,
             shed_tuples: self.shed_tuples,
+            shed_by_shard: self.shed_by_shard.clone(),
+            send_timeouts: self.send_timeouts,
+            peak_queue_depth: self.peak_queue.clone(),
+            probes_by_shard,
+            rescales: self.rescales,
+            partition_epoch: self.pmap.epoch(),
+            migrated_tuples: self.migrated_tuples,
         })
     }
 
@@ -698,23 +1151,37 @@ impl ShardedExecutor {
         Ok(())
     }
 
-    /// Send one event on a shard's queue under the overload policy,
-    /// recovering the shard (and retrying) if its worker has died. On
-    /// success the event is recorded in the positional clock and the
-    /// replay buffer.
+    /// Send one event on a shard's queue under the overload policy; see
+    /// [`ShardedExecutor::send_replayable`].
     fn send_event(&mut self, s: usize, ev: Event<PlanSpec>) -> Result<()> {
+        self.send_replayable(s, ReplayEvent::Event(ev))
+    }
+
+    /// Send one replayable entry on a shard's queue, recovering the shard
+    /// (and retrying) if its worker has died. Data events honor the
+    /// overload policy; control and rescale traffic (barriers, flushes,
+    /// repartition marks, exports, installs) always blocks — shedding or
+    /// timing one out would leave shards disagreeing about stream
+    /// positions. On success the entry is recorded in the positional clock
+    /// and the replay buffer.
+    fn send_replayable(&mut self, s: usize, rev: ReplayEvent) -> Result<()> {
         loop {
             let outcome = {
                 let Some(tx) = &self.txs[s] else {
                     return Err(JiscError::Internal("shard queue closed".into()));
                 };
-                match self.config.overload {
-                    OverloadPolicy::Block => match tx.send(ShardMsg::Event(ev.clone())) {
+                if !rev.sheddable() {
+                    match tx.send(rev.to_msg()) {
                         Ok(()) => SendOutcome::Sent,
                         Err(_) => SendOutcome::Disconnected,
-                    },
-                    OverloadPolicy::Timeout(d) => {
-                        match tx.send_timeout(ShardMsg::Event(ev.clone()), d) {
+                    }
+                } else {
+                    match self.config.overload {
+                        OverloadPolicy::Block => match tx.send(rev.to_msg()) {
+                            Ok(()) => SendOutcome::Sent,
+                            Err(_) => SendOutcome::Disconnected,
+                        },
+                        OverloadPolicy::Timeout(d) => match tx.send_timeout(rev.to_msg(), d) {
                             Ok(()) => SendOutcome::Sent,
                             Err(chan::SendTimeoutError::Timeout(_)) => {
                                 SendOutcome::TimedOut(d.as_millis() as u64)
@@ -722,39 +1189,35 @@ impl ShardedExecutor {
                             Err(chan::SendTimeoutError::Disconnected(_)) => {
                                 SendOutcome::Disconnected
                             }
-                        }
-                    }
-                    OverloadPolicy::Shed => match tx.try_send(ShardMsg::Event(ev.clone())) {
-                        Ok(()) => SendOutcome::Sent,
-                        Err(chan::TrySendError::Full(msg)) => {
-                            if let ShardMsg::Event(Event::Batch(b)) = &msg {
-                                SendOutcome::Shed(b.len() as u64)
-                            } else if let ShardMsg::Event(Event::Columnar(b)) = &msg {
-                                SendOutcome::Shed(b.len() as u64)
-                            } else {
-                                // Control events are never shed: block.
-                                match tx.send(msg) {
-                                    Ok(()) => SendOutcome::Sent,
-                                    Err(_) => SendOutcome::Disconnected,
-                                }
+                        },
+                        OverloadPolicy::Shed => match tx.try_send(rev.to_msg()) {
+                            Ok(()) => SendOutcome::Sent,
+                            Err(chan::TrySendError::Full(_)) => {
+                                SendOutcome::Shed(rev.tuple_count())
                             }
-                        }
-                        Err(chan::TrySendError::Disconnected(_)) => SendOutcome::Disconnected,
-                    },
+                            Err(chan::TrySendError::Disconnected(_)) => SendOutcome::Disconnected,
+                        },
+                    }
                 }
             };
             match outcome {
                 SendOutcome::Sent => {
                     self.sent[s] += 1;
-                    self.replay[s].push_back(ev);
+                    if let Some(tx) = &self.txs[s] {
+                        // Sample the post-send depth (lower bound on peak).
+                        self.peak_queue[s] = self.peak_queue[s].max(tx.len() as u64);
+                    }
+                    self.replay[s].push_back(rev);
                     return Ok(());
                 }
                 SendOutcome::Shed(tuples) => {
                     // Never sent: not in the positional clock, not replayed.
                     self.shed_tuples += tuples;
+                    self.shed_by_shard[s] += tuples;
                     return Ok(());
                 }
                 SendOutcome::TimedOut(millis) => {
+                    self.send_timeouts += 1;
                     return Err(JiscError::SendTimeout { millis });
                 }
                 SendOutcome::Disconnected => {
@@ -772,12 +1235,29 @@ impl ShardedExecutor {
             match msg {
                 ToRouter::Fault(f) => self.faults.push(f),
                 ToRouter::Checkpoint(c) => self.apply_checkpoint(c),
+                ToRouter::RangeExport {
+                    shard,
+                    epoch,
+                    to,
+                    export,
+                } => {
+                    if self.installed.contains(&(epoch, shard, to)) {
+                        continue; // duplicate reply from a replayed incarnation
+                    }
+                    // Dispatching the install can respawn a dead target, so
+                    // it happens in `apply_map`'s wait loop, not here.
+                    self.pending_exports.push((shard, epoch, to, export));
+                }
             }
         }
     }
 
     fn apply_checkpoint(&mut self, c: CheckpointData) {
         let s = c.shard;
+        // Load signal first: valid even when the snapshot is declined.
+        // `max` keeps it monotone across respawned incarnations (a
+        // restored engine's counters restart below the true cumulative).
+        self.probes_by_shard[s] = self.probes_by_shard[s].max(c.probes);
         let (Some(snapshot), Some(output)) = (c.snapshot, c.output) else {
             // The engine declined to snapshot (e.g. mid-migration Parallel
             // Track); the previous checkpoint stays authoritative.
@@ -861,7 +1341,7 @@ impl ShardedExecutor {
                 let Some(tx) = &self.txs[o] else { continue };
                 if tx.send(ShardMsg::Event(Event::Flush)).is_ok() {
                     self.sent[o] += 1;
-                    self.replay[o].push_back(Event::Flush);
+                    self.replay[o].push_back(ReplayEvent::Event(Event::Flush));
                 }
                 // A dead survivor is recovered by its own next send.
             }
@@ -870,7 +1350,7 @@ impl ShardedExecutor {
             let ck = self.ckpt[s].clone();
             let (spec, start_index, start_tuples) = match &ck {
                 Some(k) => (k.spec.clone(), k.covered, k.tuples),
-                None => (self.initial_spec.clone(), 0, 0),
+                None => (self.spawn_spec[s].clone(), 0, 0),
             };
             let engine = ShardEngine::restore(
                 &self.catalog,
@@ -896,18 +1376,14 @@ impl ShardedExecutor {
             // Replay the post-checkpoint suffix; the failed incarnation's
             // un-checkpointed output died with it, so these events emit
             // their results exactly once.
-            let suffix: Vec<Event<PlanSpec>> = self.replay[s].iter().cloned().collect();
+            let suffix: Vec<ReplayEvent> = self.replay[s].iter().cloned().collect();
             let mut replay_ok = true;
-            for ev in suffix {
+            for rev in suffix {
                 self.replayed_events += 1;
-                match &ev {
-                    Event::Batch(b) => self.replayed_tuples += b.len() as u64,
-                    Event::Columnar(b) => self.replayed_tuples += b.len() as u64,
-                    _ => {}
-                }
+                self.replayed_tuples += rev.tuple_count();
                 let sent = self.txs[s]
                     .as_ref()
-                    .is_some_and(|tx| tx.send(ShardMsg::Event(ev)).is_ok());
+                    .is_some_and(|tx| tx.send(rev.to_msg()).is_ok());
                 if !sent {
                     replay_ok = false;
                     break;
@@ -1363,6 +1839,215 @@ mod tests {
         .unwrap();
         assert!(report.shed_tuples > 0, "stalled workers must shed load");
         assert_eq!(report.recoveries, 0);
+    }
+
+    // --- elastic rescaling ---
+
+    #[test]
+    fn live_split_matches_serial_and_migrates_state() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        let mut exec = ShardedExecutor::spawn(
+            timed_catalog(&["R", "S", "T"], 40),
+            &spec,
+            ShardSemantics::Jisc,
+            2,
+            64,
+        )
+        .unwrap();
+        for &(s, k, p) in &events[..300] {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let target = exec.split_hot_key(3).unwrap();
+        assert_eq!(target, 2, "fresh shard id past the spawn-time bound");
+        assert_eq!(exec.partition_map().epoch(), 1);
+        assert_eq!(exec.partition_map().shard_for_key(3), target);
+        for &(s, k, p) in &events[300..] {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let report = exec.finish().unwrap();
+        assert_eq!(report.rescales, 1);
+        assert_eq!(report.partition_epoch, 1);
+        assert!(
+            report.migrated_tuples > 0,
+            "key 3 had window state to hand over"
+        );
+        assert_eq!(report.shard_events.len(), 3);
+        assert!(report.shard_events[2] > 0, "post-split arrivals rerouted");
+        assert_eq!(
+            report.output.lineage_multiset(),
+            serial.output.lineage_multiset(),
+            "a live split must not change the output"
+        );
+        assert_eq!(report.incomplete_states, 0, "handover debt fully drained");
+        let footer = report.footer();
+        assert!(footer.contains("rescales 1"), "footer: {footer}");
+        assert!(footer.contains("shard 2:"), "footer: {footer}");
+    }
+
+    /// The acceptance property: every strategy survives a mid-stream split,
+    /// scale-up, and scale-down — with one concurrent injected fault — and
+    /// still produces the fixed-shard serial lineage multiset.
+    #[test]
+    fn splits_merges_and_a_fault_match_serial_for_all_strategies() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(900, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        let reference = serial.output.lineage_multiset();
+        for strategy in [
+            ShardStrategy::Pipelined,
+            ShardStrategy::Jisc,
+            ShardStrategy::MovingState,
+            ShardStrategy::ParallelTrack { check_period: 10 },
+        ] {
+            for faults in [FaultPlan::new(), FaultPlan::new().panic_at(0, 500)] {
+                let faulted = !faults.is_empty();
+                let mut exec = ShardedExecutor::spawn_with(
+                    timed_catalog(&["R", "S", "T"], 40),
+                    &spec,
+                    ShardedConfig {
+                        strategy,
+                        shards: 2,
+                        queue_capacity: 64,
+                        checkpoint_every: 128,
+                        faults,
+                        ..ShardedConfig::default()
+                    },
+                )
+                .unwrap();
+                for &(s, k, p) in &events[..300] {
+                    exec.push(StreamId(s), k, p).unwrap();
+                }
+                let split_target = exec.split_hot_key(3).unwrap();
+                for &(s, k, p) in &events[300..500] {
+                    exec.push(StreamId(s), k, p).unwrap();
+                }
+                let up_target = exec.scale_up().unwrap();
+                assert_ne!(split_target, up_target, "shard ids are never reused");
+                for &(s, k, p) in &events[500..700] {
+                    exec.push(StreamId(s), k, p).unwrap();
+                }
+                // Scale back down: merge the scale-up shard away again.
+                let live = exec.live_shards();
+                assert!(live.contains(&up_target));
+                let into = *live.iter().find(|&&s| s != up_target).unwrap();
+                exec.scale_down(up_target, into).unwrap();
+                assert!(!exec.live_shards().contains(&up_target));
+                for &(s, k, p) in &events[700..] {
+                    exec.push(StreamId(s), k, p).unwrap();
+                }
+                let report = exec.finish().unwrap();
+                assert_eq!(report.rescales, 3, "{strategy:?}");
+                assert_eq!(report.partition_epoch, 3, "{strategy:?}");
+                assert!(report.migrated_tuples > 0, "{strategy:?}");
+                if faulted {
+                    assert!(report.recoveries >= 1, "{strategy:?} fault must recover");
+                }
+                assert_eq!(
+                    report.output.lineage_multiset(),
+                    reference,
+                    "{strategy:?} faulted={faulted}: rescaled run diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_composes_with_plan_transition() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let new_spec = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 13);
+        // Serial reference with the same mid-stream migration.
+        let mut serial = Pipeline::new(timed_catalog(&["R", "S", "T"], 60), &spec).unwrap();
+        let mut sem = JiscSemantics::default();
+        for &(s, k, p) in &events[..200] {
+            serial.push_with(&mut sem, StreamId(s), k, p).unwrap();
+        }
+        jisc_transition(&mut serial, &new_spec).unwrap();
+        for &(s, k, p) in &events[200..] {
+            serial.push_with(&mut sem, StreamId(s), k, p).unwrap();
+        }
+        let mut exec = ShardedExecutor::spawn(
+            timed_catalog(&["R", "S", "T"], 60),
+            &spec,
+            ShardSemantics::Jisc,
+            2,
+            64,
+        )
+        .unwrap();
+        for &(s, k, p) in &events[..200] {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        exec.transition(&new_spec).unwrap();
+        for &(s, k, p) in &events[200..400] {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        // Split after the transition: the new shard spawns on the *new*
+        // plan and receives its state slice against it.
+        exec.split_hot_key(5).unwrap();
+        for &(s, k, p) in &events[400..] {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let report = exec.finish().unwrap();
+        assert_eq!(report.transitions, 1);
+        assert_eq!(report.rescales, 1);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            serial.output.lineage_multiset()
+        );
+    }
+
+    #[test]
+    fn rescale_gates_reject_unsound_maps() {
+        // Count windows: per-shard quotas make a handover unsound.
+        let catalog = Catalog::uniform(&["R", "S"], 10).unwrap();
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let mut exec = ShardedExecutor::spawn(catalog, &spec, ShardSemantics::Jisc, 2, 32).unwrap();
+        assert!(exec.split_hot_key(3).is_err());
+        exec.finish().unwrap();
+
+        // Epoch discipline: a stale or skipping epoch is rejected.
+        let mut exec = ShardedExecutor::spawn(
+            timed_catalog(&["R", "S"], 50),
+            &spec,
+            ShardSemantics::Jisc,
+            2,
+            32,
+        )
+        .unwrap();
+        let same_epoch = PartitionMap::uniform(2);
+        assert!(exec.apply_map(same_epoch).is_err(), "epoch must advance");
+        let (skipped, _) = exec.partition_map().split_key(1, None).0.split_key(2, None);
+        assert!(exec.apply_map(skipped).is_err(), "epoch must not skip");
+
+        // Retired ids are never reused: merging ranges back onto a retired
+        // shard is refused.
+        let target = exec.split_hot_key(7).unwrap();
+        exec.scale_down(target, 0).unwrap(); // retires `target`
+        let back = exec.partition_map().split_key(7, Some(target)).0;
+        assert!(
+            exec.apply_map(back).is_err(),
+            "a retired shard id must not be resurrected"
+        );
+        exec.finish().unwrap();
+    }
+
+    #[test]
+    fn for_shards_caps_aggregate_replay_budget() {
+        let cores = ShardedConfig::default_shards() as u64;
+        assert_eq!(ShardedConfig::for_shards(1).checkpoint_every, 1024);
+        assert_eq!(
+            ShardedConfig::default().checkpoint_every,
+            1024,
+            "default (shards == cores) keeps the historical interval"
+        );
+        // Oversubscribing shards shrinks the per-shard interval so the
+        // aggregate `shards × checkpoint_every` budget does not balloon.
+        let over = ShardedConfig::for_shards(cores as usize * 4);
+        assert_eq!(over.checkpoint_every, 1024 / 4);
+        let extreme = ShardedConfig::for_shards(cores as usize * 1024);
+        assert_eq!(extreme.checkpoint_every, 128, "floor keeps cadence sane");
     }
 
     #[test]

@@ -21,10 +21,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use jisc_common::{Event, Metrics, Result, WorkerFault};
+use jisc_common::{Event, KeyRange, Metrics, Result, WorkerFault};
 use jisc_core::jisc::{apply_event, incomplete_state_count, JiscSemantics};
-use jisc_core::{AdaptiveEngine, RecoveryMode, Strategy};
-use jisc_engine::{BaseStateSnapshot, Catalog, DefaultSemantics, OutputSink, Pipeline, PlanSpec};
+use jisc_core::{rescale, AdaptiveEngine, RecoveryMode, Strategy};
+use jisc_engine::{
+    BaseRangeExport, BaseStateSnapshot, Catalog, DefaultSemantics, OutputSink, Pipeline, PlanSpec,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::chan;
@@ -78,6 +80,27 @@ pub(crate) enum ShardMsg {
     Event(Event<PlanSpec>),
     /// Take a checkpoint now (at this exact stream position).
     Checkpoint,
+    /// Extract the state slice for `ranges` (handed over to shard `to`
+    /// under partition epoch `epoch`) and ship it back to the router.
+    /// Positional: lands at an exact point in the shard's event stream, so
+    /// a replayed incarnation re-extracts deterministically.
+    ExportRange {
+        epoch: u64,
+        to: usize,
+        ranges: Vec<KeyRange>,
+    },
+    /// Install a state slice exported by another shard. Shared (`Arc`) so
+    /// the router's replay buffer does not deep-copy the window slice.
+    InstallRange(Arc<RangeInstall>),
+}
+
+/// An extracted state slice en route to its new owner, tagged with the
+/// partition epoch that moved it.
+#[derive(Debug)]
+pub(crate) struct RangeInstall {
+    #[allow(dead_code)] // epoch is diagnostic; dedup happens router-side
+    pub epoch: u64,
+    pub export: BaseRangeExport,
 }
 
 /// A completed checkpoint, shipped worker → router.
@@ -96,6 +119,8 @@ pub(crate) struct CheckpointData {
     /// Output drained at the checkpoint (only when `snapshot` is `Some`,
     /// so saved output and saved state always agree).
     pub output: Option<OutputSink>,
+    /// Cumulative state probes at the checkpoint (elastic-controller feed).
+    pub probes: u64,
 }
 
 /// Worker → router control messages.
@@ -103,6 +128,14 @@ pub(crate) struct CheckpointData {
 pub(crate) enum ToRouter {
     Fault(WorkerFault),
     Checkpoint(CheckpointData),
+    /// Reply to [`ShardMsg::ExportRange`]: the extracted slice, ready to
+    /// forward to shard `to`. Boxed — it carries a window's worth of state.
+    RangeExport {
+        shard: usize,
+        epoch: u64,
+        to: usize,
+        export: Box<BaseRangeExport>,
+    },
 }
 
 /// Final state a worker hands back on clean exit.
@@ -182,6 +215,38 @@ impl ShardEngine {
         }
     }
 
+    /// Extract the state slice for `ranges` (rescale source side). Plain
+    /// pipelines and JISC both extract the same base slice; the mode split
+    /// happens at install time.
+    pub fn extract_range(&mut self, ranges: &[KeyRange]) -> Result<BaseRangeExport> {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => {
+                rescale::extract_range(pipe, ranges)
+            }
+            ShardEngine::Adaptive(engine) => engine.extract_range(ranges),
+        }
+    }
+
+    /// Install a slice exported by another shard (rescale target side):
+    /// just-in-time completion debt under JISC, eager rebuild otherwise.
+    pub fn install_range(&mut self, export: &BaseRangeExport) -> Result<()> {
+        match self {
+            ShardEngine::Plain(pipe) => rescale::install_range(pipe, export, RecoveryMode::Eager),
+            ShardEngine::Jisc(pipe, _) => {
+                rescale::install_range(pipe, export, RecoveryMode::JustInTime)
+            }
+            ShardEngine::Adaptive(engine) => engine.install_range(export),
+        }
+    }
+
+    /// Cumulative state probes so far (per-shard load signal).
+    pub fn probe_count(&self) -> u64 {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.metrics.probes,
+            ShardEngine::Adaptive(engine) => engine.metrics().probes,
+        }
+    }
+
     pub fn base_snapshot(&self) -> Option<BaseStateSnapshot> {
         match self {
             ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.snapshot_base_state(),
@@ -228,6 +293,17 @@ pub(crate) struct WorkerCtx {
     pub ctrl: chan::Sender<ToRouter>,
 }
 
+/// Report a structured fault to the router (best-effort; the router may be
+/// gone during teardown).
+fn fault(ctx: &WorkerCtx, payload: String, last_seq: u64, tuples: u64) {
+    let _ = ctx.ctrl.send(ToRouter::Fault(WorkerFault {
+        shard: ctx.shard,
+        payload,
+        last_seq,
+        tuples,
+    }));
+}
+
 /// The supervised event loop. Returns `Some(result)` on clean queue close;
 /// `None` after reporting a fault (the partial output is deliberately
 /// dropped — replay after recovery regenerates it exactly once).
@@ -255,8 +331,63 @@ pub(crate) fn worker_loop(
                     spec: ctx.spec.clone(),
                     snapshot,
                     output,
+                    probes: engine.probe_count(),
                 }));
                 continue;
+            }
+            ShardMsg::ExportRange { epoch, to, ranges } => {
+                // Positional, like a data event: a replayed incarnation
+                // reaches the same stream position and re-extracts the same
+                // slice (the router dedups the duplicate reply).
+                let outcome = catch_unwind(AssertUnwindSafe(|| engine.extract_range(&ranges)));
+                match outcome {
+                    Ok(Ok(export)) => {
+                        let _ = ctx.ctrl.send(ToRouter::RangeExport {
+                            shard: ctx.shard,
+                            epoch,
+                            to,
+                            export: Box::new(export),
+                        });
+                        index += 1;
+                        continue;
+                    }
+                    Ok(Err(e)) => {
+                        fault(&ctx, e.to_string(), index, tuples - incarnation_start);
+                        return None;
+                    }
+                    Err(payload) => {
+                        fault(
+                            &ctx,
+                            payload_string(payload.as_ref()),
+                            index,
+                            tuples - incarnation_start,
+                        );
+                        return None;
+                    }
+                }
+            }
+            ShardMsg::InstallRange(install) => {
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| engine.install_range(&install.export)));
+                match outcome {
+                    Ok(Ok(())) => {
+                        index += 1;
+                        continue;
+                    }
+                    Ok(Err(e)) => {
+                        fault(&ctx, e.to_string(), index, tuples - incarnation_start);
+                        return None;
+                    }
+                    Err(payload) => {
+                        fault(
+                            &ctx,
+                            payload_string(payload.as_ref()),
+                            index,
+                            tuples - incarnation_start,
+                        );
+                        return None;
+                    }
+                }
             }
         };
         let batch_len = match &ev {
@@ -292,12 +423,7 @@ pub(crate) fn worker_loop(
             Err(payload) => Some(payload_string(payload.as_ref())),
         };
         if let Some(payload) = failure {
-            let _ = ctx.ctrl.send(ToRouter::Fault(WorkerFault {
-                shard: ctx.shard,
-                payload,
-                last_seq: index,
-                tuples: tuples - incarnation_start,
-            }));
+            fault(&ctx, payload, index, tuples - incarnation_start);
             return None;
         }
         if is_barrier {

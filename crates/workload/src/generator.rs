@@ -25,7 +25,14 @@ pub enum KeyDistribution {
     /// Uniform over `[0, domain)` — the paper's setup.
     Uniform,
     /// Zipf over `[0, domain)` with the given exponent (`s > 0`).
+    /// Rank `r` maps to key `r`, so the hot keys cluster at the low end.
     Zipf(f64),
+    /// Zipf ranks scattered over `[0, domain)` by a seed-derived affine
+    /// bijection (`key = rank · P mod domain`, `P` coprime to the domain),
+    /// so hot keys land in unrelated partition-map ranges the way real
+    /// skew does. [`Generator::hot_keys`] reports the hottest key values,
+    /// letting elastic-scaling harnesses target the hot range.
+    ZipfHot(f64),
 }
 
 /// How arrivals are spread across streams.
@@ -45,9 +52,18 @@ pub struct Generator {
     distribution: KeyDistribution,
     interleave: Interleave,
     rng: SplitMix64,
-    /// Zipf cumulative distribution (lazy; only for `KeyDistribution::Zipf`).
+    /// Zipf cumulative distribution (lazy; only for the Zipf modes).
     zipf_cdf: Vec<f64>,
+    /// Rank-scatter multiplier, coprime to `domain` (`ZipfHot` only).
+    scatter: u64,
     counter: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 impl Generator {
@@ -62,7 +78,7 @@ impl Generator {
         assert!(streams > 0, "need at least one stream");
         assert!(domain > 0, "key domain must be non-empty");
         let zipf_cdf = match distribution {
-            KeyDistribution::Zipf(s) => {
+            KeyDistribution::Zipf(s) | KeyDistribution::ZipfHot(s) => {
                 assert!(s > 0.0, "Zipf exponent must be positive");
                 let mut weights: Vec<f64> =
                     (1..=domain).map(|r| 1.0 / (r as f64).powf(s)).collect();
@@ -79,6 +95,20 @@ impl Generator {
             }
             KeyDistribution::Uniform => Vec::new(),
         };
+        let scatter = match distribution {
+            KeyDistribution::ZipfHot(_) => {
+                // Deterministic per seed, off the arrival rng so arrivals
+                // for two seeds with the same scatter still differ.
+                let mut pick = SplitMix64::new(seed ^ 0x5ca7_7e12_d00d_feed);
+                loop {
+                    let p = pick.next_below(domain).max(1) | 1;
+                    if gcd(p, domain) == 1 {
+                        break p;
+                    }
+                }
+            }
+            _ => 1,
+        };
         Generator {
             streams,
             domain,
@@ -86,7 +116,37 @@ impl Generator {
             interleave,
             rng: SplitMix64::new(seed),
             zipf_cdf,
+            scatter,
             counter: 0,
+        }
+    }
+
+    /// Hot-key skew preset: `ZipfHot(s)` keys over `[0, domain)`, random
+    /// stream assignment.
+    pub fn zipf_hot(streams: u16, domain: u64, s: f64, seed: u64) -> Self {
+        Generator::new(
+            streams,
+            domain,
+            KeyDistribution::ZipfHot(s),
+            Interleave::Random,
+            seed,
+        )
+    }
+
+    /// The key value Zipf rank `rank` (0 = hottest) maps to.
+    fn scatter_key(&self, rank: u64) -> u64 {
+        (rank as u128 * self.scatter as u128 % self.domain as u128) as u64
+    }
+
+    /// The `n` hottest key values, hottest first. Empty unless the
+    /// distribution is a Zipf mode.
+    pub fn hot_keys(&self, n: usize) -> Vec<u64> {
+        match self.distribution {
+            KeyDistribution::Uniform => Vec::new(),
+            KeyDistribution::Zipf(_) => (0..self.domain.min(n as u64)).collect(),
+            KeyDistribution::ZipfHot(_) => (0..self.domain.min(n as u64))
+                .map(|r| self.scatter_key(r))
+                .collect(),
         }
     }
 
@@ -112,6 +172,11 @@ impl Generator {
             KeyDistribution::Zipf(_) => {
                 let u = self.rng.next_f64();
                 self.zipf_cdf.partition_point(|&c| c < u) as u64
+            }
+            KeyDistribution::ZipfHot(_) => {
+                let u = self.rng.next_f64();
+                let rank = self.zipf_cdf.partition_point(|&c| c < u) as u64;
+                self.scatter_key(rank)
             }
         };
         let payload = self.counter;
@@ -200,6 +265,47 @@ mod tests {
             "head fraction {}",
             head as f64 / n as f64
         );
+    }
+
+    #[test]
+    fn zipf_hot_scatters_a_deterministic_hot_set() {
+        let mut g = Generator::zipf_hot(2, 1000, 1.2, 17);
+        let hot = g.hot_keys(10);
+        assert_eq!(hot.len(), 10);
+        assert_eq!(hot, Generator::zipf_hot(2, 1000, 1.2, 17).hot_keys(10));
+        // The scatter bijection spreads the hot ranks; they must not all
+        // sit at the low end like plain Zipf.
+        assert!(hot.iter().any(|&k| k >= 100), "{hot:?}");
+        // The reported hot set carries the bulk of the generated mass.
+        let hot_set: std::collections::HashSet<u64> = hot.iter().copied().collect();
+        let n = 50_000;
+        let mut in_hot = 0u32;
+        let mut modal = std::collections::HashMap::new();
+        for _ in 0..n {
+            let a = g.next_arrival();
+            assert!(a.key < 1000);
+            if hot_set.contains(&a.key) {
+                in_hot += 1;
+            }
+            *modal.entry(a.key).or_insert(0u32) += 1;
+        }
+        assert!(in_hot as f64 / n as f64 > 0.3, "hot share {in_hot}/{n}");
+        // hot_keys(1) is the empirical mode.
+        let (&mode, _) = modal.iter().max_by_key(|&(_, c)| *c).unwrap();
+        assert_eq!(mode, g.hot_keys(1)[0]);
+        // Determinism per seed, divergence across seeds.
+        let a = Generator::zipf_hot(2, 1000, 1.2, 17).take_vec(50);
+        assert_eq!(a, Generator::zipf_hot(2, 1000, 1.2, 17).take_vec(50));
+        assert_ne!(a, Generator::zipf_hot(2, 1000, 1.2, 18).take_vec(50));
+    }
+
+    #[test]
+    fn zipf_hot_scatter_is_a_bijection() {
+        // P coprime to the domain makes rank -> key injective: every key
+        // in a small domain is reachable from exactly one rank.
+        let g = Generator::zipf_hot(1, 97, 1.0, 3);
+        let keys: std::collections::HashSet<u64> = g.hot_keys(97).into_iter().collect();
+        assert_eq!(keys.len(), 97);
     }
 
     #[test]
