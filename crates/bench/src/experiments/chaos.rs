@@ -1,0 +1,409 @@
+//! Chaos soak: disorder + skew + flash crowds + faults + live rescales,
+//! with ingest-to-emit latency percentiles.
+//!
+//! One adversarial stream exercises every robustness mechanism at once:
+//! Zipf-hot keys (skew), periodic flash-crowd bursts (rate spikes),
+//! bounded-lateness disorder with stragglers past the bound (event-time
+//! chaos), scripted worker panics, delivery delays, duplicate and
+//! reordered deliveries (fault chaos), and two live rescales mid-stream —
+//! a hot-key split and a busiest-shard split. Every migration strategy
+//! runs the same stream and must emit the **identical output lineage** as
+//! a serial in-order oracle: a single [`Pipeline`] fed the gate-released
+//! tuple sequence, computed harness-side with the same [`LatenessGate`]
+//! the router runs. Nothing that happens under chaos — crash, replay,
+//! duplicate, reorder, rescale, burst — may leave a trace in the result.
+//!
+//! Accounting is closed: `events + dropped_late == tuples offered`, with
+//! deliberately ancient stragglers pushed at the end so the drop path is
+//! provably exercised.
+//!
+//! Latency: the router samples every `LATENCY_SAMPLE_EVERY`-th routed
+//! tuple (send-instant at flush) and the owning worker stamps it after
+//! apply; the report joins the pairs. Global sequence numbers are assigned
+//! in gate-release order, so sample `seq` maps back to the oracle's
+//! release list and its event time — which labels each sample steady or
+//! burst via the [`FlashCrowd`] profile. The run writes
+//! `BENCH_latency.json` with p50/p99/p999 per phase per strategy.
+
+use std::time::Duration;
+
+use jisc_common::StreamId;
+use jisc_core::jisc::JiscSemantics;
+use jisc_engine::{LatenessGate, LatenessPolicy, Pipeline};
+use jisc_runtime::shard::{ShardStrategy, ShardedConfig, ShardedExecutor};
+use jisc_runtime::FaultPlan;
+use jisc_workload::{best_case, Disorder, FlashCrowd, Generator};
+
+use crate::harness::Scale;
+use crate::table::Table;
+
+/// Joins in the measured plan (shallow for the same reason as `elastic`:
+/// the subject is robustness machinery, not join depth).
+const JOINS: usize = 2;
+
+/// Base arrival positions before burst expansion and scaling.
+const BASE_POSITIONS: usize = 8_000;
+
+/// Base per-stream window population before scaling.
+const BASE_WINDOW: usize = 100;
+
+/// Key-domain width relative to the window.
+const DOMAIN_FACTOR: u64 = 8;
+
+/// Zipf exponent for the hot-key skew.
+const ZIPF_S: f64 = 1.0;
+
+/// Worker threads at the start of the run.
+const START_SHARDS: usize = 2;
+
+/// Lateness bound, in event-time ticks (== expanded arrival positions at
+/// steady rate, less during bursts — disorder displacement never exceeds
+/// it in ticks either way).
+const DISORDER_BOUND: u64 = 64;
+
+/// Every n-th tuple becomes a straggler pushed past the bound.
+const STRAGGLER_EVERY: usize = 997;
+
+/// How far past the bound stragglers land (positions).
+const STRAGGLER_EXCESS: u64 = DISORDER_BOUND * 8;
+
+/// Flash-crowd profile: `WIDTH` of every `PERIOD` base positions emit
+/// `AMPLITUDE`× tuples.
+const BURST_PERIOD: usize = 100;
+const BURST_WIDTH: usize = 10;
+const BURST_AMPLITUDE: u64 = 6;
+
+/// Ancient tuples pushed after the stream to prove the drop path.
+const LATE_PUSHES: u64 = 8;
+
+/// Router broadcast cadence for min-aligned watermarks.
+const WATERMARK_EVERY: u64 = 256;
+
+/// Latency sampling cadence (every n-th routed tuple).
+const LATENCY_SAMPLE_EVERY: u64 = 16;
+
+/// Checkpoint cadence (tuples per shard).
+const CHECKPOINT_EVERY: u64 = 512;
+
+/// Default chaos seed (soak runs vary it).
+const DEFAULT_SEED: u64 = 9001;
+
+/// One expanded, timestamped arrival.
+#[derive(Clone, Copy)]
+struct ChaosTuple {
+    stream: u16,
+    key: u64,
+    payload: u64,
+    /// Event time: the base position this tuple expanded from.
+    ts: u64,
+}
+
+const STRATEGIES: [ShardStrategy; 4] = [
+    ShardStrategy::Pipelined,
+    ShardStrategy::Jisc,
+    ShardStrategy::MovingState,
+    ShardStrategy::ParallelTrack { check_period: 5 },
+];
+
+fn strategy_name(s: ShardStrategy) -> &'static str {
+    match s {
+        ShardStrategy::Pipelined => "pipelined",
+        ShardStrategy::Jisc => "jisc",
+        ShardStrategy::MovingState => "moving_state",
+        ShardStrategy::ParallelTrack { .. } => "parallel_track",
+    }
+}
+
+/// Nearest-rank percentile over an ascending slice (µs).
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+struct PhaseLatency {
+    samples: usize,
+    p50: f64,
+    p99: f64,
+    p999: f64,
+}
+
+fn phase_latency(durations: &[Duration]) -> PhaseLatency {
+    let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    PhaseLatency {
+        samples: us.len(),
+        p50: percentile(&us, 0.50),
+        p99: percentile(&us, 0.99),
+        p999: percentile(&us, 0.999),
+    }
+}
+
+/// Chaos run at an explicit seed; `emit_json` controls whether
+/// `BENCH_latency.json` is written (the soak test skips it).
+pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
+    let window = scale.apply(BASE_WINDOW);
+    let base_positions = scale.apply(BASE_POSITIONS);
+    let scenario = best_case(JOINS, crate::harness::hash_style());
+    let names: Vec<String> = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ticks = (window * names.len()) as u64;
+    let catalog = jisc_engine::Catalog::new(
+        names
+            .iter()
+            .map(|n| jisc_engine::StreamDef::timed(n.clone(), ticks))
+            .collect(),
+    )
+    .expect("valid catalog");
+
+    // --- the adversarial stream ---
+    // Zipf-hot keys, expanded by the flash-crowd profile (every tuple of
+    // base position i carries event time i), then scrambled within the
+    // lateness bound with stragglers salted past it.
+    let crowd = FlashCrowd::new(BURST_PERIOD, BURST_WIDTH, BURST_AMPLITUDE);
+    let mut gen = Generator::zipf_hot(
+        names.len() as u16,
+        window as u64 * DOMAIN_FACTOR,
+        ZIPF_S,
+        seed,
+    );
+    let hot_key = gen.hot_keys(1)[0];
+    let mut in_order: Vec<ChaosTuple> =
+        Vec::with_capacity(crowd.expanded_len(base_positions) as usize);
+    for i in 0..base_positions {
+        for _ in 0..crowd.multiplicity(i) {
+            let a = gen.next().expect("generator is infinite");
+            in_order.push(ChaosTuple {
+                stream: a.stream,
+                key: a.key,
+                payload: a.payload,
+                ts: i as u64,
+            });
+        }
+    }
+    let disorder = Disorder::new(DISORDER_BOUND, seed ^ 0xD15)
+        .with_stragglers(STRAGGLER_EVERY, STRAGGLER_EXCESS);
+    let scrambled = disorder.scramble(&in_order);
+    let offered_total = scrambled.len() as u64 + LATE_PUSHES;
+    let policy = LatenessPolicy::AdmitWithinBound {
+        bound: DISORDER_BOUND,
+    };
+
+    // --- serial in-order oracle ---
+    // The same gate the router runs, applied harness-side to the same
+    // offer sequence: its release order is exactly the order the router
+    // routes (and numbers) tuples, so `released[seq]` recovers a routed
+    // tuple's event time. The released sequence drives one serial
+    // pipeline; that lineage is the law every chaos run must match.
+    let mut gate: LatenessGate<ChaosTuple> = LatenessGate::new(policy);
+    let mut released: Vec<ChaosTuple> = Vec::with_capacity(scrambled.len());
+    let mut out: Vec<(u64, ChaosTuple)> = Vec::new();
+    for &t in &scrambled {
+        gate.offer(t.ts, t, &mut out);
+        released.extend(out.drain(..).map(|(_, t)| t));
+    }
+    for _ in 0..LATE_PUSHES {
+        gate.offer(0, scrambled[0], &mut out);
+        released.extend(out.drain(..).map(|(_, t)| t));
+    }
+    gate.flush(&mut out);
+    released.extend(out.drain(..).map(|(_, t)| t));
+    assert!(
+        gate.stats.dropped_late >= LATE_PUSHES,
+        "ancient pushes must be beyond recall"
+    );
+    let mut oracle = Pipeline::new(catalog.clone(), &scenario.initial).expect("oracle pipeline");
+    let mut sem = JiscSemantics::default();
+    for t in &released {
+        oracle
+            .push_at_with(&mut sem, StreamId(t.stream), t.key, t.payload, t.ts)
+            .expect("oracle push");
+    }
+    let expected = oracle.output.lineage_multiset();
+
+    // Rescale points, in offered-tuple counts: a hot-key split at 40 %
+    // and a busiest-shard split at 70 %.
+    let split_at = scrambled.len() * 2 / 5;
+    let scale_up_at = scrambled.len() * 7 / 10;
+
+    let mut table = Table::new(
+        "chaos",
+        "Chaos soak: disorder + skew + bursts + faults + live rescales \
+         (2 joins, all strategies)",
+        "every strategy's output under chaos is lineage-identical to the \
+         serial in-order oracle; accounting closes (events + dropped_late \
+         == offered); bursts raise the median while the tail is \
+         recovery-replay-dominated",
+        &[
+            "strategy",
+            "steady p50/p99/p999 (µs)",
+            "burst p50/p99/p999 (µs)",
+            "recoveries",
+            "late drop/admit",
+        ],
+    );
+    let mut json_strategies: Vec<String> = Vec::new();
+
+    for strategy in STRATEGIES {
+        // Panics early on both starting shards (recovery + replay), a
+        // delivery delay (queue pressure), plus duplicate and reordered
+        // deliveries for the guards. The misdeliveries target the two
+        // rescale-born shards (the hot-split target is shard 2, the
+        // scale-up target shard 3): those workers never panic, so their
+        // guard counters survive to the final report — a guard that
+        // absorbs a duplicate and then dies takes its tally with it. No
+        // DropBatchAt — that fault *loses* tuples by design and would
+        // break the accounting identity.
+        let faults = FaultPlan::new()
+            .panic_at(0, 400)
+            .panic_at(1, 600)
+            .delay_at(0, 900, 20)
+            // Duplicate and reorder positions sit in distinct 64-tuple
+            // batch spans: the injector disarms at most one action per
+            // delivered batch, so co-resident scripts would shadow each
+            // other.
+            .duplicate_at(2, 50)
+            .duplicate_at(3, 40)
+            .reorder_at(2, 200)
+            .reorder_at(3, 160);
+        let mut exec = ShardedExecutor::spawn_with(
+            catalog.clone(),
+            &scenario.initial,
+            ShardedConfig {
+                strategy,
+                shards: START_SHARDS,
+                queue_capacity: 4096,
+                checkpoint_every: CHECKPOINT_EVERY,
+                faults,
+                lateness: Some(policy),
+                watermark_every: WATERMARK_EVERY,
+                latency_sample_every: LATENCY_SAMPLE_EVERY,
+                ..ShardedConfig::default()
+            },
+        )
+        .expect("sharded executor");
+        assert!(exec.is_exact(), "time windows shard exactly");
+        for (j, t) in scrambled.iter().enumerate() {
+            if j == split_at {
+                let target = exec.split_hot_key(hot_key).expect("live hot split");
+                assert!(target >= START_SHARDS, "split spawns a fresh shard");
+            }
+            if j == scale_up_at {
+                exec.scale_up().expect("live scale-up");
+            }
+            exec.push_at(StreamId(t.stream), t.key, t.payload, t.ts)
+                .expect("push");
+        }
+        for _ in 0..LATE_PUSHES {
+            let t = scrambled[0];
+            exec.push_at(StreamId(t.stream), t.key, t.payload, 0)
+                .expect("late push is dropped, not an error");
+        }
+        let report = exec.finish().expect("finish survives chaos");
+
+        // The law: chaos is invisible in the result.
+        assert_eq!(
+            report.output.lineage_multiset(),
+            expected,
+            "{strategy:?}: chaos run diverged from the serial oracle"
+        );
+        // Closed accounting: every offered tuple is either routed or
+        // counted late — none silently lost.
+        assert_eq!(
+            report.events + report.dropped_late,
+            offered_total,
+            "{strategy:?}: accounting identity violated"
+        );
+        assert!(report.dropped_late >= LATE_PUSHES);
+        assert_eq!(report.events as usize, released.len());
+        assert!(report.late_admitted > 0, "disorder must reorder something");
+        assert!(report.recoveries >= 2, "both scripted panics must fire");
+        for f in &report.faults {
+            assert!(f.payload.contains("injected panic"), "{}", f.payload);
+        }
+        assert!(report.dup_deliveries_dropped >= 1);
+        assert!(report.reorders_healed >= 1);
+        assert_eq!(report.rescales, 2, "hot split + scale-up");
+        assert!(report.partition_epoch >= 2);
+        assert!(report.watermark > 0, "watermarks must align and advance");
+
+        // Phase-labelled latency percentiles: seq → oracle release list →
+        // event time → steady/burst.
+        let mut steady: Vec<Duration> = Vec::new();
+        let mut burst: Vec<Duration> = Vec::new();
+        for &(seq, d) in &report.latencies {
+            let t = released[seq as usize];
+            if crowd.is_burst(t.ts as usize) {
+                burst.push(d);
+            } else {
+                steady.push(d);
+            }
+        }
+        assert!(
+            !steady.is_empty() && !burst.is_empty(),
+            "{strategy:?}: both phases must be sampled"
+        );
+        let s = phase_latency(&steady);
+        let b = phase_latency(&burst);
+        table.row(vec![
+            strategy_name(strategy).into(),
+            format!("{:.1} / {:.1} / {:.1}", s.p50, s.p99, s.p999),
+            format!("{:.1} / {:.1} / {:.1}", b.p50, b.p99, b.p999),
+            report.recoveries.to_string(),
+            format!("{} / {}", report.dropped_late, report.late_admitted),
+        ]);
+        json_strategies.push(format!(
+            "    {{\"strategy\": \"{}\", \"recoveries\": {}, \
+             \"dropped_late\": {}, \"late_admitted\": {}, \
+             \"watermark\": {}, \"dup_deliveries_dropped\": {}, \
+             \"reorders_healed\": {}, \"rescales\": {}, \
+             \"latency_us\": {{\
+             \"steady\": {{\"samples\": {}, \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}}}, \
+             \"burst\": {{\"samples\": {}, \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}}}}}}}",
+            strategy_name(strategy),
+            report.recoveries,
+            report.dropped_late,
+            report.late_admitted,
+            report.watermark,
+            report.dup_deliveries_dropped,
+            report.reorders_healed,
+            report.rescales,
+            s.samples,
+            s.p50,
+            s.p99,
+            s.p999,
+            b.samples,
+            b.p50,
+            b.p99,
+            b.p999,
+        ));
+    }
+
+    if emit_json {
+        let json = format!(
+            "{{\n  \"experiment\": \"chaos\",\n  \"seed\": {seed},\n  \
+             \"offered\": {offered_total},\n  \
+             \"disorder_bound\": {DISORDER_BOUND},\n  \
+             \"burst\": {{\"period\": {BURST_PERIOD}, \"width\": {BURST_WIDTH}, \
+             \"amplitude\": {BURST_AMPLITUDE}}},\n  \
+             \"latency_sample_every\": {LATENCY_SAMPLE_EVERY},\n  \
+             \"strategies\": [\n{}\n  ]\n}}\n",
+            json_strategies.join(",\n")
+        );
+        if let Err(e) = std::fs::write("BENCH_latency.json", &json) {
+            eprintln!("warning: could not write BENCH_latency.json: {e}");
+        }
+    }
+    table
+}
+
+/// Chaos-soak table and `BENCH_latency.json` at the default seed.
+pub fn chaos(scale: Scale) -> Table {
+    chaos_run(scale, DEFAULT_SEED, true)
+}

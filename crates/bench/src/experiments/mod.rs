@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod analysis_exp;
+pub mod chaos;
 pub mod elastic;
 pub mod frequency;
 pub mod kernels;

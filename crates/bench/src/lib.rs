@@ -38,6 +38,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "recovery",
     "elastic",
     "state",
+    "chaos",
 ];
 
 /// Run one experiment by id (returns one or more tables).
@@ -61,6 +62,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "recovery" => vec![recovery_exp::recovery(scale)],
         "elastic" => vec![elastic::elastic(scale)],
         "state" => vec![state_exp::state(scale)],
+        "chaos" => vec![chaos::chaos(scale)],
         "ablation" => vec![
             ablation::ablation_selectivity(scale),
             ablation::ablation_completion(scale),

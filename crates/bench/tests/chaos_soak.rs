@@ -1,0 +1,31 @@
+//! Chaos-soak suite: the chaos experiment repeated across seeds.
+//!
+//! Gated behind the `chaos-soak` cargo feature (each run drives four
+//! sharded executors through disorder, bursts, faults, and rescales):
+//!
+//! ```text
+//! cargo test -q -p jisc-bench --release --features chaos-soak
+//! ```
+//!
+//! Every seeded run re-asserts the chaos invariants internally: output
+//! lineage identical to the serial in-order oracle for all four
+//! strategies, closed late-tuple accounting, both scripted panics
+//! recovered, delivery guards engaged, watermarks advanced, and both
+//! latency phases sampled. A seed that survives proves nothing about the
+//! next one — the soak's value is breadth, so keep seeds cheap (half
+//! scale) and varied.
+
+#![cfg(feature = "chaos-soak")]
+
+use jisc_bench::experiments::chaos::chaos_run;
+use jisc_bench::Scale;
+
+#[test]
+fn chaos_soak_across_seeds() {
+    for seed in [9001u64, 42, 7_777, 123_457] {
+        // Assertions live inside chaos_run; no JSON emission — the soak
+        // must not clobber the bench artifact from a real run.
+        let table = chaos_run(Scale(0.5), seed, false);
+        assert_eq!(table.rows.len(), 4, "seed {seed}: one row per strategy");
+    }
+}

@@ -159,7 +159,15 @@ pub enum Event<P> {
     Columnar(ColumnarBatch),
     /// Watermark punctuation: expire every tuple older than the window
     /// allows at time `ts`, exactly as a serial ingest at `ts` would.
+    /// Strict: a regressing `ts` is an error (producer bug).
     Expiry(u64),
+    /// Event-time watermark: "no arrival with a timestamp below `ts` will
+    /// follow". Same expiry effect as [`Event::Expiry`] where it advances
+    /// time, but *monotone and idempotent by construction*: a stale or
+    /// repeated watermark is an accepted no-op, never an error — sources
+    /// with independent clocks (or a router min-aligning several of them)
+    /// can re-announce frontiers freely.
+    Watermark(u64),
     /// Plan-migration punctuation carrying the target plan. All data
     /// before the barrier executes under the old plan, all data after it
     /// under the new one — on every executor, serial or sharded.

@@ -58,6 +58,14 @@ pub struct Metrics {
     /// Slab arena: entry slots reused from the free list (occupancy churn;
     /// `inserts - slab_slot_reuses` is the arena's high-water growth).
     pub slab_slot_reuses: u64,
+    /// Event-time lateness: tuples rejected by the active lateness policy
+    /// (too far behind the clock to admit). Never silently lost — every
+    /// generated tuple is either ingested or counted here, so
+    /// `tuples_in + dropped_late` equals the generated total.
+    pub dropped_late: u64,
+    /// Event-time lateness: out-of-order tuples the policy admitted within
+    /// its bound (clamped to the current clock instead of rejected).
+    pub late_admitted: u64,
 }
 
 impl Metrics {
@@ -102,6 +110,8 @@ impl Metrics {
         self.probe_depth += other.probe_depth;
         self.slab_rehashes += other.slab_rehashes;
         self.slab_slot_reuses += other.slab_slot_reuses;
+        self.dropped_late += other.dropped_late;
+        self.late_admitted += other.late_admitted;
     }
 }
 

@@ -652,4 +652,61 @@ mod tests {
             assert_eq!(PartitionMap::from_wire(&m.to_wire()).unwrap(), m);
         }
     }
+
+    #[test]
+    fn wire_round_trip_single_shard() {
+        let m = PartitionMap::uniform(1);
+        let back = PartitionMap::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.ranges(), &[(KeyRange::ALL, 0)]);
+        assert_eq!(back.shard_bound(), 1);
+        assert_eq!(back.shard_for_hash(u64::MAX), 0);
+    }
+
+    #[test]
+    fn wire_round_trip_at_maximal_split_depth() {
+        // Keep halving the newest shard's range until it is a single hash
+        // and can split no further — the deepest map the runtime can ever
+        // produce along one lineage. The codec must stay lossless the whole
+        // way down (hex bounds shrink to one digit apart at the bottom).
+        let mut m = PartitionMap::uniform(1);
+        let mut shard = 0usize;
+        let mut depth = 0u32;
+        while let Ok((next, target)) = m.split_shard(shard, None) {
+            m = next;
+            shard = target;
+            depth += 1;
+            assert_eq!(PartitionMap::from_wire(&m.to_wire()).unwrap(), m);
+            assert!(depth <= 64, "halving must bottom out within 64 splits");
+        }
+        // [0, u64::MAX] halves to a single hash in exactly 64 steps.
+        assert_eq!(depth, 64);
+        assert_eq!(m.epoch(), 64);
+        let widest = m.ranges_of(shard)[0];
+        assert_eq!(widest.start, widest.end, "bottomed out at a single hash");
+        let back = PartitionMap::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back, m);
+        for h in [0u64, widest.start, widest.start.wrapping_sub(1), u64::MAX] {
+            assert_eq!(back.shard_for_hash(h), m.shard_for_hash(h));
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_after_merge_with_non_contiguous_live_shards() {
+        // Merging shard 1 away leaves live ids {0, 2, 3}: the wire format
+        // must carry the gap (retired ids are never reused) and keep the
+        // shard bound above every surviving owner.
+        let m = PartitionMap::uniform(4).merge_into(1, 0).unwrap();
+        assert_eq!(m.live_shards(), vec![0, 2, 3]);
+        let back = PartitionMap::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.live_shards(), vec![0, 2, 3]);
+        assert_eq!(back.shard_bound(), 4);
+        assert_eq!(back.epoch(), 1);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..500 {
+            let h = rng.next_u64();
+            assert_eq!(back.shard_for_hash(h), m.shard_for_hash(h));
+        }
+    }
 }

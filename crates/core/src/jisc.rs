@@ -589,6 +589,7 @@ pub fn apply_event<S: EventSemantics>(
         Event::Batch(batch) => p.push_batch_with(sem, &batch),
         Event::Columnar(batch) => p.push_columnar_with(sem, &batch),
         Event::Expiry(ts) => p.advance_watermark_with(sem, ts),
+        Event::Watermark(ts) => p.apply_watermark_with(sem, ts),
         Event::MigrationBarrier(spec) => S::apply_barrier(p, &spec),
         Event::Flush => {
             p.run_with(sem);

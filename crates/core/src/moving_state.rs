@@ -59,6 +59,7 @@ impl MovingStateExec {
             Event::Batch(batch) => self.push_batch(&batch),
             Event::Columnar(batch) => self.push_columnar(&batch),
             Event::Expiry(ts) => self.pipe.advance_watermark_with(&mut DefaultSemantics, ts),
+            Event::Watermark(ts) => self.pipe.apply_watermark_with(&mut DefaultSemantics, ts),
             Event::MigrationBarrier(spec) => self.transition_to(&spec),
             Event::Flush => {
                 self.pipe.run_with(&mut DefaultSemantics);

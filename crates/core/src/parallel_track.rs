@@ -150,6 +150,13 @@ impl ParallelTrackExec {
                 self.merge_outputs();
                 Ok(())
             }
+            Event::Watermark(ts) => {
+                for t in &mut self.tracks {
+                    t.pipe.apply_watermark_with(&mut DefaultSemantics, ts)?;
+                }
+                self.merge_outputs();
+                Ok(())
+            }
             Event::MigrationBarrier(spec) => self.transition_to(&spec),
             Event::Flush => {
                 for t in &mut self.tracks {

@@ -136,6 +136,105 @@ fn flush_drains_all_operator_queues_and_is_idempotent() {
 }
 
 #[test]
+fn watermark_is_monotone_idempotent_and_matches_expiry() {
+    // Where a Watermark advances time it has exactly the Expiry effect;
+    // where it regresses or repeats it is an accepted no-op — unlike
+    // Expiry, whose regression is an error.
+    let names = ["R", "S"];
+    let build = || Pipeline::new(timed_catalog(&names, 20), &spec(&names)).unwrap();
+
+    let mut reference = build();
+    let mut ref_sem = JiscSemantics::default();
+    warm(&mut reference, &mut ref_sem, 50, 2, 5);
+    apply_event(&mut reference, &mut ref_sem, Event::Expiry(80)).unwrap();
+
+    let mut pipe = build();
+    let mut sem = JiscSemantics::default();
+    warm(&mut pipe, &mut sem, 50, 2, 5);
+    // Stale watermark: accepted no-op where the same Expiry is an error.
+    let removals_before = pipe.metrics.removals;
+    assert!(apply_event(&mut pipe, &mut sem, Event::Expiry(10)).is_err());
+    apply_event(&mut pipe, &mut sem, Event::Watermark(10)).unwrap();
+    assert_eq!(
+        pipe.metrics.removals, removals_before,
+        "stale watermark expires nothing"
+    );
+
+    apply_event(&mut pipe, &mut sem, Event::Watermark(80)).unwrap();
+    // Repeated and regressing announcements after the advance: no-ops.
+    apply_event(&mut pipe, &mut sem, Event::Watermark(80)).unwrap();
+    apply_event(&mut pipe, &mut sem, Event::Watermark(30)).unwrap();
+    assert_eq!(pipe.watermark(), 80);
+
+    for id in pipe.plan().ids() {
+        assert_eq!(
+            pipe.plan().node(id).state.len(),
+            reference.plan().node(id).state.len(),
+            "watermark and expiry sweeps diverge at node {id:?}"
+        );
+    }
+    assert_eq!(pipe.metrics.removals, reference.metrics.removals);
+    assert_eq!(
+        pipe.output.lineage_multiset(),
+        reference.output.lineage_multiset()
+    );
+}
+
+#[test]
+fn watermark_applies_across_strategies() {
+    // Batches with pinned timestamps, a mid-stream watermark, and a stale
+    // re-announcement, through every strategy facade: all must agree with
+    // a serial pipeline driven by the same events.
+    let names = ["R", "S"];
+    let arrivals: Vec<(u16, u64, u64)> =
+        (0..80u64).map(|i| ((i % 2) as u16, i % 6, i * 2)).collect();
+    let batch_of = |range: std::ops::Range<usize>| {
+        let mut b = TupleBatch::new(range.len());
+        for (i, &(s, k, ts)) in arrivals[range.clone()].iter().enumerate() {
+            let mut t = BatchedTuple::new(StreamId(s), k, (range.start + i) as u64);
+            t.ts = Some(ts);
+            b.push(t).unwrap();
+        }
+        b
+    };
+    let events = |wm: u64| {
+        vec![
+            Event::Batch(batch_of(0..40)),
+            Event::Watermark(wm),
+            Event::Watermark(wm / 4), // stale: must be a no-op everywhere
+            Event::Batch(batch_of(40..80)),
+            Event::Flush,
+        ]
+    };
+
+    // The watermark may reach at most the next batch's first timestamp
+    // (ts = 2 * arrival index), or the resumed stream would regress.
+    let wm = 80;
+    let mut serial = Pipeline::new(timed_catalog(&names, 30), &spec(&names)).unwrap();
+    let mut sem = JiscSemantics::default();
+    for ev in events(wm) {
+        apply_event(&mut serial, &mut sem, ev).unwrap();
+    }
+
+    for strategy in [
+        Strategy::Jisc,
+        Strategy::MovingState,
+        Strategy::ParallelTrack { check_period: 8 },
+    ] {
+        let mut engine =
+            AdaptiveEngine::new(timed_catalog(&names, 30), &spec(&names), strategy).unwrap();
+        for ev in events(wm) {
+            engine.on_event(ev).unwrap();
+        }
+        assert_eq!(
+            engine.output().lineage_multiset(),
+            serial.output.lineage_multiset(),
+            "{strategy:?} diverged under watermarks"
+        );
+    }
+}
+
+#[test]
 fn events_apply_in_stream_order_across_strategies() {
     // Batch → Barrier → Batch → Flush, delivered through the facade: the
     // barrier must take effect exactly between the two batches for every

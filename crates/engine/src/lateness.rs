@@ -1,0 +1,277 @@
+//! Event-time lateness: policy + reordering gate.
+//!
+//! The engine's clocks are strictly monotone — `ingest_at` rejects a
+//! regressing timestamp, because a symmetric join's answer depends on
+//! arrival order. Real sources are not so polite: network fan-in and
+//! per-partition batching scramble arrival order within some bound. This
+//! module is the boundary between the two worlds:
+//!
+//! * [`LatenessPolicy`] says what to do with an out-of-order arrival —
+//!   drop it (counted, never silent) or admit it within a lateness bound.
+//! * [`LatenessGate`] enforces the policy ahead of an engine: arrivals
+//!   within the bound are buffered and re-released in timestamp order
+//!   (so the engine downstream still sees a monotone stream and its
+//!   answer equals the in-order run's answer exactly); arrivals beyond
+//!   the bound are dropped and counted.
+//!
+//! Accounting is an invariant, not a best effort: every tuple offered is
+//! either released, still buffered, or counted in `dropped_late` —
+//! `offered == released + dropped_late + buffered` always holds, which is
+//! what lets a harness assert `ingested + dropped_late == generated`.
+//!
+//! The same [`LatenessPolicy`] can instead be installed directly on a
+//! [`Pipeline`](crate::Pipeline) (see
+//! [`Pipeline::set_lateness_policy`](crate::Pipeline::set_lateness_policy))
+//! for best-effort tolerance without buffering: late tuples are clamped to
+//! the current clock (counted in `late_admitted`) or dropped (counted in
+//! `dropped_late`) instead of erroring. Clamping changes window assignment
+//! relative to a perfectly ordered run, so exactness-sensitive callers
+//! (the sharded router, the chaos harness) use the gate.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What to do with a tuple whose timestamp is behind the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatenessPolicy {
+    /// Zero tolerance: any out-of-order tuple is dropped and counted.
+    Drop,
+    /// Tolerate lateness up to `bound` ticks: a gate buffers and reorders
+    /// within the bound (exact), a pipeline clamps to its clock
+    /// (best-effort); tuples later than the bound are dropped and counted.
+    AdmitWithinBound {
+        /// Maximum tolerated lateness, in timestamp ticks.
+        bound: u64,
+    },
+}
+
+impl LatenessPolicy {
+    /// The lateness tolerated, in ticks (0 for [`LatenessPolicy::Drop`]).
+    pub fn bound(self) -> u64 {
+        match self {
+            LatenessPolicy::Drop => 0,
+            LatenessPolicy::AdmitWithinBound { bound } => bound,
+        }
+    }
+}
+
+/// Lateness accounting; see the module docs for the invariant.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LateStats {
+    /// Tuples offered to the gate.
+    pub offered: u64,
+    /// Tuples released downstream (in timestamp order).
+    pub released: u64,
+    /// Tuples dropped as later than the policy tolerates.
+    pub dropped_late: u64,
+    /// Tuples that arrived out of order but within the bound (admitted,
+    /// re-sorted into place).
+    pub late_admitted: u64,
+}
+
+/// A buffered arrival, ordered by `(ts, arrival)` — the arrival counter
+/// breaks timestamp ties deterministically in offer order.
+#[derive(Debug)]
+struct Held<T> {
+    ts: u64,
+    arrival: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Held<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ts, self.arrival) == (other.ts, other.arrival)
+    }
+}
+impl<T> Eq for Held<T> {}
+impl<T> PartialOrd for Held<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Held<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ts, self.arrival).cmp(&(other.ts, other.arrival))
+    }
+}
+
+/// Bounded-lateness admission gate: buffers out-of-order arrivals and
+/// re-releases them in timestamp order, dropping (and counting) anything
+/// later than the policy's bound. Deterministic: the same offer sequence
+/// always yields the same release sequence and the same drop set.
+///
+/// A release happens once the high-water timestamp has advanced `bound`
+/// ticks past a buffered tuple — at that point no still-admissible arrival
+/// can sort before it. The released stream is therefore monotone in `ts`
+/// (ties released in offer order), and [`LatenessGate::watermark`] — the
+/// highest released timestamp — is a safe event-time frontier for
+/// downstream consumers: every future release is at or above it.
+#[derive(Debug)]
+pub struct LatenessGate<T> {
+    policy: LatenessPolicy,
+    heap: BinaryHeap<Reverse<Held<T>>>,
+    /// High-water offered timestamp.
+    max_ts: u64,
+    /// Highest released timestamp (the release cut; drops are < this).
+    frontier: u64,
+    arrivals: u64,
+    /// Accounting (public: harnesses assert the invariant directly).
+    pub stats: LateStats,
+}
+
+impl<T> LatenessGate<T> {
+    /// An empty gate enforcing `policy`.
+    pub fn new(policy: LatenessPolicy) -> Self {
+        LatenessGate {
+            policy,
+            heap: BinaryHeap::new(),
+            max_ts: 0,
+            frontier: 0,
+            arrivals: 0,
+            stats: LateStats::default(),
+        }
+    }
+
+    /// The enforced policy.
+    pub fn policy(&self) -> LatenessPolicy {
+        self.policy
+    }
+
+    /// Offer one arrival; everything newly releasable is appended to `out`
+    /// as `(ts, item)` in timestamp order. A dropped arrival appends
+    /// nothing and bumps `stats.dropped_late`.
+    pub fn offer(&mut self, ts: u64, item: T, out: &mut Vec<(u64, T)>) {
+        self.stats.offered += 1;
+        if ts < self.frontier {
+            // Older than something already released: beyond recall.
+            self.stats.dropped_late += 1;
+            return;
+        }
+        if ts < self.max_ts {
+            self.stats.late_admitted += 1;
+        }
+        self.max_ts = self.max_ts.max(ts);
+        self.heap.push(Reverse(Held {
+            ts,
+            arrival: self.arrivals,
+            item,
+        }));
+        self.arrivals += 1;
+        let cut = self.max_ts.saturating_sub(self.policy.bound());
+        while self.heap.peek().is_some_and(|Reverse(h)| h.ts <= cut) {
+            let Reverse(h) = self.heap.pop().expect("peeked");
+            self.frontier = self.frontier.max(h.ts);
+            self.stats.released += 1;
+            out.push((h.ts, h.item));
+        }
+    }
+
+    /// End of stream: release everything still buffered, in order.
+    pub fn flush(&mut self, out: &mut Vec<(u64, T)>) {
+        while let Some(Reverse(h)) = self.heap.pop() {
+            self.frontier = self.frontier.max(h.ts);
+            self.stats.released += 1;
+            out.push((h.ts, h.item));
+        }
+    }
+
+    /// Arrivals admitted but not yet released.
+    pub fn buffered(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The event-time frontier: highest released timestamp. Every future
+    /// release is `>=` this, so it is safe to announce downstream as a
+    /// watermark.
+    pub fn watermark(&self) -> u64 {
+        self.frontier
+    }
+
+    /// The accounting invariant: every offered tuple is released, buffered,
+    /// or counted as dropped. Harnesses assert this after a run.
+    pub fn accounted(&self) -> bool {
+        self.stats.offered == self.stats.released + self.stats.dropped_late + self.buffered() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(gate: &mut LatenessGate<u64>, stream: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for &(ts, item) in stream {
+            gate.offer(ts, item, &mut out);
+            assert!(gate.accounted());
+        }
+        gate.flush(&mut out);
+        assert!(gate.accounted());
+        out
+    }
+
+    #[test]
+    fn in_order_stream_passes_through_unchanged() {
+        let mut gate = LatenessGate::new(LatenessPolicy::Drop);
+        let stream: Vec<(u64, u64)> = (0..20).map(|i| (i, i * 10)).collect();
+        assert_eq!(drain(&mut gate, &stream), stream);
+        assert_eq!(gate.stats.dropped_late, 0);
+        assert_eq!(gate.stats.late_admitted, 0);
+    }
+
+    #[test]
+    fn bounded_scramble_is_restored_exactly() {
+        let mut gate = LatenessGate::new(LatenessPolicy::AdmitWithinBound { bound: 3 });
+        // Timestamps 0..10 with displacements <= 3.
+        let scrambled = [2u64, 0, 1, 4, 3, 6, 5, 8, 9, 7];
+        let stream: Vec<(u64, u64)> = scrambled.iter().map(|&ts| (ts, ts)).collect();
+        let out = drain(&mut gate, &stream);
+        let expected: Vec<(u64, u64)> = (0..10).map(|ts| (ts, ts)).collect();
+        assert_eq!(out, expected, "release order is timestamp order");
+        assert_eq!(gate.stats.dropped_late, 0);
+        assert!(gate.stats.late_admitted > 0);
+    }
+
+    #[test]
+    fn beyond_bound_stragglers_are_dropped_and_counted() {
+        let mut gate = LatenessGate::new(LatenessPolicy::AdmitWithinBound { bound: 2 });
+        let mut out = Vec::new();
+        for ts in [5u64, 6, 7, 8, 9] {
+            gate.offer(ts, ts, &mut out);
+        }
+        // 9 - 2 = 7 released; a straggler at 3 is older than the frontier.
+        gate.offer(3, 3, &mut out);
+        assert_eq!(gate.stats.dropped_late, 1);
+        gate.flush(&mut out);
+        let ts_only: Vec<u64> = out.iter().map(|&(ts, _)| ts).collect();
+        assert_eq!(ts_only, vec![5, 6, 7, 8, 9]);
+        assert!(gate.accounted());
+    }
+
+    #[test]
+    fn drop_policy_rejects_any_regression() {
+        let mut gate = LatenessGate::new(LatenessPolicy::Drop);
+        let out = drain(&mut gate, &[(5, 0), (3, 1), (6, 2), (6, 3), (2, 4)]);
+        let ts_only: Vec<u64> = out.iter().map(|&(ts, _)| ts).collect();
+        assert_eq!(ts_only, vec![5, 6, 6], "equal timestamps are admitted");
+        assert_eq!(gate.stats.dropped_late, 2);
+        assert_eq!(gate.stats.late_admitted, 0);
+    }
+
+    #[test]
+    fn ties_release_in_offer_order() {
+        let mut gate = LatenessGate::new(LatenessPolicy::AdmitWithinBound { bound: 4 });
+        let out = drain(&mut gate, &[(7, 0), (7, 1), (5, 2), (7, 3)]);
+        assert_eq!(out, vec![(5, 2), (7, 0), (7, 1), (7, 3)]);
+    }
+
+    #[test]
+    fn watermark_tracks_released_frontier() {
+        let mut gate = LatenessGate::new(LatenessPolicy::AdmitWithinBound { bound: 1 });
+        let mut out = Vec::new();
+        gate.offer(10, (), &mut out);
+        gate.offer(11, (), &mut out);
+        gate.offer(12, (), &mut out);
+        assert_eq!(gate.watermark(), 11, "12 - bound released through 11");
+        assert_eq!(gate.buffered(), 1);
+    }
+}

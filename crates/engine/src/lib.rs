@@ -31,6 +31,7 @@
 pub mod baseline;
 pub mod columnar;
 pub mod explain;
+pub mod lateness;
 pub mod ops;
 pub mod output;
 pub mod pipeline;
@@ -44,6 +45,7 @@ pub mod state;
 pub use baseline::BaselineStore;
 pub use columnar::{KernelCounter, KernelStats};
 pub use explain::{explain, explain_plan};
+pub use lateness::{LateStats, LatenessGate, LatenessPolicy};
 pub use ops::DefaultSemantics;
 pub use output::OutputSink;
 pub use pipeline::{AdoptionOutcome, Pipeline, Semantics};

@@ -96,6 +96,15 @@ pub struct Pipeline {
     pub(crate) next_seq: SeqNo,
     /// Most recent arrival timestamp (monotonicity enforced for push_at).
     pub(crate) last_ts: u64,
+    /// Event-time watermark high-water mark: highest `ts` ever passed to
+    /// [`Pipeline::apply_watermark_with`]. Purely an idempotence filter —
+    /// expiry itself is driven through `last_ts` — and deliberately *not*
+    /// part of the base-state snapshot: after a restore it resets to 0 and
+    /// replayed watermarks are simply re-absorbed as no-ops.
+    pub(crate) watermark: u64,
+    /// Active lateness policy for out-of-order arrivals; `None` means
+    /// strict (a regressing timestamp is an error).
+    pub(crate) lateness: Option<crate::lateness::LatenessPolicy>,
     /// Cached: does any stream use a time-based window?
     pub(crate) has_time_windows: bool,
     pub(crate) last_transition_seq: SeqNo,
@@ -146,6 +155,8 @@ impl Pipeline {
             fresh: vec![Default::default(); n],
             next_seq: 0,
             last_ts: 0,
+            watermark: 0,
+            lateness: None,
             has_time_windows,
             last_transition_seq: 0,
             pending_items: 0,
@@ -239,12 +250,10 @@ impl Pipeline {
                     .into(),
             ));
         }
-        if ts < self.last_ts {
-            return Err(JiscError::InvalidConfig(format!(
-                "timestamps must be monotonic: {ts} < {}",
-                self.last_ts
-            )));
-        }
+        let ts = match self.admit_ts(ts)? {
+            Some(ts) => ts,
+            None => return Ok(()), // late tuple dropped, accounted in metrics
+        };
         self.last_ts = ts;
         let scan = self
             .plan
@@ -486,12 +495,10 @@ impl Pipeline {
             Some(ts) => ts,
             None => self.last_ts.max(self.next_seq),
         };
-        if ts < self.last_ts {
-            return Err(JiscError::InvalidConfig(format!(
-                "timestamps must be monotonic: {ts} < {}",
-                self.last_ts
-            )));
-        }
+        let ts = match self.admit_ts(ts)? {
+            Some(ts) => ts,
+            None => return Ok(()), // late tuple dropped, accounted in metrics
+        };
         self.last_ts = ts;
         let scan = self
             .plan
@@ -827,6 +834,89 @@ impl Pipeline {
         self.expired_scratch = expired;
         self.run_with(sem);
         Ok(())
+    }
+
+    /// Apply an event-time watermark: "no arrival below `ts` will follow".
+    ///
+    /// Unlike [`Pipeline::advance_watermark_with`] — which treats a
+    /// regressing `ts` as a producer bug — a watermark is monotone and
+    /// idempotent by construction: a stale or repeated announcement is an
+    /// accepted no-op. That is what lets several sources with independent
+    /// clocks (or a router min-aligning over per-stream frontiers)
+    /// re-announce frontiers freely without coordinating. Where the
+    /// watermark does advance past the arrival clock it has exactly the
+    /// expiry effect of [`Pipeline::advance_watermark_with`].
+    pub fn apply_watermark_with(&mut self, sem: &mut impl Semantics, ts: u64) -> Result<()> {
+        if ts <= self.watermark {
+            return Ok(()); // stale or repeated: idempotent no-op
+        }
+        self.watermark = ts;
+        if ts < self.last_ts {
+            // Behind the arrival clock: every expiry it could trigger has
+            // already happened. Record the frontier and move on.
+            return Ok(());
+        }
+        self.advance_watermark_with(sem, ts)
+    }
+
+    /// Highest watermark ever applied (0 if none).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// The arrival clock: timestamp of the most recent arrival (or the
+    /// highest expiry/watermark applied past it).
+    pub fn last_ts(&self) -> u64 {
+        self.last_ts
+    }
+
+    // ----- lateness policy -----
+
+    /// Install (or clear, with `None`) the lateness policy applied to
+    /// out-of-order arrivals. With no policy a regressing timestamp is an
+    /// error; see [`crate::lateness`] for the policy semantics and why
+    /// this in-place form is best-effort (exactness-sensitive callers put
+    /// a [`crate::lateness::LatenessGate`] in front instead).
+    pub fn set_lateness_policy(&mut self, policy: Option<crate::lateness::LatenessPolicy>) {
+        self.lateness = policy;
+    }
+
+    /// The active lateness policy, if any.
+    pub fn lateness_policy(&self) -> Option<crate::lateness::LatenessPolicy> {
+        self.lateness
+    }
+
+    /// Admit, clamp, or reject an arrival timestamp against the clock
+    /// under the active lateness policy. Returns the effective timestamp
+    /// to ingest at, or `None` when the tuple is dropped as late (counted
+    /// in `metrics.dropped_late`; callers skip the tuple entirely, so a
+    /// seq pinned via `set_next_seq` is simply not consumed).
+    fn admit_ts(&mut self, ts: u64) -> Result<Option<u64>> {
+        if ts >= self.last_ts {
+            return Ok(Some(ts));
+        }
+        match self.lateness {
+            None => Err(JiscError::InvalidConfig(format!(
+                "timestamps must be monotonic: {ts} < {}",
+                self.last_ts
+            ))),
+            Some(crate::lateness::LatenessPolicy::Drop) => {
+                self.metrics.dropped_late += 1;
+                Ok(None)
+            }
+            Some(crate::lateness::LatenessPolicy::AdmitWithinBound { bound }) => {
+                if self.last_ts - ts <= bound {
+                    // Clamp to the clock: the tuple joins the present. Its
+                    // window placement differs from a perfectly ordered
+                    // run's — accounted, best-effort degradation.
+                    self.metrics.late_admitted += 1;
+                    Ok(Some(self.last_ts))
+                } else {
+                    self.metrics.dropped_late += 1;
+                    Ok(None)
+                }
+            }
+        }
     }
 
     // ----- helpers used by operator semantics -----

@@ -174,8 +174,15 @@ impl<T> Sender<T> {
     }
 
     /// Block at most `timeout` waiting for room, then enqueue.
+    ///
+    /// The absolute deadline is computed once up front, so spurious condvar
+    /// wakeups (and notify storms) never extend the wait — each wake
+    /// re-checks the remaining time against the same deadline. A `timeout`
+    /// too large to represent as an `Instant` (e.g. `Duration::MAX`)
+    /// degrades to an untimed [`Sender::send`]-style wait instead of
+    /// panicking on `Instant` overflow.
     pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut q = self.shared.lock_queue();
         loop {
             if !q.receiver_alive {
@@ -186,19 +193,29 @@ impl<T> Sender<T> {
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
-            let Some(left) = deadline
-                .checked_duration_since(Instant::now())
-                .filter(|d| !d.is_zero())
-            else {
-                return Err(SendTimeoutError::Timeout(value));
+            q = match deadline {
+                Some(deadline) => {
+                    let Some(left) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        return Err(SendTimeoutError::Timeout(value));
+                    };
+                    let (guard, _timed_out) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(q, left)
+                        .unwrap_or_else(|e| e.into_inner());
+                    // Loop re-checks state and deadline; spurious wakeups
+                    // are fine.
+                    guard
+                }
+                None => self
+                    .shared
+                    .not_full
+                    .wait(q)
+                    .unwrap_or_else(|e| e.into_inner()),
             };
-            let (guard, _timed_out) = self
-                .shared
-                .not_full
-                .wait_timeout(q, left)
-                .unwrap_or_else(|e| e.into_inner());
-            // Loop re-checks state and deadline; spurious wakeups are fine.
-            q = guard;
         }
     }
 }
@@ -259,8 +276,12 @@ impl<T> Receiver<T> {
     }
 
     /// Block at most `timeout` for a value.
+    ///
+    /// Same deadline discipline as [`Sender::send_timeout`]: one absolute
+    /// deadline, re-checked on every wake, and an unrepresentable deadline
+    /// degrades to an untimed wait instead of panicking.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut q = self.shared.lock_queue();
         loop {
             if let Some(v) = q.items.pop_front() {
@@ -270,18 +291,27 @@ impl<T> Receiver<T> {
             if q.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            let Some(left) = deadline
-                .checked_duration_since(Instant::now())
-                .filter(|d| !d.is_zero())
-            else {
-                return Err(RecvTimeoutError::Timeout);
+            q = match deadline {
+                Some(deadline) => {
+                    let Some(left) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        return Err(RecvTimeoutError::Timeout);
+                    };
+                    let (guard, _timed_out) = self
+                        .shared
+                        .not_empty
+                        .wait_timeout(q, left)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard
+                }
+                None => self
+                    .shared
+                    .not_empty
+                    .wait(q)
+                    .unwrap_or_else(|e| e.into_inner()),
             };
-            let (guard, _timed_out) = self
-                .shared
-                .not_empty
-                .wait_timeout(q, left)
-                .unwrap_or_else(|e| e.into_inner());
-            q = guard;
         }
     }
 }
@@ -435,6 +465,78 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         drop(rx);
         assert_eq!(t.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn wakeup_storm_does_not_extend_the_send_deadline() {
+        // A thread hammering the condvar produces a stream of (from the
+        // waiter's perspective) spurious wakeups. The absolute deadline
+        // must still bound the wait from both sides.
+        let (tx, _rx) = bounded(1);
+        tx.send(0).unwrap(); // full: send_timeout must wait, then expire
+        let storm_tx = tx.clone();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let storm = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                storm_tx.shared.not_full.notify_all();
+                std::thread::yield_now();
+            }
+        });
+        let timeout = Duration::from_millis(60);
+        let start = Instant::now();
+        assert_eq!(
+            tx.send_timeout(1, timeout),
+            Err(SendTimeoutError::Timeout(1))
+        );
+        let elapsed = start.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        storm.join().unwrap();
+        assert!(elapsed >= timeout, "woke early: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "wakeups reset the deadline: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn wakeup_storm_does_not_extend_the_recv_deadline() {
+        let (tx, rx) = bounded::<u8>(1);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let storm_shared = Arc::clone(&tx.shared);
+        let storm = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                storm_shared.not_empty.notify_all();
+                std::thread::yield_now();
+            }
+        });
+        let timeout = Duration::from_millis(60);
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(timeout), Err(RecvTimeoutError::Timeout));
+        let elapsed = start.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        storm.join().unwrap();
+        assert!(elapsed >= timeout, "woke early: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "wakeups reset the deadline: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn maximal_timeouts_do_not_panic() {
+        // Duration::MAX overflows Instant arithmetic; it must behave as an
+        // unbounded wait that still observes queue state and disconnects.
+        let (tx, rx) = bounded(1);
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(5));
+        tx.send(6).unwrap();
+        let t = std::thread::spawn(move || tx.send_timeout(7, Duration::MAX));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(6)); // makes room; the blocked send lands
+        assert_eq!(t.join().unwrap(), Ok(()));
+        assert_eq!(rx.recv(), Ok(7));
     }
 
     #[test]

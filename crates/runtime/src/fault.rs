@@ -48,6 +48,24 @@ pub enum FaultAction {
         /// Tuple position that triggers the drop.
         at: u64,
     },
+    /// Deliver the matching batch twice (an at-least-once transport
+    /// re-delivering after a lost ack). The worker's delivery guard must
+    /// drop the duplicate by sequence number.
+    DuplicateAt {
+        /// Target shard.
+        shard: usize,
+        /// Tuple position that triggers the duplicate delivery.
+        at: u64,
+    },
+    /// Hold the matching batch back and deliver it *after* the next data
+    /// event (a transport that reorders adjacent messages). The worker's
+    /// delivery guard must heal the swap before either reaches the engine.
+    ReorderAt {
+        /// Target shard.
+        shard: usize,
+        /// Tuple position that triggers the reorder.
+        at: u64,
+    },
 }
 
 impl FaultAction {
@@ -55,7 +73,9 @@ impl FaultAction {
         match *self {
             FaultAction::PanicAt { shard, .. }
             | FaultAction::DelayAt { shard, .. }
-            | FaultAction::DropBatchAt { shard, .. } => shard,
+            | FaultAction::DropBatchAt { shard, .. }
+            | FaultAction::DuplicateAt { shard, .. }
+            | FaultAction::ReorderAt { shard, .. } => shard,
         }
     }
 
@@ -63,7 +83,9 @@ impl FaultAction {
         match *self {
             FaultAction::PanicAt { at, .. }
             | FaultAction::DelayAt { at, .. }
-            | FaultAction::DropBatchAt { at, .. } => at,
+            | FaultAction::DropBatchAt { at, .. }
+            | FaultAction::DuplicateAt { at, .. }
+            | FaultAction::ReorderAt { at, .. } => at,
         }
     }
 }
@@ -100,6 +122,18 @@ impl FaultPlan {
         self
     }
 
+    /// Script a duplicate delivery on `shard` at tuple position `at`.
+    pub fn duplicate_at(mut self, shard: usize, at: u64) -> Self {
+        self.actions.push(FaultAction::DuplicateAt { shard, at });
+        self
+    }
+
+    /// Script a reordered delivery on `shard` at tuple position `at`.
+    pub fn reorder_at(mut self, shard: usize, at: u64) -> Self {
+        self.actions.push(FaultAction::ReorderAt { shard, at });
+        self
+    }
+
     /// True when nothing is scripted.
     pub fn is_empty(&self) -> bool {
         self.actions.is_empty()
@@ -115,6 +149,10 @@ pub enum Triggered {
     DelayMillis(u64),
     /// Skip this batch entirely.
     DropBatch,
+    /// Process this batch, then deliver a clone of it again.
+    Duplicate,
+    /// Hold this batch back; deliver it after the next data event.
+    Reorder,
 }
 
 /// Shared, thread-safe dispenser of scripted faults. One injector is shared
@@ -160,6 +198,8 @@ impl FaultInjector {
             FaultAction::PanicAt { .. } => Triggered::Panic,
             FaultAction::DelayAt { millis, .. } => Triggered::DelayMillis(millis),
             FaultAction::DropBatchAt { .. } => Triggered::DropBatch,
+            FaultAction::DuplicateAt { .. } => Triggered::Duplicate,
+            FaultAction::ReorderAt { .. } => Triggered::Reorder,
         })
     }
 }
@@ -270,6 +310,15 @@ mod tests {
             inj.trigger(2, &batch(1), 0),
             Some(Triggered::DelayMillis(25))
         );
+    }
+
+    #[test]
+    fn duplicate_and_reorder_trigger_once() {
+        let inj = FaultInjector::new(FaultPlan::new().duplicate_at(0, 4).reorder_at(1, 4));
+        assert_eq!(inj.trigger(0, &batch(8), 0), Some(Triggered::Duplicate));
+        assert_eq!(inj.trigger(0, &batch(8), 0), None, "one-shot");
+        assert_eq!(inj.trigger(1, &batch(8), 0), Some(Triggered::Reorder));
+        assert_eq!(inj.armed(), 0);
     }
 
     #[test]

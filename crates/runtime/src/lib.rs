@@ -354,7 +354,10 @@ fn worker_loop(
                     Event::Batch(b) => (b.len() as u64, false),
                     Event::Columnar(b) => (b.len() as u64, false),
                     Event::MigrationBarrier(_) => (0, true),
-                    Event::Expiry(_) | Event::Flush | Event::Repartition(_) => (0, false),
+                    Event::Expiry(_)
+                    | Event::Watermark(_)
+                    | Event::Flush
+                    | Event::Repartition(_) => (0, false),
                 };
                 arrivals.iter_mut().for_each(|c| *c = 0);
                 match &ev {

@@ -103,12 +103,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use jisc_common::{
-    ColumnarBatch, Event, FxHashSet, JiscError, Key, KeyRange, Metrics, PartitionMap, Result,
-    SeqNo, StreamId, WorkerFault,
+    ColumnarBatch, Event, FxHashMap, FxHashSet, JiscError, Key, KeyRange, Metrics, PartitionMap,
+    Result, SeqNo, StreamId, WorkerFault,
 };
 use jisc_core::migrate::{verify_reorderable, verify_same_query};
 use jisc_engine::plan::Plan;
-use jisc_engine::{BaseRangeExport, Catalog, OpKind, OutputSink, PlanSpec, Predicate};
+use jisc_engine::{
+    BaseRangeExport, Catalog, LatenessGate, LatenessPolicy, OpKind, OutputSink, PlanSpec, Predicate,
+};
 
 use crate::chan;
 use crate::fault::{payload_string, FaultInjector, FaultPlan};
@@ -177,6 +179,25 @@ pub struct ShardedConfig {
     pub overload: OverloadPolicy,
     /// Scripted faults (tests and recovery benchmarks); empty = none.
     pub faults: FaultPlan,
+    /// Lateness policy for out-of-order [`ShardedExecutor::push_at`]
+    /// arrivals. `None` (the default) keeps the strict contract — a
+    /// regressing timestamp is an error. With a policy installed the
+    /// router runs a [`LatenessGate`] ahead of routing: arrivals within
+    /// the bound are buffered and re-released in timestamp order (shards
+    /// still see a monotone stream, so the merged output equals the
+    /// in-order run's over the admitted set), arrivals beyond it are
+    /// dropped and counted in the report's `dropped_late`.
+    pub lateness: Option<LatenessPolicy>,
+    /// Broadcast a min-aligned event-time [`Event::Watermark`] to every
+    /// live shard each time this many tuples have been routed (`0`, the
+    /// default, disables). The watermark is the minimum of the per-stream
+    /// routed-timestamp frontiers, so sharded window expiry advances by
+    /// event time even on shards whose partition has gone quiet.
+    pub watermark_every: u64,
+    /// Sample ingest-to-emit latency on every routed tuple whose global
+    /// sequence number is a multiple of this (`0`, the default, disables).
+    /// Sampled per-tuple latencies appear in the report's `latencies`.
+    pub latency_sample_every: u64,
 }
 
 impl ShardedConfig {
@@ -219,6 +240,9 @@ impl ShardedConfig {
             max_recoveries: 4,
             overload: OverloadPolicy::Block,
             faults: FaultPlan::new(),
+            lateness: None,
+            watermark_every: 0,
+            latency_sample_every: 0,
         }
     }
 }
@@ -301,6 +325,27 @@ pub struct ShardedReport {
     pub partition_epoch: u64,
     /// Window tuples shipped source → target across all rescales.
     pub migrated_tuples: u64,
+    /// Tuples rejected as late (router gate + engine policies combined).
+    /// Never silently lost: `events + dropped_late` equals the tuples
+    /// offered to the executor.
+    pub dropped_late: u64,
+    /// Out-of-order tuples admitted within the lateness bound.
+    pub late_admitted: u64,
+    /// Final min-aligned event-time watermark broadcast (0 if watermarks
+    /// were disabled or never aligned).
+    pub watermark: u64,
+    /// Last watermark delivered to each shard slot (0 for shards retired
+    /// before the first broadcast).
+    pub watermarks_by_shard: Vec<u64>,
+    /// Sampled ingest-to-emit latencies: `(global seq, router-send →
+    /// worker-applied)` for every sampled tuple that survived to a final
+    /// worker incarnation, ascending by seq. Empty unless
+    /// [`ShardedConfig::latency_sample_every`] was set.
+    pub latencies: Vec<(SeqNo, Duration)>,
+    /// Duplicate deliveries dropped by the workers' delivery guards.
+    pub dup_deliveries_dropped: u64,
+    /// Reordered deliveries healed back into sequence order by the guards.
+    pub reorders_healed: u64,
 }
 
 impl ShardedReport {
@@ -328,10 +373,21 @@ impl ShardedReport {
                 self.probes_by_shard.get(i).copied().unwrap_or(0),
             );
         }
-        let _ = write!(
+        let _ = writeln!(
             s,
             "  totals: shed {} | send timeouts {} | checkpoints {} | recoveries {}",
             self.shed_tuples, self.send_timeouts, self.checkpoints, self.recoveries,
+        );
+        let _ = write!(
+            s,
+            "  event time: watermark {} | dropped late {} | late admitted {} | latency samples {} \
+             | dup deliveries dropped {} | reorders healed {}",
+            self.watermark,
+            self.dropped_late,
+            self.late_admitted,
+            self.latencies.len(),
+            self.dup_deliveries_dropped,
+            self.reorders_healed,
         );
         s
     }
@@ -493,6 +549,25 @@ pub struct ShardedExecutor {
     /// Cumulative probes per shard as of its last checkpoint (live signal;
     /// the final report uses each shard's final metrics instead).
     probes_by_shard: Vec<u64>,
+    // --- event-time + latency state ---
+    /// Router-side lateness gate (present when [`ShardedConfig::lateness`]
+    /// is set): re-sorts bounded disorder before sharding so routed
+    /// traffic is globally timestamp-ordered.
+    gate: Option<LatenessGate<(StreamId, Key, u64)>>,
+    /// Reused drain buffer for gate releases (avoids a per-push alloc).
+    gate_scratch: Vec<(u64, (StreamId, Key, u64))>,
+    /// Highest routed timestamp per stream; their min is the aligned
+    /// watermark no future arrival on any stream can regress below.
+    stream_frontiers: Vec<u64>,
+    /// Last aligned watermark broadcast to the shards.
+    watermark: u64,
+    /// Last watermark delivered per shard slot.
+    shard_watermarks: Vec<u64>,
+    /// Tuples routed since the last watermark broadcast.
+    since_watermark: u64,
+    /// Router-side send instants for sampled sequence numbers, joined with
+    /// worker-side apply instants in `finish`.
+    latency_sends: Vec<(SeqNo, Instant)>,
 }
 
 /// True if hash partitioning by key preserves the plan's semantics: every
@@ -573,6 +648,7 @@ impl ShardedExecutor {
                 spec: spec.clone(),
                 injector: Arc::clone(&injector),
                 ctrl: ctrl_tx.clone(),
+                latency_sample_every: config.latency_sample_every,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("jisc-shard-{i}"))
@@ -581,6 +657,7 @@ impl ShardedExecutor {
             txs.push(Some(tx));
             workers.push(Some(handle));
         }
+        let catalog_len = catalog.len();
         Ok(ShardedExecutor {
             txs,
             workers,
@@ -622,6 +699,13 @@ impl ShardedExecutor {
             shed_by_shard: vec![0; n],
             send_timeouts: 0,
             probes_by_shard: vec![0; n],
+            gate: config.lateness.map(LatenessGate::new),
+            gate_scratch: Vec::new(),
+            stream_frontiers: vec![0; catalog_len],
+            watermark: 0,
+            shard_watermarks: vec![0; n],
+            since_watermark: 0,
+            latency_sends: Vec::new(),
             config,
         })
     }
@@ -689,7 +773,16 @@ impl ShardedExecutor {
         self.push_at(stream, key, payload, ts)
     }
 
-    /// Route one arrival at an explicit timestamp (monotonicity enforced).
+    /// Route one arrival at an explicit timestamp.
+    ///
+    /// Without a [`ShardedConfig::lateness`] policy timestamps must be
+    /// monotone, exactly as before. With one, arrivals may be out of order:
+    /// the router's [`LatenessGate`] re-sorts them within the policy's
+    /// bound before routing (so shards still see a timestamp-ordered
+    /// stream) and drops-and-counts anything later than the bound. Dropped
+    /// tuples consume no sequence number and appear in the final report's
+    /// `dropped_late`, keeping `offered == events + dropped_late +
+    /// buffered` at all times.
     pub fn push_at(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
         if stream.0 as usize >= self.catalog.len() {
             return Err(JiscError::UnknownStream(format!(
@@ -697,6 +790,22 @@ impl ShardedExecutor {
                 stream.0
             )));
         }
+        let Some(gate) = self.gate.as_mut() else {
+            return self.route_stamped(stream, key, payload, ts);
+        };
+        let mut out = std::mem::take(&mut self.gate_scratch);
+        gate.offer(ts, (stream, key, payload), &mut out);
+        let result = out.drain(..).try_for_each(|(ts, (stream, key, payload))| {
+            self.route_stamped(stream, key, payload, ts)
+        });
+        self.gate_scratch = out;
+        result
+    }
+
+    /// Route one in-order arrival: stamp it with the global clocks and
+    /// stage it on its owner shard. Callers guarantee `ts` is monotone
+    /// (the gate re-orders; the ungated path forwards caller order).
+    fn route_stamped(&mut self, stream: StreamId, key: Key, payload: u64, ts: u64) -> Result<()> {
         if ts < self.last_ts {
             return Err(JiscError::Internal(format!(
                 "timestamps must be monotone: {ts} < {}",
@@ -709,12 +818,45 @@ impl ShardedExecutor {
         let s = self.pmap.shard_for_key(key);
         self.events += 1;
         self.shard_events[s] += 1;
+        self.stream_frontiers[stream.0 as usize] = self.stream_frontiers[stream.0 as usize].max(ts);
         self.batches[s]
             .push_stamped(stream, key, payload, Some(ts), Some(seq))
             .expect("staging batch is cut on full");
         if self.batches[s].is_full() {
             self.flush(s)?;
         }
+        if self.config.watermark_every > 0 {
+            self.since_watermark += 1;
+            if self.since_watermark >= self.config.watermark_every {
+                self.advance_watermarks()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Broadcast the min-aligned event-time watermark: the smallest
+    /// per-stream routed frontier, which no future arrival on any stream
+    /// can regress below (gated traffic releases in timestamp order;
+    /// ungated traffic is monotone by contract). Staged batches are
+    /// flushed first so the watermark lands after every tuple it covers;
+    /// shards apply it as a monotone, idempotent expiry sweep, which makes
+    /// the broadcast safe to replay during recovery.
+    fn advance_watermarks(&mut self) -> Result<()> {
+        self.since_watermark = 0;
+        let Some(aligned) = self.stream_frontiers.iter().copied().min() else {
+            return Ok(());
+        };
+        if aligned <= self.watermark {
+            return Ok(());
+        }
+        self.flush_all()?;
+        for s in 0..self.txs.len() {
+            if self.txs[s].is_some() {
+                self.send_event(s, Event::Watermark(aligned))?;
+                self.shard_watermarks[s] = aligned;
+            }
+        }
+        self.watermark = aligned;
         Ok(())
     }
 
@@ -764,6 +906,8 @@ impl ShardedExecutor {
             let s = route[i] as usize;
             self.events += 1;
             self.shard_events[s] += 1;
+            let f = &mut self.stream_frontiers[streams[i].0 as usize];
+            *f = (*f).max(ts);
             self.batches[s]
                 .push_stamped(streams[i], keys[i], payloads[i], Some(ts), Some(seq))
                 .expect("staging batch is cut on full");
@@ -775,6 +919,12 @@ impl ShardedExecutor {
             }
         }
         self.route_scratch = route;
+        if self.config.watermark_every > 0 {
+            self.since_watermark += batch.len() as u64;
+            if self.since_watermark >= self.config.watermark_every {
+                self.advance_watermarks()?;
+            }
+        }
         Ok(())
     }
 
@@ -924,11 +1074,35 @@ impl ShardedExecutor {
                 Ok(ToRouter::Fault(f)) => {
                     let shard = f.shard;
                     self.faults.push(f);
-                    self.reap(shard);
-                    self.respawn(shard)?;
+                    // Recover only if the named worker is actually down:
+                    // the health sweep below may already have replaced the
+                    // faulted incarnation, and reaping its healthy
+                    // successor would spin forever waiting for a live
+                    // thread to finish.
+                    if self.workers[shard].as_ref().is_none_or(|h| h.is_finished()) {
+                        self.reap(shard);
+                        self.respawn(shard)?;
+                    }
                 }
                 Ok(ToRouter::Checkpoint(c)) => self.apply_checkpoint(c),
-                Err(_) => {} // timeout: re-check; the router owns a sender, so never disconnected
+                Err(_) => {
+                    // Timeout tick: sweep for shards that died *before*
+                    // this loop with their fault already consumed by a
+                    // `poll_ctrl` (which records faults but does not
+                    // recover). Nothing else sends to a shard while the
+                    // router waits here, so without this sweep a
+                    // pre-loop death — e.g. a panic landing on the very
+                    // batch the rescale's flush pushed — parks the
+                    // export handshake forever.
+                    for s in 0..self.workers.len() {
+                        let dead = self.txs[s].is_some()
+                            && self.workers[s].as_ref().is_none_or(|h| h.is_finished());
+                        if dead {
+                            self.reap(s);
+                            self.respawn(s)?;
+                        }
+                    }
+                }
             }
         }
         // Shards owning nothing under the new map are done: close their
@@ -1016,6 +1190,7 @@ impl ShardedExecutor {
             self.peak_queue.push(0);
             self.shed_by_shard.push(0);
             self.probes_by_shard.push(0);
+            self.shard_watermarks.push(0);
             self.spawn_spec.push(self.current_spec.clone());
         }
         if self.txs[s].is_some() || self.workers[s].is_some() {
@@ -1036,6 +1211,7 @@ impl ShardedExecutor {
             spec: self.current_spec.clone(),
             injector: Arc::clone(&self.injector),
             ctrl: self.ctrl_tx.clone(),
+            latency_sample_every: self.config.latency_sample_every,
         };
         let handle = std::thread::Builder::new()
             .name(format!("jisc-shard-{s}"))
@@ -1058,6 +1234,16 @@ impl ShardedExecutor {
     /// final events are recovered here too — a panic mid-stream or
     /// mid-drain never loses the run.
     pub fn finish(mut self) -> Result<ShardedReport> {
+        // End of stream: everything still held by the lateness gate is now
+        // releasable — route it in timestamp order before the final flush.
+        let mut released = std::mem::take(&mut self.gate_scratch);
+        if let Some(gate) = self.gate.as_mut() {
+            gate.flush(&mut released);
+        }
+        for (ts, (stream, key, payload)) in released.drain(..) {
+            self.route_stamped(stream, key, payload, ts)?;
+        }
+        self.gate_scratch = released;
         self.flush_all()?;
         // Final punctuation: drain any residual operator queues before the
         // workers snapshot their results. Retired shards were already
@@ -1090,12 +1276,39 @@ impl ShardedExecutor {
         let mut incomplete = 0;
         let mut probes_by_shard = Vec::with_capacity(n);
         let mut sinks = std::mem::take(&mut self.saved);
+        let mut applied: FxHashMap<SeqNo, Instant> = FxHashMap::default();
+        let (mut dup_dropped, mut reorders_healed) = (0, 0);
         for r in results {
             metrics.merge(&r.metrics);
             incomplete += r.incomplete_states;
             probes_by_shard.push(r.metrics.probes);
             sinks.push(r.output);
+            applied.extend(r.latency_marks);
+            dup_dropped += r.dup_deliveries_dropped;
+            reorders_healed += r.reorders_healed;
         }
+        // Join router send marks with worker apply marks. Samples from
+        // incarnations that faulted are absent (their ShardResult died with
+        // them); samples that survived a replay measure genuine
+        // recovery-inclusive latency against the original send instant.
+        let mut latencies: Vec<(SeqNo, Duration)> = self
+            .latency_sends
+            .drain(..)
+            .filter_map(|(seq, sent)| {
+                applied
+                    .get(&seq)
+                    .map(|done| (seq, done.saturating_duration_since(sent)))
+            })
+            .collect();
+        latencies.sort_unstable_by_key(|&(seq, _)| seq);
+        let (gate_dropped, gate_admitted) = self
+            .gate
+            .as_ref()
+            .map_or((0, 0), |g| (g.stats.dropped_late, g.stats.late_admitted));
+        let (dropped_late, late_admitted) = (
+            gate_dropped + metrics.dropped_late,
+            gate_admitted + metrics.late_admitted,
+        );
         let output = OutputSink::merged(sinks);
         Ok(ShardedReport {
             events: self.events,
@@ -1120,6 +1333,13 @@ impl ShardedExecutor {
             rescales: self.rescales,
             partition_epoch: self.pmap.epoch(),
             migrated_tuples: self.migrated_tuples,
+            dropped_late,
+            late_admitted,
+            watermark: self.watermark,
+            watermarks_by_shard: self.shard_watermarks.clone(),
+            latencies,
+            dup_deliveries_dropped: dup_dropped,
+            reorders_healed,
         })
     }
 
@@ -1130,6 +1350,20 @@ impl ShardedExecutor {
         }
         let batch = std::mem::replace(&mut self.batches[s], ColumnarBatch::new(BATCH));
         let len = batch.len() as u64;
+        if self.config.latency_sample_every > 0 {
+            // One send instant covers the whole batch: sampled seqs were
+            // staged at most `BATCH` pushes ago, and the queue wait this
+            // measures starts here.
+            let now = Instant::now();
+            let every = self.config.latency_sample_every;
+            for i in 0..batch.len() {
+                if let Some(seq) = batch.seq_at(i) {
+                    if seq % every == 0 {
+                        self.latency_sends.push((seq, now));
+                    }
+                }
+            }
+        }
         self.send_event(s, Event::Columnar(batch))?;
         if self.config.checkpoint_every > 0 {
             self.since_ckpt[s] += len;
@@ -1366,6 +1600,7 @@ impl ShardedExecutor {
                 spec,
                 injector: Arc::clone(&self.injector),
                 ctrl: self.ctrl_tx.clone(),
+                latency_sample_every: self.config.latency_sample_every,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("jisc-shard-{s}"))
@@ -1954,6 +2189,107 @@ mod tests {
     }
 
     #[test]
+    fn repartition_events_survive_checkpoint_and_replay() {
+        // A worker that crashes *after* an epoch cut must re-apply the
+        // Event::Repartition from its replay buffer (checkpoint-less full
+        // replay) or resume beyond it (post-rescale checkpoint) — either
+        // way the restored shard must agree with the router about range
+        // ownership, or routed keys would silently miss their state.
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        for checkpoint_every in [0u64, 96] {
+            let mut exec = ShardedExecutor::spawn_with(
+                timed_catalog(&["R", "S", "T"], 40),
+                &spec,
+                ShardedConfig {
+                    shards: 2,
+                    queue_capacity: 64,
+                    checkpoint_every,
+                    // Shard 0 crosses local position 200 well after the
+                    // split at global position 300: the panic lands in the
+                    // post-rescale suffix.
+                    faults: FaultPlan::new().panic_at(0, 200),
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap();
+            for &(s, k, p) in &events[..300] {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            exec.split_hot_key(3).unwrap();
+            for &(s, k, p) in &events[300..] {
+                exec.push(StreamId(s), k, p).unwrap();
+            }
+            let report = exec.finish().unwrap();
+            assert!(
+                report.recoveries >= 1,
+                "ckpt {checkpoint_every}: the scripted post-rescale panic must fire"
+            );
+            assert!(report.replayed_events > 0);
+            assert_eq!(report.rescales, 1);
+            assert_eq!(report.partition_epoch, 1);
+            assert_eq!(
+                report.output.lineage_multiset(),
+                serial.output.lineage_multiset(),
+                "ckpt {checkpoint_every}: recovery across the epoch cut diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn rescale_recovers_a_worker_that_dies_on_the_rescales_own_flush() {
+        // Regression: a panic landing on the very batch `apply_map`'s
+        // flush_all pushes kills the export *source* before the export
+        // wait loop starts. Its fault message can be consumed by an
+        // earlier `poll_ctrl` (which records faults but does not
+        // recover), and nothing else sends to a shard while the router
+        // waits for its export — only the wait loop's health sweep
+        // brings the source back to serve the handshake. Without the
+        // sweep this test deadlocks whenever the worker's fault loses
+        // the race with the export send.
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let hot = 3u64;
+        let owner = PartitionMap::uniform(2).shard_for_key(hot);
+        let events: Vec<(u16, Key, u64)> = (0..200u64).map(|i| ((i % 3) as u16, hot, i)).collect();
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        let mut exec = ShardedExecutor::spawn_with(
+            timed_catalog(&["R", "S", "T"], 40),
+            &spec,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 64,
+                // Every tuple routes to `owner` (one hot key); batches of
+                // 64 flush at positions 64 and 128, so the staged 2-tuple
+                // batch covering positions 129..=130 is delivered by the
+                // rescale's own flush — and dies there.
+                faults: FaultPlan::new().panic_at(owner, 130),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        for &(s, k, p) in &events[..130] {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let target = exec.split_hot_key(hot).unwrap();
+        assert_eq!(target, 2, "split spawns a fresh shard");
+        for &(s, k, p) in &events[130..] {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let report = exec.finish().unwrap();
+        assert!(
+            report.recoveries >= 1,
+            "the flush-batch panic must fire and recover"
+        );
+        assert_eq!(report.rescales, 1);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            serial.output.lineage_multiset(),
+            "recovery inside the rescale handshake diverged"
+        );
+    }
+
+    #[test]
     fn rescale_composes_with_plan_transition() {
         let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
         let new_spec = PlanSpec::left_deep(&["T", "S", "R"], JoinStyle::Hash);
@@ -2069,6 +2405,192 @@ mod tests {
         assert!(
             matches!(err, JiscError::SendTimeout { .. }),
             "expected SendTimeout, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reordered_deliveries_are_healed() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 64,
+                faults: FaultPlan::new()
+                    .duplicate_at(0, 50)
+                    .duplicate_at(1, 80)
+                    .reorder_at(0, 150)
+                    .reorder_at(1, 200),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.faults.len(), 0, "misdeliveries are not crashes");
+        assert_eq!(report.dup_deliveries_dropped, 2, "both duplicates dropped");
+        assert_eq!(report.reorders_healed, 2, "both reorders healed");
+        assert_eq!(
+            report.output.lineage_multiset(),
+            serial.output.lineage_multiset(),
+            "guarded misdeliveries must not change the output"
+        );
+    }
+
+    #[test]
+    fn misdeliveries_compose_with_crash_recovery() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 64,
+                checkpoint_every: 128,
+                faults: FaultPlan::new()
+                    .duplicate_at(0, 40)
+                    .reorder_at(1, 60)
+                    .panic_at(0, 120)
+                    .panic_at(1, 150),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 2);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            serial.output.lineage_multiset(),
+            "crashes layered on misdeliveries must still converge"
+        );
+    }
+
+    // --- event time: watermarks, lateness, latency ---
+
+    #[test]
+    fn aligned_watermarks_drive_expiry_without_changing_lineage() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        let mut exec = ShardedExecutor::spawn_with(
+            timed_catalog(&["R", "S", "T"], 40),
+            &spec,
+            ShardedConfig {
+                shards: 4,
+                queue_capacity: 64,
+                watermark_every: 64,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        for &(s, k, p) in &events {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let report = exec.finish().unwrap();
+        assert!(
+            report.watermark > 0,
+            "600 arrivals at cadence 64 must broadcast watermarks"
+        );
+        for (s, &wm) in report.watermarks_by_shard.iter().enumerate() {
+            assert_eq!(wm, report.watermark, "shard {s} missed the broadcast");
+        }
+        assert_eq!(report.dropped_late, 0);
+        assert_eq!(
+            report.output.lineage_multiset(),
+            serial.output.lineage_multiset(),
+            "watermark sweeps must expire exactly what arrival-driven sweeps do"
+        );
+    }
+
+    #[test]
+    fn lateness_gate_restores_bounded_disorder_to_serial_lineage() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        // In-order reference: ts = arrival index.
+        let events = arrivals(600, 3, 17);
+        let serial = serial_run(timed_catalog(&["R", "S", "T"], 40), &spec, &events);
+        // Bounded disorder: reverse each 8-block (observed lateness <= 7).
+        let mut scrambled: Vec<(usize, (u16, Key, u64))> =
+            events.iter().copied().enumerate().collect();
+        for chunk in scrambled.chunks_mut(8) {
+            chunk.reverse();
+        }
+        let mut exec = ShardedExecutor::spawn_with(
+            timed_catalog(&["R", "S", "T"], 40),
+            &spec,
+            ShardedConfig {
+                shards: 4,
+                queue_capacity: 64,
+                lateness: Some(LatenessPolicy::AdmitWithinBound { bound: 8 }),
+                watermark_every: 100,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        for &(ts, (s, k, p)) in &scrambled {
+            exec.push_at(StreamId(s), k, p, ts as u64).unwrap();
+        }
+        // A straggler far beyond the bound: dropped and accounted, never an
+        // error, never silently lost.
+        exec.push_at(StreamId(0), 3, 9999, 5).unwrap();
+        let report = exec.finish().unwrap();
+        assert_eq!(report.events, 600, "all bounded-late tuples admitted");
+        assert_eq!(report.dropped_late, 1, "the straggler is accounted");
+        assert_eq!(
+            report.events + report.dropped_late,
+            601,
+            "ingested + dropped_late covers everything offered"
+        );
+        assert!(report.late_admitted > 0, "the scramble had late arrivals");
+        assert_eq!(
+            report.output.lineage_multiset(),
+            serial.output.lineage_multiset(),
+            "gated disorder must be lineage-equal to the in-order serial run"
+        );
+    }
+
+    #[test]
+    fn latency_samples_are_recorded_and_joined() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 64,
+                latency_sample_every: 8,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        // seqs 0, 8, ..., 592: every sample survives a fault-free run.
+        assert_eq!(report.latencies.len(), 75);
+        let seqs: Vec<SeqNo> = report.latencies.iter().map(|&(s, _)| s).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ascending by seq");
+        assert!(seqs.iter().all(|s| s % 8 == 0));
+
+        // Under a mid-stream fault, samples applied before the checkpoint
+        // by the dead incarnation are lost; the rest still join.
+        let report = supervised_run(
+            &spec,
+            &events,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 64,
+                latency_sample_every: 8,
+                checkpoint_every: 128,
+                faults: FaultPlan::new().panic_at(0, 100),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 1);
+        assert!(
+            !report.latencies.is_empty() && report.latencies.len() <= 75,
+            "recovered run keeps a subset of samples, got {}",
+            report.latencies.len()
         );
     }
 }

@@ -20,8 +20,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
-use jisc_common::{Event, KeyRange, Metrics, Result, WorkerFault};
+use jisc_common::{Event, KeyRange, Metrics, Result, SeqNo, WorkerFault};
 use jisc_core::jisc::{apply_event, incomplete_state_count, JiscSemantics};
 use jisc_core::{rescale, AdaptiveEngine, RecoveryMode, Strategy};
 use jisc_engine::{
@@ -144,6 +145,13 @@ pub(crate) struct ShardResult {
     pub output: OutputSink,
     pub metrics: Metrics,
     pub incomplete_states: usize,
+    /// `(seq, applied-at)` for sampled tuples this incarnation applied
+    /// (empty unless the router enabled latency sampling).
+    pub latency_marks: Vec<(SeqNo, Instant)>,
+    /// Duplicate deliveries the worker's guard dropped by sequence number.
+    pub dup_deliveries_dropped: u64,
+    /// Reordered deliveries healed back into sequence order.
+    pub reorders_healed: u64,
 }
 
 /// The engine a shard worker drives: a bare pipeline (plain pipelined) or
@@ -276,6 +284,9 @@ impl ShardEngine {
             output: self.take_output(),
             metrics,
             incomplete_states,
+            latency_marks: Vec::new(),
+            dup_deliveries_dropped: 0,
+            reorders_healed: 0,
         }
     }
 }
@@ -291,6 +302,9 @@ pub(crate) struct WorkerCtx {
     pub spec: PlanSpec,
     pub injector: Arc<FaultInjector>,
     pub ctrl: chan::Sender<ToRouter>,
+    /// Record an apply instant for tuples whose seq is a multiple of this
+    /// (0 = latency sampling off); must match the router's setting.
+    pub latency_sample_every: u64,
 }
 
 /// Report a structured fault to the router (best-effort; the router may be
@@ -307,6 +321,108 @@ fn fault(ctx: &WorkerCtx, payload: String, last_seq: u64, tuples: u64) {
 /// The supervised event loop. Returns `Some(result)` on clean queue close;
 /// `None` after reporting a fault (the partial output is deliberately
 /// dropped — replay after recovery regenerates it exactly once).
+/// Worker-side misdelivery defense: drops duplicate deliveries by sequence
+/// number and counts reordered deliveries healed back into order. Within
+/// one incarnation the router's seqs are strictly increasing, so a data
+/// event whose highest seq does not exceed the highest already applied can
+/// only be a re-delivery.
+#[derive(Debug, Default)]
+struct DeliveryGuard {
+    last_seq: Option<SeqNo>,
+    dup_dropped: u64,
+    reorders_healed: u64,
+}
+
+/// One data-plane delivery on its way into the engine.
+struct Delivery {
+    ev: Event<PlanSpec>,
+    batch_len: u64,
+    /// Sampled seqs to mark if the apply succeeds.
+    sampled: Vec<SeqNo>,
+    /// Router-sent events advance the positional clocks; duplicates the
+    /// fault injector synthesizes do not (the router sent them once).
+    positional: bool,
+    /// Inject a scripted panic while this delivery is applied.
+    panic: bool,
+}
+
+/// Highest router-stamped sequence number carried by a data event.
+fn max_seq(ev: &Event<PlanSpec>) -> Option<SeqNo> {
+    match ev {
+        Event::Batch(b) => b.items().iter().filter_map(|t| t.seq).max(),
+        Event::Columnar(b) => (0..b.len()).filter_map(|i| b.seq_at(i)).max(),
+        _ => None,
+    }
+}
+
+/// Apply one delivery to the engine under the guard. `Err(payload)` means
+/// the incarnation must die (the caller reports the fault).
+#[allow(clippy::too_many_arguments)]
+fn apply_delivery(
+    engine: &mut ShardEngine,
+    ctx: &mut WorkerCtx,
+    guard: &mut DeliveryGuard,
+    d: Delivery,
+    index: &mut u64,
+    tuples: &mut u64,
+    latency_marks: &mut Vec<(SeqNo, Instant)>,
+) -> std::result::Result<(), String> {
+    let Delivery {
+        ev,
+        batch_len,
+        sampled,
+        positional,
+        panic,
+    } = d;
+    let seq = max_seq(&ev);
+    if let (Some(seq), Some(last)) = (seq, guard.last_seq) {
+        if seq <= last {
+            // A delivery the engine already applied: drop it. Router-sent
+            // events are strictly increasing, so this is never positional.
+            guard.dup_dropped += 1;
+            if positional {
+                *index += 1;
+                *tuples += batch_len;
+            }
+            return Ok(());
+        }
+    }
+    let is_barrier = matches!(ev, Event::MigrationBarrier(_));
+    let barrier_spec = match &ev {
+        Event::MigrationBarrier(spec) => Some(spec.clone()),
+        _ => None,
+    };
+    let shard = ctx.shard;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if panic {
+            inject_panic(shard);
+        }
+        engine.on_event(ev)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(e.to_string()),
+        Err(payload) => return Err(payload_string(payload.as_ref())),
+    }
+    if is_barrier {
+        // Commit the spec only after the barrier applied successfully,
+        // so checkpoints always name the plan actually running.
+        ctx.spec = barrier_spec.expect("barrier carries a spec");
+    }
+    if let Some(seq) = seq {
+        guard.last_seq = Some(guard.last_seq.map_or(seq, |l| l.max(seq)));
+    }
+    if !sampled.is_empty() {
+        let now = Instant::now();
+        latency_marks.extend(sampled.into_iter().map(|s| (s, now)));
+    }
+    if positional {
+        *index += 1;
+        *tuples += batch_len;
+    }
+    Ok(())
+}
+
 pub(crate) fn worker_loop(
     mut engine: ShardEngine,
     rx: chan::Receiver<ShardMsg>,
@@ -315,10 +431,38 @@ pub(crate) fn worker_loop(
     let mut index = ctx.start_index;
     let mut tuples = ctx.start_tuples;
     let incarnation_start = tuples;
+    let mut latency_marks: Vec<(SeqNo, Instant)> = Vec::new();
+    let mut guard = DeliveryGuard::default();
+    // A reordered delivery in flight: the transport holds it until the
+    // next data event would overtake it (or the stream demands order —
+    // punctuation, checkpoint marks, rescale traffic, stream end).
+    let mut held: Option<Delivery> = None;
+    macro_rules! drain_held {
+        () => {
+            if let Some(h) = held.take() {
+                guard.reorders_healed += 1;
+                if let Err(payload) = apply_delivery(
+                    &mut engine,
+                    &mut ctx,
+                    &mut guard,
+                    h,
+                    &mut index,
+                    &mut tuples,
+                    &mut latency_marks,
+                ) {
+                    fault(&ctx, payload, index, tuples - incarnation_start);
+                    return None;
+                }
+            }
+        };
+    }
     while let Ok(msg) = rx.recv() {
         let ev = match msg {
             ShardMsg::Event(ev) => ev,
             ShardMsg::Checkpoint => {
+                // A held delivery precedes the mark: `covered` must count
+                // every event the router sent before it.
+                drain_held!();
                 let snapshot = engine.base_snapshot();
                 // Drain output ONLY alongside a successful snapshot: saved
                 // output and saved state must describe the same prefix, or
@@ -336,6 +480,9 @@ pub(crate) fn worker_loop(
                 continue;
             }
             ShardMsg::ExportRange { epoch, to, ranges } => {
+                // Rescale traffic demands order: release any held delivery
+                // first, then extract.
+                drain_held!();
                 // Positional, like a data event: a replayed incarnation
                 // reaches the same stream position and re-extracts the same
                 // slice (the router dedups the duplicate reply).
@@ -367,6 +514,7 @@ pub(crate) fn worker_loop(
                 }
             }
             ShardMsg::InstallRange(install) => {
+                drain_held!();
                 let outcome =
                     catch_unwind(AssertUnwindSafe(|| engine.install_range(&install.export)));
                 match outcome {
@@ -395,6 +543,22 @@ pub(crate) fn worker_loop(
             Event::Columnar(b) => b.len() as u64,
             _ => 0,
         };
+        // Collect sampled seqs before the event moves into the engine; the
+        // marks are recorded only if the apply succeeds (a faulted event's
+        // samples are regenerated by replay). The router ships data as
+        // Columnar, the only event kind carrying router-stamped seqs.
+        let mut sampled: Vec<SeqNo> = Vec::new();
+        if ctx.latency_sample_every > 0 {
+            if let Event::Columnar(b) = &ev {
+                for i in 0..b.len() {
+                    if let Some(seq) = b.seq_at(i) {
+                        if seq % ctx.latency_sample_every == 0 {
+                            sampled.push(seq);
+                        }
+                    }
+                }
+            }
+        }
         let injected = ctx.injector.trigger(ctx.shard, &ev, tuples);
         if let Some(Triggered::DelayMillis(ms)) = injected {
             std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -406,33 +570,80 @@ pub(crate) fn worker_loop(
             tuples += batch_len;
             continue;
         }
-        let is_barrier = matches!(ev, Event::MigrationBarrier(_));
-        let barrier_spec = match &ev {
-            Event::MigrationBarrier(spec) => Some(spec.clone()),
-            _ => None,
+        if !matches!(ev, Event::Batch(_) | Event::Columnar(_)) {
+            // Punctuation and control traffic never overtake data: a held
+            // delivery is released before them. (The injector only trips
+            // on data events, so `injected` is None here.)
+            drain_held!();
+        }
+        if matches!(injected, Some(Triggered::Reorder)) && held.is_none() {
+            // The transport holds this delivery back; it arrives after the
+            // next data event (where the guard heals the swap).
+            held = Some(Delivery {
+                ev,
+                batch_len,
+                sampled,
+                positional: true,
+                panic: false,
+            });
+            continue;
+        }
+        // A data event arriving while one is held overtakes it on the
+        // wire; the guard re-applies them in sequence order.
+        if matches!(ev, Event::Batch(_) | Event::Columnar(_)) {
+            drain_held!();
+        }
+        // Synthesize the re-delivery only for seq-stamped events — without
+        // seqs the guard could not tell it from fresh data.
+        let duplicate = (matches!(injected, Some(Triggered::Duplicate)) && max_seq(&ev).is_some())
+            .then(|| Delivery {
+                ev: ev.clone(),
+                batch_len,
+                sampled: Vec::new(),
+                positional: false,
+                panic: false,
+            });
+        let d = Delivery {
+            ev,
+            batch_len,
+            sampled,
+            positional: true,
+            panic: matches!(injected, Some(Triggered::Panic)),
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(Triggered::Panic) = injected {
-                inject_panic(ctx.shard);
-            }
-            engine.on_event(ev)
-        }));
-        let failure = match outcome {
-            Ok(Ok(())) => None,
-            Ok(Err(e)) => Some(e.to_string()),
-            Err(payload) => Some(payload_string(payload.as_ref())),
-        };
-        if let Some(payload) = failure {
+        if let Err(payload) = apply_delivery(
+            &mut engine,
+            &mut ctx,
+            &mut guard,
+            d,
+            &mut index,
+            &mut tuples,
+            &mut latency_marks,
+        ) {
             fault(&ctx, payload, index, tuples - incarnation_start);
             return None;
         }
-        if is_barrier {
-            // Commit the spec only after the barrier applied successfully,
-            // so checkpoints always name the plan actually running.
-            ctx.spec = barrier_spec.expect("barrier carries a spec");
+        if let Some(dup) = duplicate {
+            // Re-delivery of an already-applied event: the guard must drop
+            // it by seq without touching the engine or the clocks.
+            if let Err(payload) = apply_delivery(
+                &mut engine,
+                &mut ctx,
+                &mut guard,
+                dup,
+                &mut index,
+                &mut tuples,
+                &mut latency_marks,
+            ) {
+                fault(&ctx, payload, index, tuples - incarnation_start);
+                return None;
+            }
         }
-        index += 1;
-        tuples += batch_len;
     }
-    Some(engine.into_result())
+    // Stream end: anything still held is released before the snapshot.
+    drain_held!();
+    let mut result = engine.into_result();
+    result.latency_marks = latency_marks;
+    result.dup_deliveries_dropped = guard.dup_dropped;
+    result.reorders_healed = guard.reorders_healed;
+    Some(result)
 }

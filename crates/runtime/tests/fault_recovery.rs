@@ -37,6 +37,10 @@ struct Case {
     migration: Option<usize>,
     /// `(shard, tuple position)` panic scripts (shard taken modulo N).
     panics: Vec<(usize, u64)>,
+    /// `(shard, tuple position, kind)` misdelivery scripts: duplicate
+    /// delivery when `kind` is even, reordered delivery when odd. Handled
+    /// by the workers' delivery guards — they produce no WorkerFaults.
+    misdeliveries: Vec<(usize, u64, u8)>,
     /// Checkpoint cadence (tuples per shard; 0 = full-history replay).
     checkpoint_every: u64,
 }
@@ -68,6 +72,13 @@ impl Case {
         for &(shard, at) in &self.panics {
             plan = plan.panic_at(shard % shards, at.max(1));
         }
+        for &(shard, at, kind) in &self.misdeliveries {
+            plan = if kind % 2 == 0 {
+                plan.duplicate_at(shard % shards, at.max(1))
+            } else {
+                plan.reorder_at(shard % shards, at.max(1))
+            };
+        }
         plan
     }
 }
@@ -80,12 +91,16 @@ fn case_strategy() -> impl Strategy<Value = Case> {
             proptest::collection::vec((0..streams as u16, 0u64..9), n),
             // 0 encodes "no migration"; i > 0 migrates before arrival i.
             0usize..n,
-            proptest::collection::vec((0usize..4, 1u64..(n as u64 / 2).max(2)), 1..3),
+            (
+                proptest::collection::vec((0usize..4, 1u64..(n as u64 / 2).max(2)), 1..3),
+                // Misdeliveries: duplicates and reorders, 0..3 of them.
+                proptest::collection::vec((0usize..4, 1u64..(n as u64).max(2), 0u8..4), 0..3),
+            ),
             // Checkpoint cadence: none, tight, or loose.
             0usize..3,
         )
             .prop_map(
-                |(streams, wkind, arrivals, migration, panics, ckpt_kind)| Case {
+                |(streams, wkind, arrivals, migration, (panics, misdeliveries), ckpt_kind)| Case {
                     names: (0..streams).map(|i| format!("S{i}")).collect(),
                     ticks: match wkind {
                         0 => None,
@@ -95,6 +110,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
                     arrivals,
                     migration: (migration > 0).then_some(migration),
                     panics,
+                    misdeliveries,
                     checkpoint_every: [0, 16, 64][ckpt_kind],
                 },
             )
@@ -167,10 +183,20 @@ proptest! {
                 prop_assert_eq!(report.events as usize, case.arrivals.len());
                 // Every fault the injector fired was recovered, and each
                 // recovery is accounted (replay-triggered ones included).
+                // Misdeliveries never surface as WorkerFaults — the
+                // delivery guards absorb them — so the identity holds with
+                // duplicates and reorders in the plan.
                 prop_assert_eq!(report.recoveries as usize, report.faults.len());
                 for f in &report.faults {
                     prop_assert!(f.payload.contains("injected panic"), "{}", f.payload);
                 }
+                // Each misdelivery script fires at most once and is either
+                // absorbed (dup dropped / reorder healed) or never reached.
+                prop_assert!(
+                    (report.dup_deliveries_dropped + report.reorders_healed) as usize
+                        <= case.misdeliveries.len(),
+                    "guard counters exceed scripted misdeliveries"
+                );
                 if case.checkpoint_every == 0 {
                     prop_assert_eq!(report.checkpoints, 0);
                 }

@@ -1,0 +1,232 @@
+//! Event-time disorder and flash-crowd burst models.
+//!
+//! Every generator in this crate emits arrivals in timestamp order; real
+//! sources do not. [`Disorder`] scrambles a run's *arrival order* within a
+//! provable lateness bound (so an engine-side
+//! `LatenessPolicy::AdmitWithinBound` with the same bound loses nothing),
+//! optionally salting in stragglers that exceed the bound to exercise the
+//! drop-and-account path. [`FlashCrowd`] turns a smooth arrival rate into
+//! a periodic burst profile, the load shape the elastic controller and the
+//! latency-percentile harness are really about.
+//!
+//! Both models are pure functions of their seed/parameters — a chaos run
+//! is replayable from its config line.
+
+use jisc_common::SplitMix64;
+
+/// Bounded-lateness disorder: a seeded scramble of arrival order in which
+/// no element arrives after an element whose in-order position is more
+/// than `bound` ahead of its own.
+///
+/// The scramble assigns each in-order position `i` the priority
+/// `p_i = i + r_i` with `r_i` drawn uniformly from `[0, bound]`, then
+/// stably sorts by priority. If `i` arrives after `k` then `k <= p_k <=
+/// p_i <= i + bound`, so with timestamps equal to in-order position the
+/// observed lateness never exceeds `bound` — a
+/// [`LatenessGate`](../../jisc_engine/lateness/struct.LatenessGate.html)
+/// with the same bound admits every tuple.
+///
+/// [`Disorder::with_stragglers`] additionally sends every `every`-th
+/// element `excess` positions beyond the bound, deliberately violating it.
+#[derive(Debug, Clone, Copy)]
+pub struct Disorder {
+    bound: u64,
+    seed: u64,
+    /// Every `straggler_every`-th position becomes a straggler (0 = none).
+    straggler_every: usize,
+    /// How far past `bound` a straggler's priority is pushed.
+    straggler_excess: u64,
+}
+
+impl Disorder {
+    /// Disorder with lateness bound `bound`, scrambled by `seed`.
+    pub fn new(bound: u64, seed: u64) -> Self {
+        Disorder {
+            bound,
+            seed,
+            straggler_every: 0,
+            straggler_excess: 0,
+        }
+    }
+
+    /// Make every `every`-th element a straggler, `excess` positions past
+    /// the bound (`every == 0` disables).
+    pub fn with_stragglers(mut self, every: usize, excess: u64) -> Self {
+        self.straggler_every = every;
+        self.straggler_excess = excess.max(1);
+        self
+    }
+
+    /// The lateness bound.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Whether position `i` is a straggler under this configuration.
+    pub fn is_straggler(&self, i: usize) -> bool {
+        self.straggler_every > 0 && i > 0 && i.is_multiple_of(self.straggler_every)
+    }
+
+    /// The arrival order of a run of `n` elements: `permutation(n)[j]` is
+    /// the in-order position of the element arriving `j`-th.
+    pub fn permutation(&self, n: usize) -> Vec<usize> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut keyed: Vec<(u64, usize)> = (0..n)
+            .map(|i| {
+                let jitter = if self.is_straggler(i) {
+                    self.bound + self.straggler_excess
+                } else {
+                    rng.next_below(self.bound + 1)
+                };
+                (i as u64 + jitter, i)
+            })
+            .collect();
+        // Stable by priority: equal priorities keep in-order relative order.
+        keyed.sort_by_key(|&(p, _)| p);
+        keyed.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Convenience: `items` reordered into arrival order.
+    pub fn scramble<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        self.permutation(items.len())
+            .into_iter()
+            .map(|i| items[i].clone())
+            .collect()
+    }
+}
+
+/// A periodic flash-crowd rate profile: for `width` out of every `period`
+/// positions the arrival rate multiplies by `amplitude` (a producer emits
+/// `amplitude` tuples where it would emit one).
+///
+/// [`FlashCrowd::is_burst`] also serves as the steady-vs-burst phase label
+/// for latency-percentile reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashCrowd {
+    period: usize,
+    width: usize,
+    amplitude: u64,
+}
+
+impl FlashCrowd {
+    /// A crowd arriving for `width` of every `period` positions at
+    /// `amplitude`× the steady rate.
+    pub fn new(period: usize, width: usize, amplitude: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(width <= period, "burst cannot outlast its period");
+        assert!(amplitude >= 1, "amplitude below 1 is not a crowd");
+        FlashCrowd {
+            period,
+            width,
+            amplitude,
+        }
+    }
+
+    /// Whether base position `i` falls inside a burst.
+    pub fn is_burst(&self, i: usize) -> bool {
+        i % self.period < self.width
+    }
+
+    /// How many tuples to emit at base position `i` (1 in steady state,
+    /// `amplitude` inside a burst).
+    pub fn multiplicity(&self, i: usize) -> u64 {
+        if self.is_burst(i) {
+            self.amplitude
+        } else {
+            1
+        }
+    }
+
+    /// Total tuples a run of `n` base positions expands to.
+    pub fn expanded_len(&self, n: usize) -> u64 {
+        (0..n).map(|i| self.multiplicity(i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Max lateness actually observed when timestamps equal in-order
+    /// position: for each arrival, how far the running max timestamp is
+    /// ahead of it.
+    fn observed_lateness(perm: &[usize]) -> u64 {
+        let mut max_seen = 0usize;
+        let mut worst = 0u64;
+        for &i in perm {
+            max_seen = max_seen.max(i);
+            worst = worst.max((max_seen - i) as u64);
+        }
+        worst
+    }
+
+    fn is_permutation(perm: &[usize]) -> bool {
+        let mut seen = vec![false; perm.len()];
+        perm.iter().all(|&i| !std::mem::replace(&mut seen[i], true))
+    }
+
+    #[test]
+    fn scramble_is_a_deterministic_permutation() {
+        let d = Disorder::new(16, 7);
+        let a = d.permutation(500);
+        assert!(is_permutation(&a));
+        assert_eq!(a, Disorder::new(16, 7).permutation(500));
+        assert_ne!(a, Disorder::new(16, 8).permutation(500));
+        assert_ne!(a, (0..500).collect::<Vec<_>>(), "bound 16 must scramble");
+    }
+
+    #[test]
+    fn lateness_never_exceeds_the_bound() {
+        for bound in [1u64, 4, 32] {
+            for seed in 0..5 {
+                let perm = Disorder::new(bound, seed).permutation(1000);
+                assert!(
+                    observed_lateness(&perm) <= bound,
+                    "bound {bound} seed {seed} violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bound_is_identity() {
+        let perm = Disorder::new(0, 3).permutation(100);
+        assert_eq!(perm, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stragglers_exceed_the_bound() {
+        let d = Disorder::new(4, 11).with_stragglers(50, 20);
+        let perm = d.permutation(1000);
+        assert!(is_permutation(&perm));
+        assert!(
+            observed_lateness(&perm) > 4,
+            "stragglers must overshoot the bound"
+        );
+        assert!(d.is_straggler(50) && d.is_straggler(100));
+        assert!(!d.is_straggler(0) && !d.is_straggler(51));
+    }
+
+    #[test]
+    fn scramble_reorders_items_by_the_permutation() {
+        let d = Disorder::new(8, 2);
+        let items: Vec<u64> = (0..64).collect();
+        let scrambled = d.scramble(&items);
+        let perm = d.permutation(64);
+        assert_eq!(
+            scrambled,
+            perm.iter().map(|&i| i as u64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn flash_crowd_profile() {
+        let fc = FlashCrowd::new(100, 10, 8);
+        assert!(fc.is_burst(0) && fc.is_burst(9) && fc.is_burst(105));
+        assert!(!fc.is_burst(10) && !fc.is_burst(99));
+        assert_eq!(fc.multiplicity(3), 8);
+        assert_eq!(fc.multiplicity(50), 1);
+        // 10 burst positions × 8 + 90 steady positions × 1, per period.
+        assert_eq!(fc.expanded_len(100), 170);
+    }
+}

@@ -6,12 +6,17 @@
 //!   state, Figure 5), worst case (all intermediates incomplete), and
 //!   parameterized distance-d swaps (§5.2),
 //! * [`schedules`] — when transitions fire: once, periodically (Figures
-//!   11–12), or in overlapping bursts (§4.5).
+//!   11–12), or in overlapping bursts (§4.5),
+//! * [`disorder`] — event-time disorder (bounded-lateness scrambles with
+//!   optional stragglers) and flash-crowd burst profiles for the
+//!   robustness/chaos harness.
 
+pub mod disorder;
 pub mod generator;
 pub mod scenarios;
 pub mod schedules;
 
+pub use disorder::{Disorder, FlashCrowd};
 pub use generator::{Arrival, Generator, Interleave, KeyDistribution};
 pub use scenarios::{best_case, distance_swap, stream_names, worst_case, Scenario};
 pub use schedules::Schedule;
