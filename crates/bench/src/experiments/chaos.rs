@@ -17,21 +17,23 @@
 //! deliberately ancient stragglers pushed at the end so the drop path is
 //! provably exercised.
 //!
-//! Latency: the router samples every `LATENCY_SAMPLE_EVERY`-th routed
-//! tuple (send-instant at flush) and the owning worker stamps it after
-//! apply; the report joins the pairs. Global sequence numbers are assigned
-//! in gate-release order, so sample `seq` maps back to the oracle's
-//! release list and its event time — which labels each sample steady or
-//! burst via the [`FlashCrowd`] profile. The run writes
-//! `BENCH_latency.json` with p50/p99/p999 per phase per strategy.
-
-use std::time::Duration;
+//! Latency: recording is always on — the router stamps every staged
+//! batch at flush and the owning worker folds `emit − ingest` into a
+//! bounded per-shard histogram after apply. A [`PhaseClassifier`] built
+//! from the [`FlashCrowd`] profile labels each tuple steady or burst by
+//! its event time; the router cuts batches on phase changes so each
+//! histogram stays single-phase. The run writes `BENCH_latency.json`
+//! with p50/p99/p999 per phase per strategy, read off the histogram
+//! quantiles. If any chaos invariant fails, the control-plane flight
+//! recording is dumped to `JISC_FLIGHT_DUMP` (default
+//! `chaos_flight_dump.json`) before the panic propagates.
 
 use jisc_common::StreamId;
 use jisc_core::jisc::JiscSemantics;
 use jisc_engine::{LatenessGate, LatenessPolicy, Pipeline};
-use jisc_runtime::shard::{ShardStrategy, ShardedConfig, ShardedExecutor};
+use jisc_runtime::shard::{PhaseClassifier, ShardStrategy, ShardedConfig, ShardedExecutor};
 use jisc_runtime::FaultPlan;
+use jisc_telemetry::{FlightEventKind, FlightRecorder, HistogramSnapshot};
 use jisc_workload::{best_case, Disorder, FlashCrowd, Generator};
 
 use crate::harness::Scale;
@@ -79,8 +81,9 @@ const LATE_PUSHES: u64 = 8;
 /// Router broadcast cadence for min-aligned watermarks.
 const WATERMARK_EVERY: u64 = 256;
 
-/// Latency sampling cadence (every n-th routed tuple).
-const LATENCY_SAMPLE_EVERY: u64 = 16;
+/// Phase labels for the latency split.
+const PHASE_STEADY: u32 = 0;
+const PHASE_BURST: u32 = 1;
 
 /// Checkpoint cadence (tuples per shard).
 const CHECKPOINT_EVERY: u64 = 512;
@@ -114,30 +117,37 @@ fn strategy_name(s: ShardStrategy) -> &'static str {
     }
 }
 
-/// Nearest-rank percentile over an ascending slice (µs).
-fn percentile(sorted_us: &[f64], q: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
-    sorted_us[idx]
-}
-
 struct PhaseLatency {
-    samples: usize,
+    samples: u64,
     p50: f64,
     p99: f64,
     p999: f64,
 }
 
-fn phase_latency(durations: &[Duration]) -> PhaseLatency {
-    let mut us: Vec<f64> = durations.iter().map(|d| d.as_secs_f64() * 1e6).collect();
-    us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+/// Percentiles (µs) read off a latency histogram's quantiles.
+fn phase_latency(h: &HistogramSnapshot) -> PhaseLatency {
+    let us = |q: f64| h.quantile(q) as f64 / 1e3;
     PhaseLatency {
-        samples: us.len(),
-        p50: percentile(&us, 0.50),
-        p99: percentile(&us, 0.99),
-        p999: percentile(&us, 0.999),
+        samples: h.count(),
+        p50: us(0.50),
+        p99: us(0.99),
+        p999: us(0.999),
+    }
+}
+
+/// Dumps the flight recording if the thread is panicking when dropped —
+/// the soak's "black box": any chaos invariant failure leaves the
+/// control-plane event ring on disk for the CI artifact uploader.
+struct FlightDumpOnPanic(FlightRecorder);
+
+impl Drop for FlightDumpOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let path = std::env::var("JISC_FLIGHT_DUMP")
+                .unwrap_or_else(|_| "chaos_flight_dump.json".into());
+            self.0.dump_to(std::path::Path::new(&path));
+            eprintln!("chaos: flight recording dumped to {path}");
+        }
     }
 }
 
@@ -283,11 +293,21 @@ pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
                 faults,
                 lateness: Some(policy),
                 watermark_every: WATERMARK_EVERY,
-                latency_sample_every: LATENCY_SAMPLE_EVERY,
+                // Latency recording is always on; the classifier splits
+                // the histograms steady/burst by event time (the router
+                // cuts batches on phase changes, so the split is exact).
+                phase: Some(PhaseClassifier::new(move |ts| {
+                    if crowd.is_burst(ts as usize) {
+                        PHASE_BURST
+                    } else {
+                        PHASE_STEADY
+                    }
+                })),
                 ..ShardedConfig::default()
             },
         )
         .expect("sharded executor");
+        let _black_box = FlightDumpOnPanic(exec.flight_recorder().clone());
         assert!(exec.is_exact(), "time windows shard exactly");
         for (j, t) in scrambled.iter().enumerate() {
             if j == split_at {
@@ -333,21 +353,65 @@ pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
         assert!(report.partition_epoch >= 2);
         assert!(report.watermark > 0, "watermarks must align and advance");
 
-        // Phase-labelled latency percentiles: seq → oracle release list →
-        // event time → steady/burst.
-        let mut steady: Vec<Duration> = Vec::new();
-        let mut burst: Vec<Duration> = Vec::new();
-        for &(seq, d) in &report.latencies {
-            let t = released[seq as usize];
-            if crowd.is_burst(t.ts as usize) {
-                burst.push(d);
-            } else {
-                steady.push(d);
-            }
+        // The flight recording must tell the chaos story in causal
+        // order: time never regresses, both rescales cut epochs before
+        // their handovers, every fault precedes its recovery, and the
+        // broadcast watermark frontier only advances.
+        let flight = &report.telemetry.flight;
+        assert!(
+            flight.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "{strategy:?}: flight timestamps regressed"
+        );
+        let pos =
+            |pred: &dyn Fn(&FlightEventKind) -> bool| flight.iter().position(|e| pred(&e.kind));
+        let cuts = flight
+            .iter()
+            .filter(|e| matches!(e.kind, FlightEventKind::RepartitionCut { .. }))
+            .count();
+        assert!(cuts >= 2, "{strategy:?}: both rescale epoch cuts recorded");
+        let first_cut = pos(&|k| matches!(k, FlightEventKind::RepartitionCut { .. })).unwrap();
+        if let Some(handover) = pos(&|k| matches!(k, FlightEventKind::ExportHandover { .. })) {
+            assert!(
+                first_cut < handover,
+                "{strategy:?}: epoch cut precedes state handovers"
+            );
         }
+        for shard in [0u64, 1] {
+            let fault = pos(&|k| *k == (FlightEventKind::WorkerFault { shard }))
+                .unwrap_or_else(|| panic!("{strategy:?}: shard {shard} fault recorded"));
+            let rec = pos(
+                &|k| matches!(k, FlightEventKind::WorkerRecovered { shard: s, .. } if *s == shard),
+            )
+            .unwrap_or_else(|| panic!("{strategy:?}: shard {shard} recovery recorded"));
+            assert!(fault < rec, "{strategy:?}: fault precedes recovery");
+        }
+        let frontiers: Vec<u64> = flight
+            .iter()
+            .filter_map(|e| match e.kind {
+                FlightEventKind::Watermark { frontier } => Some(frontier),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !frontiers.is_empty() && frontiers.windows(2).all(|w| w[0] <= w[1]),
+            "{strategy:?}: watermark frontier must advance monotonically"
+        );
+
+        // Phase-labelled latency percentiles straight off the bounded
+        // per-phase histograms (steady = phase 0, burst = phase 1).
+        let by_phase = |p: u32| {
+            report
+                .latency_by_phase
+                .iter()
+                .find(|&&(q, _)| q == p)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_else(HistogramSnapshot::empty)
+        };
+        let steady = by_phase(PHASE_STEADY);
+        let burst = by_phase(PHASE_BURST);
         assert!(
             !steady.is_empty() && !burst.is_empty(),
-            "{strategy:?}: both phases must be sampled"
+            "{strategy:?}: both phases must be recorded"
         );
         let s = phase_latency(&steady);
         let b = phase_latency(&burst);
@@ -392,7 +456,7 @@ pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
              \"disorder_bound\": {DISORDER_BOUND},\n  \
              \"burst\": {{\"period\": {BURST_PERIOD}, \"width\": {BURST_WIDTH}, \
              \"amplitude\": {BURST_AMPLITUDE}}},\n  \
-             \"latency_sample_every\": {LATENCY_SAMPLE_EVERY},\n  \
+             \"latency_recording\": \"always_on_histograms\",\n  \
              \"strategies\": [\n{}\n  ]\n}}\n",
             json_strategies.join(",\n")
         );

@@ -10,6 +10,7 @@ pub mod kernels;
 pub mod latency;
 pub mod migration;
 pub mod normal_op;
+pub mod observability;
 pub mod overlap;
 pub mod recovery_exp;
 pub mod setdiff_exp;

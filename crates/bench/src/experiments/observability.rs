@@ -1,0 +1,260 @@
+//! Observability: what the telemetry subsystem costs and what it yields.
+//!
+//! Two questions, one experiment. **Cost**: the runtime's data-plane
+//! instrumentation is one clock read and one histogram `record_n` per
+//! applied batch — the columnar B=256 ingest loop is measured bare and
+//! instrumented (interleaved best-of-`REPS`, same discipline as the
+//! throughput experiment) and the relative overhead is recorded; the
+//! telemetry primitives (`Histogram::record`, `Counter::add`) are also
+//! timed in isolation. **Yield**: a sharded run with always-on latency
+//! recording reports its ingest-to-emit p50/p99/p999 straight off the
+//! merged histogram, plus the registry and flight-recorder inventory the
+//! same run produced for free.
+//!
+//! Writes `BENCH_observability.json` with the overhead percentage and the
+//! latency percentiles; CI's bench-smoke asserts the shape.
+
+use std::time::Instant;
+
+use jisc_common::{ColumnarBatch, StreamId};
+use jisc_core::jisc::JiscSemantics;
+use jisc_engine::Pipeline;
+use jisc_runtime::shard::{ShardedConfig, ShardedExecutor};
+use jisc_telemetry::{Counter, FlightRecorder, Histogram, Registry};
+use jisc_workload::{best_case, Arrival};
+
+use crate::harness::{arrivals_for, Scale};
+use crate::table::Table;
+
+/// Joins in the measured plan (deep enough that per-tuple join work, not
+/// harness bookkeeping, dominates the loop being instrumented).
+const JOINS: usize = 8;
+
+/// Base tuple count before scaling.
+const BASE_TUPLES: usize = 40_000;
+
+/// Base per-stream window population before scaling.
+const BASE_WINDOW: usize = 300;
+
+/// Columnar batch size for the overhead pair (the acceptance target).
+const BATCH: usize = 256;
+
+/// Interleaved measurement repetitions (best run reported).
+const REPS: usize = 5;
+
+/// Iterations for the isolated primitive timings.
+const PRIM_ITERS: u64 = 1_000_000;
+
+/// Shards for the yield run.
+const SHARDS: usize = 2;
+
+/// Time one run of the columnar B=256 ingest loop; `telemetry` adds
+/// exactly the per-batch work a shard worker does: stamp the batch with
+/// the recorder-origin clock at cut time, then fold `emit − ingest` into
+/// the latency histogram after the batch lands.
+fn columnar_run(
+    catalog: &jisc_engine::Catalog,
+    spec: &jisc_engine::PlanSpec,
+    arrivals: &[Arrival],
+    telemetry: Option<(&FlightRecorder, &Histogram)>,
+) -> (f64, usize) {
+    let mut pipe = Pipeline::new(catalog.clone(), spec).expect("pipeline");
+    let mut sem = JiscSemantics::default();
+    let mut batch = ColumnarBatch::new(BATCH);
+    let t0 = Instant::now();
+    let mut stamp = 0u64;
+    for a in arrivals {
+        if let Some((flight, _)) = telemetry {
+            if batch.is_empty() {
+                stamp = flight.origin().elapsed().as_nanos() as u64;
+            }
+        }
+        batch
+            .push(StreamId(a.stream), a.key, a.payload)
+            .expect("batch cut on full");
+        if batch.is_full() {
+            pipe.push_columnar_with(&mut sem, &batch).expect("push");
+            if let Some((flight, hist)) = telemetry {
+                let now = flight.origin().elapsed().as_nanos() as u64;
+                hist.record_n(now.saturating_sub(stamp), batch.len() as u64);
+            }
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        pipe.push_columnar_with(&mut sem, &batch).expect("push");
+        if let Some((flight, hist)) = telemetry {
+            let now = flight.origin().elapsed().as_nanos() as u64;
+            hist.record_n(now.saturating_sub(stamp), batch.len() as u64);
+        }
+    }
+    (t0.elapsed().as_secs_f64(), pipe.output.count())
+}
+
+/// Observability table and `BENCH_observability.json`.
+pub fn observability(scale: Scale) -> Table {
+    let window = scale.apply(BASE_WINDOW);
+    let total = scale.apply(BASE_TUPLES);
+    let scenario = best_case(JOINS, crate::harness::hash_style());
+    let names: Vec<String> = scenario
+        .initial
+        .leaves()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let ticks = (window * names.len()) as u64;
+    let catalog = jisc_engine::Catalog::new(
+        names
+            .iter()
+            .map(|n| jisc_engine::StreamDef::timed(n.clone(), ticks))
+            .collect(),
+    )
+    .expect("valid catalog");
+    let arrivals = arrivals_for(&scenario, total, window as u64, 900);
+
+    // --- cost: bare vs instrumented columnar loop, interleaved ---
+    let flight = FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY);
+    let registry = Registry::new();
+    let hist = registry.histogram("ingest_latency_ns");
+    let mut best_bare = 0.0f64;
+    let mut best_instr = 0.0f64;
+    let mut outputs = None;
+    for _ in 0..REPS {
+        let (secs, out) = columnar_run(&catalog, &scenario.initial, &arrivals, None);
+        best_bare = best_bare.max(total as f64 / secs.max(1e-9));
+        let (secs_i, out_i) = columnar_run(
+            &catalog,
+            &scenario.initial,
+            &arrivals,
+            Some((&flight, &hist)),
+        );
+        best_instr = best_instr.max(total as f64 / secs_i.max(1e-9));
+        assert_eq!(out, out_i, "instrumentation must not change the result");
+        if let Some(prev) = outputs {
+            assert_eq!(prev, out, "reps must agree");
+        }
+        outputs = Some(out);
+    }
+    // Best-of interleaved runs: positive means the instrumented loop was
+    // slower. Sub-noise (slightly negative) values are reported as-is.
+    let overhead_pct = (best_bare - best_instr) / best_bare * 100.0;
+
+    // --- cost: isolated primitive timings ---
+    let record_ns = {
+        let h = Histogram::default();
+        let t0 = Instant::now();
+        for i in 0..PRIM_ITERS {
+            h.record(i);
+        }
+        t0.elapsed().as_nanos() as f64 / PRIM_ITERS as f64
+    };
+    let counter_add_ns = {
+        let c = Counter::default();
+        let t0 = Instant::now();
+        for _ in 0..PRIM_ITERS {
+            c.add(1);
+        }
+        t0.elapsed().as_nanos() as f64 / PRIM_ITERS as f64
+    };
+
+    // --- yield: a sharded run's always-on latency + telemetry inventory ---
+    let mut exec = ShardedExecutor::spawn_with(
+        catalog.clone(),
+        &scenario.initial,
+        ShardedConfig {
+            watermark_every: 256,
+            checkpoint_every: 1024,
+            ..ShardedConfig::for_shards(SHARDS)
+        },
+    )
+    .expect("sharded executor");
+    for a in &arrivals {
+        exec.push(StreamId(a.stream), a.key, a.payload)
+            .expect("push");
+    }
+    let report = exec.finish().expect("finish");
+    assert_eq!(
+        report.latency.count(),
+        report.events,
+        "always-on recording covers every routed tuple"
+    );
+    let merged = &report.telemetry.merged;
+    assert_eq!(
+        merged.counter("tuples_in"),
+        report.metrics.tuples_in,
+        "registry agrees with the engine counters"
+    );
+    let us = |q: f64| report.latency.quantile(q) as f64 / 1e3;
+    let (p50, p99, p999) = (us(0.50), us(0.99), us(0.999));
+    let flight_events = report.telemetry.flight.len();
+
+    let mut table = Table::new(
+        "observability",
+        "Telemetry cost and yield: instrumented vs bare columnar ingest \
+         (B=256), primitive costs, always-on latency percentiles",
+        "per-batch instrumentation (one clock read + one histogram fold) \
+         costs ≤5% of columnar B=256 throughput; histogram record and \
+         counter add are O(1) nanosecond-scale; the sharded run yields \
+         full percentiles and a flight recording for free",
+        &["measure", "value"],
+    );
+    table.row(vec![
+        "columnar B=256 bare (tuples/s)".into(),
+        format!("{best_bare:.0}"),
+    ]);
+    table.row(vec![
+        "columnar B=256 instrumented (tuples/s)".into(),
+        format!("{best_instr:.0}"),
+    ]);
+    table.row(vec![
+        "telemetry overhead".into(),
+        format!("{overhead_pct:.2}%"),
+    ]);
+    table.row(vec![
+        "histogram record (ns/op)".into(),
+        format!("{record_ns:.1}"),
+    ]);
+    table.row(vec![
+        "counter add (ns/op)".into(),
+        format!("{counter_add_ns:.1}"),
+    ]);
+    table.row(vec![
+        format!("sharded N={SHARDS} latency p50/p99/p999 (µs)"),
+        format!("{p50:.1} / {p99:.1} / {p999:.1}"),
+    ]);
+    table.row(vec![
+        "registry inventory (counters/gauges/histograms)".into(),
+        format!(
+            "{} / {} / {}",
+            merged.counters.len(),
+            merged.gauges.len(),
+            merged.histograms.len()
+        ),
+    ]);
+    table.row(vec![
+        "flight events retained".into(),
+        flight_events.to_string(),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"observability\",\n  \
+         \"tuples\": {total},\n  \"joins\": {JOINS},\n  \"batch_size\": {BATCH},\n  \
+         \"bare_tuples_per_sec\": {best_bare:.0},\n  \
+         \"instrumented_tuples_per_sec\": {best_instr:.0},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \
+         \"histogram_record_ns\": {record_ns:.2},\n  \
+         \"counter_add_ns\": {counter_add_ns:.2},\n  \
+         \"latency_us\": {{\"count\": {}, \"p50\": {p50:.3}, \
+         \"p99\": {p99:.3}, \"p999\": {p999:.3}}},\n  \
+         \"registry\": {{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}},\n  \
+         \"flight_events\": {flight_events}\n}}\n",
+        report.latency.count(),
+        merged.counters.len(),
+        merged.gauges.len(),
+        merged.histograms.len(),
+    );
+    if let Err(e) = std::fs::write("BENCH_observability.json", &json) {
+        eprintln!("warning: could not write BENCH_observability.json: {e}");
+    }
+    table
+}

@@ -39,6 +39,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "elastic",
     "state",
     "chaos",
+    "observability",
 ];
 
 /// Run one experiment by id (returns one or more tables).
@@ -63,6 +64,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "elastic" => vec![elastic::elastic(scale)],
         "state" => vec![state_exp::state(scale)],
         "chaos" => vec![chaos::chaos(scale)],
+        "observability" => vec![observability::observability(scale)],
         "ablation" => vec![
             ablation::ablation_selectivity(scale),
             ablation::ablation_completion(scale),

@@ -10,10 +10,15 @@
 //! Every seeded run re-asserts the chaos invariants internally: output
 //! lineage identical to the serial in-order oracle for all four
 //! strategies, closed late-tuple accounting, both scripted panics
-//! recovered, delivery guards engaged, watermarks advanced, and both
-//! latency phases sampled. A seed that survives proves nothing about the
-//! next one — the soak's value is breadth, so keep seeds cheap (half
-//! scale) and varied.
+//! recovered, delivery guards engaged, watermarks advanced, causally
+//! ordered flight events, and both latency phases recorded. A seed that
+//! survives proves nothing about the next one — the soak's value is
+//! breadth, so keep seeds cheap (half scale) and varied.
+//!
+//! On any invariant failure the failing run's control-plane flight
+//! recording is dumped to `JISC_FLIGHT_DUMP` (default
+//! `chaos_flight_dump.json`) before the panic propagates — CI uploads it
+//! as the post-mortem artifact.
 
 #![cfg(feature = "chaos-soak")]
 

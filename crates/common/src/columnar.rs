@@ -220,6 +220,15 @@ pub struct ColumnarBatch {
     seq_mask: SelBitmap,
     arena: PayloadArena,
     capacity: usize,
+    /// Telemetry stamp: nanoseconds (since the run's shared epoch) at
+    /// which the producer staged this batch, if stamped. Rides the
+    /// batch through queues and replay so the consumer can record
+    /// ingest-to-emit latency once per batch — recovery replays keep
+    /// the original stamp, making recorded latency recovery-inclusive.
+    origin_ns: Option<u64>,
+    /// Telemetry stamp: producer-assigned workload phase (e.g. steady
+    /// vs burst); consumers keep one latency histogram per phase.
+    phase: u32,
 }
 
 impl ColumnarBatch {
@@ -236,7 +245,29 @@ impl ColumnarBatch {
             seq_mask: SelBitmap::new(),
             arena: PayloadArena::new(),
             capacity,
+            origin_ns: None,
+            phase: 0,
         }
+    }
+
+    /// Stamps the batch with its staging time (`origin_ns`,
+    /// nanoseconds since the run's telemetry epoch) and workload
+    /// `phase`. Set by the sharded router at flush; read once by the
+    /// consuming worker via [`ColumnarBatch::origin_ns`].
+    pub fn stamp_telemetry(&mut self, origin_ns: u64, phase: u32) {
+        self.origin_ns = Some(origin_ns);
+        self.phase = phase;
+    }
+
+    /// The producer's staging time in nanoseconds since the run's
+    /// telemetry epoch, or `None` if the batch was never stamped.
+    pub fn origin_ns(&self) -> Option<u64> {
+        self.origin_ns
+    }
+
+    /// The producer-assigned workload phase (0 when unstamped).
+    pub fn phase(&self) -> u32 {
+        self.phase
     }
 
     /// The fixed capacity.
@@ -270,6 +301,8 @@ impl ColumnarBatch {
         self.ts_mask.clear();
         self.seq_mask.clear();
         self.arena.clear();
+        self.origin_ns = None;
+        self.phase = 0;
     }
 
     /// Append a row with consumer-assigned timestamp and sequence number.

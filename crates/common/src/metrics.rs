@@ -68,10 +68,51 @@ pub struct Metrics {
     pub late_admitted: u64,
 }
 
+/// Expands `name => cb` for every counter field, so the field list is
+/// written once and `for_each_named`/tests cannot drift from the struct.
+macro_rules! for_each_metric_field {
+    ($self:expr, $cb:expr) => {{
+        let m = $self;
+        let mut cb = $cb;
+        cb("tuples_in", m.tuples_in);
+        cb("tuples_out", m.tuples_out);
+        cb("probes", m.probes);
+        cb("nlj_comparisons", m.nlj_comparisons);
+        cb("inserts", m.inserts);
+        cb("removals", m.removals);
+        cb("completions", m.completions);
+        cb("attempted_skips", m.attempted_skips);
+        cb("transitions", m.transitions);
+        cb("states_copied", m.states_copied);
+        cb("states_incomplete", m.states_incomplete);
+        cb("eager_entries_built", m.eager_entries_built);
+        cb("dedup_checks", m.dedup_checks);
+        cb("duplicates_dropped", m.duplicates_dropped);
+        cb("discard_checks", m.discard_checks);
+        cb("eddy_hops", m.eddy_hops);
+        cb("promotes", m.promotes);
+        cb("demotes", m.demotes);
+        cb("probe_depth", m.probe_depth);
+        cb("slab_rehashes", m.slab_rehashes);
+        cb("slab_slot_reuses", m.slab_slot_reuses);
+        cb("dropped_late", m.dropped_late);
+        cb("late_admitted", m.late_admitted);
+    }};
+}
+
 impl Metrics {
     /// Fresh, zeroed counters.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Visits every counter as a `(stable snake_case name, value)` pair.
+    /// This is the bridge into the telemetry registry: a worker mirrors
+    /// its `Metrics` into named registry counters without the registry
+    /// crate knowing this struct, and without a hand-maintained second
+    /// field list that could drift.
+    pub fn for_each_named(&self, f: impl FnMut(&'static str, u64)) {
+        for_each_metric_field!(self, f);
     }
 
     /// Total state-touching operations; a scalar proxy for work done.
@@ -146,6 +187,29 @@ mod tests {
         assert_eq!(a.probes, 5);
         assert_eq!(a.tuples_out, 2);
         assert_eq!(a.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn for_each_named_enumerates_every_field() {
+        // A struct whose fields are all distinct non-zero values: the
+        // enumeration must yield exactly those values, and as many
+        // entries as merge() touches fields (both are macro-generated
+        // from one list, but the count pins accidental edits).
+        let mut m = Metrics::new();
+        let mut stamp = 1u64;
+        m.for_each_named(|_, _| stamp += 1);
+        let fields = stamp - 1;
+        assert_eq!(fields, 23, "field list changed; update telemetry docs");
+
+        m.tuples_in = 11;
+        m.dropped_late = 97;
+        let mut seen = std::collections::BTreeMap::new();
+        m.for_each_named(|name, v| {
+            seen.insert(name, v);
+        });
+        assert_eq!(seen["tuples_in"], 11);
+        assert_eq!(seen["dropped_late"], 97);
+        assert_eq!(seen.len() as u64, fields, "names must be unique");
     }
 
     #[test]

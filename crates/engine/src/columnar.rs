@@ -105,17 +105,25 @@ impl KernelStats {
         self.hash.invocations > 0
     }
 
-    /// The `explain` footer line.
+    /// Visits every kernel counter as a `(stable name, counter)` pair —
+    /// the bridge into the telemetry registry (and the single list the
+    /// footer renders from).
+    pub fn for_each_named(&self, mut f: impl FnMut(&'static str, &KernelCounter)) {
+        f("hash", &self.hash);
+        f("probe", &self.probe);
+        f("pair", &self.pair);
+        f("install", &self.install);
+        f("expire", &self.expire);
+    }
+
+    /// The `explain` footer line, rendered by the shared telemetry
+    /// renderer (same `section: k=v` shape as the `index:` footer).
     pub fn footer(&self) -> String {
-        let f = |c: &KernelCounter| format!("{}@{:.1}ns", c.elements, c.ns_per_element());
-        format!(
-            "kernels: hash={} probe={} pair={} install={} expire={}",
-            f(&self.hash),
-            f(&self.probe),
-            f(&self.pair),
-            f(&self.install),
-            f(&self.expire),
-        )
+        let mut entries: Vec<(&'static str, String)> = Vec::with_capacity(5);
+        self.for_each_named(|name, c| {
+            entries.push((name, format!("{}@{:.1}ns", c.elements, c.ns_per_element())));
+        });
+        jisc_telemetry::render::line("kernels", &entries)
     }
 }
 

@@ -40,10 +40,20 @@ pub fn explain(pipe: &Pipeline) -> String {
     } else {
         0.0
     };
+    // Footer lines go through the shared telemetry renderer so every
+    // counter footer in the workspace has the same `section: k=v` shape.
     let _ = writeln!(
         out,
-        "index: probes={} mean_depth={mean_depth:.2} rehashes={} slot_reuses={}",
-        m.probes, m.slab_rehashes, m.slab_slot_reuses
+        "{}",
+        jisc_telemetry::render::line(
+            "index",
+            &[
+                ("probes", m.probes.to_string()),
+                ("mean_depth", format!("{mean_depth:.2}")),
+                ("rehashes", m.slab_rehashes.to_string()),
+                ("slot_reuses", m.slab_slot_reuses.to_string()),
+            ],
+        )
     );
     if pipe.kernels.any() {
         let _ = writeln!(out, "{}", pipe.kernels.footer());

@@ -26,6 +26,8 @@
 //! * Every firing resets a `cooldown` clock; no decision fires while it
 //!   runs. Cooldown + persistence are the two hysteresis knobs.
 
+use jisc_telemetry::{Registry, TelemetrySnapshot};
+
 use crate::stats::Ewma;
 
 /// What the controller recommends after a load sample.
@@ -75,6 +77,9 @@ pub struct ElasticController {
     since_last: u64,
     /// Per-slot `(events, probes)` at the previous sample, for rates.
     last: Vec<(u64, u64)>,
+    /// Optional metric registry the controller publishes its internal
+    /// state into (`elastic_occupancy` gauge, decision counters).
+    registry: Option<Registry>,
 }
 
 impl ElasticController {
@@ -94,7 +99,19 @@ impl ElasticController {
             below: 0,
             since_last: u64::MAX / 2, // first decision is not cooldown-gated
             last: Vec::new(),
+            registry: None,
         }
+    }
+
+    /// Publish the controller's state into `registry` on every decision:
+    /// the smoothed queue occupancy as the `elastic_occupancy` gauge, the
+    /// pressure/idle streak lengths as gauges, and one counter per fired
+    /// decision kind (`elastic_scale_ups`, `elastic_splits`,
+    /// `elastic_scale_downs`). This makes the controller's previously
+    /// private EWMA visible in the same [`TelemetrySnapshot`] that carries
+    /// the shard counters it reacts to.
+    pub fn publish_to(&mut self, registry: Registry) {
+        self.registry = Some(registry);
     }
 
     /// The current EWMA queue occupancy (0..1; 0 before any sample).
@@ -112,6 +129,51 @@ impl ElasticController {
     /// probes)` — the shape `ShardedExecutor::shard_loads` returns.
     /// Retired slots are ignored.
     pub fn decide(&mut self, live: &[usize], loads: &[(u64, u64, u64)]) -> ElasticDecision {
+        let decision = self.decide_inner(live, loads);
+        if let Some(reg) = &self.registry {
+            reg.gauge("elastic_occupancy").set(self.occupancy());
+            reg.gauge("elastic_pressure_streak")
+                .set(f64::from(self.above));
+            reg.gauge("elastic_idle_streak").set(f64::from(self.below));
+            match decision {
+                ElasticDecision::Hold => {}
+                ElasticDecision::ScaleUp => reg.counter("elastic_scale_ups").inc(),
+                ElasticDecision::Split { .. } => reg.counter("elastic_splits").inc(),
+                ElasticDecision::ScaleDown { .. } => reg.counter("elastic_scale_downs").inc(),
+            }
+        }
+        decision
+    }
+
+    /// [`ElasticController::decide`] fed from a [`TelemetrySnapshot`]
+    /// instead of a direct `shard_loads` call: reads the router-published
+    /// per-shard `routed_events` / `queue_depth` / `routed_probes` gauges
+    /// (`ShardedExecutor::telemetry` refreshes them at sample time), so a
+    /// controller running off a telemetry feed needs no second channel to
+    /// the executor. Shards absent from the snapshot read as idle.
+    pub fn decide_from_telemetry(
+        &mut self,
+        live: &[usize],
+        telemetry: &TelemetrySnapshot,
+    ) -> ElasticDecision {
+        let slots = telemetry
+            .per_shard
+            .iter()
+            .map(|&(s, _)| s + 1)
+            .max()
+            .unwrap_or(0);
+        let mut loads = vec![(0u64, 0u64, 0u64); slots];
+        for (s, snap) in &telemetry.per_shard {
+            loads[*s] = (
+                snap.gauge("routed_events") as u64,
+                snap.gauge("queue_depth") as u64,
+                snap.gauge("routed_probes") as u64,
+            );
+        }
+        self.decide(live, &loads)
+    }
+
+    fn decide_inner(&mut self, live: &[usize], loads: &[(u64, u64, u64)]) -> ElasticDecision {
         self.since_last = self.since_last.saturating_add(1);
         if self.last.len() < loads.len() {
             // New shards appear with zero history; their first sample's
@@ -309,6 +371,60 @@ mod tests {
                 "occupancy decays back into the dead band"
             );
         }
+    }
+
+    #[test]
+    fn controller_publishes_ewma_and_decisions_to_the_registry() {
+        let reg = Registry::new();
+        let mut c = ElasticController::new(100);
+        c.publish_to(reg.clone());
+        let live = [0usize, 1];
+        let mut ev = [0u64; 2];
+        let mut fired = 0u64;
+        for _ in 0..6 {
+            if c.decide(&live, &sample(&mut ev, &[50, 50], &[95, 95])) != ElasticDecision::Hold {
+                fired += 1;
+            }
+        }
+        let snap = reg.snapshot();
+        assert!(fired >= 1, "pressure fired");
+        assert_eq!(snap.counter("elastic_scale_ups"), fired);
+        let occ = snap.gauge("elastic_occupancy");
+        assert!(
+            (0.0..=1.0).contains(&occ) && occ > 0.5,
+            "EWMA occupancy visible as a gauge: {occ}"
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_drives_the_same_decisions_as_raw_loads() {
+        // Two controllers, one fed raw loads, one fed a TelemetrySnapshot
+        // carrying the router-published gauges: identical decisions.
+        let mut raw = ElasticController::new(100);
+        let mut via_tel = ElasticController::new(100);
+        let live = [0usize, 1, 2];
+        let mut ev = [0u64; 3];
+        for _ in 0..8 {
+            let loads = sample(&mut ev, &[300, 10, 10], &[90, 90, 90]);
+            let per_shard = loads
+                .iter()
+                .enumerate()
+                .map(|(s, &(e, d, p))| {
+                    let r = Registry::new();
+                    r.gauge("routed_events").set(e as f64);
+                    r.gauge("queue_depth").set(d as f64);
+                    r.gauge("routed_probes").set(p as f64);
+                    (s, r.snapshot())
+                })
+                .collect();
+            let telemetry = TelemetrySnapshot::from_shards(per_shard, Vec::new());
+            let want = raw.decide(&live, &loads);
+            assert_eq!(via_tel.decide_from_telemetry(&live, &telemetry), want);
+            if want == (ElasticDecision::Split { shard: 0 }) {
+                return; // both reached the skew split in lockstep
+            }
+        }
+        panic!("skewed pressure never fired");
     }
 
     #[test]

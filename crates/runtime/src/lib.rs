@@ -40,8 +40,8 @@ pub(crate) mod supervisor;
 
 pub use fault::{FaultAction, FaultPlan};
 pub use shard::{
-    Exactness, OverloadPolicy, ShardSemantics, ShardStrategy, ShardedConfig, ShardedExecutor,
-    ShardedReport,
+    Exactness, OverloadPolicy, PhaseClassifier, ShardSemantics, ShardStrategy, ShardedConfig,
+    ShardedExecutor, ShardedReport,
 };
 
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -103,20 +103,23 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use jisc_common::{
-    ColumnarBatch, Event, FxHashMap, FxHashSet, JiscError, Key, KeyRange, Metrics, PartitionMap,
-    Result, SeqNo, StreamId, WorkerFault,
+    ColumnarBatch, Event, FxHashSet, JiscError, Key, KeyRange, Metrics, PartitionMap, Result,
+    SeqNo, StreamId, WorkerFault,
 };
 use jisc_core::migrate::{verify_reorderable, verify_same_query};
 use jisc_engine::plan::Plan;
 use jisc_engine::{
     BaseRangeExport, Catalog, LatenessGate, LatenessPolicy, OpKind, OutputSink, PlanSpec, Predicate,
 };
+use jisc_telemetry::{
+    FlightEventKind, FlightRecorder, HistogramSnapshot, Registry, TelemetrySnapshot,
+};
 
 use crate::chan;
 use crate::fault::{payload_string, FaultInjector, FaultPlan};
 use crate::supervisor::{
     worker_loop, CheckpointData, RangeInstall, ShardEngine, ShardMsg, ShardResult, ToRouter,
-    WorkerCtx,
+    WorkerCtx, WorkerTelemetry,
 };
 
 pub use crate::supervisor::ShardStrategy;
@@ -188,16 +191,54 @@ pub struct ShardedConfig {
     /// in-order run's over the admitted set), arrivals beyond it are
     /// dropped and counted in the report's `dropped_late`.
     pub lateness: Option<LatenessPolicy>,
+    // --- telemetry ---
+    // Every run carries a per-shard metric registry and a shared
+    // control-plane flight recorder; sample them live with
+    // [`ShardedExecutor::telemetry`] or read the final
+    // [`ShardedReport::telemetry`]. The knobs below tune what feeds them.
     /// Broadcast a min-aligned event-time [`Event::Watermark`] to every
     /// live shard each time this many tuples have been routed (`0`, the
     /// default, disables). The watermark is the minimum of the per-stream
     /// routed-timestamp frontiers, so sharded window expiry advances by
-    /// event time even on shards whose partition has gone quiet.
+    /// event time even on shards whose partition has gone quiet. Each
+    /// broadcast is also recorded in the flight recorder.
     pub watermark_every: u64,
-    /// Sample ingest-to-emit latency on every routed tuple whose global
-    /// sequence number is a multiple of this (`0`, the default, disables).
-    /// Sampled per-tuple latencies appear in the report's `latencies`.
+    /// Deprecated: ingest-to-apply latency is now always recorded, O(1)
+    /// per batch, into bounded per-shard histograms (see
+    /// [`ShardedReport::latency`]). This knob is ignored.
+    #[deprecated(note = "latency recording is always on; see ShardedReport::latency")]
     pub latency_sample_every: u64,
+    /// Optional telemetry phase classifier: maps each routed tuple's
+    /// event timestamp to a phase id (`0` = default/steady). The router
+    /// cuts its staged batches whenever the phase changes, so every
+    /// delivered batch is single-phase and its latency lands in that
+    /// phase's histogram (`ingest_latency_ns` for phase 0,
+    /// `ingest_latency_ns_phase<p>` otherwise). The chaos experiments
+    /// use this to split steady-state from burst latency.
+    pub phase: Option<PhaseClassifier>,
+}
+
+/// Maps a routed tuple's event timestamp to a telemetry phase id; see
+/// [`ShardedConfig::phase`]. Cloning shares the classifier function.
+#[derive(Clone)]
+pub struct PhaseClassifier(Arc<dyn Fn(u64) -> u32 + Send + Sync>);
+
+impl PhaseClassifier {
+    /// Wraps a `timestamp → phase id` function.
+    pub fn new(f: impl Fn(u64) -> u32 + Send + Sync + 'static) -> Self {
+        PhaseClassifier(Arc::new(f))
+    }
+
+    /// The phase for an event timestamp.
+    pub fn classify(&self, ts: u64) -> u32 {
+        (self.0)(ts)
+    }
+}
+
+impl std::fmt::Debug for PhaseClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PhaseClassifier(..)")
+    }
 }
 
 impl ShardedConfig {
@@ -229,6 +270,7 @@ impl ShardedConfig {
     /// (`default_shards() × 1024`): oversubscribing shards past the core
     /// count shrinks the per-shard checkpoint interval (floor 128) instead
     /// of multiplying router-side replay memory.
+    #[allow(deprecated)] // constructs the deprecated latency knob
     pub fn for_shards(shards: usize) -> Self {
         let n = shards.max(1);
         let budget = Self::default_shards() as u64 * 1024;
@@ -243,6 +285,7 @@ impl ShardedConfig {
             lateness: None,
             watermark_every: 0,
             latency_sample_every: 0,
+            phase: None,
         }
     }
 }
@@ -337,11 +380,22 @@ pub struct ShardedReport {
     /// Last watermark delivered to each shard slot (0 for shards retired
     /// before the first broadcast).
     pub watermarks_by_shard: Vec<u64>,
-    /// Sampled ingest-to-emit latencies: `(global seq, router-send →
-    /// worker-applied)` for every sampled tuple that survived to a final
-    /// worker incarnation, ascending by seq. Empty unless
-    /// [`ShardedConfig::latency_sample_every`] was set.
-    pub latencies: Vec<(SeqNo, Duration)>,
+    /// Ingest-to-apply latency distribution in nanoseconds (router
+    /// staged → worker applied), merged across shards and phases.
+    /// Always on, O(1) per batch, constant memory. Tuples applied by an
+    /// incarnation that later died before checkpointing them are absent
+    /// (their registry died with them); replayed tuples keep their
+    /// original ingest stamp, so recovered runs measure
+    /// recovery-inclusive latency.
+    pub latency: HistogramSnapshot,
+    /// Per-phase latency split `(phase id, histogram)`, ascending by
+    /// phase. One entry (phase 0) unless a [`ShardedConfig::phase`]
+    /// classifier was installed.
+    pub latency_by_phase: Vec<(u32, HistogramSnapshot)>,
+    /// Full telemetry sample at finish: merged and per-shard registry
+    /// snapshots (engine counters, kernel costs, latency histograms)
+    /// plus the retained control-plane flight events.
+    pub telemetry: TelemetrySnapshot,
     /// Duplicate deliveries dropped by the workers' delivery guards.
     pub dup_deliveries_dropped: u64,
     /// Reordered deliveries healed back into sequence order by the guards.
@@ -380,15 +434,29 @@ impl ShardedReport {
         );
         let _ = write!(
             s,
-            "  event time: watermark {} | dropped late {} | late admitted {} | latency samples {} \
+            "  event time: watermark {} | dropped late {} | late admitted {} \
              | dup deliveries dropped {} | reorders healed {}",
             self.watermark,
             self.dropped_late,
             self.late_admitted,
-            self.latencies.len(),
             self.dup_deliveries_dropped,
             self.reorders_healed,
         );
+        if self.latency.count() > 0 {
+            let _ = write!(
+                s,
+                "\n  {}",
+                jisc_telemetry::render::line(
+                    "latency",
+                    &[
+                        ("count", self.latency.count().to_string()),
+                        ("p50_ns", self.latency.quantile(0.5).to_string()),
+                        ("p99_ns", self.latency.quantile(0.99).to_string()),
+                        ("p999_ns", self.latency.quantile(0.999).to_string()),
+                    ],
+                )
+            );
+        }
         s
     }
 }
@@ -565,9 +633,16 @@ pub struct ShardedExecutor {
     shard_watermarks: Vec<u64>,
     /// Tuples routed since the last watermark broadcast.
     since_watermark: u64,
-    /// Router-side send instants for sampled sequence numbers, joined with
-    /// worker-side apply instants in `finish`.
-    latency_sends: Vec<(SeqNo, Instant)>,
+    // --- telemetry ---
+    /// Per-shard metric registries, slot-indexed. A respawn installs a
+    /// fresh registry: the dead incarnation's un-checkpointed telemetry
+    /// is discarded exactly like its un-checkpointed output.
+    registries: Vec<Registry>,
+    /// Run-wide control-plane flight recorder, shared with every worker;
+    /// its origin instant is also the epoch for batch ingest stamps.
+    flight: FlightRecorder,
+    /// Current phase id from [`ShardedConfig::phase`] (0 without one).
+    current_phase: u32,
 }
 
 /// True if hash partitioning by key preserves the plan's semantics: every
@@ -636,11 +711,14 @@ impl ShardedExecutor {
         if !config.faults.is_empty() {
             crate::fault::install_quiet_hook();
         }
+        let flight = FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY);
+        let mut registries = Vec::with_capacity(n);
         let mut txs = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
             let (tx, rx) = chan::bounded::<ShardMsg>(cap);
             let engine = ShardEngine::new(&catalog, spec, config.strategy)?;
+            let registry = Registry::new();
             let ctx = WorkerCtx {
                 shard: i,
                 start_index: 0,
@@ -648,8 +726,9 @@ impl ShardedExecutor {
                 spec: spec.clone(),
                 injector: Arc::clone(&injector),
                 ctrl: ctrl_tx.clone(),
-                latency_sample_every: config.latency_sample_every,
+                telemetry: WorkerTelemetry::new(registry.clone(), flight.clone()),
             };
+            registries.push(registry);
             let handle = std::thread::Builder::new()
                 .name(format!("jisc-shard-{i}"))
                 .spawn(move || worker_loop(engine, rx, ctx))
@@ -705,7 +784,9 @@ impl ShardedExecutor {
             watermark: 0,
             shard_watermarks: vec![0; n],
             since_watermark: 0,
-            latency_sends: Vec::new(),
+            registries,
+            flight,
+            current_phase: 0,
             config,
         })
     }
@@ -737,6 +818,38 @@ impl ShardedExecutor {
                 (self.shard_events[s], depth, self.probes_by_shard[s])
             })
             .collect()
+    }
+
+    /// Samples the run's telemetry right now: every shard's registry
+    /// snapshot (merged name-wise into the headline view) plus the
+    /// retained control-plane flight events. Never blocks the workers —
+    /// registries are read through relaxed atomics.
+    ///
+    /// Before snapshotting, the router refreshes its own load gauges on
+    /// each shard registry (`routed_events`, `queue_depth`,
+    /// `routed_probes` — the [`ShardedExecutor::shard_loads`] triple), so
+    /// an elastic controller can run off the snapshot alone.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        for (s, &(events, depth, probes)) in self.shard_loads().iter().enumerate() {
+            let r = &self.registries[s];
+            r.gauge("routed_events").set(events as f64);
+            r.gauge("queue_depth").set(depth as f64);
+            r.gauge("routed_probes").set(probes as f64);
+        }
+        TelemetrySnapshot::from_shards(
+            self.registries
+                .iter()
+                .enumerate()
+                .map(|(s, r)| (s, r.snapshot()))
+                .collect(),
+            self.flight.events(),
+        )
+    }
+
+    /// The run's shared flight recorder — harnesses drop `Note` markers
+    /// into it and dump it on invariant failures.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Whether the merged output is guaranteed lineage-equal to a serial
@@ -794,7 +907,13 @@ impl ShardedExecutor {
             return self.route_stamped(stream, key, payload, ts);
         };
         let mut out = std::mem::take(&mut self.gate_scratch);
+        let dropped_before = gate.stats.dropped_late;
         gate.offer(ts, (stream, key, payload), &mut out);
+        let dropped = gate.stats.dropped_late - dropped_before;
+        if dropped > 0 {
+            self.flight
+                .record(FlightEventKind::LatenessDrop { count: dropped });
+        }
         let result = out.drain(..).try_for_each(|(ts, (stream, key, payload))| {
             self.route_stamped(stream, key, payload, ts)
         });
@@ -812,6 +931,7 @@ impl ShardedExecutor {
                 self.last_ts
             )));
         }
+        self.cut_phase(ts)?;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.last_ts = ts;
@@ -857,6 +977,21 @@ impl ShardedExecutor {
             }
         }
         self.watermark = aligned;
+        self.flight
+            .record(FlightEventKind::Watermark { frontier: aligned });
+        Ok(())
+    }
+
+    /// Reclassify the telemetry phase at `ts`; on a change, cut every
+    /// staged batch first so each delivered batch is single-phase.
+    fn cut_phase(&mut self, ts: u64) -> Result<()> {
+        let Some(p) = self.config.phase.as_ref().map(|c| c.classify(ts)) else {
+            return Ok(());
+        };
+        if p != self.current_phase {
+            self.flush_all()?;
+            self.current_phase = p;
+        }
         Ok(())
     }
 
@@ -900,6 +1035,10 @@ impl ShardedExecutor {
         let (keys, streams, payloads) = (batch.keys(), batch.streams(), batch.payloads());
         for i in 0..batch.len() {
             let ts = batch.ts_at(i).unwrap_or(self.last_ts.max(self.next_seq));
+            if let Err(e) = self.cut_phase(ts) {
+                self.route_scratch = route;
+                return Err(e);
+            }
             let seq = self.next_seq;
             self.next_seq += 1;
             self.last_ts = ts;
@@ -1024,6 +1163,9 @@ impl ShardedExecutor {
                 self.send_event(s, Event::Repartition(new_map.clone()))?;
             }
         }
+        self.flight.record(FlightEventKind::RepartitionCut {
+            epoch: new_map.epoch(),
+        });
         // One export request per (source, target) pair, carrying all the
         // ranges moving between that pair.
         let mut grouped: Vec<((usize, usize), Vec<KeyRange>)> = Vec::new();
@@ -1164,6 +1306,11 @@ impl ShardedExecutor {
             return Ok(());
         }
         self.migrated_tuples += export.window_tuples() as u64;
+        self.flight.record(FlightEventKind::ExportHandover {
+            from: from as u64,
+            to: to as u64,
+            tuples: export.window_tuples() as u64,
+        });
         let install = Arc::new(RangeInstall {
             epoch,
             export: *export,
@@ -1192,6 +1339,7 @@ impl ShardedExecutor {
             self.probes_by_shard.push(0);
             self.shard_watermarks.push(0);
             self.spawn_spec.push(self.current_spec.clone());
+            self.registries.push(Registry::new());
         }
         if self.txs[s].is_some() || self.workers[s].is_some() {
             return Ok(()); // already live
@@ -1211,7 +1359,7 @@ impl ShardedExecutor {
             spec: self.current_spec.clone(),
             injector: Arc::clone(&self.injector),
             ctrl: self.ctrl_tx.clone(),
-            latency_sample_every: self.config.latency_sample_every,
+            telemetry: WorkerTelemetry::new(self.registries[s].clone(), self.flight.clone()),
         };
         let handle = std::thread::Builder::new()
             .name(format!("jisc-shard-{s}"))
@@ -1276,31 +1424,28 @@ impl ShardedExecutor {
         let mut incomplete = 0;
         let mut probes_by_shard = Vec::with_capacity(n);
         let mut sinks = std::mem::take(&mut self.saved);
-        let mut applied: FxHashMap<SeqNo, Instant> = FxHashMap::default();
         let (mut dup_dropped, mut reorders_healed) = (0, 0);
         for r in results {
             metrics.merge(&r.metrics);
             incomplete += r.incomplete_states;
             probes_by_shard.push(r.metrics.probes);
             sinks.push(r.output);
-            applied.extend(r.latency_marks);
             dup_dropped += r.dup_deliveries_dropped;
             reorders_healed += r.reorders_healed;
         }
-        // Join router send marks with worker apply marks. Samples from
-        // incarnations that faulted are absent (their ShardResult died with
-        // them); samples that survived a replay measure genuine
-        // recovery-inclusive latency against the original send instant.
-        let mut latencies: Vec<(SeqNo, Duration)> = self
-            .latency_sends
-            .drain(..)
-            .filter_map(|(seq, sent)| {
-                applied
-                    .get(&seq)
-                    .map(|done| (seq, done.saturating_duration_since(sent)))
-            })
-            .collect();
-        latencies.sort_unstable_by_key(|&(seq, _)| seq);
+        // Every worker mirrored its final counters into its registry on
+        // clean exit, so this sample is the authoritative final view.
+        let telemetry = self.telemetry();
+        let mut latency = HistogramSnapshot::empty();
+        let mut latency_by_phase: Vec<(u32, HistogramSnapshot)> = Vec::new();
+        for (name, h) in &telemetry.merged.histograms {
+            let Some(phase) = WorkerTelemetry::latency_phase_of(name) else {
+                continue;
+            };
+            latency.merge(h);
+            latency_by_phase.push((phase, h.clone()));
+        }
+        latency_by_phase.sort_unstable_by_key(|&(p, _)| p);
         let (gate_dropped, gate_admitted) = self
             .gate
             .as_ref()
@@ -1337,7 +1482,9 @@ impl ShardedExecutor {
             late_admitted,
             watermark: self.watermark,
             watermarks_by_shard: self.shard_watermarks.clone(),
-            latencies,
+            latency,
+            latency_by_phase,
+            telemetry,
             dup_deliveries_dropped: dup_dropped,
             reorders_healed,
         })
@@ -1348,22 +1495,15 @@ impl ShardedExecutor {
         if self.batches[s].is_empty() {
             return Ok(());
         }
-        let batch = std::mem::replace(&mut self.batches[s], ColumnarBatch::new(BATCH));
+        let mut batch = std::mem::replace(&mut self.batches[s], ColumnarBatch::new(BATCH));
         let len = batch.len() as u64;
-        if self.config.latency_sample_every > 0 {
-            // One send instant covers the whole batch: sampled seqs were
-            // staged at most `BATCH` pushes ago, and the queue wait this
-            // measures starts here.
-            let now = Instant::now();
-            let every = self.config.latency_sample_every;
-            for i in 0..batch.len() {
-                if let Some(seq) = batch.seq_at(i) {
-                    if seq % every == 0 {
-                        self.latency_sends.push((seq, now));
-                    }
-                }
-            }
-        }
+        // One ingest stamp covers the whole batch: its rows were staged
+        // at most `BATCH` pushes ago, and the queue wait the latency
+        // histogram measures starts here. The stamp survives the replay
+        // buffer, so a replayed batch measures recovery-inclusive
+        // latency against its original send.
+        let origin_ns = self.flight.origin().elapsed().as_nanos() as u64;
+        batch.stamp_telemetry(origin_ns, self.current_phase);
         self.send_event(s, Event::Columnar(batch))?;
         if self.config.checkpoint_every > 0 {
             self.since_ckpt[s] += len;
@@ -1448,6 +1588,10 @@ impl ShardedExecutor {
                     // Never sent: not in the positional clock, not replayed.
                     self.shed_tuples += tuples;
                     self.shed_by_shard[s] += tuples;
+                    self.flight.record(FlightEventKind::OverloadShed {
+                        shard: s as u64,
+                        tuples,
+                    });
                     return Ok(());
                 }
                 SendOutcome::TimedOut(millis) => {
@@ -1498,6 +1642,10 @@ impl ShardedExecutor {
             return;
         };
         self.checkpoints += 1;
+        self.flight.record(FlightEventKind::CheckpointTaken {
+            shard: s as u64,
+            covered: c.covered,
+        });
         // Prune the replay buffer: events the checkpoint now covers can
         // never need replaying again.
         let old_covered = self.ckpt[s].as_ref().map_or(0, |k| k.covered);
@@ -1552,6 +1700,14 @@ impl ShardedExecutor {
     fn respawn(&mut self, s: usize) -> Result<()> {
         let wall = Instant::now();
         loop {
+            self.flight
+                .record(FlightEventKind::WorkerFault { shard: s as u64 });
+            // Diagnostic of last resort: a worker fault dumps the control
+            // plane to `$JISC_FLIGHT_DUMP` even if the run later recovers
+            // (subsequent faults overwrite with a fresher view).
+            if let Ok(path) = std::env::var("JISC_FLIGHT_DUMP") {
+                self.flight.dump_to(std::path::Path::new(&path));
+            }
             self.recoveries_by_shard[s] += 1;
             self.recoveries += 1;
             if self.recoveries_by_shard[s] > self.config.max_recoveries as u64 {
@@ -1593,6 +1749,10 @@ impl ShardedExecutor {
                 ck.as_ref().map(|k| &k.snapshot),
             )?;
             let (tx, rx) = chan::bounded::<ShardMsg>(self.config.queue_capacity.max(1));
+            // Fresh registry: the dead incarnation's un-checkpointed
+            // telemetry is discarded with it, exactly like its output —
+            // replay regenerates both on the new incarnation.
+            self.registries[s] = Registry::new();
             let ctx = WorkerCtx {
                 shard: s,
                 start_index,
@@ -1600,7 +1760,7 @@ impl ShardedExecutor {
                 spec,
                 injector: Arc::clone(&self.injector),
                 ctrl: self.ctrl_tx.clone(),
-                latency_sample_every: self.config.latency_sample_every,
+                telemetry: WorkerTelemetry::new(self.registries[s].clone(), self.flight.clone()),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("jisc-shard-{s}"))
@@ -1613,9 +1773,11 @@ impl ShardedExecutor {
             // their results exactly once.
             let suffix: Vec<ReplayEvent> = self.replay[s].iter().cloned().collect();
             let mut replay_ok = true;
+            let mut replayed_here = 0u64;
             for rev in suffix {
                 self.replayed_events += 1;
                 self.replayed_tuples += rev.tuple_count();
+                replayed_here += 1;
                 let sent = self.txs[s]
                     .as_ref()
                     .is_some_and(|tx| tx.send(rev.to_msg()).is_ok());
@@ -1626,6 +1788,10 @@ impl ShardedExecutor {
             }
             if replay_ok {
                 self.recovery_wall += wall.elapsed();
+                self.flight.record(FlightEventKind::WorkerRecovered {
+                    shard: s as u64,
+                    replayed: replayed_here,
+                });
                 return Ok(());
             }
             // Died again during replay (a deterministic fault): reap the
@@ -2551,7 +2717,7 @@ mod tests {
     }
 
     #[test]
-    fn latency_samples_are_recorded_and_joined() {
+    fn latency_is_always_recorded_into_bounded_histograms() {
         let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
         let events = arrivals(600, 3, 17);
         let report = supervised_run(
@@ -2560,26 +2726,33 @@ mod tests {
             ShardedConfig {
                 shards: 2,
                 queue_capacity: 64,
-                latency_sample_every: 8,
                 ..ShardedConfig::default()
             },
         )
         .unwrap();
-        // seqs 0, 8, ..., 592: every sample survives a fault-free run.
-        assert_eq!(report.latencies.len(), 75);
-        let seqs: Vec<SeqNo> = report.latencies.iter().map(|&(s, _)| s).collect();
-        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "ascending by seq");
-        assert!(seqs.iter().all(|s| s % 8 == 0));
+        // Always on: every routed tuple lands in the histogram, no knob.
+        assert_eq!(report.latency.count(), 600);
+        assert_eq!(
+            report.latency_by_phase.len(),
+            1,
+            "no classifier: everything is phase 0"
+        );
+        assert_eq!(report.latency_by_phase[0].0, 0);
+        assert_eq!(report.latency_by_phase[0].1.count(), 600);
+        assert!(report.latency.quantile(0.5) <= report.latency.quantile(0.99));
+        assert!(report.latency.quantile(0.999) <= report.latency.max_bound());
+        assert!(report.footer().contains("latency: count=600"));
 
-        // Under a mid-stream fault, samples applied before the checkpoint
-        // by the dead incarnation are lost; the rest still join.
+        // Under a mid-stream fault, tuples the dead incarnation applied
+        // are lost with its registry; replayed tuples are re-recorded by
+        // the successor (with recovery-inclusive latency). Never
+        // double-counted, never more than offered.
         let report = supervised_run(
             &spec,
             &events,
             ShardedConfig {
                 shards: 2,
                 queue_capacity: 64,
-                latency_sample_every: 8,
                 checkpoint_every: 128,
                 faults: FaultPlan::new().panic_at(0, 100),
                 ..ShardedConfig::default()
@@ -2587,10 +2760,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.recoveries, 1);
-        assert!(
-            !report.latencies.is_empty() && report.latencies.len() <= 75,
-            "recovered run keeps a subset of samples, got {}",
-            report.latencies.len()
-        );
+        let n = report.latency.count();
+        assert!(0 < n && n <= 600, "recovered run keeps a subset, got {n}");
+    }
+
+    #[test]
+    fn phase_classifier_splits_latency_histograms() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(600, 3, 17);
+        let mut exec = ShardedExecutor::spawn_with(
+            timed_catalog(&["R", "S", "T"], 40),
+            &spec,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 64,
+                phase: Some(PhaseClassifier::new(|ts| u32::from(ts >= 300))),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        for &(s, k, p) in &events {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let report = exec.finish().unwrap();
+        let phases: Vec<u32> = report.latency_by_phase.iter().map(|&(p, _)| p).collect();
+        assert_eq!(phases, vec![0, 1], "both phases observed");
+        // `push` stamps ts = arrival index, and the router cuts staged
+        // batches at the phase boundary, so the split is exact.
+        assert_eq!(report.latency_by_phase[0].1.count(), 300);
+        assert_eq!(report.latency_by_phase[1].1.count(), 300);
+        assert_eq!(report.latency.count(), 600);
     }
 }

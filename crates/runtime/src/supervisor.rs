@@ -20,7 +20,6 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
 
 use jisc_common::{Event, KeyRange, Metrics, Result, SeqNo, WorkerFault};
 use jisc_core::jisc::{apply_event, incomplete_state_count, JiscSemantics};
@@ -28,6 +27,7 @@ use jisc_core::{rescale, AdaptiveEngine, RecoveryMode, Strategy};
 use jisc_engine::{
     BaseRangeExport, BaseStateSnapshot, Catalog, DefaultSemantics, OutputSink, Pipeline, PlanSpec,
 };
+use jisc_telemetry::{FlightRecorder, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::chan;
@@ -139,19 +139,72 @@ pub(crate) enum ToRouter {
     },
 }
 
-/// Final state a worker hands back on clean exit.
+/// Final state a worker hands back on clean exit. Latency and counter
+/// telemetry is not here: the router holds a clone of the incarnation's
+/// [`Registry`] and samples it directly.
 #[derive(Debug)]
 pub(crate) struct ShardResult {
     pub output: OutputSink,
     pub metrics: Metrics,
     pub incomplete_states: usize,
-    /// `(seq, applied-at)` for sampled tuples this incarnation applied
-    /// (empty unless the router enabled latency sampling).
-    pub latency_marks: Vec<(SeqNo, Instant)>,
     /// Duplicate deliveries the worker's guard dropped by sequence number.
     pub dup_deliveries_dropped: u64,
     /// Reordered deliveries healed back into sequence order.
     pub reorders_healed: u64,
+}
+
+/// Per-incarnation telemetry bundle: the shard's metric registry (the
+/// router keeps a clone and samples it live), the run-wide flight
+/// recorder (its origin instant doubles as the epoch for ingest
+/// stamps), and cached latency-histogram handles so the per-batch hot
+/// path never takes the registry lock.
+pub(crate) struct WorkerTelemetry {
+    pub registry: Registry,
+    pub flight: FlightRecorder,
+    /// Phase id → histogram handle. Phases are a handful of small ints;
+    /// a linear scan beats hashing at this size.
+    hists: Vec<(u32, Histogram)>,
+}
+
+impl WorkerTelemetry {
+    pub fn new(registry: Registry, flight: FlightRecorder) -> Self {
+        WorkerTelemetry {
+            registry,
+            flight,
+            hists: Vec::new(),
+        }
+    }
+
+    /// Registry histogram name for a traffic phase. Phase 0 is the
+    /// whole-run default; a router phase classifier splits further
+    /// phases (e.g. steady vs burst) into suffixed histograms.
+    pub fn latency_name(phase: u32) -> String {
+        if phase == 0 {
+            "ingest_latency_ns".to_string()
+        } else {
+            format!("ingest_latency_ns_phase{phase}")
+        }
+    }
+
+    /// Inverse of [`WorkerTelemetry::latency_name`]: the phase id if
+    /// `name` is a latency histogram, `None` otherwise.
+    pub fn latency_phase_of(name: &str) -> Option<u32> {
+        if name == "ingest_latency_ns" {
+            return Some(0);
+        }
+        name.strip_prefix("ingest_latency_ns_phase")?.parse().ok()
+    }
+
+    /// Records `n` tuples applied `ns` after their ingest stamp.
+    fn record_latency(&mut self, phase: u32, ns: u64, n: u64) {
+        if let Some((_, h)) = self.hists.iter().find(|(p, _)| *p == phase) {
+            h.record_n(ns, n);
+            return;
+        }
+        let h = self.registry.histogram(&Self::latency_name(phase));
+        h.record_n(ns, n);
+        self.hists.push((phase, h));
+    }
 }
 
 /// The engine a shard worker drives: a bare pipeline (plain pipelined) or
@@ -271,20 +324,47 @@ impl ShardEngine {
         }
     }
 
+    /// Current cumulative execution counters (cloned).
+    pub fn metrics_snapshot(&self) -> Metrics {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.metrics.clone(),
+            ShardEngine::Adaptive(engine) => engine.metrics(),
+        }
+    }
+
+    /// Mirrors the engine's cumulative counters — every [`Metrics`]
+    /// field plus, on the pipeline engines, the columnar kernel costs —
+    /// into the incarnation's registry. `store` semantics: the engine
+    /// holds the running totals, the registry exposes them. Called at
+    /// checkpoint marks and clean exit, so the registry tracks the
+    /// engine at every durable point without per-tuple overhead.
+    pub fn sync_telemetry(&self, tel: &WorkerTelemetry) {
+        self.metrics_snapshot()
+            .for_each_named(|name, v| tel.registry.counter(name).store(v));
+        if let ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) = self {
+            if pipe.kernels.any() {
+                pipe.kernels.for_each_named(|name, c| {
+                    tel.registry
+                        .counter(&format!("kernel_{name}_elements"))
+                        .store(c.elements);
+                    tel.registry
+                        .counter(&format!("kernel_{name}_nanos"))
+                        .store(c.nanos);
+                });
+            }
+        }
+    }
+
     pub fn into_result(mut self) -> ShardResult {
         let incomplete_states = match &self {
             ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => incomplete_state_count(pipe),
             ShardEngine::Adaptive(engine) => engine.incomplete_states(),
         };
-        let metrics = match &self {
-            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.metrics.clone(),
-            ShardEngine::Adaptive(engine) => engine.metrics(),
-        };
+        let metrics = self.metrics_snapshot();
         ShardResult {
             output: self.take_output(),
             metrics,
             incomplete_states,
-            latency_marks: Vec::new(),
             dup_deliveries_dropped: 0,
             reorders_healed: 0,
         }
@@ -302,9 +382,8 @@ pub(crate) struct WorkerCtx {
     pub spec: PlanSpec,
     pub injector: Arc<FaultInjector>,
     pub ctrl: chan::Sender<ToRouter>,
-    /// Record an apply instant for tuples whose seq is a multiple of this
-    /// (0 = latency sampling off); must match the router's setting.
-    pub latency_sample_every: u64,
+    /// This incarnation's registry + the run's shared flight recorder.
+    pub telemetry: WorkerTelemetry,
 }
 
 /// Report a structured fault to the router (best-effort; the router may be
@@ -337,8 +416,10 @@ struct DeliveryGuard {
 struct Delivery {
     ev: Event<PlanSpec>,
     batch_len: u64,
-    /// Sampled seqs to mark if the apply succeeds.
-    sampled: Vec<SeqNo>,
+    /// The router's `(origin_ns, phase)` ingest stamp, recorded into the
+    /// phase's latency histogram if the apply succeeds. `None` for
+    /// synthesized duplicates — the original delivery already measured.
+    stamp: Option<(u64, u32)>,
     /// Router-sent events advance the positional clocks; duplicates the
     /// fault injector synthesizes do not (the router sent them once).
     positional: bool,
@@ -357,7 +438,6 @@ fn max_seq(ev: &Event<PlanSpec>) -> Option<SeqNo> {
 
 /// Apply one delivery to the engine under the guard. `Err(payload)` means
 /// the incarnation must die (the caller reports the fault).
-#[allow(clippy::too_many_arguments)]
 fn apply_delivery(
     engine: &mut ShardEngine,
     ctx: &mut WorkerCtx,
@@ -365,12 +445,11 @@ fn apply_delivery(
     d: Delivery,
     index: &mut u64,
     tuples: &mut u64,
-    latency_marks: &mut Vec<(SeqNo, Instant)>,
 ) -> std::result::Result<(), String> {
     let Delivery {
         ev,
         batch_len,
-        sampled,
+        stamp,
         positional,
         panic,
     } = d;
@@ -412,9 +491,13 @@ fn apply_delivery(
     if let Some(seq) = seq {
         guard.last_seq = Some(guard.last_seq.map_or(seq, |l| l.max(seq)));
     }
-    if !sampled.is_empty() {
-        let now = Instant::now();
-        latency_marks.extend(sampled.into_iter().map(|s| (s, now)));
+    if let Some((origin_ns, phase)) = stamp {
+        // Ingest-to-apply latency, one O(1) record per batch. A replayed
+        // batch keeps its original stamp, so latency measured across a
+        // recovery includes the recovery itself.
+        let now_ns = ctx.telemetry.flight.origin().elapsed().as_nanos() as u64;
+        ctx.telemetry
+            .record_latency(phase, now_ns.saturating_sub(origin_ns), batch_len);
     }
     if positional {
         *index += 1;
@@ -431,7 +514,6 @@ pub(crate) fn worker_loop(
     let mut index = ctx.start_index;
     let mut tuples = ctx.start_tuples;
     let incarnation_start = tuples;
-    let mut latency_marks: Vec<(SeqNo, Instant)> = Vec::new();
     let mut guard = DeliveryGuard::default();
     // A reordered delivery in flight: the transport holds it until the
     // next data event would overtake it (or the stream demands order —
@@ -448,7 +530,6 @@ pub(crate) fn worker_loop(
                     h,
                     &mut index,
                     &mut tuples,
-                    &mut latency_marks,
                 ) {
                     fault(&ctx, payload, index, tuples - incarnation_start);
                     return None;
@@ -468,6 +549,10 @@ pub(crate) fn worker_loop(
                 // output and saved state must describe the same prefix, or
                 // recovery from an older snapshot would double-emit.
                 let output = snapshot.is_some().then(|| engine.take_output());
+                // Mirror the engine's counters at the durable point: if
+                // this incarnation later dies, its registry is replaced
+                // and these totals are what survives it.
+                engine.sync_telemetry(&ctx.telemetry);
                 let _ = ctx.ctrl.send(ToRouter::Checkpoint(CheckpointData {
                     shard: ctx.shard,
                     covered: index,
@@ -543,22 +628,15 @@ pub(crate) fn worker_loop(
             Event::Columnar(b) => b.len() as u64,
             _ => 0,
         };
-        // Collect sampled seqs before the event moves into the engine; the
-        // marks are recorded only if the apply succeeds (a faulted event's
-        // samples are regenerated by replay). The router ships data as
-        // Columnar, the only event kind carrying router-stamped seqs.
-        let mut sampled: Vec<SeqNo> = Vec::new();
-        if ctx.latency_sample_every > 0 {
-            if let Event::Columnar(b) = &ev {
-                for i in 0..b.len() {
-                    if let Some(seq) = b.seq_at(i) {
-                        if seq % ctx.latency_sample_every == 0 {
-                            sampled.push(seq);
-                        }
-                    }
-                }
-            }
-        }
+        // Lift the router's ingest stamp off the batch before the event
+        // moves into the engine; the latency is recorded only if the
+        // apply succeeds (a faulted event's latency is regenerated by
+        // replay). The router ships data as Columnar, the only event
+        // kind carrying the stamp.
+        let stamp = match &ev {
+            Event::Columnar(b) => b.origin_ns().map(|o| (o, b.phase())),
+            _ => None,
+        };
         let injected = ctx.injector.trigger(ctx.shard, &ev, tuples);
         if let Some(Triggered::DelayMillis(ms)) = injected {
             std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -582,7 +660,7 @@ pub(crate) fn worker_loop(
             held = Some(Delivery {
                 ev,
                 batch_len,
-                sampled,
+                stamp,
                 positional: true,
                 panic: false,
             });
@@ -599,14 +677,14 @@ pub(crate) fn worker_loop(
             .then(|| Delivery {
                 ev: ev.clone(),
                 batch_len,
-                sampled: Vec::new(),
+                stamp: None,
                 positional: false,
                 panic: false,
             });
         let d = Delivery {
             ev,
             batch_len,
-            sampled,
+            stamp,
             positional: true,
             panic: matches!(injected, Some(Triggered::Panic)),
         };
@@ -617,7 +695,6 @@ pub(crate) fn worker_loop(
             d,
             &mut index,
             &mut tuples,
-            &mut latency_marks,
         ) {
             fault(&ctx, payload, index, tuples - incarnation_start);
             return None;
@@ -632,7 +709,6 @@ pub(crate) fn worker_loop(
                 dup,
                 &mut index,
                 &mut tuples,
-                &mut latency_marks,
             ) {
                 fault(&ctx, payload, index, tuples - incarnation_start);
                 return None;
@@ -641,8 +717,10 @@ pub(crate) fn worker_loop(
     }
     // Stream end: anything still held is released before the snapshot.
     drain_held!();
+    // Final mirror: the registry the router holds now equals this
+    // incarnation's final counters exactly.
+    engine.sync_telemetry(&ctx.telemetry);
     let mut result = engine.into_result();
-    result.latency_marks = latency_marks;
     result.dup_deliveries_dropped = guard.dup_dropped;
     result.reorders_healed = guard.reorders_healed;
     Some(result)

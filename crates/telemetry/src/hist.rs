@@ -1,0 +1,358 @@
+//! Log-linear HDR-style histograms with O(1) record and mergeable
+//! snapshots.
+//!
+//! # Bucketing scheme
+//!
+//! Values are `u64` (the runtime records nanoseconds, but nothing here
+//! assumes a unit). The bucket layout is *log-linear*: each power-of-two
+//! range is subdivided into [`SUB`] = 2^[`SUB_BITS`] linear sub-buckets,
+//! which bounds the relative quantization error by `1 / SUB` (6.25 %)
+//! while keeping the whole table small enough to sit in cache:
+//!
+//! - values `< SUB` get one exact bucket each (`index = value`);
+//! - a value `v >= SUB` with most-significant bit `msb` lands in
+//!   `index = ((msb - SUB_BITS) << SUB_BITS) + (v >> (msb - SUB_BITS))`.
+//!
+//! The mantissa term `v >> (msb - SUB_BITS)` always falls in
+//! `[SUB, 2*SUB)`, so consecutive power-of-two groups tile the index
+//! space contiguously. The largest index (for `v = u64::MAX`) is
+//! [`NUM_BUCKETS`]` - 1` = 975, so one histogram is 976 `u64` slots —
+//! about 7.6 KiB — regardless of how many values it absorbs. That fixed
+//! footprint is what lets soak runs record every tuple's latency for
+//! hours at constant memory, where the old sampled `Vec<(seq, ns)>`
+//! grew without bound.
+//!
+//! # Recording and merging
+//!
+//! [`AtomicHistogram`] is the writer side: `record` is one relaxed
+//! `fetch_add` on the owning bucket plus two on the count/sum totals —
+//! lock-free, wait-free, O(1). Snapshots ([`HistogramSnapshot`]) are
+//! plain bucket arrays; [`HistogramSnapshot::merge`] is bucket-wise
+//! addition, which makes merging associative and commutative (property
+//! tested in `tests/props.rs`) — per-shard histograms can be combined in
+//! any grouping or order and yield the same totals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Power-of-two sub-bucket resolution: each binary order of magnitude is
+/// split into `2^SUB_BITS` linear buckets.
+pub const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per power-of-two range (`2^SUB_BITS`).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: exact buckets for `[0, SUB)` plus `SUB` buckets
+/// for each of the `64 - SUB_BITS` remaining power-of-two groups.
+pub const NUM_BUCKETS: usize = (SUB as usize) + (64 - SUB_BITS as usize) * (SUB as usize);
+
+/// Maps a value to its bucket index. Exact below [`SUB`], log-linear
+/// above; total and monotone over all of `u64`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (((msb - SUB_BITS) as usize) << SUB_BITS) + (v >> shift) as usize
+    }
+}
+
+/// Lowest value mapping to bucket `index` (the inverse of
+/// [`bucket_index`] on bucket lower bounds). Quantiles report this
+/// bound, so a quantile estimate is never above the true value and is
+/// below it by at most one sub-bucket width (relative error `<= 1/SUB`).
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB as usize {
+        index as u64
+    } else {
+        let e = (index - SUB as usize) >> SUB_BITS;
+        let m = ((index - SUB as usize) as u64 & (SUB - 1)) + SUB;
+        m << e
+    }
+}
+
+/// Lock-free writer-side histogram: a fixed array of relaxed atomic
+/// bucket counters plus running count/sum totals.
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array from a vec to
+        // keep the 7.6 KiB table off the stack.
+        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = match v.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("vec built with NUM_BUCKETS entries"),
+        };
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation: one bucket increment + totals. O(1),
+    /// wait-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value with three adds —
+    /// this is how the runtime attributes one per-batch latency
+    /// measurement to every tuple in the batch.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.wrapping_mul(n), Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into an immutable snapshot. Concurrent
+    /// writers may land between bucket reads; each write is still
+    /// captured by either this snapshot or the next (monotone buckets,
+    /// relaxed reads).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS].into_boxed_slice();
+        for (dst, src) in counts.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHistogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An immutable, mergeable copy of a histogram's buckets.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0u64; NUM_BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Builds a snapshot directly from values (test and oracle helper).
+    pub fn from_values(values: &[u64]) -> Self {
+        let mut s = Self::empty();
+        for &v in values {
+            s.counts[bucket_index(v)] += 1;
+            s.count += 1;
+            s.sum = s.sum.wrapping_add(v);
+        }
+        s
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (wrapping; latencies in ns fit
+    /// comfortably for any realistic run length).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile, reported as the containing bucket's lower
+    /// bound: for `q` in `[0, 1]`, the smallest bucket bound `b` such
+    /// that at least `ceil(q * count)` observations are `<` the next
+    /// bucket. Within one sub-bucket (relative error `<= 1/SUB`) of the
+    /// exact nearest-rank value; returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Largest recorded value's bucket lower bound (0 when empty).
+    pub fn max_bound(&self) -> u64 {
+        self.quantile(1.0)
+    }
+
+    /// Bucket-wise merge: after `a.merge(&b)`, `a` holds the union of
+    /// both observation sets. Associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending —
+    /// the sparse form used by the JSON exposition.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower_bound(i), c))
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut vals: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 3]
+                    .map(|off| (1u64 << shift).saturating_add(off << shift.saturating_sub(3)))
+            })
+            .collect();
+        vals.sort_unstable();
+        let mut last = 0usize;
+        for v in vals {
+            let i = bucket_index(v);
+            assert!(i >= last, "monotone at {v}");
+            assert!(i < NUM_BUCKETS);
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn lower_bound_inverts_index() {
+        for i in 0..NUM_BUCKETS {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "bucket {i} lower bound {lb}");
+        }
+    }
+
+    #[test]
+    fn relative_error_within_one_sub_bucket() {
+        for v in [17u64, 100, 999, 4096, 123_456_789, u64::MAX / 3] {
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v);
+            // Bucket width is lb / SUB rounded down (for log-linear
+            // buckets); the error is below one bucket width.
+            assert!(v - lb <= lb / SUB + 1, "value {v} bound {lb}");
+        }
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let h = AtomicHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let p50 = s.quantile(0.5);
+        assert!(p50 <= 500 && 500 - p50 <= 500 / SUB + 1, "p50 = {p50}");
+        let p99 = s.quantile(0.99);
+        assert!(p99 <= 990 && 990 - p99 <= 990 / SUB + 1, "p99 = {p99}");
+        assert_eq!(s.quantile(0.0), s.quantile(1e-9));
+    }
+
+    #[test]
+    fn record_n_matches_loop() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        a.record_n(777, 64);
+        for _ in 0..64 {
+            b.record(777);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let a = HistogramSnapshot::from_values(&[1, 2, 3]);
+        let b = HistogramSnapshot::from_values(&[3, 4]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m, HistogramSnapshot::from_values(&[1, 2, 3, 3, 4]));
+        assert_eq!(m.count(), 5);
+    }
+}

@@ -1,0 +1,53 @@
+//! Unified telemetry for the JISC runtime: a per-shard metric registry
+//! with lock-free writers, log-linear HDR-style histograms, a
+//! control-plane flight recorder, and shared exposition (JSON +
+//! `explain`-style text).
+//!
+//! The crate is dependency-free by design: every other workspace crate
+//! (engine, runtime, optimizer, bench) depends on it without cycles,
+//! and the offline vendored-stubs policy is trivially satisfied.
+//!
+//! # Layout
+//!
+//! - [`hist`] — the bucketing scheme, [`hist::AtomicHistogram`]
+//!   (wait-free O(1) record) and mergeable [`hist::HistogramSnapshot`].
+//! - [`registry`] — named [`registry::Counter`]/[`registry::Gauge`]/
+//!   [`registry::Histogram`] handles behind one [`registry::Registry`]
+//!   per shard; sampling never blocks writers.
+//! - [`recorder`] — [`recorder::FlightRecorder`], a fixed ring of
+//!   timestamped control-plane [`recorder::FlightEvent`]s with JSON
+//!   dumps for post-mortems.
+//! - [`render`] — [`render::TelemetrySnapshot`] JSON serialization and
+//!   the [`render::line`] text renderer all counter footers share.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use jisc_telemetry::{FlightEventKind, FlightRecorder, Registry};
+//!
+//! let reg = Registry::new();
+//! let tuples = reg.counter("tuples_in");
+//! let lat = reg.histogram("latency_ns");
+//! tuples.add(64);
+//! lat.record_n(1_500, 64); // one batch measurement, 64 tuples
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("tuples_in"), 64);
+//! assert!(snap.histogram("latency_ns").quantile(0.99) <= 1_500);
+//!
+//! let flight = FlightRecorder::new(256);
+//! flight.record(FlightEventKind::Watermark { frontier: 10 });
+//! assert!(flight.dump_json().contains("\"watermark\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod recorder;
+pub mod registry;
+pub mod render;
+
+pub use hist::{AtomicHistogram, HistogramSnapshot};
+pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
+pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
+pub use render::TelemetrySnapshot;

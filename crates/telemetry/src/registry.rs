@@ -1,0 +1,319 @@
+//! Per-shard metric registry: named counters, gauges, and histograms
+//! behind cheaply cloneable handles.
+//!
+//! The split of responsibilities is the whole point of the design:
+//!
+//! - **Registration** (looking a metric up by name) takes a mutex, but
+//!   happens once per metric per worker incarnation — off the hot path.
+//! - **Recording** through a returned handle is a relaxed atomic op on
+//!   an `Arc`'d cell: lock-free for writers, safe to call from a worker
+//!   thread while the router concurrently samples.
+//! - **Sampling** ([`Registry::snapshot`]) reads every cell without
+//!   stopping writers and yields an immutable, mergeable
+//!   [`RegistrySnapshot`] keyed by name.
+//!
+//! Merging snapshots across shards is name-wise: counters and histogram
+//! buckets add; gauges — point-in-time levels, not flows — keep the
+//! maximum, which is the useful cross-shard reduction for the
+//! occupancy/backlog signals the elastic controller reads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{AtomicHistogram, HistogramSnapshot};
+
+/// Monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value — used when mirroring an externally
+    /// maintained total (e.g. the engine's `Metrics` fields) into the
+    /// registry, where the source already holds the running sum.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time level handle (stores `f64` bits in an atomic cell).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram handle; see [`crate::hist`] for the bucketing scheme.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(AtomicHistogram::new()))
+    }
+}
+
+impl Histogram {
+    /// Records one observation. O(1), wait-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Records `n` observations of the same value.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.0.record_n(v, n);
+    }
+
+    /// Copies the current buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named-metric registry. Cloning shares the registry; each worker
+/// owns one, the router keeps a clone per shard and samples them live.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry mutex can only mean a panic while holding
+        // it inside this module, and no recording path locks; recover
+        // the data rather than cascade.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    /// Idempotent: all callers share one cell per name.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Samples every registered metric into an immutable snapshot.
+    /// Writers are never blocked; each in-flight write lands in this
+    /// snapshot or the next.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.lock();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// An immutable, mergeable sample of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// True when nothing was registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level by name (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram snapshot by name (empty when absent).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Name-wise merge: counters add, histograms merge bucket-wise,
+    /// gauges keep the maximum (a point-in-time level has no meaningful
+    /// cross-shard sum). Associative and commutative, like the
+    /// histogram merge it builds on.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            *e = e.max(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(r.snapshot().counter("x"), 4);
+    }
+
+    #[test]
+    fn gauges_round_trip_f64() {
+        let r = Registry::new();
+        let g = r.gauge("occ");
+        g.set(0.625);
+        assert_eq!(r.snapshot().gauge("occ"), 0.625);
+    }
+
+    #[test]
+    fn snapshot_merge_semantics() {
+        let r1 = Registry::new();
+        r1.counter("n").add(2);
+        r1.gauge("g").set(1.0);
+        r1.histogram("h").record(10);
+        let r2 = Registry::new();
+        r2.counter("n").add(5);
+        r2.gauge("g").set(3.0);
+        r2.histogram("h").record(20);
+        let mut m = r1.snapshot();
+        m.merge(&r2.snapshot());
+        assert_eq!(m.counter("n"), 7);
+        assert_eq!(m.gauge("g"), 3.0);
+        assert_eq!(m.histogram("h").count(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_and_sampler() {
+        let r = Registry::new();
+        let c = r.counter("hot");
+        let h = r.histogram("lat");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, h) = (c.clone(), h.clone());
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i & 1023);
+                    }
+                })
+            })
+            .collect();
+        // Sample while writers run: must never block or tear.
+        for _ in 0..100 {
+            let s = r.snapshot();
+            assert!(s.counter("hot") <= 40_000);
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("hot"), 40_000);
+        assert_eq!(s.histogram("lat").count(), 40_000);
+    }
+}

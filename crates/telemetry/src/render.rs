@@ -1,0 +1,269 @@
+//! Exposition: JSON serialization and the `explain`-style text
+//! renderer shared by every counter footer in the workspace.
+//!
+//! Before this module existed, `jisc-engine`'s slab `index:` footer and
+//! the columnar kernel-counter footer were formatted by two independent
+//! `format!` calls that had already drifted apart. Both now route
+//! through [`line()`], so a counter renders once, the same way,
+//! everywhere: `section: key=value key=value`.
+
+use std::fmt::Write;
+
+use crate::hist::HistogramSnapshot;
+use crate::recorder::FlightEvent;
+use crate::registry::RegistrySnapshot;
+
+/// Renders one `explain`-style footer line: `section: k=v k=v`.
+/// Values arrive pre-formatted so callers keep control of precision
+/// (`{:.2}`, `@{:.1}ns`, ...); this fixes only the section/entry shape.
+pub fn line(section: &str, entries: &[(&str, String)]) -> String {
+    let mut out = String::with_capacity(16 + entries.len() * 16);
+    out.push_str(section);
+    out.push(':');
+    for (k, v) in entries {
+        let _ = write!(out, " {k}={v}");
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+/// Serializes one histogram as a JSON object with summary quantiles and
+/// the sparse non-zero buckets.
+pub fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::with_capacity(160);
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \"buckets\": [",
+        h.count(),
+        json_f64(h.mean()),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.max_bound(),
+    );
+    for (i, (lb, c)) in h.nonzero_buckets().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{lb}, {c}]");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes a registry snapshot as a JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+pub fn registry_json(s: &RegistrySnapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"counters\": {");
+    for (i, (k, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {v}", escape_json(k));
+    }
+    out.push_str("}, \"gauges\": {");
+    for (i, (k, v)) in s.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {}", escape_json(k), json_f64(*v));
+    }
+    out.push_str("}, \"histograms\": {");
+    for (i, (k, h)) in s.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {}", escape_json(k), histogram_json(h));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A full telemetry sample: the merged cross-shard registry view,
+/// per-shard detail, and the retained control-plane events.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// All shards merged (counters added, histograms merged, gauges
+    /// maxed) — the headline view.
+    pub merged: RegistrySnapshot,
+    /// `(shard id, snapshot)` per live or finished shard.
+    pub per_shard: Vec<(usize, RegistrySnapshot)>,
+    /// Flight-recorder contents at sample time, oldest first.
+    pub flight: Vec<FlightEvent>,
+}
+
+impl TelemetrySnapshot {
+    /// Builds the merged view from per-shard snapshots.
+    pub fn from_shards(
+        per_shard: Vec<(usize, RegistrySnapshot)>,
+        flight: Vec<FlightEvent>,
+    ) -> Self {
+        let mut merged = RegistrySnapshot::default();
+        for (_, s) in &per_shard {
+            merged.merge(s);
+        }
+        Self {
+            merged,
+            per_shard,
+            flight,
+        }
+    }
+
+    /// Serializes the whole sample as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"merged\": ");
+        out.push_str(&registry_json(&self.merged));
+        out.push_str(",\n  \"shards\": {");
+        for (i, (shard, s)) in self.per_shard.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{shard}\": {}", registry_json(s));
+        }
+        out.push_str("\n  },\n  \"flight\": [");
+        for (i, ev) in self.flight.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"seq\": {}, \"at_ns\": {}, \"kind\": \"{}\"}}",
+                ev.seq,
+                ev.at_ns,
+                ev.kind.name()
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the sample as human-readable `explain`-style lines.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.merged.counters.is_empty() {
+            let entries: Vec<(&str, String)> = self
+                .merged
+                .counters
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.to_string()))
+                .collect();
+            out.push_str(&line("counters", &entries));
+            out.push('\n');
+        }
+        if !self.merged.gauges.is_empty() {
+            let entries: Vec<(&str, String)> = self
+                .merged
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.as_str(), format!("{v:.3}")))
+                .collect();
+            out.push_str(&line("gauges", &entries));
+            out.push('\n');
+        }
+        for (name, h) in &self.merged.histograms {
+            let section = format!("hist {name}");
+            out.push_str(&line(
+                &section,
+                &[
+                    ("count", h.count().to_string()),
+                    ("mean", format!("{:.0}", h.mean())),
+                    ("p50", h.quantile(0.5).to_string()),
+                    ("p99", h.quantile(0.99).to_string()),
+                    ("p999", h.quantile(0.999).to_string()),
+                ],
+            ));
+            out.push('\n');
+        }
+        if !self.flight.is_empty() {
+            out.push_str(&line(
+                "flight",
+                &[
+                    ("events", self.flight.len().to_string()),
+                    (
+                        "last",
+                        self.flight
+                            .last()
+                            .map(|e| e.kind.name().to_string())
+                            .unwrap_or_default(),
+                    ),
+                ],
+            ));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{FlightEventKind, FlightRecorder};
+    use crate::registry::Registry;
+
+    #[test]
+    fn line_matches_explain_footer_shape() {
+        assert_eq!(
+            line(
+                "index",
+                &[("probes", "7".into()), ("mean_depth", "1.25".into())]
+            ),
+            "index: probes=7 mean_depth=1.25"
+        );
+        assert_eq!(line("kernels", &[]), "kernels:");
+    }
+
+    #[test]
+    fn escape_json_handles_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn snapshot_json_and_text() {
+        let r = Registry::new();
+        r.counter("tuples_in").add(100);
+        r.gauge("occupancy").set(0.5);
+        r.histogram("latency_ns").record_n(1000, 10);
+        let fr = FlightRecorder::new(8);
+        fr.record(FlightEventKind::Watermark { frontier: 42 });
+        let snap = TelemetrySnapshot::from_shards(vec![(0, r.snapshot())], fr.events());
+        let json = snap.to_json();
+        assert!(json.contains("\"tuples_in\": 100"));
+        assert!(json.contains("\"occupancy\": 0.5"));
+        assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"kind\": \"watermark\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = snap.render_text();
+        assert!(text.contains("counters: tuples_in=100"));
+        assert!(text.contains("hist latency_ns: count=10"));
+        assert!(text.contains("flight: events=1 last=watermark"));
+    }
+}

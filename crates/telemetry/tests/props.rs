@@ -1,0 +1,144 @@
+//! Property tests for the telemetry primitives: histogram merge
+//! algebra, quantile error bounds, and flight-recorder ring behavior.
+
+use jisc_telemetry::hist::{bucket_index, bucket_lower_bound, HistogramSnapshot, SUB};
+use jisc_telemetry::{FlightEventKind, FlightRecorder, Registry};
+use proptest::prelude::*;
+
+fn values(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1u64 << 40, 0..max_len)
+}
+
+proptest! {
+    /// Merge is commutative: a ∪ b == b ∪ a, bucket for bucket.
+    #[test]
+    fn merge_is_commutative(a in values(64), b in values(64)) {
+        let (sa, sb) = (
+            HistogramSnapshot::from_values(&a),
+            HistogramSnapshot::from_values(&b),
+        );
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c) — per-shard
+    /// histograms may be combined in any grouping.
+    #[test]
+    fn merge_is_associative(a in values(48), b in values(48), c in values(48)) {
+        let (sa, sb, sc) = (
+            HistogramSnapshot::from_values(&a),
+            HistogramSnapshot::from_values(&b),
+            HistogramSnapshot::from_values(&c),
+        );
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging equals recording everything into one histogram.
+    #[test]
+    fn merge_equals_union(a in values(64), b in values(64)) {
+        let mut merged = HistogramSnapshot::from_values(&a);
+        merged.merge(&HistogramSnapshot::from_values(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, HistogramSnapshot::from_values(&both));
+    }
+
+    /// A reported quantile lands in the same bucket as the exact
+    /// nearest-rank value: never above it, below it by at most one
+    /// sub-bucket (relative error ≤ 1/SUB).
+    #[test]
+    fn quantile_within_one_bucket(
+        mut vals in proptest::collection::vec(0u64..1u64 << 40, 1..200),
+        qs in proptest::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let h = HistogramSnapshot::from_values(&vals);
+        vals.sort_unstable();
+        for q in qs.into_iter().map(|permille| permille as f64 / 1000.0) {
+            let rank = ((q * vals.len() as f64).ceil() as usize)
+                .clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = h.quantile(q);
+            prop_assert_eq!(
+                bucket_index(est),
+                bucket_index(exact),
+                "q={} exact={} est={}", q, exact, est
+            );
+            prop_assert!(est <= exact);
+            prop_assert!(exact - est <= exact / SUB + 1);
+        }
+    }
+
+    /// Bucket index and lower bound are mutually consistent and
+    /// monotone over arbitrary values.
+    #[test]
+    fn bucketing_round_trips(v in proptest::collection::vec(0u64..u64::MAX, 1..64)) {
+        for &x in &v {
+            let i = bucket_index(x);
+            let lb = bucket_lower_bound(i);
+            prop_assert!(lb <= x);
+            prop_assert_eq!(bucket_index(lb), i);
+            if x > 0 {
+                prop_assert!(bucket_index(x - 1) <= i);
+            }
+        }
+    }
+
+    /// The ring retains exactly the newest `capacity` events with
+    /// contiguous, gap-free sequence numbers, for any capacity/volume.
+    #[test]
+    fn flight_ring_wraparound(capacity in 1usize..32, n in 0u64..200) {
+        let r = FlightRecorder::new(capacity);
+        for frontier in 0..n {
+            r.record(FlightEventKind::Watermark { frontier });
+        }
+        prop_assert_eq!(r.total_recorded(), n);
+        let evs = r.events();
+        prop_assert_eq!(evs.len() as u64, n.min(capacity as u64));
+        let first = n.saturating_sub(capacity as u64);
+        for (i, ev) in evs.iter().enumerate() {
+            prop_assert_eq!(ev.seq, first + i as u64);
+            prop_assert_eq!(
+                &ev.kind,
+                &FlightEventKind::Watermark { frontier: first + i as u64 }
+            );
+        }
+        for w in evs.windows(2) {
+            prop_assert!(w[0].at_ns <= w[1].at_ns, "timestamps monotone");
+        }
+    }
+
+    /// Registry snapshots merge like the sums of their parts: splitting
+    /// a stream of increments across k registries and merging equals
+    /// one registry absorbing everything.
+    #[test]
+    fn registry_merge_matches_single(
+        incs in proptest::collection::vec((0usize..4, 1u64..100), 0..64),
+    ) {
+        let shards: Vec<Registry> = (0..4).map(|_| Registry::new()).collect();
+        let single = Registry::new();
+        for &(s, v) in &incs {
+            shards[s].counter("n").add(v);
+            shards[s].histogram("h").record(v);
+            single.counter("n").add(v);
+            single.histogram("h").record(v);
+        }
+        let mut merged = jisc_telemetry::RegistrySnapshot::default();
+        for r in &shards {
+            merged.merge(&r.snapshot());
+        }
+        let want = single.snapshot();
+        prop_assert_eq!(merged.counter("n"), want.counter("n"));
+        prop_assert_eq!(merged.histogram("h"), want.histogram("h"));
+    }
+}
