@@ -1,0 +1,175 @@
+//! `soak` — minutes-long chaos soak with periodic invariant dumps.
+//!
+//! ```text
+//! soak [--secs N] [--scale X] [--seed S] [--budget BYTES]
+//!
+//! --secs N        wall-clock soak duration (default 30)
+//! --scale X       chaos scale per iteration (default 0.5, the CI soak size)
+//! --seed S        base seed; iteration i runs at S + i (default 9001)
+//! --budget BYTES  hot-tier memory budget per shard (default 4096 — tiny,
+//!                 so the cold tier works hard every iteration)
+//! ```
+//!
+//! Each iteration drives the full chaos run (all four strategies, spill
+//! and durable checkpointing enabled) at a fresh seed and prints one
+//! invariant dump: closed lateness accounting, registry/report counter
+//! reconciliation, hot+cold byte accounting, cold-segment leak detection
+//! (any file left after shutdown — compaction leaks included — fails the
+//! run), and durable-manifest presence. Slow leaks show up as drift
+//! across dumps long before they would OOM.
+//!
+//! On an invariant failure the chaos harness dumps the flight recording
+//! to `JISC_FLIGHT_DUMP` (default `chaos_flight_dump.json`) and this
+//! binary additionally writes a segment-store manifest — every file left
+//! in the iteration's tier/checkpoint directories with its size, plus
+//! the durable `MANIFEST` contents — to `JISC_SEGMENT_MANIFEST` (default
+//! `chaos_segment_manifest.txt`) for the CI artifact uploader.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use jisc_bench::experiments::chaos::chaos_soak_iteration;
+use jisc_bench::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut secs, mut scale, mut seed, mut budget) = (30u64, Scale(0.5), 9001u64, 4096usize);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> Option<f64> {
+            let v = it.next().and_then(|v| v.parse::<f64>().ok());
+            if v.is_none() {
+                eprintln!("{what} requires a number");
+            }
+            v
+        };
+        match a.as_str() {
+            "--secs" => match num("--secs") {
+                Some(v) if v >= 0.0 => secs = v as u64,
+                _ => return ExitCode::FAILURE,
+            },
+            "--scale" => match num("--scale") {
+                Some(v) if v > 0.0 => scale = Scale(v),
+                _ => return ExitCode::FAILURE,
+            },
+            "--seed" => match num("--seed") {
+                Some(v) => seed = v as u64,
+                _ => return ExitCode::FAILURE,
+            },
+            "--budget" => match num("--budget") {
+                Some(v) if v >= 1.0 => budget = v as usize,
+                _ => return ExitCode::FAILURE,
+            },
+            _ => {
+                eprintln!("usage: soak [--secs N] [--scale X] [--seed S] [--budget BYTES]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(secs);
+    let mut iter = 0u64;
+    // Always at least one iteration, then loop until the clock runs out.
+    loop {
+        let iter_seed = seed + iter;
+        let root = std::env::temp_dir().join(format!("jisc-soak-{}-{iter}", std::process::id()));
+        if let Err(e) = std::fs::create_dir_all(&root) {
+            eprintln!("soak: cannot create {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chaos_soak_iteration(scale, iter_seed, budget, &root)
+        }));
+        match outcome {
+            Ok(samples) => {
+                let t = start.elapsed().as_secs_f64();
+                println!("[soak {t:7.1}s] iter {iter} seed {iter_seed} ok");
+                for s in &samples {
+                    println!(
+                        "  {:>14}: lateness closed {}+{}=={}; registry==report \
+                         ({} counters); hot {} B / cold {} B in {} segs; \
+                         evict {} fault {} seal {} drop {} compact {}; \
+                         ckpt {} ({} manifests); leaked files {}",
+                        s.strategy,
+                        s.events,
+                        s.dropped_late,
+                        s.offered,
+                        s.reconciled_counters,
+                        s.hot_bytes,
+                        s.cold_bytes,
+                        s.cold_segments,
+                        s.spill_evictions,
+                        s.spill_faults,
+                        s.spill_segments_sealed,
+                        s.spill_segments_dropped,
+                        s.spill_compactions,
+                        s.checkpoints,
+                        s.durable_manifests,
+                        s.leaked_cold_files,
+                    );
+                }
+                let _ = std::fs::remove_dir_all(&root);
+            }
+            Err(_) => {
+                let path = std::env::var("JISC_SEGMENT_MANIFEST")
+                    .unwrap_or_else(|_| "chaos_segment_manifest.txt".into());
+                write_segment_manifest(&root, Path::new(&path), iter_seed);
+                eprintln!(
+                    "soak: iteration {iter} (seed {iter_seed}) failed an invariant; \
+                     segment manifest written to {path}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        iter += 1;
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    println!(
+        "soak: {iter} iteration(s) clean in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Post-mortem segment-store manifest: every file left under `root`
+/// (size + path), with durable `MANIFEST` contents inlined so the
+/// hash-chain is part of the artifact.
+fn write_segment_manifest(root: &Path, out_path: &Path, seed: u64) {
+    let mut out = String::new();
+    let _ = writeln!(out, "# segment-store manifest (failed soak, seed {seed})");
+    let _ = writeln!(out, "# root: {}", root.display());
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = 0usize;
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+                continue;
+            }
+            files += 1;
+            let size = e.metadata().map(|m| m.len()).unwrap_or(0);
+            let rel = p.strip_prefix(root).unwrap_or(&p);
+            let _ = writeln!(out, "{size:>12}  {}", rel.display());
+            if p.file_name().is_some_and(|f| f == "MANIFEST") {
+                if let Ok(text) = std::fs::read_to_string(&p) {
+                    for line in text.lines() {
+                        let _ = writeln!(out, "              | {line}");
+                    }
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "# {files} file(s)");
+    if let Err(e) = std::fs::write(out_path, out) {
+        eprintln!("soak: could not write {}: {e}", out_path.display());
+    }
+}

@@ -28,10 +28,14 @@
 //! recording is dumped to `JISC_FLIGHT_DUMP` (default
 //! `chaos_flight_dump.json`) before the panic propagates.
 
+use std::path::{Path, PathBuf};
+
 use jisc_common::StreamId;
 use jisc_core::jisc::JiscSemantics;
 use jisc_engine::{LatenessGate, LatenessPolicy, Pipeline};
-use jisc_runtime::shard::{PhaseClassifier, ShardStrategy, ShardedConfig, ShardedExecutor};
+use jisc_runtime::shard::{
+    PhaseClassifier, ShardStrategy, ShardedConfig, ShardedExecutor, SpillSettings,
+};
 use jisc_runtime::FaultPlan;
 use jisc_telemetry::{FlightEventKind, FlightRecorder, HistogramSnapshot};
 use jisc_workload::{best_case, Disorder, FlashCrowd, Generator};
@@ -151,9 +155,123 @@ impl Drop for FlightDumpOnPanic {
     }
 }
 
+/// Per-strategy invariant readings one soak iteration collects — the
+/// long-soak binary prints these as its periodic dump, so a slow leak
+/// (bytes, segments, files, unreconciled counters) shows up as a drift
+/// across iterations instead of an eventual OOM.
+#[derive(Debug, Clone)]
+pub struct SoakSample {
+    /// Strategy name (`pipelined`, `jisc`, ...).
+    pub strategy: &'static str,
+    /// Tuples offered to the executor (routed + late-dropped).
+    pub offered: u64,
+    /// Tuples routed; lateness accounting closes when
+    /// `events + dropped_late == offered` (asserted before sampling).
+    pub events: u64,
+    /// Tuples rejected as late.
+    pub dropped_late: u64,
+    /// Out-of-order tuples admitted within the bound.
+    pub late_admitted: u64,
+    /// Worker panics recovered.
+    pub recoveries: u64,
+    /// Checkpoints completed (each also persisted durably in soak mode).
+    pub checkpoints: u64,
+    /// Metric counters cross-checked registry == report (all of them).
+    pub reconciled_counters: usize,
+    /// Hot entries evicted to cold segments.
+    pub spill_evictions: u64,
+    /// Cold entries faulted back just in time.
+    pub spill_faults: u64,
+    /// Cold segments sealed.
+    pub spill_segments_sealed: u64,
+    /// Cold segments dropped (expiry + compaction).
+    pub spill_segments_dropped: u64,
+    /// Compaction rewrites.
+    pub spill_compactions: u64,
+    /// Final hot-tier bytes, summed across shards (registry gauges).
+    pub hot_bytes: u64,
+    /// Final cold-tier bytes on disk, summed across shards.
+    pub cold_bytes: u64,
+    /// Final sealed segments referenced, summed across shards.
+    pub cold_segments: u64,
+    /// Segment files still on disk after the executor fully shut down —
+    /// anything non-zero is a leak (e.g. a compaction original not
+    /// unlinked). Asserted zero before the sample is returned.
+    pub leaked_cold_files: usize,
+    /// Durable checkpoint manifests found on disk (≥ 1 per shard once a
+    /// checkpoint completed).
+    pub durable_manifests: usize,
+}
+
+/// Sealed segment files (`*.jspl`) under `dir`, recursively (0 when
+/// `dir` is absent). The tiers' `manifest-*.log` leak ledgers are
+/// deliberately left behind on shutdown, so only payload files count.
+fn count_segment_files_under(dir: &Path) -> usize {
+    let mut n = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "jspl") {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `MANIFEST` files under `dir`, recursively.
+fn count_manifests_under(dir: &Path) -> usize {
+    let mut n = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.file_name().is_some_and(|f| f == "MANIFEST") {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
 /// Chaos run at an explicit seed; `emit_json` controls whether
 /// `BENCH_latency.json` is written (the soak test skips it).
 pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
+    chaos_run_inner(scale, seed, emit_json, None).0
+}
+
+/// One long-soak iteration: the chaos run with the memory-budgeted
+/// tiered store *and* durable checkpointing active (per-strategy subdirs
+/// under `root`), returning the invariant readings for the periodic
+/// dump. Every chaos invariant plus the soak-only ones — registry/report
+/// counter reconciliation, closed lateness accounting, hot+cold byte
+/// accounting, zero leaked cold-segment files — is asserted inside.
+pub fn chaos_soak_iteration(
+    scale: Scale,
+    seed: u64,
+    budget_bytes: usize,
+    root: &Path,
+) -> Vec<SoakSample> {
+    chaos_run_inner(scale, seed, false, Some((budget_bytes, root))).1
+}
+
+fn chaos_run_inner(
+    scale: Scale,
+    seed: u64,
+    emit_json: bool,
+    soak: Option<(usize, &Path)>,
+) -> (Table, Vec<SoakSample>) {
     let window = scale.apply(BASE_WINDOW);
     let base_positions = scale.apply(BASE_POSITIONS);
     let scenario = best_case(JOINS, crate::harness::hash_style());
@@ -259,8 +377,15 @@ pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
         ],
     );
     let mut json_strategies: Vec<String> = Vec::new();
+    let mut samples: Vec<SoakSample> = Vec::new();
 
     for strategy in STRATEGIES {
+        // Soak mode: per-strategy tiered-store and durable-checkpoint
+        // roots, so iterations can leak-check each independently.
+        let spill_dir: Option<PathBuf> =
+            soak.map(|(_, root)| root.join(strategy_name(strategy)).join("spill"));
+        let ckpt_dir: Option<PathBuf> =
+            soak.map(|(_, root)| root.join(strategy_name(strategy)).join("ckpt"));
         // Panics early on both starting shards (recovery + replay), a
         // delivery delay (queue pressure), plus duplicate and reordered
         // deliveries for the guards. The misdeliveries target the two
@@ -303,6 +428,11 @@ pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
                         PHASE_STEADY
                     }
                 })),
+                spill: soak.map(|(budget, _)| SpillSettings {
+                    budget_bytes: budget,
+                    dir: spill_dir.clone().expect("soak sets the spill dir"),
+                }),
+                durable_dir: ckpt_dir.clone(),
                 ..ShardedConfig::default()
             },
         )
@@ -422,6 +552,79 @@ pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
             report.recoveries.to_string(),
             format!("{} / {}", report.dropped_late, report.late_admitted),
         ]);
+        if soak.is_some() {
+            // Registry/report reconciliation: every execution counter the
+            // report sums must match what the workers mirrored into their
+            // registries at final sync — a divergence means telemetry is
+            // lying about the run it watched.
+            let mut reconciled = 0usize;
+            report.metrics.clone().for_each_named(|name, v| {
+                let reg = report
+                    .telemetry
+                    .merged
+                    .counters
+                    .get(name)
+                    .copied()
+                    .unwrap_or(0);
+                assert_eq!(
+                    reg, v,
+                    "{strategy:?}: registry counter {name} diverged from the report"
+                );
+                reconciled += 1;
+            });
+            assert!(
+                report.metrics.spill_evictions > 0,
+                "{strategy:?}: the soak budget must force evictions"
+            );
+            // Hot+cold byte accounting off the final per-shard gauges.
+            let gauge_sum = |name: &str| -> u64 {
+                report
+                    .telemetry
+                    .per_shard
+                    .iter()
+                    .map(|(_, r)| r.gauge(name) as u64)
+                    .sum()
+            };
+            // The executor is fully shut down (finish joins every worker,
+            // dropping the engines and their cold tiers): any segment
+            // file still on disk was leaked — e.g. by a compaction that
+            // forgot its original.
+            let leaked = spill_dir
+                .as_ref()
+                .map_or(0, |d| count_segment_files_under(d));
+            assert_eq!(
+                leaked, 0,
+                "{strategy:?}: cold segment files leaked in {spill_dir:?}"
+            );
+            let durable_manifests = ckpt_dir.as_ref().map_or(0, |d| count_manifests_under(d));
+            if report.checkpoints > 0 {
+                assert!(
+                    durable_manifests >= 1,
+                    "{strategy:?}: checkpoints completed but no durable manifest on disk"
+                );
+            }
+            samples.push(SoakSample {
+                strategy: strategy_name(strategy),
+                offered: offered_total,
+                events: report.events,
+                dropped_late: report.dropped_late,
+                late_admitted: report.late_admitted,
+                recoveries: report.recoveries,
+                checkpoints: report.checkpoints,
+                reconciled_counters: reconciled,
+                spill_evictions: report.metrics.spill_evictions,
+                spill_faults: report.metrics.spill_faults,
+                spill_segments_sealed: report.metrics.spill_segments_sealed,
+                spill_segments_dropped: report.metrics.spill_segments_dropped,
+                spill_compactions: report.metrics.spill_compactions,
+                hot_bytes: gauge_sum("spill_hot_bytes"),
+                cold_bytes: gauge_sum("spill_cold_bytes"),
+                cold_segments: gauge_sum("spill_cold_segments"),
+                leaked_cold_files: leaked,
+                durable_manifests,
+            });
+        }
+
         json_strategies.push(format!(
             "    {{\"strategy\": \"{}\", \"recoveries\": {}, \
              \"dropped_late\": {}, \"late_admitted\": {}, \
@@ -464,7 +667,7 @@ pub fn chaos_run(scale: Scale, seed: u64, emit_json: bool) -> Table {
             eprintln!("warning: could not write BENCH_latency.json: {e}");
         }
     }
-    table
+    (table, samples)
 }
 
 /// Chaos-soak table and `BENCH_latency.json` at the default seed.

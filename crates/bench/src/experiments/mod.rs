@@ -14,6 +14,7 @@ pub mod observability;
 pub mod overlap;
 pub mod recovery_exp;
 pub mod setdiff_exp;
+pub mod spill_exp;
 pub mod stairs_exp;
 pub mod state_exp;
 pub mod throughput;

@@ -38,6 +38,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "recovery",
     "elastic",
     "state",
+    "spill",
     "chaos",
     "observability",
 ];
@@ -63,6 +64,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "recovery" => vec![recovery_exp::recovery(scale)],
         "elastic" => vec![elastic::elastic(scale)],
         "state" => vec![state_exp::state(scale)],
+        "spill" => vec![spill_exp::spill(scale)],
         "chaos" => vec![chaos::chaos(scale)],
         "observability" => vec![observability::observability(scale)],
         "ablation" => vec![

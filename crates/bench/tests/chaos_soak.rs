@@ -22,7 +22,7 @@
 
 #![cfg(feature = "chaos-soak")]
 
-use jisc_bench::experiments::chaos::chaos_run;
+use jisc_bench::experiments::chaos::{chaos_run, chaos_soak_iteration};
 use jisc_bench::Scale;
 
 #[test]
@@ -32,5 +32,36 @@ fn chaos_soak_across_seeds() {
         // must not clobber the bench artifact from a real run.
         let table = chaos_run(Scale(0.5), seed, false);
         assert_eq!(table.rows.len(), 4, "seed {seed}: one row per strategy");
+    }
+}
+
+#[test]
+fn chaos_soak_iteration_with_tiered_store() {
+    // One iteration of what the `soak` binary loops: chaos with the
+    // memory-budgeted tiered store and durable checkpointing active. The
+    // invariants (lateness accounting, registry/report reconciliation,
+    // hot+cold byte accounting, zero leaked segment files) are asserted
+    // inside; here we pin the soak-specific readings.
+    let root = std::env::temp_dir().join(format!("jisc-soak-test-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("soak scratch root");
+    // Scale 0.3: the 4 KiB budget makes the tiers thrash hard (every
+    // probe faults and re-evicts), so a smaller stream already covers
+    // the leak surface without dominating the time-boxed soak job.
+    let samples = chaos_soak_iteration(Scale(0.3), 31_337, 4096, &root);
+    std::fs::remove_dir_all(&root).ok();
+    assert_eq!(samples.len(), 4, "one sample per strategy");
+    for s in &samples {
+        assert!(
+            s.spill_evictions > 0,
+            "{}: budget forced evictions",
+            s.strategy
+        );
+        assert_eq!(s.leaked_cold_files, 0, "{}: no leaked segments", s.strategy);
+        assert_eq!(
+            s.events + s.dropped_late,
+            s.offered,
+            "{}: accounting",
+            s.strategy
+        );
     }
 }

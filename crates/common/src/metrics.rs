@@ -66,6 +66,24 @@ pub struct Metrics {
     /// Event-time lateness: out-of-order tuples the policy admitted within
     /// its bound (clamped to the current clock instead of rejected).
     pub late_admitted: u64,
+    /// Tiered state: hot entries evicted to cold segments (oldest-first
+    /// past the memory budget). Diagnostic — excluded from `total_work`,
+    /// since eviction moves entries between tiers without logical effect.
+    pub spill_evictions: u64,
+    /// Tiered state: cold entries faulted back just-in-time for probes,
+    /// expiry of joined entries, or migration.
+    pub spill_faults: u64,
+    /// Tiered state: sequential segment reads issued by fault-back batches
+    /// (`spill_faults / spill_fault_reads` is the fault batching factor).
+    pub spill_fault_reads: u64,
+    /// Tiered state: cold segments sealed (one per eviction run or
+    /// compaction rewrite).
+    pub spill_segments_sealed: u64,
+    /// Tiered state: segments dropped — fully-expired O(1) file drops plus
+    /// compaction-replaced originals.
+    pub spill_segments_dropped: u64,
+    /// Tiered state: compaction rewrites of under-occupied segments.
+    pub spill_compactions: u64,
 }
 
 /// Expands `name => cb` for every counter field, so the field list is
@@ -97,6 +115,12 @@ macro_rules! for_each_metric_field {
         cb("slab_slot_reuses", m.slab_slot_reuses);
         cb("dropped_late", m.dropped_late);
         cb("late_admitted", m.late_admitted);
+        cb("spill_evictions", m.spill_evictions);
+        cb("spill_faults", m.spill_faults);
+        cb("spill_fault_reads", m.spill_fault_reads);
+        cb("spill_segments_sealed", m.spill_segments_sealed);
+        cb("spill_segments_dropped", m.spill_segments_dropped);
+        cb("spill_compactions", m.spill_compactions);
     }};
 }
 
@@ -153,6 +177,12 @@ impl Metrics {
         self.slab_slot_reuses += other.slab_slot_reuses;
         self.dropped_late += other.dropped_late;
         self.late_admitted += other.late_admitted;
+        self.spill_evictions += other.spill_evictions;
+        self.spill_faults += other.spill_faults;
+        self.spill_fault_reads += other.spill_fault_reads;
+        self.spill_segments_sealed += other.spill_segments_sealed;
+        self.spill_segments_dropped += other.spill_segments_dropped;
+        self.spill_compactions += other.spill_compactions;
     }
 }
 
@@ -199,7 +229,7 @@ mod tests {
         let mut stamp = 1u64;
         m.for_each_named(|_, _| stamp += 1);
         let fields = stamp - 1;
-        assert_eq!(fields, 23, "field list changed; update telemetry docs");
+        assert_eq!(fields, 29, "field list changed; update telemetry docs");
 
         m.tuples_in = 11;
         m.dropped_late = 97;

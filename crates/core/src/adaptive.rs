@@ -296,6 +296,51 @@ impl AdaptiveEngine {
         }
     }
 
+    // ----- memory-budgeted tiered state -----
+
+    /// Attach a hot-memory budget with an on-disk cold tier (spill) to the
+    /// running plan's hash states; see [`jisc_engine::SpillConfig`]. The
+    /// budget follows the engine across migrations — states a transition
+    /// creates are tiered under the same per-state share. Parallel Track
+    /// accepts this only while a single track runs (the new track a
+    /// migration starts is not tiered; its state is transient).
+    pub fn enable_spill(&mut self, cfg: jisc_engine::SpillConfig) -> Result<()> {
+        match &mut self.inner {
+            Inner::Jisc(e) => e.pipeline_mut().enable_spill(cfg),
+            Inner::Ms(e) => e.pipeline_mut().enable_spill(cfg),
+            Inner::Pt(e) => {
+                let p = e.sole_pipeline_mut().ok_or_else(|| {
+                    jisc_common::JiscError::InvalidConfig(
+                        "cannot enable spill while a Parallel Track migration runs two plans; \
+                         retry after the old track retires"
+                            .into(),
+                    )
+                })?;
+                p.enable_spill(cfg)
+            }
+        }
+    }
+
+    /// Cold-tier occupancy summed over the running plan's states, `None`
+    /// while spill is not enabled (or during a two-track Parallel Track
+    /// migration, whose transient new track is not tiered).
+    pub fn spill_stats(&self) -> Option<jisc_engine::SpillStats> {
+        match &self.inner {
+            Inner::Jisc(e) => e.pipeline().spill_stats(),
+            Inner::Ms(e) => e.pipeline().spill_stats(),
+            Inner::Pt(e) => e.sole_pipeline().and_then(|p| p.spill_stats()),
+        }
+    }
+
+    /// Estimated hot-tier bytes across the running plan's states.
+    pub fn hot_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Jisc(e) => e.pipeline().hot_bytes(),
+            Inner::Ms(e) => e.pipeline().hot_bytes(),
+            Inner::Pt(e) => e.sole_pipeline().map_or(0, |p| p.hot_bytes()),
+        }
+    }
+
     /// Move the accumulated output out of the engine, leaving it empty —
     /// used by checkpointing to drain results that are now durable.
     pub fn take_output(&mut self) -> OutputSink {

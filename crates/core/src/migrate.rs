@@ -90,6 +90,8 @@ pub fn build_state_eagerly(p: &mut Pipeline, node: NodeId) -> u64 {
         OpKind::NljJoin(pred) => {
             // Nested loops: full cross product with predicate evaluation —
             // the quadratic rebuild the paper measures in Figure 10b.
+            p.state_fault_in_all(l);
+            p.state_fault_in_all(r);
             let ls: Vec<Tuple> = p.plan().node(l).state.iter().cloned().collect();
             let rs: Vec<Tuple> = p.plan().node(r).state.iter().cloned().collect();
             p.metrics.nlj_comparisons += (ls.len() * rs.len()) as u64;
@@ -104,6 +106,7 @@ pub fn build_state_eagerly(p: &mut Pipeline, node: NodeId) -> u64 {
             }
         }
         OpKind::SetDiff => {
+            p.state_fault_in_all(l);
             let outers: Vec<Tuple> = p.plan().node(l).state.iter().cloned().collect();
             for a in outers {
                 if !p.state_contains_key(r, a.key()) {

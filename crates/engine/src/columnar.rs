@@ -771,6 +771,23 @@ impl Pipeline {
         if src.is_empty() {
             return;
         }
+        // Batch-aware just-in-time fault-back (tiered states): fault every
+        // cold chain this direction's delta column will probe with one
+        // sequential read per touched segment, so both the vectorized and
+        // the row-exact probe loops below run against a hot-only store.
+        if self.plan.node(state_node).state.cold_entries() > 0 {
+            if nlj {
+                self.plan
+                    .node_mut(state_node)
+                    .state
+                    .fault_in_all(&mut self.metrics);
+            } else {
+                self.plan
+                    .node_mut(state_node)
+                    .state
+                    .fault_in_keys(src.keys.iter().copied(), &mut self.metrics);
+            }
+        }
         let join = |key: Key, t: &Tuple, m: &Tuple| {
             if stored_is_left {
                 Tuple::joined(key, m.clone(), t.clone())

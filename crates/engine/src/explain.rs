@@ -42,19 +42,30 @@ pub fn explain(pipe: &Pipeline) -> String {
     };
     // Footer lines go through the shared telemetry renderer so every
     // counter footer in the workspace has the same `section: k=v` shape.
-    let _ = writeln!(
-        out,
-        "{}",
-        jisc_telemetry::render::line(
-            "index",
-            &[
-                ("probes", m.probes.to_string()),
-                ("mean_depth", format!("{mean_depth:.2}")),
-                ("rehashes", m.slab_rehashes.to_string()),
-                ("slot_reuses", m.slab_slot_reuses.to_string()),
-            ],
-        )
-    );
+    let mut entries = vec![
+        ("probes", m.probes.to_string()),
+        ("mean_depth", format!("{mean_depth:.2}")),
+        ("rehashes", m.slab_rehashes.to_string()),
+        ("slot_reuses", m.slab_slot_reuses.to_string()),
+    ];
+    if pipe.spill_enabled() {
+        entries.push(("spill_evictions", m.spill_evictions.to_string()));
+        entries.push(("spill_faults", m.spill_faults.to_string()));
+        entries.push(("spill_fault_reads", m.spill_fault_reads.to_string()));
+        entries.push(("spill_compactions", m.spill_compactions.to_string()));
+        if let Some(st) = pipe.spill_stats() {
+            entries.push(("cold_entries", st.entries.to_string()));
+            entries.push(("cold_segments", st.segments.to_string()));
+            entries.push(("cold_disk_bytes", st.disk_bytes.to_string()));
+        }
+        if let Some(h) = pipe.fault_latency() {
+            if !h.is_empty() {
+                entries.push(("fault_p50_ns", h.quantile(0.50).to_string()));
+                entries.push(("fault_p99_ns", h.quantile(0.99).to_string()));
+            }
+        }
+    }
+    let _ = writeln!(out, "{}", jisc_telemetry::render::line("index", &entries));
     if pipe.kernels.any() {
         let _ = writeln!(out, "{}", pipe.kernels.footer());
     }

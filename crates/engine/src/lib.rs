@@ -40,6 +40,7 @@ pub mod predicate;
 pub mod slab;
 pub mod snapshot;
 pub mod spec;
+pub mod spill;
 pub mod state;
 
 pub use baseline::BaselineStore;
@@ -54,4 +55,5 @@ pub use predicate::Predicate;
 pub use slab::{SlabStats, SlabStore};
 pub use snapshot::{BaseRangeExport, BaseStateSnapshot};
 pub use spec::{AggKind, Catalog, JoinStyle, PlanSpec, SpecNode, StreamDef, WindowSpec};
+pub use spill::{ColdTier, DurableCheckpointStore, ScratchDir, SpillConfig, SpillStats};
 pub use state::{PendingKeys, State, StoreKind};

@@ -140,6 +140,9 @@ pub struct Pipeline {
     pub output: OutputSink,
     /// Execution counters.
     pub metrics: Metrics,
+    /// Per-state spill config applied by [`Pipeline::enable_spill`];
+    /// remembered so plan replacements re-tier fresh states.
+    pub(crate) spill_cfg: Option<crate::spill::SpillConfig>,
 }
 
 impl Pipeline {
@@ -169,6 +172,7 @@ impl Pipeline {
             kernels: Default::default(),
             output: OutputSink::new(),
             metrics: Metrics::new(),
+            spill_cfg: None,
         })
     }
 
@@ -665,6 +669,20 @@ impl Pipeline {
             debug_assert!(li < idx && ri < idx, "children precede parent in arena");
             let (lower, upper) = deltas.split_at_mut(idx);
             let out = &mut upper[0];
+            // Batch-aware just-in-time fault-back (tiered states): fault
+            // every cold chain this direction's delta will probe with one
+            // sequential read per touched segment, so the probe loop below
+            // runs against a hot-only store — the JISC completion
+            // discipline applied to the disk tier.
+            if self.plan.node(r).state.cold_entries() > 0 {
+                match pred {
+                    Some(_) => self.plan.node_mut(r).state.fault_in_all(&mut self.metrics),
+                    None => self.plan.node_mut(r).state.fault_in_keys(
+                        lower[li].iter().map(|(t, _, _)| t.key()),
+                        &mut self.metrics,
+                    ),
+                };
+            }
             // Left delta × pre-run right state.
             let prefetch_r = self.plan.node(r).state.len() >= PREFETCH_MIN_STATE;
             for di in 0..lower[li].len() {
@@ -684,6 +702,16 @@ impl Pipeline {
                 for m in buf.drain(..) {
                     out.push((Tuple::joined(key, t.clone(), m), f, h));
                 }
+            }
+            // Same batch-aware prefault for the other direction.
+            if self.plan.node(l).state.cold_entries() > 0 {
+                match pred {
+                    Some(_) => self.plan.node_mut(l).state.fault_in_all(&mut self.metrics),
+                    None => self.plan.node_mut(l).state.fault_in_keys(
+                        lower[ri].iter().map(|(t, _, _)| t.key()),
+                        &mut self.metrics,
+                    ),
+                };
             }
             // Pre-run left state × right delta.
             let prefetch_l = self.plan.node(l).state.len() >= PREFETCH_MIN_STATE;
@@ -881,6 +909,80 @@ impl Pipeline {
         self.lateness = policy;
     }
 
+    // ----- memory-budgeted tiered state -----
+
+    /// Put every hash-layout state of the plan under a shared memory
+    /// budget: `cfg.budget_bytes` is split evenly across them, and each
+    /// state spills its oldest entries to compressed on-disk cold segments
+    /// under `cfg.dir` past its share, faulting chains back just-in-time
+    /// when probed (see [`crate::spill`]). List (theta) states stay
+    /// resident — they are probe-scanned wholesale, so tiering them would
+    /// fault everything back on every probe. The config is remembered:
+    /// states created by later plan replacements are tiered on arrival.
+    pub fn enable_spill(&mut self, cfg: crate::spill::SpillConfig) -> Result<()> {
+        let ids: Vec<NodeId> = self.plan.ids().collect();
+        let hash_states = ids
+            .iter()
+            .filter(|&&i| self.plan.node(i).state.kind() == crate::state::StoreKind::Hash)
+            .count()
+            .max(1);
+        let per = crate::spill::SpillConfig {
+            budget_bytes: (cfg.budget_bytes / hash_states).max(1),
+            ..cfg.clone()
+        };
+        for id in ids {
+            let st = &mut self.plan.node_mut(id).state;
+            if st.kind() == crate::state::StoreKind::Hash && !st.spill_enabled() {
+                st.enable_spill(per.clone())?;
+            }
+        }
+        self.spill_cfg = Some(per);
+        Ok(())
+    }
+
+    /// Is a memory budget active on this pipeline's states?
+    pub fn spill_enabled(&self) -> bool {
+        self.spill_cfg.is_some()
+    }
+
+    /// Aggregated cold-tier occupancy across all states (`None` when no
+    /// budget is active).
+    pub fn spill_stats(&self) -> Option<crate::spill::SpillStats> {
+        self.spill_cfg.as_ref()?;
+        let mut total = crate::spill::SpillStats::default();
+        for id in self.plan.ids() {
+            if let Some(s) = self.plan.node(id).state.spill_stats() {
+                total.entries += s.entries;
+                total.keys += s.keys;
+                total.segments += s.segments;
+                total.disk_bytes += s.disk_bytes;
+            }
+        }
+        Some(total)
+    }
+
+    /// Estimated hot-tier bytes across all states (the figure the budget
+    /// governs; see [`crate::slab::HOT_ENTRY_EST_BYTES`]).
+    pub fn hot_bytes(&self) -> usize {
+        self.plan
+            .ids()
+            .map(|i| self.plan.node(i).state.hot_bytes())
+            .sum()
+    }
+
+    /// Merged wall-clock fault-back latency distribution across all tiered
+    /// states (`None` when no budget is active).
+    pub fn fault_latency(&self) -> Option<jisc_telemetry::HistogramSnapshot> {
+        self.spill_cfg.as_ref()?;
+        let mut merged = jisc_telemetry::HistogramSnapshot::empty();
+        for id in self.plan.ids() {
+            if let Some(s) = self.plan.node(id).state.fault_latency() {
+                merged.merge(&s);
+            }
+        }
+        Some(merged)
+    }
+
     /// The active lateness policy, if any.
     pub fn lateness_policy(&self) -> Option<crate::lateness::LatenessPolicy> {
         self.lateness
@@ -926,19 +1028,18 @@ impl Pipeline {
     /// point: hot paths pass the recycled
     /// [`Pipeline::take_probe_scratch`] buffer, cold paths a local `Vec`.
     pub fn lookup_state_into(&mut self, n: NodeId, key: Key, out: &mut Vec<Tuple>) {
-        self.plan
-            .node(n)
-            .state
-            .lookup_into(key, &mut self.metrics, out);
+        let node = self.plan.node_mut(n);
+        node.state.fault_in_key(key, &mut self.metrics);
+        node.state.lookup_into(key, &mut self.metrics, out);
     }
 
     /// [`Pipeline::lookup_state_into`] with the key's hash already
     /// computed — the batch kernel and state completion pre-hash once per
     /// tuple. Accounting is identical.
     pub fn lookup_state_into_hashed(&mut self, n: NodeId, h: u64, key: Key, out: &mut Vec<Tuple>) {
-        self.plan
-            .node(n)
-            .state
+        let node = self.plan.node_mut(n);
+        node.state.fault_in_key(key, &mut self.metrics);
+        node.state
             .for_each_match_hashed(h, key, &mut self.metrics, |t| out.push(t.clone()));
     }
 
@@ -988,13 +1089,10 @@ impl Pipeline {
         stored_is_left: bool,
         out: &mut Vec<Tuple>,
     ) {
-        self.plan.node(n).state.scan_theta_into(
-            pred,
-            probe_key,
-            stored_is_left,
-            &mut self.metrics,
-            out,
-        );
+        let node = self.plan.node_mut(n);
+        node.state.fault_in_all(&mut self.metrics);
+        node.state
+            .scan_theta_into(pred, probe_key, stored_is_left, &mut self.metrics, out);
     }
 
     /// Does node `n`'s state contain `key`?
@@ -1067,10 +1165,16 @@ impl Pipeline {
     /// Does node `n`'s state contain any entry with a constituent older
     /// than `seq`? (Parallel Track discard check, §3.3.)
     pub fn state_has_entry_older_than(&mut self, n: NodeId, seq: SeqNo) -> bool {
-        self.plan
-            .node(n)
-            .state
-            .has_entry_older_than(seq, &mut self.metrics)
+        let node = self.plan.node_mut(n);
+        node.state.fault_in_all(&mut self.metrics);
+        node.state.has_entry_older_than(seq, &mut self.metrics)
+    }
+
+    /// Fault node `n`'s entire cold tier back into the hot tier (full-scan
+    /// consumers: eager migration rebuilds, state iteration). Returns how
+    /// many entries came back; a no-op without a cold tier.
+    pub fn state_fault_in_all(&mut self, n: NodeId) -> usize {
+        self.plan.node_mut(n).state.fault_in_all(&mut self.metrics)
     }
 
     /// Enqueue an item at node `n`.
@@ -1129,7 +1233,19 @@ impl Pipeline {
             self.plan.queues_empty(),
             "safe transition requires empty input queues (buffer-clearing phase, §4.1)"
         );
-        std::mem::replace(&mut self.plan, new_plan)
+        let old = std::mem::replace(&mut self.plan, new_plan);
+        // Re-tier fresh hash states under the remembered budget (adopted
+        // states carry their tier with them; see `adopt_states`).
+        if let Some(per) = self.spill_cfg.clone() {
+            for id in self.plan.ids().collect::<Vec<_>>() {
+                let st = &mut self.plan.node_mut(id).state;
+                if st.kind() == crate::state::StoreKind::Hash && !st.spill_enabled() {
+                    st.enable_spill(per.clone())
+                        .expect("fresh state has no cold tier to clobber");
+                }
+            }
+        }
+        old
     }
 
     /// Compile a spec against this pipeline's catalog (new-plan construction).
@@ -1501,5 +1617,39 @@ mod tests {
         assert!(p.output.latency_pending());
         p.push(StreamId(1), 1, 0).unwrap();
         assert_eq!(p.output.latency_marks.len(), 1);
+    }
+
+    /// A pipeline under a budget so tight most state lives cold must emit
+    /// exactly what the unbounded pipeline emits — probes fault chains back
+    /// just-in-time, expiry drops cold stubs, nothing is lost or invented.
+    #[test]
+    fn tiny_budget_pipeline_matches_unbounded_output() {
+        let scratch = crate::spill::ScratchDir::new("pipe-spill");
+        let mut hot = pipeline(&["R", "S", "T"], 64);
+        let mut tiered = pipeline(&["R", "S", "T"], 64);
+        tiered
+            .enable_spill(crate::spill::SpillConfig::new(2048, scratch.path()))
+            .unwrap();
+        let mut rng = jisc_common::SplitMix64::new(77);
+        for _ in 0..600 {
+            let s = StreamId((rng.next_u64() % 3) as u16);
+            let k = rng.next_u64() % 24;
+            hot.push(s, k, 0).unwrap();
+            tiered.push(s, k, 0).unwrap();
+        }
+        assert!(
+            tiered.metrics.spill_evictions > 0,
+            "budget must actually spill: {:?}",
+            tiered.spill_stats()
+        );
+        assert!(tiered.metrics.spill_faults > 0, "probes must fault back");
+        assert_eq!(
+            hot.output.lineage_multiset(),
+            tiered.output.lineage_multiset(),
+            "tiered output diverged from unbounded"
+        );
+        let text = crate::explain::explain(&tiered);
+        assert!(text.contains("spill_evictions="), "footer: {text}");
+        assert!(text.contains("cold_entries="), "footer: {text}");
     }
 }

@@ -32,7 +32,9 @@
 //! groups examined into [`Metrics::probe_depth`], and index rebuilds count
 //! into [`Metrics::slab_rehashes`] — both surfaced by `explain`.
 
-use jisc_common::{hash_key, FxHashSet, Key, KeyRange, Metrics, Tuple};
+use jisc_common::{hash_key, FxHashSet, Key, KeyRange, Metrics, Result, Tuple};
+
+use crate::spill::{ColdTier, SpillConfig, SpillStats};
 
 /// Null link in the intrusive lists.
 const NIL: u32 = u32::MAX;
@@ -345,7 +347,7 @@ pub struct SlabStats {
 /// Hash-partitioned tuple storage: open-addressing index over a slab arena
 /// with an insertion-order ring. Drop-in backing for
 /// [`State`](crate::state::State)'s hash layout.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SlabStore {
     index: RawIndex,
     slots: Vec<Slot>,
@@ -355,7 +357,26 @@ pub struct SlabStore {
     ord_head: u32,
     /// Newest live slot in insertion order.
     ord_tail: u32,
+    /// Memory-budgeted cold tier (None = classic unbounded in-memory
+    /// store; every pre-spill code path is unchanged when disabled).
+    cold: Option<Box<ColdTier>>,
+    /// Live-entry count past which eviction kicks in — the byte budget
+    /// pre-divided by [`HOT_ENTRY_EST_BYTES`] so the per-insert budget
+    /// check is one load and compare instead of a walk through the cold
+    /// tier's config. `usize::MAX` while no tier is attached.
+    spill_live_limit: usize,
 }
+
+impl Default for SlabStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Estimated resident bytes per live hot entry: slot + amortized index
+/// footprint + the tuple's heap allocation. A deliberate flat estimate —
+/// the budget governs eviction pacing, it is not an allocator audit.
+pub const HOT_ENTRY_EST_BYTES: usize = 128;
 
 impl SlabStore {
     /// Fresh empty store.
@@ -367,28 +388,36 @@ impl SlabStore {
             live: 0,
             ord_head: NIL,
             ord_tail: NIL,
+            cold: None,
+            spill_live_limit: usize::MAX,
         }
     }
 
-    /// Live entries.
+    /// Live entries across both tiers (hot slots + cold stubs).
     #[inline]
     pub fn len(&self) -> usize {
-        self.live
+        self.live + self.cold_entries()
     }
 
-    /// True if no entries are stored.
+    /// True if no entries are stored in either tier.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.len() == 0
     }
 
-    /// Distinct keys currently indexed.
-    #[inline]
+    /// Distinct keys across both tiers.
     pub fn key_count(&self) -> usize {
+        let mut depth = 0u64;
         self.index.items
+            + self.cold.as_ref().map_or(0, |c| {
+                c.keys()
+                    .filter(|&k| self.index.find(hash_key(k), k, &mut depth).is_none())
+                    .count()
+            })
     }
 
-    /// Occupancy diagnostics.
+    /// Occupancy diagnostics (hot tier only; see
+    /// [`SlabStore::spill_stats`] for the cold tier).
     pub fn stats(&self) -> SlabStats {
         SlabStats {
             live: self.live,
@@ -397,6 +426,151 @@ impl SlabStore {
             index_capacity: self.index.capacity(),
             tombstones: self.index.tombstones,
         }
+    }
+
+    // ----- memory-budgeted tiering -----
+
+    /// Attach a cold tier: past `cfg.budget_bytes` of estimated hot bytes,
+    /// the oldest entries of the insertion ring spill to sealed on-disk
+    /// segments and fault back just-in-time when probed.
+    pub fn enable_spill(&mut self, cfg: SpillConfig) -> Result<()> {
+        if self.cold_entries() > 0 {
+            return Err(jisc_common::JiscError::Internal(
+                "cold tier already populated; cannot re-attach".into(),
+            ));
+        }
+        self.spill_live_limit = cfg.budget_bytes / HOT_ENTRY_EST_BYTES;
+        self.cold = Some(Box::new(ColdTier::new(cfg)?));
+        Ok(())
+    }
+
+    /// Is a cold tier attached?
+    #[inline]
+    pub fn spill_enabled(&self) -> bool {
+        self.cold.is_some()
+    }
+
+    /// Cold-tier occupancy, if tiering is enabled.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.cold.as_ref().map(|c| c.stats())
+    }
+
+    /// Entries currently resident only as cold stubs.
+    #[inline]
+    pub fn cold_entries(&self) -> usize {
+        self.cold.as_ref().map_or(0, |c| c.entries())
+    }
+
+    /// Estimated resident bytes of the hot tier (live entries ×
+    /// [`HOT_ENTRY_EST_BYTES`]) — the figure the budget governs.
+    #[inline]
+    pub fn hot_bytes(&self) -> usize {
+        self.live * HOT_ENTRY_EST_BYTES
+    }
+
+    /// Wall-clock fault-back latency histogram of the cold tier.
+    pub fn fault_latency(&self) -> Option<jisc_telemetry::HistogramSnapshot> {
+        self.cold.as_ref().map(|c| c.fault_latency())
+    }
+
+    /// Path of the cold tier's segment manifest, if one has been written.
+    pub fn cold_manifest_file(&self) -> Option<std::path::PathBuf> {
+        self.cold.as_ref().and_then(|c| c.manifest_file())
+    }
+
+    /// Does `key` have cold-resident entries that a slab probe would miss?
+    #[inline]
+    pub fn has_cold(&self, key: Key) -> bool {
+        self.cold.as_ref().is_some_and(|c| c.contains(key))
+    }
+
+    /// Evict oldest ring entries to the cold tier while the hot estimate
+    /// exceeds the budget (with 1/8 hysteresis so one insert does not seal
+    /// one segment). Runs automatically after inserts; eviction moves
+    /// entries between tiers, so [`SlabStore::len`] is unchanged.
+    fn maybe_spill(&mut self, m: &mut Metrics) {
+        let Some(cold) = self.cold.as_deref() else {
+            return;
+        };
+        let budget = cold.config().budget_bytes;
+        if self.hot_bytes() <= budget {
+            return;
+        }
+        let target = budget / 8 * 7;
+        let per_seg = (cold.config().segment_target_bytes / 16).max(16);
+        let mut batch: Vec<(Key, Tuple)> = Vec::new();
+        while self.hot_bytes() > target && self.ord_head != NIL {
+            let slot = self.ord_head;
+            let t = self.slots[slot as usize]
+                .tuple
+                .clone()
+                .expect("ring head is live");
+            let key = t.key();
+            let idx = self
+                .index
+                .find(hash_key(key), key, &mut m.probe_depth)
+                .expect("ring head is indexed");
+            self.unlink(idx, slot);
+            batch.push((key, t));
+        }
+        let cold = self.cold.as_deref_mut().expect("checked above");
+        for chunk in batch.chunks(per_seg) {
+            cold.spill_batch(chunk, m);
+        }
+    }
+
+    /// Fault every cold entry of the given keys back into the hot tier in
+    /// one sequential pass — the batch-aware just-in-time completion of the
+    /// disk tier. Faulted entries rejoin their chains *ahead* of the hot
+    /// entries (they are older), preserving per-key insertion order.
+    /// Returns how many entries came back.
+    pub fn fault_in_keys(&mut self, keys: impl IntoIterator<Item = Key>, m: &mut Metrics) -> usize {
+        let Some(cold) = self.cold.as_deref() else {
+            return 0;
+        };
+        if cold.is_empty() {
+            return 0;
+        }
+        let mut wanted: Vec<Key> = keys.into_iter().filter(|&k| cold.contains(k)).collect();
+        if wanted.is_empty() {
+            return 0;
+        }
+        wanted.sort_unstable();
+        wanted.dedup();
+        let got = self
+            .cold
+            .as_deref_mut()
+            .expect("checked above")
+            .fault_keys(&wanted, m);
+        let mut n = 0;
+        for (key, tuples) in got {
+            n += tuples.len();
+            let idx = self.index.find_or_insert(hash_key(key), key, m);
+            for t in tuples.into_iter().rev() {
+                let slot = self.alloc_slot(t, m);
+                self.link_head(idx, slot);
+            }
+        }
+        n
+    }
+
+    /// [`SlabStore::fault_in_keys`] for one key.
+    #[inline]
+    pub fn fault_in_key(&mut self, key: Key, m: &mut Metrics) -> usize {
+        if !self.has_cold(key) {
+            return 0;
+        }
+        self.fault_in_keys([key], m)
+    }
+
+    /// Fault back everything (full-store scans, e.g. theta probes or
+    /// snapshot paths that must see every entry).
+    pub fn fault_in_all(&mut self, m: &mut Metrics) -> usize {
+        let keys: Vec<Key> = match self.cold.as_deref() {
+            Some(c) if !c.is_empty() => c.keys().collect(),
+            _ => return 0,
+        };
+        self.fault_in_keys(keys, m)
     }
 
     /// Pre-size the index and arena for roughly `entries` entries over
@@ -481,6 +655,39 @@ impl SlabStore {
         self.live += 1;
     }
 
+    /// Prepend `slot` to the chain of index entry `idx` and the order
+    /// ring's head — fault-back re-links cold entries, which are strictly
+    /// older than every hot entry, ahead of the existing chain so per-key
+    /// insertion order survives a spill/fault round trip.
+    fn link_head(&mut self, idx: usize, slot: u32) {
+        let head = self.index.metas[idx].head;
+        {
+            let s = &mut self.slots[slot as usize];
+            s.prev = NIL;
+            s.next = head;
+            s.ord_prev = NIL;
+            s.ord_next = self.ord_head;
+        }
+        if head == NIL {
+            self.index.metas[idx].tail = slot;
+            self.index.pairs[idx].first = self.slots[slot as usize].tuple.clone();
+        } else {
+            self.slots[head as usize].prev = slot;
+            if self.index.metas[idx].len == 1 {
+                self.index.pairs[idx].first = None;
+            }
+        }
+        self.index.metas[idx].head = slot;
+        self.index.metas[idx].len += 1;
+        if self.ord_head == NIL {
+            self.ord_tail = slot;
+        } else {
+            self.slots[self.ord_head as usize].ord_prev = slot;
+        }
+        self.ord_head = slot;
+        self.live += 1;
+    }
+
     /// Unlink `slot` from entry `idx`'s chain and the order ring, free it,
     /// and drop the key from the index when its chain empties.
     fn unlink(&mut self, idx: usize, slot: u32) {
@@ -562,6 +769,9 @@ impl SlabStore {
         let idx = self.index.find_or_insert(h, key, m);
         let slot = self.alloc_slot(t, m);
         self.link_tail(idx, slot);
+        if self.live > self.spill_live_limit {
+            self.maybe_spill(m);
+        }
     }
 
     /// Visit each entry matching `key` in insertion order.
@@ -580,6 +790,11 @@ impl SlabStore {
         m: &mut Metrics,
         mut f: impl FnMut(&Tuple),
     ) {
+        debug_assert!(
+            !self.has_cold(key),
+            "probe of cold-resident key {key} without fault-in; callers must \
+             fault_in_key(s) first (the batch prefault in flush_run)"
+        );
         if let Some(idx) = self.index.find(h, key, &mut m.probe_depth) {
             // Singleton chain: the hot pair's inline mirror answers the
             // probe without touching the slab or the cold chain metadata.
@@ -596,20 +811,24 @@ impl SlabStore {
         }
     }
 
-    /// Number of entries matching `key` — O(1) after the index find.
+    /// Number of entries matching `key` — O(1) after the index find; cold
+    /// stubs are counted without touching disk.
     #[inline]
     pub fn match_count(&self, key: Key, m: &mut Metrics) -> usize {
         self.index
             .find(hash_key(key), key, &mut m.probe_depth)
             .map_or(0, |idx| self.index.metas[idx].len as usize)
+            + self.cold.as_ref().map_or(0, |c| c.count(key))
     }
 
-    /// True if at least one entry matches `key`.
+    /// True if at least one entry matches `key` in either tier (the cold
+    /// stub index answers without disk I/O).
     #[inline]
     pub fn contains_key(&self, key: Key, m: &mut Metrics) -> bool {
         self.index
             .find(hash_key(key), key, &mut m.probe_depth)
             .is_some()
+            || self.has_cold(key)
     }
 
     /// Remove all entries containing the base tuple `(stream, seq)` under
@@ -623,6 +842,27 @@ impl SlabStore {
         key: Key,
         m: &mut Metrics,
     ) -> usize {
+        // Cold entries first: an expired *base* stub is dropped without any
+        // disk read; a joined stub whose seq range covers the victim must
+        // fault back (its lineage lives on disk) and is then handled by the
+        // hot retain below.
+        let mut cold_removed = 0;
+        if self.has_cold(key) {
+            if self
+                .cold
+                .as_ref()
+                .expect("has_cold")
+                .joined_may_contain(key, seq)
+            {
+                self.fault_in_key(key, m);
+            } else {
+                cold_removed = self
+                    .cold
+                    .as_deref_mut()
+                    .expect("has_cold")
+                    .remove_base(key, stream, seq, m);
+            }
+        }
         let h = hash_key(key);
         if self.ord_head != NIL {
             let head = self.ord_head;
@@ -636,13 +876,14 @@ impl SlabStore {
                     .find(h, key, &mut m.probe_depth)
                     .expect("ring head is indexed");
                 self.unlink(idx, head);
-                return 1;
+                return cold_removed + 1;
             }
         }
-        match self.index.find(h, key, &mut m.probe_depth) {
-            None => 0,
-            Some(idx) => self.retain_chain(idx, |t| !t.contains_base(stream, seq)),
-        }
+        cold_removed
+            + match self.index.find(h, key, &mut m.probe_depth) {
+                None => 0,
+                Some(idx) => self.retain_chain(idx, |t| !t.contains_base(stream, seq)),
+            }
     }
 
     /// Remove entries with exactly this lineage; returns how many went.
@@ -652,6 +893,7 @@ impl SlabStore {
         key: Key,
         m: &mut Metrics,
     ) -> usize {
+        self.fault_in_key(key, m); // lineage comparison needs the tuples
         match self.index.find(hash_key(key), key, &mut m.probe_depth) {
             None => 0,
             Some(idx) => self.retain_chain(idx, |t| t.lineage() != *lin),
@@ -665,6 +907,7 @@ impl SlabStore {
         key: Key,
         m: &mut Metrics,
     ) -> usize {
+        self.fault_in_key(key, m); // containment check needs the tuples
         let contains_all = |t: &Tuple| lin.parts().iter().all(|(s, q)| t.contains_base(*s, *q));
         match self.index.find(hash_key(key), key, &mut m.probe_depth) {
             None => 0,
@@ -672,12 +915,15 @@ impl SlabStore {
         }
     }
 
-    /// Remove every entry stored under `key`; returns how many went.
+    /// Remove every entry stored under `key`; returns how many went. Cold
+    /// entries are dropped stub-only — no disk read for a whole-key drop.
     pub fn remove_key(&mut self, key: Key, m: &mut Metrics) -> usize {
-        match self.index.find(hash_key(key), key, &mut m.probe_depth) {
-            None => 0,
-            Some(idx) => self.retain_chain(idx, |_| false),
-        }
+        let cold_removed = self.cold.as_deref_mut().map_or(0, |c| c.remove_key(key, m));
+        cold_removed
+            + match self.index.find(hash_key(key), key, &mut m.probe_depth) {
+                None => 0,
+                Some(idx) => self.retain_chain(idx, |_| false),
+            }
     }
 
     /// Remove every entry whose key hashes into one of `ranges` — per-range
@@ -685,6 +931,22 @@ impl SlabStore {
     /// whose chains were removed (in index order; callers needing a stable
     /// order must sort) and the total entry count removed.
     pub fn extract_key_range(&mut self, ranges: &[KeyRange], m: &mut Metrics) -> (Vec<Key>, usize) {
+        // Cold keys in the moved ranges fault back first (one sequential
+        // read of the touched segments — no full-store rehydration), so the
+        // hot extraction below sees every moved entry.
+        if self.cold.is_some() {
+            let cold_moved: Vec<Key> = self
+                .cold
+                .as_deref()
+                .expect("checked")
+                .keys()
+                .filter(|&k| {
+                    let h = hash_key(k);
+                    ranges.iter().any(|r| r.contains(h))
+                })
+                .collect();
+            self.fault_in_keys(cold_moved, m);
+        }
         let moved: Vec<Key> = self
             .index
             .keys()
@@ -703,6 +965,7 @@ impl SlabStore {
     /// Insert unless an equal-lineage entry exists under the same key.
     pub fn insert_if_absent(&mut self, t: Tuple, m: &mut Metrics) -> bool {
         let key = t.key();
+        self.fault_in_key(key, m); // the duplicate check walks the chain
         let h = hash_key(key);
         let lin = t.lineage();
         if let Some(idx) = self.index.find(h, key, &mut m.probe_depth) {
@@ -722,20 +985,31 @@ impl SlabStore {
         true
     }
 
-    /// Distinct keys currently present.
+    /// Distinct keys currently present in either tier.
     pub fn distinct_keys(&self) -> FxHashSet<Key> {
-        self.index.keys().collect()
+        let mut keys: FxHashSet<Key> = self.index.keys().collect();
+        if let Some(c) = self.cold.as_deref() {
+            keys.extend(c.keys());
+        }
+        keys
     }
 
-    /// Iterate all entries in insertion order.
+    /// Iterate all *hot* entries in insertion order. Callers that must see
+    /// every entry of a spilled store (theta scans, snapshots) fault the
+    /// cold tier back first via [`SlabStore::fault_in_all`].
     pub fn iter(&self) -> SlabIter<'_> {
+        debug_assert_eq!(
+            self.cold_entries(),
+            0,
+            "iter() over a store with cold entries; fault_in_all first"
+        );
         SlabIter {
             slots: &self.slots,
             cur: self.ord_head,
         }
     }
 
-    /// Drop every entry, keeping allocated capacity for reuse.
+    /// Drop every entry (both tiers), keeping allocated capacity for reuse.
     pub fn clear(&mut self) {
         self.index.clear();
         self.slots.clear();
@@ -743,6 +1017,9 @@ impl SlabStore {
         self.live = 0;
         self.ord_head = NIL;
         self.ord_tail = NIL;
+        if let Some(c) = self.cold.as_deref_mut() {
+            c.clear();
+        }
     }
 }
 
@@ -910,6 +1187,95 @@ mod tests {
         s.insert(bt(0, 1, 1), &mut m);
         assert_eq!(s.len(), 1);
         assert_eq!(keys_of(&s, 1), vec![1]);
+    }
+
+    #[test]
+    fn tiny_budget_spills_oldest_and_faults_back_in_order() {
+        use crate::spill::{ScratchDir, SpillConfig};
+        let dir = ScratchDir::new("slab-spill");
+        let mut m = Metrics::new();
+        let mut s = SlabStore::new();
+        // Budget of 4 hot entries: everything older spills. A tiny segment
+        // target forces the active segment to seal during the run so the
+        // sealed-segment counter is exercised too.
+        let mut cfg = SpillConfig::new(4 * HOT_ENTRY_EST_BYTES, dir.path());
+        cfg.segment_target_bytes = 256;
+        s.enable_spill(cfg).unwrap();
+        for seq in 0..64 {
+            s.insert(bt(0, seq, seq % 5), &mut m);
+        }
+        assert_eq!(s.len(), 64, "len spans both tiers");
+        assert!(s.cold_entries() > 0, "budget forced evictions");
+        assert!(s.stats().live <= 4, "hot tier respects the budget");
+        assert!(m.spill_evictions > 0 && m.spill_segments_sealed > 0);
+        assert_eq!(s.key_count(), 5);
+        assert_eq!(s.match_count(2, &mut m), 13, "stub counts need no disk");
+        assert!(s.contains_key(2, &mut m));
+
+        // Fault one key back: its chain order is original insertion order.
+        s.fault_in_key(2, &mut m);
+        assert!(!s.has_cold(2));
+        assert_eq!(
+            keys_of(&s, 2),
+            (0..64).filter(|q| q % 5 == 2).collect::<Vec<u64>>()
+        );
+        assert!(m.spill_faults > 0);
+
+        // Whole-key removal of a cold key touches no disk and drops stubs.
+        let gone = s.remove_key(3, &mut m);
+        assert_eq!(gone, 13);
+        assert!(!s.has_cold(3));
+
+        // fault_in_all drains the cold tier completely.
+        s.fault_in_all(&mut m);
+        assert_eq!(s.cold_entries(), 0);
+        assert_eq!(s.len(), 64 - 13);
+        assert_eq!(s.iter().count(), 64 - 13);
+    }
+
+    #[test]
+    fn spilled_base_expiry_drops_stubs_without_fault() {
+        use crate::spill::{ScratchDir, SpillConfig};
+        let dir = ScratchDir::new("slab-expiry");
+        let mut m = Metrics::new();
+        let mut s = SlabStore::new();
+        s.enable_spill(SpillConfig::new(2 * HOT_ENTRY_EST_BYTES, dir.path()))
+            .unwrap();
+        for seq in 0..32 {
+            s.insert(bt(0, seq, seq % 4), &mut m);
+        }
+        let faults_before = m.spill_faults;
+        // FIFO expiry, exactly as a sliding window drives it.
+        for seq in 0..32 {
+            assert_eq!(s.remove_containing(StreamId(0), seq, seq % 4, &mut m), 1);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.cold_entries(), 0);
+        assert_eq!(
+            m.spill_faults, faults_before,
+            "base-stub expiry never reads disk"
+        );
+        assert!(m.spill_segments_dropped > 0, "dead segments dropped O(1)");
+    }
+
+    #[test]
+    fn spilled_clone_is_independent() {
+        use crate::spill::{ScratchDir, SpillConfig};
+        let dir = ScratchDir::new("slab-clone");
+        let mut m = Metrics::new();
+        let mut s = SlabStore::new();
+        s.enable_spill(SpillConfig::new(2 * HOT_ENTRY_EST_BYTES, dir.path()))
+            .unwrap();
+        for seq in 0..16 {
+            s.insert(bt(0, seq, seq), &mut m);
+        }
+        let mut snap = s.clone();
+        s.remove_key(3, &mut m);
+        assert_eq!(s.len(), 15);
+        assert_eq!(snap.len(), 16);
+        snap.fault_in_all(&mut m);
+        assert_eq!(snap.len(), 16);
+        assert_eq!(keys_of(&snap, 3), vec![3]);
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //! completion-detection counter, and — for bushy Case-3 states — the set of
 //! keys already completed on demand.
 
-use jisc_common::{hash_key, FxHashSet, Key, KeyRange, Lineage, Metrics, SeqNo, StreamId, Tuple};
+use jisc_common::{
+    hash_key, FxHashSet, JiscError, Key, KeyRange, Lineage, Metrics, Result, SeqNo, StreamId, Tuple,
+};
 
 use crate::predicate::Predicate;
 use crate::slab::{SlabStats, SlabStore};
+use crate::spill::{SpillConfig, SpillStats};
 
 /// Physical layout of a state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -379,6 +382,95 @@ impl State {
         match &self.store {
             Store::Hash(slab) => Some(slab.stats()),
             Store::List(_) => None,
+        }
+    }
+
+    // ----- tiered spill (memory-budgeted hash states) -----
+
+    /// Put this state's slab under a memory budget: entries past
+    /// `cfg.budget_bytes` spill to compressed on-disk cold segments and
+    /// fault back just-in-time (see [`crate::spill`]). Only hash states
+    /// tier; list states are probe-scanned wholesale and stay resident.
+    pub fn enable_spill(&mut self, cfg: SpillConfig) -> Result<()> {
+        match &mut self.store {
+            Store::Hash(slab) => slab.enable_spill(cfg),
+            Store::List(_) => Err(JiscError::Internal(
+                "spill budget applies to hash states only".into(),
+            )),
+        }
+    }
+
+    /// True if this state's slab has a cold tier attached.
+    pub fn spill_enabled(&self) -> bool {
+        matches!(&self.store, Store::Hash(slab) if slab.spill_enabled())
+    }
+
+    /// Cold-tier occupancy (`None` when spill is disabled or list layout).
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        match &self.store {
+            Store::Hash(slab) => slab.spill_stats(),
+            Store::List(_) => None,
+        }
+    }
+
+    /// Entries currently resident in the cold tier.
+    pub fn cold_entries(&self) -> usize {
+        match &self.store {
+            Store::Hash(slab) => slab.cold_entries(),
+            Store::List(_) => 0,
+        }
+    }
+
+    /// Estimated hot-tier bytes (see [`crate::slab::HOT_ENTRY_EST_BYTES`]).
+    pub fn hot_bytes(&self) -> usize {
+        match &self.store {
+            Store::Hash(slab) => slab.hot_bytes(),
+            Store::List(v) => v.len() * crate::slab::HOT_ENTRY_EST_BYTES,
+        }
+    }
+
+    /// Wall-clock fault-back latency distribution, if spill is enabled.
+    pub fn fault_latency(&self) -> Option<jisc_telemetry::HistogramSnapshot> {
+        match &self.store {
+            Store::Hash(slab) => slab.fault_latency(),
+            Store::List(_) => None,
+        }
+    }
+
+    /// Path of the cold tier's hash-chained segment manifest, if any.
+    pub fn cold_manifest_file(&self) -> Option<std::path::PathBuf> {
+        match &self.store {
+            Store::Hash(slab) => slab.cold_manifest_file(),
+            Store::List(_) => None,
+        }
+    }
+
+    /// Fault `key`'s cold-resident entries back into the hot tier (no-op
+    /// when the key has none). Tier moves are logically neutral: `len` is
+    /// unchanged. Returns entries faulted.
+    pub fn fault_in_key(&mut self, key: Key, m: &mut Metrics) -> usize {
+        match &mut self.store {
+            Store::Hash(slab) => slab.fault_in_key(key, m),
+            Store::List(_) => 0,
+        }
+    }
+
+    /// Batch-aware fault-back: one sequential read per touched segment for
+    /// the whole key set (the JISC completion discipline applied to cold
+    /// state — complete every key the batch will probe, then probe hot).
+    pub fn fault_in_keys(&mut self, keys: impl IntoIterator<Item = Key>, m: &mut Metrics) -> usize {
+        match &mut self.store {
+            Store::Hash(slab) => slab.fault_in_keys(keys, m),
+            Store::List(_) => 0,
+        }
+    }
+
+    /// Fault the entire cold tier back (full-scan paths: theta probes,
+    /// snapshots, discard checks, iteration).
+    pub fn fault_in_all(&mut self, m: &mut Metrics) -> usize {
+        match &mut self.store {
+            Store::Hash(slab) => slab.fault_in_all(m),
+            Store::List(_) => 0,
         }
     }
 

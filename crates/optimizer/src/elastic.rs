@@ -26,6 +26,7 @@
 //! * Every firing resets a `cooldown` clock; no decision fires while it
 //!   runs. Cooldown + persistence are the two hysteresis knobs.
 
+use jisc_common::{KeyRange, PartitionMap};
 use jisc_telemetry::{Registry, TelemetrySnapshot};
 
 use crate::stats::Ewma;
@@ -80,6 +81,9 @@ pub struct ElasticController {
     /// Optional metric registry the controller publishes its internal
     /// state into (`elastic_occupancy` gauge, decision counters).
     registry: Option<Registry>,
+    /// Latest known key-range ownership, refreshed via
+    /// [`ElasticController::note_partition_map`]; drives merge affinity.
+    ranges: Vec<(KeyRange, usize)>,
 }
 
 impl ElasticController {
@@ -100,7 +104,35 @@ impl ElasticController {
             since_last: u64::MAX / 2, // first decision is not cooldown-gated
             last: Vec::new(),
             registry: None,
+            ranges: Vec::new(),
         }
+    }
+
+    /// Tell the controller who currently owns which key ranges. Scale-down
+    /// then prefers merging shards whose ranges are *adjacent* in the hash
+    /// space when their loads tie: the absorbed ownership coalesces into
+    /// one contiguous range instead of fragmenting the routing table.
+    /// Affinity never overrides load — a strictly cooler non-adjacent pair
+    /// still wins. Call again whenever the map changes (any epoch bump);
+    /// without a noted map, selection is purely load-based.
+    pub fn note_partition_map(&mut self, map: &PartitionMap) {
+        self.ranges = map.ranges().to_vec();
+    }
+
+    /// Whether shards `a` and `b` own key ranges that touch in the linear
+    /// hash space. `checked_add` deliberately rules out the wraparound
+    /// pairing of the space's first and last ranges: merging those would
+    /// leave the absorber owning two disjoint fragments, exactly what
+    /// affinity exists to avoid.
+    fn ranges_adjacent(&self, a: usize, b: usize) -> bool {
+        self.ranges.iter().any(|&(ra, sa)| {
+            sa == a
+                && self.ranges.iter().any(|&(rb, sb)| {
+                    sb == b
+                        && (ra.end.checked_add(1) == Some(rb.start)
+                            || rb.end.checked_add(1) == Some(ra.start))
+                })
+        })
     }
 
     /// Publish the controller's state into `registry` on every decision:
@@ -231,13 +263,28 @@ impl ElasticController {
         }
         if self.below >= self.persistence && rates.len() > 1 {
             // Merge the two coolest shards; retiring the very coolest
-            // moves the least state.
+            // moves the least state. Among pairs tied at that minimal
+            // combined rate, prefer one owning adjacent key ranges (see
+            // `note_partition_map`) — the merged ownership then stays one
+            // contiguous range instead of fragmenting the routing table.
             rates.sort_by_key(|&(_, r)| r);
+            let (mut from, mut into) = (rates[0].0, rates[1].0);
+            if !self.ranges.is_empty() && !self.ranges_adjacent(from, into) {
+                let coolest_pair = rates[0].1 + rates[1].1;
+                'pairs: for i in 0..rates.len() {
+                    for j in (i + 1)..rates.len() {
+                        if rates[i].1 + rates[j].1 > coolest_pair {
+                            break; // sorted: later pairs only get warmer
+                        }
+                        if self.ranges_adjacent(rates[i].0, rates[j].0) {
+                            (from, into) = (rates[i].0, rates[j].0);
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
             self.fired();
-            return ElasticDecision::ScaleDown {
-                from: rates[0].0,
-                into: rates[1].0,
-            };
+            return ElasticDecision::ScaleDown { from, into };
         }
         ElasticDecision::Hold
     }
@@ -324,6 +371,69 @@ mod tests {
             }
         }
         assert_eq!(last, ElasticDecision::ScaleDown { from: 1, into: 2 });
+    }
+
+    #[test]
+    fn tied_scale_down_prefers_adjacent_key_ranges() {
+        // uniform(2) then split shard 0: the hash space reads [0 | 2 | 1],
+        // so 0–2 and 2–1 are adjacent while 0–1 is not (the wraparound
+        // pairing of the first and last range deliberately doesn't count).
+        let (map, new_shard) = PartitionMap::uniform(2).split_shard(0, None).unwrap();
+        assert_eq!(new_shard, 2);
+        let live = [0usize, 1, 2];
+        // All three shards idle at identical rates: the bare coolest-pair
+        // sort would pick (0, 1) — the non-adjacent pair.
+        let mut with_map = ElasticController::new(100);
+        with_map.note_partition_map(&map);
+        let mut ev = [0u64; 3];
+        let mut fired = None;
+        for _ in 0..8 {
+            let d = with_map.decide(&live, &sample(&mut ev, &[1, 1, 1], &[0, 0, 0]));
+            if d != ElasticDecision::Hold {
+                fired = Some(d);
+                break;
+            }
+        }
+        assert_eq!(
+            fired,
+            Some(ElasticDecision::ScaleDown { from: 0, into: 2 }),
+            "loads tie, so range affinity must break the tie toward 0–2"
+        );
+        // Without the map the controller keeps the plain coolest-pair pick.
+        let mut without = ElasticController::new(100);
+        let mut ev2 = [0u64; 3];
+        let mut fired2 = None;
+        for _ in 0..8 {
+            let d = without.decide(&live, &sample(&mut ev2, &[1, 1, 1], &[0, 0, 0]));
+            if d != ElasticDecision::Hold {
+                fired2 = Some(d);
+                break;
+            }
+        }
+        assert_eq!(
+            fired2,
+            Some(ElasticDecision::ScaleDown { from: 0, into: 1 })
+        );
+    }
+
+    #[test]
+    fn adjacency_never_overrides_a_strictly_cooler_pair() {
+        let (map, _) = PartitionMap::uniform(2).split_shard(0, None).unwrap();
+        let mut c = ElasticController::new(100);
+        c.note_partition_map(&map);
+        let live = [0usize, 1, 2];
+        // Shard 2 (the only one adjacent to 0) is strictly warmer: the
+        // coolest pair (0, 1) wins even though it is not adjacent.
+        let mut ev = [0u64; 3];
+        let mut fired = None;
+        for _ in 0..8 {
+            let d = c.decide(&live, &sample(&mut ev, &[1, 1, 30], &[0, 0, 0]));
+            if d != ElasticDecision::Hold {
+                fired = Some(d);
+                break;
+            }
+        }
+        assert_eq!(fired, Some(ElasticDecision::ScaleDown { from: 0, into: 1 }));
     }
 
     #[test]

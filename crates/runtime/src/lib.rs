@@ -41,7 +41,7 @@ pub(crate) mod supervisor;
 pub use fault::{FaultAction, FaultPlan};
 pub use shard::{
     Exactness, OverloadPolicy, PhaseClassifier, ShardSemantics, ShardStrategy, ShardedConfig,
-    ShardedExecutor, ShardedReport,
+    ShardedExecutor, ShardedReport, SpillSettings,
 };
 
 use std::panic::{catch_unwind, AssertUnwindSafe};

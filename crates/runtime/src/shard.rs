@@ -98,6 +98,7 @@
 //! `scale_down` are convenience wrappers producing successor maps.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -109,7 +110,8 @@ use jisc_common::{
 use jisc_core::migrate::{verify_reorderable, verify_same_query};
 use jisc_engine::plan::Plan;
 use jisc_engine::{
-    BaseRangeExport, Catalog, LatenessGate, LatenessPolicy, OpKind, OutputSink, PlanSpec, Predicate,
+    BaseRangeExport, Catalog, DurableCheckpointStore, LatenessGate, LatenessPolicy, OpKind,
+    OutputSink, PlanSpec, Predicate, SpillConfig,
 };
 use jisc_telemetry::{
     FlightEventKind, FlightRecorder, HistogramSnapshot, Registry, TelemetrySnapshot,
@@ -203,11 +205,6 @@ pub struct ShardedConfig {
     /// event time even on shards whose partition has gone quiet. Each
     /// broadcast is also recorded in the flight recorder.
     pub watermark_every: u64,
-    /// Deprecated: ingest-to-apply latency is now always recorded, O(1)
-    /// per batch, into bounded per-shard histograms (see
-    /// [`ShardedReport::latency`]). This knob is ignored.
-    #[deprecated(note = "latency recording is always on; see ShardedReport::latency")]
-    pub latency_sample_every: u64,
     /// Optional telemetry phase classifier: maps each routed tuple's
     /// event timestamp to a phase id (`0` = default/steady). The router
     /// cuts its staged batches whenever the phase changes, so every
@@ -216,6 +213,38 @@ pub struct ShardedConfig {
     /// `ingest_latency_ns_phase<p>` otherwise). The chaos experiments
     /// use this to split steady-state from burst latency.
     pub phase: Option<PhaseClassifier>,
+    // --- durability ---
+    /// Memory-budgeted tiered join state: when set, every shard engine's
+    /// hash states run under `budget_bytes` of hot memory with overflow
+    /// spilled oldest-first to compressed on-disk cold segments under
+    /// `dir/shard-<i>`, faulted back just in time when probed (see
+    /// [`jisc_engine::SpillConfig`]). `None` (the default) keeps all
+    /// state in memory.
+    pub spill: Option<SpillSettings>,
+    /// Durable checkpoints: when set, every completed checkpoint's base
+    /// snapshot is also persisted to a hash-chain-verified on-disk store
+    /// under `<dir>/shard-<i>` ([`jisc_engine::DurableCheckpointStore`]),
+    /// and [`ShardedExecutor::spawn_with`] restores each shard from its
+    /// newest durable snapshot (verifying the manifest chain) before
+    /// accepting traffic — recovery across *process* restarts, not just
+    /// worker-thread crashes. The router's global sequence and timestamp
+    /// clocks resume from the recovered snapshot, so the restarted run's
+    /// output composes lineage-exactly with the pre-restart run's over
+    /// the checkpointed prefix; the caller feeds the suffix. Spawn with
+    /// the plan that was active at the persisted checkpoint.
+    pub durable_dir: Option<PathBuf>,
+}
+
+/// Per-shard memory budget for tiered join state; see
+/// [`ShardedConfig::spill`].
+#[derive(Debug, Clone)]
+pub struct SpillSettings {
+    /// Hot-tier budget in bytes, applied to each shard's engine (split
+    /// evenly across that engine's hash states).
+    pub budget_bytes: usize,
+    /// Root directory for cold segments; each shard writes under its own
+    /// `shard-<i>` subdirectory.
+    pub dir: PathBuf,
 }
 
 /// Maps a routed tuple's event timestamp to a telemetry phase id; see
@@ -270,7 +299,6 @@ impl ShardedConfig {
     /// (`default_shards() × 1024`): oversubscribing shards past the core
     /// count shrinks the per-shard checkpoint interval (floor 128) instead
     /// of multiplying router-side replay memory.
-    #[allow(deprecated)] // constructs the deprecated latency knob
     pub fn for_shards(shards: usize) -> Self {
         let n = shards.max(1);
         let budget = Self::default_shards() as u64 * 1024;
@@ -284,9 +312,26 @@ impl ShardedConfig {
             faults: FaultPlan::new(),
             lateness: None,
             watermark_every: 0,
-            latency_sample_every: 0,
             phase: None,
+            spill: None,
+            durable_dir: None,
         }
+    }
+
+    /// The spill configuration for shard `s` (its own cold-segment
+    /// subdirectory), if spill is enabled.
+    pub fn shard_spill(&self, s: usize) -> Option<SpillConfig> {
+        self.spill
+            .as_ref()
+            .map(|sp| SpillConfig::new(sp.budget_bytes, sp.dir.join(format!("shard-{s}"))))
+    }
+
+    /// The durable checkpoint directory for shard `s`, if durable
+    /// checkpointing is enabled.
+    pub fn shard_durable(&self, s: usize) -> Option<PathBuf> {
+        self.durable_dir
+            .as_ref()
+            .map(|d| d.join(format!("shard-{s}")))
     }
 }
 
@@ -643,6 +688,14 @@ pub struct ShardedExecutor {
     flight: FlightRecorder,
     /// Current phase id from [`ShardedConfig::phase`] (0 without one).
     current_phase: u32,
+    // --- durability ---
+    /// Per-shard durable checkpoint stores (present when
+    /// [`ShardedConfig::durable_dir`] is set).
+    durable: Vec<Option<DurableCheckpointStore>>,
+    /// First durable-persistence failure. Surfaced as an error by
+    /// [`ShardedExecutor::finish`]: a run that promised durability but
+    /// could not write it must not report success.
+    durable_error: Option<String>,
 }
 
 /// True if hash partitioning by key preserves the plan's semantics: every
@@ -715,9 +768,34 @@ impl ShardedExecutor {
         let mut registries = Vec::with_capacity(n);
         let mut txs = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
+        let mut durable = Vec::with_capacity(n);
+        // Durable recovery: restarting the whole process resumes each
+        // shard from its newest hash-chain-verified snapshot, and the
+        // router's global clocks resume past the recovered prefix so new
+        // arrivals carry seqs/timestamps a single uninterrupted run would
+        // have assigned.
+        let (mut resume_seq, mut resume_ts) = (0u64, 0u64);
         for i in 0..n {
             let (tx, rx) = chan::bounded::<ShardMsg>(cap);
-            let engine = ShardEngine::new(&catalog, spec, config.strategy)?;
+            let recovered = match config.shard_durable(i) {
+                Some(dir) => DurableCheckpointStore::recover_latest(&dir)?.map(|(_, snap)| snap),
+                None => None,
+            };
+            let mut engine = match &recovered {
+                Some(snap) => {
+                    resume_seq = resume_seq.max(snap.next_seq);
+                    resume_ts = resume_ts.max(snap.last_ts);
+                    ShardEngine::restore(&catalog, spec, config.strategy, Some(snap))?
+                }
+                None => ShardEngine::new(&catalog, spec, config.strategy)?,
+            };
+            if let Some(spill_cfg) = config.shard_spill(i) {
+                engine.enable_spill(spill_cfg)?;
+            }
+            durable.push(match config.shard_durable(i) {
+                Some(dir) => Some(DurableCheckpointStore::open(dir)?),
+                None => None,
+            });
             let registry = Registry::new();
             let ctx = WorkerCtx {
                 shard: i,
@@ -749,8 +827,8 @@ impl ShardedExecutor {
             spawn_spec: vec![spec.clone(); n],
             pmap: PartitionMap::uniform(n),
             exactness,
-            next_seq: 0,
-            last_ts: 0,
+            next_seq: resume_seq,
+            last_ts: resume_ts,
             events: 0,
             shard_events: vec![0; n],
             transitions: 0,
@@ -787,6 +865,8 @@ impl ShardedExecutor {
             registries,
             flight,
             current_phase: 0,
+            durable,
+            durable_error: None,
             config,
         })
     }
@@ -1340,6 +1420,7 @@ impl ShardedExecutor {
             self.shard_watermarks.push(0);
             self.spawn_spec.push(self.current_spec.clone());
             self.registries.push(Registry::new());
+            self.durable.push(None);
         }
         if self.txs[s].is_some() || self.workers[s].is_some() {
             return Ok(()); // already live
@@ -1350,7 +1431,15 @@ impl ShardedExecutor {
             )));
         }
         self.spawn_spec[s] = self.current_spec.clone();
-        let engine = ShardEngine::new(&self.catalog, &self.current_spec, self.config.strategy)?;
+        let mut engine = ShardEngine::new(&self.catalog, &self.current_spec, self.config.strategy)?;
+        if let Some(spill_cfg) = self.config.shard_spill(s) {
+            engine.enable_spill(spill_cfg)?;
+        }
+        if self.durable[s].is_none() {
+            if let Some(dir) = self.config.shard_durable(s) {
+                self.durable[s] = Some(DurableCheckpointStore::open(dir)?);
+            }
+        }
         let (tx, rx) = chan::bounded::<ShardMsg>(self.config.queue_capacity.max(1));
         let ctx = WorkerCtx {
             shard: s,
@@ -1454,6 +1543,11 @@ impl ShardedExecutor {
             gate_dropped + metrics.dropped_late,
             gate_admitted + metrics.late_admitted,
         );
+        if let Some(e) = self.durable_error.take() {
+            return Err(JiscError::Internal(format!(
+                "durable checkpointing failed: {e}"
+            )));
+        }
         let output = OutputSink::merged(sinks);
         Ok(ShardedReport {
             events: self.events,
@@ -1646,6 +1740,18 @@ impl ShardedExecutor {
             shard: s as u64,
             covered: c.covered,
         });
+        // Durable tier: fold the snapshot into the shard's hash-chained
+        // segment store before the in-memory record takes over. `covered`
+        // is the seq tag `recover_latest` hands back; pruning keeps the
+        // newest two snapshots so disk stays bounded.
+        if let Some(store) = self.durable.get_mut(s).and_then(|d| d.as_mut()) {
+            if let Err(e) = store
+                .persist(&snapshot, c.covered)
+                .and_then(|_| store.prune(2))
+            {
+                self.durable_error.get_or_insert_with(|| e.to_string());
+            }
+        }
         // Prune the replay buffer: events the checkpoint now covers can
         // never need replaying again.
         let old_covered = self.ckpt[s].as_ref().map_or(0, |k| k.covered);
@@ -1742,12 +1848,15 @@ impl ShardedExecutor {
                 Some(k) => (k.spec.clone(), k.covered, k.tuples),
                 None => (self.spawn_spec[s].clone(), 0, 0),
             };
-            let engine = ShardEngine::restore(
+            let mut engine = ShardEngine::restore(
                 &self.catalog,
                 &spec,
                 self.config.strategy,
                 ck.as_ref().map(|k| &k.snapshot),
             )?;
+            if let Some(spill_cfg) = self.config.shard_spill(s) {
+                engine.enable_spill(spill_cfg)?;
+            }
             let (tx, rx) = chan::bounded::<ShardMsg>(self.config.queue_capacity.max(1));
             // Fresh registry: the dead incarnation's un-checkpointed
             // telemetry is discarded with it, exactly like its output —
@@ -2790,5 +2899,122 @@ mod tests {
         assert_eq!(report.latency_by_phase[0].1.count(), 300);
         assert_eq!(report.latency_by_phase[1].1.count(), 300);
         assert_eq!(report.latency.count(), 600);
+    }
+
+    // --- memory-budgeted tiered state + durable checkpoints ---
+
+    #[test]
+    fn spilled_sharded_run_matches_unbounded_output() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(900, 3, 23);
+        let unbounded = fault_free_reference(&spec, &events, 2);
+        let scratch = jisc_engine::ScratchDir::new("shard-spill");
+        let mut exec = ShardedExecutor::spawn_with(
+            timed_catalog(&["R", "S", "T"], 40),
+            &spec,
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 64,
+                spill: Some(SpillSettings {
+                    budget_bytes: 2048,
+                    dir: scratch.path().to_path_buf(),
+                }),
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        for &(s, k, p) in &events {
+            exec.push(StreamId(s), k, p).unwrap();
+        }
+        let report = exec.finish().unwrap();
+        assert!(
+            report.metrics.spill_evictions > 0,
+            "a 2 KiB budget per shard must evict: {:?}",
+            report.metrics
+        );
+        assert!(
+            report.metrics.spill_faults > 0,
+            "probes of evicted keys must fault back"
+        );
+        assert_eq!(
+            report.output.lineage_multiset(),
+            unbounded.output.lineage_multiset(),
+            "tiering is a storage decision, not a semantic one"
+        );
+    }
+
+    #[test]
+    fn durable_checkpoints_recover_across_executor_restarts() {
+        let spec = PlanSpec::left_deep(&["R", "S", "T"], JoinStyle::Hash);
+        let events = arrivals(900, 3, 17);
+        let scratch = jisc_engine::ScratchDir::new("shard-durable");
+        // checkpoint_every=1 marks a checkpoint after every flushed batch,
+        // so the final durable snapshot covers the whole first-run prefix.
+        let durable_cfg = || ShardedConfig {
+            shards: 1,
+            queue_capacity: 64,
+            checkpoint_every: 1,
+            durable_dir: Some(scratch.path().to_path_buf()),
+            ..ShardedConfig::default()
+        };
+        let mut first =
+            ShardedExecutor::spawn_with(timed_catalog(&["R", "S", "T"], 40), &spec, durable_cfg())
+                .unwrap();
+        for &(s, k, p) in &events[..600] {
+            first.push(StreamId(s), k, p).unwrap();
+        }
+        let ra = first.finish().unwrap();
+        assert!(ra.checkpoints > 0, "durable snapshots were persisted");
+        let manifest = DurableCheckpointStore::manifest_path(&scratch.path().join("shard-0"));
+        assert!(manifest.exists(), "manifest on disk: {manifest:?}");
+        // "Process restart": a brand-new executor over the same directory
+        // recovers the newest snapshot (manifest chain verified) and its
+        // clocks resume past the recovered prefix.
+        let mut second =
+            ShardedExecutor::spawn_with(timed_catalog(&["R", "S", "T"], 40), &spec, durable_cfg())
+                .unwrap();
+        for &(s, k, p) in &events[600..] {
+            second.push(StreamId(s), k, p).unwrap();
+        }
+        let rb = second.finish().unwrap();
+        // Reference: one uninterrupted run of the full arrival sequence.
+        let full = fault_free_reference(&spec, &events, 1);
+        let mut resumed = ra.output.lineage_multiset();
+        for (lineage, n) in rb.output.lineage_multiset() {
+            *resumed.entry(lineage).or_insert(0) += n;
+        }
+        assert_eq!(
+            resumed,
+            full.output.lineage_multiset(),
+            "restart output must compose lineage-exactly with the prefix"
+        );
+    }
+
+    #[test]
+    fn corrupt_durable_manifest_is_rejected_at_spawn() {
+        let spec = PlanSpec::left_deep(&["R", "S"], JoinStyle::Hash);
+        let scratch = jisc_engine::ScratchDir::new("shard-durable-corrupt");
+        let cfg = || ShardedConfig {
+            shards: 1,
+            queue_capacity: 32,
+            checkpoint_every: 1,
+            durable_dir: Some(scratch.path().to_path_buf()),
+            ..ShardedConfig::default()
+        };
+        let mut exec =
+            ShardedExecutor::spawn_with(timed_catalog(&["R", "S"], 40), &spec, cfg()).unwrap();
+        for i in 0..200u64 {
+            exec.push(StreamId((i % 2) as u16), i % 7, i).unwrap();
+        }
+        exec.finish().unwrap();
+        // Flip one byte in the manifest: recovery must refuse, never
+        // silently fall back to an empty store.
+        let manifest = DurableCheckpointStore::manifest_path(&scratch.path().join("shard-0"));
+        let mut bytes = std::fs::read(&manifest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&manifest, &bytes).unwrap();
+        let err = ShardedExecutor::spawn_with(timed_catalog(&["R", "S"], 40), &spec, cfg());
+        assert!(err.is_err(), "flipped manifest byte must fail recovery");
     }
 }

@@ -300,6 +300,33 @@ impl ShardEngine {
         }
     }
 
+    /// Attach a hot-memory budget with an on-disk cold tier to the
+    /// engine's hash states (see [`jisc_engine::SpillConfig`]). Called
+    /// once per incarnation, right after construction or restore.
+    pub fn enable_spill(&mut self, cfg: jisc_engine::SpillConfig) -> Result<()> {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.enable_spill(cfg),
+            ShardEngine::Adaptive(engine) => engine.enable_spill(cfg),
+        }
+    }
+
+    /// Cold-tier occupancy across this engine's states (`None` while
+    /// spill is not enabled).
+    pub fn spill_stats(&self) -> Option<jisc_engine::SpillStats> {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.spill_stats(),
+            ShardEngine::Adaptive(engine) => engine.spill_stats(),
+        }
+    }
+
+    /// Estimated hot-tier bytes across this engine's states.
+    pub fn hot_bytes(&self) -> usize {
+        match self {
+            ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) => pipe.hot_bytes(),
+            ShardEngine::Adaptive(engine) => engine.hot_bytes(),
+        }
+    }
+
     /// Cumulative state probes so far (per-shard load signal).
     pub fn probe_count(&self) -> u64 {
         match self {
@@ -341,6 +368,23 @@ impl ShardEngine {
     pub fn sync_telemetry(&self, tel: &WorkerTelemetry) {
         self.metrics_snapshot()
             .for_each_named(|name, v| tel.registry.counter(name).store(v));
+        if let Some(cold) = self.spill_stats() {
+            // Tier occupancy gauges: hot is an estimate (entry-count ×
+            // per-entry cost model), cold is exact sealed-file bytes —
+            // together the soak's hot+cold byte accounting.
+            tel.registry
+                .gauge("spill_hot_bytes")
+                .set(self.hot_bytes() as f64);
+            tel.registry
+                .gauge("spill_cold_bytes")
+                .set(cold.disk_bytes as f64);
+            tel.registry
+                .gauge("spill_cold_entries")
+                .set(cold.entries as f64);
+            tel.registry
+                .gauge("spill_cold_segments")
+                .set(cold.segments as f64);
+        }
         if let ShardEngine::Plain(pipe) | ShardEngine::Jisc(pipe, _) = self {
             if pipe.kernels.any() {
                 pipe.kernels.for_each_named(|name, c| {

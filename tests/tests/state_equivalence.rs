@@ -13,10 +13,19 @@
 //!    plain non-adaptive pipeline all agree on the lineage multiset under
 //!    small windows (forcing expiry turnover), mid-stream migrations, and
 //!    a checkpoint/restore round-trip of the adaptive engines.
+//! 4. **Tier level** — the same properties with the memory budget forced
+//!    tiny, so essentially every entry lives in the on-disk cold tier:
+//!    the spilled slab is op-level ≡ the in-memory layouts, all four
+//!    strategies stay lineage-identical under expiry + migration +
+//!    checkpoint/restore, and the hash-chained durable manifest rejects
+//!    any single flipped byte on recovery.
 
 use jisc_common::{BaseTuple, Metrics, StreamId, Tuple, TupleBatch};
 use jisc_core::AdaptiveEngine;
-use jisc_engine::{BaselineStore, Catalog, JoinStyle, Pipeline, PlanSpec, SlabStore};
+use jisc_engine::{
+    BaselineStore, Catalog, DurableCheckpointStore, JoinStyle, Pipeline, PlanSpec, ScratchDir,
+    SlabStore, SpillConfig,
+};
 use proptest::prelude::*;
 
 type Strategy_ = jisc_core::Strategy;
@@ -78,6 +87,20 @@ fn observe_slab(s: &SlabStore, m: &mut Metrics) -> Observed {
     })
 }
 
+/// [`observe_slab`] for a store with a cold tier: the probe discipline
+/// requires faulting a key back before `for_each_match`, exactly as the
+/// pipeline's batch prefault does.
+fn observe_spilled_slab(s: &mut SlabStore, m: &mut Metrics) -> Observed {
+    let keys = s.distinct_keys();
+    let len = s.len();
+    observe(len, keys, |k| {
+        s.fault_in_key(k, m);
+        let mut v = Vec::new();
+        s.for_each_match(k, m, |t| v.push(t.lineage()));
+        v
+    })
+}
+
 fn observe_baseline(s: &BaselineStore, m: &mut Metrics) -> Observed {
     observe(s.len(), s.distinct_keys(), |k| {
         let mut v = Vec::new();
@@ -108,6 +131,9 @@ fn catalog_and_spec(streams: usize, window: usize) -> (Catalog, PlanSpec, Vec<St
 /// at `transition_at` and — if the engine is quiescent there — a full
 /// checkpoint/restore round-trip at `restore_at` (drop the live engine,
 /// rebuild from the base-state snapshot, splice the output sink back).
+/// With `spill_budget` the engine runs memory-budgeted: the budget is
+/// re-attached after the restore (a fresh restore has no cold entries,
+/// so re-tiering is legal), exercising spill across every lifecycle edge.
 fn run_adaptive(
     strategy: Strategy_,
     streams: usize,
@@ -115,13 +141,24 @@ fn run_adaptive(
     arr: &[(u16, u64)],
     restore_at: usize,
     transition_at: usize,
+    spill_budget: Option<usize>,
 ) -> jisc_common::FxHashMap<jisc_common::Lineage, usize> {
     let (catalog, initial, names) = catalog_and_spec(streams, window);
     let mut rev: Vec<&str> = names.iter().map(String::as_str).collect();
     rev.reverse();
     let target = PlanSpec::left_deep(&rev, JoinStyle::Hash);
+    let scratch = spill_budget.map(|_| ScratchDir::new("state-eq-adaptive"));
+    let spill_cfg = |d: &ScratchDir| {
+        SpillConfig::new(
+            spill_budget.expect("scratch implies budget"),
+            d.path().join("tier"),
+        )
+    };
 
     let mut e = AdaptiveEngine::new(catalog.clone(), &initial, strategy).unwrap();
+    if let Some(d) = &scratch {
+        e.enable_spill(spill_cfg(d)).unwrap();
+    }
     for (i, &(s, k)) in arr.iter().enumerate() {
         if i == restore_at {
             if let Some(snap) = e.base_snapshot() {
@@ -130,6 +167,9 @@ fn run_adaptive(
                 e = AdaptiveEngine::restore(catalog.clone(), &initial, strategy, Some(&snap))
                     .unwrap();
                 e.set_output(sink);
+                if let Some(d) = &scratch {
+                    e.enable_spill(spill_cfg(d)).unwrap();
+                }
             }
         }
         if i == transition_at {
@@ -250,8 +290,161 @@ proptest! {
             Strategy_::MovingState,
             Strategy_::ParallelTrack { check_period: 5 },
         ] {
-            let got = run_adaptive(strategy, streams, window, &arr, restore_at, transition_at);
+            let got = run_adaptive(strategy, streams, window, &arr, restore_at, transition_at, None);
             prop_assert_eq!(&got, &expect, "strategy {:?} diverged", strategy);
         }
+    }
+
+    /// Tier-level op equivalence: with the budget forced to one byte the
+    /// hot tier can hold nothing, so essentially every entry round-trips
+    /// through compressed on-disk segments — and the store must still be
+    /// observationally identical to the in-memory baseline under random
+    /// inserts, expiries, and key drops, fault-backs included.
+    #[test]
+    fn spilled_slab_matches_old_layout_under_random_ops(ops in store_ops(100)) {
+        let scratch = ScratchDir::new("state-eq-slab");
+        let mut m = Metrics::new();
+        let mut slab = SlabStore::new();
+        slab.enable_spill(SpillConfig::new(1, scratch.path().join("tier"))).unwrap();
+        let mut old = BaselineStore::new();
+        let mut log: Vec<(u64, u64)> = Vec::new();
+        for (seq, op) in ops.iter().enumerate() {
+            match *op {
+                StoreOp::Insert { key } => {
+                    slab.insert(base(seq as u64, key), &mut m);
+                    old.insert(base(seq as u64, key), &mut m);
+                    log.push((seq as u64, key));
+                }
+                StoreOp::RemoveContaining { target } => {
+                    if log.is_empty() { continue; }
+                    let (s, k) = log[target % log.len()];
+                    let a = slab.remove_containing(StreamId(0), s, k, &mut m);
+                    let b = old.remove_containing(StreamId(0), s, k, &mut m);
+                    prop_assert_eq!(a, b, "spilled remove_containing({}, {})", s, k);
+                }
+                StoreOp::RemoveKey { key } => {
+                    let a = slab.remove_key(key, &mut m);
+                    let b = old.remove_key(key, &mut m);
+                    prop_assert_eq!(a, b, "spilled remove_key({})", key);
+                }
+            }
+            prop_assert_eq!(slab.len(), old.len());
+        }
+        if !log.is_empty() {
+            prop_assert!(m.spill_evictions > 0, "a 1-byte budget must evict");
+        }
+        prop_assert_eq!(slab.key_count(), old.key_count());
+        // The snapshot path first: a deep clone (shared segment files)
+        // must observe identically, before fault-backs mutate the source.
+        prop_assert_eq!(
+            observe_spilled_slab(&mut slab.clone(), &mut m),
+            observe_baseline(&old.clone(), &mut m)
+        );
+        prop_assert_eq!(
+            observe_spilled_slab(&mut slab, &mut m),
+            observe_baseline(&old, &mut m)
+        );
+    }
+}
+
+proptest! {
+    // The spilled strategy sweep runs four engines per case with every
+    // entry thrashing through disk; fewer cases keep the suite honest
+    // without dominating it.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tier-level strategy equivalence: a tiny budget (everything cold)
+    /// must leave all four strategies — plain pipelined plus the three
+    /// adaptive ones, each with a mid-run migration and a
+    /// checkpoint/restore round-trip — lineage-identical to the
+    /// unbounded in-memory reference while expiry churns the ring.
+    #[test]
+    fn spilled_strategies_agree_with_expiry_migration_and_restore(
+        (streams, arr) in arrivals(4, 90),
+        window in 4usize..10,
+        restore_pct in 10u64..45,
+        transition_pct in 50u64..90,
+    ) {
+        let (catalog, spec, _) = catalog_and_spec(streams, window);
+        let mut reference = Pipeline::new(catalog.clone(), &spec).unwrap();
+        for &(s, k) in &arr {
+            reference.push(StreamId(s), k, 0).unwrap();
+        }
+        let expect = reference.output.lineage_multiset();
+
+        // Plain pipelined under the budget.
+        let scratch = ScratchDir::new("state-eq-plain");
+        let mut plain = Pipeline::new(catalog, &spec).unwrap();
+        plain.enable_spill(SpillConfig::new(64, scratch.path().join("tier"))).unwrap();
+        for &(s, k) in &arr {
+            plain.push(StreamId(s), k, 0).unwrap();
+        }
+        prop_assert!(plain.output.is_duplicate_free());
+        prop_assert_eq!(plain.output.lineage_multiset(), expect.clone());
+        prop_assert!(
+            plain.metrics.spill_evictions > 0,
+            "the tiny budget must force the cold tier into play"
+        );
+
+        let restore_at = arr.len() * restore_pct as usize / 100;
+        let transition_at = arr.len() * transition_pct as usize / 100;
+        for strategy in [
+            Strategy_::Jisc,
+            Strategy_::MovingState,
+            Strategy_::ParallelTrack { check_period: 5 },
+        ] {
+            let got = run_adaptive(
+                strategy, streams, window, &arr, restore_at, transition_at, Some(64),
+            );
+            prop_assert_eq!(&got, &expect, "spilled strategy {:?} diverged", strategy);
+        }
+    }
+
+    /// The hash-chained durable manifest must reject *any* single flipped
+    /// byte — in the checkpoint payload (caught by the per-file FNV) or
+    /// in the manifest itself (caught by the chain) — as a recovery
+    /// error, never a silent fresh start or a wrong restore.
+    #[test]
+    fn durable_manifest_rejects_any_flipped_byte(
+        n in 40usize..120,
+        target_sel in 0u64..2,
+        pos_seed in 0u64..1_000_000,
+    ) {
+        let corrupt_manifest = target_sel == 0;
+        let scratch = ScratchDir::new("state-eq-durable");
+        let (catalog, spec, _) = catalog_and_spec(3, 12);
+        let mut p = Pipeline::new(catalog, &spec).unwrap();
+        for i in 0..n {
+            p.push(StreamId((i % 3) as u16), (i as u64 * 7 + 3) % 5, 0).unwrap();
+        }
+        let snap = p.snapshot_base_state().expect("hash plans snapshot");
+        let mut store = DurableCheckpointStore::open(scratch.path()).unwrap();
+        store.persist(&snap, n as u64).unwrap();
+        drop(store);
+
+        // Pick the victim file and flip one byte somewhere inside it.
+        let manifest = DurableCheckpointStore::manifest_path(scratch.path());
+        let victim = if corrupt_manifest {
+            manifest
+        } else {
+            std::fs::read_dir(scratch.path())
+                .unwrap()
+                .flatten()
+                .map(|e| e.path())
+                .find(|q| q.extension().is_some_and(|x| x == "jspl"))
+                .expect("persist wrote a checkpoint segment")
+        };
+        let mut bytes = std::fs::read(&victim).unwrap();
+        prop_assume!(!bytes.is_empty());
+        let at = (pos_seed % bytes.len() as u64) as usize;
+        bytes[at] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        prop_assert!(
+            DurableCheckpointStore::recover_latest(scratch.path()).is_err(),
+            "flipped byte at {} of {:?} must fail recovery",
+            at,
+            victim.file_name()
+        );
     }
 }
